@@ -1,0 +1,110 @@
+//! Criterion benchmarks of the DC-MBQC pipeline kernels.
+//!
+//! These measure the compiler's own cost (the Figure 10 axis), not the
+//! compiled programs: transpilation, partitioning, grid mapping,
+//! lifetime evaluation, and scheduling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mbqc_bench::runner::{RunConfig, SEED};
+use mbqc_circuit::bench::{self, BenchmarkKind};
+use mbqc_compiler::{CompilerConfig, GridMapper};
+use mbqc_hardware::ResourceStateKind;
+use mbqc_partition::{adaptive_partition, multilevel_kway, AdaptiveConfig, KwayConfig};
+use mbqc_pattern::transpile::transpile;
+use mbqc_schedule::{bdir, default_priorities, list_schedule, BdirConfig};
+
+fn bench_transpile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transpile");
+    for n in [16usize, 36] {
+        let circuit = bench::qft(n);
+        group.bench_with_input(BenchmarkId::new("qft", n), &circuit, |b, circ| {
+            b.iter(|| transpile(circ));
+        });
+    }
+    group.finish();
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition");
+    let pattern = transpile(&bench::qft(36));
+    let graph = pattern.graph().clone();
+    group.bench_function("kway_qft36_k4", |b| {
+        b.iter(|| multilevel_kway(&graph, &KwayConfig::new(4)));
+    });
+    group.bench_function("adaptive_qft36_k4", |b| {
+        b.iter(|| adaptive_partition(&graph, &AdaptiveConfig::new(4)));
+    });
+    group.finish();
+}
+
+fn bench_grid_mapper(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grid_mapper");
+    for n in [16usize, 36] {
+        let pattern = transpile(&bench::qft(n));
+        let order = pattern.flow_constraints().topological_sort().unwrap();
+        let cfg = CompilerConfig::new(bench::grid_size_for(n), ResourceStateKind::FIVE_STAR);
+        group.bench_with_input(BenchmarkId::new("qft", n), &n, |b, _| {
+            b.iter(|| {
+                GridMapper::new(cfg)
+                    .compile(pattern.graph(), &order)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_lifetime(c: &mut Criterion) {
+    let pattern = transpile(&bench::qft(36));
+    let order = pattern.flow_constraints().topological_sort().unwrap();
+    let cfg = CompilerConfig::new(bench::grid_size_for(36), ResourceStateKind::FIVE_STAR);
+    let compiled = GridMapper::new(cfg)
+        .compile(pattern.graph(), &order)
+        .unwrap();
+    let deps = pattern.dependency_graph().real_time().clone();
+    c.bench_function("lifetime_algorithm1_qft36", |b| {
+        b.iter(|| compiled.lifetime(&deps));
+    });
+}
+
+fn bench_scheduling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduling");
+    // A real scheduling problem: QFT-16 on 4 QPUs.
+    let outcome = mbqc_bench::runner::compare(BenchmarkKind::Qft, 16, &RunConfig::table3());
+    let problem = outcome.distributed.problem().clone();
+    group.bench_function("list_qft16", |b| {
+        b.iter(|| list_schedule(&problem, &default_priorities(&problem), None));
+    });
+    let init = list_schedule(&problem, &default_priorities(&problem), None);
+    group.bench_function("bdir_qft16", |b| {
+        b.iter(|| bdir(&problem, &init, &BdirConfig::default()));
+    });
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    let circuit = BenchmarkKind::Qft.generate(16, SEED);
+    let pattern = transpile(&circuit);
+    let cfg = RunConfig::table3();
+    group.bench_function("baseline_qft16", |b| {
+        b.iter(|| cfg.compiler(16).compile_baseline_pattern(&pattern).unwrap());
+    });
+    group.bench_function("distributed_qft16", |b| {
+        b.iter(|| cfg.compiler(16).compile_pattern(&pattern).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_transpile,
+    bench_partition,
+    bench_grid_mapper,
+    bench_lifetime,
+    bench_scheduling,
+    bench_end_to_end
+);
+criterion_main!(benches);

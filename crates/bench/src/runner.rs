@@ -1,0 +1,145 @@
+//! Shared compile-and-compare machinery.
+
+use dc_mbqc::{BaselineResult, ComparisonReport, DcMbqcCompiler, DcMbqcConfig, DistributedSchedule};
+use mbqc_circuit::bench::{self, BenchmarkKind};
+use mbqc_hardware::{DistributedHardware, ResourceStateKind};
+
+/// The seed every experiment uses (instances and heuristics are fully
+/// deterministic given it).
+pub const SEED: u64 = 2026;
+
+/// One experiment's hardware/compiler knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Number of QPUs.
+    pub qpus: usize,
+    /// Resource-state kind.
+    pub rsg: ResourceStateKind,
+    /// Connection capacity.
+    pub kmax: usize,
+    /// Maximum imbalance factor for adaptive partitioning.
+    pub alpha_max: f64,
+    /// Enable the BDIR pass.
+    pub bdir: bool,
+    /// OneAdapt-style dynamic refresh bound.
+    pub refresh: Option<usize>,
+    /// Reserve grid perimeter for communication (Table V protocol).
+    pub boundary: bool,
+}
+
+impl RunConfig {
+    /// Paper defaults: 4 QPUs, 5-star, `K_max = 4`, `α_max = 1.5`,
+    /// BDIR on.
+    #[must_use]
+    pub fn table3() -> Self {
+        Self {
+            qpus: 4,
+            rsg: ResourceStateKind::FIVE_STAR,
+            kmax: 4,
+            alpha_max: 1.5,
+            bdir: true,
+            refresh: None,
+            boundary: false,
+        }
+    }
+
+    /// Table IV setting: 8 QPUs and 4-ring RSGs.
+    #[must_use]
+    pub fn table4() -> Self {
+        Self {
+            qpus: 8,
+            rsg: ResourceStateKind::FOUR_RING,
+            ..Self::table3()
+        }
+    }
+
+    /// Builds the compiler for a program of `n` qubits.
+    #[must_use]
+    pub fn compiler(&self, n: usize) -> DcMbqcCompiler {
+        let hw = DistributedHardware::builder()
+            .num_qpus(self.qpus)
+            .grid_width(bench::grid_size_for(n))
+            .resource_state(self.rsg)
+            .kmax(self.kmax)
+            .build();
+        let mut cfg = DcMbqcConfig::new(hw)
+            .with_seed(SEED)
+            .with_alpha_max(self.alpha_max)
+            .with_boundary_reservation(self.boundary);
+        if !self.bdir {
+            cfg = cfg.without_bdir();
+        }
+        if let Some(d) = self.refresh {
+            cfg = cfg.with_refresh(d);
+        }
+        DcMbqcCompiler::new(cfg)
+    }
+}
+
+/// Result of one baseline-vs-distributed run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The comparison row.
+    pub report: ComparisonReport,
+    /// Full distributed result.
+    pub distributed: DistributedSchedule,
+    /// Full baseline result.
+    pub baseline: BaselineResult,
+}
+
+/// Compiles `kind`-`n` both monolithically and distributed under `cfg`.
+///
+/// # Panics
+///
+/// Panics if either compilation fails (grids sized by
+/// [`bench::grid_size_for`] always fit the paper's programs).
+#[must_use]
+pub fn compare(kind: BenchmarkKind, n: usize, cfg: &RunConfig) -> RunOutcome {
+    let circuit = kind.generate(n, SEED);
+    let compiler = cfg.compiler(n);
+    let pattern = mbqc_pattern::transpile::transpile(&circuit);
+    let baseline = compiler
+        .compile_baseline_pattern(&pattern)
+        .unwrap_or_else(|e| panic!("baseline {kind}-{n}: {e}"));
+    let distributed = compiler
+        .compile_pattern(&pattern)
+        .unwrap_or_else(|e| panic!("distributed {kind}-{n}: {e}"));
+    let report = ComparisonReport::new(format!("{kind}-{n}"), &baseline, &distributed);
+    RunOutcome {
+        report,
+        distributed,
+        baseline,
+    }
+}
+
+/// Compares two *distributed-style* runs where the reference is a
+/// monolithic OneAdapt (refresh-enabled single QPU) — the Table V
+/// protocol. Returns `(reference, ours)` outcomes.
+#[must_use]
+pub fn compare_oneadapt(kind: BenchmarkKind, n: usize, qpus: usize, refresh: usize) -> (BaselineResult, DistributedSchedule) {
+    let circuit = kind.generate(n, SEED);
+    let pattern = mbqc_pattern::transpile::transpile(&circuit);
+    // Reference: monolithic OneAdapt — single QPU, dynamic refresh.
+    let reference_cfg = RunConfig {
+        qpus: 1,
+        refresh: Some(refresh),
+        ..RunConfig::table3()
+    };
+    let reference = reference_cfg
+        .compiler(n)
+        .compile_baseline_pattern(&pattern)
+        .unwrap_or_else(|e| panic!("OneAdapt {kind}-{n}: {e}"));
+    // Ours: distributed, refresh on each QPU, boundary reservation for
+    // the communication interfaces.
+    let ours_cfg = RunConfig {
+        qpus,
+        refresh: Some(refresh),
+        boundary: true,
+        ..RunConfig::table3()
+    };
+    let ours = ours_cfg
+        .compiler(n)
+        .compile_pattern(&pattern)
+        .unwrap_or_else(|e| panic!("DC-MBQC {kind}-{n}: {e}"));
+    (reference, ours)
+}

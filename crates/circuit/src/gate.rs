@@ -1,0 +1,207 @@
+//! The gate set of the circuit IR.
+
+use std::fmt;
+
+/// A qubit index within a [`Circuit`](crate::Circuit).
+pub type Qubit = usize;
+
+/// A rotation angle in radians.
+pub type Angle = f64;
+
+/// A quantum gate.
+///
+/// The set covers everything the four benchmark generators need. Rotation
+/// conventions: `Rz(θ) = exp(−iθZ/2)`, `Rx(θ) = exp(−iθX/2)`,
+/// `Ry(θ) = exp(−iθY/2)`, `Phase(θ) = diag(1, e^{iθ})`,
+/// `CPhase(θ) = diag(1, 1, 1, e^{iθ})`, `Rzz(θ) = exp(−iθ Z⊗Z / 2)`.
+///
+/// # Examples
+///
+/// ```
+/// use mbqc_circuit::Gate;
+///
+/// let g = Gate::Cnot { control: 0, target: 1 };
+/// assert!(g.is_two_qubit());
+/// assert_eq!(g.qubits(), vec![0, 1]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Gate {
+    /// Hadamard.
+    H(Qubit),
+    /// Pauli-X.
+    X(Qubit),
+    /// Pauli-Y.
+    Y(Qubit),
+    /// Pauli-Z.
+    Z(Qubit),
+    /// Phase gate S = diag(1, i).
+    S(Qubit),
+    /// Inverse phase gate S† = diag(1, −i).
+    Sdg(Qubit),
+    /// T = diag(1, e^{iπ/4}).
+    T(Qubit),
+    /// T† = diag(1, e^{−iπ/4}).
+    Tdg(Qubit),
+    /// X-rotation exp(−iθX/2).
+    Rx(Qubit, Angle),
+    /// Y-rotation exp(−iθY/2).
+    Ry(Qubit, Angle),
+    /// Z-rotation exp(−iθZ/2).
+    Rz(Qubit, Angle),
+    /// Phase rotation diag(1, e^{iθ}) (equal to Rz up to global phase).
+    Phase(Qubit, Angle),
+    /// Controlled-Z (symmetric).
+    Cz(Qubit, Qubit),
+    /// Controlled-X.
+    Cnot {
+        /// Control qubit.
+        control: Qubit,
+        /// Target qubit.
+        target: Qubit,
+    },
+    /// Swap of two qubits.
+    Swap(Qubit, Qubit),
+    /// Controlled phase diag(1, 1, 1, e^{iθ}) (symmetric).
+    CPhase(Qubit, Qubit, Angle),
+    /// Ising interaction exp(−iθ Z⊗Z / 2) (symmetric); QAOA's cost gate.
+    Rzz(Qubit, Qubit, Angle),
+    /// Toffoli (CCX).
+    Toffoli {
+        /// First control qubit.
+        c0: Qubit,
+        /// Second control qubit.
+        c1: Qubit,
+        /// Target qubit.
+        target: Qubit,
+    },
+}
+
+impl Gate {
+    /// The qubits this gate acts on, in declaration order.
+    #[must_use]
+    pub fn qubits(&self) -> Vec<Qubit> {
+        match *self {
+            Gate::H(q)
+            | Gate::X(q)
+            | Gate::Y(q)
+            | Gate::Z(q)
+            | Gate::S(q)
+            | Gate::Sdg(q)
+            | Gate::T(q)
+            | Gate::Tdg(q)
+            | Gate::Rx(q, _)
+            | Gate::Ry(q, _)
+            | Gate::Rz(q, _)
+            | Gate::Phase(q, _) => vec![q],
+            Gate::Cz(a, b)
+            | Gate::Swap(a, b)
+            | Gate::CPhase(a, b, _)
+            | Gate::Rzz(a, b, _) => vec![a, b],
+            Gate::Cnot { control, target } => vec![control, target],
+            Gate::Toffoli { c0, c1, target } => vec![c0, c1, target],
+        }
+    }
+
+    /// `true` for gates acting on exactly one qubit.
+    #[must_use]
+    pub fn is_single_qubit(&self) -> bool {
+        self.qubits().len() == 1
+    }
+
+    /// `true` for gates acting on exactly two qubits.
+    #[must_use]
+    pub fn is_two_qubit(&self) -> bool {
+        self.qubits().len() == 2
+    }
+
+    /// `true` only for [`Gate::Cz`].
+    #[must_use]
+    pub fn is_cz(&self) -> bool {
+        matches!(self, Gate::Cz(_, _))
+    }
+
+    /// Short mnemonic name (lowercase, OpenQASM-style).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Gate::H(_) => "h",
+            Gate::X(_) => "x",
+            Gate::Y(_) => "y",
+            Gate::Z(_) => "z",
+            Gate::S(_) => "s",
+            Gate::Sdg(_) => "sdg",
+            Gate::T(_) => "t",
+            Gate::Tdg(_) => "tdg",
+            Gate::Rx(_, _) => "rx",
+            Gate::Ry(_, _) => "ry",
+            Gate::Rz(_, _) => "rz",
+            Gate::Phase(_, _) => "p",
+            Gate::Cz(_, _) => "cz",
+            Gate::Cnot { .. } => "cx",
+            Gate::Swap(_, _) => "swap",
+            Gate::CPhase(_, _, _) => "cp",
+            Gate::Rzz(_, _, _) => "rzz",
+            Gate::Toffoli { .. } => "ccx",
+        }
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let qubits: Vec<String> = self.qubits().iter().map(|q| format!("q{q}")).collect();
+        let angle = match self {
+            Gate::Rx(_, a)
+            | Gate::Ry(_, a)
+            | Gate::Rz(_, a)
+            | Gate::Phase(_, a)
+            | Gate::CPhase(_, _, a)
+            | Gate::Rzz(_, _, a) => format!("({a:.4})"),
+            _ => String::new(),
+        };
+        write!(f, "{}{} {}", self.name(), angle, qubits.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubit_arity() {
+        assert!(Gate::H(0).is_single_qubit());
+        assert!(Gate::Rz(1, 0.5).is_single_qubit());
+        assert!(Gate::Cz(0, 1).is_two_qubit());
+        assert!(Gate::Rzz(2, 3, 1.0).is_two_qubit());
+        assert!(!Gate::Toffoli { c0: 0, c1: 1, target: 2 }.is_two_qubit());
+        assert_eq!(Gate::Toffoli { c0: 0, c1: 1, target: 2 }.qubits(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn cz_detection() {
+        assert!(Gate::Cz(0, 1).is_cz());
+        assert!(!Gate::Cnot { control: 0, target: 1 }.is_cz());
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Gate::H(3).to_string(), "h q3");
+        assert_eq!(Gate::Cnot { control: 0, target: 1 }.to_string(), "cx q0,q1");
+        let rz = Gate::Rz(2, std::f64::consts::PI).to_string();
+        assert!(rz.starts_with("rz(3.1416)"), "{rz}");
+    }
+
+    #[test]
+    fn names_are_distinct_per_kind() {
+        let gates = [
+            Gate::H(0),
+            Gate::X(0),
+            Gate::S(0),
+            Gate::T(0),
+            Gate::Cz(0, 1),
+            Gate::Swap(0, 1),
+            Gate::CPhase(0, 1, 0.1),
+        ];
+        let names: std::collections::HashSet<&str> = gates.iter().map(Gate::name).collect();
+        assert_eq!(names.len(), gates.len());
+    }
+}

@@ -1,0 +1,66 @@
+//! The monolithic single-QPU baseline (OneQ-style compilation).
+
+use mbqc_compiler::{CompiledProgram, LifetimeReport};
+use mbqc_pattern::Pattern;
+
+/// Result of compiling a whole program on one QPU.
+#[derive(Debug, Clone)]
+pub struct BaselineResult {
+    compiled: CompiledProgram,
+    lifetime: LifetimeReport,
+}
+
+impl BaselineResult {
+    /// Wraps a compiled program with its lifetime report.
+    #[must_use]
+    pub fn new(compiled: CompiledProgram, lifetime: LifetimeReport) -> Self {
+        Self { compiled, lifetime }
+    }
+
+    /// Execution time in logical layers.
+    #[must_use]
+    pub fn execution_time(&self) -> usize {
+        self.compiled.execution_time()
+    }
+
+    /// Required photon lifetime (Algorithm 1).
+    #[must_use]
+    pub fn required_photon_lifetime(&self) -> usize {
+        self.lifetime.photon_lifetime()
+    }
+
+    /// Lifetime breakdown.
+    #[must_use]
+    pub fn lifetime(&self) -> LifetimeReport {
+        self.lifetime
+    }
+
+    /// The underlying compiled program (layers, fusions, placements).
+    #[must_use]
+    pub fn compiled(&self) -> &CompiledProgram {
+        &self.compiled
+    }
+}
+
+/// Derives the placement order of a pattern: a topological order of its
+/// flow constraints covering *all* nodes (outputs included).
+///
+/// Returns `None` when the pattern has no causal flow.
+#[must_use]
+pub fn placement_order(pattern: &Pattern) -> Option<Vec<mbqc_graph::NodeId>> {
+    pattern.flow_constraints().topological_sort()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbqc_circuit::bench;
+    use mbqc_pattern::transpile::transpile;
+
+    #[test]
+    fn placement_order_covers_all_nodes() {
+        let p = transpile(&bench::qft(5));
+        let order = placement_order(&p).unwrap();
+        assert_eq!(order.len(), p.node_count());
+    }
+}

@@ -1,0 +1,175 @@
+//! Framework configuration and errors.
+
+use std::fmt;
+
+use mbqc_compiler::CompileError;
+use mbqc_hardware::DistributedHardware;
+use mbqc_partition::AdaptiveConfig;
+use mbqc_schedule::BdirConfig;
+
+/// Configuration of the full DC-MBQC pipeline.
+///
+/// Defaults follow the paper's evaluation setup (Section V-A):
+/// adaptive partitioning with `ε_Q = 0.01`, `γ = 1.02`, `α_max = 1.5`;
+/// BDIR with `T₀ = 10`, cooling `0.95`, `I_max = 20`.
+///
+/// # Examples
+///
+/// ```
+/// use dc_mbqc::DcMbqcConfig;
+/// use mbqc_hardware::DistributedHardware;
+///
+/// let hw = DistributedHardware::builder().num_qpus(8).build();
+/// let cfg = DcMbqcConfig::new(hw).without_bdir();
+/// assert!(cfg.bdir.is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DcMbqcConfig {
+    /// Target hardware.
+    pub hardware: DistributedHardware,
+    /// Adaptive partitioning parameters (Algorithm 2); `k` is always
+    /// overridden with the hardware's QPU count.
+    pub adaptive: AdaptiveConfig,
+    /// BDIR parameters (Algorithm 3); `None` runs list scheduling only
+    /// (the "DC-MBQC (Core)" configuration of Figure 10).
+    pub bdir: Option<BdirConfig>,
+    /// OneAdapt-style dynamic refresh bound for the per-QPU compiler.
+    pub refresh_interval: Option<usize>,
+    /// Reserve each QPU's grid perimeter as communication interface
+    /// (Table V protocol).
+    pub boundary_reservation: bool,
+    /// Master seed: derives partitioning, mapping, and scheduling seeds.
+    pub seed: u64,
+}
+
+impl DcMbqcConfig {
+    /// Paper-default configuration for the given hardware.
+    #[must_use]
+    pub fn new(hardware: DistributedHardware) -> Self {
+        Self {
+            adaptive: AdaptiveConfig::new(hardware.num_qpus()),
+            hardware,
+            bdir: Some(BdirConfig::default()),
+            refresh_interval: None,
+            boundary_reservation: false,
+            seed: 42,
+        }
+    }
+
+    /// Disables the BDIR pass (list scheduling only).
+    #[must_use]
+    pub fn without_bdir(mut self) -> Self {
+        self.bdir = None;
+        self
+    }
+
+    /// Sets the master seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables OneAdapt-style dynamic refresh in the per-QPU compiler.
+    #[must_use]
+    pub fn with_refresh(mut self, interval: usize) -> Self {
+        self.refresh_interval = Some(interval);
+        self
+    }
+
+    /// Enables boundary reservation on every QPU grid.
+    #[must_use]
+    pub fn with_boundary_reservation(mut self, on: bool) -> Self {
+        self.boundary_reservation = on;
+        self
+    }
+
+    /// Sets the maximum imbalance factor `α_max` of the partitioner
+    /// (the Figure 9 sweep).
+    #[must_use]
+    pub fn with_alpha_max(mut self, alpha_max: f64) -> Self {
+        self.adaptive.alpha_max = alpha_max;
+        self
+    }
+}
+
+/// Errors of the DC-MBQC pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DcMbqcError {
+    /// A per-QPU compilation failed.
+    Compile {
+        /// QPU whose subprogram failed (`None` for the baseline).
+        qpu: Option<usize>,
+        /// Underlying mapper error.
+        source: CompileError,
+    },
+    /// The pattern has no causal flow (cannot order placements).
+    NoFlow,
+}
+
+impl fmt::Display for DcMbqcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DcMbqcError::Compile { qpu: Some(q), source } => {
+                write!(f, "compilation failed on QPU {q}: {source}")
+            }
+            DcMbqcError::Compile { qpu: None, source } => {
+                write!(f, "baseline compilation failed: {source}")
+            }
+            DcMbqcError::NoFlow => write!(f, "pattern has no causal flow"),
+        }
+    }
+}
+
+impl std::error::Error for DcMbqcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DcMbqcError::Compile { source, .. } => Some(source),
+            DcMbqcError::NoFlow => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let hw = DistributedHardware::builder().num_qpus(4).build();
+        let cfg = DcMbqcConfig::new(hw);
+        assert_eq!(cfg.adaptive.k, 4);
+        assert!((cfg.adaptive.epsilon_q - 0.01).abs() < 1e-12);
+        assert!((cfg.adaptive.gamma - 1.02).abs() < 1e-12);
+        assert!((cfg.adaptive.alpha_max - 1.5).abs() < 1e-12);
+        let b = cfg.bdir.unwrap();
+        assert!((b.t0 - 10.0).abs() < 1e-12);
+        assert!((b.cooling - 0.95).abs() < 1e-12);
+        assert_eq!(b.max_iters, 20);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let hw = DistributedHardware::builder().build();
+        let cfg = DcMbqcConfig::new(hw)
+            .with_seed(7)
+            .with_refresh(20)
+            .with_boundary_reservation(true)
+            .with_alpha_max(2.0);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.refresh_interval, Some(20));
+        assert!(cfg.boundary_reservation);
+        assert!((cfg.adaptive.alpha_max - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        let e = DcMbqcError::Compile {
+            qpu: Some(2),
+            source: CompileError::EmptyGrid,
+        };
+        assert!(e.to_string().contains("QPU 2"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(DcMbqcError::NoFlow.to_string().contains("causal flow"));
+    }
+}

@@ -1,0 +1,57 @@
+//! # DC-MBQC
+//!
+//! A distributed compilation framework for measurement-based quantum
+//! computing (MBQC) on photonic hardware — a from-scratch reproduction
+//! of the HPCA 2026 paper *"DC-MBQC: A Distributed Compilation
+//! Framework for Measurement-Based Quantum Computing"*.
+//!
+//! Photonic MBQC consumes a large entangled *graph state* with adaptive
+//! single-qubit measurements; photons waiting in fiber delay lines are
+//! lost at a rate that grows with storage time, so the paper introduces
+//! the **required photon lifetime** as the metric a compiler must
+//! minimize, and distributes the computation across QPUs to do so. The
+//! pipeline implemented here:
+//!
+//! 1. **Transpile** a circuit to an MBQC pattern
+//!    ([`mbqc_pattern::transpile`]) — validated against a statevector
+//!    simulator in `mbqc-sim`.
+//! 2. **Partition** the computation graph across QPUs with the adaptive
+//!    algorithm ([`mbqc_partition::adaptive`], Algorithm 2) balancing
+//!    workload against modularity.
+//! 3. **Compile** each subgraph on its QPU's RSG grid
+//!    ([`mbqc_compiler::GridMapper`]) into execution layers.
+//! 4. **Schedule** execution layers and the synchronization tasks
+//!    induced by cut edges ([`mbqc_schedule`]), with priority list
+//!    scheduling plus BDIR refinement (Algorithm 3), minimizing
+//!    `max(τ_local, τ_remote)`.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dc_mbqc::{DcMbqcCompiler, DcMbqcConfig};
+//! use mbqc_circuit::bench;
+//! use mbqc_hardware::{DistributedHardware, ResourceStateKind};
+//!
+//! let circuit = bench::qft(16);
+//! let hw = DistributedHardware::builder()
+//!     .num_qpus(4)
+//!     .grid_width(bench::grid_size_for(16))
+//!     .resource_state(ResourceStateKind::FIVE_STAR)
+//!     .kmax(4)
+//!     .build();
+//! let compiler = DcMbqcCompiler::new(DcMbqcConfig::new(hw));
+//! let result = compiler.compile_circuit(&circuit).expect("compiles");
+//! let baseline = compiler.compile_baseline_circuit(&circuit).expect("compiles");
+//! assert!(result.execution_time() < baseline.execution_time());
+//! assert!(result.required_photon_lifetime() < baseline.required_photon_lifetime());
+//! ```
+
+pub mod baseline;
+pub mod config;
+pub mod pipeline;
+pub mod report;
+
+pub use baseline::BaselineResult;
+pub use config::{DcMbqcConfig, DcMbqcError};
+pub use pipeline::{DcMbqcCompiler, DistributedSchedule};
+pub use report::ComparisonReport;

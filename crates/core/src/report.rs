@@ -1,0 +1,118 @@
+//! Baseline-vs-distributed comparison reports (the rows of
+//! Tables III–V).
+
+use crate::baseline::BaselineResult;
+use crate::pipeline::DistributedSchedule;
+
+/// One comparison row: a program compiled both monolithically and
+/// distributed, with the paper's improvement factors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonReport {
+    /// Program label, e.g. `"QFT-36"`.
+    pub program: String,
+    /// Baseline execution time (layers).
+    pub baseline_exec: usize,
+    /// Distributed execution time (layers).
+    pub our_exec: usize,
+    /// Baseline required photon lifetime.
+    pub baseline_lifetime: usize,
+    /// Distributed required photon lifetime.
+    pub our_lifetime: usize,
+}
+
+impl ComparisonReport {
+    /// Builds a report from the two compilation results.
+    #[must_use]
+    pub fn new(
+        program: impl Into<String>,
+        baseline: &BaselineResult,
+        distributed: &DistributedSchedule,
+    ) -> Self {
+        Self {
+            program: program.into(),
+            baseline_exec: baseline.execution_time(),
+            our_exec: distributed.execution_time(),
+            baseline_lifetime: baseline.required_photon_lifetime(),
+            our_lifetime: distributed.required_photon_lifetime(),
+        }
+    }
+
+    /// Execution-time improvement factor `baseline / ours`.
+    #[must_use]
+    pub fn exec_factor(&self) -> f64 {
+        ratio(self.baseline_exec, self.our_exec)
+    }
+
+    /// Lifetime improvement factor `baseline / ours`.
+    #[must_use]
+    pub fn lifetime_factor(&self) -> f64 {
+        ratio(self.baseline_lifetime, self.our_lifetime)
+    }
+
+    /// Formats the row in Table III/IV order: program, baseline exec,
+    /// our exec, factor, baseline lifetime, our lifetime, factor.
+    #[must_use]
+    pub fn table_row(&self) -> Vec<String> {
+        vec![
+            self.program.clone(),
+            self.baseline_exec.to_string(),
+            self.our_exec.to_string(),
+            format!("{:.2}", self.exec_factor()),
+            self.baseline_lifetime.to_string(),
+            self.our_lifetime.to_string(),
+            format!("{:.2}", self.lifetime_factor()),
+        ]
+    }
+}
+
+fn ratio(baseline: usize, ours: usize) -> f64 {
+    if ours == 0 {
+        if baseline == 0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        baseline as f64 / ours as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> ComparisonReport {
+        ComparisonReport {
+            program: "QFT-36".into(),
+            baseline_exec: 364,
+            our_exec: 101,
+            baseline_lifetime: 333,
+            our_lifetime: 81,
+        }
+    }
+
+    #[test]
+    fn factors() {
+        let r = report();
+        assert!((r.exec_factor() - 3.60).abs() < 0.01);
+        assert!((r.lifetime_factor() - 4.11).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_handling() {
+        let mut r = report();
+        r.our_exec = 0;
+        assert!(r.exec_factor().is_infinite());
+        r.baseline_exec = 0;
+        assert_eq!(r.exec_factor(), 1.0);
+    }
+
+    #[test]
+    fn row_format() {
+        let row = report().table_row();
+        assert_eq!(row.len(), 7);
+        assert_eq!(row[0], "QFT-36");
+        assert_eq!(row[3], "3.60");
+        assert_eq!(row[6], "4.11");
+    }
+}

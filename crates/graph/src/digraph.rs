@@ -1,0 +1,305 @@
+//! Directed graphs and DAG algorithms.
+
+use crate::NodeId;
+
+/// A directed graph with dense node ids.
+///
+/// This is the workspace representation of MBQC *dependency graphs*: an
+/// edge `(u, v)` means the measurement basis of `v` depends on the outcome
+/// of `u` (Section II-A of the paper). The required-photon-lifetime
+/// computation (Algorithm 1) walks this structure in topological order.
+///
+/// # Examples
+///
+/// ```
+/// use mbqc_graph::{DiGraph, NodeId};
+///
+/// let mut d = DiGraph::with_nodes(3);
+/// d.add_edge(NodeId::new(0), NodeId::new(1));
+/// d.add_edge(NodeId::new(1), NodeId::new(2));
+/// let order = d.topological_sort().expect("acyclic");
+/// assert_eq!(order.len(), 3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DiGraph {
+    succ: Vec<Vec<NodeId>>,
+    pred: Vec<Vec<NodeId>>,
+    edge_count: usize,
+}
+
+impl DiGraph {
+    /// Creates an empty directed graph.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a directed graph with `n` isolated nodes.
+    #[must_use]
+    pub fn with_nodes(n: usize) -> Self {
+        Self {
+            succ: vec![Vec::new(); n],
+            pred: vec![Vec::new(); n],
+            edge_count: 0,
+        }
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId::new(self.succ.len());
+        self.succ.push(Vec::new());
+        self.pred.push(Vec::new());
+        id
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    fn check(&self, n: NodeId) {
+        assert!(n.index() < self.succ.len(), "node {n} out of bounds");
+    }
+
+    /// Adds edge `from → to` if not already present; returns `true` when a
+    /// new edge was inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds endpoints or self-loops.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) -> bool {
+        self.check(from);
+        self.check(to);
+        assert_ne!(from, to, "self-loops are not allowed");
+        if self.succ[from.index()].contains(&to) {
+            return false;
+        }
+        self.succ[from.index()].push(to);
+        self.pred[to.index()].push(from);
+        self.edge_count += 1;
+        true
+    }
+
+    /// Returns `true` if edge `from → to` exists.
+    #[must_use]
+    pub fn has_edge(&self, from: NodeId, to: NodeId) -> bool {
+        self.check(from);
+        self.check(to);
+        self.succ[from.index()].contains(&to)
+    }
+
+    /// Successors (out-neighbors) of `n`.
+    #[must_use]
+    pub fn successors(&self, n: NodeId) -> &[NodeId] {
+        self.check(n);
+        &self.succ[n.index()]
+    }
+
+    /// Predecessors (in-neighbors) of `n` — the `Parent(u)` set in
+    /// Algorithm 1 of the paper.
+    #[must_use]
+    pub fn predecessors(&self, n: NodeId) -> &[NodeId] {
+        self.check(n);
+        &self.pred[n.index()]
+    }
+
+    /// In-degree of `n`.
+    #[must_use]
+    pub fn in_degree(&self, n: NodeId) -> usize {
+        self.check(n);
+        self.pred[n.index()].len()
+    }
+
+    /// Out-degree of `n`.
+    #[must_use]
+    pub fn out_degree(&self, n: NodeId) -> usize {
+        self.check(n);
+        self.succ[n.index()].len()
+    }
+
+    /// Iterates over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.succ.len()).map(NodeId::new)
+    }
+
+    /// Iterates over all edges `(from, to)`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.succ.iter().enumerate().flat_map(|(i, list)| {
+            let from = NodeId::new(i);
+            list.iter().map(move |&to| (from, to))
+        })
+    }
+
+    /// Kahn's algorithm: returns a topological order, or `None` if the
+    /// graph contains a cycle.
+    ///
+    /// Ties are broken by node index, so the order is deterministic.
+    #[must_use]
+    pub fn topological_sort(&self) -> Option<Vec<NodeId>> {
+        let n = self.node_count();
+        let mut in_deg: Vec<usize> = (0..n).map(|i| self.pred[i].len()).collect();
+        // Min-index-first queue keeps the order deterministic; a BinaryHeap
+        // over Reverse(index) gives O(E log V) which is fine at our sizes.
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut ready: BinaryHeap<Reverse<usize>> = (0..n)
+            .filter(|&i| in_deg[i] == 0)
+            .map(Reverse)
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(Reverse(i)) = ready.pop() {
+            order.push(NodeId::new(i));
+            for &s in &self.succ[i] {
+                in_deg[s.index()] -= 1;
+                if in_deg[s.index()] == 0 {
+                    ready.push(Reverse(s.index()));
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
+    /// Returns `true` if the graph is acyclic.
+    #[must_use]
+    pub fn is_acyclic(&self) -> bool {
+        self.topological_sort().is_some()
+    }
+
+    /// Length (edge count) of the longest path in the DAG.
+    ///
+    /// This bounds the depth of any real-time feed-forward chain in an
+    /// MBQC program: the critical path of adaptive measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph contains a cycle.
+    #[must_use]
+    pub fn longest_path_len(&self) -> usize {
+        let order = self.topological_sort().expect("graph has a cycle");
+        let mut depth = vec![0usize; self.node_count()];
+        let mut best = 0;
+        for u in order {
+            for &v in &self.succ[u.index()] {
+                let cand = depth[u.index()] + 1;
+                if cand > depth[v.index()] {
+                    depth[v.index()] = cand;
+                    best = best.max(cand);
+                }
+            }
+        }
+        best
+    }
+
+    /// Per-node depth (longest incoming path length) in topological order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph contains a cycle.
+    #[must_use]
+    pub fn depths(&self) -> Vec<usize> {
+        let order = self.topological_sort().expect("graph has a cycle");
+        let mut depth = vec![0usize; self.node_count()];
+        for u in order {
+            for &v in &self.succ[u.index()] {
+                depth[v.index()] = depth[v.index()].max(depth[u.index()] + 1);
+            }
+        }
+        depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize) -> DiGraph {
+        let mut d = DiGraph::with_nodes(n);
+        for i in 0..n - 1 {
+            d.add_edge(NodeId::new(i), NodeId::new(i + 1));
+        }
+        d
+    }
+
+    #[test]
+    fn build_and_query() {
+        let mut d = DiGraph::with_nodes(2);
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        assert!(d.add_edge(a, b));
+        assert!(!d.add_edge(a, b), "duplicate edges are ignored");
+        assert!(d.has_edge(a, b));
+        assert!(!d.has_edge(b, a));
+        assert_eq!(d.out_degree(a), 1);
+        assert_eq!(d.in_degree(b), 1);
+        assert_eq!(d.predecessors(b), &[a]);
+        assert_eq!(d.edge_count(), 1);
+    }
+
+    #[test]
+    fn topo_sort_chain() {
+        let d = chain(5);
+        let order = d.topological_sort().unwrap();
+        assert_eq!(order, (0..5).map(NodeId::new).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn topo_sort_is_linear_extension() {
+        // Diamond: 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3.
+        let mut d = DiGraph::with_nodes(4);
+        let n: Vec<NodeId> = d.nodes().collect();
+        d.add_edge(n[0], n[1]);
+        d.add_edge(n[0], n[2]);
+        d.add_edge(n[1], n[3]);
+        d.add_edge(n[2], n[3]);
+        let order = d.topological_sort().unwrap();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 4];
+            for (i, u) in order.iter().enumerate() {
+                p[u.index()] = i;
+            }
+            p
+        };
+        for (u, v) in d.edges() {
+            assert!(pos[u.index()] < pos[v.index()]);
+        }
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut d = chain(3);
+        d.add_edge(NodeId::new(2), NodeId::new(0));
+        assert!(d.topological_sort().is_none());
+        assert!(!d.is_acyclic());
+    }
+
+    #[test]
+    fn longest_path() {
+        assert_eq!(chain(6).longest_path_len(), 5);
+        let d = DiGraph::with_nodes(3);
+        assert_eq!(d.longest_path_len(), 0);
+    }
+
+    #[test]
+    fn depths_diamond() {
+        let mut d = DiGraph::with_nodes(4);
+        let n: Vec<NodeId> = d.nodes().collect();
+        d.add_edge(n[0], n[1]);
+        d.add_edge(n[0], n[2]);
+        d.add_edge(n[1], n[3]);
+        d.add_edge(n[2], n[3]);
+        assert_eq!(d.depths(), vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_panics() {
+        let mut d = DiGraph::with_nodes(1);
+        d.add_edge(NodeId::new(0), NodeId::new(0));
+    }
+}

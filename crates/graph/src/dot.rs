@@ -1,0 +1,84 @@
+//! Graphviz DOT export for debugging and documentation.
+
+use std::fmt::Write as _;
+
+use crate::{DiGraph, Graph, NodeId};
+
+/// Renders an undirected [`Graph`] in DOT format.
+///
+/// Node labels default to the node index; pass a labeler to customize
+/// (e.g. to show measurement angles of an MBQC pattern).
+///
+/// # Examples
+///
+/// ```
+/// use mbqc_graph::{dot, generate};
+///
+/// let g = generate::path_graph(2);
+/// let out = dot::graph_to_dot(&g, "demo", |n| format!("q{}", n.index()));
+/// assert!(out.contains("graph demo"));
+/// assert!(out.contains("q0"));
+/// ```
+pub fn graph_to_dot<F>(g: &Graph, name: &str, mut label: F) -> String
+where
+    F: FnMut(NodeId) -> String,
+{
+    let mut out = String::new();
+    let _ = writeln!(out, "graph {name} {{");
+    for n in g.nodes() {
+        let _ = writeln!(out, "  {} [label=\"{}\"];", n.index(), label(n));
+    }
+    for (a, b, w) in g.edges() {
+        if w == 1 {
+            let _ = writeln!(out, "  {} -- {};", a.index(), b.index());
+        } else {
+            let _ = writeln!(out, "  {} -- {} [weight={w}, label=\"{w}\"];", a.index(), b.index());
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a [`DiGraph`] in DOT format.
+pub fn digraph_to_dot<F>(d: &DiGraph, name: &str, mut label: F) -> String
+where
+    F: FnMut(NodeId) -> String,
+{
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {name} {{");
+    for n in d.nodes() {
+        let _ = writeln!(out, "  {} [label=\"{}\"];", n.index(), label(n));
+    }
+    for (a, b) in d.edges() {
+        let _ = writeln!(out, "  {} -> {};", a.index(), b.index());
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn graph_dot_contains_edges() {
+        let mut g = generate::path_graph(3);
+        g.add_edge_weighted(NodeId::new(0), NodeId::new(2), 4);
+        let dot = graph_to_dot(&g, "g", |n| n.to_string());
+        assert!(dot.starts_with("graph g {"));
+        assert!(dot.contains("0 -- 1;"));
+        assert!(dot.contains("0 -- 2 [weight=4"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn digraph_dot_contains_arrows() {
+        let mut d = DiGraph::with_nodes(2);
+        d.add_edge(NodeId::new(0), NodeId::new(1));
+        let dot = digraph_to_dot(&d, "dep", |n| format!("m{}", n.index()));
+        assert!(dot.contains("digraph dep {"));
+        assert!(dot.contains("0 -> 1;"));
+        assert!(dot.contains("m1"));
+    }
+}

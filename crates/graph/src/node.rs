@@ -1,0 +1,82 @@
+//! Node identifier newtype shared by [`Graph`](crate::Graph) and
+//! [`DiGraph`](crate::DiGraph).
+
+use std::fmt;
+
+/// Identifier of a node in a [`Graph`](crate::Graph) or
+/// [`DiGraph`](crate::DiGraph).
+///
+/// `NodeId`s are dense indices assigned in insertion order, so they can be
+/// used directly to index side tables (`Vec<T>` keyed by node).
+///
+/// # Examples
+///
+/// ```
+/// use mbqc_graph::NodeId;
+///
+/// let n = NodeId::new(3);
+/// assert_eq!(n.index(), 3);
+/// assert_eq!(format!("{n}"), "n3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a raw index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        assert!(index <= u32::MAX as usize, "node index overflow");
+        Self(index as u32)
+    }
+
+    /// Returns the dense index of this node.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(index: usize) -> Self {
+        Self::new(index)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(id: NodeId) -> Self {
+        id.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let n = NodeId::new(42);
+        assert_eq!(n.index(), 42);
+        assert_eq!(usize::from(n), 42);
+        assert_eq!(NodeId::from(42usize), n);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(NodeId::new(7).to_string(), "n7");
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the graph substrate.
+
+use mbqc_graph::{algo, generate, DiGraph, Graph, NodeId};
+use mbqc_util::Rng;
+use proptest::prelude::*;
+
+/// Builds a random graph from a seed and an edge density in [0, 100].
+fn random_graph(n: usize, density_pct: u8, seed: u64) -> Graph {
+    let mut rng = Rng::seed_from_u64(seed);
+    generate::erdos_renyi_gnp(n, f64::from(density_pct) / 100.0, &mut rng)
+}
+
+proptest! {
+    #[test]
+    fn handshake_lemma(n in 1usize..40, d in 0u8..=100, seed in 0u64..1000) {
+        let g = random_graph(n, d, seed);
+        let degree_sum: usize = g.nodes().map(|u| g.degree(u)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.edge_count());
+    }
+
+    #[test]
+    fn adjacency_is_symmetric(n in 1usize..30, d in 0u8..=100, seed in 0u64..1000) {
+        let g = random_graph(n, d, seed);
+        for u in g.nodes() {
+            for v in g.neighbors(u) {
+                prop_assert!(g.has_edge(v, u));
+                prop_assert_eq!(g.edge_weight(u, v), g.edge_weight(v, u));
+            }
+        }
+    }
+
+    #[test]
+    fn components_partition_nodes(n in 1usize..40, d in 0u8..=30, seed in 0u64..1000) {
+        let g = random_graph(n, d, seed);
+        let (comp, count) = algo::connected_components(&g);
+        prop_assert_eq!(comp.len(), n);
+        prop_assert!(comp.iter().all(|&c| c < count));
+        // Every edge stays within one component.
+        for (a, b, _) in g.edges() {
+            prop_assert_eq!(comp[a.index()], comp[b.index()]);
+        }
+        // Every component id is used.
+        for c in 0..count {
+            prop_assert!(comp.iter().any(|&x| x == c));
+        }
+    }
+
+    #[test]
+    fn bfs_distances_respect_triangle(n in 2usize..25, d in 20u8..=100, seed in 0u64..500) {
+        let g = random_graph(n, d, seed);
+        let start = NodeId::new(0);
+        let dist = algo::bfs_distances(&g, start);
+        // Edge relaxation: |d(u) - d(v)| <= 1 for every edge in the
+        // start's component.
+        for (a, b, _) in g.edges() {
+            if let (Some(da), Some(db)) = (dist[a.index()], dist[b.index()]) {
+                prop_assert!(da.abs_diff(db) <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn shortest_path_is_valid_and_minimal(n in 2usize..20, d in 30u8..=100, seed in 0u64..300) {
+        let g = random_graph(n, d, seed);
+        let a = NodeId::new(0);
+        let b = NodeId::new(n - 1);
+        let dist = algo::bfs_distances(&g, a);
+        match algo::shortest_path(&g, a, b) {
+            Some(path) => {
+                prop_assert_eq!(path[0], a);
+                prop_assert_eq!(*path.last().unwrap(), b);
+                for w in path.windows(2) {
+                    prop_assert!(g.has_edge(w[0], w[1]));
+                }
+                prop_assert_eq!(path.len() - 1, dist[b.index()].unwrap());
+            }
+            None => prop_assert!(dist[b.index()].is_none()),
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_edge_subset(n in 2usize..25, d in 0u8..=100, seed in 0u64..300, keep_pct in 0u8..=100) {
+        let g = random_graph(n, d, seed);
+        let keep: Vec<NodeId> = g
+            .nodes()
+            .filter(|u| (u.index() * 37 + seed as usize) % 100 < keep_pct as usize)
+            .collect();
+        let (sub, map) = g.induced_subgraph(&keep);
+        prop_assert_eq!(sub.node_count(), keep.len());
+        // Every subgraph edge maps back to an original edge of equal weight.
+        let back: Vec<NodeId> = keep.clone();
+        for (a, b, w) in sub.edges() {
+            let oa = back[a.index()];
+            let ob = back[b.index()];
+            prop_assert_eq!(g.edge_weight(oa, ob), Some(w));
+        }
+        // Every original edge with both endpoints kept appears.
+        for (a, b, w) in g.edges() {
+            if let (Some(sa), Some(sb)) = (map[a.index()], map[b.index()]) {
+                prop_assert_eq!(sub.edge_weight(sa, sb), Some(w));
+            }
+        }
+    }
+
+    #[test]
+    fn random_dag_topo_sort_valid(n in 1usize..40, extra in 0usize..80, seed in 0u64..500) {
+        // Random DAG: edges only from lower to higher index.
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut d = DiGraph::with_nodes(n);
+        for _ in 0..extra {
+            let i = rng.range(n);
+            let j = rng.range(n);
+            if i < j {
+                d.add_edge(NodeId::new(i), NodeId::new(j));
+            }
+        }
+        let order = d.topological_sort().expect("forward-edge DAG is acyclic");
+        let mut pos = vec![0usize; n];
+        for (i, u) in order.iter().enumerate() {
+            pos[u.index()] = i;
+        }
+        for (u, v) in d.edges() {
+            prop_assert!(pos[u.index()] < pos[v.index()]);
+        }
+        // Longest path length is consistent with depths.
+        let depths = d.depths();
+        prop_assert_eq!(d.longest_path_len(), depths.iter().copied().max().unwrap_or(0));
+    }
+}

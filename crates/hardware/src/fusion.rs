@@ -1,0 +1,307 @@
+//! Fusion as a graph transformation, and routing chains.
+//!
+//! Figure 4(b) of the paper: "a fusion operation consumes one photon from
+//! each of two resource states, entangling the neighbors of the original
+//! photons". On graph states this is the Bell-measurement rule: remove
+//! the two fused photons and connect their neighbor sets pairwise (with
+//! CZ-toggle semantics — a doubled edge cancels). Figure 4(c): a *routing
+//! chain* of fusions entangles two distant photons.
+
+use mbqc_graph::{Graph, NodeId};
+
+use crate::ResourceStateKind;
+
+/// Disjoint union of two graphs; nodes of `b` are shifted by
+/// `a.node_count()`. Returns the union and the offset.
+#[must_use]
+pub fn union(a: &Graph, b: &Graph) -> (Graph, usize) {
+    let offset = a.node_count();
+    let mut g = Graph::new();
+    for n in a.nodes() {
+        g.add_node_weighted(a.node_weight(n));
+    }
+    for n in b.nodes() {
+        g.add_node_weighted(b.node_weight(n));
+    }
+    for (u, v, w) in a.edges() {
+        g.add_edge_weighted(u, v, w);
+    }
+    for (u, v, w) in b.edges() {
+        g.add_edge_weighted(
+            NodeId::new(u.index() + offset),
+            NodeId::new(v.index() + offset),
+            w,
+        );
+    }
+    (g, offset)
+}
+
+/// Fuses photons `u` and `v` within one graph state: both are consumed
+/// and every pair `(a, b) ∈ N(u)\{v} × N(v)\{u}` has its edge toggled
+/// (CZ is self-inverse on graph states).
+///
+/// Returns the resulting graph plus the mapping `old → Option<new>`
+/// (`None` for the consumed photons).
+///
+/// # Panics
+///
+/// Panics if `u == v` or either node is out of bounds.
+#[must_use]
+pub fn fuse(g: &Graph, u: NodeId, v: NodeId) -> (Graph, Vec<Option<NodeId>>) {
+    assert_ne!(u, v, "cannot fuse a photon with itself");
+    let nu: Vec<NodeId> = g.neighbors(u).filter(|&w| w != v).collect();
+    let nv: Vec<NodeId> = g.neighbors(v).filter(|&w| w != u).collect();
+    // Work on a copy with u, v still present, toggle the bipartite edges,
+    // then drop u and v via an induced subgraph.
+    let mut work = g.clone();
+    for &a in &nu {
+        for &b in &nv {
+            if a == b {
+                continue; // self-loop from a shared neighbor: no edge
+            }
+            if work.has_edge(a, b) {
+                work.remove_edge(a, b);
+            } else {
+                work.add_edge(a, b);
+            }
+        }
+    }
+    let keep: Vec<NodeId> = work.nodes().filter(|&n| n != u && n != v).collect();
+    work.induced_subgraph(&keep)
+}
+
+/// Result of building a routing chain (Figure 4(c)).
+#[derive(Debug, Clone)]
+pub struct RoutingChain {
+    /// Graph after all fusions.
+    pub graph: Graph,
+    /// The two endpoint photons that should now be entangled.
+    pub endpoints: (NodeId, NodeId),
+    /// Number of fusions performed.
+    pub fusions: usize,
+    /// Number of resource states consumed (excluding the two endpoint
+    /// states).
+    pub states_used: usize,
+}
+
+/// Builds a routing chain: two endpoint photons `u`, `v` (each the free
+/// photon of a 2-photon "pigtail") bridged by `hops` intermediate
+/// resource states of the given kind, then performs all fusions.
+///
+/// After routing, the two endpoints must share exactly one entanglement
+/// edge — the invariant tested below and relied on by the compiler's
+/// router.
+///
+/// # Panics
+///
+/// Panics if the kind has fewer than 2 photons.
+#[must_use]
+pub fn routing_chain(kind: ResourceStateKind, hops: usize) -> RoutingChain {
+    // Endpoints: two 2-photon states (a computational photon with one
+    // fusion arm each).
+    let mut g = Graph::with_nodes(2);
+    let end_a = NodeId::new(0);
+    let mut arm_a = NodeId::new(1);
+    g.add_edge(end_a, arm_a);
+    let mut fusions = 0;
+
+    // Chain the intermediate states: fuse the previous arm with one
+    // photon of the next state; continue from another photon of it.
+    for _ in 0..hops {
+        let rs = kind.graph();
+        let (merged, offset) = union(&g, &rs);
+        // Entry photon: node 0 of the resource state; exit: a neighbor
+        // of the entry for rings, a distinct leaf for stars. Using
+        // adjacent entry/exit keeps the chain's post-fusion reduction to
+        // a single edge.
+        let entry = NodeId::new(offset);
+        let exit = match kind {
+            ResourceStateKind::Ring(_) => NodeId::new(offset + 1),
+            ResourceStateKind::Star(_) => NodeId::new(offset + 1), // a leaf; entry is center
+        };
+        let (after, map) = fuse(&merged, arm_a, entry);
+        fusions += 1;
+        // Prune leftover photons of the state (anything not on the path):
+        // Z-measure them out = just drop isolated/unused photons from the
+        // model's perspective. We keep them; they do not affect the
+        // endpoint edge. Track the new arm.
+        arm_a = map[exit.index()].expect("exit photon survives the fusion");
+        g = after;
+        // Re-locate endpoint A (indices shift under induced_subgraph).
+        // end_a is node 0 and always kept first because `keep` preserves
+        // node order and node 0 is never fused.
+    }
+
+    // Final target: a 2-photon pigtail for endpoint B.
+    let mut tail = Graph::with_nodes(2);
+    tail.add_edge(NodeId::new(0), NodeId::new(1));
+    let (merged, offset) = union(&g, &tail);
+    let end_b = NodeId::new(offset);
+    let arm_b = NodeId::new(offset + 1);
+    let (after, map) = fuse(&merged, arm_a, arm_b);
+    fusions += 1;
+    let end_b = map[end_b.index()].expect("endpoint B survives");
+
+    RoutingChain {
+        graph: after,
+        endpoints: (end_a, end_b),
+        fusions,
+        states_used: hops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbqc_sim::stabilizer::{PauliString, Tableau};
+
+    #[test]
+    fn union_shifts_indices() {
+        let mut a = Graph::with_nodes(2);
+        a.add_edge(NodeId::new(0), NodeId::new(1));
+        let mut b = Graph::with_nodes(3);
+        b.add_edge(NodeId::new(0), NodeId::new(2));
+        let (u, off) = union(&a, &b);
+        assert_eq!(off, 2);
+        assert_eq!(u.node_count(), 5);
+        assert_eq!(u.edge_count(), 2);
+        assert!(u.has_edge(NodeId::new(2), NodeId::new(4)));
+    }
+
+    #[test]
+    fn fuse_two_pigtails_entangles_endpoints() {
+        // a—u  fused with  v—b  ⇒  a—b (Figure 4(b) base case).
+        let mut g = Graph::with_nodes(4);
+        let (a, u, v, b) = (NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(3));
+        g.add_edge(a, u);
+        g.add_edge(v, b);
+        let (fused, map) = fuse(&g, u, v);
+        assert_eq!(fused.node_count(), 2);
+        assert_eq!(fused.edge_count(), 1);
+        let na = map[a.index()].unwrap();
+        let nb = map[b.index()].unwrap();
+        assert!(fused.has_edge(na, nb));
+        assert!(map[u.index()].is_none());
+        assert!(map[v.index()].is_none());
+    }
+
+    #[test]
+    fn fuse_star_centers_joins_leaves() {
+        // Fusing the free leaf of one 3-star with a leaf of another
+        // bipartitely joins their neighbor sets.
+        let s1 = mbqc_graph::generate::star_graph(3); // center 0, leaves 1,2
+        let s2 = mbqc_graph::generate::star_graph(3);
+        let (g, off) = union(&s1, &s2);
+        let (fused, map) = fuse(&g, NodeId::new(1), NodeId::new(off + 1));
+        // Leaf 1's neighbor = center 0; other leaf's neighbor = center off.
+        let c1 = map[0].unwrap();
+        let c2 = map[off].unwrap();
+        assert!(fused.has_edge(c1, c2));
+    }
+
+    #[test]
+    fn fuse_toggles_existing_edge() {
+        // If the neighbors were already entangled, fusion's CZ toggles
+        // the edge away.
+        let mut g = Graph::with_nodes(4);
+        let (a, u, v, b) = (NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(3));
+        g.add_edge(a, u);
+        g.add_edge(v, b);
+        g.add_edge(a, b); // pre-existing edge
+        let (fused, map) = fuse(&g, u, v);
+        let na = map[a.index()].unwrap();
+        let nb = map[b.index()].unwrap();
+        assert!(!fused.has_edge(na, nb), "edge must toggle off");
+    }
+
+    #[test]
+    fn fuse_shared_neighbor_no_self_loop() {
+        // u and v share neighbor a: no self-loop may appear.
+        let mut g = Graph::with_nodes(3);
+        let (a, u, v) = (NodeId::new(0), NodeId::new(1), NodeId::new(2));
+        g.add_edge(a, u);
+        g.add_edge(a, v);
+        let (fused, map) = fuse(&g, u, v);
+        assert_eq!(fused.node_count(), 1);
+        assert_eq!(fused.edge_count(), 0);
+        assert!(map[a.index()].is_some());
+    }
+
+    #[test]
+    fn routing_chain_connects_endpoints_all_kinds() {
+        for kind in ResourceStateKind::paper_kinds() {
+            for hops in 0..3 {
+                let chain = routing_chain(kind, hops);
+                let (a, b) = chain.endpoints;
+                assert!(
+                    chain.graph.has_edge(a, b),
+                    "{kind} with {hops} hops failed to entangle endpoints"
+                );
+                assert_eq!(chain.fusions, hops + 1);
+            }
+        }
+    }
+
+    /// Physical validation: the graph-transformation rule for fusion
+    /// agrees with an explicit Bell measurement on the stabilizer
+    /// tableau. Entanglement swapping leaves (a, b) in a Bell pair —
+    /// stabilized by ±X_aX_b and ±Z_aZ_b with outcome-dependent signs —
+    /// which is the a—b graph-state edge up to the local Hadamard that
+    /// fusion-network bookkeeping absorbs (Bartolucci et al.).
+    #[test]
+    fn fusion_rule_matches_bell_measurement_on_tableau() {
+        // Build a—u v—b as one 4-qubit graph state; Bell-measure (u, v)
+        // by measuring X_u X_v and Z_u Z_v; the remaining pair (a, b)
+        // must be stabilized by the fused graph's stabilizers up to sign.
+        let mut g = Graph::with_nodes(4);
+        let (a, u, v, b) = (NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(3));
+        g.add_edge(a, u);
+        g.add_edge(v, b);
+        let mut rng = mbqc_util::Rng::seed_from_u64(7);
+
+        for _ in 0..10 {
+            let mut t = Tableau::graph_state(&g);
+            // Measure X_u X_v: rotate u with H so X_u → Z_u, then use a
+            // CNOT to map Z_u Z_v-style parity onto one qubit... simpler:
+            // measure via ancilla-free trick — conjugate so the joint
+            // operator becomes single-qubit. H on both maps X X → Z Z;
+            // CNOT(u→v) maps Z_u Z_v → Z_v? CNOT(c=u,t=v): Z_v → Z_u Z_v,
+            // so measuring Z_v after CNOT measures Z_u Z_v before it.
+            // (1) measure Z_u Z_v:
+            t.cnot(u.index(), v.index());
+            let _zz = t.measure_z(v.index(), &mut rng);
+            t.cnot(u.index(), v.index());
+            // (2) measure X_u X_v: H-conjugate to Z Z, same trick.
+            t.h(u.index());
+            t.h(v.index());
+            t.cnot(u.index(), v.index());
+            let _xx = t.measure_z(v.index(), &mut rng);
+            t.cnot(u.index(), v.index());
+            t.h(u.index());
+            t.h(v.index());
+
+            // Expected: (a, b) in a Bell pair — ±X_aX_b and ±Z_aZ_b in
+            // the stabilizer group.
+            let xx = PauliString::single_x(4, a.index())
+                .mul(&PauliString::single_x(4, b.index()));
+            let zz = PauliString::single_z(4, a.index())
+                .mul(&PauliString::single_z(4, b.index()));
+            for (k, flip_with_z) in [(xx, true), (zz, false)] {
+                let plus_ok = t.is_stabilized_by(&k);
+                // −K is in the group iff +K stabilizes the state after a
+                // sign-flipping local Pauli (Z flips X-type, X flips
+                // Z-type).
+                let minus_ok = {
+                    let mut t2 = t.clone();
+                    if flip_with_z {
+                        t2.z_gate(a.index());
+                    } else {
+                        t2.x_gate(a.index());
+                    }
+                    t2.is_stabilized_by(&k)
+                };
+                assert!(plus_ok || minus_ok, "{k:?} not in group up to sign");
+            }
+        }
+    }
+}

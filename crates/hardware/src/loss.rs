@@ -1,0 +1,234 @@
+//! Fiber-delay-line photon-loss model (Figure 1 of the paper).
+//!
+//! Photons waiting in a delay line travel at `2/3·c` through optical
+//! fiber with a state-of-the-art attenuation of `0.2 dB/km`. A photon
+//! stored for `k` clock cycles at `t` ns/cycle travels
+//! `L = k · t · (2/3)c` and survives with probability
+//! `10^{−0.2·L_km/10}`. This reproduces the paper's quoted loss numbers
+//! at 5000 cycles: ≈5 % (1 ns/cycle) and 36.9 % (10 ns/cycle); at
+//! 100 ns/cycle the dB model gives 99.0 % (the paper rounds to 99.9 %).
+
+/// Fiber attenuation in dB per kilometer (state of the art, Figure 1).
+pub const ATTENUATION_DB_PER_KM: f64 = 0.2;
+
+/// Speed of light in vacuum (m/s).
+pub const SPEED_OF_LIGHT_M_PER_S: f64 = 299_792_458.0;
+
+/// Fraction of `c` at which photons propagate in fiber.
+pub const FIBER_SPEED_FRACTION: f64 = 2.0 / 3.0;
+
+/// The three resource-state-generation clock rates studied in Figure 1,
+/// in nanoseconds per cycle.
+pub const FIGURE1_CLOCK_RATES_NS: [f64; 3] = [100.0, 10.0, 1.0];
+
+/// Distance (km) traveled during `cycles` clock cycles at `ns_per_cycle`.
+#[must_use]
+pub fn storage_distance_km(cycles: usize, ns_per_cycle: f64) -> f64 {
+    let seconds = cycles as f64 * ns_per_cycle * 1e-9;
+    seconds * FIBER_SPEED_FRACTION * SPEED_OF_LIGHT_M_PER_S / 1000.0
+}
+
+/// Survival probability of a photon stored for `cycles` cycles.
+#[must_use]
+pub fn survival_probability(cycles: usize, ns_per_cycle: f64) -> f64 {
+    let km = storage_distance_km(cycles, ns_per_cycle);
+    10f64.powf(-ATTENUATION_DB_PER_KM * km / 10.0)
+}
+
+/// Loss probability `1 − survival` of a photon stored for `cycles`
+/// cycles at `ns_per_cycle`.
+///
+/// # Examples
+///
+/// ```
+/// use mbqc_hardware::loss::loss_probability;
+///
+/// // Figure 1: 36.9% at 5000 cycles × 10 ns/cycle.
+/// assert!((loss_probability(5000, 10.0) - 0.369).abs() < 0.001);
+/// ```
+#[must_use]
+pub fn loss_probability(cycles: usize, ns_per_cycle: f64) -> f64 {
+    1.0 - survival_probability(cycles, ns_per_cycle)
+}
+
+/// Maximum number of storage cycles keeping loss below `max_loss`
+/// (the delay-line budget the compiler must respect).
+///
+/// # Panics
+///
+/// Panics if `max_loss` is outside `(0, 1)` or `ns_per_cycle ≤ 0`.
+#[must_use]
+pub fn max_cycles_for_loss(max_loss: f64, ns_per_cycle: f64) -> usize {
+    assert!((0.0..1.0).contains(&max_loss) && max_loss > 0.0, "loss must be in (0,1)");
+    assert!(ns_per_cycle > 0.0, "cycle time must be positive");
+    // Invert: loss = 1 − 10^{−αL/10}, L = k·t·v.
+    let km_per_cycle = storage_distance_km(1, ns_per_cycle);
+    let km = -10.0 * (1.0 - max_loss).log10() / ATTENUATION_DB_PER_KM;
+    (km / km_per_cycle).floor() as usize
+}
+
+/// One point of a Figure 1 series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossPoint {
+    /// Storage duration in system clock cycles.
+    pub cycles: usize,
+    /// Photon loss probability.
+    pub loss: f64,
+}
+
+/// Generates the Figure 1 curve for one clock rate: loss probability at
+/// `samples` evenly spaced storage durations up to `max_cycles`.
+#[must_use]
+pub fn figure1_series(ns_per_cycle: f64, max_cycles: usize, samples: usize) -> Vec<LossPoint> {
+    (1..=samples)
+        .map(|i| {
+            let cycles = max_cycles * i / samples;
+            LossPoint {
+                cycles,
+                loss: loss_probability(cycles, ns_per_cycle),
+            }
+        })
+        .collect()
+}
+
+/// The experimentally demonstrated fusion failure rate the paper uses as
+/// a reference line in Figure 1 (Guo et al. 2024, boosted fusion).
+pub const FUSION_FAILURE_RATE: f64 = 0.29;
+
+/// A fiber delay line calibrated to a maximum storage budget.
+///
+/// # Examples
+///
+/// ```
+/// use mbqc_hardware::loss::DelayLine;
+///
+/// // OneQ's assumption: ~5% loss budget at 1 ns/cycle ⇒ ≈5000 cycles.
+/// let line = DelayLine::for_loss_budget(0.05, 1.0);
+/// assert!((4500..6000).contains(&line.max_cycles()));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayLine {
+    max_cycles: usize,
+    ns_per_cycle: f64,
+}
+
+impl DelayLine {
+    /// A delay line with an explicit cycle budget.
+    #[must_use]
+    pub fn new(max_cycles: usize, ns_per_cycle: f64) -> Self {
+        Self {
+            max_cycles,
+            ns_per_cycle,
+        }
+    }
+
+    /// A delay line sized so that storage up to the budget keeps loss
+    /// below `max_loss`.
+    #[must_use]
+    pub fn for_loss_budget(max_loss: f64, ns_per_cycle: f64) -> Self {
+        Self {
+            max_cycles: max_cycles_for_loss(max_loss, ns_per_cycle),
+            ns_per_cycle,
+        }
+    }
+
+    /// Maximum number of cycles a photon may be stored.
+    #[must_use]
+    pub fn max_cycles(&self) -> usize {
+        self.max_cycles
+    }
+
+    /// Loss probability after storing for `cycles` (not capped).
+    #[must_use]
+    pub fn loss_after(&self, cycles: usize) -> f64 {
+        loss_probability(cycles, self.ns_per_cycle)
+    }
+
+    /// Whether a required photon lifetime fits this delay line.
+    #[must_use]
+    pub fn supports_lifetime(&self, required_cycles: usize) -> bool {
+        required_cycles <= self.max_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_headline_numbers() {
+        // 5000 cycles: ~4.5% at 1 ns, 36.9% at 10 ns, ~99% at 100 ns.
+        assert!((loss_probability(5000, 1.0) - 0.045).abs() < 0.003);
+        assert!((loss_probability(5000, 10.0) - 0.369).abs() < 0.001);
+        assert!((loss_probability(5000, 100.0) - 0.99).abs() < 0.005);
+    }
+
+    #[test]
+    fn distance_math() {
+        // 5000 cycles at 10 ns = 50 µs at 2e8 m/s ≈ 10 km.
+        let km = storage_distance_km(5000, 10.0);
+        assert!((km - 9.993).abs() < 0.01, "{km}");
+    }
+
+    #[test]
+    fn loss_is_monotone_in_cycles_and_rate() {
+        let mut prev = -1.0;
+        for c in [0, 100, 1000, 5000, 50_000] {
+            let p = loss_probability(c, 10.0);
+            assert!(p >= prev);
+            prev = p;
+        }
+        assert!(loss_probability(1000, 1.0) < loss_probability(1000, 10.0));
+        assert!(loss_probability(1000, 10.0) < loss_probability(1000, 100.0));
+    }
+
+    #[test]
+    fn zero_storage_no_loss() {
+        assert_eq!(loss_probability(0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn max_cycles_inverts_loss() {
+        for rate in FIGURE1_CLOCK_RATES_NS {
+            for budget in [0.01, 0.05, 0.29, 0.5] {
+                let k = max_cycles_for_loss(budget, rate);
+                assert!(loss_probability(k, rate) <= budget + 1e-9);
+                assert!(loss_probability(k + 2, rate) > budget);
+            }
+        }
+    }
+
+    #[test]
+    fn oneq_5000_cycle_budget() {
+        // Previous literature: ~5000 cycles at ~5% loss (1 ns/cycle).
+        let k = max_cycles_for_loss(0.05, 1.0);
+        assert!((4500..6000).contains(&k), "{k}");
+    }
+
+    #[test]
+    fn figure1_series_shape() {
+        let series = figure1_series(10.0, 5000, 50);
+        assert_eq!(series.len(), 50);
+        assert!(series.windows(2).all(|w| w[0].loss <= w[1].loss));
+        let last = series.last().unwrap();
+        assert_eq!(last.cycles, 5000);
+        assert!((last.loss - 0.369).abs() < 0.001);
+        // The 10 ns curve crosses the fusion-failure reference within
+        // the plotted range (the paper's headline observation).
+        assert!(series.iter().any(|p| p.loss > FUSION_FAILURE_RATE));
+    }
+
+    #[test]
+    fn delay_line_budget() {
+        let line = DelayLine::for_loss_budget(0.05, 1.0);
+        assert!(line.supports_lifetime(1000));
+        assert!(!line.supports_lifetime(line.max_cycles() + 1));
+        assert!(line.loss_after(line.max_cycles()) <= 0.05 + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be in (0,1)")]
+    fn bad_budget_panics() {
+        let _ = max_cycles_for_loss(1.5, 1.0);
+    }
+}

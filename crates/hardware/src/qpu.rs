@@ -1,0 +1,274 @@
+//! QPU and interconnect models for distributed MBQC.
+
+use crate::ResourceStateKind;
+
+/// Inter-QPU connectivity.
+///
+/// The paper evaluates fully-connected QPUs; linear and ring topologies
+/// are provided for ablation studies (a cut edge between unconnected
+/// QPUs must relay through intermediate QPUs, multiplying its
+/// communication cost by the hop distance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InterconnectTopology {
+    /// Every pair of QPUs shares a direct optical link (the paper's
+    /// setting).
+    FullyConnected,
+    /// QPUs in a line: `i` links to `i ± 1`.
+    Line,
+    /// QPUs in a ring: `i` links to `(i ± 1) mod n`.
+    Ring,
+}
+
+impl InterconnectTopology {
+    /// Number of optical-link hops between QPUs `a` and `b` among `n`
+    /// QPUs (0 when `a == b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is not below `n`.
+    #[must_use]
+    pub fn hop_distance(self, n: usize, a: usize, b: usize) -> usize {
+        assert!(a < n && b < n, "QPU index out of range");
+        if a == b {
+            return 0;
+        }
+        match self {
+            InterconnectTopology::FullyConnected => 1,
+            InterconnectTopology::Line => a.abs_diff(b),
+            InterconnectTopology::Ring => {
+                let d = a.abs_diff(b);
+                d.min(n - d)
+            }
+        }
+    }
+
+    /// Whether `a` and `b` share a direct link.
+    #[must_use]
+    pub fn are_adjacent(self, n: usize, a: usize, b: usize) -> bool {
+        a != b && self.hop_distance(n, a, b) == 1
+    }
+}
+
+/// Hardware configuration for a distributed photonic MBQC system:
+/// `num_qpus` identical QPUs, each with a `grid_width × grid_width` RSG
+/// array producing one resource state per site per cycle, a per-layer
+/// connection capacity `K_max`, and an interconnect topology.
+///
+/// # Examples
+///
+/// ```
+/// use mbqc_hardware::{DistributedHardware, ResourceStateKind};
+///
+/// // The paper's 8-QPU setting with 4-ring RSGs for a 16-qubit program.
+/// let hw = DistributedHardware::builder()
+///     .num_qpus(8)
+///     .grid_width(7)
+///     .resource_state(ResourceStateKind::FOUR_RING)
+///     .kmax(4)
+///     .build();
+/// assert_eq!(hw.sites_per_layer(), 49);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistributedHardware {
+    num_qpus: usize,
+    grid_width: usize,
+    resource_state: ResourceStateKind,
+    kmax: usize,
+    topology: InterconnectTopology,
+}
+
+impl DistributedHardware {
+    /// Starts a builder with the paper's defaults: 4 QPUs, 5-star RSGs,
+    /// `K_max = 4`, fully connected, grid width 7.
+    #[must_use]
+    pub fn builder() -> DistributedHardwareBuilder {
+        DistributedHardwareBuilder::default()
+    }
+
+    /// Number of QPUs.
+    #[must_use]
+    pub fn num_qpus(&self) -> usize {
+        self.num_qpus
+    }
+
+    /// Side length of each QPU's RSG grid.
+    #[must_use]
+    pub fn grid_width(&self) -> usize {
+        self.grid_width
+    }
+
+    /// Resource-state kind produced by every RSG.
+    #[must_use]
+    pub fn resource_state(&self) -> ResourceStateKind {
+        self.resource_state
+    }
+
+    /// Connection capacity: concurrent inter-QPU connections one
+    /// connection layer supports (Section IV of the paper).
+    #[must_use]
+    pub fn kmax(&self) -> usize {
+        self.kmax
+    }
+
+    /// Interconnect topology.
+    #[must_use]
+    pub fn topology(&self) -> InterconnectTopology {
+        self.topology
+    }
+
+    /// Resource states produced per layer per QPU.
+    #[must_use]
+    pub fn sites_per_layer(&self) -> usize {
+        self.grid_width * self.grid_width
+    }
+
+    /// A single-QPU view of the same hardware (for baseline compilation).
+    #[must_use]
+    pub fn single_qpu(&self) -> DistributedHardware {
+        DistributedHardware {
+            num_qpus: 1,
+            ..*self
+        }
+    }
+}
+
+/// Builder for [`DistributedHardware`].
+#[derive(Debug, Clone, Copy)]
+pub struct DistributedHardwareBuilder {
+    num_qpus: usize,
+    grid_width: usize,
+    resource_state: ResourceStateKind,
+    kmax: usize,
+    topology: InterconnectTopology,
+}
+
+impl Default for DistributedHardwareBuilder {
+    fn default() -> Self {
+        Self {
+            num_qpus: 4,
+            grid_width: 7,
+            resource_state: ResourceStateKind::FIVE_STAR,
+            kmax: 4,
+            topology: InterconnectTopology::FullyConnected,
+        }
+    }
+}
+
+impl DistributedHardwareBuilder {
+    /// Sets the number of QPUs (≥ 1).
+    #[must_use]
+    pub fn num_qpus(mut self, n: usize) -> Self {
+        self.num_qpus = n;
+        self
+    }
+
+    /// Sets the RSG grid side length (≥ 1).
+    #[must_use]
+    pub fn grid_width(mut self, w: usize) -> Self {
+        self.grid_width = w;
+        self
+    }
+
+    /// Sets the resource-state kind.
+    #[must_use]
+    pub fn resource_state(mut self, kind: ResourceStateKind) -> Self {
+        self.resource_state = kind;
+        self
+    }
+
+    /// Sets the connection capacity `K_max` (≥ 1).
+    #[must_use]
+    pub fn kmax(mut self, kmax: usize) -> Self {
+        self.kmax = kmax;
+        self
+    }
+
+    /// Sets the interconnect topology.
+    #[must_use]
+    pub fn topology(mut self, topology: InterconnectTopology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Builds the hardware description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero.
+    #[must_use]
+    pub fn build(self) -> DistributedHardware {
+        assert!(self.num_qpus >= 1, "need at least one QPU");
+        assert!(self.grid_width >= 1, "grid width must be positive");
+        assert!(self.kmax >= 1, "K_max must be positive");
+        DistributedHardware {
+            num_qpus: self.num_qpus,
+            grid_width: self.grid_width,
+            resource_state: self.resource_state,
+            kmax: self.kmax,
+            topology: self.topology,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_match_paper() {
+        let hw = DistributedHardware::builder().build();
+        assert_eq!(hw.num_qpus(), 4);
+        assert_eq!(hw.kmax(), 4);
+        assert_eq!(hw.resource_state(), ResourceStateKind::FIVE_STAR);
+        assert_eq!(hw.topology(), InterconnectTopology::FullyConnected);
+    }
+
+    #[test]
+    fn sites_per_layer() {
+        let hw = DistributedHardware::builder().grid_width(11).build();
+        assert_eq!(hw.sites_per_layer(), 121);
+    }
+
+    #[test]
+    fn single_qpu_view() {
+        let hw = DistributedHardware::builder().num_qpus(8).build();
+        let solo = hw.single_qpu();
+        assert_eq!(solo.num_qpus(), 1);
+        assert_eq!(solo.grid_width(), hw.grid_width());
+    }
+
+    #[test]
+    fn fully_connected_distances() {
+        let t = InterconnectTopology::FullyConnected;
+        assert_eq!(t.hop_distance(8, 0, 0), 0);
+        assert_eq!(t.hop_distance(8, 0, 7), 1);
+        assert!(t.are_adjacent(8, 2, 5));
+        assert!(!t.are_adjacent(8, 3, 3));
+    }
+
+    #[test]
+    fn line_and_ring_distances() {
+        let line = InterconnectTopology::Line;
+        assert_eq!(line.hop_distance(8, 0, 7), 7);
+        assert_eq!(line.hop_distance(8, 3, 5), 2);
+        assert!(line.are_adjacent(8, 3, 4));
+        assert!(!line.are_adjacent(8, 3, 5));
+
+        let ring = InterconnectTopology::Ring;
+        assert_eq!(ring.hop_distance(8, 0, 7), 1);
+        assert_eq!(ring.hop_distance(8, 1, 5), 4);
+        assert!(ring.are_adjacent(8, 0, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn hop_distance_oob_panics() {
+        let _ = InterconnectTopology::Line.hop_distance(4, 0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "K_max must be positive")]
+    fn zero_kmax_panics() {
+        let _ = DistributedHardware::builder().kmax(0).build();
+    }
+}

@@ -1,0 +1,162 @@
+//! Resource states produced by resource-state generators (RSGs).
+//!
+//! Photonic MBQC builds its large graph state by fusing many small,
+//! standardized resource states (Figure 4(a) of the paper): rings and
+//! stars of a few photons. The choice of resource state affects how many
+//! fusions a computational node can host and how many routing
+//! pass-throughs a state can serve — Section V-B observes that a 6-ring
+//! can route *twice* (removing a diagonal pair leaves two 2-photon
+//! states) while every other kind routes once.
+
+use mbqc_graph::{generate, Graph};
+
+/// A resource-state shape.
+///
+/// # Examples
+///
+/// ```
+/// use mbqc_hardware::ResourceStateKind;
+///
+/// let k = ResourceStateKind::FIVE_STAR;
+/// assert_eq!(k.photons(), 5);
+/// assert_eq!(k.degree_capacity(), 4);
+/// assert_eq!(k.routing_capacity(), 1);
+/// assert_eq!(ResourceStateKind::SIX_RING.routing_capacity(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceStateKind {
+    /// A ring (cycle) of `n ≥ 3` photons.
+    Ring(usize),
+    /// A star of `n ≥ 2` photons: one center + `n − 1` leaves.
+    Star(usize),
+}
+
+impl ResourceStateKind {
+    /// The paper's 4-ring.
+    pub const FOUR_RING: ResourceStateKind = ResourceStateKind::Ring(4);
+    /// The paper's 5-star.
+    pub const FIVE_STAR: ResourceStateKind = ResourceStateKind::Star(5);
+    /// The paper's 6-ring.
+    pub const SIX_RING: ResourceStateKind = ResourceStateKind::Ring(6);
+    /// The paper's 7-star.
+    pub const SEVEN_STAR: ResourceStateKind = ResourceStateKind::Star(7);
+
+    /// The four kinds evaluated in Figure 7 of the paper.
+    #[must_use]
+    pub fn paper_kinds() -> [ResourceStateKind; 4] {
+        [
+            Self::FOUR_RING,
+            Self::FIVE_STAR,
+            Self::SIX_RING,
+            Self::SEVEN_STAR,
+        ]
+    }
+
+    /// Total photons in one resource state.
+    #[must_use]
+    pub fn photons(self) -> usize {
+        match self {
+            ResourceStateKind::Ring(n) | ResourceStateKind::Star(n) => n,
+        }
+    }
+
+    /// Maximum number of fusions a state hosting a *computational*
+    /// photon can support: every photon except the computational one can
+    /// be consumed by a fusion.
+    #[must_use]
+    pub fn degree_capacity(self) -> usize {
+        self.photons() - 1
+    }
+
+    /// Number of independent routing pass-throughs a state can serve
+    /// when used purely for routing. A pass-through consumes two photons
+    /// and bridges two fusion chains; the 6-ring's topology yields two
+    /// usable 2-photon bridges (Section V-B), other kinds yield one.
+    #[must_use]
+    pub fn routing_capacity(self) -> usize {
+        if self == Self::SIX_RING {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// The graph of this resource state (ring or star).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the size is below the shape's minimum (3 for rings, 2
+    /// for stars).
+    #[must_use]
+    pub fn graph(self) -> Graph {
+        match self {
+            ResourceStateKind::Ring(n) => generate::cycle_graph(n),
+            ResourceStateKind::Star(n) => generate::star_graph(n),
+        }
+    }
+
+    /// Display name in the paper's notation (`4-ring`, `5-star`, …).
+    #[must_use]
+    pub fn name(self) -> String {
+        match self {
+            ResourceStateKind::Ring(n) => format!("{n}-ring"),
+            ResourceStateKind::Star(n) => format!("{n}-star"),
+        }
+    }
+}
+
+impl std::fmt::Display for ResourceStateKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_kinds_photon_counts() {
+        let photons: Vec<usize> = ResourceStateKind::paper_kinds()
+            .iter()
+            .map(|k| k.photons())
+            .collect();
+        assert_eq!(photons, vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn degree_capacities() {
+        assert_eq!(ResourceStateKind::FOUR_RING.degree_capacity(), 3);
+        assert_eq!(ResourceStateKind::FIVE_STAR.degree_capacity(), 4);
+        assert_eq!(ResourceStateKind::SIX_RING.degree_capacity(), 5);
+        assert_eq!(ResourceStateKind::SEVEN_STAR.degree_capacity(), 6);
+    }
+
+    #[test]
+    fn only_six_ring_routes_twice() {
+        for k in ResourceStateKind::paper_kinds() {
+            let expect = if k == ResourceStateKind::SIX_RING { 2 } else { 1 };
+            assert_eq!(k.routing_capacity(), expect, "{k}");
+        }
+    }
+
+    #[test]
+    fn graphs_have_right_shape() {
+        let ring = ResourceStateKind::FOUR_RING.graph();
+        assert_eq!(ring.node_count(), 4);
+        assert_eq!(ring.edge_count(), 4);
+        assert!(ring.nodes().all(|n| ring.degree(n) == 2));
+
+        let star = ResourceStateKind::FIVE_STAR.graph();
+        assert_eq!(star.node_count(), 5);
+        assert_eq!(star.edge_count(), 4);
+        let max_deg = star.nodes().map(|n| star.degree(n)).max().unwrap();
+        assert_eq!(max_deg, 4);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(ResourceStateKind::FOUR_RING.to_string(), "4-ring");
+        assert_eq!(ResourceStateKind::SEVEN_STAR.to_string(), "7-star");
+    }
+}

@@ -1,0 +1,275 @@
+//! Algorithm 2: adaptive graph partitioning.
+//!
+//! The paper's partitioner navigates the balance–modularity trade-off:
+//! it starts from a perfectly balanced k-way partition (`α = 1`) and
+//! iteratively relaxes the balance constraint by a multiplicative step
+//! `γ`, accepting a new partition only while modularity keeps improving
+//! by more than `ε_Q`, and stopping at stagnation or at the maximum
+//! imbalance `α_max`.
+
+use mbqc_graph::Graph;
+
+use crate::kway::{multilevel_kway, KwayConfig};
+use crate::modularity::modularity;
+use crate::Partition;
+
+/// Parameters of Algorithm 2. Paper defaults: `ε_Q = 0.01`, `γ = 1.02`,
+/// `α_max = 1.5`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Number of parts (QPUs).
+    pub k: usize,
+    /// Modularity improvement threshold `ε_Q`.
+    pub epsilon_q: f64,
+    /// Balance relaxation step `γ > 1`.
+    pub gamma: f64,
+    /// Maximum imbalance factor `α_max`.
+    pub alpha_max: f64,
+    /// RNG seed forwarded to the k-way partitioner.
+    pub seed: u64,
+    /// Safety cap on probe iterations (the paper's loop has no explicit
+    /// cap; a deterministic partitioner can oscillate between two α
+    /// values, so we bound the search).
+    pub max_iters: usize,
+}
+
+impl AdaptiveConfig {
+    /// Paper-default configuration for `k` parts.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            epsilon_q: 0.01,
+            gamma: 1.02,
+            alpha_max: 1.5,
+            seed: 42,
+            max_iters: 64,
+        }
+    }
+
+    /// Sets `α_max` (the Figure 9 sweep parameter).
+    #[must_use]
+    pub fn with_alpha_max(mut self, alpha_max: f64) -> Self {
+        self.alpha_max = alpha_max;
+        self
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// One probe of the adaptive search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveStep {
+    /// Imbalance factor probed.
+    pub alpha: f64,
+    /// Modularity achieved.
+    pub modularity: f64,
+    /// Cut weight achieved.
+    pub cut: i64,
+}
+
+/// Result of [`adaptive_partition`].
+#[derive(Debug, Clone)]
+pub struct AdaptiveResult {
+    /// The best partition found (highest modularity).
+    pub partition: Partition,
+    /// Modularity of the best partition.
+    pub modularity: f64,
+    /// Cut weight of the best partition.
+    pub cut: i64,
+    /// The α that produced the best partition.
+    pub alpha: f64,
+    /// Full probe history, in search order.
+    pub history: Vec<AdaptiveStep>,
+}
+
+/// Runs Algorithm 2 of the paper: probes partitions under a relaxing
+/// balance factor, keeping the highest-modularity one.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `γ ≤ 1`, or `α_max < 1`.
+///
+/// # Examples
+///
+/// ```
+/// use mbqc_graph::generate;
+/// use mbqc_partition::adaptive::{adaptive_partition, AdaptiveConfig};
+///
+/// let g = generate::grid_graph(8, 8);
+/// let r = adaptive_partition(&g, &AdaptiveConfig::new(4));
+/// // Parts stay within the probed bound (ceil granularity included).
+/// let bound = (r.alpha * 64.0 / 4.0).ceil() as i64;
+/// assert!(r.partition.part_weights(&g).iter().all(|&w| w <= bound));
+/// assert!(!r.history.is_empty());
+/// ```
+#[must_use]
+pub fn adaptive_partition(g: &Graph, config: &AdaptiveConfig) -> AdaptiveResult {
+    assert!(config.k >= 1, "k must be positive");
+    assert!(config.gamma > 1.0, "gamma must exceed 1");
+    assert!(config.alpha_max >= 1.0, "alpha_max must be at least 1");
+
+    let mut alpha = 1.0f64;
+    let mut best: Option<(Partition, f64, f64)> = None; // (partition, Q, alpha)
+    let mut prev_q = -1.0f64;
+    let mut history = Vec::new();
+    // The partitioner is deterministic per (α, seed): memoize probes so
+    // an oscillating α·γ / α/γ walk terminates via ΔQ = 0 instead of
+    // re-partitioning until the iteration cap.
+    let mut memo: std::collections::HashMap<u64, (Partition, f64)> =
+        std::collections::HashMap::new();
+
+    for _ in 0..config.max_iters {
+        let (p, q) = memo
+            .entry(alpha.to_bits())
+            .or_insert_with(|| {
+                let kcfg = KwayConfig::new(config.k)
+                    .with_alpha(alpha)
+                    .with_seed(config.seed);
+                let p = multilevel_kway(g, &kcfg);
+                let q = modularity(g, &p);
+                (p, q)
+            })
+            .clone();
+        history.push(AdaptiveStep {
+            alpha,
+            modularity: q,
+            cut: p.cut_weight(g),
+        });
+        if best.as_ref().is_none_or(|(_, bq, _)| q > *bq) {
+            best = Some((p, q, alpha));
+        }
+        let delta = q - prev_q;
+        prev_q = q;
+        if delta > config.epsilon_q && alpha < config.alpha_max {
+            alpha = (alpha * config.gamma).min(config.alpha_max);
+        } else if delta < -config.epsilon_q {
+            alpha /= config.gamma;
+        } else {
+            break;
+        }
+    }
+
+    let (partition, q, alpha) = best.expect("at least one probe ran");
+    let cut = partition.cut_weight(g);
+    AdaptiveResult {
+        partition,
+        modularity: q,
+        cut,
+        alpha,
+        history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbqc_graph::{generate, NodeId};
+
+    #[test]
+    fn probes_start_balanced() {
+        let g = generate::grid_graph(8, 8);
+        let r = adaptive_partition(&g, &AdaptiveConfig::new(4));
+        assert!((r.history[0].alpha - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_modularity_is_max_of_history() {
+        let g = generate::grid_graph(9, 9);
+        let r = adaptive_partition(&g, &AdaptiveConfig::new(4));
+        let max_q = r
+            .history
+            .iter()
+            .map(|s| s.modularity)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!((r.modularity - max_q).abs() < 1e-12);
+    }
+
+    #[test]
+    fn result_respects_alpha_max() {
+        let g = generate::grid_graph(8, 8);
+        let cfg = AdaptiveConfig::new(4).with_alpha_max(1.5);
+        let r = adaptive_partition(&g, &cfg);
+        for s in &r.history {
+            assert!(s.alpha <= 1.5 + 1e-9);
+        }
+        assert!(r.partition.is_balanced(&g, 1.5 + 1e-6));
+    }
+
+    #[test]
+    fn unbalanced_communities_benefit_from_relaxation() {
+        // Two cliques of sizes 13 and 11 with a single bridge,
+        // partitioned into 2 parts. At α = 1 the bound is 12, so one
+        // clique node must defect (splitting a clique); the first
+        // relaxation step (α = 1.02 ⇒ bound 13) already allows the
+        // natural 13 | 11 split, giving a modularity jump that
+        // Algorithm 2's ΔQ > ε_Q test detects. (A jump reachable only
+        // after many plateau steps would stop the search early — exactly
+        // the stagnation behaviour the paper reports in Figure 9.)
+        let sizes = [13usize, 11];
+        let mut g = Graph::with_nodes(24);
+        let mut start = 0;
+        let mut blocks = Vec::new();
+        for &s in &sizes {
+            for i in start..start + s {
+                for j in (i + 1)..start + s {
+                    g.add_edge(NodeId::new(i), NodeId::new(j));
+                }
+            }
+            blocks.push((start, start + s));
+            start += s;
+        }
+        g.add_edge(NodeId::new(0), NodeId::new(13));
+        let cfg = AdaptiveConfig::new(2).with_alpha_max(1.5);
+        let r = adaptive_partition(&g, &cfg);
+        // The best partition must not split either clique.
+        for &(lo, hi) in &blocks {
+            let p0 = r.partition.part_of(NodeId::new(lo));
+            for i in lo..hi {
+                assert_eq!(
+                    r.partition.part_of(NodeId::new(i)),
+                    p0,
+                    "clique [{lo},{hi}) split"
+                );
+            }
+        }
+        assert_eq!(r.cut, 1, "only the bridge may be cut");
+        assert!(r.alpha > 1.0, "relaxation never engaged: α = {}", r.alpha);
+    }
+
+    #[test]
+    fn terminates_within_cap() {
+        let g = generate::grid_graph(6, 6);
+        let cfg = AdaptiveConfig {
+            max_iters: 5,
+            ..AdaptiveConfig::new(3)
+        };
+        let r = adaptive_partition(&g, &cfg);
+        assert!(r.history.len() <= 5);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = generate::grid_graph(7, 7);
+        let a = adaptive_partition(&g, &AdaptiveConfig::new(4).with_seed(5));
+        let b = adaptive_partition(&g, &AdaptiveConfig::new(4).with_seed(5));
+        assert_eq!(a.partition, b.partition);
+        assert_eq!(a.history.len(), b.history.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma must exceed 1")]
+    fn bad_gamma_panics() {
+        let g = generate::path_graph(4);
+        let cfg = AdaptiveConfig {
+            gamma: 1.0,
+            ..AdaptiveConfig::new(2)
+        };
+        let _ = adaptive_partition(&g, &cfg);
+    }
+}

@@ -1,0 +1,191 @@
+//! Multilevel coarsening via heavy-edge matching (Karypis–Kumar).
+
+use mbqc_graph::{Graph, NodeId};
+use mbqc_util::Rng;
+
+/// One level of the coarsening hierarchy.
+#[derive(Debug, Clone)]
+pub struct CoarseLevel {
+    /// The coarser graph (node weights are sums, edge weights merge).
+    pub graph: Graph,
+    /// Mapping fine node → coarse node.
+    pub map: Vec<NodeId>,
+}
+
+/// Performs one round of heavy-edge matching: visits nodes in order of
+/// decreasing heaviest incident edge (random tie-break), matching each
+/// unmatched node with its unmatched neighbor of maximum edge weight;
+/// matched pairs collapse into one coarse node.
+///
+/// Returns `None` when no edge could be matched (the graph cannot shrink
+/// further this way).
+#[must_use]
+pub fn coarsen_once(g: &Graph, rng: &mut Rng) -> Option<CoarseLevel> {
+    let n = g.node_count();
+    let mut order: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut order);
+    // Heaviest-incident-edge-first visiting makes heavy edges reliably
+    // collapse (the property that gives HEM its name and quality).
+    let key: Vec<i64> = (0..n)
+        .map(|i| {
+            g.neighbors_weighted(NodeId::new(i))
+                .iter()
+                .map(|&(_, w)| w)
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(key[i]));
+    let mut mate: Vec<Option<NodeId>> = vec![None; n];
+    let mut matched_any = false;
+    for &i in &order {
+        let u = NodeId::new(i);
+        if mate[i].is_some() {
+            continue;
+        }
+        let best = g
+            .neighbors_weighted(u)
+            .iter()
+            .filter(|(v, _)| mate[v.index()].is_none() && *v != u)
+            .max_by_key(|(v, w)| (*w, std::cmp::Reverse(v.index())));
+        if let Some(&(v, _)) = best {
+            mate[i] = Some(v);
+            mate[v.index()] = Some(u);
+            matched_any = true;
+        }
+    }
+    if !matched_any {
+        return None;
+    }
+    // Assign coarse ids: the lower-index endpoint of each pair owns it.
+    let mut map = vec![NodeId::new(0); n];
+    let mut coarse = Graph::new();
+    for i in 0..n {
+        let u = NodeId::new(i);
+        match mate[i] {
+            Some(v) if v.index() < i => {
+                map[i] = map[v.index()]; // already created by the partner
+            }
+            Some(v) => {
+                let id = coarse.add_node_weighted(g.node_weight(u) + g.node_weight(v));
+                map[i] = id;
+            }
+            None => {
+                let id = coarse.add_node_weighted(g.node_weight(u));
+                map[i] = id;
+            }
+        }
+    }
+    for (a, b, w) in g.edges() {
+        let (ca, cb) = (map[a.index()], map[b.index()]);
+        if ca != cb {
+            coarse.add_edge_weighted(ca, cb, w);
+        }
+    }
+    Some(CoarseLevel { graph: coarse, map })
+}
+
+/// Coarsens until the graph has at most `target_nodes` nodes or no round
+/// shrinks it by at least ~10%. Returns the hierarchy from finest to
+/// coarsest (empty if the input is already small enough).
+#[must_use]
+pub fn coarsen_to(g: &Graph, target_nodes: usize, rng: &mut Rng) -> Vec<CoarseLevel> {
+    let mut levels: Vec<CoarseLevel> = Vec::new();
+    let mut current = g.clone();
+    while current.node_count() > target_nodes {
+        let Some(level) = coarsen_once(&current, rng) else {
+            break;
+        };
+        let shrink = level.graph.node_count() as f64 / current.node_count() as f64;
+        current = level.graph.clone();
+        levels.push(level);
+        if shrink > 0.9 {
+            break; // diminishing returns (e.g. star graphs)
+        }
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbqc_graph::generate;
+
+    #[test]
+    fn matching_halves_path() {
+        let g = generate::path_graph(8);
+        let mut rng = Rng::seed_from_u64(1);
+        let level = coarsen_once(&g, &mut rng).unwrap();
+        assert!(level.graph.node_count() >= 4);
+        assert!(level.graph.node_count() < 8);
+        // Total node weight is conserved.
+        assert_eq!(level.graph.total_node_weight(), 8);
+    }
+
+    #[test]
+    fn edge_weight_conserved_modulo_internal() {
+        let g = generate::cycle_graph(10);
+        let mut rng = Rng::seed_from_u64(2);
+        let level = coarsen_once(&g, &mut rng).unwrap();
+        // Every original edge is either internal to a coarse node (a
+        // matched pair) or present in the coarse graph's weights.
+        let matched_pairs = 10 - level.graph.node_count();
+        assert_eq!(
+            level.graph.total_edge_weight() + matched_pairs as i64,
+            10
+        );
+    }
+
+    #[test]
+    fn map_is_surjective_onto_coarse_nodes() {
+        let g = generate::grid_graph(5, 5);
+        let mut rng = Rng::seed_from_u64(3);
+        let level = coarsen_once(&g, &mut rng).unwrap();
+        let mut seen = vec![false; level.graph.node_count()];
+        for &c in &level.map {
+            seen[c.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn edgeless_graph_cannot_coarsen() {
+        let g = Graph::with_nodes(5);
+        let mut rng = Rng::seed_from_u64(4);
+        assert!(coarsen_once(&g, &mut rng).is_none());
+    }
+
+    #[test]
+    fn hierarchy_reaches_target() {
+        let g = generate::grid_graph(12, 12);
+        let mut rng = Rng::seed_from_u64(5);
+        let levels = coarsen_to(&g, 20, &mut rng);
+        assert!(!levels.is_empty());
+        let coarsest = &levels.last().unwrap().graph;
+        assert!(coarsest.node_count() <= 80, "got {}", coarsest.node_count());
+        // Weight conserved at every level.
+        for level in &levels {
+            assert_eq!(level.graph.total_node_weight(), 144);
+        }
+    }
+
+    #[test]
+    fn small_graph_needs_no_coarsening() {
+        let g = generate::path_graph(5);
+        let mut rng = Rng::seed_from_u64(6);
+        assert!(coarsen_to(&g, 10, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn heavy_edges_matched_first() {
+        // Star with one heavy edge: the heavy pair should merge.
+        let mut g = Graph::with_nodes(4);
+        let n: Vec<_> = g.nodes().collect();
+        g.add_edge_weighted(n[0], n[1], 100);
+        g.add_edge(n[0], n[2]);
+        g.add_edge(n[0], n[3]);
+        let mut rng = Rng::seed_from_u64(7);
+        let level = coarsen_once(&g, &mut rng).unwrap();
+        assert_eq!(level.map[0], level.map[1], "heavy edge must collapse");
+    }
+}

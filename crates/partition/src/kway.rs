@@ -1,0 +1,339 @@
+//! Multilevel k-way partitioning (the from-scratch METIS stand-in).
+
+use mbqc_graph::{algo, Graph, NodeId};
+use mbqc_util::Rng;
+
+use crate::coarsen::coarsen_to;
+use crate::refine::{fm_refine, rebalance, refine};
+use crate::Partition;
+
+/// Node-count bound under which the quadratic FM pass runs at a level.
+const FM_LIMIT: usize = 2000;
+
+/// Configuration for [`multilevel_kway`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KwayConfig {
+    /// Number of parts.
+    pub k: usize,
+    /// Maximum imbalance factor `α ≥ 1`: each part's weight may reach
+    /// `α · total/k`.
+    pub alpha: f64,
+    /// Refinement passes per level.
+    pub refine_passes: usize,
+    /// Independent initial partitions tried on the coarsest graph (the
+    /// best refined cut wins) — cheap because the coarsest graph is
+    /// small, and a large quality lever on structured graphs.
+    pub initial_restarts: usize,
+    /// RNG seed (the partitioner is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl KwayConfig {
+    /// A balanced (`α = 1.03`) configuration for `k` parts.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            alpha: 1.03,
+            refine_passes: 8,
+            initial_restarts: 4,
+            seed: 42,
+        }
+    }
+
+    /// Sets the imbalance factor.
+    #[must_use]
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Maximum part weight implied by a config for a given graph.
+fn weight_bound(g: &Graph, k: usize, alpha: f64) -> i64 {
+    let total = g.total_node_weight();
+    // ceil(alpha * total / k), but never below the heaviest node (a
+    // partition must be able to host every node somewhere).
+    let bound = (alpha * total as f64 / k as f64).ceil() as i64;
+    let heaviest = g.nodes().map(|n| g.node_weight(n)).max().unwrap_or(0);
+    bound.max(heaviest)
+}
+
+/// Greedy graph growing on the (coarsest) graph: BFS-grows each part
+/// from a random seed until it reaches its weight share.
+fn initial_partition(g: &Graph, k: usize, max_w: i64, rng: &mut Rng) -> Partition {
+    let n = g.node_count();
+    let mut assignment = vec![usize::MAX; n];
+    let total = g.total_node_weight();
+    let mut remaining = total;
+    let mut unassigned = n;
+
+    for part in 0..k {
+        if unassigned == 0 {
+            break;
+        }
+        let parts_left = k - part;
+        let target = ((remaining as f64 / parts_left as f64).ceil() as i64).min(max_w);
+        // Seed: random unassigned node, preferring low-degree frontier
+        // nodes (classic GGGP heuristic — grows from the periphery).
+        let candidates: Vec<usize> = (0..n).filter(|&i| assignment[i] == usize::MAX).collect();
+        let seed = *candidates
+            .iter()
+            .min_by_key(|&&i| (g.degree(NodeId::new(i)), rng.next_u64() & 0xffff))
+            .expect("unassigned nodes exist");
+        let mut queue = std::collections::VecDeque::new();
+        let mut grown = 0i64;
+        queue.push_back(NodeId::new(seed));
+        while let Some(u) = queue.pop_front() {
+            if assignment[u.index()] != usize::MAX {
+                continue;
+            }
+            let wu = g.node_weight(u);
+            if grown > 0 && grown + wu > target {
+                continue;
+            }
+            assignment[u.index()] = part;
+            grown += wu;
+            remaining -= wu;
+            unassigned -= 1;
+            if grown >= target {
+                break;
+            }
+            for v in g.neighbors(u) {
+                if assignment[v.index()] == usize::MAX {
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    // Leftovers (disconnected remainders or overflow): lightest part wins.
+    let mut weights = vec![0i64; k];
+    for i in 0..n {
+        if assignment[i] != usize::MAX {
+            weights[assignment[i]] += g.node_weight(NodeId::new(i));
+        }
+    }
+    for i in 0..n {
+        if assignment[i] == usize::MAX {
+            let lightest = (0..k).min_by_key(|&c| weights[c]).expect("k >= 1");
+            assignment[i] = lightest;
+            weights[lightest] += g.node_weight(NodeId::new(i));
+        }
+    }
+    Partition::new(assignment, k)
+}
+
+/// Multilevel k-way partitioning: heavy-edge-matching coarsening, greedy
+/// initial partitioning of the coarsest graph, then uncoarsening with
+/// boundary refinement at every level — the algorithmic scheme of METIS
+/// (Karypis & Kumar 1998), which the paper's Algorithm 2 calls as its
+/// `Partition(G, α)` primitive.
+///
+/// The result respects the balance bound `α · total/k` whenever feasible
+/// (a best-effort rebalance runs at the finest level otherwise).
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `alpha < 1`.
+///
+/// # Examples
+///
+/// ```
+/// use mbqc_graph::generate;
+/// use mbqc_partition::{multilevel_kway, KwayConfig};
+///
+/// let g = generate::grid_graph(8, 8);
+/// let p = multilevel_kway(&g, &KwayConfig::new(4));
+/// assert_eq!(p.k(), 4);
+/// // Bound is ceil(α·total/k) = 17 of 16 nodes/part ideal.
+/// assert!(p.part_weights(&g).iter().all(|&w| w <= 17));
+/// ```
+#[must_use]
+pub fn multilevel_kway(g: &Graph, config: &KwayConfig) -> Partition {
+    assert!(config.k >= 1, "k must be positive");
+    assert!(config.alpha >= 1.0, "alpha must be at least 1");
+    let mut rng = Rng::seed_from_u64(config.seed);
+    if config.k == 1 || g.node_count() <= config.k {
+        // Trivial cases: one part, or one node per part round-robin.
+        let assignment = (0..g.node_count()).map(|i| i % config.k).collect();
+        return Partition::new(assignment, config.k);
+    }
+    let max_w = weight_bound(g, config.k, config.alpha);
+    let target_coarse = (config.k * 16).max(48);
+    let levels = coarsen_to(g, target_coarse, &mut rng);
+
+    let coarsest: &Graph = levels.last().map_or(g, |l| &l.graph);
+    let mut part = initial_partition(coarsest, config.k, max_w, &mut rng);
+    let _ = refine(coarsest, &mut part, max_w, config.refine_passes, &mut rng);
+    let _ = fm_refine(coarsest, &mut part, max_w, 3);
+    for _ in 1..config.initial_restarts.max(1) {
+        let mut candidate = initial_partition(coarsest, config.k, max_w, &mut rng);
+        let _ = refine(coarsest, &mut candidate, max_w, config.refine_passes, &mut rng);
+        let _ = fm_refine(coarsest, &mut candidate, max_w, 3);
+        if candidate.cut_weight(coarsest) < part.cut_weight(coarsest) {
+            part = candidate;
+        }
+    }
+
+    // Project back through the hierarchy, refining at each level
+    // (hill-climbing FM on the few coarsest levels small enough to
+    // afford it — that is where the structural decisions are made;
+    // greedy refinement polishes the finer projections).
+    let mut fm_runs = 0usize;
+    for level_idx in (0..levels.len()).rev() {
+        let finer: &Graph = if level_idx == 0 {
+            g
+        } else {
+            &levels[level_idx - 1].graph
+        };
+        let map = &levels[level_idx].map;
+        let assignment: Vec<usize> = (0..finer.node_count())
+            .map(|i| part.part_of(map[i]))
+            .collect();
+        part = Partition::new(assignment, config.k);
+        let _ = refine(finer, &mut part, max_w, config.refine_passes, &mut rng);
+        if finer.node_count() <= FM_LIMIT && fm_runs < 4 {
+            let _ = fm_refine(finer, &mut part, max_w, 2);
+            fm_runs += 1;
+        }
+    }
+    if !part.is_balanced(g, config.alpha) {
+        let _ = rebalance(g, &mut part, max_w, &mut rng);
+        let _ = refine(g, &mut part, max_w, config.refine_passes, &mut rng);
+    }
+    part
+}
+
+/// Convenience: partitions and reports `(partition, cut_weight,
+/// imbalance)` in one call.
+#[must_use]
+pub fn partition_with_stats(g: &Graph, config: &KwayConfig) -> (Partition, i64, f64) {
+    let p = multilevel_kway(g, config);
+    let cut = p.cut_weight(g);
+    let imb = p.imbalance(g);
+    (p, cut, imb)
+}
+
+/// Checks structural sanity of a partition for distributed compilation:
+/// parts should not be internally disconnected into many fragments
+/// (fragmented parts compile poorly). Returns the total number of
+/// connected fragments across parts (ideal = k).
+#[must_use]
+pub fn fragment_count(g: &Graph, p: &Partition) -> usize {
+    p.parts()
+        .iter()
+        .map(|nodes| {
+            if nodes.is_empty() {
+                return 0;
+            }
+            let (sub, _) = g.induced_subgraph(nodes);
+            algo::connected_components(&sub).1
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbqc_graph::generate;
+
+    #[test]
+    fn partitions_grid_balanced() {
+        let g = generate::grid_graph(10, 10);
+        for k in [2, 4, 8] {
+            let p = multilevel_kway(&g, &KwayConfig::new(k));
+            assert_eq!(p.k(), k);
+            assert!(p.is_balanced(&g, 1.06), "k={k}: imbalance {}", p.imbalance(&g));
+            // A decent k-way cut of a 10×10 grid is near k·10 at worst.
+            assert!(p.cut_weight(&g) <= (k as i64) * 14, "k={k}: cut {}", p.cut_weight(&g));
+        }
+    }
+
+    #[test]
+    fn path_graph_cut_is_near_optimal() {
+        let g = generate::path_graph(64);
+        let p = multilevel_kway(&g, &KwayConfig::new(4));
+        // Optimal cut for a path into 4 parts is 3.
+        assert!(p.cut_weight(&g) <= 6, "cut {}", p.cut_weight(&g));
+        assert!(p.is_balanced(&g, 1.1));
+    }
+
+    #[test]
+    fn two_cliques_split_at_bridge() {
+        // Two 8-cliques joined by one edge: the bridge is the only
+        // sensible 2-way cut.
+        let mut g = generate::complete_graph(8);
+        let offset = 8;
+        for i in 0..8usize {
+            g.add_node();
+            let _ = i;
+        }
+        for i in 0..8usize {
+            for j in (i + 1)..8 {
+                g.add_edge(NodeId::new(offset + i), NodeId::new(offset + j));
+            }
+        }
+        g.add_edge(NodeId::new(0), NodeId::new(offset));
+        let p = multilevel_kway(&g, &KwayConfig::new(2));
+        assert_eq!(p.cut_weight(&g), 1, "must cut exactly the bridge");
+    }
+
+    #[test]
+    fn k_equals_one_is_trivial() {
+        let g = generate::grid_graph(4, 4);
+        let p = multilevel_kway(&g, &KwayConfig::new(1));
+        assert_eq!(p.cut_weight(&g), 0);
+        assert_eq!(p.k(), 1);
+    }
+
+    #[test]
+    fn more_parts_than_nodes() {
+        let g = generate::path_graph(3);
+        let p = multilevel_kway(&g, &KwayConfig::new(5));
+        assert_eq!(p.k(), 5);
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let g = generate::grid_graph(9, 9);
+        let a = multilevel_kway(&g, &KwayConfig::new(4).with_seed(7));
+        let b = multilevel_kway(&g, &KwayConfig::new(4).with_seed(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn relaxed_alpha_allows_smaller_cut() {
+        // With α large the partitioner has at least as much freedom; the
+        // cut should never get *worse* on a structured graph.
+        let g = generate::grid_graph(8, 8);
+        let tight = multilevel_kway(&g, &KwayConfig::new(4).with_alpha(1.01));
+        let loose = multilevel_kway(&g, &KwayConfig::new(4).with_alpha(1.6));
+        assert!(loose.cut_weight(&g) <= tight.cut_weight(&g) + 4);
+    }
+
+    #[test]
+    fn fragment_count_ideal_on_grid() {
+        let g = generate::grid_graph(8, 8);
+        let p = multilevel_kway(&g, &KwayConfig::new(4));
+        let frags = fragment_count(&g, &p);
+        assert!(frags <= 6, "parts too fragmented: {frags}");
+    }
+
+    #[test]
+    fn weighted_nodes_respected() {
+        let mut g = generate::path_graph(10);
+        g.set_node_weight(NodeId::new(0), 5);
+        let p = multilevel_kway(&g, &KwayConfig::new(2).with_alpha(1.2));
+        // total = 14, bound = ceil(1.2*7) = 9 ≥ every part.
+        let w = p.part_weights(&g);
+        assert!(w.iter().all(|&x| x <= 9), "{w:?}");
+    }
+}

@@ -1,0 +1,46 @@
+//! Graph partitioning for DC-MBQC.
+//!
+//! The paper's workload-distribution stage (Section IV-A) partitions the
+//! MBQC computation graph across QPUs, co-optimizing two competing
+//! objectives: *minimized communication* (cut edges are costly inter-QPU
+//! connections) and *preserved local structure* (high-modularity
+//! subgraphs compile better on a single QPU). Its Algorithm 2 searches
+//! the imbalance–modularity trade-off by repeatedly calling a balanced
+//! k-way partitioner (METIS in the paper) under a relaxing balance
+//! factor `α`.
+//!
+//! This crate implements the whole stack from scratch:
+//!
+//! * [`partition`] — the [`Partition`] type with cut/balance accounting.
+//! * [`modularity`] — Newman modularity `Q`.
+//! * [`coarsen`] / [`refine`] / [`kway`] — a multilevel k-way
+//!   partitioner in the Karypis–Kumar style (heavy-edge matching,
+//!   greedy graph growing, boundary refinement) standing in for METIS.
+//! * [`louvain`] — Louvain community detection (the modularity-first
+//!   extreme of the trade-off, used for comparison).
+//! * [`adaptive`] — the paper's Algorithm 2.
+//!
+//! # Examples
+//!
+//! ```
+//! use mbqc_graph::generate;
+//! use mbqc_partition::{adaptive, kway};
+//!
+//! let g = generate::grid_graph(10, 10);
+//! let cfg = adaptive::AdaptiveConfig::new(4);
+//! let result = adaptive::adaptive_partition(&g, &cfg);
+//! assert_eq!(result.partition.k(), 4);
+//! assert!(result.modularity > 0.3);
+//! ```
+
+pub mod adaptive;
+pub mod coarsen;
+pub mod kway;
+pub mod louvain;
+pub mod modularity;
+pub mod partition;
+pub mod refine;
+
+pub use adaptive::{adaptive_partition, AdaptiveConfig};
+pub use kway::{multilevel_kway, KwayConfig};
+pub use partition::Partition;

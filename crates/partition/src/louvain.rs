@@ -1,0 +1,247 @@
+//! Louvain community detection (Blondel et al. 2008).
+//!
+//! The modularity-maximizing extreme of the paper's trade-off space:
+//! community detection produces high-quality subgraph structure but
+//! guarantees neither the number of parts nor balance (Section IV-A
+//! discusses why neither pure approach suffices). Used here for
+//! comparison/ablation against the adaptive algorithm.
+
+use mbqc_graph::{Graph, NodeId};
+use mbqc_util::Rng;
+
+use crate::Partition;
+
+/// One local-move phase of Louvain on `g`; returns the community
+/// assignment and whether anything moved.
+///
+/// `self_loops[i]` carries the intra-weight a super-node absorbed during
+/// aggregation (our [`Graph`] forbids literal self-loops); it contributes
+/// `2·w` to the node's degree, exactly as a self-loop would.
+fn local_moves(g: &Graph, self_loops: &[i64], rng: &mut Rng) -> (Vec<usize>, bool) {
+    let n = g.node_count();
+    let m2 = (g.total_edge_weight() + self_loops.iter().sum::<i64>()) as f64 * 2.0; // 2m
+    let mut community: Vec<usize> = (0..n).collect();
+    // Σ_tot per community (sum of weighted degrees incl. self-loops).
+    let mut sigma_tot: Vec<f64> = (0..n)
+        .map(|i| (g.weighted_degree(NodeId::new(i)) + 2 * self_loops[i]) as f64)
+        .collect();
+    let mut improved_any = false;
+    let mut order: Vec<usize> = (0..n).collect();
+    loop {
+        let mut moved = false;
+        rng.shuffle(&mut order);
+        for &i in &order {
+            let u = NodeId::new(i);
+            let ki = (g.weighted_degree(u) + 2 * self_loops[i]) as f64;
+            let own = community[i];
+            // Weight from u to each adjacent community (BTreeMap keeps
+            // tie-breaking deterministic).
+            let mut to_comm: std::collections::BTreeMap<usize, f64> =
+                std::collections::BTreeMap::new();
+            for &(v, w) in g.neighbors_weighted(u) {
+                *to_comm.entry(community[v.index()]).or_insert(0.0) += w as f64;
+            }
+            let k_i_own = to_comm.get(&own).copied().unwrap_or(0.0);
+            // Remove u from its community.
+            sigma_tot[own] -= ki;
+            // Best destination by modularity gain:
+            // ΔQ ∝ k_{i,c} − k_i · Σ_tot(c) / 2m.
+            let mut best = (own, k_i_own - ki * sigma_tot[own] / m2);
+            for (&c, &k_i_c) in &to_comm {
+                if c == own {
+                    continue;
+                }
+                let gain = k_i_c - ki * sigma_tot[c] / m2;
+                if gain > best.1 + 1e-12 {
+                    best = (c, gain);
+                }
+            }
+            sigma_tot[best.0] += ki;
+            if best.0 != own {
+                community[i] = best.0;
+                moved = true;
+                improved_any = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    (community, improved_any)
+}
+
+/// Compacts community labels to `0..k` and returns `k`.
+fn compact(labels: &mut [usize]) -> usize {
+    let mut map = std::collections::HashMap::new();
+    let mut next = 0usize;
+    for l in labels.iter_mut() {
+        let id = *map.entry(*l).or_insert_with(|| {
+            let id = next;
+            next += 1;
+            id
+        });
+        *l = id;
+    }
+    next
+}
+
+/// Runs Louvain community detection to convergence.
+///
+/// Returns a [`Partition`] with a data-driven number of parts
+/// (`k = number of communities found`). Deterministic given the seed.
+///
+/// # Examples
+///
+/// ```
+/// use mbqc_graph::generate;
+/// use mbqc_partition::louvain::louvain;
+/// use mbqc_util::Rng;
+///
+/// let g = generate::grid_graph(8, 8);
+/// let p = louvain(&g, &mut Rng::seed_from_u64(1));
+/// assert!(p.k() >= 2);
+/// ```
+#[must_use]
+pub fn louvain(g: &Graph, rng: &mut Rng) -> Partition {
+    let n = g.node_count();
+    if n == 0 {
+        return Partition::new(Vec::new(), 1);
+    }
+    if g.edge_count() == 0 {
+        return Partition::trivial(n);
+    }
+    // fine-node → community of the current (aggregated) level.
+    let mut membership: Vec<usize> = (0..n).collect();
+    let mut current = g.clone();
+    let mut self_loops = vec![0i64; n];
+    loop {
+        let (mut labels, improved) = local_moves(&current, &self_loops, rng);
+        let k = compact(&mut labels);
+        // Fold into the fine membership.
+        for m in membership.iter_mut() {
+            *m = labels[*m];
+        }
+        if !improved || k == current.node_count() {
+            break;
+        }
+        // Aggregate: one node per community. Intra-community weight
+        // (including absorbed self-loops) becomes the super-node's
+        // self-loop, which keeps degrees — and hence modularity gains —
+        // exact at the next level.
+        let mut agg = Graph::new();
+        let mut agg_loops = vec![0i64; k];
+        for _ in 0..k {
+            agg.add_node();
+        }
+        for c in 0..k {
+            let weight: i64 = (0..current.node_count())
+                .filter(|&i| labels[i] == c)
+                .map(|i| current.node_weight(NodeId::new(i)))
+                .sum();
+            agg.set_node_weight(NodeId::new(c), weight);
+        }
+        for i in 0..current.node_count() {
+            agg_loops[labels[i]] += self_loops[i];
+        }
+        for (a, b, w) in current.edges() {
+            let (ca, cb) = (labels[a.index()], labels[b.index()]);
+            if ca == cb {
+                agg_loops[ca] += w;
+            } else {
+                agg.add_edge_weighted(NodeId::new(ca), NodeId::new(cb), w);
+            }
+        }
+        if agg.edge_count() == 0 {
+            break;
+        }
+        current = agg;
+        self_loops = agg_loops;
+    }
+    let k = compact(&mut membership);
+    Partition::new(membership, k.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modularity::modularity;
+    use mbqc_graph::generate;
+
+    /// Ring of `c` cliques of size `s`, adjacent cliques joined by one
+    /// edge — the classic community-detection benchmark.
+    fn ring_of_cliques(c: usize, s: usize) -> Graph {
+        let mut g = Graph::with_nodes(c * s);
+        for q in 0..c {
+            for i in 0..s {
+                for j in (i + 1)..s {
+                    g.add_edge(NodeId::new(q * s + i), NodeId::new(q * s + j));
+                }
+            }
+        }
+        for q in 0..c {
+            let next = (q + 1) % c;
+            g.add_edge(NodeId::new(q * s), NodeId::new(next * s + 1));
+        }
+        g
+    }
+
+    #[test]
+    fn finds_cliques_in_ring() {
+        let g = ring_of_cliques(6, 5);
+        let mut rng = Rng::seed_from_u64(1);
+        let p = louvain(&g, &mut rng);
+        // Each clique should be one community (or occasionally merged
+        // pairs); modularity must be high.
+        let q = modularity(&g, &p);
+        assert!(q > 0.6, "Q = {q}, k = {}", p.k());
+        assert!((4..=7).contains(&p.k()), "k = {}", p.k());
+        // Every clique is internally coherent: all nodes of clique 0
+        // share a community.
+        let c0 = p.part_of(NodeId::new(0));
+        for i in 1..5 {
+            assert_eq!(p.part_of(NodeId::new(i)), c0);
+        }
+    }
+
+    #[test]
+    fn beats_or_matches_naive_split_on_modularity() {
+        let g = ring_of_cliques(4, 4);
+        let mut rng = Rng::seed_from_u64(2);
+        let p = louvain(&g, &mut rng);
+        let naive = Partition::new((0..16).map(|i| i / 8).collect(), 2);
+        assert!(modularity(&g, &p) >= modularity(&g, &naive));
+    }
+
+    #[test]
+    fn edgeless_graph_is_one_community() {
+        let g = Graph::with_nodes(5);
+        let mut rng = Rng::seed_from_u64(3);
+        let p = louvain(&g, &mut rng);
+        assert_eq!(p.k(), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new();
+        let mut rng = Rng::seed_from_u64(4);
+        let p = louvain(&g, &mut rng);
+        assert_eq!(p.len(), 0);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let g = generate::grid_graph(7, 7);
+        let a = louvain(&g, &mut Rng::seed_from_u64(9));
+        let b = louvain(&g, &mut Rng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn grid_communities_are_spatial() {
+        let g = generate::grid_graph(10, 10);
+        let mut rng = Rng::seed_from_u64(5);
+        let p = louvain(&g, &mut rng);
+        let q = modularity(&g, &p);
+        assert!(q > 0.5, "grid Louvain modularity {q}");
+    }
+}

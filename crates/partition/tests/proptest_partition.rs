@@ -1,0 +1,93 @@
+//! Property-based tests for the partitioning stack.
+
+use mbqc_graph::{generate, Graph, NodeId};
+use mbqc_partition::adaptive::{adaptive_partition, AdaptiveConfig};
+use mbqc_partition::kway::{multilevel_kway, KwayConfig};
+use mbqc_partition::louvain::louvain;
+use mbqc_partition::modularity::modularity;
+use mbqc_util::Rng;
+use proptest::prelude::*;
+
+fn random_connected_graph(n: usize, extra_edges: usize, seed: u64) -> Graph {
+    let mut rng = Rng::seed_from_u64(seed);
+    // Spanning path + random extra edges keeps it connected.
+    let mut g = generate::path_graph(n.max(2));
+    for _ in 0..extra_edges {
+        let a = rng.range(g.node_count());
+        let b = rng.range(g.node_count());
+        if a != b && !g.has_edge(NodeId::new(a), NodeId::new(b)) {
+            g.add_edge(NodeId::new(a), NodeId::new(b));
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn kway_covers_all_nodes(n in 8usize..80, extra in 0usize..60, k in 2usize..6, seed in 0u64..200) {
+        let g = random_connected_graph(n, extra, seed);
+        let p = multilevel_kway(&g, &KwayConfig::new(k).with_seed(seed));
+        prop_assert_eq!(p.len(), g.node_count());
+        prop_assert!(p.assignment().iter().all(|&c| c < k));
+    }
+
+    #[test]
+    fn kway_balance_bound_holds(n in 12usize..80, extra in 0usize..40, k in 2usize..5, seed in 0u64..200) {
+        let g = random_connected_graph(n, extra, seed);
+        let alpha = 1.1;
+        let p = multilevel_kway(&g, &KwayConfig::new(k).with_alpha(alpha).with_seed(seed));
+        // Bound: ceil(α · total / k) plus one-node granularity slack.
+        let bound = (alpha * g.total_node_weight() as f64 / k as f64).ceil() as i64 + 1;
+        for w in p.part_weights(&g) {
+            prop_assert!(w <= bound, "part weight {} exceeds {}", w, bound);
+        }
+    }
+
+    #[test]
+    fn cut_plus_internal_equals_total(n in 8usize..60, extra in 0usize..50, k in 2usize..5, seed in 0u64..200) {
+        let g = random_connected_graph(n, extra, seed);
+        let p = multilevel_kway(&g, &KwayConfig::new(k).with_seed(seed));
+        let cut = p.cut_weight(&g);
+        let internal: i64 = g
+            .edges()
+            .filter(|(a, b, _)| p.part_of(*a) == p.part_of(*b))
+            .map(|(_, _, w)| w)
+            .sum();
+        prop_assert_eq!(cut + internal, g.total_edge_weight());
+    }
+
+    #[test]
+    fn modularity_bounds(n in 6usize..60, extra in 0usize..60, seed in 0u64..200) {
+        let g = random_connected_graph(n, extra, seed);
+        let mut rng = Rng::seed_from_u64(seed);
+        let p = louvain(&g, &mut rng);
+        let q = modularity(&g, &p);
+        prop_assert!((-0.5..=1.0).contains(&q), "Q = {}", q);
+    }
+
+    #[test]
+    fn louvain_no_worse_than_singletons(n in 6usize..50, extra in 0usize..40, seed in 0u64..200) {
+        let g = random_connected_graph(n, extra, seed);
+        let mut rng = Rng::seed_from_u64(seed);
+        let p = louvain(&g, &mut rng);
+        // Singleton partition has Q = −Σ(d_i/2m)² < 0; Louvain must be ≥.
+        let singles = mbqc_partition::Partition::new((0..g.node_count()).collect(), g.node_count());
+        prop_assert!(modularity(&g, &p) >= modularity(&g, &singles) - 1e-9);
+    }
+
+    #[test]
+    fn adaptive_history_monotone_alpha_until_break(n in 12usize..60, k in 2usize..5, seed in 0u64..100) {
+        let g = random_connected_graph(n, n / 2, seed);
+        let r = adaptive_partition(&g, &AdaptiveConfig::new(k).with_seed(seed));
+        // α never exceeds α_max.
+        for s in &r.history {
+            prop_assert!(s.alpha <= 1.5 + 1e-9);
+            prop_assert!(s.alpha >= 1.0 / 1.02 - 1e-9);
+        }
+        // Best modularity equals max of history.
+        let max_q = r.history.iter().map(|s| s.modularity).fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!((r.modularity - max_q).abs() < 1e-12);
+    }
+}

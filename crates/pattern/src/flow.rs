@@ -1,0 +1,168 @@
+//! Causal-flow validation.
+//!
+//! A pattern has *causal flow* `(f, ≺)` (Danos–Kashefi) when there is a
+//! map `f` from measured nodes to neighbors and a partial order `≺` with:
+//!
+//! 1. `u ∼ f(u)` (adjacency),
+//! 2. `u ≺ f(u)`,
+//! 3. `u ≺ w` for every `w ∈ N(f(u)) \ {u}`.
+//!
+//! Flow guarantees the pattern is deterministic under the standard X/Z
+//! correction scheme. The transpiler constructs `f` as the wire
+//! successor; this module checks the order conditions are satisfiable
+//! (the constraint DAG is acyclic) and that explicit orders respect them.
+
+use mbqc_graph::NodeId;
+
+use crate::Pattern;
+
+/// Returns `true` if the pattern's flow constraints admit a valid
+/// measurement order (i.e. the constraint digraph is acyclic).
+///
+/// # Examples
+///
+/// ```
+/// use mbqc_circuit::bench;
+/// use mbqc_pattern::{flow, transpile};
+///
+/// let p = transpile::transpile(&bench::qft(4));
+/// assert!(flow::has_causal_flow(&p));
+/// ```
+#[must_use]
+pub fn has_causal_flow(pattern: &Pattern) -> bool {
+    pattern.flow_constraints().is_acyclic()
+}
+
+/// Checks that `order` is a valid execution order for the pattern:
+/// it contains every measured node exactly once and respects all flow
+/// constraints with measured targets.
+#[must_use]
+pub fn verify_order(pattern: &Pattern, order: &[NodeId]) -> bool {
+    let n = pattern.node_count();
+    let mut pos = vec![usize::MAX; n];
+    for (i, &u) in order.iter().enumerate() {
+        if u.index() >= n || pos[u.index()] != usize::MAX || !pattern.is_measured(u) {
+            return false;
+        }
+        pos[u.index()] = i;
+    }
+    let measured_count = (0..n).filter(|&i| pattern.is_measured(NodeId::new(i))).count();
+    if order.len() != measured_count {
+        return false;
+    }
+    let constraints = pattern.flow_constraints();
+    for (u, v) in constraints.edges() {
+        // Constraints targeting unmeasured (output) nodes are trivially
+        // satisfied: outputs are never consumed mid-run.
+        if pattern.is_measured(u) && pattern.is_measured(v) && pos[u.index()] >= pos[v.index()] {
+            return false;
+        }
+    }
+    true
+}
+
+/// The *flow depth* of the pattern: number of layers when measured nodes
+/// are scheduled greedily by flow constraints (nodes in layer `k` depend
+/// only on layers `< k`).
+///
+/// This is the intrinsic parallelism bound of the MBQC program —
+/// Broadbent–Kashefi's parallelized depth after signal shifting would be
+/// computed on the X-only graph instead.
+///
+/// # Panics
+///
+/// Panics if the pattern has no causal flow.
+#[must_use]
+pub fn flow_depth(pattern: &Pattern) -> usize {
+    let constraints = pattern.flow_constraints();
+    let depths = constraints.depths();
+    pattern
+        .graph()
+        .nodes()
+        .filter(|u| pattern.is_measured(*u))
+        .map(|u| depths[u.index()] + 1)
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transpile::transpile;
+    use mbqc_circuit::{bench, Circuit};
+
+    #[test]
+    fn transpiled_patterns_have_flow() {
+        for c in [bench::qft(6), bench::vqe(6, 2), bench::rca(6)] {
+            let p = transpile(&c);
+            assert!(has_causal_flow(&p));
+        }
+    }
+
+    #[test]
+    fn measurement_order_verifies() {
+        let p = transpile(&bench::qft(5));
+        let order = p.measurement_order();
+        assert!(verify_order(&p, &order));
+    }
+
+    #[test]
+    fn shuffled_order_fails() {
+        let mut c = Circuit::new(1);
+        c.t(0).h(0).t(0);
+        let p = transpile(&c);
+        let mut order = p.measurement_order();
+        assert!(order.len() >= 2);
+        order.reverse();
+        assert!(!verify_order(&p, &order));
+    }
+
+    #[test]
+    fn order_with_duplicates_fails() {
+        let mut c = Circuit::new(1);
+        c.t(0).h(0).t(0);
+        let p = transpile(&c);
+        let order = p.measurement_order();
+        assert!(order.len() >= 2);
+        let mut dup = order.clone();
+        dup[0] = dup[order.len() - 1];
+        assert!(!verify_order(&p, &dup));
+    }
+
+    #[test]
+    fn incomplete_order_fails() {
+        let mut c = Circuit::new(1);
+        c.t(0).h(0).t(0);
+        let p = transpile(&c);
+        let mut order = p.measurement_order();
+        order.pop();
+        assert!(!verify_order(&p, &order));
+    }
+
+    #[test]
+    fn flow_depth_of_chain() {
+        // Three chained J's: depth 3 (strictly sequential).
+        let mut c = Circuit::new(1);
+        c.t(0).h(0).t(0);
+        let p = transpile(&c);
+        let measured = p.stats().measured;
+        assert_eq!(flow_depth(&p), measured);
+    }
+
+    #[test]
+    fn flow_depth_parallel_wires() {
+        // Two independent qubits: depth is per-wire, not total.
+        let mut c = Circuit::new(2);
+        c.t(0).t(1);
+        let p = transpile(&c);
+        assert_eq!(flow_depth(&p), 2); // each wire has 2 measured nodes
+    }
+
+    #[test]
+    fn empty_pattern_depth_zero() {
+        let c = Circuit::new(2);
+        let p = transpile(&c);
+        assert_eq!(flow_depth(&p), 0);
+        assert!(verify_order(&p, &[]));
+    }
+}

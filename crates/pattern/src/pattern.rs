@@ -1,0 +1,384 @@
+//! The [`Pattern`] type: graph state + measurement pattern + flow.
+
+use mbqc_graph::{DiGraph, Graph, NodeId};
+
+use crate::deps::DependencyGraph;
+
+/// Summary statistics of a pattern (used by the Table II harness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PatternStats {
+    /// Total graph-state nodes (photons).
+    pub nodes: usize,
+    /// Entanglement edges (= fusions in OneQ's computation-graph
+    /// abstraction).
+    pub edges: usize,
+    /// Measured (non-output) nodes.
+    pub measured: usize,
+    /// Logical circuit qubits (= inputs = outputs).
+    pub qubits: usize,
+    /// Length of the longest real-time dependency chain.
+    pub dependency_depth: usize,
+}
+
+/// An MBQC program: graph state, measurement angles, and flow structure.
+///
+/// Nodes are created in *wire order*: each logical qubit owns a chain of
+/// nodes (its timeline) and CZ gates add cross edges between chains.
+/// Every non-output node `u` is measured in the XY plane at
+/// [`Pattern::angle`]; by the flow theorem (Danos–Kashefi), the
+/// measurement outcome `s_u` is corrected by `X^{s_u}` on the *flow
+/// successor* `f(u) =` [`Pattern::wire_successor`] and `Z^{s_u}` on every
+/// other neighbor of `f(u)` — which is exactly the X-/Z-dependency
+/// structure of Section II-A of the paper.
+///
+/// Instances are produced by [`transpile`](crate::transpile::transpile);
+/// the compiler crates consume [`Pattern::graph`] as the computation
+/// graph and [`Pattern::dependency_graph`] for lifetime accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pattern {
+    graph: Graph,
+    angles: Vec<f64>,
+    measured: Vec<bool>,
+    wire_succ: Vec<Option<NodeId>>,
+    qubit_of: Vec<usize>,
+    inputs: Vec<NodeId>,
+    outputs: Vec<NodeId>,
+}
+
+impl Pattern {
+    /// Builds a pattern from raw parts.
+    ///
+    /// This is the constructor used by the transpiler; prefer
+    /// [`transpile`](crate::transpile::transpile) unless you are building
+    /// hand-crafted patterns (tests do).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the side tables disagree with the graph size, if a
+    /// measured node lacks an in-graph wire successor, or if an output
+    /// node is marked measured.
+    #[must_use]
+    pub fn from_parts(
+        graph: Graph,
+        angles: Vec<f64>,
+        measured: Vec<bool>,
+        wire_succ: Vec<Option<NodeId>>,
+        qubit_of: Vec<usize>,
+        inputs: Vec<NodeId>,
+        outputs: Vec<NodeId>,
+    ) -> Self {
+        let n = graph.node_count();
+        assert_eq!(angles.len(), n, "angles table size mismatch");
+        assert_eq!(measured.len(), n, "measured table size mismatch");
+        assert_eq!(wire_succ.len(), n, "wire_succ table size mismatch");
+        assert_eq!(qubit_of.len(), n, "qubit_of table size mismatch");
+        assert_eq!(inputs.len(), outputs.len(), "inputs/outputs mismatch");
+        for i in 0..n {
+            let id = NodeId::new(i);
+            if measured[i] {
+                let succ = wire_succ[i].expect("measured node needs a flow successor");
+                assert!(
+                    graph.has_edge(id, succ),
+                    "flow successor of {id} must be a graph neighbor"
+                );
+            }
+        }
+        for &o in &outputs {
+            assert!(!measured[o.index()], "output node {o} must be unmeasured");
+        }
+        Self {
+            graph,
+            angles,
+            measured,
+            wire_succ,
+            qubit_of,
+            inputs,
+            outputs,
+        }
+    }
+
+    /// The graph state — the *computation graph* the compilers partition
+    /// and map.
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of nodes (photons) in the graph state.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Measurement angle of node `n` (XY plane, radians). Only meaningful
+    /// for measured nodes.
+    #[must_use]
+    pub fn angle(&self, n: NodeId) -> f64 {
+        self.angles[n.index()]
+    }
+
+    /// Returns `true` if node `n` is measured (false for outputs).
+    #[must_use]
+    pub fn is_measured(&self, n: NodeId) -> bool {
+        self.measured[n.index()]
+    }
+
+    /// The flow successor `f(n)`: the neighbor receiving the X byproduct
+    /// of `n`'s measurement. `None` for outputs.
+    #[must_use]
+    pub fn wire_successor(&self, n: NodeId) -> Option<NodeId> {
+        self.wire_succ[n.index()]
+    }
+
+    /// The logical circuit qubit whose timeline node `n` belongs to.
+    #[must_use]
+    pub fn qubit_of(&self, n: NodeId) -> usize {
+        self.qubit_of[n.index()]
+    }
+
+    /// Input nodes, one per logical qubit.
+    #[must_use]
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// Output nodes, one per logical qubit (unmeasured).
+    #[must_use]
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// The flow partial-order constraints as a DAG over all nodes: for
+    /// every measured `u`, edges `u → f(u)` and `u → w` for each
+    /// `w ∈ N(f(u)) \ {u}`.
+    ///
+    /// A topological order of this DAG is a valid execution order: every
+    /// byproduct lands on a still-alive photon.
+    #[must_use]
+    pub fn flow_constraints(&self) -> DiGraph {
+        let mut d = DiGraph::with_nodes(self.node_count());
+        for u in self.graph.nodes() {
+            if !self.measured[u.index()] {
+                continue;
+            }
+            let f = self.wire_succ[u.index()].expect("measured node has successor");
+            d.add_edge(u, f);
+            for w in self.graph.neighbors(f) {
+                if w != u {
+                    d.add_edge(u, w);
+                }
+            }
+        }
+        d
+    }
+
+    /// A valid measurement order: measured nodes in a topological order
+    /// of [`Pattern::flow_constraints`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow constraints are cyclic (the pattern has no
+    /// causal flow); transpiled patterns always do.
+    #[must_use]
+    pub fn measurement_order(&self) -> Vec<NodeId> {
+        let order = self
+            .flow_constraints()
+            .topological_sort()
+            .expect("pattern has no causal flow");
+        order
+            .into_iter()
+            .filter(|n| self.measured[n.index()])
+            .collect()
+    }
+
+    /// Builds the dependency graph `G'` of the pattern (Section II-A):
+    /// X-dependencies `u → f(u)` and Z-dependencies `u → w` for
+    /// `w ∈ N(f(u)) \ {u}`, restricted to measured targets (outputs have
+    /// no basis to adapt).
+    ///
+    /// X-dependencies onto *Clifford-angle* targets are omitted: an X
+    /// byproduct maps the measurement basis `α ↦ −α`, and for
+    /// `α ∈ {0, ±π/2, π}` the result is the same basis (possibly with
+    /// relabeled outcomes, a classical correction) — so no real-time
+    /// feed-forward is needed. Only non-Clifford angles (e.g. T gates,
+    /// variational rotations) impose adaptive-basis waits, which is why
+    /// Clifford fragments of MBQC programs run without feed-forward.
+    #[must_use]
+    pub fn dependency_graph(&self) -> DependencyGraph {
+        let n = self.node_count();
+        let mut x = DiGraph::with_nodes(n);
+        let mut z = DiGraph::with_nodes(n);
+        // α is sign-insensitive (up to outcome relabeling) iff
+        // 2α ≡ 0 (mod π).
+        let clifford = |a: f64| {
+            let r = (2.0 * a / std::f64::consts::PI).rem_euclid(1.0);
+            r < 1e-9 || r > 1.0 - 1e-9
+        };
+        for u in self.graph.nodes() {
+            if !self.measured[u.index()] {
+                continue;
+            }
+            let f = self.wire_succ[u.index()].expect("measured node has successor");
+            if self.measured[f.index()] && !clifford(self.angles[f.index()]) {
+                x.add_edge(u, f);
+            }
+            for w in self.graph.neighbors(f) {
+                if w != u && self.measured[w.index()] {
+                    z.add_edge(u, w);
+                }
+            }
+        }
+        DependencyGraph::new(x, z)
+    }
+
+    /// Summary statistics.
+    #[must_use]
+    pub fn stats(&self) -> PatternStats {
+        let deps = self.dependency_graph();
+        PatternStats {
+            nodes: self.node_count(),
+            edges: self.graph.edge_count(),
+            measured: self.measured.iter().filter(|&&m| m).count(),
+            qubits: self.inputs.len(),
+            dependency_depth: deps.real_time().longest_path_len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbqc_graph::Graph;
+
+    /// Builds the 3-node single-qubit pattern for two chained J gates:
+    /// n0 -- n1 -- n2, measure n0 and n1.
+    fn chain_pattern() -> Pattern {
+        let mut g = Graph::with_nodes(3);
+        let n: Vec<NodeId> = g.nodes().collect();
+        g.add_edge(n[0], n[1]);
+        g.add_edge(n[1], n[2]);
+        Pattern::from_parts(
+            g,
+            vec![0.1, 0.2, 0.0],
+            vec![true, true, false],
+            vec![Some(n[1]), Some(n[2]), None],
+            vec![0, 0, 0],
+            vec![n[0]],
+            vec![n[2]],
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let p = chain_pattern();
+        let n: Vec<NodeId> = p.graph().nodes().collect();
+        assert_eq!(p.node_count(), 3);
+        assert!(p.is_measured(n[0]));
+        assert!(!p.is_measured(n[2]));
+        assert_eq!(p.wire_successor(n[0]), Some(n[1]));
+        assert_eq!(p.wire_successor(n[2]), None);
+        assert_eq!(p.angle(n[1]), 0.2);
+        assert_eq!(p.qubit_of(n[1]), 0);
+        assert_eq!(p.inputs(), &[n[0]]);
+        assert_eq!(p.outputs(), &[n[2]]);
+        assert_eq!(p.measurement_order(), vec![n[0], n[1]]);
+    }
+
+    #[test]
+    fn chain_dependency_graph() {
+        let p = chain_pattern();
+        let deps = p.dependency_graph();
+        let n: Vec<NodeId> = p.graph().nodes().collect();
+        // n0's X byproduct goes to n1 (measured) → real-time edge.
+        assert!(deps.x_deps().has_edge(n[0], n[1]));
+        // n1's successor is the unmeasured output → no real-time edge.
+        assert_eq!(deps.x_deps().edge_count(), 1);
+        // Measuring n0 also puts Z^{s} on N(f(n0)) \ {n0} = {n2}, an
+        // output, so no measured Z-dependency either.
+        assert_eq!(deps.z_deps().edge_count(), 0);
+    }
+
+    /// Two 2-node wires with a CZ edge between the *second* nodes:
+    /// measuring u=n0 corrects X on f(u)=n2 and Z on N(n2)\{n0} = {n3}.
+    #[test]
+    fn cz_cross_edge_creates_z_dependency() {
+        let mut g = Graph::with_nodes(6);
+        let n: Vec<NodeId> = g.nodes().collect();
+        g.add_edge(n[0], n[2]); // wire qubit 0: n0 -> n2 -> n4
+        g.add_edge(n[2], n[4]);
+        g.add_edge(n[1], n[3]); // wire qubit 1: n1 -> n3 -> n5
+        g.add_edge(n[3], n[5]);
+        g.add_edge(n[2], n[3]); // CZ between middle nodes
+        let p = Pattern::from_parts(
+            g,
+            vec![0.3, 0.4, 0.5, 0.6, 0.0, 0.0],
+            vec![true, true, true, true, false, false],
+            vec![Some(n[2]), Some(n[3]), Some(n[4]), Some(n[5]), None, None],
+            vec![0, 1, 0, 1, 0, 1],
+            vec![n[0], n[1]],
+            vec![n[4], n[5]],
+        );
+        let deps = p.dependency_graph();
+        // Measuring n0: X on n2, Z on neighbors of n2 other than n0 =
+        // {n4 (output, skipped), n3 (measured)}.
+        assert!(deps.x_deps().has_edge(n[0], n[2]));
+        assert!(deps.z_deps().has_edge(n[0], n[3]));
+        // Symmetrically n1 → n2 as a Z-dependency.
+        assert!(deps.z_deps().has_edge(n[1], n[2]));
+        // Real-time graph (X only) has exactly the two wire edges.
+        assert_eq!(deps.real_time().edge_count(), 2);
+        // Flow constraints are acyclic and the order is valid.
+        let order = p.measurement_order();
+        assert_eq!(order.len(), 4);
+        let pos = |x: NodeId| order.iter().position(|&y| y == x).unwrap();
+        // u before f(u):
+        assert!(pos(n[0]) < pos(n[2]));
+        assert!(pos(n[1]) < pos(n[3]));
+        // u before Z-targets of f(u):
+        assert!(pos(n[0]) < pos(n[3]));
+        assert!(pos(n[1]) < pos(n[2]));
+    }
+
+    #[test]
+    fn stats_reflect_structure() {
+        let p = chain_pattern();
+        let s = p.stats();
+        assert_eq!(s.nodes, 3);
+        assert_eq!(s.edges, 2);
+        assert_eq!(s.measured, 2);
+        assert_eq!(s.qubits, 1);
+        assert_eq!(s.dependency_depth, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "flow successor")]
+    fn measured_without_successor_panics() {
+        let g = Graph::with_nodes(1);
+        let _ = Pattern::from_parts(
+            g,
+            vec![0.0],
+            vec![true],
+            vec![None],
+            vec![0],
+            vec![],
+            vec![],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be unmeasured")]
+    fn measured_output_panics() {
+        let mut g = Graph::with_nodes(2);
+        let n: Vec<NodeId> = g.nodes().collect();
+        g.add_edge(n[0], n[1]);
+        let _ = Pattern::from_parts(
+            g,
+            vec![0.0, 0.0],
+            vec![true, false],
+            vec![Some(n[1]), None],
+            vec![0, 0],
+            vec![n[0]],
+            vec![n[0]],
+        );
+    }
+}

@@ -1,0 +1,320 @@
+//! Algorithm 3: Bottleneck-Driven Iterative Refinement (BDIR).
+//!
+//! A lightweight simulated-annealing loop whose neighborhood generator
+//! is *not* random: `FindBottleneckTask` locates the task responsible
+//! for the current required photon lifetime, `CalculateBalancePoint`
+//! finds its temporal equilibrium point (midpoint of the cost-pressure
+//! anchors: fusion partners, attached sync tasks, dependency parents),
+//! and `PinAndReschedule` pins the task there and rebuilds the rest of
+//! the schedule with start-time-preserving priorities.
+
+use mbqc_util::Rng;
+
+use crate::list::{list_schedule, priorities_from_schedule};
+use crate::problem::{LayerScheduleProblem, Schedule, TaskRef};
+
+/// SA parameters (paper defaults: `T₀ = 10`, cooling `0.95`,
+/// `I_max = 20`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BdirConfig {
+    /// Initial temperature.
+    pub t0: f64,
+    /// Multiplicative cooling rate per iteration.
+    pub cooling: f64,
+    /// Iteration budget.
+    pub max_iters: usize,
+    /// RNG seed (acceptance draws).
+    pub seed: u64,
+}
+
+impl Default for BdirConfig {
+    fn default() -> Self {
+        Self {
+            t0: 10.0,
+            cooling: 0.95,
+            max_iters: 20,
+            seed: 42,
+        }
+    }
+}
+
+/// Runs BDIR starting from `init` (typically a list schedule). Returns
+/// the best feasible schedule found.
+///
+/// # Panics
+///
+/// Panics if `init` does not match the problem shape.
+#[must_use]
+pub fn bdir(p: &LayerScheduleProblem, init: &Schedule, config: &BdirConfig) -> Schedule {
+    let mut rng = Rng::seed_from_u64(config.seed);
+    let mut current = init.clone();
+    let mut best = init.clone();
+    let mut c_best = p.evaluate(&best).objective();
+    let mut temp = config.t0;
+
+    for _ in 0..config.max_iters {
+        let Some(neighbor) = generate_neighbor(p, &current) else {
+            break; // no bottleneck to move (objective already 0)
+        };
+        let c_current = p.evaluate(&current).objective();
+        let c_new = p.evaluate(&neighbor).objective();
+        let delta = c_new as f64 - c_current as f64;
+        if delta <= 0.0 || rng.next_f64() < (-delta / temp.max(1e-9)).exp() {
+            current = neighbor;
+        }
+        let c_cur = p.evaluate(&current).objective();
+        if c_cur < c_best {
+            best = current.clone();
+            c_best = c_cur;
+        }
+        temp *= config.cooling;
+    }
+    best
+}
+
+/// The "smart" neighborhood generator: pin the bottleneck task at its
+/// balance point and reschedule. Returns `None` when no cost term
+/// exists.
+fn generate_neighbor(p: &LayerScheduleProblem, current: &Schedule) -> Option<Schedule> {
+    let (task, anchors) = find_bottleneck_task(p, current)?;
+    let t = calculate_balance_point(&task, &anchors);
+    Some(list_schedule(
+        p,
+        &priorities_from_schedule(current),
+        Some((task, t)),
+    ))
+}
+
+/// `FindBottleneckTask`: identifies the task behind the current maximum
+/// lifetime term, together with the anchor times that pull on it.
+///
+/// Two passes: a cheap scan finds the maximum cost term; anchors are
+/// then gathered only for the single winning task (keeping each BDIR
+/// iteration linear in the problem size).
+fn find_bottleneck_task(
+    p: &LayerScheduleProblem,
+    s: &Schedule,
+) -> Option<(TaskRef, Vec<usize>)> {
+    // (cost, task, fallback anchor)
+    let mut best: Option<(usize, TaskRef, usize)> = None;
+    let mut consider = |cost: usize, task: TaskRef, fallback: usize| {
+        if cost > 0 && best.as_ref().is_none_or(|(c, _, _)| cost > *c) {
+            best = Some((cost, task, fallback));
+        }
+    };
+
+    // Remote terms: sync task vs its two endpoints.
+    for (k, sync) in p.sync_tasks.iter().enumerate() {
+        let t = s.sync_start[k];
+        let ta = s.main_start[sync.a.0][sync.a.1];
+        let tb = s.main_start[sync.b.0][sync.b.1];
+        consider(t.abs_diff(ta).max(t.abs_diff(tb)), TaskRef::Sync(k), ta.midpoint(tb));
+    }
+
+    // Local terms need node-level structure.
+    if let Some(local) = &p.local {
+        let times: Vec<usize> = local
+            .node_slot
+            .iter()
+            .map(|&(q, j)| s.main_start[q][j])
+            .collect();
+        // Fusee spans: bottleneck is the later endpoint's main task.
+        for &(u, v) in &local.fusee_pairs {
+            let span = times[u].abs_diff(times[v]);
+            let (mover, other) = if times[u] >= times[v] { (u, v) } else { (v, u) };
+            let slot = local.node_slot[mover];
+            consider(span, TaskRef::Main(slot.0, slot.1), times[other]);
+        }
+        // Measuree waits: MTime sweep (Algorithm 1 Part 2).
+        let order = local.deps.topological_sort().expect("dependency cycle");
+        let mut mtime = vec![0usize; times.len()];
+        for u in order {
+            let mut m = times[u.index()] + 1;
+            for &q in local.deps.predecessors(u) {
+                m = m.max(mtime[q.index()] + 1);
+            }
+            mtime[u.index()] = m;
+        }
+        for u in 0..times.len() {
+            let wait = mtime[u] - times[u];
+            if wait <= 1 {
+                continue;
+            }
+            let slot = local.node_slot[u];
+            // Moving the layer later (towards the resolving signal)
+            // shrinks the wait: anchor at the latest parent MTime.
+            let parent_anchor = local
+                .deps
+                .predecessors(mbqc_graph::NodeId::new(u))
+                .iter()
+                .map(|&q| mtime[q.index()])
+                .max()
+                .unwrap_or(times[u]);
+            consider(wait, TaskRef::Main(slot.0, slot.1), parent_anchor);
+        }
+    }
+
+    let (_, task, fallback) = best?;
+    let anchors = match (task, &p.local) {
+        (TaskRef::Main(i, j), Some(local)) => {
+            let times: Vec<usize> = local
+                .node_slot
+                .iter()
+                .map(|&(q, l)| s.main_start[q][l])
+                .collect();
+            anchors_or(anchors_of_main(p, local, &times, (i, j), s), fallback)
+        }
+        _ => vec![fallback],
+    };
+    Some((task, anchors))
+}
+
+/// All anchor times pulling on main task `slot`: partner times of fusee
+/// pairs with exactly one endpoint inside, plus attached sync starts.
+fn anchors_of_main(
+    p: &LayerScheduleProblem,
+    local: &crate::problem::LocalStructure,
+    times: &[usize],
+    slot: (usize, usize),
+    s: &Schedule,
+) -> Vec<usize> {
+    let mut anchors = Vec::new();
+    for &(u, v) in &local.fusee_pairs {
+        let (su, sv) = (local.node_slot[u], local.node_slot[v]);
+        if (su == slot) ^ (sv == slot) {
+            anchors.push(if su == slot { times[v] } else { times[u] });
+        }
+    }
+    for (k, sync) in p.sync_tasks.iter().enumerate() {
+        if sync.a == slot || sync.b == slot {
+            anchors.push(s.sync_start[k]);
+        }
+    }
+    anchors
+}
+
+fn anchors_or(mut anchors: Vec<usize>, fallback: usize) -> Vec<usize> {
+    if anchors.is_empty() {
+        anchors.push(fallback);
+    }
+    anchors
+}
+
+/// `CalculateBalancePoint`: the time minimizing the maximum distance to
+/// the anchors — the midpoint of their range — clamped to the earliest
+/// feasible slot of the task.
+fn calculate_balance_point(task: &TaskRef, anchors: &[usize]) -> usize {
+    let lo = anchors.iter().copied().min().unwrap_or(0);
+    let hi = anchors.iter().copied().max().unwrap_or(0);
+    let mid = usize::midpoint(lo, hi);
+    match *task {
+        // J_{i,j} needs j predecessors scheduled first.
+        TaskRef::Main(_, j) => mid.max(j),
+        TaskRef::Sync(_) => mid,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list::default_priorities;
+    use crate::problem::{LocalStructure, SyncTask};
+    use mbqc_graph::{DiGraph, NodeId};
+
+    /// Two QPUs, 6 main layers each; one sync ties the *first* layer of
+    /// QPU 0 to the *last* layer of QPU 1 — list scheduling leaves a
+    /// large τ_remote that BDIR can halve by centering the sync.
+    fn skewed_problem() -> LayerScheduleProblem {
+        LayerScheduleProblem::new(
+            vec![6, 6],
+            vec![SyncTask { a: (0, 0), b: (1, 5) }],
+            4,
+        )
+    }
+
+    #[test]
+    fn bdir_never_worse_than_init() {
+        let p = skewed_problem();
+        let init = list_schedule(&p, &default_priorities(&p), None);
+        let refined = bdir(&p, &init, &BdirConfig::default());
+        assert!(p.is_feasible(&refined));
+        assert!(
+            p.evaluate(&refined).objective() <= p.evaluate(&init).objective(),
+            "BDIR regressed: {} > {}",
+            p.evaluate(&refined).objective(),
+            p.evaluate(&init).objective()
+        );
+    }
+
+    #[test]
+    fn bdir_centers_skewed_sync() {
+        let p = skewed_problem();
+        let init = list_schedule(&p, &default_priorities(&p), None);
+        let refined = bdir(&p, &init, &BdirConfig::default());
+        // Endpoints sit ~6 apart; the optimal sync point is the middle:
+        // τ_remote ≈ half the span (+ slack for displaced layers).
+        let cost = p.evaluate(&refined);
+        assert!(
+            cost.tau_remote <= 5,
+            "sync not centered: τ_remote = {}",
+            cost.tau_remote
+        );
+    }
+
+    #[test]
+    fn bdir_improves_backward_dependency() {
+        // Node on QPU 0 layer 0 depends on a node generated late on
+        // QPU 1: the bottleneck layer should move later.
+        let mut deps = DiGraph::with_nodes(2);
+        deps.add_edge(NodeId::new(1), NodeId::new(0));
+        let p = LayerScheduleProblem::new(vec![4, 8], vec![], 4).with_local(LocalStructure {
+            node_slot: vec![(0, 0), (1, 7)],
+            fusee_pairs: vec![],
+            deps,
+        });
+        let init = list_schedule(&p, &default_priorities(&p), None);
+        let refined = bdir(&p, &init, &BdirConfig::default());
+        assert!(p.is_feasible(&refined));
+        assert!(p.evaluate(&refined).tau_local <= p.evaluate(&init).tau_local);
+    }
+
+    #[test]
+    fn bdir_handles_empty_problem() {
+        let p = LayerScheduleProblem::new(vec![2, 2], vec![], 4);
+        let init = list_schedule(&p, &default_priorities(&p), None);
+        let refined = bdir(&p, &init, &BdirConfig::default());
+        assert!(p.is_feasible(&refined));
+    }
+
+    #[test]
+    fn bdir_deterministic_given_seed() {
+        let p = skewed_problem();
+        let init = list_schedule(&p, &default_priorities(&p), None);
+        let a = bdir(&p, &init, &BdirConfig::default());
+        let b = bdir(&p, &init, &BdirConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn balance_point_midpoint_and_clamp() {
+        assert_eq!(calculate_balance_point(&TaskRef::Sync(0), &[2, 10]), 6);
+        assert_eq!(calculate_balance_point(&TaskRef::Main(0, 8), &[0, 2]), 8);
+        assert_eq!(calculate_balance_point(&TaskRef::Main(0, 0), &[5]), 5);
+    }
+
+    #[test]
+    fn fusee_bottleneck_detected() {
+        // Local fusee pair spanning 9 slots dominates; bottleneck must
+        // be a main task.
+        let deps = DiGraph::with_nodes(2);
+        let p = LayerScheduleProblem::new(vec![1, 10], vec![], 4).with_local(LocalStructure {
+            node_slot: vec![(0, 0), (1, 9)],
+            fusee_pairs: vec![(0, 1)],
+            deps,
+        });
+        let s = list_schedule(&p, &default_priorities(&p), None);
+        let (task, anchors) = find_bottleneck_task(&p, &s).unwrap();
+        assert!(matches!(task, TaskRef::Main(1, 9)));
+        assert!(!anchors.is_empty());
+    }
+}

@@ -1,0 +1,309 @@
+//! Priority-based list scheduling (the paper's baseline heuristic).
+
+use crate::problem::{LayerScheduleProblem, Schedule, TaskRef};
+
+/// Task priorities: lower value = scheduled earlier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Priorities {
+    /// Priority of each main task, indexed `[qpu][index]`.
+    pub main: Vec<Vec<f64>>,
+    /// Priority of each sync task.
+    pub sync: Vec<f64>,
+}
+
+/// The paper's default priorities: main task `J_{i,j}` gets `j`
+/// (sequential locality), sync task `S_k` over `(J_{i,j}, J_{i',j'})`
+/// gets `(j + j′)/2` (sit between its endpoints).
+#[must_use]
+pub fn default_priorities(p: &LayerScheduleProblem) -> Priorities {
+    Priorities {
+        main: p
+            .main_counts
+            .iter()
+            .map(|&m| (0..m).map(|j| j as f64).collect())
+            .collect(),
+        sync: p
+            .sync_tasks
+            .iter()
+            .map(|s| (s.a.1 + s.b.1) as f64 / 2.0)
+            .collect(),
+    }
+}
+
+/// Priorities equal to the start times of an existing schedule — the
+/// order-preserving priorities BDIR's `PinAndReschedule` uses.
+#[must_use]
+pub fn priorities_from_schedule(s: &Schedule) -> Priorities {
+    Priorities {
+        main: s
+            .main_start
+            .iter()
+            .map(|starts| starts.iter().map(|&t| t as f64).collect())
+            .collect(),
+        sync: s.sync_start.iter().map(|&t| t as f64).collect(),
+    }
+}
+
+/// Per-slot machine occupancy during construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum SlotUse {
+    #[default]
+    Free,
+    Main,
+    Sync(usize),
+}
+
+/// Runs priority-based list scheduling, optionally with one task pinned
+/// at a fixed time (BDIR's rescheduling primitive).
+///
+/// Greedy construction over time slots: at each slot, available tasks
+/// (the next main task of each QPU, every unscheduled sync) are placed
+/// in priority order wherever the exclusivity constraints allow; syncs
+/// only launch once both endpoint indices are "reachable" so relative
+/// order stays intuitive, and pinned tasks reserve their slot.
+///
+/// # Panics
+///
+/// Panics if the priorities' shape disagrees with the problem, or a pin
+/// is infeasible (e.g. pinning `J_{i,j}` earlier than `j`).
+#[must_use]
+pub fn list_schedule(
+    p: &LayerScheduleProblem,
+    priorities: &Priorities,
+    pinned: Option<(TaskRef, usize)>,
+) -> Schedule {
+    assert_eq!(priorities.main.len(), p.num_qpus, "priority shape mismatch");
+    assert_eq!(priorities.sync.len(), p.sync_tasks.len());
+    for (i, m) in priorities.main.iter().enumerate() {
+        assert_eq!(m.len(), p.main_counts[i], "priority shape mismatch");
+    }
+    if let Some((TaskRef::Main(i, j), t)) = pinned {
+        assert!(t >= j, "cannot pin J_{{{i},{j}}} before slot {j}");
+    }
+
+    let total_main: usize = p.main_counts.iter().sum();
+    let mut main_start: Vec<Vec<usize>> = p.main_counts.iter().map(|&m| vec![0; m]).collect();
+    let mut sync_start = vec![0usize; p.sync_tasks.len()];
+    let mut next_main: Vec<usize> = vec![0; p.num_qpus]; // next index per QPU
+    let mut sync_done = vec![false; p.sync_tasks.len()];
+    let mut remaining = total_main + p.sync_tasks.len();
+    // A pin slides later if its predecessors are not ready at its slot.
+    let mut pin = pinned;
+
+    let mut t = 0usize;
+    // Generous horizon bound; every loop iteration either schedules a
+    // task or advances time, and each slot can always host at least one
+    // pending task unless blocked by a pin — hence the added pin slack.
+    let horizon = 2 * (total_main + p.sync_tasks.len())
+        + pinned.map_or(0, |(_, pt)| pt + 1)
+        + 8;
+
+    while remaining > 0 {
+        assert!(t <= horizon, "list scheduler exceeded horizon (bug)");
+        let mut slot: Vec<SlotUse> = vec![SlotUse::Free; p.num_qpus];
+
+        // Pinned task claims its slot first.
+        if let Some((task, pt)) = pin {
+            if pt == t {
+                match task {
+                    TaskRef::Main(i, j) if next_main[i] == j => {
+                        main_start[i][j] = t;
+                        next_main[i] = j + 1;
+                        slot[i] = SlotUse::Main;
+                        remaining -= 1;
+                        pin = None;
+                    }
+                    TaskRef::Main(_, _) => {
+                        // Predecessors delayed by congestion: slide.
+                        pin = Some((task, t + 1));
+                    }
+                    TaskRef::Sync(k) => {
+                        let s = p.sync_tasks[k];
+                        sync_start[k] = t;
+                        sync_done[k] = true;
+                        slot[s.a.0] = SlotUse::Sync(1);
+                        slot[s.b.0] = SlotUse::Sync(1);
+                        remaining -= 1;
+                        pin = None;
+                    }
+                }
+            }
+        }
+
+        // Candidates available now, ordered by priority — with all sync
+        // tasks ahead of main tasks. Processing syncs first lets a slot
+        // become a *connection layer* on every QPU that has pending
+        // communication (maximizing K_max batching); mains then fill
+        // the remaining QPUs. Interleaving instead lets each QPU's main
+        // task block its partners' syncs pairwise, serializing
+        // communication.
+        let mut candidates: Vec<(f64, TaskRef)> = Vec::new();
+        for (k, done) in sync_done.iter().enumerate() {
+            if !done && !is_pinned(pin, TaskRef::Sync(k)) {
+                candidates.push((priorities.sync[k], TaskRef::Sync(k)));
+            }
+        }
+        candidates.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| cmp_ref(a.1, b.1)));
+        let mut mains: Vec<(f64, TaskRef)> = Vec::new();
+        for i in 0..p.num_qpus {
+            let j = next_main[i];
+            if j < p.main_counts[i] && !is_pinned(pin, TaskRef::Main(i, j)) {
+                mains.push((priorities.main[i][j], TaskRef::Main(i, j)));
+            }
+        }
+        mains.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| cmp_ref(a.1, b.1)));
+        candidates.extend(mains);
+
+        for (_, task) in candidates {
+            match task {
+                TaskRef::Main(i, j) => {
+                    if slot[i] == SlotUse::Free && next_main[i] == j {
+                        main_start[i][j] = t;
+                        next_main[i] = j + 1;
+                        slot[i] = SlotUse::Main;
+                        remaining -= 1;
+                    }
+                }
+                TaskRef::Sync(k) => {
+                    let s = p.sync_tasks[k];
+                    let fits = |u: SlotUse| match u {
+                        SlotUse::Free => true,
+                        SlotUse::Sync(n) => n < p.kmax,
+                        SlotUse::Main => false,
+                    };
+                    if fits(slot[s.a.0]) && fits(slot[s.b.0]) {
+                        sync_start[k] = t;
+                        sync_done[k] = true;
+                        for q in [s.a.0, s.b.0] {
+                            slot[q] = match slot[q] {
+                                SlotUse::Free => SlotUse::Sync(1),
+                                SlotUse::Sync(n) => SlotUse::Sync(n + 1),
+                                SlotUse::Main => unreachable!(),
+                            };
+                        }
+                        remaining -= 1;
+                    }
+                }
+            }
+        }
+        t += 1;
+    }
+    Schedule {
+        main_start,
+        sync_start,
+    }
+}
+
+fn is_pinned(pinned: Option<(TaskRef, usize)>, task: TaskRef) -> bool {
+    matches!(pinned, Some((p, _)) if p == task)
+}
+
+fn cmp_ref(a: TaskRef, b: TaskRef) -> std::cmp::Ordering {
+    let key = |t: TaskRef| match t {
+        TaskRef::Main(i, j) => (0usize, i, j),
+        TaskRef::Sync(k) => (1usize, k, 0),
+    };
+    key(a).cmp(&key(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::SyncTask;
+
+    #[test]
+    fn schedules_independent_qpus_in_parallel() {
+        let p = LayerScheduleProblem::new(vec![3, 3], vec![], 4);
+        let s = list_schedule(&p, &default_priorities(&p), None);
+        assert!(p.is_feasible(&s));
+        assert_eq!(s.main_start[0], vec![0, 1, 2]);
+        assert_eq!(s.main_start[1], vec![0, 1, 2]);
+        assert_eq!(p.evaluate(&s).makespan, 3);
+    }
+
+    #[test]
+    fn sync_takes_its_own_slot() {
+        let p = LayerScheduleProblem::new(
+            vec![2, 2],
+            vec![SyncTask { a: (0, 0), b: (1, 0) }],
+            4,
+        );
+        let s = list_schedule(&p, &default_priorities(&p), None);
+        assert!(p.is_feasible(&s));
+        // 2 main slots + 1 sync slot per QPU ⇒ makespan 3.
+        assert_eq!(p.evaluate(&s).makespan, 3);
+    }
+
+    #[test]
+    fn kmax_batches_syncs() {
+        let syncs: Vec<SyncTask> = (0..8)
+            .map(|_| SyncTask { a: (0, 0), b: (1, 0) })
+            .collect();
+        let p4 = LayerScheduleProblem::new(vec![1, 1], syncs.clone(), 4);
+        let p1 = LayerScheduleProblem::new(vec![1, 1], syncs, 1);
+        let s4 = list_schedule(&p4, &default_priorities(&p4), None);
+        let s1 = list_schedule(&p1, &default_priorities(&p1), None);
+        assert!(p4.is_feasible(&s4));
+        assert!(p1.is_feasible(&s1));
+        // 8 syncs at K_max=4 need 2 slots; at K_max=1 they need 8.
+        assert_eq!(p4.evaluate(&s4).makespan, 1 + 2);
+        assert_eq!(p1.evaluate(&s1).makespan, 1 + 8);
+    }
+
+    #[test]
+    fn uneven_qpus_finish_independently() {
+        let p = LayerScheduleProblem::new(vec![5, 1], vec![], 4);
+        let s = list_schedule(&p, &default_priorities(&p), None);
+        assert_eq!(p.evaluate(&s).makespan, 5);
+    }
+
+    #[test]
+    fn pinned_main_lands_exactly() {
+        let p = LayerScheduleProblem::new(vec![3, 1], vec![], 4);
+        let pin = (TaskRef::Main(0, 2), 6);
+        let s = list_schedule(&p, &default_priorities(&p), Some(pin));
+        assert!(p.is_feasible(&s));
+        assert_eq!(s.main_start[0][2], 6);
+        // Predecessors still run in order before it.
+        assert!(s.main_start[0][1] < 6);
+    }
+
+    #[test]
+    fn pinned_sync_lands_exactly() {
+        let p = LayerScheduleProblem::new(
+            vec![2, 2],
+            vec![SyncTask { a: (0, 1), b: (1, 1) }],
+            4,
+        );
+        let pin = (TaskRef::Sync(0), 5);
+        let s = list_schedule(&p, &default_priorities(&p), Some(pin));
+        assert!(p.is_feasible(&s));
+        assert_eq!(s.sync_start[0], 5);
+    }
+
+    #[test]
+    fn reschedule_with_own_priorities_is_stable() {
+        // Rescheduling with priorities taken from a schedule's start
+        // times reproduces an equivalent packing (the PinAndReschedule
+        // invariant).
+        let p = LayerScheduleProblem::new(
+            vec![3, 2],
+            vec![
+                SyncTask { a: (0, 1), b: (1, 0) },
+                SyncTask { a: (0, 2), b: (1, 1) },
+            ],
+            2,
+        );
+        let s1 = list_schedule(&p, &default_priorities(&p), None);
+        let s2 = list_schedule(&p, &priorities_from_schedule(&s1), None);
+        assert!(p.is_feasible(&s2));
+        assert_eq!(p.evaluate(&s1).makespan, p.evaluate(&s2).makespan);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot pin")]
+    fn pin_before_predecessors_panics() {
+        let p = LayerScheduleProblem::new(vec![3], vec![], 4);
+        let _ = list_schedule(&p, &default_priorities(&p), Some((TaskRef::Main(0, 2), 1)));
+    }
+}

@@ -1,0 +1,376 @@
+//! Problem and schedule types, feasibility checking, and the objective.
+
+use mbqc_graph::DiGraph;
+
+/// A synchronization task `S_k`: one inter-QPU connection event,
+/// associated with a pair of main tasks on distinct QPUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncTask {
+    /// First endpoint as `(qpu, main-task index)`.
+    pub a: (usize, usize),
+    /// Second endpoint as `(qpu, main-task index)`.
+    pub b: (usize, usize),
+}
+
+/// Node-level structure for evaluating τ_local with Algorithm 1
+/// (Definition IV.1: "layer index is replaced by the start time of the
+/// corresponding main task").
+#[derive(Debug, Clone)]
+pub struct LocalStructure {
+    /// Per computation-graph node: `(qpu, main-task index)` of the
+    /// execution layer holding it.
+    pub node_slot: Vec<(usize, usize)>,
+    /// Intra-QPU fusion pairs as node-index pairs.
+    pub fusee_pairs: Vec<(usize, usize)>,
+    /// Real-time measurement dependency DAG over the nodes (may cross
+    /// QPUs — classical signals travel freely).
+    pub deps: DiGraph,
+}
+
+/// An instance of the layer scheduling problem.
+#[derive(Debug, Clone)]
+pub struct LayerScheduleProblem {
+    /// Number of QPUs.
+    pub num_qpus: usize,
+    /// Main tasks per QPU (task `j` of QPU `i` is its `j`-th execution
+    /// layer; layers must run in order).
+    pub main_counts: Vec<usize>,
+    /// Synchronization tasks.
+    pub sync_tasks: Vec<SyncTask>,
+    /// Connection capacity `K_max`: concurrent sync tasks per QPU slot.
+    pub kmax: usize,
+    /// Optional node-level structure for τ_local; without it τ_local is
+    /// the layer-level fusee bound only.
+    pub local: Option<LocalStructure>,
+    /// OneAdapt-style dynamic refresh bound: every stored photon —
+    /// fusee, measuree, or connector — is re-injected after at most
+    /// this many cycles, so every lifetime term is capped here.
+    pub refresh_bound: Option<usize>,
+}
+
+/// A task reference: either main task `(qpu, index)` or sync task `k`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskRef {
+    /// Main task `J_{qpu, index}`.
+    Main(usize, usize),
+    /// Synchronization task `S_k`.
+    Sync(usize),
+}
+
+/// A complete schedule: start times for every task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// `main_start[i][j]` — start slot of main task `J_{i,j}`.
+    pub main_start: Vec<Vec<usize>>,
+    /// `sync_start[k]` — start slot of sync task `S_k`.
+    pub sync_start: Vec<usize>,
+}
+
+/// Cost breakdown of a schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleCost {
+    /// Required lifetime of local computation (Algorithm 1 with start
+    /// times).
+    pub tau_local: usize,
+    /// Required lifetime of remote communication.
+    pub tau_remote: usize,
+    /// Total schedule length (makespan) — the distributed execution
+    /// time.
+    pub makespan: usize,
+}
+
+impl ScheduleCost {
+    /// The Definition IV.1 objective: `max(τ_local, τ_remote)`.
+    #[must_use]
+    pub fn objective(&self) -> usize {
+        self.tau_local.max(self.tau_remote)
+    }
+}
+
+impl LayerScheduleProblem {
+    /// Creates a problem without node-level structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed sync endpoints or `kmax == 0`.
+    #[must_use]
+    pub fn new(
+        main_counts: Vec<usize>,
+        sync_tasks: Vec<SyncTask>,
+        kmax: usize,
+    ) -> Self {
+        let num_qpus = main_counts.len();
+        assert!(kmax >= 1, "K_max must be positive");
+        for s in &sync_tasks {
+            for &(q, j) in &[s.a, s.b] {
+                assert!(q < num_qpus, "sync endpoint QPU out of range");
+                assert!(j < main_counts[q], "sync endpoint task out of range");
+            }
+            assert_ne!(s.a.0, s.b.0, "sync tasks join distinct QPUs");
+        }
+        Self {
+            num_qpus,
+            main_counts,
+            sync_tasks,
+            kmax,
+            local: None,
+            refresh_bound: None,
+        }
+    }
+
+    /// Sets the dynamic-refresh cap applied to every lifetime term.
+    #[must_use]
+    pub fn with_refresh_bound(mut self, bound: usize) -> Self {
+        self.refresh_bound = Some(bound);
+        self
+    }
+
+    /// Attaches node-level structure for exact τ_local evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slots reference missing tasks or tables disagree.
+    #[must_use]
+    pub fn with_local(mut self, local: LocalStructure) -> Self {
+        assert_eq!(
+            local.deps.node_count(),
+            local.node_slot.len(),
+            "dependency graph and slot table disagree"
+        );
+        for &(q, j) in &local.node_slot {
+            assert!(q < self.num_qpus && j < self.main_counts[q], "bad node slot");
+        }
+        for &(u, v) in &local.fusee_pairs {
+            assert!(u < local.node_slot.len() && v < local.node_slot.len());
+        }
+        self.local = Some(local);
+        self
+    }
+
+    /// Total number of tasks (main + sync).
+    #[must_use]
+    pub fn task_count(&self) -> usize {
+        self.main_counts.iter().sum::<usize>() + self.sync_tasks.len()
+    }
+
+    /// Checks feasibility: per-QPU exclusivity (one main task xor up to
+    /// `K_max` syncs per slot) and in-order main tasks.
+    #[must_use]
+    pub fn is_feasible(&self, s: &Schedule) -> bool {
+        if s.main_start.len() != self.num_qpus || s.sync_start.len() != self.sync_tasks.len() {
+            return false;
+        }
+        use std::collections::HashMap;
+        // (qpu, t) -> (mains, syncs)
+        let mut usage: HashMap<(usize, usize), (usize, usize)> = HashMap::new();
+        for (i, starts) in s.main_start.iter().enumerate() {
+            if starts.len() != self.main_counts[i] {
+                return false;
+            }
+            for (j, &t) in starts.iter().enumerate() {
+                if j > 0 && starts[j - 1] >= t {
+                    return false; // layers must run in order
+                }
+                usage.entry((i, t)).or_insert((0, 0)).0 += 1;
+            }
+        }
+        for (k, sync) in self.sync_tasks.iter().enumerate() {
+            let t = s.sync_start[k];
+            for &(q, _) in &[sync.a, sync.b] {
+                usage.entry((q, t)).or_insert((0, 0)).1 += 1;
+            }
+        }
+        usage.values().all(|&(mains, syncs)| {
+            (mains == 0 || (mains == 1 && syncs == 0)) && syncs <= self.kmax
+        })
+    }
+
+    /// Evaluates a schedule's cost (assumes feasibility).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule shape disagrees with the problem, or the
+    /// dependency graph is cyclic.
+    #[must_use]
+    pub fn evaluate(&self, s: &Schedule) -> ScheduleCost {
+        assert_eq!(s.main_start.len(), self.num_qpus, "schedule shape mismatch");
+        assert_eq!(s.sync_start.len(), self.sync_tasks.len());
+        // With dynamic refresh, any photon stored beyond the bound is
+        // re-injected, so no lifetime term can exceed it.
+        let cap = |t: usize| match self.refresh_bound {
+            Some(d) => t.min(d),
+            None => t,
+        };
+        // τ_remote.
+        let tau_remote = self
+            .sync_tasks
+            .iter()
+            .zip(&s.sync_start)
+            .flat_map(|(sync, &t)| {
+                [sync.a, sync.b]
+                    .into_iter()
+                    .map(move |(q, j)| t.abs_diff(s.main_start[q][j]))
+            })
+            .max()
+            .unwrap_or(0);
+        let tau_remote = cap(tau_remote);
+        // τ_local via Algorithm 1 with start times.
+        let tau_local = match &self.local {
+            None => 0,
+            Some(local) => {
+                let times: Vec<usize> = local
+                    .node_slot
+                    .iter()
+                    .map(|&(q, j)| s.main_start[q][j])
+                    .collect();
+                let pairs: Vec<(usize, usize)> = local
+                    .fusee_pairs
+                    .iter()
+                    .map(|&(u, v)| (times[u], times[v]))
+                    .collect();
+                let report =
+                    mbqc_compiler::required_photon_lifetime(&times, &pairs, &local.deps);
+                cap(report.fusee).max(cap(report.measuree))
+            }
+        };
+        let makespan = s
+            .main_start
+            .iter()
+            .flatten()
+            .copied()
+            .chain(s.sync_start.iter().copied())
+            .max()
+            .map_or(0, |t| t + 1);
+        ScheduleCost {
+            tau_local,
+            tau_remote,
+            makespan,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_problem() -> LayerScheduleProblem {
+        // 2 QPUs with 2 main tasks each, one sync joining J_{0,1} and
+        // J_{1,0}.
+        LayerScheduleProblem::new(
+            vec![2, 2],
+            vec![SyncTask { a: (0, 1), b: (1, 0) }],
+            4,
+        )
+    }
+
+    #[test]
+    fn feasibility_accepts_valid() {
+        let p = tiny_problem();
+        let s = Schedule {
+            main_start: vec![vec![0, 1], vec![0, 1]],
+            sync_start: vec![2],
+        };
+        assert!(p.is_feasible(&s));
+    }
+
+    #[test]
+    fn feasibility_rejects_out_of_order_mains() {
+        let p = tiny_problem();
+        let s = Schedule {
+            main_start: vec![vec![1, 0], vec![0, 1]],
+            sync_start: vec![2],
+        };
+        assert!(!p.is_feasible(&s));
+    }
+
+    #[test]
+    fn feasibility_rejects_main_sync_overlap() {
+        let p = tiny_problem();
+        // Sync at t=1 collides with QPU 0's main task at t=1.
+        let s = Schedule {
+            main_start: vec![vec![0, 1], vec![0, 2]],
+            sync_start: vec![1],
+        };
+        assert!(!p.is_feasible(&s));
+    }
+
+    #[test]
+    fn feasibility_enforces_kmax() {
+        let p = LayerScheduleProblem::new(
+            vec![1, 1],
+            vec![
+                SyncTask { a: (0, 0), b: (1, 0) },
+                SyncTask { a: (0, 0), b: (1, 0) },
+            ],
+            1,
+        );
+        let both_at_once = Schedule {
+            main_start: vec![vec![0], vec![0]],
+            sync_start: vec![1, 1],
+        };
+        assert!(!p.is_feasible(&both_at_once));
+        let spread = Schedule {
+            main_start: vec![vec![0], vec![0]],
+            sync_start: vec![1, 2],
+        };
+        assert!(p.is_feasible(&spread));
+    }
+
+    #[test]
+    fn tau_remote_is_max_endpoint_distance() {
+        let p = tiny_problem();
+        let s = Schedule {
+            main_start: vec![vec![0, 1], vec![0, 4]],
+            sync_start: vec![5],
+        };
+        // Sync at 5 vs J_{0,1} at 1 (distance 4) and J_{1,0} at 0
+        // (distance 5).
+        let cost = p.evaluate(&s);
+        assert_eq!(cost.tau_remote, 5);
+        assert_eq!(cost.makespan, 6);
+        assert_eq!(cost.tau_local, 0, "no local structure attached");
+        assert_eq!(cost.objective(), 5);
+    }
+
+    #[test]
+    fn tau_local_uses_start_times() {
+        use mbqc_graph::NodeId;
+        // Two nodes fused across QPUs' layers scheduled 7 slots apart.
+        let mut deps = DiGraph::with_nodes(2);
+        deps.add_edge(NodeId::new(0), NodeId::new(1));
+        let p = LayerScheduleProblem::new(vec![1, 1], vec![], 4).with_local(LocalStructure {
+            node_slot: vec![(0, 0), (1, 0)],
+            fusee_pairs: vec![(0, 1)],
+            deps,
+        });
+        let s = Schedule {
+            main_start: vec![vec![0], vec![7]],
+            sync_start: vec![],
+        };
+        let cost = p.evaluate(&s);
+        assert_eq!(cost.tau_local, 7);
+    }
+
+    #[test]
+    fn empty_problem_zero_cost() {
+        let p = LayerScheduleProblem::new(vec![0, 0], vec![], 4);
+        let s = Schedule {
+            main_start: vec![vec![], vec![]],
+            sync_start: vec![],
+        };
+        assert!(p.is_feasible(&s));
+        let cost = p.evaluate(&s);
+        assert_eq!(cost.makespan, 0);
+        assert_eq!(cost.objective(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct QPUs")]
+    fn same_qpu_sync_panics() {
+        let _ = LayerScheduleProblem::new(
+            vec![2],
+            vec![SyncTask { a: (0, 0), b: (0, 1) }],
+            4,
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! Minimal complex-number arithmetic for the simulators.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub};
+
+/// A complex number with `f64` components.
+///
+/// Only the operations the simulators need are provided; this is not a
+/// general-purpose numerics type.
+///
+/// # Examples
+///
+/// ```
+/// use mbqc_sim::C64;
+///
+/// let i = C64::I;
+/// assert_eq!(i * i, -C64::ONE);
+/// assert!((C64::new(3.0, 4.0).norm_sqr() - 25.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// Zero.
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular components.
+    #[must_use]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// `e^{iθ}`.
+    #[must_use]
+    pub fn from_polar_unit(theta: f64) -> Self {
+        Self {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    #[must_use]
+    pub fn conj(self) -> Self {
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared magnitude `|z|²`.
+    #[must_use]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    #[must_use]
+    pub fn norm(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Scales by a real factor.
+    #[must_use]
+    pub fn scale(self, k: f64) -> Self {
+        Self {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+
+    /// `true` if both components are within `eps` of zero.
+    #[must_use]
+    pub fn is_near_zero(self, eps: f64) -> bool {
+        self.re.abs() < eps && self.im.abs() < eps
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    fn add(self, rhs: C64) -> C64 {
+        C64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for C64 {
+    fn add_assign(&mut self, rhs: C64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    fn sub(self, rhs: C64) -> C64 {
+        C64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    fn mul(self, rhs: C64) -> C64 {
+        C64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for C64 {
+    fn mul_assign(&mut self, rhs: C64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.4}+{:.4}i", self.re, self.im)
+        } else {
+            write!(f, "{:.4}-{:.4}i", self.re, -self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(-0.5, 3.0);
+        assert_eq!(a + b, C64::new(0.5, 5.0));
+        assert_eq!(a - b, C64::new(1.5, -1.0));
+        assert_eq!(a * C64::ONE, a);
+        assert_eq!(a * C64::ZERO, C64::ZERO);
+        assert_eq!(-a, C64::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn multiplication_matches_formula() {
+        let a = C64::new(2.0, 1.0);
+        let b = C64::new(3.0, -2.0);
+        // (2+i)(3-2i) = 6 - 4i + 3i + 2 = 8 - i
+        assert_eq!(a * b, C64::new(8.0, -1.0));
+    }
+
+    #[test]
+    fn conjugate_and_norm() {
+        let z = C64::new(3.0, -4.0);
+        assert_eq!(z.conj(), C64::new(3.0, 4.0));
+        assert!((z.norm() - 5.0).abs() < 1e-12);
+        assert!(((z * z.conj()).re - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn polar_unit_circle() {
+        let z = C64::from_polar_unit(PI / 2.0);
+        assert!((z - C64::I).is_near_zero(1e-12));
+        let w = C64::from_polar_unit(PI);
+        assert!((w + C64::ONE).is_near_zero(1e-12));
+    }
+
+    #[test]
+    fn display_signs() {
+        assert_eq!(C64::new(1.0, 2.0).to_string(), "1.0000+2.0000i");
+        assert_eq!(C64::new(1.0, -2.0).to_string(), "1.0000-2.0000i");
+    }
+}

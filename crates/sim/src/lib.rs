@@ -1,0 +1,42 @@
+//! Quantum simulation substrate for semantic validation.
+//!
+//! The DC-MBQC pipeline is a *compiler*: its correctness rests on the
+//! circuit → pattern translation being unitarily faithful and on graph
+//! states having the stabilizer structure the paper assumes
+//! (`K_i = X_i ∏_{j∈N(i)} Z_j`). This crate proves both on concrete
+//! instances:
+//!
+//! * [`complex`] / [`statevector`] — a dense statevector simulator with
+//!   the full benchmark gate set, XY-plane measurements, and dynamic
+//!   qubit allocation/removal.
+//! * [`stabilizer`] — an Aaronson–Gottesman CHP tableau simulator with
+//!   Pauli-group membership checking, used to verify graph-state
+//!   stabilizers on instances far beyond statevector reach.
+//! * [`pattern_sim`] — a lazy MBQC pattern executor: it walks a
+//!   [`Pattern`](mbqc_pattern::Pattern) in measurement order, allocates
+//!   photons on demand, applies byproduct corrections, and returns the
+//!   output state — so circuit ↔ pattern equivalence is checked end to
+//!   end, random measurement outcomes included.
+//!
+//! # Examples
+//!
+//! ```
+//! use mbqc_circuit::Circuit;
+//! use mbqc_pattern::transpile;
+//! use mbqc_sim::pattern_sim::verify_pattern_equivalence;
+//! use mbqc_util::Rng;
+//!
+//! let mut c = Circuit::new(2);
+//! c.h(0).cnot(0, 1).t(1);
+//! let p = transpile::transpile(&c);
+//! let mut rng = Rng::seed_from_u64(1);
+//! assert!(verify_pattern_equivalence(&c, &p, 5, &mut rng));
+//! ```
+
+pub mod complex;
+pub mod pattern_sim;
+pub mod stabilizer;
+pub mod statevector;
+
+pub use complex::C64;
+pub use statevector::StateVector;

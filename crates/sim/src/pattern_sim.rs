@@ -1,0 +1,371 @@
+//! Lazy MBQC pattern execution.
+//!
+//! Executes a [`Pattern`] exactly as a photonic machine would, but on a
+//! statevector: photons (graph nodes) are allocated on demand in `|+⟩`,
+//! entangling CZs are applied when the later endpoint of an edge comes
+//! alive, measurements happen in a flow-respecting order with byproduct
+//! corrections folded into the measurement angle
+//! (`M^α X^s Z^t = M^{(−1)^s α + tπ}`, Section II-A of the paper), and
+//! measured photons are dropped from the register. The active register
+//! therefore stays near the circuit width even though the full graph
+//! state may have thousands of nodes — this mirrors how the hardware
+//! consumes the graph state incrementally (Section II-B).
+
+use mbqc_circuit::{Circuit, Gate};
+use mbqc_graph::NodeId;
+use mbqc_pattern::Pattern;
+use mbqc_util::Rng;
+
+use crate::StateVector;
+
+/// Result of executing a pattern.
+#[derive(Debug, Clone)]
+pub struct PatternRun {
+    /// Output state over the logical qubits, in logical-qubit order, with
+    /// all byproducts corrected.
+    pub output: StateVector,
+    /// Measurement outcomes by node index (unmeasured nodes `false`).
+    pub outcomes: Vec<bool>,
+    /// Peak number of simultaneously active photons — the simulator-side
+    /// analogue of the frontier the hardware must keep alive.
+    pub max_active: usize,
+}
+
+/// Executes `pattern` on `input` (a state over the logical input qubits,
+/// qubit `i` ↔ `pattern.inputs()[i]`).
+///
+/// # Panics
+///
+/// Panics if `input` has the wrong qubit count or the pattern has no
+/// causal flow.
+#[must_use]
+pub fn simulate_pattern(pattern: &Pattern, input: &StateVector, rng: &mut Rng) -> PatternRun {
+    let n_logical = pattern.inputs().len();
+    assert_eq!(
+        input.num_qubits(),
+        n_logical,
+        "input state must cover exactly the pattern inputs"
+    );
+    let n = pattern.node_count();
+    let graph = pattern.graph();
+
+    let mut state = input.clone();
+    // register[pos] = node occupying statevector qubit `pos`.
+    let mut register: Vec<NodeId> = pattern.inputs().to_vec();
+    let mut active = vec![false; n];
+    for &i in pattern.inputs() {
+        active[i.index()] = true;
+    }
+    let mut x_byp = vec![false; n];
+    let mut z_byp = vec![false; n];
+    let mut outcomes = vec![false; n];
+    let mut max_active = register.len();
+
+    let pos_of = |register: &[NodeId], node: NodeId| -> usize {
+        register
+            .iter()
+            .position(|&m| m == node)
+            .expect("node not in register")
+    };
+
+    // Activates `v`: allocate |+⟩ and entangle with already-active
+    // neighbors (each edge is applied exactly once, when its second
+    // endpoint activates).
+    fn activate(
+        v: NodeId,
+        pattern: &Pattern,
+        state: &mut StateVector,
+        register: &mut Vec<NodeId>,
+        active: &mut [bool],
+    ) {
+        if active[v.index()] {
+            return;
+        }
+        let pos_v = state.add_qubit_plus();
+        register.push(v);
+        debug_assert_eq!(register.len() - 1, pos_v);
+        active[v.index()] = true;
+        for w in pattern.graph().neighbors(v) {
+            if active[w.index()] {
+                if let Some(pos_w) = register.iter().position(|&m| m == w) {
+                    state.apply_gate(&Gate::Cz(pos_v, pos_w));
+                }
+            }
+        }
+    }
+
+    // Inputs may have edges among themselves (e.g. a bare CZ circuit):
+    // apply those now — both endpoints were active from the start.
+    for (a, b, _) in graph.edges() {
+        if pattern.inputs().contains(&a) && pattern.inputs().contains(&b) {
+            let pa = pos_of(&register, a);
+            let pb = pos_of(&register, b);
+            state.apply_gate(&Gate::Cz(pa, pb));
+        }
+    }
+
+    for u in pattern.measurement_order() {
+        activate(u, pattern, &mut state, &mut register, &mut active);
+        for w in graph.neighbors(u) {
+            activate(w, pattern, &mut state, &mut register, &mut active);
+        }
+        max_active = max_active.max(register.len());
+
+        // Fold byproducts into the measurement angle.
+        let mut theta = pattern.angle(u);
+        if x_byp[u.index()] {
+            theta = -theta;
+        }
+        if z_byp[u.index()] {
+            theta += std::f64::consts::PI;
+        }
+        let pos_u = pos_of(&register, u);
+        let s = state.measure_xy(pos_u, theta, rng);
+        state.remove_qubit(pos_u);
+        register.remove(pos_u);
+        outcomes[u.index()] = s;
+
+        if s {
+            // Flow corrections: X on f(u), Z on N(f(u)) \ {u}.
+            let f = pattern.wire_successor(u).expect("measured node has successor");
+            x_byp[f.index()] ^= true;
+            for w in graph.neighbors(f) {
+                if w != u {
+                    z_byp[w.index()] ^= true;
+                }
+            }
+        }
+    }
+
+    // Only outputs remain. Apply residual byproducts.
+    for &o in pattern.outputs() {
+        let pos = pos_of(&register, o);
+        if z_byp[o.index()] {
+            state.apply_gate(&Gate::Z(pos));
+        }
+        if x_byp[o.index()] {
+            state.apply_gate(&Gate::X(pos));
+        }
+    }
+    // Reorder register to logical-qubit order: map[new_q] = current pos.
+    let map: Vec<usize> = pattern
+        .outputs()
+        .iter()
+        .map(|&o| pos_of(&register, o))
+        .collect();
+    state.reorder_qubits(&map);
+
+    PatternRun {
+        output: state,
+        outcomes,
+        max_active,
+    }
+}
+
+/// Builds a randomized (but seed-deterministic) input-preparation circuit
+/// over `n` qubits: per-qubit Euler rotations plus an entangling CNOT
+/// ladder, so equivalence checks exercise entangled inputs.
+#[must_use]
+pub fn random_input_prep(n: usize, rng: &mut Rng) -> Circuit {
+    let mut prep = Circuit::new(n);
+    for q in 0..n {
+        prep.ry(q, std::f64::consts::PI * rng.next_f64());
+        prep.rz(q, std::f64::consts::PI * rng.next_f64());
+    }
+    for q in 1..n {
+        if rng.bernoulli(0.5) {
+            prep.cnot(q - 1, q);
+        }
+    }
+    prep
+}
+
+/// Checks that executing `pattern` reproduces `circuit`'s unitary on
+/// `trials` random (possibly entangled) input states, with random
+/// measurement outcomes each run.
+///
+/// Returns `false` as soon as any trial's output fidelity drops below
+/// `1 − 1e−6`.
+///
+/// # Panics
+///
+/// Panics if the circuit register and pattern inputs disagree.
+#[must_use]
+pub fn verify_pattern_equivalence(
+    circuit: &Circuit,
+    pattern: &Pattern,
+    trials: usize,
+    rng: &mut Rng,
+) -> bool {
+    let n = circuit.num_qubits();
+    assert_eq!(n, pattern.inputs().len(), "qubit count mismatch");
+    for _ in 0..trials {
+        let prep = random_input_prep(n, rng);
+        let mut input = StateVector::zero_state(n);
+        input.apply_circuit(&prep);
+
+        let mut expected = input.clone();
+        expected.apply_circuit(circuit);
+
+        let run = simulate_pattern(pattern, &input, rng);
+        if run.output.fidelity(&expected) < 1.0 - 1e-6 {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbqc_circuit::bench;
+    use mbqc_pattern::transpile::transpile;
+
+    fn check(circuit: &Circuit, seed: u64) {
+        let pattern = transpile(circuit);
+        let mut rng = Rng::seed_from_u64(seed);
+        assert!(
+            verify_pattern_equivalence(circuit, &pattern, 4, &mut rng),
+            "pattern does not reproduce circuit:\n{circuit}"
+        );
+    }
+
+    #[test]
+    fn identity_circuit() {
+        check(&Circuit::new(2), 1);
+    }
+
+    #[test]
+    fn single_h() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        check(&c, 2);
+    }
+
+    #[test]
+    fn single_rotations() {
+        let mut c = Circuit::new(1);
+        c.rz(0, 0.7);
+        check(&c, 3);
+        let mut c = Circuit::new(1);
+        c.rx(0, 1.1);
+        check(&c, 4);
+        let mut c = Circuit::new(1);
+        c.ry(0, -0.9);
+        check(&c, 5);
+    }
+
+    #[test]
+    fn pauli_and_clifford_gates() {
+        for (i, g) in [
+            Gate::X(0),
+            Gate::Y(0),
+            Gate::Z(0),
+            Gate::S(0),
+            Gate::Sdg(0),
+            Gate::T(0),
+            Gate::Tdg(0),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let mut c = Circuit::new(1);
+            c.push(g).unwrap();
+            check(&c, 10 + i as u64);
+        }
+    }
+
+    #[test]
+    fn bare_cz() {
+        let mut c = Circuit::new(2);
+        c.cz(0, 1);
+        check(&c, 20);
+    }
+
+    #[test]
+    fn cnot_pattern() {
+        let mut c = Circuit::new(2);
+        c.cnot(0, 1);
+        check(&c, 21);
+        let mut c = Circuit::new(2);
+        c.cnot(1, 0);
+        check(&c, 22);
+    }
+
+    #[test]
+    fn gate_sequences() {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1).t(1).h(1).rz(0, 0.3).cnot(1, 0);
+        check(&c, 23);
+    }
+
+    #[test]
+    fn swap_and_cphase() {
+        let mut c = Circuit::new(2);
+        c.swap(0, 1).cphase(0, 1, 0.8);
+        check(&c, 24);
+    }
+
+    #[test]
+    fn rzz_interaction() {
+        let mut c = Circuit::new(2);
+        c.h(0).h(1).rzz(0, 1, 1.7).rx(0, 0.4);
+        check(&c, 25);
+    }
+
+    #[test]
+    fn toffoli_three_qubits() {
+        let mut c = Circuit::new(3);
+        c.h(0).h(1).toffoli(0, 1, 2);
+        check(&c, 26);
+    }
+
+    #[test]
+    fn small_benchmark_circuits_are_faithful() {
+        check(&bench::qft(3), 30);
+        check(&bench::qft(4), 31);
+        check(&bench::vqe(3, 7), 32);
+        check(&bench::qaoa(4, 8).circuit, 33);
+        check(&bench::rca(4), 34);
+    }
+
+    #[test]
+    fn outcomes_are_recorded() {
+        let mut c = Circuit::new(1);
+        c.t(0).h(0).t(0);
+        let p = transpile(&c);
+        let mut rng = Rng::seed_from_u64(40);
+        let input = StateVector::zero_state(1);
+        let run = simulate_pattern(&p, &input, &mut rng);
+        let measured = p.measurement_order().len();
+        assert_eq!(run.outcomes.len(), p.node_count());
+        assert!(run.max_active >= 2);
+        assert!(measured > 0);
+    }
+
+    #[test]
+    fn frontier_stays_small() {
+        // A 3-qubit QFT pattern has dozens of nodes but the live register
+        // must stay near the circuit width.
+        let c = bench::qft(3);
+        let p = transpile(&c);
+        let mut rng = Rng::seed_from_u64(41);
+        let input = StateVector::zero_state(3);
+        let run = simulate_pattern(&p, &input, &mut rng);
+        assert!(
+            run.max_active <= 3 + 4,
+            "frontier blew up: {} active photons",
+            run.max_active
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "input state must cover")]
+    fn wrong_input_size_panics() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        let p = transpile(&c);
+        let mut rng = Rng::seed_from_u64(42);
+        let _ = simulate_pattern(&p, &StateVector::zero_state(1), &mut rng);
+    }
+}

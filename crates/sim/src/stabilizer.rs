@@ -1,0 +1,623 @@
+//! Aaronson–Gottesman CHP stabilizer tableau simulator.
+//!
+//! Graph states are stabilizer states: the paper defines them as the
+//! joint +1 eigenstate of `K_i = X_i ∏_{j∈N(i)} Z_j`. The statevector
+//! simulator can only verify this up to ~20 qubits; the tableau scales to
+//! thousands, so graph-state structure (and Clifford fragments of
+//! patterns) can be checked at benchmark size.
+
+use mbqc_graph::Graph;
+use mbqc_util::Rng;
+
+/// A Pauli string over `n` qubits with a phase `i^phase`.
+///
+/// # Examples
+///
+/// ```
+/// use mbqc_sim::stabilizer::PauliString;
+///
+/// let x = PauliString::single_x(3, 0);
+/// let z = PauliString::single_z(3, 0);
+/// let y = x.mul(&z); // X·Z = −iY
+/// assert_eq!(y.phase(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PauliString {
+    x: Vec<bool>,
+    z: Vec<bool>,
+    /// Phase exponent: the operator is `i^phase · (Pauli product)`.
+    phase: u8,
+}
+
+impl PauliString {
+    /// The identity on `n` qubits.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        Self {
+            x: vec![false; n],
+            z: vec![false; n],
+            phase: 0,
+        }
+    }
+
+    /// `X_q` on `n` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= n`.
+    #[must_use]
+    pub fn single_x(n: usize, q: usize) -> Self {
+        let mut p = Self::identity(n);
+        assert!(q < n, "qubit out of range");
+        p.x[q] = true;
+        p
+    }
+
+    /// `Z_q` on `n` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= n`.
+    #[must_use]
+    pub fn single_z(n: usize, q: usize) -> Self {
+        let mut p = Self::identity(n);
+        assert!(q < n, "qubit out of range");
+        p.z[q] = true;
+        p
+    }
+
+    /// The graph-state stabilizer `K_i = X_i ∏_{j∈N(i)} Z_j`.
+    #[must_use]
+    pub fn graph_stabilizer(graph: &Graph, i: mbqc_graph::NodeId) -> Self {
+        let mut p = Self::single_x(graph.node_count(), i.index());
+        for j in graph.neighbors(i) {
+            p.z[j.index()] = true;
+        }
+        p
+    }
+
+    /// Number of qubits.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// `true` if the string is the identity Pauli (any phase).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        !self.x.iter().any(|&b| b) && !self.z.iter().any(|&b| b)
+    }
+
+    /// Phase exponent (operator = `i^phase · Paulis`).
+    #[must_use]
+    pub fn phase(&self) -> u8 {
+        self.phase
+    }
+
+    /// X bit of qubit `q`.
+    #[must_use]
+    pub fn x_bit(&self, q: usize) -> bool {
+        self.x[q]
+    }
+
+    /// Z bit of qubit `q`.
+    #[must_use]
+    pub fn z_bit(&self, q: usize) -> bool {
+        self.z[q]
+    }
+
+    /// Phase exponent of `i` produced when multiplying single-qubit
+    /// Paulis `(x1,z1) · (x2,z2)` (Aaronson–Gottesman `g` function, mod 4).
+    fn g(x1: bool, z1: bool, x2: bool, z2: bool) -> i8 {
+        match (x1, z1) {
+            (false, false) => 0,
+            (true, true) => i8::from(z2) - i8::from(x2),
+            (true, false) => i8::from(z2) * (2 * i8::from(x2) - 1),
+            (false, true) => i8::from(x2) * (1 - 2 * i8::from(z2)),
+        }
+    }
+
+    /// Product `self · other` with exact phase tracking.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    #[must_use]
+    pub fn mul(&self, other: &PauliString) -> PauliString {
+        assert_eq!(self.len(), other.len(), "length mismatch");
+        let n = self.len();
+        let mut phase = i16::from(self.phase) + i16::from(other.phase);
+        let mut x = vec![false; n];
+        let mut z = vec![false; n];
+        for q in 0..n {
+            phase += i16::from(Self::g(self.x[q], self.z[q], other.x[q], other.z[q]));
+            x[q] = self.x[q] ^ other.x[q];
+            z[q] = self.z[q] ^ other.z[q];
+        }
+        PauliString {
+            x,
+            z,
+            phase: (phase.rem_euclid(4)) as u8,
+        }
+    }
+
+    /// `true` if the two strings commute.
+    #[must_use]
+    pub fn commutes_with(&self, other: &PauliString) -> bool {
+        let mut anti = 0usize;
+        for q in 0..self.len() {
+            if (self.x[q] && other.z[q]) ^ (self.z[q] && other.x[q]) {
+                anti += 1;
+            }
+        }
+        anti % 2 == 0
+    }
+}
+
+/// CHP stabilizer tableau over `n` qubits.
+///
+/// Rows `0..n` are destabilizers, rows `n..2n` stabilizers, following
+/// Aaronson & Gottesman (2004). Supports H, S, CNOT, CZ, X, Z,
+/// single-qubit Z measurement, and Pauli-group membership queries.
+///
+/// # Examples
+///
+/// ```
+/// use mbqc_graph::generate;
+/// use mbqc_sim::stabilizer::{PauliString, Tableau};
+///
+/// let g = generate::cycle_graph(5);
+/// let t = Tableau::graph_state(&g);
+/// for i in g.nodes() {
+///     assert!(t.is_stabilized_by(&PauliString::graph_stabilizer(&g, i)));
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tableau {
+    n: usize,
+    // Row-major bit matrices of size 2n × n.
+    x: Vec<Vec<bool>>,
+    z: Vec<Vec<bool>>,
+    r: Vec<bool>,
+}
+
+impl Tableau {
+    /// The `|0…0⟩` tableau: destabilizers `X_i`, stabilizers `Z_i`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        let rows = 2 * n;
+        let mut t = Self {
+            n,
+            x: vec![vec![false; n]; rows],
+            z: vec![vec![false; n]; rows],
+            r: vec![false; rows],
+        };
+        for i in 0..n {
+            t.x[i][i] = true; // destabilizer X_i
+            t.z[n + i][i] = true; // stabilizer Z_i
+        }
+        t
+    }
+
+    /// Builds the graph state of `graph`: `H` on every qubit, then CZ per
+    /// edge.
+    #[must_use]
+    pub fn graph_state(graph: &Graph) -> Self {
+        let mut t = Self::new(graph.node_count());
+        for q in 0..graph.node_count() {
+            t.h(q);
+        }
+        for (a, b, _) in graph.edges() {
+            t.cz(a.index(), b.index());
+        }
+        t
+    }
+
+    /// Number of qubits.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    fn check(&self, q: usize) {
+        assert!(q < self.n, "qubit {q} out of range");
+    }
+
+    /// Hadamard on `q`.
+    pub fn h(&mut self, q: usize) {
+        self.check(q);
+        for i in 0..2 * self.n {
+            self.r[i] ^= self.x[i][q] && self.z[i][q];
+            let tmp = self.x[i][q];
+            self.x[i][q] = self.z[i][q];
+            self.z[i][q] = tmp;
+        }
+    }
+
+    /// Phase gate S on `q`.
+    pub fn s(&mut self, q: usize) {
+        self.check(q);
+        for i in 0..2 * self.n {
+            self.r[i] ^= self.x[i][q] && self.z[i][q];
+            self.z[i][q] ^= self.x[i][q];
+        }
+    }
+
+    /// Pauli Z on `q` (= S²).
+    pub fn z_gate(&mut self, q: usize) {
+        self.s(q);
+        self.s(q);
+    }
+
+    /// Pauli X on `q` (= H·Z·H).
+    pub fn x_gate(&mut self, q: usize) {
+        self.h(q);
+        self.z_gate(q);
+        self.h(q);
+    }
+
+    /// CNOT with the given control and target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `control == target` or either is out of range.
+    pub fn cnot(&mut self, control: usize, target: usize) {
+        self.check(control);
+        self.check(target);
+        assert_ne!(control, target, "control and target must differ");
+        for i in 0..2 * self.n {
+            self.r[i] ^=
+                self.x[i][control] && self.z[i][target] && (self.x[i][target] ^ self.z[i][control] ^ true);
+            self.x[i][target] ^= self.x[i][control];
+            self.z[i][control] ^= self.z[i][target];
+        }
+    }
+
+    /// CZ between `a` and `b` (via `H_b · CNOT_{a,b} · H_b`).
+    pub fn cz(&mut self, a: usize, b: usize) {
+        self.h(b);
+        self.cnot(a, b);
+        self.h(b);
+    }
+
+    /// Phase exponent sum used by `rowsum` (Aaronson–Gottesman).
+    fn rowsum_phase(&self, h: usize, i: usize) -> i16 {
+        let mut acc = 2 * i16::from(self.r[h]) + 2 * i16::from(self.r[i]);
+        for q in 0..self.n {
+            acc += i16::from(PauliString::g(
+                self.x[i][q],
+                self.z[i][q],
+                self.x[h][q],
+                self.z[h][q],
+            ));
+        }
+        acc.rem_euclid(4)
+    }
+
+    /// `row[h] ← row[h] · row[i]` with phase bookkeeping.
+    fn rowsum(&mut self, h: usize, i: usize) {
+        let phase = self.rowsum_phase(h, i);
+        debug_assert!(phase == 0 || phase == 2, "non-Hermitian rowsum");
+        self.r[h] = phase == 2;
+        for q in 0..self.n {
+            self.x[h][q] ^= self.x[i][q];
+            self.z[h][q] ^= self.z[i][q];
+        }
+    }
+
+    /// Measures qubit `q` in the computational basis.
+    ///
+    /// Random outcomes (when some stabilizer anticommutes with `Z_q`)
+    /// draw from `rng`; deterministic outcomes ignore it.
+    pub fn measure_z(&mut self, q: usize, rng: &mut Rng) -> bool {
+        self.check(q);
+        let n = self.n;
+        // Find a stabilizer with an X on q (anticommutes with Z_q).
+        if let Some(p) = (n..2 * n).find(|&i| self.x[i][q]) {
+            // Random outcome.
+            for i in 0..2 * n {
+                if i != p && self.x[i][q] {
+                    self.rowsum(i, p);
+                }
+            }
+            // Destabilizer row p−n becomes the old stabilizer row p.
+            self.x[p - n] = self.x[p].clone();
+            self.z[p - n] = self.z[p].clone();
+            self.r[p - n] = self.r[p];
+            // Stabilizer row p becomes ±Z_q with the measured sign.
+            let outcome = rng.bernoulli(0.5);
+            for c in 0..n {
+                self.x[p][c] = false;
+                self.z[p][c] = false;
+            }
+            self.z[p][q] = true;
+            self.r[p] = outcome;
+            outcome
+        } else {
+            // Deterministic outcome: accumulate into a scratch row.
+            let scratch = self.scratch_row(q);
+            scratch
+        }
+    }
+
+    /// Computes the deterministic measurement outcome for `Z_q` using a
+    /// scratch row (case where no stabilizer has an X on `q`).
+    fn scratch_row(&self, q: usize) -> bool {
+        let n = self.n;
+        let mut sx = vec![false; n];
+        let mut sz = vec![false; n];
+        let mut sr: i16 = 0;
+        for i in 0..n {
+            if self.x[i][q] {
+                // rowsum(scratch, i + n)
+                let stab = i + n;
+                let mut acc = 2 * i16::from(self.r[stab]) + sr;
+                for c in 0..n {
+                    acc += i16::from(PauliString::g(self.x[stab][c], self.z[stab][c], sx[c], sz[c]));
+                }
+                sr = acc.rem_euclid(4);
+                for c in 0..n {
+                    sx[c] ^= self.x[stab][c];
+                    sz[c] ^= self.z[stab][c];
+                }
+            }
+        }
+        debug_assert!(sr == 0 || sr == 2);
+        sr == 2
+    }
+
+    /// The current stabilizer generators as [`PauliString`]s (phase 0 for
+    /// `+`, 2 for `−`).
+    #[must_use]
+    pub fn stabilizer_generators(&self) -> Vec<PauliString> {
+        (self.n..2 * self.n)
+            .map(|i| PauliString {
+                x: self.x[i].clone(),
+                z: self.z[i].clone(),
+                phase: if self.r[i] { 2 } else { 0 },
+            })
+            .collect()
+    }
+
+    /// Returns `true` if `+p` is in the stabilizer group of the current
+    /// state (i.e. `p` stabilizes the state).
+    ///
+    /// Runs Gaussian elimination over the symplectic representation with
+    /// exact sign tracking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` has the wrong qubit count.
+    #[must_use]
+    pub fn is_stabilized_by(&self, p: &PauliString) -> bool {
+        assert_eq!(p.len(), self.n, "qubit count mismatch");
+        let mut gens = self.stabilizer_generators();
+        let mut target = p.clone();
+        let mut pivot_row = 0usize;
+        // Columns: first all x-bits, then all z-bits.
+        for col in 0..2 * self.n {
+            let bit = |g: &PauliString| {
+                if col < self.n {
+                    g.x[col]
+                } else {
+                    g.z[col - self.n]
+                }
+            };
+            let Some(r) = (pivot_row..gens.len()).find(|&r| bit(&gens[r])) else {
+                continue;
+            };
+            gens.swap(pivot_row, r);
+            let pivot = gens[pivot_row].clone();
+            for g in gens.iter_mut().skip(pivot_row + 1) {
+                if bit(g) {
+                    *g = g.mul(&pivot);
+                }
+            }
+            if bit(&target) {
+                target = target.mul(&pivot);
+            }
+            pivot_row += 1;
+        }
+        target.is_empty() && target.phase % 4 == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbqc_graph::generate;
+
+    #[test]
+    fn pauli_products() {
+        let n = 1;
+        let x = PauliString::single_x(n, 0);
+        let z = PauliString::single_z(n, 0);
+        // X·Z = −iY → phase exponent 3.
+        let xz = x.mul(&z);
+        assert!(xz.x_bit(0) && xz.z_bit(0));
+        assert_eq!(xz.phase(), 3);
+        // Z·X = iY → phase 1.
+        assert_eq!(z.mul(&x).phase(), 1);
+        // X·X = I.
+        let xx = x.mul(&x);
+        assert!(xx.is_empty());
+        assert_eq!(xx.phase(), 0);
+    }
+
+    #[test]
+    fn commutation_relations() {
+        let x = PauliString::single_x(2, 0);
+        let z0 = PauliString::single_z(2, 0);
+        let z1 = PauliString::single_z(2, 1);
+        assert!(!x.commutes_with(&z0));
+        assert!(x.commutes_with(&z1));
+        assert!(z0.commutes_with(&z1));
+    }
+
+    #[test]
+    fn zero_state_stabilized_by_z() {
+        let t = Tableau::new(3);
+        for q in 0..3 {
+            assert!(t.is_stabilized_by(&PauliString::single_z(3, q)));
+            assert!(!t.is_stabilized_by(&PauliString::single_x(3, q)));
+        }
+    }
+
+    #[test]
+    fn plus_state_after_h() {
+        let mut t = Tableau::new(1);
+        t.h(0);
+        assert!(t.is_stabilized_by(&PauliString::single_x(1, 0)));
+        assert!(!t.is_stabilized_by(&PauliString::single_z(1, 0)));
+    }
+
+    #[test]
+    fn minus_state_sign() {
+        let mut t = Tableau::new(1);
+        t.h(0);
+        t.z_gate(0);
+        // State |−⟩: stabilized by −X, not +X.
+        assert!(!t.is_stabilized_by(&PauliString::single_x(1, 0)));
+        let mut minus_x = PauliString::single_x(1, 0);
+        minus_x.phase = 2;
+        // is_stabilized_by checks +p; −X is in the group ⇔ target reduces
+        // to identity with phase 2 → not "+" stabilized.
+        assert!(t.is_stabilized_by(&minus_x.mul(&minus_x)), "identity check");
+    }
+
+    #[test]
+    fn bell_state_stabilizers() {
+        let mut t = Tableau::new(2);
+        t.h(0);
+        t.cnot(0, 1);
+        // Bell pair stabilized by XX and ZZ.
+        let xx = PauliString::single_x(2, 0).mul(&PauliString::single_x(2, 1));
+        let zz = PauliString::single_z(2, 0).mul(&PauliString::single_z(2, 1));
+        assert!(t.is_stabilized_by(&xx));
+        assert!(t.is_stabilized_by(&zz));
+        assert!(!t.is_stabilized_by(&PauliString::single_z(2, 0)));
+    }
+
+    #[test]
+    fn bell_measurement_correlates() {
+        let mut rng = Rng::seed_from_u64(1);
+        for _ in 0..50 {
+            let mut t = Tableau::new(2);
+            t.h(0);
+            t.cnot(0, 1);
+            let a = t.measure_z(0, &mut rng);
+            let b = t.measure_z(1, &mut rng);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn deterministic_measurement_after_x() {
+        let mut rng = Rng::seed_from_u64(2);
+        let mut t = Tableau::new(1);
+        t.x_gate(0);
+        assert!(t.measure_z(0, &mut rng));
+        // Re-measurement is stable.
+        assert!(t.measure_z(0, &mut rng));
+    }
+
+    #[test]
+    fn graph_state_stabilizers_small() {
+        for g in [
+            generate::path_graph(4),
+            generate::cycle_graph(5),
+            generate::star_graph(6),
+            generate::complete_graph(4),
+        ] {
+            let t = Tableau::graph_state(&g);
+            for i in g.nodes() {
+                let k = PauliString::graph_stabilizer(&g, i);
+                assert!(t.is_stabilized_by(&k), "K_{i} fails");
+            }
+        }
+    }
+
+    #[test]
+    fn graph_state_stabilizers_large() {
+        // Table-II-scale check: 289 nodes (17×17 grid graph).
+        let g = generate::grid_graph(17, 17);
+        let t = Tableau::graph_state(&g);
+        for i in g.nodes().step_by(13) {
+            assert!(t.is_stabilized_by(&PauliString::graph_stabilizer(&g, i)));
+        }
+        // Products of stabilizers are stabilizers too.
+        let a = PauliString::graph_stabilizer(&g, mbqc_graph::NodeId::new(0));
+        let b = PauliString::graph_stabilizer(&g, mbqc_graph::NodeId::new(18));
+        assert!(t.is_stabilized_by(&a.mul(&b)));
+        // A lone X is not.
+        assert!(!t.is_stabilized_by(&PauliString::single_x(g.node_count(), 0)));
+    }
+
+    #[test]
+    fn tableau_matches_statevector_on_random_cliffords() {
+        use crate::StateVector;
+        use mbqc_circuit::{Circuit, Gate};
+        let mut rng = Rng::seed_from_u64(3);
+        for trial in 0..20 {
+            let n = 3;
+            let mut t = Tableau::new(n);
+            let mut c = Circuit::new(n);
+            for _ in 0..12 {
+                match rng.range(4) {
+                    0 => {
+                        let q = rng.range(n);
+                        t.h(q);
+                        c.h(q);
+                    }
+                    1 => {
+                        let q = rng.range(n);
+                        t.s(q);
+                        c.s(q);
+                    }
+                    2 => {
+                        let a = rng.range(n);
+                        let b = (a + 1 + rng.range(n - 1)) % n;
+                        t.cnot(a, b);
+                        c.push(Gate::Cnot { control: a, target: b }).unwrap();
+                    }
+                    _ => {
+                        let a = rng.range(n);
+                        let b = (a + 1 + rng.range(n - 1)) % n;
+                        t.cz(a, b);
+                        c.cz(a, b);
+                    }
+                }
+            }
+            let mut sv = StateVector::zero_state(n);
+            sv.apply_circuit(&c);
+            // Compare single-qubit Z expectation determinism.
+            for q in 0..n {
+                let p1 = sv.prob_one(q);
+                let deterministic = p1 < 1e-9 || p1 > 1.0 - 1e-9;
+                let stab_plus = t.is_stabilized_by(&PauliString::single_z(n, q));
+                let mut minus_z = PauliString::single_z(n, q);
+                minus_z.phase = 2;
+                // −Z stabilizes ⇔ q is deterministically 1. Check via
+                // group membership of Z with sign −: reduce +Z…
+                let stab_minus = {
+                    // is_stabilized_by checks +p only; emulate −Z check by
+                    // testing +Z on the X-flipped tableau.
+                    let mut t2 = t.clone();
+                    t2.x_gate(q);
+                    t2.is_stabilized_by(&PauliString::single_z(n, q))
+                };
+                assert_eq!(
+                    deterministic,
+                    stab_plus || stab_minus,
+                    "trial {trial} qubit {q}: p1={p1}"
+                );
+                if stab_plus {
+                    assert!(p1 < 1e-9);
+                }
+                if stab_minus {
+                    assert!(p1 > 1.0 - 1e-9);
+                }
+            }
+        }
+    }
+}

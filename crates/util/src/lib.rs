@@ -1,0 +1,33 @@
+//! Shared utilities for the DC-MBQC workspace.
+//!
+//! This crate has no external dependencies and provides three things used
+//! across every other crate in the workspace:
+//!
+//! * [`rng`] — deterministic, seedable pseudo-random number generation
+//!   (SplitMix64 and Xoshiro256\*\*). All stochastic components of the
+//!   compiler (simulated annealing, random benchmark instances, tie
+//!   breaking) draw from these generators so that every experiment in the
+//!   paper reproduction is bit-for-bit repeatable from a seed.
+//! * [`table`] — plain-text / markdown / CSV table rendering used by the
+//!   `repro` binary to print the paper's tables and figure series.
+//! * [`stats`] — small summary-statistics helpers (mean, geometric mean,
+//!   min/max, linear fit) used by the evaluation harness.
+//!
+//! # Examples
+//!
+//! ```
+//! use mbqc_util::rng::Rng;
+//!
+//! let mut rng = Rng::seed_from_u64(42);
+//! let x = rng.next_f64();
+//! assert!((0.0..1.0).contains(&x));
+//! let i = rng.range(10);
+//! assert!(i < 10);
+//! ```
+
+pub mod rng;
+pub mod stats;
+pub mod table;
+
+pub use rng::Rng;
+pub use table::TextTable;

@@ -1,0 +1,166 @@
+//! Small summary-statistics helpers used by the evaluation harness.
+//!
+//! # Examples
+//!
+//! ```
+//! use mbqc_util::stats::Summary;
+//!
+//! let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+//! assert_eq!(s.mean, 2.5);
+//! assert_eq!(s.min, 1.0);
+//! assert_eq!(s.max, 4.0);
+//! ```
+
+/// Summary statistics over a slice of `f64` samples.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean (0 for empty input).
+    pub mean: f64,
+    /// Population standard deviation (0 for fewer than 2 samples).
+    pub std_dev: f64,
+    /// Minimum (0 for empty input).
+    pub min: f64,
+    /// Maximum (0 for empty input).
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics of `samples`.
+    ///
+    /// Empty input produces an all-zero summary rather than NaN, which is
+    /// more convenient for table rendering.
+    #[must_use]
+    pub fn of(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Self {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        }
+    }
+}
+
+/// Geometric mean of positive samples.
+///
+/// Returns 0 for empty input. Non-positive samples are skipped (they have
+/// no geometric-mean contribution and would otherwise produce NaN).
+///
+/// # Examples
+///
+/// ```
+/// let g = mbqc_util::stats::geometric_mean(&[1.0, 4.0]);
+/// assert!((g - 2.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn geometric_mean(samples: &[f64]) -> f64 {
+    let logs: Vec<f64> = samples
+        .iter()
+        .filter(|&&x| x > 0.0)
+        .map(|&x| x.ln())
+        .collect();
+    if logs.is_empty() {
+        return 0.0;
+    }
+    (logs.iter().sum::<f64>() / logs.len() as f64).exp()
+}
+
+/// Least-squares linear fit `y ≈ a + b·x`; returns `(a, b)`.
+///
+/// Used by the scalability experiment (Figure 10) to characterize runtime
+/// growth. Returns `(0, 0)` for fewer than two points or degenerate x.
+///
+/// # Examples
+///
+/// ```
+/// let (a, b) = mbqc_util::stats::linear_fit(&[(0.0, 1.0), (1.0, 3.0), (2.0, 5.0)]);
+/// assert!((a - 1.0).abs() < 1e-9);
+/// assert!((b - 2.0).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn linear_fit(points: &[(f64, f64)]) -> (f64, f64) {
+    if points.len() < 2 {
+        return (0.0, 0.0);
+    }
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return (0.0, 0.0);
+    }
+    let b = (n * sxy - sx * sy) / denom;
+    let a = (sy - b * sx) / n;
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn summary_empty_is_zeroed() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    fn summary_single_sample() {
+        let s = Summary::of(&[3.5]);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.min, 3.5);
+        assert_eq!(s.max, 3.5);
+    }
+
+    #[test]
+    fn geometric_mean_matches_identity() {
+        assert_eq!(geometric_mean(&[]), 0.0);
+        assert!((geometric_mean(&[8.0]) - 8.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_skips_nonpositive() {
+        let g = geometric_mean(&[0.0, -5.0, 2.0, 8.0]);
+        assert!((g - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_exact_line() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 + 0.5 * i as f64)).collect();
+        let (a, b) = linear_fit(&pts);
+        assert!((a - 3.0).abs() < 1e-9);
+        assert!((b - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_fit_degenerate() {
+        assert_eq!(linear_fit(&[(1.0, 2.0)]), (0.0, 0.0));
+        assert_eq!(linear_fit(&[(1.0, 2.0), (1.0, 3.0)]), (0.0, 0.0));
+    }
+}

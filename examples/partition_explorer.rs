@@ -1,0 +1,59 @@
+//! Explore the balance–modularity trade-off of Algorithm 2 on a real
+//! benchmark graph: probe history, the chosen operating point, and a
+//! comparison against pure Louvain community detection.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example partition_explorer
+//! ```
+
+use mbqc_circuit::bench;
+use mbqc_partition::adaptive::{adaptive_partition, AdaptiveConfig};
+use mbqc_partition::louvain::louvain;
+use mbqc_partition::modularity::modularity;
+use mbqc_pattern::transpile::transpile;
+use mbqc_util::Rng;
+
+fn main() {
+    let circuit = bench::qft(25);
+    let pattern = transpile(&circuit);
+    let g = pattern.graph();
+    println!(
+        "QFT-25 computation graph: {} photons, {} entangling edges\n",
+        g.node_count(),
+        g.edge_count()
+    );
+
+    // Algorithm 2 with the paper's parameters.
+    let cfg = AdaptiveConfig::new(4);
+    let result = adaptive_partition(g, &cfg);
+    println!("adaptive partitioning probes (Algorithm 2, eps_Q=0.01, gamma=1.02):");
+    println!("  alpha     modularity      cut");
+    for step in &result.history {
+        println!(
+            "  {:<8.4}  {:<10.4}  {:>6}",
+            step.alpha, step.modularity, step.cut
+        );
+    }
+    println!(
+        "\nchosen: alpha = {:.4}, Q = {:.4}, cut = {} edges",
+        result.alpha, result.modularity, result.cut
+    );
+    let weights = result.partition.part_weights(g);
+    println!("part node-weights: {weights:?}");
+
+    // The modularity-first extreme: Louvain ignores balance and k.
+    let mut rng = Rng::seed_from_u64(42);
+    let communities = louvain(g, &mut rng);
+    println!(
+        "\nLouvain (no balance/k guarantee): {} communities, Q = {:.4}, cut = {}",
+        communities.k(),
+        modularity(g, &communities),
+        communities.cut_weight(g)
+    );
+    println!(
+        "adaptive keeps k fixed at {} with imbalance <= {:.2} — the compromise the paper needs",
+        result.partition.k(),
+        result.partition.imbalance(g)
+    );
+}

@@ -1,0 +1,66 @@
+//! Quickstart: compile a QFT program for 4 photonic QPUs and compare it
+//! against the monolithic single-QPU baseline.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dc_mbqc::{ComparisonReport, DcMbqcCompiler, DcMbqcConfig};
+use mbqc_circuit::bench;
+use mbqc_hardware::{DistributedHardware, ResourceStateKind};
+
+fn main() {
+    // 1. A benchmark program: the 16-qubit quantum Fourier transform.
+    let circuit = bench::qft(16);
+    println!(
+        "program: QFT-16 ({} gates, {} two-qubit)",
+        circuit.gate_count(),
+        circuit.two_qubit_gate_count()
+    );
+
+    // 2. Hardware: 4 fully connected QPUs, each a 7x7 grid of 5-star
+    //    resource-state generators, with connection capacity K_max = 4
+    //    (the paper's Table III setting).
+    let hw = DistributedHardware::builder()
+        .num_qpus(4)
+        .grid_width(bench::grid_size_for(16))
+        .resource_state(ResourceStateKind::FIVE_STAR)
+        .kmax(4)
+        .build();
+
+    // 3. Compile both ways.
+    let compiler = DcMbqcCompiler::new(DcMbqcConfig::new(hw));
+    let baseline = compiler
+        .compile_baseline_circuit(&circuit)
+        .expect("baseline compiles");
+    let distributed = compiler
+        .compile_circuit(&circuit)
+        .expect("distributed compiles");
+
+    // 4. The paper's two metrics.
+    let report = ComparisonReport::new("QFT-16", &baseline, &distributed);
+    println!(
+        "execution time : {} -> {} layers ({:.2}x)",
+        report.baseline_exec,
+        report.our_exec,
+        report.exec_factor()
+    );
+    println!(
+        "photon lifetime: {} -> {} cycles ({:.2}x)",
+        report.baseline_lifetime,
+        report.our_lifetime,
+        report.lifetime_factor()
+    );
+    println!(
+        "partition      : cut = {} edges, modularity = {:.3}, layers/QPU = {:?}",
+        distributed.cut_edges(),
+        distributed.modularity(),
+        distributed.per_qpu_layers()
+    );
+    println!(
+        "lifetime parts : tau_local = {}, tau_remote = {}",
+        distributed.tau_local(),
+        distributed.tau_remote()
+    );
+}

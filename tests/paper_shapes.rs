@@ -1,0 +1,150 @@
+//! Shape tests: the qualitative claims of the paper's evaluation must
+//! hold in this reproduction (exact numbers are substrate-dependent;
+//! see EXPERIMENTS.md).
+
+use mbqc_bench::runner::{compare, RunConfig};
+use mbqc_circuit::bench::BenchmarkKind;
+use mbqc_hardware::{loss, ResourceStateKind};
+
+/// Section V-B: DC-MBQC consistently beats the monolithic baseline on
+/// both metrics (Table III).
+#[test]
+fn distributed_beats_baseline_on_both_metrics() {
+    for kind in BenchmarkKind::all() {
+        let outcome = compare(kind, 16, &RunConfig::table3());
+        assert!(
+            outcome.report.exec_factor() > 1.5,
+            "{kind}-16 exec factor {}",
+            outcome.report.exec_factor()
+        );
+        assert!(
+            outcome.report.lifetime_factor() > 1.5,
+            "{kind}-16 lifetime factor {}",
+            outcome.report.lifetime_factor()
+        );
+    }
+}
+
+/// Section V-B: 8 QPUs improve on 4 QPUs (Table IV vs Table III).
+#[test]
+fn eight_qpus_beat_four_qpus() {
+    for kind in [BenchmarkKind::Qft, BenchmarkKind::Rca] {
+        let four = compare(kind, 36, &RunConfig::table3());
+        let eight = compare(kind, 36, &RunConfig::table4());
+        assert!(
+            eight.report.exec_factor() > four.report.exec_factor(),
+            "{kind}: 8-QPU exec factor {} vs 4-QPU {}",
+            eight.report.exec_factor(),
+            four.report.exec_factor()
+        );
+    }
+}
+
+/// Table VI: BDIR never yields a worse lifetime than list scheduling.
+#[test]
+fn bdir_no_worse_than_list_scheduling() {
+    for n in [16usize, 25] {
+        let core = RunConfig {
+            bdir: false,
+            ..RunConfig::table3()
+        };
+        let with_bdir = RunConfig::table3();
+        let a = compare(BenchmarkKind::Qft, n, &core)
+            .distributed
+            .required_photon_lifetime();
+        let b = compare(BenchmarkKind::Qft, n, &with_bdir)
+            .distributed
+            .required_photon_lifetime();
+        assert!(b <= a, "QFT-{n}: BDIR {b} vs list {a}");
+    }
+}
+
+/// Figure 8: more connection capacity never hurts, with diminishing
+/// returns — the K_max = 16 factor must not be far above K_max = 4
+/// relative to the jump from K_max = 1 to 4.
+#[test]
+fn kmax_diminishing_returns() {
+    let factor = |kmax: usize| {
+        let cfg = RunConfig {
+            kmax,
+            ..RunConfig::table3()
+        };
+        compare(BenchmarkKind::Qft, 25, &cfg).report.exec_factor()
+    };
+    let f1 = factor(1);
+    let f4 = factor(4);
+    let f16 = factor(16);
+    assert!(f4 > f1, "K_max 4 ({f4}) must beat 1 ({f1})");
+    assert!(f16 + 0.05 >= f4, "K_max 16 ({f16}) must not lose to 4 ({f4})");
+    let early_gain = f4 - f1;
+    let late_gain = f16 - f4;
+    assert!(
+        late_gain < early_gain,
+        "no elbow: early {early_gain}, late {late_gain}"
+    );
+}
+
+/// Figure 9: the α_max sweep leaves the partition (and hence the
+/// factors) essentially unchanged.
+#[test]
+fn alpha_max_robustness() {
+    let run = |alpha_max: f64| {
+        let cfg = RunConfig {
+            alpha_max,
+            ..RunConfig::table3()
+        };
+        let o = compare(BenchmarkKind::Qft, 25, &cfg);
+        (o.distributed.cut_edges(), o.report.exec_factor())
+    };
+    let (cut_low, f_low) = run(1.05);
+    let (cut_high, f_high) = run(4.0);
+    assert_eq!(cut_low, cut_high, "partition changed across α_max");
+    assert!((f_low - f_high).abs() < 0.35, "factors drifted: {f_low} vs {f_high}");
+}
+
+/// Figure 7: the 6-ring is the weakest resource state for the
+/// *improvement factor* (it helps the congested monolithic baseline
+/// more than the distributed compilation).
+#[test]
+fn six_ring_has_lowest_lifetime_improvement() {
+    let factor = |rsg: ResourceStateKind| {
+        let cfg = RunConfig {
+            rsg,
+            ..RunConfig::table3()
+        };
+        compare(BenchmarkKind::Qft, 36, &cfg).report.lifetime_factor()
+    };
+    let six = factor(ResourceStateKind::SIX_RING);
+    let four = factor(ResourceStateKind::FOUR_RING);
+    let five = factor(ResourceStateKind::FIVE_STAR);
+    assert!(six <= four, "6-ring {six} vs 4-ring {four}");
+    assert!(six <= five, "6-ring {six} vs 5-star {five}");
+}
+
+/// Figure 1: the paper's quoted loss probabilities at 5000 cycles.
+#[test]
+fn figure1_headline_points() {
+    assert!((loss::loss_probability(5000, 10.0) - 0.369).abs() < 1e-3);
+    assert!(loss::loss_probability(5000, 1.0) < 0.05 + 0.001);
+    assert!(loss::loss_probability(5000, 100.0) > 0.98);
+    // The 10 ns curve crosses the fusion-failure reference (29%).
+    assert!(loss::loss_probability(5000, 10.0) > loss::FUSION_FAILURE_RATE);
+    assert!(loss::loss_probability(3000, 10.0) < loss::FUSION_FAILURE_RATE);
+}
+
+/// Lifetime never exceeds execution time by more than the feed-forward
+/// slack (a photon cannot be stored longer than the program runs, plus
+/// the one-cycle measurement margin used by Algorithm 1).
+#[test]
+fn lifetime_bounded_by_execution() {
+    for kind in BenchmarkKind::all() {
+        let o = compare(kind, 16, &RunConfig::table3());
+        assert!(
+            o.report.our_lifetime <= o.report.our_exec + 2,
+            "{kind}: lifetime {} vs exec {}",
+            o.report.our_lifetime,
+            o.report.our_exec
+        );
+        assert!(o.report.baseline_lifetime <= o.report.baseline_exec + 2);
+    }
+}

@@ -1,0 +1,140 @@
+//! Semantic validation across crates: compiled artifacts must implement
+//! the same quantum computation as their source circuits.
+
+use mbqc_circuit::{bench, decompose, Circuit};
+use mbqc_pattern::transpile::{transpile, transpile_with, TranspileOptions};
+use mbqc_sim::pattern_sim::verify_pattern_equivalence;
+use mbqc_sim::stabilizer::{PauliString, Tableau};
+use mbqc_sim::StateVector;
+use mbqc_util::Rng;
+
+#[test]
+fn decomposition_passes_preserve_unitaries() {
+    let mut rng = Rng::seed_from_u64(1);
+    let mut circuits: Vec<Circuit> = Vec::new();
+    let mut c = Circuit::new(3);
+    c.toffoli(0, 1, 2).swap(0, 2).cphase(1, 2, 0.9).rzz(0, 1, 1.3);
+    circuits.push(c);
+    circuits.push(bench::qft(4));
+    circuits.push(bench::rca(6));
+    for circuit in &circuits {
+        let lowered = decompose::to_cz_basis(circuit);
+        for _ in 0..3 {
+            let prep = mbqc_sim::pattern_sim::random_input_prep(circuit.num_qubits(), &mut rng);
+            let mut a = StateVector::zero_state(circuit.num_qubits());
+            a.apply_circuit(&prep);
+            let mut b = a.clone();
+            a.apply_circuit(circuit);
+            b.apply_circuit(&lowered);
+            assert!(a.fidelity(&b) > 1.0 - 1e-9, "decomposition broke unitary");
+        }
+    }
+}
+
+#[test]
+fn patterns_reproduce_benchmark_circuits() {
+    let mut rng = Rng::seed_from_u64(2);
+    for circuit in [
+        bench::qft(4),
+        bench::vqe(4, 5),
+        bench::qaoa(5, 6).circuit,
+        bench::rca(6),
+    ] {
+        let pattern = transpile(&circuit);
+        assert!(
+            verify_pattern_equivalence(&circuit, &pattern, 3, &mut rng),
+            "pattern is not unitarily faithful"
+        );
+    }
+}
+
+#[test]
+fn degree_capping_preserves_semantics() {
+    let mut rng = Rng::seed_from_u64(3);
+    // A fan-out-heavy circuit: qubit 0 controls everything.
+    let mut c = Circuit::new(5);
+    c.h(0);
+    for t in 1..5 {
+        c.cnot(0, t);
+        c.cnot(0, t);
+        c.cnot(0, t);
+    }
+    c.t(0);
+    for cap in [1usize, 2, 4] {
+        let pattern = transpile_with(
+            &c,
+            &TranspileOptions {
+                max_cz_degree: Some(cap),
+            },
+        );
+        // The cap holds structurally…
+        let g = pattern.graph();
+        // (wire edges do not count against the CZ cap; check total
+        // degree stays within cap + 2 wire edges)
+        for u in g.nodes() {
+            assert!(
+                g.degree(u) <= cap + 2,
+                "cap {cap}: node degree {}",
+                g.degree(u)
+            );
+        }
+        // …and the semantics survive.
+        assert!(
+            verify_pattern_equivalence(&c, &pattern, 3, &mut rng),
+            "cap {cap} broke the unitary"
+        );
+    }
+    // Uncapped for comparison: the hub node exceeds small caps.
+    let unbounded = transpile_with(&c, &TranspileOptions { max_cz_degree: None });
+    let g = unbounded.graph();
+    let max_deg = g.nodes().map(|u| g.degree(u)).max().unwrap();
+    assert!(max_deg > 3, "test circuit should produce a hub");
+}
+
+#[test]
+fn benchmark_graph_states_are_stabilizer_correct() {
+    for circuit in [bench::qft(6), bench::vqe(6, 7)] {
+        let pattern = transpile(&circuit);
+        let g = pattern.graph();
+        let tableau = Tableau::graph_state(g);
+        for i in g.nodes() {
+            let k = PauliString::graph_stabilizer(g, i);
+            assert!(tableau.is_stabilized_by(&k), "K_{i} violated");
+        }
+    }
+}
+
+#[test]
+fn measurement_statistics_match_circuit() {
+    // Beyond state fidelity: sampled outcome distributions of the
+    // pattern's output match direct circuit measurement statistics.
+    let mut circuit = Circuit::new(2);
+    circuit.h(0).cnot(0, 1).t(1).h(1);
+    let pattern = transpile(&circuit);
+    let mut rng = Rng::seed_from_u64(4);
+    let shots = 300;
+    let mut pattern_counts = [0usize; 4];
+    let mut circuit_counts = [0usize; 4];
+    for _ in 0..shots {
+        let input = StateVector::zero_state(2);
+        let run = mbqc_sim::pattern_sim::simulate_pattern(&pattern, &input, &mut rng);
+        let mut out = run.output;
+        let b0 = usize::from(out.measure_z(0, &mut rng));
+        let b1 = usize::from(out.measure_z(1, &mut rng));
+        pattern_counts[b0 | (b1 << 1)] += 1;
+
+        let mut sv = StateVector::zero_state(2);
+        sv.apply_circuit(&circuit);
+        let c0 = usize::from(sv.measure_z(0, &mut rng));
+        let c1 = usize::from(sv.measure_z(1, &mut rng));
+        circuit_counts[c0 | (c1 << 1)] += 1;
+    }
+    for i in 0..4 {
+        let p = pattern_counts[i] as f64 / shots as f64;
+        let c = circuit_counts[i] as f64 / shots as f64;
+        assert!(
+            (p - c).abs() < 0.12,
+            "outcome {i}: pattern {p:.3} vs circuit {c:.3}"
+        );
+    }
+}
