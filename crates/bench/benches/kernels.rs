@@ -9,10 +9,16 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mbqc_bench::runner::{RunConfig, SEED};
 use mbqc_circuit::bench::{self, BenchmarkKind};
 use mbqc_compiler::{CompilerConfig, GridMapper};
+use mbqc_graph::generate;
 use mbqc_hardware::ResourceStateKind;
-use mbqc_partition::{adaptive_partition, multilevel_kway, AdaptiveConfig, KwayConfig};
+use mbqc_partition::{
+    adaptive_partition, multilevel_kway, reference as partition_ref, AdaptiveConfig, KwayConfig,
+};
 use mbqc_pattern::transpile::transpile;
 use mbqc_schedule::{bdir, default_priorities, list_schedule, BdirConfig};
+use mbqc_sim::stabilizer::Tableau;
+use mbqc_sim::{reference as sim_ref, StateVector, C64};
+use mbqc_util::Rng;
 
 fn bench_transpile(c: &mut Criterion) {
     let mut group = c.benchmark_group("transpile");
@@ -32,8 +38,139 @@ fn bench_partition(c: &mut Criterion) {
     group.bench_function("kway_qft36_k4", |b| {
         b.iter(|| multilevel_kway(&graph, &KwayConfig::new(4)));
     });
+    // Pre-optimization adjacency-list path, kept for speedup tracking.
+    group.bench_function("kway_qft36_k4_reference", |b| {
+        b.iter(|| partition_ref::multilevel_kway(&graph, &KwayConfig::new(4)));
+    });
     group.bench_function("adaptive_qft36_k4", |b| {
         b.iter(|| adaptive_partition(&graph, &AdaptiveConfig::new(4)));
+    });
+    group.finish();
+}
+
+fn bench_refine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("refine");
+    let pattern = transpile(&bench::qft(36));
+    let graph = pattern.graph().clone();
+    let csr = mbqc_graph::CsrGraph::from_graph(&graph);
+    let n = graph.node_count();
+    let bound = graph.total_node_weight() / 4 + n as i64 / 8;
+    let mut rng = Rng::seed_from_u64(3);
+    let p0 = mbqc_partition::Partition::new((0..n).map(|_| rng.range(4)).collect(), 4);
+    group.bench_function("incremental_qft36_k4", |b| {
+        b.iter(|| {
+            let mut p = p0.clone();
+            let mut r = Rng::seed_from_u64(7);
+            mbqc_partition::refine::refine_csr(&csr, &mut p, bound, 8, &mut r)
+        });
+    });
+    group.bench_function("reference_qft36_k4", |b| {
+        b.iter(|| {
+            let mut p = p0.clone();
+            let mut r = Rng::seed_from_u64(7);
+            partition_ref::refine(&graph, &mut p, bound, 8, &mut r)
+        });
+    });
+    group.finish();
+}
+
+fn bench_tableau(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tableau");
+    let g = generate::grid_graph(24, 24);
+    let n = g.node_count();
+    let g32 = generate::grid_graph(32, 32);
+    let packed_rows: Vec<_> = (0..g32.node_count())
+        .step_by(3)
+        .map(|i| {
+            mbqc_sim::stabilizer::PauliString::graph_stabilizer(&g32, mbqc_graph::NodeId::new(i))
+        })
+        .collect();
+    let bool_rows: Vec<_> = (0..g32.node_count())
+        .step_by(3)
+        .map(|i| sim_ref::PauliString::graph_stabilizer(&g32, mbqc_graph::NodeId::new(i)))
+        .collect();
+    group.bench_function("rowops_mul_grid32", |b| {
+        b.iter(|| {
+            let mut acc = packed_rows[0].clone();
+            for p in &packed_rows[1..] {
+                acc.mul_inplace(p);
+            }
+            acc
+        });
+    });
+    group.bench_function("rowops_mul_grid32_reference", |b| {
+        b.iter(|| {
+            let mut acc = bool_rows[0].clone();
+            for p in &bool_rows[1..] {
+                acc = acc.mul(p);
+            }
+            acc
+        });
+    });
+    group.bench_function("graph_state_grid24", |b| {
+        b.iter(|| Tableau::graph_state(&g));
+    });
+    group.bench_function("graph_state_grid24_reference", |b| {
+        b.iter(|| sim_ref::Tableau::graph_state(&g));
+    });
+    let packed = Tableau::graph_state(&g);
+    group.bench_function("rowops_measure_grid24", |b| {
+        b.iter(|| {
+            let mut t = packed.clone();
+            let mut rng = Rng::seed_from_u64(1);
+            (0..n)
+                .map(|q| t.measure_z(q, &mut rng))
+                .filter(|&o| o)
+                .count()
+        });
+    });
+    let boolean = sim_ref::Tableau::graph_state(&g);
+    group.bench_function("rowops_measure_grid24_reference", |b| {
+        b.iter(|| {
+            let mut t = boolean.clone();
+            let mut rng = Rng::seed_from_u64(1);
+            (0..n)
+                .map(|q| t.measure_z(q, &mut rng))
+                .filter(|&o| o)
+                .count()
+        });
+    });
+    group.finish();
+}
+
+fn bench_statevector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statevector");
+    group.sample_size(10);
+    let k = C64::new(std::f64::consts::FRAC_1_SQRT_2, 0.0);
+    let h = [[k, k], [k, -k]];
+    let s_gate = [[C64::ONE, C64::ZERO], [C64::ZERO, C64::I]];
+    let sv = StateVector::plus_state(20);
+    group.bench_function("apply_single_h20", |b| {
+        b.iter(|| {
+            let mut s = sv.clone();
+            for q in 0..20 {
+                s.apply_single(q, h);
+            }
+            s
+        });
+    });
+    group.bench_function("apply_single_h20_reference", |b| {
+        b.iter(|| {
+            let mut s = sv.clone();
+            for q in 0..20 {
+                s.apply_single_reference(q, h);
+            }
+            s
+        });
+    });
+    group.bench_function("apply_single_s20_diag", |b| {
+        b.iter(|| {
+            let mut s = sv.clone();
+            for q in 0..20 {
+                s.apply_single(q, s_gate);
+            }
+            s
+        });
     });
     group.finish();
 }
@@ -102,6 +239,9 @@ criterion_group!(
     benches,
     bench_transpile,
     bench_partition,
+    bench_refine,
+    bench_tableau,
+    bench_statevector,
     bench_grid_mapper,
     bench_lifetime,
     bench_scheduling,

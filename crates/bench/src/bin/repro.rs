@@ -4,10 +4,13 @@
 //! Usage: repro [--quick] [--csv] <experiment>...
 //!
 //! Experiments: table1 figure1 table2 table3 table4 table5 table6
-//!              figure7 figure8 figure9 figure10 all
+//!              figure7 figure8 figure9 figure10 bench-kernels all
 //!
 //! --quick   restrict each experiment to its smallest sizes
 //! --csv     emit CSV instead of aligned text
+//!
+//! `bench-kernels` additionally writes BENCH_kernels.json (optimized
+//! hot-path timings vs. their pre-optimization references).
 //! ```
 
 use mbqc_bench::{experiments, Scale};
@@ -17,7 +20,7 @@ fn usage() -> ! {
     eprintln!(
         "Usage: repro [--quick] [--csv] <experiment>...\n\
          Experiments: table1 figure1 table2 table3 table4 table5 table6\n\
-         \x20            figure7 figure8 figure9 figure10 all"
+         \x20            figure7 figure8 figure9 figure10 bench-kernels all"
     );
     std::process::exit(2);
 }
@@ -69,6 +72,7 @@ fn main() {
             "figure8" => experiments::figure8(scale),
             "figure9" => experiments::figure9(scale),
             "figure10" => experiments::figure10(scale),
+            "bench-kernels" => experiments::bench_kernels(),
             other => {
                 eprintln!("unknown experiment: {other}");
                 usage();

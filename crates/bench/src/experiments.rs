@@ -15,6 +15,8 @@ use mbqc_pattern::transpile::transpile;
 use mbqc_util::table::{fmt_f64, fmt_factor};
 use mbqc_util::TextTable;
 
+pub use crate::kernels::bench_kernels;
+
 use crate::runner::{compare, compare_oneadapt, RunConfig, SEED};
 use crate::Scale;
 
@@ -245,12 +247,7 @@ pub fn table6(scale: Scale) -> TextTable {
 /// (`f ≡ τ_OneQ / τ_DC-MBQC`, same RSG on both sides).
 #[must_use]
 pub fn figure7(scale: Scale) -> TextTable {
-    let mut t = TextTable::new(vec![
-        "Program",
-        "RSG",
-        "Exec. Improv.",
-        "Lifetime Improv.",
-    ]);
+    let mut t = TextTable::new(vec!["Program", "RSG", "Exec. Improv.", "Lifetime Improv."]);
     t.title("Figure 7 — resource-state comparison (36 qubits, 4 QPUs)");
     let kinds: &[BenchmarkKind] = match scale {
         Scale::Quick => &[BenchmarkKind::Qaoa, BenchmarkKind::Qft],

@@ -1,0 +1,354 @@
+//! Kernel speedup measurement: optimized hot paths vs. their preserved
+//! pre-optimization reference implementations.
+//!
+//! `repro bench-kernels` runs each kernel pair, prints a comparison
+//! table, and writes `BENCH_kernels.json` so speedups are *recorded and
+//! tracked across PRs* rather than asserted in tests (timing assertions
+//! flake; JSON diffs don't).
+
+use std::time::Instant;
+
+use mbqc_circuit::bench;
+use mbqc_graph::{generate, CsrGraph, NodeId};
+use mbqc_partition::refine::refine_csr;
+use mbqc_partition::{reference as partition_ref, KwayConfig, Partition};
+use mbqc_pattern::transpile::transpile;
+use mbqc_sim::stabilizer::{PauliString, Tableau};
+use mbqc_sim::{reference as sim_ref, StateVector, C64};
+use mbqc_util::table::fmt_f64;
+use mbqc_util::{Rng, TextTable};
+
+/// One measured kernel pair.
+#[derive(Debug, Clone)]
+pub struct KernelResult {
+    /// Kernel identifier (stable across PRs; used as the JSON key).
+    pub name: &'static str,
+    /// Median nanoseconds per run, pre-optimization implementation.
+    pub baseline_ns: f64,
+    /// Median nanoseconds per run, current implementation.
+    pub optimized_ns: f64,
+}
+
+impl KernelResult {
+    /// Baseline over optimized time.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.baseline_ns / self.optimized_ns
+    }
+}
+
+/// Median wall-clock nanoseconds of `reps` runs of `f`.
+fn median_ns<F: FnMut()>(mut f: F, reps: usize) -> f64 {
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed().as_nanos() as f64);
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Measures every tracked kernel pair. `reps` controls samples per
+/// kernel (median is reported).
+#[must_use]
+pub fn measure_kernels(reps: usize) -> Vec<KernelResult> {
+    let mut results = Vec::new();
+
+    // Partition: multilevel k-way on the QFT-36 computation graph, the
+    // Figure 10 partitioning workload.
+    let pattern = transpile(&bench::qft(36));
+    let graph = pattern.graph().clone();
+    {
+        let cfg = KwayConfig::new(4);
+        results.push(KernelResult {
+            name: "partition/kway_qft36_k4",
+            baseline_ns: median_ns(
+                || {
+                    std::hint::black_box(partition_ref::multilevel_kway(&graph, &cfg));
+                },
+                reps,
+            ),
+            optimized_ns: median_ns(
+                || {
+                    std::hint::black_box(mbqc_partition::multilevel_kway(&graph, &cfg));
+                },
+                reps,
+            ),
+        });
+    }
+
+    // Refinement in isolation: the incremental-gain hot path against the
+    // recompute-per-visit reference, from the same random partition.
+    {
+        let csr = CsrGraph::from_graph(&graph);
+        let n = graph.node_count();
+        let bound = graph.total_node_weight() / 4 + n as i64 / 8;
+        let mut rng = Rng::seed_from_u64(3);
+        let p0 = Partition::new((0..n).map(|_| rng.range(4)).collect(), 4);
+        results.push(KernelResult {
+            name: "partition/refine_qft36_k4",
+            baseline_ns: median_ns(
+                || {
+                    let mut p = p0.clone();
+                    let mut r = Rng::seed_from_u64(7);
+                    std::hint::black_box(partition_ref::refine(&graph, &mut p, bound, 8, &mut r));
+                },
+                reps,
+            ),
+            optimized_ns: median_ns(
+                || {
+                    let mut p = p0.clone();
+                    let mut r = Rng::seed_from_u64(7);
+                    std::hint::black_box(refine_csr(&csr, &mut p, bound, 8, &mut r));
+                },
+                reps,
+            ),
+        });
+    }
+
+    // Tableau row products: folding 342 graph-state stabilizers of a
+    // 1024-photon grid into one Pauli — pure word-wise row operations.
+    {
+        let g = generate::grid_graph(32, 32);
+        let packed: Vec<PauliString> = (0..g.node_count())
+            .step_by(3)
+            .map(|i| PauliString::graph_stabilizer(&g, NodeId::new(i)))
+            .collect();
+        let boolean: Vec<sim_ref::PauliString> = (0..g.node_count())
+            .step_by(3)
+            .map(|i| sim_ref::PauliString::graph_stabilizer(&g, NodeId::new(i)))
+            .collect();
+        results.push(KernelResult {
+            name: "tableau/rowops_mul_grid32",
+            baseline_ns: median_ns(
+                || {
+                    let mut acc = boolean[0].clone();
+                    for p in &boolean[1..] {
+                        acc = acc.mul(p);
+                    }
+                    std::hint::black_box(acc);
+                },
+                reps,
+            ),
+            optimized_ns: median_ns(
+                || {
+                    let mut acc = packed[0].clone();
+                    for p in &packed[1..] {
+                        acc.mul_inplace(p);
+                    }
+                    std::hint::black_box(acc);
+                },
+                reps,
+            ),
+        });
+    }
+
+    // Tableau row operations: measuring every qubit of a 576-photon
+    // grid graph state is rowsum-dominated (the CHP measurement path).
+    {
+        let g = generate::grid_graph(24, 24);
+        let packed = Tableau::graph_state(&g);
+        let boolean = sim_ref::Tableau::graph_state(&g);
+        let n = g.node_count();
+        results.push(KernelResult {
+            name: "tableau/rowops_measure_grid24",
+            baseline_ns: median_ns(
+                || {
+                    let mut t = boolean.clone();
+                    let mut rng = Rng::seed_from_u64(1);
+                    for q in 0..n {
+                        std::hint::black_box(t.measure_z(q, &mut rng));
+                    }
+                },
+                reps,
+            ),
+            optimized_ns: median_ns(
+                || {
+                    let mut t = packed.clone();
+                    let mut rng = Rng::seed_from_u64(1);
+                    for q in 0..n {
+                        std::hint::black_box(t.measure_z(q, &mut rng));
+                    }
+                },
+                reps,
+            ),
+        });
+    }
+
+    // Tableau construction: H per qubit + CZ per edge, column-update
+    // bound (the graph-state build path).
+    {
+        let g = generate::grid_graph(24, 24);
+        results.push(KernelResult {
+            name: "tableau/graph_state_grid24",
+            baseline_ns: median_ns(
+                || {
+                    std::hint::black_box(sim_ref::Tableau::graph_state(&g));
+                },
+                reps,
+            ),
+            optimized_ns: median_ns(
+                || {
+                    std::hint::black_box(Tableau::graph_state(&g));
+                },
+                reps,
+            ),
+        });
+    }
+
+    // Statevector single-qubit kernels, on a cache-resident 14-qubit
+    // register so the loop structure (not DRAM bandwidth) is measured:
+    // a Hadamard sweep through the general 2×2 path…
+    const SV_QUBITS: usize = 14;
+    const SV_SWEEPS: usize = 24;
+    {
+        let k = C64::new(std::f64::consts::FRAC_1_SQRT_2, 0.0);
+        let h = [[k, k], [k, -k]];
+        let sv = StateVector::plus_state(SV_QUBITS);
+        results.push(KernelResult {
+            name: "statevector/apply_single_h14",
+            baseline_ns: median_ns(
+                || {
+                    let mut s = sv.clone();
+                    for _ in 0..SV_SWEEPS {
+                        for q in 0..SV_QUBITS {
+                            s.apply_single_reference(q, h);
+                        }
+                    }
+                    std::hint::black_box(&s);
+                },
+                reps,
+            ),
+            optimized_ns: median_ns(
+                || {
+                    let mut s = sv.clone();
+                    for _ in 0..SV_SWEEPS {
+                        for q in 0..SV_QUBITS {
+                            s.apply_single(q, h);
+                        }
+                    }
+                    std::hint::black_box(&s);
+                },
+                reps,
+            ),
+        });
+    }
+
+    // …and an S sweep, which the optimized kernel routes through the
+    // diagonal fast path (a quarter of the flops of the general path).
+    {
+        let s_gate = [[C64::ONE, C64::ZERO], [C64::ZERO, C64::I]];
+        let sv = StateVector::plus_state(SV_QUBITS);
+        results.push(KernelResult {
+            name: "statevector/apply_single_s14_diag",
+            baseline_ns: median_ns(
+                || {
+                    let mut s = sv.clone();
+                    for _ in 0..SV_SWEEPS {
+                        for q in 0..SV_QUBITS {
+                            s.apply_single_reference(q, s_gate);
+                        }
+                    }
+                    std::hint::black_box(&s);
+                },
+                reps,
+            ),
+            optimized_ns: median_ns(
+                || {
+                    let mut s = sv.clone();
+                    for _ in 0..SV_SWEEPS {
+                        for q in 0..SV_QUBITS {
+                            s.apply_single(q, s_gate);
+                        }
+                    }
+                    std::hint::black_box(&s);
+                },
+                reps,
+            ),
+        });
+    }
+
+    results
+}
+
+/// Serializes kernel results as the `BENCH_kernels.json` document.
+#[must_use]
+pub fn to_json(results: &[KernelResult]) -> String {
+    let mut out = String::from("{\n  \"kernels\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"baseline_ns\": {:.0}, \"optimized_ns\": {:.0}, \"speedup\": {:.2}}}{}\n",
+            r.name,
+            r.baseline_ns,
+            r.optimized_ns,
+            r.speedup(),
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"generated_by\": \"repro bench-kernels\"\n}\n");
+    out
+}
+
+/// The `bench-kernels` experiment: measures every kernel pair, writes
+/// `BENCH_kernels.json` to the working directory, and returns the
+/// comparison table.
+#[must_use]
+pub fn bench_kernels() -> TextTable {
+    let results = measure_kernels(7);
+    let json = to_json(&results);
+    let path = "BENCH_kernels.json";
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        eprintln!("[wrote {path}]");
+    }
+    let mut t = TextTable::new(vec!["Kernel", "Baseline [ms]", "Optimized [ms]", "Speedup"]);
+    t.title("Kernel speedups — pre-optimization reference vs. current hot paths");
+    for r in &results {
+        t.row(vec![
+            r.name.to_string(),
+            fmt_f64(r.baseline_ns / 1e6, 3),
+            fmt_f64(r.optimized_ns / 1e6, 3),
+            format!("{:.2}x", r.speedup()),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_valid() {
+        let results = vec![
+            KernelResult {
+                name: "a/b",
+                baseline_ns: 2000.0,
+                optimized_ns: 500.0,
+            },
+            KernelResult {
+                name: "c/d",
+                baseline_ns: 10.0,
+                optimized_ns: 10.0,
+            },
+        ];
+        let json = to_json(&results);
+        assert!(json.contains("\"kernels\""));
+        assert!(json.contains("\"speedup\": 4.00"));
+        assert!(json.contains("\"speedup\": 1.00"));
+        // Exactly one comma between the two entries, none trailing.
+        assert_eq!(json.matches("},").count(), 1);
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        let r = KernelResult {
+            name: "x",
+            baseline_ns: 300.0,
+            optimized_ns: 100.0,
+        };
+        assert!((r.speedup() - 3.0).abs() < 1e-12);
+    }
+}

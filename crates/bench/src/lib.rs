@@ -14,6 +14,7 @@
 //! ```
 
 pub mod experiments;
+pub mod kernels;
 pub mod runner;
 
 /// Experiment scale: `Full` uses every program size from Table II,

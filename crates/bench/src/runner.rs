@@ -1,6 +1,8 @@
 //! Shared compile-and-compare machinery.
 
-use dc_mbqc::{BaselineResult, ComparisonReport, DcMbqcCompiler, DcMbqcConfig, DistributedSchedule};
+use dc_mbqc::{
+    BaselineResult, ComparisonReport, DcMbqcCompiler, DcMbqcConfig, DistributedSchedule,
+};
 use mbqc_circuit::bench::{self, BenchmarkKind};
 use mbqc_hardware::{DistributedHardware, ResourceStateKind};
 
@@ -116,7 +118,12 @@ pub fn compare(kind: BenchmarkKind, n: usize, cfg: &RunConfig) -> RunOutcome {
 /// monolithic OneAdapt (refresh-enabled single QPU) — the Table V
 /// protocol. Returns `(reference, ours)` outcomes.
 #[must_use]
-pub fn compare_oneadapt(kind: BenchmarkKind, n: usize, qpus: usize, refresh: usize) -> (BaselineResult, DistributedSchedule) {
+pub fn compare_oneadapt(
+    kind: BenchmarkKind,
+    n: usize,
+    qpus: usize,
+    refresh: usize,
+) -> (BaselineResult, DistributedSchedule) {
     let circuit = kind.generate(n, SEED);
     let pattern = mbqc_pattern::transpile::transpile(&circuit);
     // Reference: monolithic OneAdapt — single QPU, dynamic refresh.

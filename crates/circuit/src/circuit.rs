@@ -16,7 +16,11 @@ pub struct InvalidGateError {
 
 impl fmt::Display for InvalidGateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid gate at index {}: {}", self.gate_index, self.reason)
+        write!(
+            f,
+            "invalid gate at index {}: {}",
+            self.gate_index, self.reason
+        )
     }
 }
 
@@ -249,7 +253,12 @@ impl Circuit {
 
 impl fmt::Display for Circuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "circuit[{} qubits, {} gates]", self.num_qubits, self.gates.len())?;
+        writeln!(
+            f,
+            "circuit[{} qubits, {} gates]",
+            self.num_qubits,
+            self.gates.len()
+        )?;
         for g in &self.gates {
             writeln!(f, "  {g}")?;
         }
@@ -285,7 +294,11 @@ mod tests {
         let err = c.push(Gate::Cz(1, 1)).unwrap_err();
         assert!(err.to_string().contains("repeated qubit"));
         let err = c
-            .push(Gate::Toffoli { c0: 0, c1: 1, target: 0 })
+            .push(Gate::Toffoli {
+                c0: 0,
+                c1: 1,
+                target: 0,
+            })
             .unwrap_err();
         assert!(err.to_string().contains("repeated qubit"));
     }
@@ -324,7 +337,13 @@ mod tests {
         b.cnot(0, 1);
         a.append(&b);
         assert_eq!(a.gate_count(), 2);
-        assert_eq!(a.gates()[1], Gate::Cnot { control: 0, target: 1 });
+        assert_eq!(
+            a.gates()[1],
+            Gate::Cnot {
+                control: 0,
+                target: 1
+            }
+        );
     }
 
     #[test]

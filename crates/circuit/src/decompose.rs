@@ -136,10 +136,7 @@ mod tests {
         c.swap(0, 1);
         let d = decompose_to_cnot(&c);
         assert_eq!(d.two_qubit_gate_count(), 3);
-        assert!(d
-            .gates()
-            .iter()
-            .all(|g| matches!(g, Gate::Cnot { .. })));
+        assert!(d.gates().iter().all(|g| matches!(g, Gate::Cnot { .. })));
     }
 
     #[test]

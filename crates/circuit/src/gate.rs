@@ -93,10 +93,9 @@ impl Gate {
             | Gate::Ry(q, _)
             | Gate::Rz(q, _)
             | Gate::Phase(q, _) => vec![q],
-            Gate::Cz(a, b)
-            | Gate::Swap(a, b)
-            | Gate::CPhase(a, b, _)
-            | Gate::Rzz(a, b, _) => vec![a, b],
+            Gate::Cz(a, b) | Gate::Swap(a, b) | Gate::CPhase(a, b, _) | Gate::Rzz(a, b, _) => {
+                vec![a, b]
+            }
             Gate::Cnot { control, target } => vec![control, target],
             Gate::Toffoli { c0, c1, target } => vec![c0, c1, target],
         }
@@ -172,20 +171,44 @@ mod tests {
         assert!(Gate::Rz(1, 0.5).is_single_qubit());
         assert!(Gate::Cz(0, 1).is_two_qubit());
         assert!(Gate::Rzz(2, 3, 1.0).is_two_qubit());
-        assert!(!Gate::Toffoli { c0: 0, c1: 1, target: 2 }.is_two_qubit());
-        assert_eq!(Gate::Toffoli { c0: 0, c1: 1, target: 2 }.qubits(), vec![0, 1, 2]);
+        assert!(!Gate::Toffoli {
+            c0: 0,
+            c1: 1,
+            target: 2
+        }
+        .is_two_qubit());
+        assert_eq!(
+            Gate::Toffoli {
+                c0: 0,
+                c1: 1,
+                target: 2
+            }
+            .qubits(),
+            vec![0, 1, 2]
+        );
     }
 
     #[test]
     fn cz_detection() {
         assert!(Gate::Cz(0, 1).is_cz());
-        assert!(!Gate::Cnot { control: 0, target: 1 }.is_cz());
+        assert!(!Gate::Cnot {
+            control: 0,
+            target: 1
+        }
+        .is_cz());
     }
 
     #[test]
     fn display_format() {
         assert_eq!(Gate::H(3).to_string(), "h q3");
-        assert_eq!(Gate::Cnot { control: 0, target: 1 }.to_string(), "cx q0,q1");
+        assert_eq!(
+            Gate::Cnot {
+                control: 0,
+                target: 1
+            }
+            .to_string(),
+            "cx q0,q1"
+        );
         let rz = Gate::Rz(2, std::f64::consts::PI).to_string();
         assert!(rz.starts_with("rz(3.1416)"), "{rz}");
     }

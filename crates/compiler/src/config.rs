@@ -127,8 +127,8 @@ mod tests {
         let cfg = CompilerConfig::new(7, ResourceStateKind::FIVE_STAR);
         assert_eq!(cfg.usable_width(), 7);
         assert_eq!(cfg.with_boundary_reservation(true).usable_width(), 5);
-        let tiny = CompilerConfig::new(1, ResourceStateKind::FIVE_STAR)
-            .with_boundary_reservation(true);
+        let tiny =
+            CompilerConfig::new(1, ResourceStateKind::FIVE_STAR).with_boundary_reservation(true);
         assert_eq!(tiny.usable_width(), 0);
     }
 
@@ -143,7 +143,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = CompileError::PlacementStuck { node: 3, attempts: 50 };
+        let e = CompileError::PlacementStuck {
+            node: 3,
+            attempts: 50,
+        };
         assert!(e.to_string().contains("n3"));
         assert!(CompileError::EmptyGrid.to_string().contains("empty"));
     }

@@ -113,10 +113,7 @@ impl LayerGrid {
     /// Number of free sites.
     #[must_use]
     pub fn free_count(&self) -> usize {
-        self.sites
-            .iter()
-            .filter(|s| **s == SiteState::Free)
-            .count()
+        self.sites.iter().filter(|s| **s == SiteState::Free).count()
     }
 
     /// Finds a shortest routing path from a site adjacent to `from` to

@@ -126,7 +126,11 @@ impl GridMapper {
     /// Returns [`CompileError`] when the usable grid is empty, the order
     /// is not a permutation, or the live frontier exceeds grid capacity
     /// (no progress for several consecutive layers).
-    pub fn compile(&self, graph: &Graph, order: &[NodeId]) -> Result<CompiledProgram, CompileError> {
+    pub fn compile(
+        &self,
+        graph: &Graph,
+        order: &[NodeId],
+    ) -> Result<CompiledProgram, CompileError> {
         let n = graph.node_count();
         let width = self.config.usable_width();
         if width == 0 && n > 0 {
@@ -345,7 +349,10 @@ impl GridMapper {
             let mut best = free[0];
             let mut best_cost = usize::MAX;
             for &s in &free {
-                let cost: usize = nbr_endpoints.iter().map(|&(_, e)| grid.distance(s, e)).sum();
+                let cost: usize = nbr_endpoints
+                    .iter()
+                    .map(|&(_, e)| grid.distance(s, e))
+                    .sum();
                 if cost < best_cost {
                     best_cost = cost;
                     best = s;
@@ -430,8 +437,9 @@ impl GridMapper {
                     SiteState::Route { remaining } => remaining,
                     // A wire's spare photons can bridge routes through
                     // its site (two spare photons per pass-through).
-                    SiteState::Wire(_) => wire_pass_cap
-                        .saturating_sub(wire_pass_used.get(&s).copied().unwrap_or(0)),
+                    SiteState::Wire(_) => {
+                        wire_pass_cap.saturating_sub(wire_pass_used.get(&s).copied().unwrap_or(0))
+                    }
                     SiteState::Node(_) => 0,
                 }
             };
@@ -650,11 +658,10 @@ mod tests {
         let no_refresh = GridMapper::new(CompilerConfig::new(3, ResourceStateKind::FIVE_STAR))
             .compile(&g, &order)
             .unwrap();
-        let with_refresh = GridMapper::new(
-            CompilerConfig::new(3, ResourceStateKind::FIVE_STAR).with_refresh(3),
-        )
-        .compile(&g, &order)
-        .unwrap();
+        let with_refresh =
+            GridMapper::new(CompilerConfig::new(3, ResourceStateKind::FIVE_STAR).with_refresh(3))
+                .compile(&g, &order)
+                .unwrap();
         let span = |c: &CompiledProgram| {
             c.fusee_pairs
                 .iter()

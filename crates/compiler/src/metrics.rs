@@ -153,7 +153,7 @@ mod tests {
         let mut d = DiGraph::with_nodes(2);
         d.add_edge(NodeId::new(0), NodeId::new(1));
         let r = required_photon_lifetime(&[9, 0], &[], &d);
-        assert_eq!(r.measuree, 11 - 0); // MTime[1] = max(1, 10+1) = 11
+        assert_eq!(r.measuree, 11); // MTime[1] = max(1, 10+1) = 11
     }
 
     #[test]

@@ -110,7 +110,10 @@ pub enum DcMbqcError {
 impl fmt::Display for DcMbqcError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DcMbqcError::Compile { qpu: Some(q), source } => {
+            DcMbqcError::Compile {
+                qpu: Some(q),
+                source,
+            } => {
                 write!(f, "compilation failed on QPU {q}: {source}")
             }
             DcMbqcError::Compile { qpu: None, source } => {

@@ -290,7 +290,10 @@ impl DcMbqcCompiler {
     /// # Errors
     ///
     /// Propagates mapper failures.
-    pub fn compile_baseline_circuit(&self, circuit: &Circuit) -> Result<BaselineResult, DcMbqcError> {
+    pub fn compile_baseline_circuit(
+        &self,
+        circuit: &Circuit,
+    ) -> Result<BaselineResult, DcMbqcError> {
         self.compile_baseline_pattern(&transpile(circuit))
     }
 
@@ -299,7 +302,10 @@ impl DcMbqcCompiler {
     /// # Errors
     ///
     /// Propagates mapper failures.
-    pub fn compile_baseline_pattern(&self, pattern: &Pattern) -> Result<BaselineResult, DcMbqcError> {
+    pub fn compile_baseline_pattern(
+        &self,
+        pattern: &Pattern,
+    ) -> Result<BaselineResult, DcMbqcError> {
         let order = placement_order(pattern).ok_or(DcMbqcError::NoFlow)?;
         let mapper = GridMapper::new(self.mapper_config(self.config.seed));
         let compiled = mapper
@@ -347,7 +353,12 @@ mod tests {
     fn eight_qpus_not_slower_than_four() {
         let circuit = bench::vqe(16, 1);
         let mk = |q| {
-            DcMbqcCompiler::new(DcMbqcConfig::new(hw(q, 16, ResourceStateKind::FOUR_RING, 4)))
+            DcMbqcCompiler::new(DcMbqcConfig::new(hw(
+                q,
+                16,
+                ResourceStateKind::FOUR_RING,
+                4,
+            )))
         };
         let four = mk(4).compile_circuit(&circuit).unwrap();
         let eight = mk(8).compile_circuit(&circuit).unwrap();
@@ -357,12 +368,8 @@ mod tests {
     #[test]
     fn single_qpu_config_matches_baseline_metrics() {
         let circuit = bench::qft(9);
-        let compiler = DcMbqcCompiler::new(DcMbqcConfig::new(hw(
-            1,
-            9,
-            ResourceStateKind::FIVE_STAR,
-            4,
-        )));
+        let compiler =
+            DcMbqcCompiler::new(DcMbqcConfig::new(hw(1, 9, ResourceStateKind::FIVE_STAR, 4)));
         let dist = compiler.compile_circuit(&circuit).unwrap();
         let base = compiler.compile_baseline_circuit(&circuit).unwrap();
         assert_eq!(dist.cut_edges(), 0);
@@ -376,12 +383,8 @@ mod tests {
     #[test]
     fn schedule_is_feasible_and_consistent() {
         let circuit = bench::rca(8);
-        let compiler = DcMbqcCompiler::new(DcMbqcConfig::new(hw(
-            4,
-            8,
-            ResourceStateKind::FIVE_STAR,
-            4,
-        )));
+        let compiler =
+            DcMbqcCompiler::new(DcMbqcConfig::new(hw(4, 8, ResourceStateKind::FIVE_STAR, 4)));
         let dist = compiler.compile_circuit(&circuit).unwrap();
         assert!(dist.problem().is_feasible(dist.schedule()));
         assert_eq!(dist.per_qpu_layers().len(), 4);
@@ -399,9 +402,7 @@ mod tests {
         let core_only = DcMbqcCompiler::new(DcMbqcConfig::new(hw4).without_bdir())
             .compile_circuit(&circuit)
             .unwrap();
-        assert!(
-            with_bdir.required_photon_lifetime() <= core_only.required_photon_lifetime()
-        );
+        assert!(with_bdir.required_photon_lifetime() <= core_only.required_photon_lifetime());
     }
 
     #[test]

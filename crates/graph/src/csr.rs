@@ -1,0 +1,501 @@
+//! Frozen compressed-sparse-row (CSR) graph view.
+//!
+//! [`Graph`] stores adjacency as `Vec<Vec<(NodeId, i64)>>` — convenient to
+//! mutate, but every neighbor scan chases a pointer per node and the lists
+//! are scattered across the heap. The partitioner visits every adjacency
+//! list hundreds of times per multilevel pass, so it runs on this frozen
+//! view instead: three flat arrays (`offsets`, `neighbors`, `weights`)
+//! laid out contiguously, built once in O(V + E).
+//!
+//! Neighbor order is preserved exactly from the source [`Graph`], so any
+//! algorithm ported from adjacency lists to CSR slices visits nodes in the
+//! same order and — given the same RNG — produces bit-identical results
+//! (property-tested in `mbqc-partition`).
+
+use crate::{Graph, NodeId};
+
+/// An immutable CSR snapshot of a [`Graph`].
+///
+/// `neighbors[offsets[u]..offsets[u+1]]` are `u`'s neighbors in the same
+/// order as `Graph::neighbors_weighted(u)`; `weights` is the parallel edge
+/// weight array. Splitting neighbors and weights keeps pure-topology scans
+/// (BFS, matching) at half the memory traffic.
+///
+/// # Examples
+///
+/// ```
+/// use mbqc_graph::{CsrGraph, Graph};
+///
+/// let mut g = Graph::with_nodes(3);
+/// let n: Vec<_> = g.nodes().collect();
+/// g.add_edge_weighted(n[0], n[1], 2);
+/// g.add_edge(n[1], n[2]);
+/// let csr = CsrGraph::from_graph(&g);
+/// assert_eq!(csr.degree(n[1]), 2);
+/// assert_eq!(csr.weighted_degree(n[1]), 3);
+/// assert_eq!(csr.neighbors(n[0]), &[n[1]]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    /// `offsets[u]..offsets[u+1]` bounds node `u`'s adjacency slice.
+    offsets: Vec<u32>,
+    /// Concatenated neighbor lists (each undirected edge appears twice).
+    neighbors: Vec<NodeId>,
+    /// Edge weights parallel to `neighbors`.
+    weights: Vec<i64>,
+    node_weights: Vec<i64>,
+    edge_count: usize,
+    total_edge_weight: i64,
+}
+
+impl CsrGraph {
+    /// Freezes `g` into CSR form. O(V + E); neighbor order is preserved.
+    #[must_use]
+    pub fn from_graph(g: &Graph) -> Self {
+        let n = g.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::with_capacity(2 * g.edge_count());
+        let mut weights = Vec::with_capacity(2 * g.edge_count());
+        offsets.push(0u32);
+        for u in g.nodes() {
+            for &(v, w) in g.neighbors_weighted(u) {
+                neighbors.push(v);
+                weights.push(w);
+            }
+            offsets.push(neighbors.len() as u32);
+        }
+        Self {
+            offsets,
+            neighbors,
+            weights,
+            node_weights: g.nodes().map(|u| g.node_weight(u)).collect(),
+            edge_count: g.edge_count(),
+            total_edge_weight: g.total_edge_weight(),
+        }
+    }
+
+    /// Builds a CSR graph directly from per-node adjacency lists and node
+    /// weights (the coarsening path, which never materializes a [`Graph`]).
+    ///
+    /// Each undirected edge must appear in both endpoint lists with equal
+    /// weight; this is debug-asserted, not checked in release builds.
+    #[must_use]
+    pub fn from_adjacency(adj: &[Vec<(NodeId, i64)>], node_weights: Vec<i64>) -> Self {
+        assert_eq!(adj.len(), node_weights.len(), "node count mismatch");
+        let mut offsets = Vec::with_capacity(adj.len() + 1);
+        let total_len: usize = adj.iter().map(Vec::len).sum();
+        let mut neighbors = Vec::with_capacity(total_len);
+        let mut weights = Vec::with_capacity(total_len);
+        let mut total_edge_weight = 0i64;
+        offsets.push(0u32);
+        for list in adj {
+            for &(v, w) in list {
+                neighbors.push(v);
+                weights.push(w);
+                total_edge_weight += w;
+            }
+            offsets.push(neighbors.len() as u32);
+        }
+        debug_assert!(total_len.is_multiple_of(2), "asymmetric adjacency");
+        Self {
+            offsets,
+            neighbors,
+            weights,
+            node_weights,
+            edge_count: total_len / 2,
+            total_edge_weight: total_edge_weight / 2,
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of distinct undirected edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Sum of all edge weights.
+    #[must_use]
+    pub fn total_edge_weight(&self) -> i64 {
+        self.total_edge_weight
+    }
+
+    /// Sum of all node weights.
+    #[must_use]
+    pub fn total_node_weight(&self) -> i64 {
+        self.node_weights.iter().sum()
+    }
+
+    /// `true` if the graph has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.node_count() == 0
+    }
+
+    #[inline]
+    fn bounds(&self, u: NodeId) -> (usize, usize) {
+        let i = u.index();
+        (self.offsets[i] as usize, self.offsets[i + 1] as usize)
+    }
+
+    /// Number of neighbors of `u`.
+    #[must_use]
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        let (lo, hi) = self.bounds(u);
+        hi - lo
+    }
+
+    /// Sum of incident edge weights of `u`.
+    #[must_use]
+    #[inline]
+    pub fn weighted_degree(&self, u: NodeId) -> i64 {
+        let (lo, hi) = self.bounds(u);
+        self.weights[lo..hi].iter().sum()
+    }
+
+    /// Weight of node `u`.
+    #[must_use]
+    #[inline]
+    pub fn node_weight(&self, u: NodeId) -> i64 {
+        self.node_weights[u.index()]
+    }
+
+    /// Heaviest node weight (0 for an empty graph).
+    #[must_use]
+    pub fn max_node_weight(&self) -> i64 {
+        self.node_weights.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The neighbor slice of `u`, in insertion order.
+    #[must_use]
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        let (lo, hi) = self.bounds(u);
+        &self.neighbors[lo..hi]
+    }
+
+    /// The edge-weight slice of `u`, parallel to [`CsrGraph::neighbors`].
+    #[must_use]
+    #[inline]
+    pub fn neighbor_weights(&self, u: NodeId) -> &[i64] {
+        let (lo, hi) = self.bounds(u);
+        &self.weights[lo..hi]
+    }
+
+    /// Iterates `(neighbor, edge_weight)` pairs of `u`.
+    #[inline]
+    pub fn adj(&self, u: NodeId) -> impl Iterator<Item = (NodeId, i64)> + '_ {
+        let (lo, hi) = self.bounds(u);
+        self.neighbors[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.weights[lo..hi].iter().copied())
+    }
+
+    /// Iterates node ids in index order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count()).map(NodeId::new)
+    }
+
+    /// Iterates all edges as `(a, b, weight)` with `a < b`, in the same
+    /// order as [`Graph::edges`] on the source graph.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, i64)> + '_ {
+        self.nodes().flat_map(move |a| {
+            self.adj(a)
+                .filter(move |&(b, _)| a < b)
+                .map(move |(b, w)| (a, b, w))
+        })
+    }
+
+    /// Thaws the CSR view back into a mutable [`Graph`].
+    #[must_use]
+    pub fn to_graph(&self) -> Graph {
+        let mut g = Graph::with_nodes(self.node_count());
+        for u in self.nodes() {
+            g.set_node_weight(u, self.node_weight(u));
+        }
+        for (a, b, w) in self.edges() {
+            g.add_edge_weighted(a, b, w);
+        }
+        g
+    }
+}
+
+impl From<&Graph> for CsrGraph {
+    fn from(g: &Graph) -> Self {
+        Self::from_graph(g)
+    }
+}
+
+/// Accumulating CSR constructor for graph-contraction passes (multilevel
+/// coarsening, Louvain aggregation).
+///
+/// Parallel edge insertions merge their weights, and every adjacency list
+/// keeps its neighbors in *first-encounter order* — exactly the order
+/// `Graph::add_edge_weighted` would produce — so contraction passes built
+/// on it stay bit-identical to their adjacency-list references. Unlike
+/// the `Graph` path, no per-node `Vec`s are allocated: pairs are deduped
+/// through a flat open-addressed table and the CSR arrays are filled in
+/// two counting passes.
+///
+/// # Examples
+///
+/// ```
+/// use mbqc_graph::{csr::CsrBuilder, NodeId};
+///
+/// let mut b = CsrBuilder::new(vec![1, 1, 2]);
+/// b.add_edge(NodeId::new(0), NodeId::new(1), 2);
+/// b.add_edge(NodeId::new(1), NodeId::new(0), 3); // merges
+/// b.add_edge(NodeId::new(1), NodeId::new(2), 1);
+/// let g = b.build();
+/// assert_eq!(g.edge_count(), 2);
+/// assert_eq!(g.neighbor_weights(NodeId::new(1)), &[5, 1]);
+/// ```
+#[derive(Debug)]
+pub struct CsrBuilder {
+    node_weights: Vec<i64>,
+    /// Distinct undirected edges in first-encounter order.
+    pairs: Vec<(u32, u32, i64)>,
+    /// Open-addressed map: normalized pair key → index into `pairs`.
+    /// Sentinel `u64::MAX` marks empty slots (unreachable as a key since
+    /// it would require `lo == hi`, and self-loops are rejected).
+    slots: Vec<(u64, u32)>,
+    mask: usize,
+}
+
+const EMPTY_KEY: u64 = u64::MAX;
+
+impl CsrBuilder {
+    /// Starts a builder over `node_weights.len()` nodes.
+    #[must_use]
+    pub fn new(node_weights: Vec<i64>) -> Self {
+        Self {
+            node_weights,
+            pairs: Vec::new(),
+            slots: vec![(EMPTY_KEY, 0); 16],
+            mask: 15,
+        }
+    }
+
+    /// Pre-sizes the dedup table for an expected number of distinct edges.
+    #[must_use]
+    pub fn with_edge_capacity(node_weights: Vec<i64>, edges: usize) -> Self {
+        let cap = (edges * 2).next_power_of_two().max(16);
+        Self {
+            node_weights,
+            pairs: Vec::with_capacity(edges),
+            slots: vec![(EMPTY_KEY, 0); cap],
+            mask: cap - 1,
+        }
+    }
+
+    #[inline]
+    fn probe(slots: &[(u64, u32)], mask: usize, key: u64) -> usize {
+        // Fibonacci hashing; linear probing.
+        let mut i = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & mask;
+        loop {
+            let k = slots[i].0;
+            if k == key || k == EMPTY_KEY {
+                return i;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let cap = self.slots.len() * 2;
+        let mask = cap - 1;
+        let mut slots = vec![(EMPTY_KEY, 0u32); cap];
+        for &(k, v) in self.slots.iter().filter(|&&(k, _)| k != EMPTY_KEY) {
+            let i = Self::probe(&slots, mask, k);
+            slots[i] = (k, v);
+        }
+        self.slots = slots;
+        self.mask = mask;
+    }
+
+    /// Adds weight `w` to the undirected edge `(a, b)`, creating it on
+    /// first encounter.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds endpoints or self-loops.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId, w: i64) {
+        let n = self.node_weights.len();
+        assert!(a.index() < n && b.index() < n, "endpoint out of bounds");
+        assert_ne!(a, b, "self-loops are not allowed");
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let key = ((lo.index() as u64) << 32) | hi.index() as u64;
+        let i = Self::probe(&self.slots, self.mask, key);
+        if self.slots[i].0 == key {
+            self.pairs[self.slots[i].1 as usize].2 += w;
+            return;
+        }
+        self.slots[i] = (key, self.pairs.len() as u32);
+        // The stored pair keeps the caller's (a, b) orientation so both
+        // adjacency lists append in encounter order.
+        self.pairs.push((a.index() as u32, b.index() as u32, w));
+        // Keep load factor under 1/2.
+        if self.pairs.len() * 2 > self.slots.len() {
+            self.grow();
+        }
+    }
+
+    /// Freezes the accumulated edges into a [`CsrGraph`].
+    #[must_use]
+    pub fn build(self) -> CsrGraph {
+        let n = self.node_weights.len();
+        let mut degrees = vec![0u32; n];
+        for &(a, b, _) in &self.pairs {
+            degrees[a as usize] += 1;
+            degrees[b as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for &d in &degrees {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut neighbors = vec![NodeId::new(0); acc as usize];
+        let mut weights = vec![0i64; acc as usize];
+        let mut total_edge_weight = 0i64;
+        for &(a, b, w) in &self.pairs {
+            let (ai, bi) = (a as usize, b as usize);
+            neighbors[cursor[ai] as usize] = NodeId::new(bi);
+            weights[cursor[ai] as usize] = w;
+            cursor[ai] += 1;
+            neighbors[cursor[bi] as usize] = NodeId::new(ai);
+            weights[cursor[bi] as usize] = w;
+            cursor[bi] += 1;
+            total_edge_weight += w;
+        }
+        CsrGraph {
+            offsets,
+            neighbors,
+            weights,
+            node_weights: self.node_weights,
+            edge_count: self.pairs.len(),
+            total_edge_weight,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn mirrors_source_graph() {
+        let mut g = generate::grid_graph(4, 4);
+        g.set_node_weight(NodeId::new(5), 7);
+        let csr = CsrGraph::from_graph(&g);
+        assert_eq!(csr.node_count(), g.node_count());
+        assert_eq!(csr.edge_count(), g.edge_count());
+        assert_eq!(csr.total_edge_weight(), g.total_edge_weight());
+        assert_eq!(csr.total_node_weight(), g.total_node_weight());
+        for u in g.nodes() {
+            assert_eq!(csr.degree(u), g.degree(u));
+            assert_eq!(csr.weighted_degree(u), g.weighted_degree(u));
+            assert_eq!(csr.node_weight(u), g.node_weight(u));
+            let adj: Vec<(NodeId, i64)> = csr.adj(u).collect();
+            assert_eq!(adj.as_slice(), g.neighbors_weighted(u));
+        }
+    }
+
+    #[test]
+    fn edges_order_matches_graph() {
+        let g = generate::erdos_renyi_gnp(30, 0.2, &mut mbqc_util::Rng::seed_from_u64(1));
+        let csr = CsrGraph::from_graph(&g);
+        let a: Vec<_> = g.edges().collect();
+        let b: Vec<_> = csr.edges().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let csr = CsrGraph::from_graph(&Graph::new());
+        assert!(csr.is_empty());
+        assert_eq!(csr.node_count(), 0);
+        assert_eq!(csr.edges().count(), 0);
+    }
+
+    #[test]
+    fn roundtrip_through_graph() {
+        // Adjacency-list order may differ after a thaw (edges re-inserted
+        // in a < b order); compare structure, not list order.
+        let g = generate::cycle_graph(9);
+        let back = CsrGraph::from_graph(&g).to_graph();
+        assert_eq!(back.node_count(), g.node_count());
+        let mut e1: Vec<_> = g.edges().collect();
+        let mut e2: Vec<_> = back.edges().collect();
+        e1.sort_unstable();
+        e2.sort_unstable();
+        assert_eq!(e1, e2);
+        for u in g.nodes() {
+            assert_eq!(back.node_weight(u), g.node_weight(u));
+        }
+    }
+
+    #[test]
+    fn builder_matches_graph_construction_order() {
+        // Insert edges in a scrambled, duplicated order; the builder must
+        // produce the same CSR as the equivalent Graph construction.
+        let mut rng = mbqc_util::Rng::seed_from_u64(9);
+        let n = 40;
+        let mut edges: Vec<(usize, usize, i64)> = Vec::new();
+        for _ in 0..200 {
+            let a = rng.range(n);
+            let b = rng.range(n);
+            if a != b {
+                edges.push((a, b, 1 + rng.range(5) as i64));
+            }
+        }
+        let mut g = Graph::with_nodes(n);
+        let mut b = CsrBuilder::new(vec![1i64; n]);
+        for &(x, y, w) in &edges {
+            g.add_edge_weighted(NodeId::new(x), NodeId::new(y), w);
+            b.add_edge(NodeId::new(x), NodeId::new(y), w);
+        }
+        assert_eq!(b.build(), CsrGraph::from_graph(&g));
+    }
+
+    #[test]
+    fn builder_with_capacity_grows_past_hint() {
+        let n = 30;
+        let mut b = CsrBuilder::with_edge_capacity(vec![1i64; n], 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                b.add_edge(NodeId::new(i), NodeId::new(j), 1);
+            }
+        }
+        let g = b.build();
+        assert_eq!(g.edge_count(), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn from_adjacency_counts() {
+        // Triangle with one weighted edge.
+        let n0 = NodeId::new(0);
+        let n1 = NodeId::new(1);
+        let n2 = NodeId::new(2);
+        let adj = vec![
+            vec![(n1, 5i64), (n2, 1)],
+            vec![(n0, 5), (n2, 1)],
+            vec![(n0, 1), (n1, 1)],
+        ];
+        let csr = CsrGraph::from_adjacency(&adj, vec![1, 2, 3]);
+        assert_eq!(csr.edge_count(), 3);
+        assert_eq!(csr.total_edge_weight(), 7);
+        assert_eq!(csr.total_node_weight(), 6);
+        assert_eq!(csr.neighbors(n1), &[n0, n2]);
+    }
+}

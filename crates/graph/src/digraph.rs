@@ -149,10 +149,8 @@ impl DiGraph {
         // over Reverse(index) gives O(E log V) which is fine at our sizes.
         use std::cmp::Reverse;
         use std::collections::BinaryHeap;
-        let mut ready: BinaryHeap<Reverse<usize>> = (0..n)
-            .filter(|&i| in_deg[i] == 0)
-            .map(Reverse)
-            .collect();
+        let mut ready: BinaryHeap<Reverse<usize>> =
+            (0..n).filter(|&i| in_deg[i] == 0).map(Reverse).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(Reverse(i)) = ready.pop() {
             order.push(NodeId::new(i));

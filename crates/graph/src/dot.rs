@@ -32,7 +32,12 @@ where
         if w == 1 {
             let _ = writeln!(out, "  {} -- {};", a.index(), b.index());
         } else {
-            let _ = writeln!(out, "  {} -- {} [weight={w}, label=\"{w}\"];", a.index(), b.index());
+            let _ = writeln!(
+                out,
+                "  {} -- {} [weight={w}, label=\"{w}\"];",
+                a.index(),
+                b.index()
+            );
         }
     }
     out.push_str("}\n");

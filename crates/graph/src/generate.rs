@@ -91,7 +91,10 @@ pub fn grid_graph(rows: usize, cols: usize) -> Graph {
 #[must_use]
 pub fn erdos_renyi_gnm(n: usize, m: usize, rng: &mut Rng) -> Graph {
     let possible = n * n.saturating_sub(1) / 2;
-    assert!(m <= possible, "requested {m} edges but only {possible} exist");
+    assert!(
+        m <= possible,
+        "requested {m} edges but only {possible} exist"
+    );
     let mut g = Graph::with_nodes(n);
     // Sample m distinct edge indices out of the C(n,2) possible ones.
     let picks = rng.sample_indices(possible, m);

@@ -316,7 +316,7 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn oob_panics() {
         let g = Graph::with_nodes(1);
-        g.degree(NodeId::new(5));
+        let _ = g.degree(NodeId::new(5));
     }
 
     #[test]

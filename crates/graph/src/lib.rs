@@ -8,6 +8,9 @@
 //!
 //! * [`Graph`] — undirected graph with node and edge weights, the
 //!   representation of computation graphs and graph states.
+//! * [`CsrGraph`] — a frozen compressed-sparse-row view of a [`Graph`];
+//!   the cache-friendly representation every partitioner hot path
+//!   iterates.
 //! * [`DiGraph`] — directed graph with topological sorting and longest-path
 //!   queries, the representation of measurement dependency graphs.
 //! * [`algo`] — traversals, connected components, BFS distances.
@@ -30,12 +33,14 @@
 //! ```
 
 pub mod algo;
+pub mod csr;
 pub mod digraph;
 pub mod dot;
 pub mod generate;
 pub mod graph;
 pub mod node;
 
+pub use csr::CsrGraph;
 pub use digraph::DiGraph;
 pub use graph::Graph;
 pub use node::NodeId;

@@ -41,7 +41,7 @@ proptest! {
         }
         // Every component id is used.
         for c in 0..count {
-            prop_assert!(comp.iter().any(|&x| x == c));
+            prop_assert!(comp.contains(&c));
         }
     }
 

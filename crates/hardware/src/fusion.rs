@@ -172,7 +172,12 @@ mod tests {
     fn fuse_two_pigtails_entangles_endpoints() {
         // a—u  fused with  v—b  ⇒  a—b (Figure 4(b) base case).
         let mut g = Graph::with_nodes(4);
-        let (a, u, v, b) = (NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(3));
+        let (a, u, v, b) = (
+            NodeId::new(0),
+            NodeId::new(1),
+            NodeId::new(2),
+            NodeId::new(3),
+        );
         g.add_edge(a, u);
         g.add_edge(v, b);
         let (fused, map) = fuse(&g, u, v);
@@ -204,7 +209,12 @@ mod tests {
         // If the neighbors were already entangled, fusion's CZ toggles
         // the edge away.
         let mut g = Graph::with_nodes(4);
-        let (a, u, v, b) = (NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(3));
+        let (a, u, v, b) = (
+            NodeId::new(0),
+            NodeId::new(1),
+            NodeId::new(2),
+            NodeId::new(3),
+        );
         g.add_edge(a, u);
         g.add_edge(v, b);
         g.add_edge(a, b); // pre-existing edge
@@ -254,7 +264,12 @@ mod tests {
         // by measuring X_u X_v and Z_u Z_v; the remaining pair (a, b)
         // must be stabilized by the fused graph's stabilizers up to sign.
         let mut g = Graph::with_nodes(4);
-        let (a, u, v, b) = (NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(3));
+        let (a, u, v, b) = (
+            NodeId::new(0),
+            NodeId::new(1),
+            NodeId::new(2),
+            NodeId::new(3),
+        );
         g.add_edge(a, u);
         g.add_edge(v, b);
         let mut rng = mbqc_util::Rng::seed_from_u64(7);
@@ -282,10 +297,8 @@ mod tests {
 
             // Expected: (a, b) in a Bell pair — ±X_aX_b and ±Z_aZ_b in
             // the stabilizer group.
-            let xx = PauliString::single_x(4, a.index())
-                .mul(&PauliString::single_x(4, b.index()));
-            let zz = PauliString::single_z(4, a.index())
-                .mul(&PauliString::single_z(4, b.index()));
+            let xx = PauliString::single_x(4, a.index()).mul(&PauliString::single_x(4, b.index()));
+            let zz = PauliString::single_z(4, a.index()).mul(&PauliString::single_z(4, b.index()));
             for (k, flip_with_z) in [(xx, true), (zz, false)] {
                 let plus_ok = t.is_stabilized_by(&k);
                 // −K is in the group iff +K stabilizes the state after a

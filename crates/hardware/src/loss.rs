@@ -59,7 +59,10 @@ pub fn loss_probability(cycles: usize, ns_per_cycle: f64) -> f64 {
 /// Panics if `max_loss` is outside `(0, 1)` or `ns_per_cycle ≤ 0`.
 #[must_use]
 pub fn max_cycles_for_loss(max_loss: f64, ns_per_cycle: f64) -> usize {
-    assert!((0.0..1.0).contains(&max_loss) && max_loss > 0.0, "loss must be in (0,1)");
+    assert!(
+        (0.0..1.0).contains(&max_loss) && max_loss > 0.0,
+        "loss must be in (0,1)"
+    );
     assert!(ns_per_cycle > 0.0, "cycle time must be positive");
     // Invert: loss = 1 − 10^{−αL/10}, L = k·t·v.
     let km_per_cycle = storage_distance_km(1, ns_per_cycle);

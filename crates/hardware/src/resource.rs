@@ -135,7 +135,11 @@ mod tests {
     #[test]
     fn only_six_ring_routes_twice() {
         for k in ResourceStateKind::paper_kinds() {
-            let expect = if k == ResourceStateKind::SIX_RING { 2 } else { 1 };
+            let expect = if k == ResourceStateKind::SIX_RING {
+                2
+            } else {
+                1
+            };
             assert_eq!(k.routing_capacity(), expect, "{k}");
         }
     }

@@ -131,8 +131,7 @@ mod tests {
     #[test]
     fn only_photonics_meets_both_thresholds_experimentally() {
         let winners = platforms_meeting_thresholds();
-        let experimental: Vec<&PlatformEntry> =
-            winners.iter().filter(|e| e.experimental).collect();
+        let experimental: Vec<&PlatformEntry> = winners.iter().filter(|e| e.experimental).collect();
         assert_eq!(experimental.len(), 1);
         assert!(experimental[0].platform.starts_with("Photonic"));
     }

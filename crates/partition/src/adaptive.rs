@@ -7,10 +7,10 @@
 //! by more than `ε_Q`, and stopping at stagnation or at the maximum
 //! imbalance `α_max`.
 
-use mbqc_graph::Graph;
+use mbqc_graph::{CsrGraph, Graph};
 
-use crate::kway::{multilevel_kway, KwayConfig};
-use crate::modularity::modularity;
+use crate::kway::{multilevel_kway_csr, KwayConfig};
+use crate::modularity::modularity_csr;
 use crate::Partition;
 
 /// Parameters of Algorithm 2. Paper defaults: `ε_Q = 0.01`, `γ = 1.02`,
@@ -110,6 +110,17 @@ pub struct AdaptiveResult {
 /// ```
 #[must_use]
 pub fn adaptive_partition(g: &Graph, config: &AdaptiveConfig) -> AdaptiveResult {
+    adaptive_partition_csr(&CsrGraph::from_graph(g), config)
+}
+
+/// [`adaptive_partition`] on an already-frozen CSR view — the graph is
+/// frozen once and shared by every α probe of the search.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `γ ≤ 1`, or `α_max < 1`.
+#[must_use]
+pub fn adaptive_partition_csr(g: &CsrGraph, config: &AdaptiveConfig) -> AdaptiveResult {
     assert!(config.k >= 1, "k must be positive");
     assert!(config.gamma > 1.0, "gamma must exceed 1");
     assert!(config.alpha_max >= 1.0, "alpha_max must be at least 1");
@@ -131,15 +142,15 @@ pub fn adaptive_partition(g: &Graph, config: &AdaptiveConfig) -> AdaptiveResult 
                 let kcfg = KwayConfig::new(config.k)
                     .with_alpha(alpha)
                     .with_seed(config.seed);
-                let p = multilevel_kway(g, &kcfg);
-                let q = modularity(g, &p);
+                let p = multilevel_kway_csr(g, &kcfg);
+                let q = modularity_csr(g, &p);
                 (p, q)
             })
             .clone();
         history.push(AdaptiveStep {
             alpha,
             modularity: q,
-            cut: p.cut_weight(g),
+            cut: p.cut_weight_csr(g),
         });
         if best.as_ref().is_none_or(|(_, bq, _)| q > *bq) {
             best = Some((p, q, alpha));
@@ -156,7 +167,7 @@ pub fn adaptive_partition(g: &Graph, config: &AdaptiveConfig) -> AdaptiveResult 
     }
 
     let (partition, q, alpha) = best.expect("at least one probe ran");
-    let cut = partition.cut_weight(g);
+    let cut = partition.cut_weight_csr(g);
     AdaptiveResult {
         partition,
         modularity: q,

@@ -1,6 +1,13 @@
 //! Multilevel coarsening via heavy-edge matching (Karypis–Kumar).
+//!
+//! Two parallel implementations live here: the original [`Graph`]-based
+//! one (kept for its tests and for callers holding a mutable graph), and
+//! the CSR-native one the multilevel driver uses. Both produce identical
+//! hierarchies for the same RNG: matching visits nodes in the same order,
+//! and the coarse adjacency lists replicate the first-encounter insertion
+//! order of `Graph::add_edge_weighted`.
 
-use mbqc_graph::{Graph, NodeId};
+use mbqc_graph::{CsrGraph, Graph, NodeId};
 use mbqc_util::Rng;
 
 /// One level of the coarsening hierarchy.
@@ -106,6 +113,170 @@ pub fn coarsen_to(g: &Graph, target_nodes: usize, rng: &mut Rng) -> Vec<CoarseLe
     levels
 }
 
+/// One level of the CSR coarsening hierarchy.
+#[derive(Debug, Clone)]
+pub struct CsrLevel {
+    /// The coarser graph (node weights are sums, edge weights merge).
+    pub graph: CsrGraph,
+    /// Mapping fine node → coarse node.
+    pub map: Vec<NodeId>,
+}
+
+/// CSR-native [`coarsen_once`]: one round of heavy-edge matching on a
+/// frozen graph. Identical matching decisions to the `Graph` version for
+/// the same RNG state.
+///
+/// Returns `None` when no edge could be matched.
+#[must_use]
+pub fn coarsen_once_csr(g: &CsrGraph, rng: &mut Rng) -> Option<CsrLevel> {
+    let n = g.node_count();
+    let mut order: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut order);
+    // Heaviest-incident-edge-first visiting makes heavy edges reliably
+    // collapse (the property that gives HEM its name and quality).
+    let key: Vec<i64> = (0..n)
+        .map(|i| {
+            g.neighbor_weights(NodeId::new(i))
+                .iter()
+                .copied()
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+    sort_descending_stable(&mut order, &key);
+    let mut mate: Vec<Option<NodeId>> = vec![None; n];
+    let mut matched_any = false;
+    for &i in &order {
+        let u = NodeId::new(i);
+        if mate[i].is_some() {
+            continue;
+        }
+        // Unmatched neighbor of maximum edge weight, smallest index on
+        // ties (hand-rolled: this scan is the matching hot loop).
+        let weights = g.neighbor_weights(u);
+        let mut best: Option<(NodeId, i64)> = None;
+        for (j, &v) in g.neighbors(u).iter().enumerate() {
+            if v == u || mate[v.index()].is_some() {
+                continue;
+            }
+            let w = weights[j];
+            let better = match best {
+                None => true,
+                Some((bv, bw)) => w > bw || (w == bw && v < bv),
+            };
+            if better {
+                best = Some((v, w));
+            }
+        }
+        if let Some((v, _)) = best {
+            mate[i] = Some(v);
+            mate[v.index()] = Some(u);
+            matched_any = true;
+        }
+    }
+    if !matched_any {
+        return None;
+    }
+    // Assign coarse ids: the lower-index endpoint of each pair owns it.
+    let mut map = vec![NodeId::new(0); n];
+    let mut coarse_weights: Vec<i64> = Vec::new();
+    for i in 0..n {
+        let u = NodeId::new(i);
+        match mate[i] {
+            Some(v) if v.index() < i => {
+                map[i] = map[v.index()]; // already created by the partner
+            }
+            Some(v) => {
+                map[i] = NodeId::new(coarse_weights.len());
+                coarse_weights.push(g.node_weight(u) + g.node_weight(v));
+            }
+            None => {
+                map[i] = NodeId::new(coarse_weights.len());
+                coarse_weights.push(g.node_weight(u));
+            }
+        }
+    }
+    // Accumulate coarse edges with the same first-encounter insertion
+    // order `Graph::add_edge_weighted` produces, then freeze to CSR.
+    let mut builder =
+        mbqc_graph::csr::CsrBuilder::with_edge_capacity(coarse_weights, g.edge_count());
+    for a in g.nodes() {
+        let ca = map[a.index()];
+        let weights = g.neighbor_weights(a);
+        for (j, &b) in g.neighbors(a).iter().enumerate() {
+            // Each undirected edge once, in Graph::edges() order.
+            if a < b {
+                let cb = map[b.index()];
+                if ca != cb {
+                    builder.add_edge(ca, cb, weights[j]);
+                }
+            }
+        }
+    }
+    Some(CsrLevel {
+        graph: builder.build(),
+        map,
+    })
+}
+
+/// Stable descending sort of `order` by `key[i]` — equivalent to
+/// `order.sort_by_key(|&i| Reverse(key[i]))` but via counting sort when
+/// the key range is small (the common multilevel case: keys are merged
+/// edge weights), avoiding comparison-sort overhead in the per-level hot
+/// path.
+fn sort_descending_stable(order: &mut Vec<usize>, key: &[i64]) {
+    const COUNTING_MAX: i64 = 4096;
+    let max = order.iter().map(|&i| key[i]).max().unwrap_or(0);
+    let min = order.iter().map(|&i| key[i]).min().unwrap_or(0);
+    if min < 0 || max >= COUNTING_MAX {
+        order.sort_by_key(|&i| std::cmp::Reverse(key[i]));
+        return;
+    }
+    let span = (max + 1) as usize;
+    let mut counts = vec![0u32; span + 1];
+    for &i in order.iter() {
+        // Descending: bucket by (max − key).
+        counts[(max - key[i]) as usize] += 1;
+    }
+    let mut acc = 0u32;
+    for c in counts.iter_mut() {
+        let here = *c;
+        *c = acc;
+        acc += here;
+    }
+    let mut out = vec![0usize; order.len()];
+    for &i in order.iter() {
+        let bucket = (max - key[i]) as usize;
+        out[counts[bucket] as usize] = i;
+        counts[bucket] += 1;
+    }
+    *order = out;
+}
+
+/// CSR-native [`coarsen_to`]: coarsens until at most `target_nodes`
+/// remain or a round shrinks the graph by less than ~10%.
+#[must_use]
+pub fn coarsen_to_csr(g: &CsrGraph, target_nodes: usize, rng: &mut Rng) -> Vec<CsrLevel> {
+    let mut levels: Vec<CsrLevel> = Vec::new();
+    while levels
+        .last()
+        .map_or(g.node_count(), |l| l.graph.node_count())
+        > target_nodes
+    {
+        let current: &CsrGraph = levels.last().map_or(g, |l| &l.graph);
+        let before = current.node_count();
+        let Some(level) = coarsen_once_csr(current, rng) else {
+            break;
+        };
+        let shrink = level.graph.node_count() as f64 / before as f64;
+        levels.push(level);
+        if shrink > 0.9 {
+            break; // diminishing returns (e.g. star graphs)
+        }
+    }
+    levels
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,10 +301,7 @@ mod tests {
         // Every original edge is either internal to a coarse node (a
         // matched pair) or present in the coarse graph's weights.
         let matched_pairs = 10 - level.graph.node_count();
-        assert_eq!(
-            level.graph.total_edge_weight() + matched_pairs as i64,
-            10
-        );
+        assert_eq!(level.graph.total_edge_weight() + matched_pairs as i64, 10);
     }
 
     #[test]
@@ -174,6 +342,21 @@ mod tests {
         let g = generate::path_graph(5);
         let mut rng = Rng::seed_from_u64(6);
         assert!(coarsen_to(&g, 10, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn csr_hierarchy_identical_to_graph_hierarchy() {
+        let g = generate::grid_graph(9, 9);
+        let csr = CsrGraph::from_graph(&g);
+        let mut rng_a = Rng::seed_from_u64(8);
+        let mut rng_b = Rng::seed_from_u64(8);
+        let adj_levels = coarsen_to(&g, 12, &mut rng_a);
+        let csr_levels = coarsen_to_csr(&csr, 12, &mut rng_b);
+        assert_eq!(adj_levels.len(), csr_levels.len());
+        for (a, b) in adj_levels.iter().zip(&csr_levels) {
+            assert_eq!(a.map, b.map);
+            assert_eq!(CsrGraph::from_graph(&a.graph), b.graph);
+        }
     }
 
     #[test]

@@ -1,10 +1,17 @@
 //! Multilevel k-way partitioning (the from-scratch METIS stand-in).
+//!
+//! The driver is CSR-native: the input [`Graph`] is frozen once into a
+//! [`CsrGraph`], the coarsening hierarchy is built as CSR levels, and
+//! every refinement pass iterates flat CSR slices with incremental gain
+//! state ([`crate::refine::GainTable`]). The pre-optimization adjacency
+//! implementation survives in [`crate::reference`] and is property-tested
+//! to produce bit-identical partitions.
 
-use mbqc_graph::{algo, Graph, NodeId};
+use mbqc_graph::{algo, CsrGraph, Graph, NodeId};
 use mbqc_util::Rng;
 
-use crate::coarsen::coarsen_to;
-use crate::refine::{fm_refine, rebalance, refine};
+use crate::coarsen::coarsen_to_csr;
+use crate::refine::{fm_refine_csr, rebalance_csr, refine_csr};
 use crate::Partition;
 
 /// Node-count bound under which the quadratic FM pass runs at a level.
@@ -57,18 +64,17 @@ impl KwayConfig {
 }
 
 /// Maximum part weight implied by a config for a given graph.
-fn weight_bound(g: &Graph, k: usize, alpha: f64) -> i64 {
+fn weight_bound(g: &CsrGraph, k: usize, alpha: f64) -> i64 {
     let total = g.total_node_weight();
     // ceil(alpha * total / k), but never below the heaviest node (a
     // partition must be able to host every node somewhere).
     let bound = (alpha * total as f64 / k as f64).ceil() as i64;
-    let heaviest = g.nodes().map(|n| g.node_weight(n)).max().unwrap_or(0);
-    bound.max(heaviest)
+    bound.max(g.max_node_weight())
 }
 
 /// Greedy graph growing on the (coarsest) graph: BFS-grows each part
 /// from a random seed until it reaches its weight share.
-fn initial_partition(g: &Graph, k: usize, max_w: i64, rng: &mut Rng) -> Partition {
+fn initial_partition(g: &CsrGraph, k: usize, max_w: i64, rng: &mut Rng) -> Partition {
     let n = g.node_count();
     let mut assignment = vec![usize::MAX; n];
     let total = g.total_node_weight();
@@ -83,10 +89,11 @@ fn initial_partition(g: &Graph, k: usize, max_w: i64, rng: &mut Rng) -> Partitio
         let target = ((remaining as f64 / parts_left as f64).ceil() as i64).min(max_w);
         // Seed: random unassigned node, preferring low-degree frontier
         // nodes (classic GGGP heuristic — grows from the periphery).
-        let candidates: Vec<usize> = (0..n).filter(|&i| assignment[i] == usize::MAX).collect();
-        let seed = *candidates
-            .iter()
-            .min_by_key(|&&i| (g.degree(NodeId::new(i)), rng.next_u64() & 0xffff))
+        // Streaming min — no candidate vector; the RNG is still drawn
+        // once per unassigned node, matching the reference path.
+        let seed = (0..n)
+            .filter(|&i| assignment[i] == usize::MAX)
+            .min_by_key(|&i| (g.degree(NodeId::new(i)), rng.next_u64() & 0xffff))
             .expect("unassigned nodes exist");
         let mut queue = std::collections::VecDeque::new();
         let mut grown = 0i64;
@@ -106,7 +113,7 @@ fn initial_partition(g: &Graph, k: usize, max_w: i64, rng: &mut Rng) -> Partitio
             if grown >= target {
                 break;
             }
-            for v in g.neighbors(u) {
+            for &v in g.neighbors(u) {
                 if assignment[v.index()] == usize::MAX {
                     queue.push_back(v);
                 }
@@ -115,15 +122,15 @@ fn initial_partition(g: &Graph, k: usize, max_w: i64, rng: &mut Rng) -> Partitio
     }
     // Leftovers (disconnected remainders or overflow): lightest part wins.
     let mut weights = vec![0i64; k];
-    for i in 0..n {
-        if assignment[i] != usize::MAX {
-            weights[assignment[i]] += g.node_weight(NodeId::new(i));
+    for (i, &part) in assignment.iter().enumerate() {
+        if part != usize::MAX {
+            weights[part] += g.node_weight(NodeId::new(i));
         }
     }
-    for i in 0..n {
-        if assignment[i] == usize::MAX {
+    for (i, part) in assignment.iter_mut().enumerate() {
+        if *part == usize::MAX {
             let lightest = (0..k).min_by_key(|&c| weights[c]).expect("k >= 1");
-            assignment[i] = lightest;
+            *part = lightest;
             weights[lightest] += g.node_weight(NodeId::new(i));
         }
     }
@@ -157,6 +164,18 @@ fn initial_partition(g: &Graph, k: usize, max_w: i64, rng: &mut Rng) -> Partitio
 /// ```
 #[must_use]
 pub fn multilevel_kway(g: &Graph, config: &KwayConfig) -> Partition {
+    multilevel_kway_csr(&CsrGraph::from_graph(g), config)
+}
+
+/// [`multilevel_kway`] on an already-frozen CSR view. Callers that probe
+/// many configurations of the same graph (e.g. Algorithm 2's α sweep)
+/// freeze once and call this.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `alpha < 1`.
+#[must_use]
+pub fn multilevel_kway_csr(g: &CsrGraph, config: &KwayConfig) -> Partition {
     assert!(config.k >= 1, "k must be positive");
     assert!(config.alpha >= 1.0, "alpha must be at least 1");
     let mut rng = Rng::seed_from_u64(config.seed);
@@ -167,17 +186,23 @@ pub fn multilevel_kway(g: &Graph, config: &KwayConfig) -> Partition {
     }
     let max_w = weight_bound(g, config.k, config.alpha);
     let target_coarse = (config.k * 16).max(48);
-    let levels = coarsen_to(g, target_coarse, &mut rng);
+    let levels = coarsen_to_csr(g, target_coarse, &mut rng);
 
-    let coarsest: &Graph = levels.last().map_or(g, |l| &l.graph);
+    let coarsest: &CsrGraph = levels.last().map_or(g, |l| &l.graph);
     let mut part = initial_partition(coarsest, config.k, max_w, &mut rng);
-    let _ = refine(coarsest, &mut part, max_w, config.refine_passes, &mut rng);
-    let _ = fm_refine(coarsest, &mut part, max_w, 3);
+    let _ = refine_csr(coarsest, &mut part, max_w, config.refine_passes, &mut rng);
+    let _ = fm_refine_csr(coarsest, &mut part, max_w, 3);
     for _ in 1..config.initial_restarts.max(1) {
         let mut candidate = initial_partition(coarsest, config.k, max_w, &mut rng);
-        let _ = refine(coarsest, &mut candidate, max_w, config.refine_passes, &mut rng);
-        let _ = fm_refine(coarsest, &mut candidate, max_w, 3);
-        if candidate.cut_weight(coarsest) < part.cut_weight(coarsest) {
+        let _ = refine_csr(
+            coarsest,
+            &mut candidate,
+            max_w,
+            config.refine_passes,
+            &mut rng,
+        );
+        let _ = fm_refine_csr(coarsest, &mut candidate, max_w, 3);
+        if candidate.cut_weight_csr(coarsest) < part.cut_weight_csr(coarsest) {
             part = candidate;
         }
     }
@@ -188,7 +213,7 @@ pub fn multilevel_kway(g: &Graph, config: &KwayConfig) -> Partition {
     // greedy refinement polishes the finer projections).
     let mut fm_runs = 0usize;
     for level_idx in (0..levels.len()).rev() {
-        let finer: &Graph = if level_idx == 0 {
+        let finer: &CsrGraph = if level_idx == 0 {
             g
         } else {
             &levels[level_idx - 1].graph
@@ -198,15 +223,15 @@ pub fn multilevel_kway(g: &Graph, config: &KwayConfig) -> Partition {
             .map(|i| part.part_of(map[i]))
             .collect();
         part = Partition::new(assignment, config.k);
-        let _ = refine(finer, &mut part, max_w, config.refine_passes, &mut rng);
+        let _ = refine_csr(finer, &mut part, max_w, config.refine_passes, &mut rng);
         if finer.node_count() <= FM_LIMIT && fm_runs < 4 {
-            let _ = fm_refine(finer, &mut part, max_w, 2);
+            let _ = fm_refine_csr(finer, &mut part, max_w, 2);
             fm_runs += 1;
         }
     }
-    if !part.is_balanced(g, config.alpha) {
-        let _ = rebalance(g, &mut part, max_w, &mut rng);
-        let _ = refine(g, &mut part, max_w, config.refine_passes, &mut rng);
+    if !part.is_balanced_csr(g, config.alpha) {
+        let _ = rebalance_csr(g, &mut part, max_w, &mut rng);
+        let _ = refine_csr(g, &mut part, max_w, config.refine_passes, &mut rng);
     }
     part
 }
@@ -250,9 +275,17 @@ mod tests {
         for k in [2, 4, 8] {
             let p = multilevel_kway(&g, &KwayConfig::new(k));
             assert_eq!(p.k(), k);
-            assert!(p.is_balanced(&g, 1.06), "k={k}: imbalance {}", p.imbalance(&g));
+            assert!(
+                p.is_balanced(&g, 1.06),
+                "k={k}: imbalance {}",
+                p.imbalance(&g)
+            );
             // A decent k-way cut of a 10×10 grid is near k·10 at worst.
-            assert!(p.cut_weight(&g) <= (k as i64) * 14, "k={k}: cut {}", p.cut_weight(&g));
+            assert!(
+                p.cut_weight(&g) <= (k as i64) * 14,
+                "k={k}: cut {}",
+                p.cut_weight(&g)
+            );
         }
     }
 
@@ -306,6 +339,15 @@ mod tests {
         let g = generate::grid_graph(9, 9);
         let a = multilevel_kway(&g, &KwayConfig::new(4).with_seed(7));
         let b = multilevel_kway(&g, &KwayConfig::new(4).with_seed(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn csr_entry_point_matches_graph_entry_point() {
+        let g = generate::grid_graph(8, 8);
+        let csr = CsrGraph::from_graph(&g);
+        let a = multilevel_kway(&g, &KwayConfig::new(4).with_seed(3));
+        let b = multilevel_kway_csr(&csr, &KwayConfig::new(4).with_seed(3));
         assert_eq!(a, b);
     }
 

@@ -16,9 +16,14 @@
 //! * [`coarsen`] / [`refine`] / [`kway`] — a multilevel k-way
 //!   partitioner in the Karypis–Kumar style (heavy-edge matching,
 //!   greedy graph growing, boundary refinement) standing in for METIS.
+//!   The hot paths iterate frozen [`CsrGraph`](mbqc_graph::CsrGraph)
+//!   slices and maintain per-node gain state incrementally
+//!   ([`refine::GainTable`]).
 //! * [`louvain`] — Louvain community detection (the modularity-first
 //!   extreme of the trade-off, used for comparison).
 //! * [`adaptive`] — the paper's Algorithm 2.
+//! * [`reference`] — the pre-optimization adjacency-list implementation,
+//!   kept as the equivalence-test oracle and benchmark baseline.
 //!
 //! # Examples
 //!
@@ -39,8 +44,9 @@ pub mod kway;
 pub mod louvain;
 pub mod modularity;
 pub mod partition;
+pub mod reference;
 pub mod refine;
 
-pub use adaptive::{adaptive_partition, AdaptiveConfig};
-pub use kway::{multilevel_kway, KwayConfig};
+pub use adaptive::{adaptive_partition, adaptive_partition_csr, AdaptiveConfig};
+pub use kway::{multilevel_kway, multilevel_kway_csr, KwayConfig};
 pub use partition::Partition;

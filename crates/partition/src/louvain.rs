@@ -5,11 +5,70 @@
 //! guarantees neither the number of parts nor balance (Section IV-A
 //! discusses why neither pure approach suffices). Used here for
 //! comparison/ablation against the adaptive algorithm.
+//!
+//! The local-move phase iterates CSR slices and accumulates
+//! neighbor-community weights in a stamped scratch array (one allocation
+//! per level, none per node visit) instead of the seed's per-node
+//! `BTreeMap`; candidate communities are still examined in ascending
+//! order, so the move choices are unchanged.
 
-use mbqc_graph::{Graph, NodeId};
+use mbqc_graph::{CsrGraph, Graph, NodeId};
 use mbqc_util::Rng;
 
 use crate::Partition;
+
+/// Scratch state for one local-move phase: per-community accumulated
+/// weight, with a stamp array marking which entries belong to the
+/// current node visit.
+struct NeighborWeights {
+    weight_to: Vec<f64>,
+    stamp: Vec<u32>,
+    touched: Vec<usize>,
+    visit: u32,
+}
+
+impl NeighborWeights {
+    fn new(n: usize) -> Self {
+        Self {
+            weight_to: vec![0.0; n],
+            stamp: vec![0; n],
+            touched: Vec::with_capacity(64),
+            visit: 0,
+        }
+    }
+
+    /// Starts a new node visit, logically clearing all entries in O(1).
+    fn begin_visit(&mut self) {
+        self.visit = self.visit.wrapping_add(1);
+        self.touched.clear();
+    }
+
+    #[inline]
+    fn add(&mut self, community: usize, w: f64) {
+        if self.stamp[community] == self.visit {
+            self.weight_to[community] += w;
+        } else {
+            self.stamp[community] = self.visit;
+            self.weight_to[community] = w;
+            self.touched.push(community);
+        }
+    }
+
+    #[inline]
+    fn get(&self, community: usize) -> f64 {
+        if self.stamp[community] == self.visit {
+            self.weight_to[community]
+        } else {
+            0.0
+        }
+    }
+
+    /// Sorts the touched-community list ascending (matching the
+    /// `BTreeMap` iteration order of the reference implementation).
+    fn sort_touched(&mut self) {
+        self.touched.sort_unstable();
+    }
+}
 
 /// One local-move phase of Louvain on `g`; returns the community
 /// assignment and whether anything moved.
@@ -17,7 +76,7 @@ use crate::Partition;
 /// `self_loops[i]` carries the intra-weight a super-node absorbed during
 /// aggregation (our [`Graph`] forbids literal self-loops); it contributes
 /// `2·w` to the node's degree, exactly as a self-loop would.
-fn local_moves(g: &Graph, self_loops: &[i64], rng: &mut Rng) -> (Vec<usize>, bool) {
+fn local_moves(g: &CsrGraph, self_loops: &[i64], rng: &mut Rng) -> (Vec<usize>, bool) {
     let n = g.node_count();
     let m2 = (g.total_edge_weight() + self_loops.iter().sum::<i64>()) as f64 * 2.0; // 2m
     let mut community: Vec<usize> = (0..n).collect();
@@ -27,6 +86,7 @@ fn local_moves(g: &Graph, self_loops: &[i64], rng: &mut Rng) -> (Vec<usize>, boo
         .collect();
     let mut improved_any = false;
     let mut order: Vec<usize> = (0..n).collect();
+    let mut scratch = NeighborWeights::new(n);
     loop {
         let mut moved = false;
         rng.shuffle(&mut order);
@@ -34,24 +94,24 @@ fn local_moves(g: &Graph, self_loops: &[i64], rng: &mut Rng) -> (Vec<usize>, boo
             let u = NodeId::new(i);
             let ki = (g.weighted_degree(u) + 2 * self_loops[i]) as f64;
             let own = community[i];
-            // Weight from u to each adjacent community (BTreeMap keeps
-            // tie-breaking deterministic).
-            let mut to_comm: std::collections::BTreeMap<usize, f64> =
-                std::collections::BTreeMap::new();
-            for &(v, w) in g.neighbors_weighted(u) {
-                *to_comm.entry(community[v.index()]).or_insert(0.0) += w as f64;
+            // Weight from u to each adjacent community.
+            scratch.begin_visit();
+            for (v, w) in g.adj(u) {
+                scratch.add(community[v.index()], w as f64);
             }
-            let k_i_own = to_comm.get(&own).copied().unwrap_or(0.0);
+            let k_i_own = scratch.get(own);
             // Remove u from its community.
             sigma_tot[own] -= ki;
             // Best destination by modularity gain:
             // ΔQ ∝ k_{i,c} − k_i · Σ_tot(c) / 2m.
             let mut best = (own, k_i_own - ki * sigma_tot[own] / m2);
-            for (&c, &k_i_c) in &to_comm {
+            scratch.sort_touched();
+            for ti in 0..scratch.touched.len() {
+                let c = scratch.touched[ti];
                 if c == own {
                     continue;
                 }
-                let gain = k_i_c - ki * sigma_tot[c] / m2;
+                let gain = scratch.get(c) - ki * sigma_tot[c] / m2;
                 if gain > best.1 + 1e-12 {
                     best = (c, gain);
                 }
@@ -85,6 +145,33 @@ fn compact(labels: &mut [usize]) -> usize {
     next
 }
 
+/// Aggregates `current` by community labels: one coarse node per
+/// community, intra-community weight folded into `self_loops`.
+fn aggregate(
+    current: &CsrGraph,
+    labels: &[usize],
+    self_loops: &[i64],
+    k: usize,
+) -> (CsrGraph, Vec<i64>) {
+    let mut agg_weights = vec![0i64; k];
+    let mut agg_loops = vec![0i64; k];
+    for i in 0..current.node_count() {
+        agg_weights[labels[i]] += current.node_weight(NodeId::new(i));
+        agg_loops[labels[i]] += self_loops[i];
+    }
+    let mut builder =
+        mbqc_graph::csr::CsrBuilder::with_edge_capacity(agg_weights, current.edge_count() / 2);
+    for (a, b, w) in current.edges() {
+        let (ca, cb) = (labels[a.index()], labels[b.index()]);
+        if ca == cb {
+            agg_loops[ca] += w;
+        } else {
+            builder.add_edge(NodeId::new(ca), NodeId::new(cb), w);
+        }
+    }
+    (builder.build(), agg_loops)
+}
+
 /// Runs Louvain community detection to convergence.
 ///
 /// Returns a [`Partition`] with a data-driven number of parts
@@ -103,6 +190,12 @@ fn compact(labels: &mut [usize]) -> usize {
 /// ```
 #[must_use]
 pub fn louvain(g: &Graph, rng: &mut Rng) -> Partition {
+    louvain_csr(&CsrGraph::from_graph(g), rng)
+}
+
+/// [`louvain`] on an already-frozen CSR view.
+#[must_use]
+pub fn louvain_csr(g: &CsrGraph, rng: &mut Rng) -> Partition {
     let n = g.node_count();
     if n == 0 {
         return Partition::new(Vec::new(), 1);
@@ -128,29 +221,7 @@ pub fn louvain(g: &Graph, rng: &mut Rng) -> Partition {
         // (including absorbed self-loops) becomes the super-node's
         // self-loop, which keeps degrees — and hence modularity gains —
         // exact at the next level.
-        let mut agg = Graph::new();
-        let mut agg_loops = vec![0i64; k];
-        for _ in 0..k {
-            agg.add_node();
-        }
-        for c in 0..k {
-            let weight: i64 = (0..current.node_count())
-                .filter(|&i| labels[i] == c)
-                .map(|i| current.node_weight(NodeId::new(i)))
-                .sum();
-            agg.set_node_weight(NodeId::new(c), weight);
-        }
-        for i in 0..current.node_count() {
-            agg_loops[labels[i]] += self_loops[i];
-        }
-        for (a, b, w) in current.edges() {
-            let (ca, cb) = (labels[a.index()], labels[b.index()]);
-            if ca == cb {
-                agg_loops[ca] += w;
-            } else {
-                agg.add_edge_weighted(NodeId::new(ca), NodeId::new(cb), w);
-            }
-        }
+        let (agg, agg_loops) = aggregate(&current, &labels, &self_loops, k);
         if agg.edge_count() == 0 {
             break;
         }

@@ -1,6 +1,6 @@
 //! Newman modularity.
 
-use mbqc_graph::Graph;
+use mbqc_graph::{CsrGraph, Graph};
 
 use crate::Partition;
 
@@ -62,6 +62,39 @@ pub fn modularity(g: &Graph, p: &Partition) -> f64 {
         .sum()
 }
 
+/// [`modularity`] computed from a frozen CSR view; one linear pass over
+/// the flat adjacency arrays.
+///
+/// # Panics
+///
+/// Panics if the partition size disagrees with the graph.
+#[must_use]
+pub fn modularity_csr(g: &CsrGraph, p: &Partition) -> f64 {
+    assert_eq!(g.node_count(), p.len(), "graph size mismatch");
+    let m = g.total_edge_weight() as f64;
+    if m == 0.0 {
+        return 0.0;
+    }
+    let k = p.k();
+    let mut intra2 = vec![0.0f64; k]; // counts each intra edge twice
+    let mut degree = vec![0.0f64; k];
+    for u in g.nodes() {
+        let pu = p.part_of(u);
+        let weights = g.neighbor_weights(u);
+        let mut wd = 0i64;
+        for (i, v) in g.neighbors(u).iter().enumerate() {
+            wd += weights[i];
+            if p.part_of(*v) == pu {
+                intra2[pu] += weights[i] as f64;
+            }
+        }
+        degree[pu] += wd as f64;
+    }
+    (0..k)
+        .map(|c| intra2[c] / (2.0 * m) - (degree[c] / (2.0 * m)).powi(2))
+        .sum()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,12 +143,22 @@ mod tests {
     fn modularity_in_valid_range() {
         let g = generate::grid_graph(6, 6);
         for k in 1..5 {
-            let p = Partition::new(
-                (0..36).map(|i| i % k).collect(),
-                k,
-            );
+            let p = Partition::new((0..36).map(|i| i % k).collect(), k);
             let q = modularity(&g, &p);
             assert!((-0.5..1.0).contains(&q), "k={k}: Q={q}");
+        }
+    }
+
+    #[test]
+    fn csr_modularity_matches_graph_modularity() {
+        let mut g = generate::grid_graph(6, 5);
+        g.add_edge_weighted(mbqc_graph::NodeId::new(0), mbqc_graph::NodeId::new(29), 3);
+        let csr = CsrGraph::from_graph(&g);
+        for k in 1..5 {
+            let p = Partition::new((0..30).map(|i| i % k).collect(), k);
+            let a = modularity(&g, &p);
+            let b = modularity_csr(&csr, &p);
+            assert!((a - b).abs() < 1e-12, "k={k}: {a} vs {b}");
         }
     }
 

@@ -1,6 +1,6 @@
 //! The [`Partition`] type and its quality metrics.
 
-use mbqc_graph::{Graph, NodeId};
+use mbqc_graph::{CsrGraph, Graph, NodeId};
 
 /// A k-way assignment of graph nodes to parts `0..k`.
 ///
@@ -116,7 +116,6 @@ impl Partition {
     }
 
     /// Edges crossing parts, as `(a, b, weight)`.
-    #[must_use]
     pub fn cut_edges<'g>(
         &'g self,
         g: &'g Graph,
@@ -142,19 +141,71 @@ impl Partition {
     /// A perfectly balanced partition scores 1.0.
     #[must_use]
     pub fn imbalance(&self, g: &Graph) -> f64 {
-        let weights = self.part_weights(g);
-        let total: i64 = weights.iter().sum();
-        if total == 0 {
-            return 1.0;
-        }
-        let max = weights.iter().copied().max().unwrap_or(0);
-        max as f64 * self.k as f64 / total as f64
+        Self::imbalance_of(&self.part_weights(g), self.k)
     }
 
     /// `true` when every part's weight is within `alpha · total/k`.
     #[must_use]
     pub fn is_balanced(&self, g: &Graph, alpha: f64) -> bool {
         self.imbalance(g) <= alpha + 1e-9
+    }
+
+    fn imbalance_of(weights: &[i64], k: usize) -> f64 {
+        let total: i64 = weights.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let max = weights.iter().copied().max().unwrap_or(0);
+        max as f64 * k as f64 / total as f64
+    }
+
+    /// Total node weight per part, computed from a CSR view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph size disagrees with the assignment.
+    #[must_use]
+    pub fn part_weights_csr(&self, g: &CsrGraph) -> Vec<i64> {
+        assert_eq!(g.node_count(), self.assignment.len(), "graph size mismatch");
+        let mut w = vec![0i64; self.k];
+        for n in g.nodes() {
+            w[self.assignment[n.index()]] += g.node_weight(n);
+        }
+        w
+    }
+
+    /// Total weight of cut edges, computed from a CSR view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph size disagrees with the assignment.
+    #[must_use]
+    pub fn cut_weight_csr(&self, g: &CsrGraph) -> i64 {
+        assert_eq!(g.node_count(), self.assignment.len(), "graph size mismatch");
+        // Each cut edge is seen from both endpoints; halve at the end.
+        let mut twice = 0i64;
+        for u in g.nodes() {
+            let pu = self.assignment[u.index()];
+            let weights = g.neighbor_weights(u);
+            for (i, v) in g.neighbors(u).iter().enumerate() {
+                if self.assignment[v.index()] != pu {
+                    twice += weights[i];
+                }
+            }
+        }
+        twice / 2
+    }
+
+    /// [`Partition::imbalance`] computed from a CSR view.
+    #[must_use]
+    pub fn imbalance_csr(&self, g: &CsrGraph) -> f64 {
+        Self::imbalance_of(&self.part_weights_csr(g), self.k)
+    }
+
+    /// [`Partition::is_balanced`] computed from a CSR view.
+    #[must_use]
+    pub fn is_balanced_csr(&self, g: &CsrGraph, alpha: f64) -> bool {
+        self.imbalance_csr(g) <= alpha + 1e-9
     }
 }
 
@@ -223,5 +274,17 @@ mod tests {
     #[should_panic(expected = "references part")]
     fn invalid_assignment_panics() {
         let _ = Partition::new(vec![0, 2], 2);
+    }
+
+    #[test]
+    fn csr_metrics_match_graph_metrics() {
+        let mut g = generate::grid_graph(5, 4);
+        g.set_node_weight(NodeId::new(3), 6);
+        let csr = mbqc_graph::CsrGraph::from_graph(&g);
+        let p = Partition::new((0..20).map(|i| i % 3).collect(), 3);
+        assert_eq!(p.part_weights_csr(&csr), p.part_weights(&g));
+        assert_eq!(p.cut_weight_csr(&csr), p.cut_weight(&g));
+        assert!((p.imbalance_csr(&csr) - p.imbalance(&g)).abs() < 1e-12);
+        assert_eq!(p.is_balanced_csr(&csr, 1.3), p.is_balanced(&g, 1.3));
     }
 }

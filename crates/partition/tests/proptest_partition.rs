@@ -1,10 +1,11 @@
 //! Property-based tests for the partitioning stack.
 
-use mbqc_graph::{generate, Graph, NodeId};
+use mbqc_graph::{generate, CsrGraph, Graph, NodeId};
 use mbqc_partition::adaptive::{adaptive_partition, AdaptiveConfig};
-use mbqc_partition::kway::{multilevel_kway, KwayConfig};
+use mbqc_partition::kway::{multilevel_kway, multilevel_kway_csr, KwayConfig};
 use mbqc_partition::louvain::louvain;
-use mbqc_partition::modularity::modularity;
+use mbqc_partition::modularity::{modularity, modularity_csr};
+use mbqc_partition::reference;
 use mbqc_util::Rng;
 use proptest::prelude::*;
 
@@ -75,6 +76,70 @@ proptest! {
         // Singleton partition has Q = −Σ(d_i/2m)² < 0; Louvain must be ≥.
         let singles = mbqc_partition::Partition::new((0..g.node_count()).collect(), g.node_count());
         prop_assert!(modularity(&g, &p) >= modularity(&g, &singles) - 1e-9);
+    }
+
+    #[test]
+    fn csr_partitioning_identical_to_seed_adjacency_path(
+        n in 8usize..90,
+        extra in 0usize..70,
+        k in 2usize..6,
+        seed in 0u64..500,
+    ) {
+        // The tentpole guarantee: the CSR + incremental-gain partitioner
+        // is a pure representation change. Same graph, same config, same
+        // seed ⇒ bit-identical partition (hence identical cuts) to the
+        // pre-optimization adjacency-list implementation.
+        let g = random_connected_graph(n, extra, seed);
+        let cfg = KwayConfig::new(k).with_seed(seed);
+        let optimized = multilevel_kway(&g, &cfg);
+        let baseline = reference::multilevel_kway(&g, &cfg);
+        prop_assert_eq!(optimized.assignment(), baseline.assignment());
+        prop_assert_eq!(optimized.cut_weight(&g), baseline.cut_weight(&g));
+    }
+
+    #[test]
+    fn csr_entry_point_and_metrics_match(
+        n in 8usize..60,
+        extra in 0usize..40,
+        k in 2usize..5,
+        seed in 0u64..200,
+    ) {
+        let g = random_connected_graph(n, extra, seed);
+        let csr = CsrGraph::from_graph(&g);
+        let cfg = KwayConfig::new(k).with_seed(seed);
+        let a = multilevel_kway(&g, &cfg);
+        let b = multilevel_kway_csr(&csr, &cfg);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.cut_weight(&g), a.cut_weight_csr(&csr));
+        prop_assert_eq!(a.part_weights(&g), a.part_weights_csr(&csr));
+        let (qa, qb) = (modularity(&g, &a), modularity_csr(&csr, &a));
+        prop_assert!((qa - qb).abs() < 1e-9, "Q {} vs {}", qa, qb);
+    }
+
+    #[test]
+    fn weighted_graphs_also_identical(
+        n in 8usize..50,
+        extra in 0usize..40,
+        k in 2usize..5,
+        seed in 0u64..200,
+    ) {
+        // Node and edge weights exercise the balance bound and
+        // heavy-edge-matching tie-breaks.
+        let mut g = random_connected_graph(n, extra, seed);
+        let mut rng = Rng::seed_from_u64(seed ^ 0xabcd);
+        for u in 0..g.node_count() {
+            g.set_node_weight(NodeId::new(u), 1 + rng.range(4) as i64);
+        }
+        let heavy: Vec<(NodeId, NodeId)> = g.edges().map(|(a, b, _)| (a, b)).collect();
+        for (a, b) in heavy {
+            if rng.bernoulli(0.3) {
+                g.add_edge_weighted(a, b, 1 + rng.range(5) as i64);
+            }
+        }
+        let cfg = KwayConfig::new(k).with_seed(seed);
+        let optimized = multilevel_kway(&g, &cfg);
+        let baseline = reference::multilevel_kway(&g, &cfg);
+        prop_assert_eq!(optimized, baseline);
     }
 
     #[test]

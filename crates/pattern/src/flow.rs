@@ -46,7 +46,9 @@ pub fn verify_order(pattern: &Pattern, order: &[NodeId]) -> bool {
         }
         pos[u.index()] = i;
     }
-    let measured_count = (0..n).filter(|&i| pattern.is_measured(NodeId::new(i))).count();
+    let measured_count = (0..n)
+        .filter(|&i| pattern.is_measured(NodeId::new(i)))
+        .count();
     if order.len() != measured_count {
         return false;
     }

@@ -212,7 +212,7 @@ impl Pattern {
         // 2α ≡ 0 (mod π).
         let clifford = |a: f64| {
             let r = (2.0 * a / std::f64::consts::PI).rem_euclid(1.0);
-            r < 1e-9 || r > 1.0 - 1e-9
+            !(1e-9..=1.0 - 1e-9).contains(&r)
         };
         for u in self.graph.nodes() {
             if !self.measured[u.index()] {

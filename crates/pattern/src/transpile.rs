@@ -93,7 +93,10 @@ pub fn simplify_j_sequence(seq: &mut Vec<f64>) {
         // Rule 2: [a, 0, b, 0] → [a+b, 0].
         let mut i = 0;
         while i + 3 < seq.len() {
-            if is_zero(seq[i + 1]) && is_zero(seq[i + 3]) && !is_zero(seq[i]) && !is_zero(seq[i + 2])
+            if is_zero(seq[i + 1])
+                && is_zero(seq[i + 3])
+                && !is_zero(seq[i])
+                && !is_zero(seq[i + 2])
             {
                 let merged = normalize_angle(seq[i] + seq[i + 2]);
                 seq.splice(i..i + 4, [merged, 0.0]);
@@ -402,7 +405,11 @@ mod tests {
         c.cnot(0, 2).cnot(1, 2);
         let p = transpile(&c);
         // Nodes: 3 inputs + target grew by H(flush),..: count explicitly.
-        assert!(p.node_count() <= 6, "H·H cancellation failed: {}", p.node_count());
+        assert!(
+            p.node_count() <= 6,
+            "H·H cancellation failed: {}",
+            p.node_count()
+        );
         assert!(p.flow_constraints().is_acyclic());
     }
 
@@ -423,7 +430,10 @@ mod tests {
         let p = transpile(&c);
         assert_eq!(p.node_count(), 5);
         let a0 = p.angle(p.inputs()[0]);
-        assert!((a0 - FRAC_PI_2).abs() < 1e-9, "first J(−π/2) measured at +π/2, got {a0}");
+        assert!(
+            (a0 - FRAC_PI_2).abs() < 1e-9,
+            "first J(−π/2) measured at +π/2, got {a0}"
+        );
     }
 
     #[test]

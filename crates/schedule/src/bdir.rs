@@ -91,10 +91,7 @@ fn generate_neighbor(p: &LayerScheduleProblem, current: &Schedule) -> Option<Sch
 /// Two passes: a cheap scan finds the maximum cost term; anchors are
 /// then gathered only for the single winning task (keeping each BDIR
 /// iteration linear in the problem size).
-fn find_bottleneck_task(
-    p: &LayerScheduleProblem,
-    s: &Schedule,
-) -> Option<(TaskRef, Vec<usize>)> {
+fn find_bottleneck_task(p: &LayerScheduleProblem, s: &Schedule) -> Option<(TaskRef, Vec<usize>)> {
     // (cost, task, fallback anchor)
     let mut best: Option<(usize, TaskRef, usize)> = None;
     let mut consider = |cost: usize, task: TaskRef, fallback: usize| {
@@ -108,7 +105,11 @@ fn find_bottleneck_task(
         let t = s.sync_start[k];
         let ta = s.main_start[sync.a.0][sync.a.1];
         let tb = s.main_start[sync.b.0][sync.b.1];
-        consider(t.abs_diff(ta).max(t.abs_diff(tb)), TaskRef::Sync(k), ta.midpoint(tb));
+        consider(
+            t.abs_diff(ta).max(t.abs_diff(tb)),
+            TaskRef::Sync(k),
+            ta.midpoint(tb),
+        );
     }
 
     // Local terms need node-level structure.
@@ -227,7 +228,10 @@ mod tests {
     fn skewed_problem() -> LayerScheduleProblem {
         LayerScheduleProblem::new(
             vec![6, 6],
-            vec![SyncTask { a: (0, 0), b: (1, 5) }],
+            vec![SyncTask {
+                a: (0, 0),
+                b: (1, 5),
+            }],
             4,
         )
     }

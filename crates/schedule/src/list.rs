@@ -94,9 +94,7 @@ pub fn list_schedule(
     // Generous horizon bound; every loop iteration either schedules a
     // task or advances time, and each slot can always host at least one
     // pending task unless blocked by a pin — hence the added pin slack.
-    let horizon = 2 * (total_main + p.sync_tasks.len())
-        + pinned.map_or(0, |(_, pt)| pt + 1)
-        + 8;
+    let horizon = 2 * (total_main + p.sync_tasks.len()) + pinned.map_or(0, |(_, pt)| pt + 1) + 8;
 
     while remaining > 0 {
         assert!(t <= horizon, "list scheduler exceeded horizon (bug)");
@@ -145,8 +143,7 @@ pub fn list_schedule(
         }
         candidates.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| cmp_ref(a.1, b.1)));
         let mut mains: Vec<(f64, TaskRef)> = Vec::new();
-        for i in 0..p.num_qpus {
-            let j = next_main[i];
+        for (i, &j) in next_main.iter().enumerate() {
             if j < p.main_counts[i] && !is_pinned(pin, TaskRef::Main(i, j)) {
                 mains.push((priorities.main[i][j], TaskRef::Main(i, j)));
             }
@@ -225,7 +222,10 @@ mod tests {
     fn sync_takes_its_own_slot() {
         let p = LayerScheduleProblem::new(
             vec![2, 2],
-            vec![SyncTask { a: (0, 0), b: (1, 0) }],
+            vec![SyncTask {
+                a: (0, 0),
+                b: (1, 0),
+            }],
             4,
         );
         let s = list_schedule(&p, &default_priorities(&p), None);
@@ -237,7 +237,10 @@ mod tests {
     #[test]
     fn kmax_batches_syncs() {
         let syncs: Vec<SyncTask> = (0..8)
-            .map(|_| SyncTask { a: (0, 0), b: (1, 0) })
+            .map(|_| SyncTask {
+                a: (0, 0),
+                b: (1, 0),
+            })
             .collect();
         let p4 = LayerScheduleProblem::new(vec![1, 1], syncs.clone(), 4);
         let p1 = LayerScheduleProblem::new(vec![1, 1], syncs, 1);
@@ -272,7 +275,10 @@ mod tests {
     fn pinned_sync_lands_exactly() {
         let p = LayerScheduleProblem::new(
             vec![2, 2],
-            vec![SyncTask { a: (0, 1), b: (1, 1) }],
+            vec![SyncTask {
+                a: (0, 1),
+                b: (1, 1),
+            }],
             4,
         );
         let pin = (TaskRef::Sync(0), 5);
@@ -289,8 +295,14 @@ mod tests {
         let p = LayerScheduleProblem::new(
             vec![3, 2],
             vec![
-                SyncTask { a: (0, 1), b: (1, 0) },
-                SyncTask { a: (0, 2), b: (1, 1) },
+                SyncTask {
+                    a: (0, 1),
+                    b: (1, 0),
+                },
+                SyncTask {
+                    a: (0, 2),
+                    b: (1, 1),
+                },
             ],
             2,
         );

@@ -94,11 +94,7 @@ impl LayerScheduleProblem {
     ///
     /// Panics on malformed sync endpoints or `kmax == 0`.
     #[must_use]
-    pub fn new(
-        main_counts: Vec<usize>,
-        sync_tasks: Vec<SyncTask>,
-        kmax: usize,
-    ) -> Self {
+    pub fn new(main_counts: Vec<usize>, sync_tasks: Vec<SyncTask>, kmax: usize) -> Self {
         let num_qpus = main_counts.len();
         assert!(kmax >= 1, "K_max must be positive");
         for s in &sync_tasks {
@@ -138,7 +134,10 @@ impl LayerScheduleProblem {
             "dependency graph and slot table disagree"
         );
         for &(q, j) in &local.node_slot {
-            assert!(q < self.num_qpus && j < self.main_counts[q], "bad node slot");
+            assert!(
+                q < self.num_qpus && j < self.main_counts[q],
+                "bad node slot"
+            );
         }
         for &(u, v) in &local.fusee_pairs {
             assert!(u < local.node_slot.len() && v < local.node_slot.len());
@@ -180,9 +179,9 @@ impl LayerScheduleProblem {
                 usage.entry((q, t)).or_insert((0, 0)).1 += 1;
             }
         }
-        usage.values().all(|&(mains, syncs)| {
-            (mains == 0 || (mains == 1 && syncs == 0)) && syncs <= self.kmax
-        })
+        usage
+            .values()
+            .all(|&(mains, syncs)| (mains == 0 || (mains == 1 && syncs == 0)) && syncs <= self.kmax)
     }
 
     /// Evaluates a schedule's cost (assumes feasibility).
@@ -228,8 +227,7 @@ impl LayerScheduleProblem {
                     .iter()
                     .map(|&(u, v)| (times[u], times[v]))
                     .collect();
-                let report =
-                    mbqc_compiler::required_photon_lifetime(&times, &pairs, &local.deps);
+                let report = mbqc_compiler::required_photon_lifetime(&times, &pairs, &local.deps);
                 cap(report.fusee).max(cap(report.measuree))
             }
         };
@@ -258,7 +256,10 @@ mod tests {
         // J_{1,0}.
         LayerScheduleProblem::new(
             vec![2, 2],
-            vec![SyncTask { a: (0, 1), b: (1, 0) }],
+            vec![SyncTask {
+                a: (0, 1),
+                b: (1, 0),
+            }],
             4,
         )
     }
@@ -299,8 +300,14 @@ mod tests {
         let p = LayerScheduleProblem::new(
             vec![1, 1],
             vec![
-                SyncTask { a: (0, 0), b: (1, 0) },
-                SyncTask { a: (0, 0), b: (1, 0) },
+                SyncTask {
+                    a: (0, 0),
+                    b: (1, 0),
+                },
+                SyncTask {
+                    a: (0, 0),
+                    b: (1, 0),
+                },
             ],
             1,
         );
@@ -369,7 +376,10 @@ mod tests {
     fn same_qpu_sync_panics() {
         let _ = LayerScheduleProblem::new(
             vec![2],
-            vec![SyncTask { a: (0, 0), b: (0, 1) }],
+            vec![SyncTask {
+                a: (0, 0),
+                b: (0, 1),
+            }],
             4,
         );
     }

@@ -11,7 +11,10 @@
 //!   qubit allocation/removal.
 //! * [`stabilizer`] — an Aaronson–Gottesman CHP tableau simulator with
 //!   Pauli-group membership checking, used to verify graph-state
-//!   stabilizers on instances far beyond statevector reach.
+//!   stabilizers on instances far beyond statevector reach. Bit-packed:
+//!   row operations are word-wise XORs over `u64` words.
+//! * [`reference`] — the pre-optimization `Vec<bool>` tableau, kept as
+//!   the equivalence-test oracle and benchmark baseline.
 //! * [`pattern_sim`] — a lazy MBQC pattern executor: it walks a
 //!   [`Pattern`](mbqc_pattern::Pattern) in measurement order, allocates
 //!   photons on demand, applies byproduct corrections, and returns the
@@ -35,8 +38,9 @@
 
 pub mod complex;
 pub mod pattern_sim;
+pub mod reference;
 pub mod stabilizer;
 pub mod statevector;
 
 pub use complex::C64;
-pub use statevector::StateVector;
+pub use statevector::{StateVector, MAX_QUBITS};

@@ -127,7 +127,9 @@ pub fn simulate_pattern(pattern: &Pattern, input: &StateVector, rng: &mut Rng) -
 
         if s {
             // Flow corrections: X on f(u), Z on N(f(u)) \ {u}.
-            let f = pattern.wire_successor(u).expect("measured node has successor");
+            let f = pattern
+                .wire_successor(u)
+                .expect("measured node has successor");
             x_byp[f.index()] ^= true;
             for w in graph.neighbors(f) {
                 if w != u {

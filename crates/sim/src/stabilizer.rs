@@ -5,11 +5,48 @@
 //! simulator can only verify this up to ~20 qubits; the tableau scales to
 //! thousands, so graph-state structure (and Clifford fragments of
 //! patterns) can be checked at benchmark size.
+//!
+//! Pauli X/Z components are bit-packed into `u64` words: row products
+//! (`rowsum`, the measurement hot path) are word-wise XORs with a
+//! branch-free phase update, 64 qubits per instruction instead of the
+//! seed's one-`bool`-at-a-time loops. The original `Vec<bool>`
+//! implementation is preserved in [`crate::reference`] and property-tested
+//! to agree with this one on random Clifford sequences.
 
 use mbqc_graph::Graph;
 use mbqc_util::Rng;
 
-/// A Pauli string over `n` qubits with a phase `i^phase`.
+/// Bits per packed word.
+const WORD_BITS: usize = 64;
+
+/// Number of `u64` words needed for `n` qubits.
+#[inline]
+#[must_use]
+fn words_for(n: usize) -> usize {
+    n.div_ceil(WORD_BITS)
+}
+
+/// Word index and bit mask of qubit `q`.
+#[inline]
+fn bit(q: usize) -> (usize, u64) {
+    (q / WORD_BITS, 1u64 << (q % WORD_BITS))
+}
+
+/// Word-wise phase masks of the single-qubit Pauli product
+/// `(x1,z1)·(x2,z2)`: bit `q` of `pos` is set where the product picks up
+/// `+i` (a forward step in the X→Y→Z cycle), bit `q` of `neg` where it
+/// picks up `−i`. Equivalent to the Aaronson–Gottesman `g` function,
+/// evaluated for 64 qubits at once.
+#[inline]
+fn phase_masks(x1: u64, z1: u64, x2: u64, z2: u64) -> (u64, u64) {
+    let y1 = x1 & z1;
+    let pos = (x1 & !z1 & x2 & z2) | (y1 & !x2 & z2) | (!x1 & z1 & x2 & !z2);
+    let neg = (x1 & !z1 & !x2 & z2) | (y1 & x2 & !z2) | (!x1 & z1 & x2 & z2);
+    (pos, neg)
+}
+
+/// A Pauli string over `n` qubits with a phase `i^phase`, bit-packed 64
+/// qubits per word.
 ///
 /// # Examples
 ///
@@ -23,8 +60,9 @@ use mbqc_util::Rng;
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PauliString {
-    x: Vec<bool>,
-    z: Vec<bool>,
+    n: usize,
+    x: Vec<u64>,
+    z: Vec<u64>,
     /// Phase exponent: the operator is `i^phase · (Pauli product)`.
     phase: u8,
 }
@@ -34,8 +72,9 @@ impl PauliString {
     #[must_use]
     pub fn identity(n: usize) -> Self {
         Self {
-            x: vec![false; n],
-            z: vec![false; n],
+            n,
+            x: vec![0; words_for(n)],
+            z: vec![0; words_for(n)],
             phase: 0,
         }
     }
@@ -49,7 +88,8 @@ impl PauliString {
     pub fn single_x(n: usize, q: usize) -> Self {
         let mut p = Self::identity(n);
         assert!(q < n, "qubit out of range");
-        p.x[q] = true;
+        let (w, m) = bit(q);
+        p.x[w] |= m;
         p
     }
 
@@ -62,7 +102,8 @@ impl PauliString {
     pub fn single_z(n: usize, q: usize) -> Self {
         let mut p = Self::identity(n);
         assert!(q < n, "qubit out of range");
-        p.z[q] = true;
+        let (w, m) = bit(q);
+        p.z[w] |= m;
         p
     }
 
@@ -71,7 +112,8 @@ impl PauliString {
     pub fn graph_stabilizer(graph: &Graph, i: mbqc_graph::NodeId) -> Self {
         let mut p = Self::single_x(graph.node_count(), i.index());
         for j in graph.neighbors(i) {
-            p.z[j.index()] = true;
+            let (w, m) = bit(j.index());
+            p.z[w] |= m;
         }
         p
     }
@@ -79,13 +121,13 @@ impl PauliString {
     /// Number of qubits.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.x.len()
+        self.n
     }
 
     /// `true` if the string is the identity Pauli (any phase).
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        !self.x.iter().any(|&b| b) && !self.z.iter().any(|&b| b)
+        self.x.iter().all(|&w| w == 0) && self.z.iter().all(|&w| w == 0)
     }
 
     /// Phase exponent (operator = `i^phase · Paulis`).
@@ -97,27 +139,19 @@ impl PauliString {
     /// X bit of qubit `q`.
     #[must_use]
     pub fn x_bit(&self, q: usize) -> bool {
-        self.x[q]
+        let (w, m) = bit(q);
+        self.x[w] & m != 0
     }
 
     /// Z bit of qubit `q`.
     #[must_use]
     pub fn z_bit(&self, q: usize) -> bool {
-        self.z[q]
+        let (w, m) = bit(q);
+        self.z[w] & m != 0
     }
 
-    /// Phase exponent of `i` produced when multiplying single-qubit
-    /// Paulis `(x1,z1) · (x2,z2)` (Aaronson–Gottesman `g` function, mod 4).
-    fn g(x1: bool, z1: bool, x2: bool, z2: bool) -> i8 {
-        match (x1, z1) {
-            (false, false) => 0,
-            (true, true) => i8::from(z2) - i8::from(x2),
-            (true, false) => i8::from(z2) * (2 * i8::from(x2) - 1),
-            (false, true) => i8::from(x2) * (1 - 2 * i8::from(z2)),
-        }
-    }
-
-    /// Product `self · other` with exact phase tracking.
+    /// Product `self · other` with exact phase tracking. Word-wise: 64
+    /// qubits of XOR and phase accumulation per loop step.
     ///
     /// # Panics
     ///
@@ -125,40 +159,66 @@ impl PauliString {
     #[must_use]
     pub fn mul(&self, other: &PauliString) -> PauliString {
         assert_eq!(self.len(), other.len(), "length mismatch");
-        let n = self.len();
-        let mut phase = i16::from(self.phase) + i16::from(other.phase);
-        let mut x = vec![false; n];
-        let mut z = vec![false; n];
-        for q in 0..n {
-            phase += i16::from(Self::g(self.x[q], self.z[q], other.x[q], other.z[q]));
-            x[q] = self.x[q] ^ other.x[q];
-            z[q] = self.z[q] ^ other.z[q];
+        let words = self.x.len();
+        let mut phase = i32::from(self.phase) + i32::from(other.phase);
+        let mut x = vec![0u64; words];
+        let mut z = vec![0u64; words];
+        for w in 0..words {
+            let (pos, neg) = phase_masks(self.x[w], self.z[w], other.x[w], other.z[w]);
+            phase += pos.count_ones() as i32 - neg.count_ones() as i32;
+            x[w] = self.x[w] ^ other.x[w];
+            z[w] = self.z[w] ^ other.z[w];
         }
         PauliString {
+            n: self.n,
             x,
             z,
-            phase: (phase.rem_euclid(4)) as u8,
+            phase: phase.rem_euclid(4) as u8,
         }
+    }
+
+    /// In-place product `self ← self · other` with exact phase tracking —
+    /// the allocation-free form of [`PauliString::mul`] used by hot loops
+    /// (Gaussian elimination, bulk row products).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn mul_inplace(&mut self, other: &PauliString) {
+        assert_eq!(self.len(), other.len(), "length mismatch");
+        let mut phase = i32::from(self.phase) + i32::from(other.phase);
+        for w in 0..self.x.len() {
+            let (pos, neg) = phase_masks(self.x[w], self.z[w], other.x[w], other.z[w]);
+            phase += pos.count_ones() as i32 - neg.count_ones() as i32;
+            self.x[w] ^= other.x[w];
+            self.z[w] ^= other.z[w];
+        }
+        self.phase = phase.rem_euclid(4) as u8;
     }
 
     /// `true` if the two strings commute.
     #[must_use]
     pub fn commutes_with(&self, other: &PauliString) -> bool {
-        let mut anti = 0usize;
-        for q in 0..self.len() {
-            if (self.x[q] && other.z[q]) ^ (self.z[q] && other.x[q]) {
-                anti += 1;
-            }
+        let mut anti = 0u32;
+        for w in 0..self.x.len() {
+            anti ^= ((self.x[w] & other.z[w]) ^ (self.z[w] & other.x[w])).count_ones() & 1;
         }
-        anti % 2 == 0
+        anti == 0
     }
 }
 
-/// CHP stabilizer tableau over `n` qubits.
+/// CHP stabilizer tableau over `n` qubits, bit-packed.
 ///
 /// Rows `0..n` are destabilizers, rows `n..2n` stabilizers, following
 /// Aaronson & Gottesman (2004). Supports H, S, CNOT, CZ, X, Z,
 /// single-qubit Z measurement, and Pauli-group membership queries.
+///
+/// Storage is *column-word-major*: `x[w · 2n + row]` holds qubit chunk
+/// `w` (64 qubits) of `row`. The dominant access patterns — single-qubit
+/// gate updates and the per-qubit pivot/anticommuting-row scans inside
+/// measurement — touch one qubit column of every row, which in this
+/// layout is one contiguous `u64` run. Row products (`rowsum`) remain
+/// word-wise XORs, just strided across the column blocks.
 ///
 /// # Examples
 ///
@@ -175,9 +235,11 @@ impl PauliString {
 #[derive(Debug, Clone)]
 pub struct Tableau {
     n: usize,
-    // Row-major bit matrices of size 2n × n.
-    x: Vec<Vec<bool>>,
-    z: Vec<Vec<bool>>,
+    /// Words per row (qubit chunks).
+    w: usize,
+    /// Column-word-major packed bit matrices: `x[w * 2n + row]`.
+    x: Vec<u64>,
+    z: Vec<u64>,
     r: Vec<bool>,
 }
 
@@ -185,16 +247,19 @@ impl Tableau {
     /// The `|0…0⟩` tableau: destabilizers `X_i`, stabilizers `Z_i`.
     #[must_use]
     pub fn new(n: usize) -> Self {
+        let w = words_for(n);
         let rows = 2 * n;
         let mut t = Self {
             n,
-            x: vec![vec![false; n]; rows],
-            z: vec![vec![false; n]; rows],
+            w,
+            x: vec![0; rows * w],
+            z: vec![0; rows * w],
             r: vec![false; rows],
         };
         for i in 0..n {
-            t.x[i][i] = true; // destabilizer X_i
-            t.z[n + i][i] = true; // stabilizer Z_i
+            let (wq, m) = bit(i);
+            t.x[wq * rows + i] |= m; // destabilizer X_i
+            t.z[wq * rows + (n + i)] |= m; // stabilizer Z_i
         }
         t
     }
@@ -223,37 +288,58 @@ impl Tableau {
         assert!(q < self.n, "qubit {q} out of range");
     }
 
-    /// Hadamard on `q`.
+    /// Hadamard on `q`. One contiguous column sweep.
     pub fn h(&mut self, q: usize) {
         self.check(q);
-        for i in 0..2 * self.n {
-            self.r[i] ^= self.x[i][q] && self.z[i][q];
-            let tmp = self.x[i][q];
-            self.x[i][q] = self.z[i][q];
-            self.z[i][q] = tmp;
+        let rows = 2 * self.n;
+        let (wq, m) = bit(q);
+        let xs = &mut self.x[wq * rows..(wq + 1) * rows];
+        let zs = &mut self.z[wq * rows..(wq + 1) * rows];
+        for i in 0..rows {
+            let xv = xs[i];
+            let zv = zs[i];
+            self.r[i] ^= xv & zv & m != 0;
+            xs[i] = (xv & !m) | (zv & m);
+            zs[i] = (zv & !m) | (xv & m);
         }
     }
 
-    /// Phase gate S on `q`.
+    /// Phase gate S on `q`. One contiguous column sweep.
     pub fn s(&mut self, q: usize) {
         self.check(q);
-        for i in 0..2 * self.n {
-            self.r[i] ^= self.x[i][q] && self.z[i][q];
-            self.z[i][q] ^= self.x[i][q];
+        let rows = 2 * self.n;
+        let (wq, m) = bit(q);
+        let xs = &self.x[wq * rows..(wq + 1) * rows];
+        let zs = &mut self.z[wq * rows..(wq + 1) * rows];
+        for i in 0..rows {
+            let xv = xs[i];
+            self.r[i] ^= xv & zs[i] & m != 0;
+            zs[i] ^= xv & m;
         }
     }
 
-    /// Pauli Z on `q` (= S²).
+    /// Pauli Z on `q`. Single sweep: algebraically S², whose combined
+    /// update reduces to `r ^= x_q` with X/Z parts unchanged.
     pub fn z_gate(&mut self, q: usize) {
-        self.s(q);
-        self.s(q);
+        self.check(q);
+        let rows = 2 * self.n;
+        let (wq, m) = bit(q);
+        let xs = &self.x[wq * rows..(wq + 1) * rows];
+        for (r, &xv) in self.r.iter_mut().zip(xs) {
+            *r ^= xv & m != 0;
+        }
     }
 
-    /// Pauli X on `q` (= H·Z·H).
+    /// Pauli X on `q`. Single sweep: algebraically H·Z·H, whose combined
+    /// update reduces to `r ^= z_q` with X/Z parts unchanged.
     pub fn x_gate(&mut self, q: usize) {
-        self.h(q);
-        self.z_gate(q);
-        self.h(q);
+        self.check(q);
+        let rows = 2 * self.n;
+        let (wq, m) = bit(q);
+        let zs = &self.z[wq * rows..(wq + 1) * rows];
+        for (r, &zv) in self.r.iter_mut().zip(zs) {
+            *r ^= zv & m != 0;
+        }
     }
 
     /// CNOT with the given control and target.
@@ -265,43 +351,81 @@ impl Tableau {
         self.check(control);
         self.check(target);
         assert_ne!(control, target, "control and target must differ");
-        for i in 0..2 * self.n {
-            self.r[i] ^=
-                self.x[i][control] && self.z[i][target] && (self.x[i][target] ^ self.z[i][control] ^ true);
-            self.x[i][target] ^= self.x[i][control];
-            self.z[i][control] ^= self.z[i][target];
+        let rows = 2 * self.n;
+        let (wc, mc) = bit(control);
+        let (wt, mt) = bit(target);
+        let (co, to) = (wc * rows, wt * rows);
+        for i in 0..rows {
+            let xc = self.x[co + i] & mc != 0;
+            let zc = self.z[co + i] & mc != 0;
+            let xt = self.x[to + i] & mt != 0;
+            let zt = self.z[to + i] & mt != 0;
+            self.r[i] ^= xc && zt && (xt ^ zc ^ true);
+            if xc {
+                self.x[to + i] ^= mt;
+            }
+            if zt {
+                self.z[co + i] ^= mc;
+            }
         }
     }
 
-    /// CZ between `a` and `b` (via `H_b · CNOT_{a,b} · H_b`).
+    /// CZ between `a` and `b`. Single sweep: algebraically
+    /// `H_b · CNOT_{a,b} · H_b`, whose combined update reduces to
+    /// `z_a ^= x_b`, `z_b ^= x_a`, `r ^= x_a x_b (z_a ⊕ z_b)` — one pass
+    /// over two qubit columns instead of three full gate sweeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or either is out of range.
     pub fn cz(&mut self, a: usize, b: usize) {
-        self.h(b);
-        self.cnot(a, b);
-        self.h(b);
-    }
-
-    /// Phase exponent sum used by `rowsum` (Aaronson–Gottesman).
-    fn rowsum_phase(&self, h: usize, i: usize) -> i16 {
-        let mut acc = 2 * i16::from(self.r[h]) + 2 * i16::from(self.r[i]);
-        for q in 0..self.n {
-            acc += i16::from(PauliString::g(
-                self.x[i][q],
-                self.z[i][q],
-                self.x[h][q],
-                self.z[h][q],
-            ));
+        self.check(a);
+        self.check(b);
+        assert_ne!(a, b, "qubits must differ");
+        let rows = 2 * self.n;
+        let (wa, ma) = bit(a);
+        let (wb, mb) = bit(b);
+        let (ao, bo) = (wa * rows, wb * rows);
+        for i in 0..rows {
+            let xa = self.x[ao + i] & ma != 0;
+            let xb = self.x[bo + i] & mb != 0;
+            let za = self.z[ao + i] & ma != 0;
+            let zb = self.z[bo + i] & mb != 0;
+            self.r[i] ^= xa && xb && (za ^ zb);
+            if xb {
+                self.z[ao + i] ^= ma;
+            }
+            if xa {
+                self.z[bo + i] ^= mb;
+            }
         }
-        acc.rem_euclid(4)
     }
 
-    /// `row[h] ← row[h] · row[i]` with phase bookkeeping.
-    fn rowsum(&mut self, h: usize, i: usize) {
-        let phase = self.rowsum_phase(h, i);
-        debug_assert!(phase == 0 || phase == 2, "non-Hermitian rowsum");
-        self.r[h] = phase == 2;
-        for q in 0..self.n {
-            self.x[h][q] ^= self.x[i][q];
-            self.z[h][q] ^= self.z[i][q];
+    /// Batched Aaronson–Gottesman rowsum: `row[t] ← row[t] · row[p]` for
+    /// every `t` in `targets`, with exact per-row phase bookkeeping.
+    /// Processes one column block at a time, so the strided per-row walk
+    /// becomes a sequential pass per block over the (ascending) targets.
+    fn rowsum_batch(&mut self, targets: &[usize], p: usize) {
+        let rows = 2 * self.n;
+        let mut accs: Vec<i32> = targets
+            .iter()
+            .map(|&t| 2 * i32::from(self.r[t]) + 2 * i32::from(self.r[p]))
+            .collect();
+        for w in 0..self.w {
+            let o = w * rows;
+            let (xp, zp) = (self.x[o + p], self.z[o + p]);
+            for (k, &t) in targets.iter().enumerate() {
+                let (xt, zt) = (self.x[o + t], self.z[o + t]);
+                let (pos, neg) = phase_masks(xp, zp, xt, zt);
+                accs[k] += pos.count_ones() as i32 - neg.count_ones() as i32;
+                self.x[o + t] = xt ^ xp;
+                self.z[o + t] = zt ^ zp;
+            }
+        }
+        for (k, &t) in targets.iter().enumerate() {
+            let phase = accs[k].rem_euclid(4);
+            debug_assert!(phase == 0 || phase == 2, "non-Hermitian rowsum");
+            self.r[t] = phase == 2;
         }
     }
 
@@ -312,31 +436,37 @@ impl Tableau {
     pub fn measure_z(&mut self, q: usize, rng: &mut Rng) -> bool {
         self.check(q);
         let n = self.n;
-        // Find a stabilizer with an X on q (anticommutes with Z_q).
-        if let Some(p) = (n..2 * n).find(|&i| self.x[i][q]) {
-            // Random outcome.
-            for i in 0..2 * n {
-                if i != p && self.x[i][q] {
-                    self.rowsum(i, p);
-                }
-            }
-            // Destabilizer row p−n becomes the old stabilizer row p.
-            self.x[p - n] = self.x[p].clone();
-            self.z[p - n] = self.z[p].clone();
-            self.r[p - n] = self.r[p];
-            // Stabilizer row p becomes ±Z_q with the measured sign.
+        let rows = 2 * n;
+        let (wq, m) = bit(q);
+        let col = wq * rows;
+        // Find a stabilizer with an X on q (anticommutes with Z_q) — a
+        // contiguous scan of the qubit's column block.
+        if let Some(p) = (n..rows).find(|&i| self.x[col + i] & m != 0) {
+            // Random outcome. Row p−n (the pivot's partner destabilizer)
+            // is skipped: it anticommutes with row p, so the rowsum phase
+            // would be imaginary — and the row is overwritten with a copy
+            // of row p below anyway, making the rowsum dead work.
+            let targets: Vec<usize> = (0..rows)
+                .filter(|&i| i != p && i != p - n && self.x[col + i] & m != 0)
+                .collect();
+            self.rowsum_batch(&targets, p);
+            // Destabilizer row p−n becomes the old stabilizer row p, and
+            // stabilizer row p becomes ±Z_q with the measured sign.
             let outcome = rng.bernoulli(0.5);
-            for c in 0..n {
-                self.x[p][c] = false;
-                self.z[p][c] = false;
+            for w in 0..self.w {
+                let o = w * rows;
+                self.x[o + p - n] = self.x[o + p];
+                self.z[o + p - n] = self.z[o + p];
+                self.x[o + p] = 0;
+                self.z[o + p] = 0;
             }
-            self.z[p][q] = true;
+            self.z[col + p] = m;
+            self.r[p - n] = self.r[p];
             self.r[p] = outcome;
             outcome
         } else {
             // Deterministic outcome: accumulate into a scratch row.
-            let scratch = self.scratch_row(q);
-            scratch
+            self.scratch_row(q)
         }
     }
 
@@ -344,21 +474,27 @@ impl Tableau {
     /// scratch row (case where no stabilizer has an X on `q`).
     fn scratch_row(&self, q: usize) -> bool {
         let n = self.n;
-        let mut sx = vec![false; n];
-        let mut sz = vec![false; n];
-        let mut sr: i16 = 0;
+        let rows = 2 * n;
+        let (wq, m) = bit(q);
+        let col = wq * rows;
+        let mut sx = vec![0u64; self.w];
+        let mut sz = vec![0u64; self.w];
+        let mut sr: i32 = 0;
         for i in 0..n {
-            if self.x[i][q] {
+            if self.x[col + i] & m != 0 {
                 // rowsum(scratch, i + n)
                 let stab = i + n;
-                let mut acc = 2 * i16::from(self.r[stab]) + sr;
-                for c in 0..n {
-                    acc += i16::from(PauliString::g(self.x[stab][c], self.z[stab][c], sx[c], sz[c]));
+                let mut acc = 2 * i32::from(self.r[stab]) + sr;
+                for w in 0..self.w {
+                    let o = w * rows;
+                    let (pos, neg) = phase_masks(self.x[o + stab], self.z[o + stab], sx[w], sz[w]);
+                    acc += pos.count_ones() as i32 - neg.count_ones() as i32;
                 }
                 sr = acc.rem_euclid(4);
-                for c in 0..n {
-                    sx[c] ^= self.x[stab][c];
-                    sz[c] ^= self.z[stab][c];
+                for w in 0..self.w {
+                    let o = w * rows;
+                    sx[w] ^= self.x[o + stab];
+                    sz[w] ^= self.z[o + stab];
                 }
             }
         }
@@ -370,10 +506,12 @@ impl Tableau {
     /// `+`, 2 for `−`).
     #[must_use]
     pub fn stabilizer_generators(&self) -> Vec<PauliString> {
-        (self.n..2 * self.n)
+        let rows = 2 * self.n;
+        (self.n..rows)
             .map(|i| PauliString {
-                x: self.x[i].clone(),
-                z: self.z[i].clone(),
+                n: self.n,
+                x: (0..self.w).map(|w| self.x[w * rows + i]).collect(),
+                z: (0..self.w).map(|w| self.z[w * rows + i]).collect(),
                 phase: if self.r[i] { 2 } else { 0 },
             })
             .collect()
@@ -396,29 +534,30 @@ impl Tableau {
         let mut pivot_row = 0usize;
         // Columns: first all x-bits, then all z-bits.
         for col in 0..2 * self.n {
-            let bit = |g: &PauliString| {
+            let bit_of = |g: &PauliString| {
                 if col < self.n {
-                    g.x[col]
+                    g.x_bit(col)
                 } else {
-                    g.z[col - self.n]
+                    g.z_bit(col - self.n)
                 }
             };
-            let Some(r) = (pivot_row..gens.len()).find(|&r| bit(&gens[r])) else {
+            let Some(r) = (pivot_row..gens.len()).find(|&r| bit_of(&gens[r])) else {
                 continue;
             };
             gens.swap(pivot_row, r);
-            let pivot = gens[pivot_row].clone();
-            for g in gens.iter_mut().skip(pivot_row + 1) {
-                if bit(g) {
-                    *g = g.mul(&pivot);
+            let (head, tail) = gens.split_at_mut(pivot_row + 1);
+            let pivot = &head[pivot_row];
+            for g in tail {
+                if bit_of(g) {
+                    g.mul_inplace(pivot);
                 }
             }
-            if bit(&target) {
-                target = target.mul(&pivot);
+            if bit_of(&target) {
+                target.mul_inplace(pivot);
             }
             pivot_row += 1;
         }
-        target.is_empty() && target.phase % 4 == 0
+        target.is_empty() && target.phase.is_multiple_of(4)
     }
 }
 
@@ -442,6 +581,34 @@ mod tests {
         let xx = x.mul(&x);
         assert!(xx.is_empty());
         assert_eq!(xx.phase(), 0);
+    }
+
+    #[test]
+    fn pauli_products_across_word_boundary() {
+        // Qubit 70 lives in the second packed word.
+        let n = 80;
+        for q in [0usize, 63, 64, 70, 79] {
+            let x = PauliString::single_x(n, q);
+            let z = PauliString::single_z(n, q);
+            assert_eq!(x.mul(&z).phase(), 3, "q={q}");
+            assert_eq!(z.mul(&x).phase(), 1, "q={q}");
+            assert!(!x.commutes_with(&z), "q={q}");
+        }
+        // Disjoint supports in different words commute.
+        let a = PauliString::single_x(n, 3);
+        let b = PauliString::single_z(n, 77);
+        assert!(a.commutes_with(&b));
+    }
+
+    #[test]
+    fn mul_inplace_matches_mul() {
+        let g = generate::grid_graph(9, 9);
+        let a0 = PauliString::graph_stabilizer(&g, mbqc_graph::NodeId::new(5));
+        let b = PauliString::graph_stabilizer(&g, mbqc_graph::NodeId::new(40));
+        let by_value = a0.mul(&b);
+        let mut in_place = a0.clone();
+        in_place.mul_inplace(&b);
+        assert_eq!(by_value, in_place);
     }
 
     #[test]
@@ -554,6 +721,19 @@ mod tests {
     }
 
     #[test]
+    fn measurements_on_multi_word_graph_state() {
+        // 100 qubits spans two packed words; measuring the whole cycle
+        // graph state must keep the tableau consistent (re-measurement of
+        // any qubit is deterministic and stable).
+        let g = generate::cycle_graph(100);
+        let mut t = Tableau::graph_state(&g);
+        let mut rng = Rng::seed_from_u64(7);
+        let first: Vec<bool> = (0..100).map(|q| t.measure_z(q, &mut rng)).collect();
+        let second: Vec<bool> = (0..100).map(|q| t.measure_z(q, &mut rng)).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
     fn tableau_matches_statevector_on_random_cliffords() {
         use crate::StateVector;
         use mbqc_circuit::{Circuit, Gate};
@@ -578,7 +758,11 @@ mod tests {
                         let a = rng.range(n);
                         let b = (a + 1 + rng.range(n - 1)) % n;
                         t.cnot(a, b);
-                        c.push(Gate::Cnot { control: a, target: b }).unwrap();
+                        c.push(Gate::Cnot {
+                            control: a,
+                            target: b,
+                        })
+                        .unwrap();
                     }
                     _ => {
                         let a = rng.range(n);
@@ -593,7 +777,7 @@ mod tests {
             // Compare single-qubit Z expectation determinism.
             for q in 0..n {
                 let p1 = sv.prob_one(q);
-                let deterministic = p1 < 1e-9 || p1 > 1.0 - 1e-9;
+                let deterministic = !(1e-9..=1.0 - 1e-9).contains(&p1);
                 let stab_plus = t.is_stabilized_by(&PauliString::single_z(n, q));
                 let mut minus_z = PauliString::single_z(n, q);
                 minus_z.phase = 2;

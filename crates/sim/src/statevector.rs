@@ -32,29 +32,54 @@ pub struct StateVector {
     amps: Vec<C64>,
 }
 
+/// Maximum register size of the dense simulator: a 26-qubit state is
+/// 1 GiB of amplitudes, the largest that reliably fits benchmark hosts.
+pub const MAX_QUBITS: usize = 26;
+
 impl StateVector {
+    /// Allocates the zeroed amplitude vector for `n` qubits, enforcing the
+    /// [`MAX_QUBITS`] cap. Single checkpoint for every state constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_QUBITS`.
+    fn checked_alloc(n: usize) -> Vec<C64> {
+        assert!(
+            n <= MAX_QUBITS,
+            "statevector limited to {MAX_QUBITS} qubits (requested {n})"
+        );
+        vec![C64::ZERO; 1 << n]
+    }
+
     /// `|0…0⟩` over `n` qubits.
     ///
     /// # Panics
     ///
-    /// Panics if `n > 26` (the amplitude vector would not fit in memory).
+    /// Panics if `n > MAX_QUBITS` (the amplitude vector would not fit in
+    /// memory).
     #[must_use]
     pub fn zero_state(n: usize) -> Self {
-        assert!(n <= 26, "statevector limited to 26 qubits");
-        let mut amps = vec![C64::ZERO; 1 << n];
+        let mut amps = Self::checked_alloc(n);
         amps[0] = C64::ONE;
-        Self { num_qubits: n, amps }
+        Self {
+            num_qubits: n,
+            amps,
+        }
     }
 
     /// `|+⟩^{⊗n}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_QUBITS`.
     #[must_use]
     pub fn plus_state(n: usize) -> Self {
-        assert!(n <= 26, "statevector limited to 26 qubits");
-        let dim = 1usize << n;
-        let a = C64::new(1.0 / (dim as f64).sqrt(), 0.0);
+        let mut amps = Self::checked_alloc(n);
+        let a = C64::new(1.0 / (amps.len() as f64).sqrt(), 0.0);
+        amps.fill(a);
         Self {
             num_qubits: n,
-            amps: vec![a; dim],
+            amps,
         }
     }
 
@@ -63,15 +88,29 @@ impl StateVector {
     ///
     /// # Panics
     ///
-    /// Panics if the length is not a power of two or the norm differs
-    /// from 1 by more than `1e-6`.
+    /// Panics if the length is not a power of two, exceeds the
+    /// [`MAX_QUBITS`] cap, or the norm differs from 1 by more than
+    /// `1e-6`.
     #[must_use]
     pub fn from_amplitudes(amps: Vec<C64>) -> Self {
-        assert!(amps.len().is_power_of_two(), "length must be a power of two");
+        assert!(
+            amps.len().is_power_of_two(),
+            "length must be a power of two"
+        );
         let n = amps.len().trailing_zeros() as usize;
+        assert!(
+            n <= MAX_QUBITS,
+            "statevector limited to {MAX_QUBITS} qubits (requested {n})"
+        );
         let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
-        assert!((norm - 1.0).abs() < 1e-6, "state not normalized (norm² = {norm})");
-        Self { num_qubits: n, amps }
+        assert!(
+            (norm - 1.0).abs() < 1e-6,
+            "state not normalized (norm² = {norm})"
+        );
+        Self {
+            num_qubits: n,
+            amps,
+        }
     }
 
     /// Number of qubits.
@@ -91,7 +130,52 @@ impl StateVector {
     }
 
     /// Applies a 2×2 matrix (row-major) to qubit `q`.
+    ///
+    /// The general case walks the amplitude vector in strides of
+    /// `2^(q+1)`, pairing each low half-index `i` with `i | 2^q` directly
+    /// — no per-index bit test, and both loop bounds are
+    /// compiler-visible. Diagonal and anti-diagonal matrices (the common
+    /// gates: Z/S/T/phase, X/Y) take dedicated fast paths that touch each
+    /// amplitude once.
     pub fn apply_single(&mut self, q: usize, m: [[C64; 2]; 2]) {
+        self.check(q);
+        let bit = 1usize << q;
+        if m[0][1] == C64::ZERO && m[1][0] == C64::ZERO {
+            // Diagonal gate: amps[i] *= m[b][b] where b = bit q of i.
+            let (d0, d1) = (m[0][0], m[1][1]);
+            for (i, a) in self.amps.iter_mut().enumerate() {
+                *a *= if i & bit == 0 { d0 } else { d1 };
+            }
+            return;
+        }
+        if m[0][0] == C64::ZERO && m[1][1] == C64::ZERO {
+            // Anti-diagonal gate (X-like): swap halves with scaling.
+            let (u, l) = (m[0][1], m[1][0]);
+            for base in (0..self.amps.len()).step_by(bit << 1) {
+                for i in base..base + bit {
+                    let j = i | bit;
+                    let (a0, a1) = (self.amps[i], self.amps[j]);
+                    self.amps[i] = u * a1;
+                    self.amps[j] = l * a0;
+                }
+            }
+            return;
+        }
+        for base in (0..self.amps.len()).step_by(bit << 1) {
+            for i in base..base + bit {
+                let j = i | bit;
+                let (a0, a1) = (self.amps[i], self.amps[j]);
+                self.amps[i] = m[0][0] * a0 + m[0][1] * a1;
+                self.amps[j] = m[1][0] * a0 + m[1][1] * a1;
+            }
+        }
+    }
+
+    /// The pre-optimization [`StateVector::apply_single`]: a full-`2^n`
+    /// scan testing bit `q` of every index. Kept as the benchmark
+    /// baseline; behavior is identical.
+    #[doc(hidden)]
+    pub fn apply_single_reference(&mut self, q: usize, m: [[C64; 2]; 2]) {
         self.check(q);
         let bit = 1usize << q;
         for i in 0..self.amps.len() {
@@ -113,10 +197,7 @@ impl StateVector {
         use std::f64::consts::FRAC_PI_4;
         let inv_sqrt2 = C64::new(std::f64::consts::FRAC_1_SQRT_2, 0.0);
         match *gate {
-            Gate::H(q) => self.apply_single(
-                q,
-                [[inv_sqrt2, inv_sqrt2], [inv_sqrt2, -inv_sqrt2]],
-            ),
+            Gate::H(q) => self.apply_single(q, [[inv_sqrt2, inv_sqrt2], [inv_sqrt2, -inv_sqrt2]]),
             Gate::X(q) => self.apply_single(q, [[C64::ZERO, C64::ONE], [C64::ONE, C64::ZERO]]),
             Gate::Y(q) => self.apply_single(q, [[C64::ZERO, -C64::I], [C64::I, C64::ZERO]]),
             Gate::Z(q) => self.phase_if(|i| i >> q & 1 == 1, C64::new(-1.0, 0.0)),
@@ -275,7 +356,16 @@ impl StateVector {
 
     /// Appends a fresh qubit in `|+⟩` as the new most significant qubit;
     /// returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register is already at [`MAX_QUBITS`].
     pub fn add_qubit_plus(&mut self) -> usize {
+        assert!(
+            self.num_qubits < MAX_QUBITS,
+            "statevector limited to {MAX_QUBITS} qubits (requested {})",
+            self.num_qubits + 1
+        );
         let old = self.amps.len();
         let mut amps = vec![C64::ZERO; old * 2];
         let k = std::f64::consts::FRAC_1_SQRT_2;
@@ -458,7 +548,10 @@ mod tests {
             a.apply_gate(&Gate::Rz(q, rng.next_f64() * PI));
         }
         let mut b = a.clone();
-        a.apply_gate(&Gate::Cnot { control: 0, target: 1 });
+        a.apply_gate(&Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         b.apply_gate(&Gate::H(1));
         b.apply_gate(&Gate::Cz(0, 1));
         b.apply_gate(&Gate::H(1));
@@ -484,7 +577,11 @@ mod tests {
             if c1 {
                 sv.apply_gate(&Gate::X(1));
             }
-            sv.apply_gate(&Gate::Toffoli { c0: 0, c1: 1, target: 2 });
+            sv.apply_gate(&Gate::Toffoli {
+                c0: 0,
+                c1: 1,
+                target: 2,
+            });
             let expect = if c0 && c1 { 1.0 } else { 0.0 };
             assert!((sv.prob_one(2) - expect).abs() < 1e-12);
         }
@@ -500,9 +597,15 @@ mod tests {
         }
         let mut b = a.clone();
         a.apply_gate(&Gate::Rzz(0, 1, theta));
-        b.apply_gate(&Gate::Cnot { control: 0, target: 1 });
+        b.apply_gate(&Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         b.apply_gate(&Gate::Rz(1, theta));
-        b.apply_gate(&Gate::Cnot { control: 0, target: 1 });
+        b.apply_gate(&Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         // Exact equality including global phase.
         let ip = a.inner(&b);
         assert!((ip.re - 1.0).abs() < 1e-10, "inner product {ip}");
@@ -604,6 +707,74 @@ mod tests {
         sv.reorder_qubits(&[1, 0]);
         assert!((sv.prob_one(1) - 1.0).abs() < 1e-12);
         assert!(sv.prob_one(0) < 1e-12);
+    }
+
+    #[test]
+    fn strided_apply_single_matches_reference() {
+        let mut rng = Rng::seed_from_u64(21);
+        for n in 1..=6 {
+            // Random state via rotations, then compare a random 2×2 gate
+            // applied by both kernels on every qubit.
+            let mut a = StateVector::zero_state(n);
+            for q in 0..n {
+                a.apply_gate(&Gate::Ry(q, rng.next_f64() * PI));
+                a.apply_gate(&Gate::Rz(q, rng.next_f64() * PI));
+                if q > 0 {
+                    a.apply_gate(&Gate::Cnot {
+                        control: q - 1,
+                        target: q,
+                    });
+                }
+            }
+            for q in 0..n {
+                let theta = rng.next_f64() * PI;
+                let phi = rng.next_f64() * PI;
+                let m = [
+                    [
+                        C64::new(theta.cos(), 0.0),
+                        C64::from_polar_unit(phi).scale(theta.sin()),
+                    ],
+                    [
+                        C64::from_polar_unit(-phi).scale(theta.sin()),
+                        C64::new(-theta.cos(), 0.0),
+                    ],
+                ];
+                let mut fast = a.clone();
+                let mut slow = a.clone();
+                fast.apply_single(q, m);
+                slow.apply_single_reference(q, m);
+                assert_eq!(fast, slow, "n={n} q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_fast_path_matches_reference() {
+        let mut sv = StateVector::plus_state(4);
+        sv.apply_gate(&Gate::Cnot {
+            control: 0,
+            target: 2,
+        });
+        let diag = [
+            [C64::from_polar_unit(0.3), C64::ZERO],
+            [C64::ZERO, C64::from_polar_unit(-0.9)],
+        ];
+        let anti = [[C64::ZERO, C64::I], [-C64::I, C64::ZERO]]; // Pauli Y
+        for m in [diag, anti] {
+            for q in 0..4 {
+                let mut fast = sv.clone();
+                let mut slow = sv.clone();
+                fast.apply_single(q, m);
+                slow.apply_single_reference(q, m);
+                assert_eq!(fast, slow, "q={q}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "statevector limited to 26 qubits (requested 27)")]
+    fn constructor_enforces_qubit_cap() {
+        let _ = StateVector::zero_state(MAX_QUBITS + 1);
     }
 
     #[test]

@@ -1,0 +1,180 @@
+//! Property-based equivalence tests: the bit-packed stabilizer tableau
+//! against the pre-optimization `Vec<bool>` reference, on random Clifford
+//! sequences with interleaved measurements.
+
+use mbqc_graph::{generate, NodeId};
+use mbqc_sim::{reference, stabilizer};
+use mbqc_util::Rng;
+use proptest::prelude::*;
+
+/// One random Clifford operation, chosen identically for both tableaus.
+fn apply_random_op(
+    packed: &mut stabilizer::Tableau,
+    boolean: &mut reference::Tableau,
+    n: usize,
+    rng: &mut Rng,
+) {
+    match rng.range(6) {
+        0 => {
+            let q = rng.range(n);
+            packed.h(q);
+            boolean.h(q);
+        }
+        1 => {
+            let q = rng.range(n);
+            packed.s(q);
+            boolean.s(q);
+        }
+        2 => {
+            let q = rng.range(n);
+            packed.x_gate(q);
+            boolean.x_gate(q);
+        }
+        3 => {
+            let q = rng.range(n);
+            packed.z_gate(q);
+            boolean.z_gate(q);
+        }
+        4 => {
+            let a = rng.range(n);
+            let b = (a + 1 + rng.range(n - 1)) % n;
+            packed.cnot(a, b);
+            boolean.cnot(a, b);
+        }
+        _ => {
+            let a = rng.range(n);
+            let b = (a + 1 + rng.range(n - 1)) % n;
+            packed.cz(a, b);
+            boolean.cz(a, b);
+        }
+    }
+}
+
+/// Asserts the two tableaus describe identical stabilizer rows.
+fn assert_rows_equal(
+    packed: &stabilizer::Tableau,
+    boolean: &reference::Tableau,
+) -> Result<(), TestCaseError> {
+    let n = packed.num_qubits();
+    prop_assert_eq!(n, boolean.num_qubits());
+    let pg = packed.stabilizer_generators();
+    let bg = boolean.stabilizer_generators();
+    for (row, (p, b)) in pg.iter().zip(&bg).enumerate() {
+        prop_assert_eq!(p.phase(), b.phase(), "row {} phase", row);
+        for q in 0..n {
+            prop_assert_eq!(p.x_bit(q), b.x_bit(q), "row {} x bit {}", row, q);
+            prop_assert_eq!(p.z_bit(q), b.z_bit(q), "row {} z bit {}", row, q);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn packed_tableau_matches_bool_tableau_on_random_cliffords(
+        n in 2usize..70,
+        ops in 10usize..120,
+        seed in 0u64..1000,
+    ) {
+        // Sizes beyond 64 qubits exercise multi-word rows.
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut packed = stabilizer::Tableau::new(n);
+        let mut boolean = reference::Tableau::new(n);
+        for _ in 0..ops {
+            apply_random_op(&mut packed, &mut boolean, n, &mut rng);
+        }
+        assert_rows_equal(&packed, &boolean)?;
+    }
+
+    #[test]
+    fn packed_measurements_match_bool_measurements(
+        n in 2usize..40,
+        ops in 5usize..60,
+        measures in 1usize..20,
+        seed in 0u64..1000,
+    ) {
+        // Both implementations must consume randomness identically: the
+        // pivot search and rowsum pattern are the same algorithm, so the
+        // same RNG must yield the same outcomes AND the same post-
+        // measurement tableau.
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut packed = stabilizer::Tableau::new(n);
+        let mut boolean = reference::Tableau::new(n);
+        for _ in 0..ops {
+            apply_random_op(&mut packed, &mut boolean, n, &mut rng);
+        }
+        let mut rng_p = Rng::seed_from_u64(seed ^ 0x5eed);
+        let mut rng_b = Rng::seed_from_u64(seed ^ 0x5eed);
+        for m in 0..measures {
+            let q = (m * 7 + 3) % n;
+            let a = packed.measure_z(q, &mut rng_p);
+            let b = boolean.measure_z(q, &mut rng_b);
+            prop_assert_eq!(a, b, "measurement {} on qubit {}", m, q);
+            assert_rows_equal(&packed, &boolean)?;
+        }
+    }
+
+    #[test]
+    fn packed_pauli_algebra_matches_bool(
+        n in 1usize..130,
+        seed in 0u64..2000,
+    ) {
+        // Random Pauli pair: compare product phase/support and
+        // commutation between the packed and boolean representations.
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut p1 = stabilizer::PauliString::identity(n);
+        let mut p2 = stabilizer::PauliString::identity(n);
+        let mut b1 = reference::PauliString::identity(n);
+        let mut b2 = reference::PauliString::identity(n);
+        for q in 0..n {
+            if rng.bernoulli(0.4) {
+                p1 = p1.mul(&stabilizer::PauliString::single_x(n, q));
+                b1 = b1.mul(&reference::PauliString::single_x(n, q));
+            }
+            if rng.bernoulli(0.4) {
+                p1 = p1.mul(&stabilizer::PauliString::single_z(n, q));
+                b1 = b1.mul(&reference::PauliString::single_z(n, q));
+            }
+            if rng.bernoulli(0.4) {
+                p2 = p2.mul(&stabilizer::PauliString::single_x(n, q));
+                b2 = b2.mul(&reference::PauliString::single_x(n, q));
+            }
+            if rng.bernoulli(0.4) {
+                p2 = p2.mul(&stabilizer::PauliString::single_z(n, q));
+                b2 = b2.mul(&reference::PauliString::single_z(n, q));
+            }
+        }
+        prop_assert_eq!(p1.phase(), b1.phase());
+        let (pp, bp) = (p1.mul(&p2), b1.mul(&b2));
+        prop_assert_eq!(pp.phase(), bp.phase(), "product phase");
+        for q in 0..n {
+            prop_assert_eq!(pp.x_bit(q), bp.x_bit(q));
+            prop_assert_eq!(pp.z_bit(q), bp.z_bit(q));
+        }
+        prop_assert_eq!(p1.commutes_with(&p2), b1.commutes_with(&b2));
+        prop_assert_eq!(pp.is_empty(), bp.is_empty());
+    }
+
+    #[test]
+    fn graph_state_verification_agrees(side in 2usize..10, seed in 0u64..100) {
+        // End-to-end: both tableaus verify (and refute) the same
+        // graph-state stabilizers.
+        let g = generate::grid_graph(side, side);
+        let packed = stabilizer::Tableau::graph_state(&g);
+        let boolean = reference::Tableau::graph_state(&g);
+        let mut rng = Rng::seed_from_u64(seed);
+        let i = NodeId::new(rng.range(g.node_count()));
+        let k_packed = stabilizer::PauliString::graph_stabilizer(&g, i);
+        let k_bool = reference::PauliString::graph_stabilizer(&g, i);
+        prop_assert!(packed.is_stabilized_by(&k_packed));
+        prop_assert!(boolean.is_stabilized_by(&k_bool));
+        let x_packed = stabilizer::PauliString::single_x(g.node_count(), i.index());
+        let x_bool = reference::PauliString::single_x(g.node_count(), i.index());
+        prop_assert_eq!(
+            packed.is_stabilized_by(&x_packed),
+            boolean.is_stabilized_by(&x_bool)
+        );
+    }
+}

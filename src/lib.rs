@@ -1,0 +1,17 @@
+//! Facade crate for the DC-MBQC reproduction workspace.
+//!
+//! Hosts the repository-level integration tests (`tests/`) and examples
+//! (`examples/`); re-exports every workspace crate so downstream users can
+//! depend on a single package.
+
+pub use dc_mbqc as core;
+pub use mbqc_bench as bench;
+pub use mbqc_circuit as circuit;
+pub use mbqc_compiler as compiler;
+pub use mbqc_graph as graph;
+pub use mbqc_hardware as hardware;
+pub use mbqc_partition as partition;
+pub use mbqc_pattern as pattern;
+pub use mbqc_schedule as schedule;
+pub use mbqc_sim as sim;
+pub use mbqc_util as util;

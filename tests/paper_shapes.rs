@@ -75,7 +75,10 @@ fn kmax_diminishing_returns() {
     let f4 = factor(4);
     let f16 = factor(16);
     assert!(f4 > f1, "K_max 4 ({f4}) must beat 1 ({f1})");
-    assert!(f16 + 0.05 >= f4, "K_max 16 ({f16}) must not lose to 4 ({f4})");
+    assert!(
+        f16 + 0.05 >= f4,
+        "K_max 16 ({f16}) must not lose to 4 ({f4})"
+    );
     let early_gain = f4 - f1;
     let late_gain = f16 - f4;
     assert!(
@@ -99,7 +102,10 @@ fn alpha_max_robustness() {
     let (cut_low, f_low) = run(1.05);
     let (cut_high, f_high) = run(4.0);
     assert_eq!(cut_low, cut_high, "partition changed across α_max");
-    assert!((f_low - f_high).abs() < 0.35, "factors drifted: {f_low} vs {f_high}");
+    assert!(
+        (f_low - f_high).abs() < 0.35,
+        "factors drifted: {f_low} vs {f_high}"
+    );
 }
 
 /// Figure 7: the 6-ring is the weakest resource state for the
@@ -112,7 +118,9 @@ fn six_ring_has_lowest_lifetime_improvement() {
             rsg,
             ..RunConfig::table3()
         };
-        compare(BenchmarkKind::Qft, 36, &cfg).report.lifetime_factor()
+        compare(BenchmarkKind::Qft, 36, &cfg)
+            .report
+            .lifetime_factor()
     };
     let six = factor(ResourceStateKind::SIX_RING);
     let four = factor(ResourceStateKind::FOUR_RING);

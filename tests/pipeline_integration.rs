@@ -118,11 +118,10 @@ fn boundary_reservation_costs_execution_time() {
     let plain = DcMbqcCompiler::new(DcMbqcConfig::new(hardware(4, 16)))
         .compile_pattern(&pattern)
         .unwrap();
-    let reserved = DcMbqcCompiler::new(
-        DcMbqcConfig::new(hardware(4, 16)).with_boundary_reservation(true),
-    )
-    .compile_pattern(&pattern)
-    .unwrap();
+    let reserved =
+        DcMbqcCompiler::new(DcMbqcConfig::new(hardware(4, 16)).with_boundary_reservation(true))
+            .compile_pattern(&pattern)
+            .unwrap();
     assert!(reserved.execution_time() + 3 >= plain.execution_time());
 }
 

@@ -13,7 +13,10 @@ fn decomposition_passes_preserve_unitaries() {
     let mut rng = Rng::seed_from_u64(1);
     let mut circuits: Vec<Circuit> = Vec::new();
     let mut c = Circuit::new(3);
-    c.toffoli(0, 1, 2).swap(0, 2).cphase(1, 2, 0.9).rzz(0, 1, 1.3);
+    c.toffoli(0, 1, 2)
+        .swap(0, 2)
+        .cphase(1, 2, 0.9)
+        .rzz(0, 1, 1.3);
     circuits.push(c);
     circuits.push(bench::qft(4));
     circuits.push(bench::rca(6));
@@ -85,7 +88,12 @@ fn degree_capping_preserves_semantics() {
         );
     }
     // Uncapped for comparison: the hub node exceeds small caps.
-    let unbounded = transpile_with(&c, &TranspileOptions { max_cz_degree: None });
+    let unbounded = transpile_with(
+        &c,
+        &TranspileOptions {
+            max_cz_degree: None,
+        },
+    );
     let g = unbounded.graph();
     let max_deg = g.nodes().map(|u| g.degree(u)).max().unwrap();
     assert!(max_deg > 3, "test circuit should produce a hub");

@@ -1,0 +1,251 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no registry access, so this crate provides the
+//! subset of the criterion 0.5 API the workspace benches use, with real
+//! wall-clock measurement (warm-up, calibrated iteration counts, median of
+//! samples) and the `--test` smoke mode CI relies on. Results print as
+//! `name ... time: [median ns]` lines; there is no HTML report.
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value laundering, same contract as
+/// `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `name/parameter`.
+    pub fn new<P: std::fmt::Display>(name: &str, parameter: P) -> Self {
+        Self {
+            name: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Creates an id from a parameter only.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        Self {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Per-iteration timing harness handed to benchmark closures.
+pub struct Bencher {
+    /// `true` when running in `--test` smoke mode (single iteration).
+    smoke: bool,
+    /// Median nanoseconds per iteration, filled by [`Bencher::iter`].
+    result_ns: f64,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly and records the median time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.smoke {
+            black_box(f());
+            self.result_ns = 0.0;
+            return;
+        }
+        // Warm-up: run until 20 ms have elapsed (at least once).
+        let warmup = Duration::from_millis(20);
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < warmup || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = start.elapsed().as_nanos() as f64 / warm_iters as f64;
+        // Choose a batch size so one sample takes ~10 ms, then take
+        // `sample_count` samples and report the median.
+        let batch = ((10_000_000.0 / per_iter.max(1.0)).ceil() as u64).max(1);
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_count);
+        for _ in 0..self.sample_count {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples.sort_by(f64::total_cmp);
+        self.result_ns = samples[samples.len() / 2];
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// The benchmark manager: filters, runs, and reports benchmarks.
+pub struct Criterion {
+    filter: Option<String>,
+    smoke: bool,
+    sample_count: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            filter: None,
+            smoke: false,
+            sample_count: 11,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a manager from `cargo bench` command-line arguments.
+    ///
+    /// Recognizes `--test` (smoke mode: every benchmark runs exactly once)
+    /// and a positional substring filter; ignores harness flags criterion
+    /// would accept.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let mut c = Self::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => c.smoke = true,
+                "--bench" | "--verbose" | "--quiet" | "--noplot" => {}
+                other if other.starts_with("--") => {}
+                other => c.filter = Some(other.to_string()),
+            }
+        }
+        c
+    }
+
+    fn run_one(&mut self, name: &str, sample_count: usize, f: &mut dyn FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            smoke: self.smoke,
+            result_ns: 0.0,
+            sample_count,
+        };
+        f(&mut b);
+        if self.smoke {
+            println!("{name}: test passed");
+        } else {
+            println!("{name:<40} time: [{}]", fmt_ns(b.result_ns));
+        }
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let samples = self.sample_count;
+        self.run_one(name, samples, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_count: None,
+        }
+    }
+
+    /// Prints the trailing summary (no-op in the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of benchmarks sharing a name prefix and sample configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_count: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = Some(n.clamp(2, 100));
+        self
+    }
+
+    /// Runs a benchmark named `group/name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        let samples = self.sample_count.unwrap_or(self.criterion.sample_count);
+        self.criterion.run_one(&full, samples, &mut f);
+        self
+    }
+
+    /// Runs a benchmark with an input value, named `group/id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.name);
+        let samples = self.sample_count.unwrap_or(self.criterion.sample_count);
+        self.criterion.run_one(&full, samples, &mut |b| f(b, input));
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("qft", 36).name, "qft/36");
+        assert_eq!(BenchmarkId::from_parameter(7).name, "7");
+    }
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut calls = 0u64;
+        let mut b = Bencher {
+            smoke: true,
+            result_ns: 0.0,
+            sample_count: 11,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+    }
+}
