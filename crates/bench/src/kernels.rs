@@ -8,8 +8,10 @@
 
 use std::time::Instant;
 
+use dc_mbqc::{DcMbqcCompiler, DcMbqcConfig};
 use mbqc_circuit::bench;
 use mbqc_graph::{generate, CsrGraph, NodeId};
+use mbqc_hardware::{DistributedHardware, ResourceStateKind};
 use mbqc_partition::refine::refine_csr;
 use mbqc_partition::{reference as partition_ref, KwayConfig, Partition};
 use mbqc_pattern::transpile::transpile;
@@ -191,6 +193,69 @@ pub fn measure_kernels(reps: usize) -> Vec<KernelResult> {
             optimized_ns: median_ns(
                 || {
                     std::hint::black_box(Tableau::graph_state(&g));
+                },
+                reps,
+            ),
+        });
+    }
+
+    // End-to-end: the Algorithm-2 restart probes with one worker vs.
+    // one worker per core (bit-identical partitions either way; the
+    // speedup is bounded by the core count — ~1.0× on a 1-core box).
+    {
+        let cfg = KwayConfig::new(4).with_initial_restarts(16);
+        results.push(KernelResult {
+            name: "end_to_end/restarts_parallel",
+            baseline_ns: median_ns(
+                || {
+                    std::hint::black_box(mbqc_partition::multilevel_kway(
+                        &graph,
+                        &cfg.with_probe_workers(1),
+                    ));
+                },
+                reps,
+            ),
+            optimized_ns: median_ns(
+                || {
+                    std::hint::black_box(mbqc_partition::multilevel_kway(
+                        &graph,
+                        &cfg.with_probe_workers(0),
+                    ));
+                },
+                reps,
+            ),
+        });
+    }
+
+    // End-to-end: batch compilation over shared hardware vs. a
+    // sequential loop of single-pattern compilations (identical
+    // results; the batch path adds worker parallelism + per-worker
+    // workspace reuse — the parallel win needs a multi-core box).
+    {
+        let patterns: Vec<_> = [12usize, 13, 14, 12, 13, 14]
+            .iter()
+            .map(|&n| transpile(&bench::qft(n)))
+            .collect();
+        let hw = DistributedHardware::builder()
+            .num_qpus(4)
+            .grid_width(bench::grid_size_for(14))
+            .resource_state(ResourceStateKind::FIVE_STAR)
+            .kmax(4)
+            .build();
+        let compiler = DcMbqcCompiler::new(DcMbqcConfig::new(hw));
+        results.push(KernelResult {
+            name: "end_to_end/batch_compile",
+            baseline_ns: median_ns(
+                || {
+                    for p in &patterns {
+                        std::hint::black_box(compiler.compile_pattern(p).unwrap());
+                    }
+                },
+                reps,
+            ),
+            optimized_ns: median_ns(
+                || {
+                    std::hint::black_box(compiler.compile_batch(&patterns));
                 },
                 reps,
             ),

@@ -131,6 +131,26 @@ impl GridMapper {
         graph: &Graph,
         order: &[NodeId],
     ) -> Result<CompiledProgram, CompileError> {
+        self.compile_with(graph, order, &mut MapperWorkspace::new())
+    }
+
+    /// [`GridMapper::compile`] with a caller-owned [`MapperWorkspace`]:
+    /// identical results, and repeated compilations (a batch service, a
+    /// per-QPU worker) reuse the placement-state buffers instead of
+    /// re-allocating them. Only the buffers that escape into the
+    /// returned [`CompiledProgram`] are freshly allocated per call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError`] when the usable grid is empty, the order
+    /// is not a permutation, or the live frontier exceeds grid capacity
+    /// (no progress for several consecutive layers).
+    pub fn compile_with(
+        &self,
+        graph: &Graph,
+        order: &[NodeId],
+        ws: &mut MapperWorkspace,
+    ) -> Result<CompiledProgram, CompileError> {
         let n = graph.node_count();
         let width = self.config.usable_width();
         if width == 0 && n > 0 {
@@ -138,7 +158,9 @@ impl GridMapper {
         }
         // Validate the order.
         {
-            let mut seen = vec![false; n];
+            let seen = &mut ws.seen;
+            seen.clear();
+            seen.resize(n, false);
             for &u in order {
                 if u.index() >= n || seen[u.index()] {
                     return Err(CompileError::InvalidOrder(format!(
@@ -181,9 +203,17 @@ impl GridMapper {
         let node_arms = kind.degree_capacity();
 
         let mut rng = Rng::seed_from_u64(self.config.seed);
-        let mut st = MapperState::new(n, graph);
-        let mut pending: Vec<NodeId> = order.to_vec();
-        let mut pending_edges: Vec<(NodeId, NodeId)> = Vec::new();
+        let MapperWorkspace {
+            state: st,
+            pending,
+            pending_edges,
+            still_pending,
+            ..
+        } = ws;
+        st.reset(n, graph);
+        pending.clear();
+        pending.extend_from_slice(order);
+        pending_edges.clear();
         let mut t = 0usize;
         let mut stagnant_layers = 0usize;
         let mut spread_cursor = 0usize;
@@ -203,13 +233,13 @@ impl GridMapper {
             let mut progressed = false;
 
             // --- 1. retry deferred edges --------------------------------
-            let mut still_pending = Vec::new();
+            still_pending.clear();
             for (u, v) in pending_edges.drain(..) {
                 if Self::try_realize_edge(
                     u,
                     v,
                     &mut grid,
-                    &mut st,
+                    st,
                     &mut attach_used,
                     &mut wire_pass_used,
                     (wire_attach_cap, wire_pass_cap, node_arms, route_cap),
@@ -221,7 +251,7 @@ impl GridMapper {
                     still_pending.push((u, v));
                 }
             }
-            pending_edges = still_pending;
+            std::mem::swap(pending_edges, still_pending);
 
             // --- 2. place new nodes in order -----------------------------
             let mut failures = 0usize;
@@ -234,10 +264,10 @@ impl GridMapper {
                 match self.try_place(
                     u,
                     &mut grid,
-                    &mut st,
+                    st,
                     &mut attach_used,
                     &mut wire_pass_used,
-                    &mut pending_edges,
+                    pending_edges,
                     (wire_attach_cap, wire_pass_cap, node_arms, route_cap),
                     t,
                     &placed_this_layer,
@@ -296,10 +326,10 @@ impl GridMapper {
 
         Ok(CompiledProgram {
             num_layers: t,
-            layer_of: st.layer_of,
-            effective_layer: st.effective_layer,
-            site_of: st.site_of,
-            fusee_pairs: st.fusee_pairs,
+            layer_of: std::mem::take(&mut st.layer_of),
+            effective_layer: std::mem::take(&mut st.effective_layer),
+            site_of: std::mem::take(&mut st.site_of),
+            fusee_pairs: std::mem::take(&mut st.fusee_pairs),
             fusion_count: st.edge_fusions + st.routing_fusions + st.wire_fusions,
             routing_fusions: st.routing_fusions,
             wire_fusions: st.wire_fusions,
@@ -489,7 +519,28 @@ impl GridMapper {
     }
 }
 
+/// Reusable placement-state buffers for [`GridMapper::compile_with`].
+/// One workspace serves any sequence of graphs (buffers are resized per
+/// call); a compile session keeps one per mapping worker.
+#[derive(Debug, Default)]
+pub struct MapperWorkspace {
+    state: MapperState,
+    pending: Vec<NodeId>,
+    pending_edges: Vec<(NodeId, NodeId)>,
+    still_pending: Vec<(NodeId, NodeId)>,
+    seen: Vec<bool>,
+}
+
+impl MapperWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Mutable compilation state.
+#[derive(Debug, Default)]
 struct MapperState {
     placed: Vec<bool>,
     site_of: Vec<usize>,
@@ -507,24 +558,34 @@ struct MapperState {
 }
 
 impl MapperState {
-    fn new(n: usize, graph: &Graph) -> Self {
-        Self {
-            placed: vec![false; n],
-            site_of: vec![0; n],
-            layer_of: vec![0; n],
-            effective_layer: vec![0; n],
-            open_edges: (0..n).map(|i| graph.degree(NodeId::new(i))).collect(),
-            live_wires: Vec::new(),
-            realized: std::collections::HashSet::new(),
-            adjacency: (0..n)
-                .map(|i| graph.neighbors(NodeId::new(i)).collect())
-                .collect(),
-            fusee_pairs: Vec::new(),
-            edge_fusions: 0,
-            routing_fusions: 0,
-            wire_fusions: 0,
-            refresh_events: 0,
+    /// Rearms the state for an `n`-node graph, reusing every buffer.
+    fn reset(&mut self, n: usize, graph: &Graph) {
+        self.placed.clear();
+        self.placed.resize(n, false);
+        self.site_of.clear();
+        self.site_of.resize(n, 0);
+        self.layer_of.clear();
+        self.layer_of.resize(n, 0);
+        self.effective_layer.clear();
+        self.effective_layer.resize(n, 0);
+        self.open_edges.clear();
+        self.open_edges
+            .extend((0..n).map(|i| graph.degree(NodeId::new(i))));
+        self.live_wires.clear();
+        self.realized.clear();
+        self.adjacency.truncate(n);
+        for list in &mut self.adjacency {
+            list.clear();
         }
+        self.adjacency.resize_with(n, Vec::new);
+        for (i, list) in self.adjacency.iter_mut().enumerate() {
+            list.extend(graph.neighbors(NodeId::new(i)));
+        }
+        self.fusee_pairs.clear();
+        self.edge_fusions = 0;
+        self.routing_fusions = 0;
+        self.wire_fusions = 0;
+        self.refresh_events = 0;
     }
 
     fn graph_neighbors(&self, u: NodeId) -> &[NodeId] {
@@ -726,6 +787,29 @@ mod tests {
         assert_eq!(a.layer_of, b.layer_of);
         assert_eq!(a.num_layers, b.num_layers);
         assert_eq!(a.fusion_count, b.fusion_count);
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical() {
+        // One workspace driven through graphs of different sizes and
+        // shapes must reproduce the fresh-allocation path exactly.
+        let mut ws = MapperWorkspace::new();
+        let graphs = [
+            generate::grid_graph(5, 5),
+            generate::path_graph(30),
+            generate::star_graph(9),
+            generate::grid_graph(4, 7),
+        ];
+        let mapper = GridMapper::new(CompilerConfig::new(5, ResourceStateKind::FIVE_STAR));
+        for (i, g) in graphs.iter().enumerate() {
+            let order: Vec<NodeId> = g.nodes().collect();
+            let fresh = mapper.compile(g, &order).unwrap();
+            let reused = mapper.compile_with(g, &order, &mut ws).unwrap();
+            assert_eq!(fresh.layer_of, reused.layer_of, "graph {i}");
+            assert_eq!(fresh.site_of, reused.site_of, "graph {i}");
+            assert_eq!(fresh.fusee_pairs, reused.fusee_pairs, "graph {i}");
+            assert_eq!(fresh.fusion_count, reused.fusion_count, "graph {i}");
+        }
     }
 
     #[test]

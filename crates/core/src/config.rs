@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use mbqc_compiler::CompileError;
+use mbqc_compiler::{CompileError, CompilerConfig};
 use mbqc_hardware::DistributedHardware;
 use mbqc_partition::AdaptiveConfig;
 use mbqc_schedule::BdirConfig;
@@ -40,6 +40,11 @@ pub struct DcMbqcConfig {
     pub boundary_reservation: bool,
     /// Master seed: derives partitioning, mapping, and scheduling seeds.
     pub seed: u64,
+    /// Worker threads for [`compile_batch`] (`0` = one per available
+    /// core). Results are identical for every worker count.
+    ///
+    /// [`compile_batch`]: crate::DcMbqcCompiler::compile_batch
+    pub batch_workers: usize,
 }
 
 impl DcMbqcConfig {
@@ -53,7 +58,22 @@ impl DcMbqcConfig {
             refresh_interval: None,
             boundary_reservation: false,
             seed: 42,
+            batch_workers: 0,
         }
+    }
+
+    /// The per-QPU grid-mapper configuration this pipeline config
+    /// implies, for the given mapping seed.
+    #[must_use]
+    pub fn mapper_config(&self, seed: u64) -> CompilerConfig {
+        let mut cfg =
+            CompilerConfig::new(self.hardware.grid_width(), self.hardware.resource_state())
+                .with_seed(seed)
+                .with_boundary_reservation(self.boundary_reservation);
+        if let Some(d) = self.refresh_interval {
+            cfg = cfg.with_refresh(d);
+        }
+        cfg
     }
 
     /// Disables the BDIR pass (list scheduling only).
@@ -89,6 +109,22 @@ impl DcMbqcConfig {
     #[must_use]
     pub fn with_alpha_max(mut self, alpha_max: f64) -> Self {
         self.adaptive.alpha_max = alpha_max;
+        self
+    }
+
+    /// Sets the partitioner's restart-probe worker count (`0` = auto).
+    /// Worker count never changes results — only wall-clock time.
+    #[must_use]
+    pub fn with_probe_workers(mut self, workers: usize) -> Self {
+        self.adaptive.probe_workers = workers;
+        self
+    }
+
+    /// Sets the batch-compilation worker count (`0` = auto). Worker
+    /// count never changes results — only wall-clock time.
+    #[must_use]
+    pub fn with_batch_workers(mut self, workers: usize) -> Self {
+        self.batch_workers = workers;
         self
     }
 }

@@ -45,13 +45,77 @@
 //! assert!(result.execution_time() < baseline.execution_time());
 //! assert!(result.required_photon_lifetime() < baseline.required_photon_lifetime());
 //! ```
+//!
+//! # Stage artifacts and sessions
+//!
+//! The pipeline is staged: each step produces a first-class artifact
+//! ([`Transpiled`] → [`Partitioned`] → [`Mapped`] → [`Scheduled`]) that
+//! can be inspected, stored, or re-entered, and a [`CompileSession`]
+//! owns the reusable workspaces of every stage so repeated compilations
+//! stop re-allocating. `compile_pattern` is exactly this chain run end
+//! to end (property-tested to be bit-identical).
+//!
+//! ```
+//! use dc_mbqc::{CompileSession, DcMbqcConfig, Transpiled};
+//! use mbqc_circuit::bench;
+//! use mbqc_hardware::{DistributedHardware, ResourceStateKind};
+//! use mbqc_pattern::transpile::transpile;
+//!
+//! let hw = DistributedHardware::builder()
+//!     .num_qpus(4)
+//!     .grid_width(bench::grid_size_for(16))
+//!     .resource_state(ResourceStateKind::FIVE_STAR)
+//!     .kmax(4)
+//!     .build();
+//! let mut session = CompileSession::new(DcMbqcConfig::new(hw));
+//!
+//! let pattern = transpile(&bench::qft(16));
+//! let transpiled = Transpiled::new(&pattern).expect("has causal flow");
+//! let partitioned = session.partition(transpiled);
+//! // Every stage is inspectable before committing to the next one:
+//! assert_eq!(partitioned.partition().k(), 4);
+//! assert!(partitioned.modularity() > 0.0);
+//! let mapped = session.map(partitioned).expect("QPU grids fit");
+//! assert_eq!(mapped.programs().len(), 4);
+//! let scheduled = session.schedule(mapped);
+//! assert!(scheduled.problem().is_feasible(scheduled.schedule()));
+//! ```
+//!
+//! # Batch compilation
+//!
+//! [`DcMbqcCompiler::compile_batch`] compiles many patterns
+//! concurrently over the shared hardware configuration — the building
+//! block of a sharded compilation service. Results are in input order
+//! and identical to a sequential `compile_pattern` loop for every
+//! worker count.
+//!
+//! ```
+//! use dc_mbqc::{DcMbqcCompiler, DcMbqcConfig};
+//! use mbqc_circuit::bench;
+//! use mbqc_hardware::{DistributedHardware, ResourceStateKind};
+//! use mbqc_pattern::transpile::transpile;
+//!
+//! let hw = DistributedHardware::builder()
+//!     .num_qpus(2)
+//!     .grid_width(bench::grid_size_for(10))
+//!     .resource_state(ResourceStateKind::FIVE_STAR)
+//!     .kmax(4)
+//!     .build();
+//! let compiler = DcMbqcCompiler::new(DcMbqcConfig::new(hw));
+//! let patterns: Vec<_> = [8, 9, 10].map(|n| transpile(&bench::qft(n))).into_iter().collect();
+//! let results = compiler.compile_batch(&patterns);
+//! assert_eq!(results.len(), 3);
+//! assert!(results.iter().all(Result::is_ok));
+//! ```
 
 pub mod baseline;
 pub mod config;
 pub mod pipeline;
 pub mod report;
+pub mod session;
 
 pub use baseline::BaselineResult;
 pub use config::{DcMbqcConfig, DcMbqcError};
 pub use pipeline::{DcMbqcCompiler, DistributedSchedule};
 pub use report::ComparisonReport;
+pub use session::{CompileSession, Mapped, Partitioned, Scheduled, Transpiled};

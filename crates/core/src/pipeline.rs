@@ -1,17 +1,25 @@
 //! The end-to-end DC-MBQC pipeline (Figure 2 of the paper).
+//!
+//! [`DcMbqcCompiler`] is the single-call façade: every compilation is
+//! driven through the staged pipeline of [`crate::session`]
+//! ([`Transpiled`] → [`Partitioned`] → [`Mapped`] → [`Scheduled`]) and
+//! the two paths are pinned bit-identical by property tests.
+//! [`DcMbqcCompiler::compile_batch`] compiles many patterns
+//! concurrently over the shared hardware configuration.
+//!
+//! [`Transpiled`]: crate::session::Transpiled
+//! [`Partitioned`]: crate::session::Partitioned
+//! [`Mapped`]: crate::session::Mapped
+//! [`Scheduled`]: crate::session::Scheduled
 
 use mbqc_circuit::Circuit;
-use mbqc_compiler::{CompiledProgram, CompilerConfig, GridMapper};
-use mbqc_graph::NodeId;
-use mbqc_partition::{adaptive_partition, modularity::modularity, Partition};
+use mbqc_partition::{resolve_workers, Partition};
 use mbqc_pattern::{transpile::transpile, Pattern};
-use mbqc_schedule::{
-    bdir, default_priorities, list_schedule, LayerScheduleProblem, LocalStructure, Schedule,
-    ScheduleCost, SyncTask,
-};
+use mbqc_schedule::{LayerScheduleProblem, Schedule, ScheduleCost};
 
 use crate::baseline::{placement_order, BaselineResult};
 use crate::config::{DcMbqcConfig, DcMbqcError};
+use crate::session::CompileSession;
 
 /// The result of distributed compilation: a feasible schedule of
 /// execution layers and connection layers across all QPUs, with the
@@ -29,6 +37,31 @@ pub struct DistributedSchedule {
 }
 
 impl DistributedSchedule {
+    /// Assembles the artifact from its parts (the scheduling stage's
+    /// constructor).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        cost: ScheduleCost,
+        schedule: Schedule,
+        problem: LayerScheduleProblem,
+        partition: Partition,
+        modularity: f64,
+        cut_edges: usize,
+        per_qpu_layers: Vec<usize>,
+        refresh_events: usize,
+    ) -> Self {
+        Self {
+            cost,
+            schedule,
+            problem,
+            partition,
+            modularity,
+            cut_edges,
+            per_qpu_layers,
+            refresh_events,
+        }
+    }
+
     /// Distributed execution time: the schedule makespan in logical
     /// layers.
     #[must_use]
@@ -119,19 +152,6 @@ impl DcMbqcCompiler {
         &self.config
     }
 
-    fn mapper_config(&self, seed: u64) -> CompilerConfig {
-        let mut cfg = CompilerConfig::new(
-            self.config.hardware.grid_width(),
-            self.config.hardware.resource_state(),
-        )
-        .with_seed(seed)
-        .with_boundary_reservation(self.config.boundary_reservation);
-        if let Some(d) = self.config.refresh_interval {
-            cfg = cfg.with_refresh(d);
-        }
-        cfg
-    }
-
     /// Transpiles and compiles a circuit end to end.
     ///
     /// # Errors
@@ -143,145 +163,75 @@ impl DcMbqcCompiler {
 
     /// Compiles an MBQC pattern across the configured QPUs.
     ///
+    /// Drives a fresh [`CompileSession`] through the staged pipeline
+    /// (`Transpiled` → `Partitioned` → `Mapped` → `Scheduled`); use a
+    /// session directly to inspect intermediate artifacts or to reuse
+    /// workspaces across many compilations.
+    ///
     /// # Errors
     ///
     /// Returns [`DcMbqcError::NoFlow`] for patterns without causal flow
     /// and [`DcMbqcError::Compile`] when a QPU's grid cannot host its
     /// subprogram.
     pub fn compile_pattern(&self, pattern: &Pattern) -> Result<DistributedSchedule, DcMbqcError> {
-        let graph = pattern.graph();
-        let order = placement_order(pattern).ok_or(DcMbqcError::NoFlow)?;
-        let k = self.config.hardware.num_qpus();
+        CompileSession::new(self.config.clone()).compile_pattern(pattern)
+    }
 
-        // --- Stage 1: adaptive graph partitioning (Algorithm 2) --------
-        // Balance *workload*, not head-count: a photon's grid work is
-        // one placement plus its share of fusions, so partitioning
-        // weights each node by 2 + degree. (Plain node balance lets the
-        // dense hub core of fully-entangled programs land on one QPU:
-        // node-balanced, edge-starved everywhere else.)
-        let mut weighted = graph.clone();
-        for u in graph.nodes() {
-            weighted.set_node_weight(u, 2 + graph.degree(u) as i64);
+    /// Compiles a batch of patterns concurrently over the shared
+    /// hardware configuration — the building block of a sharded
+    /// compilation service. Results are returned in input order and are
+    /// identical to a sequential loop of
+    /// [`compile_pattern`](Self::compile_pattern) per element, for
+    /// every worker count (`config.batch_workers`; `0` = one per
+    /// available core): each worker owns a [`CompileSession`] and
+    /// patterns are assigned statically.
+    #[must_use]
+    pub fn compile_batch(
+        &self,
+        patterns: &[Pattern],
+    ) -> Vec<Result<DistributedSchedule, DcMbqcError>> {
+        let workers = resolve_workers(self.config.batch_workers, patterns.len());
+        if workers <= 1 {
+            let mut session = CompileSession::new(self.config.clone());
+            return patterns
+                .iter()
+                .map(|p| session.compile_pattern(p))
+                .collect();
         }
-        let mut adaptive_cfg = self.config.adaptive;
-        adaptive_cfg.k = k;
-        adaptive_cfg.seed = self.config.seed;
-        let adaptive = adaptive_partition(&weighted, &adaptive_cfg);
-        let partition = adaptive.partition;
-        let q_mod = modularity(graph, &partition);
-
-        // --- Stage 2: per-QPU compilation (parallel) -------------------
-        // Per part: global nodes in placement order.
-        let mut part_nodes: Vec<Vec<NodeId>> = vec![Vec::new(); k];
-        for &u in &order {
-            part_nodes[partition.part_of(u)].push(u);
-        }
-        let subproblems: Vec<(mbqc_graph::Graph, Vec<NodeId>)> = part_nodes
-            .iter()
-            .map(|nodes| {
-                let (sub, _) = graph.induced_subgraph(nodes);
-                (sub, nodes.clone())
-            })
-            .collect();
-
-        let mut compiled: Vec<Option<CompiledProgram>> = (0..k).map(|_| None).collect();
-        let mut errors: Vec<Option<DcMbqcError>> = (0..k).map(|_| None).collect();
+        let mut results: Vec<Option<Result<DistributedSchedule, DcMbqcError>>> =
+            (0..patterns.len()).map(|_| None).collect();
+        // Strided ownership: worker w compiles patterns w, w + W, …
+        // with its own reusable session. Inner stage parallelism
+        // (mapping workers, restart probes) is pinned to 1 — the batch
+        // already saturates the cores, and nesting per-core pools per
+        // worker would oversubscribe the machine. Worker counts never
+        // change results, so this is a pure scheduling choice.
         std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (qpu, (sub, _)) in subproblems.iter().enumerate() {
-                let mapper = GridMapper::new(self.mapper_config(self.config.seed ^ (qpu as u64)));
+            let mut handles = Vec::with_capacity(workers);
+            for w in 0..workers {
+                let mut config = self.config.clone();
+                config.adaptive.probe_workers = 1;
                 handles.push(scope.spawn(move || {
-                    let local_order: Vec<NodeId> = sub.nodes().collect();
-                    (qpu, mapper.compile(sub, &local_order))
+                    let mut session = CompileSession::new(config).with_map_workers(1);
+                    patterns
+                        .iter()
+                        .enumerate()
+                        .skip(w)
+                        .step_by(workers)
+                        .map(|(i, p)| (i, session.compile_pattern(p)))
+                        .collect::<Vec<_>>()
                 }));
             }
             for h in handles {
-                let (qpu, result) = h.join().expect("compile worker panicked");
-                match result {
-                    Ok(c) => compiled[qpu] = Some(c),
-                    Err(source) => {
-                        errors[qpu] = Some(DcMbqcError::Compile {
-                            qpu: Some(qpu),
-                            source,
-                        });
-                    }
+                for (i, r) in h.join().expect("batch worker panicked") {
+                    results[i] = Some(r);
                 }
             }
         });
-        if let Some(e) = errors.into_iter().flatten().next() {
-            return Err(e);
-        }
-        let compiled: Vec<CompiledProgram> = compiled
+        results
             .into_iter()
-            .map(|c| c.expect("either compiled or errored"))
-            .collect();
-
-        // --- Stage 3: assemble the layer scheduling problem -------------
-        // Global node → (qpu, storage-epoch layer).
-        let n = graph.node_count();
-        let mut node_slot = vec![(0usize, 0usize); n];
-        for (qpu, (_, globals)) in subproblems.iter().enumerate() {
-            for (local, &global) in globals.iter().enumerate() {
-                node_slot[global.index()] = (qpu, compiled[qpu].effective_layer[local]);
-            }
-        }
-        // Intra-QPU fusee pairs in global node ids.
-        let mut fusee_pairs = Vec::new();
-        for (qpu, (_, globals)) in subproblems.iter().enumerate() {
-            for pair in &compiled[qpu].fusee_pairs {
-                fusee_pairs.push((
-                    globals[pair.a.index()].index(),
-                    globals[pair.b.index()].index(),
-                ));
-            }
-        }
-        // Cut edges → synchronization tasks.
-        let sync_tasks: Vec<SyncTask> = partition
-            .cut_edges(graph)
-            .map(|(u, v, _)| SyncTask {
-                a: node_slot[u.index()],
-                b: node_slot[v.index()],
-            })
-            .collect();
-        let cut_edges = sync_tasks.len();
-        let main_counts: Vec<usize> = compiled.iter().map(|c| c.num_layers).collect();
-        let deps = pattern.dependency_graph().real_time().clone();
-        let mut problem =
-            LayerScheduleProblem::new(main_counts.clone(), sync_tasks, self.config.hardware.kmax())
-                .with_local(LocalStructure {
-                    node_slot,
-                    fusee_pairs,
-                    deps,
-                });
-        if let Some(d) = self.config.refresh_interval {
-            // Refresh re-injects any photon (connectors included) after
-            // at most `d` stored cycles, capping every lifetime term.
-            problem = problem.with_refresh_bound(d);
-        }
-
-        // --- Stage 4: layer scheduling (list + BDIR) --------------------
-        let init = list_schedule(&problem, &default_priorities(&problem), None);
-        let schedule = match &self.config.bdir {
-            Some(cfg) => {
-                let mut bdir_cfg = *cfg;
-                bdir_cfg.seed = self.config.seed;
-                bdir(&problem, &init, &bdir_cfg)
-            }
-            None => init,
-        };
-        debug_assert!(problem.is_feasible(&schedule));
-        let cost = problem.evaluate(&schedule);
-
-        Ok(DistributedSchedule {
-            cost,
-            schedule,
-            problem,
-            partition,
-            modularity: q_mod,
-            cut_edges,
-            per_qpu_layers: main_counts,
-            refresh_events: compiled.iter().map(|c| c.refresh_events).sum(),
-        })
+            .map(|r| r.expect("every pattern compiled"))
+            .collect()
     }
 
     /// Compiles the whole circuit on a single QPU (the OneQ-style
@@ -307,7 +257,7 @@ impl DcMbqcCompiler {
         pattern: &Pattern,
     ) -> Result<BaselineResult, DcMbqcError> {
         let order = placement_order(pattern).ok_or(DcMbqcError::NoFlow)?;
-        let mapper = GridMapper::new(self.mapper_config(self.config.seed));
+        let mapper = mbqc_compiler::GridMapper::new(self.config.mapper_config(self.config.seed));
         let compiled = mapper
             .compile(pattern.graph(), &order)
             .map_err(|source| DcMbqcError::Compile { qpu: None, source })?;

@@ -74,6 +74,28 @@ impl CsrGraph {
         }
     }
 
+    /// Freezes `g` into CSR form with the node weights *overridden* by
+    /// `node_weights`, leaving `g` untouched. Adjacency order matches
+    /// [`CsrGraph::from_graph`] exactly, so partitioning a reweighted
+    /// view is bit-identical to cloning the graph, rewriting its node
+    /// weights, and freezing the clone — without duplicating the
+    /// adjacency structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_weights.len() != g.node_count()`.
+    #[must_use]
+    pub fn from_graph_with_node_weights(g: &Graph, node_weights: Vec<i64>) -> Self {
+        assert_eq!(
+            node_weights.len(),
+            g.node_count(),
+            "node weight count mismatch"
+        );
+        let mut csr = Self::from_graph(g);
+        csr.node_weights = node_weights;
+        csr
+    }
+
     /// Builds a CSR graph directly from per-node adjacency lists and node
     /// weights (the coarsening path, which never materializes a [`Graph`]).
     ///
@@ -347,9 +369,24 @@ impl CsrBuilder {
         }
     }
 
-    /// Freezes the accumulated edges into a [`CsrGraph`].
+    /// Rearms a spent builder for a new contraction pass, reusing the
+    /// pair and dedup-table allocations of previous passes. Equivalent
+    /// to [`CsrBuilder::with_edge_capacity`] but without reallocating.
+    pub fn reset(&mut self, node_weights: Vec<i64>, edges: usize) {
+        self.node_weights = node_weights;
+        self.pairs.clear();
+        self.pairs.reserve(edges);
+        let cap = ((edges * 2).next_power_of_two().max(16)).max(self.slots.len());
+        self.slots.clear();
+        self.slots.resize(cap, (EMPTY_KEY, 0));
+        self.mask = cap - 1;
+    }
+
+    /// Freezes the accumulated edges into a [`CsrGraph`], leaving the
+    /// builder's allocations behind for [`CsrBuilder::reset`]. The
+    /// builder is *spent* afterwards (zero nodes) until reset.
     #[must_use]
-    pub fn build(self) -> CsrGraph {
+    pub fn finish(&mut self) -> CsrGraph {
         let n = self.node_weights.len();
         let mut degrees = vec![0u32; n];
         for &(a, b, _) in &self.pairs {
@@ -381,10 +418,17 @@ impl CsrBuilder {
             offsets,
             neighbors,
             weights,
-            node_weights: self.node_weights,
+            node_weights: std::mem::take(&mut self.node_weights),
             edge_count: self.pairs.len(),
             total_edge_weight,
         }
+    }
+
+    /// Freezes the accumulated edges into a [`CsrGraph`], consuming the
+    /// builder.
+    #[must_use]
+    pub fn build(mut self) -> CsrGraph {
+        self.finish()
     }
 }
 
@@ -479,6 +523,44 @@ mod tests {
         }
         let g = b.build();
         assert_eq!(g.edge_count(), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn weighted_view_matches_rewritten_clone() {
+        let g = generate::grid_graph(5, 4);
+        let weights: Vec<i64> = g.nodes().map(|u| 2 + g.degree(u) as i64).collect();
+        let view = CsrGraph::from_graph_with_node_weights(&g, weights.clone());
+        let mut clone = g.clone();
+        for u in g.nodes() {
+            clone.set_node_weight(u, weights[u.index()]);
+        }
+        assert_eq!(view, CsrGraph::from_graph(&clone));
+    }
+
+    #[test]
+    fn reset_builder_reproduces_fresh_builder() {
+        let mk_edges = |seed: u64, n: usize| {
+            let mut rng = mbqc_util::Rng::seed_from_u64(seed);
+            (0..120)
+                .filter_map(|_| {
+                    let a = rng.range(n);
+                    let b = rng.range(n);
+                    (a != b).then(|| (NodeId::new(a), NodeId::new(b), 1 + rng.range(4) as i64))
+                })
+                .collect::<Vec<_>>()
+        };
+        let mut recycled = CsrBuilder::with_edge_capacity(vec![1i64; 25], 120);
+        for round in 0..4u64 {
+            let n = 20 + 5 * round as usize;
+            let edges = mk_edges(round, n);
+            recycled.reset(vec![1i64; n], edges.len());
+            let mut fresh = CsrBuilder::with_edge_capacity(vec![1i64; n], edges.len());
+            for &(a, b, w) in &edges {
+                recycled.add_edge(a, b, w);
+                fresh.add_edge(a, b, w);
+            }
+            assert_eq!(recycled.finish(), fresh.build(), "round {round}");
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use mbqc_graph::{CsrGraph, Graph};
 
-use crate::kway::{multilevel_kway_csr, KwayConfig};
+use crate::kway::{multilevel_kway_csr_with, KwayConfig, KwayWorkspace};
 use crate::modularity::modularity_csr;
 use crate::Partition;
 
@@ -31,6 +31,9 @@ pub struct AdaptiveConfig {
     /// cap; a deterministic partitioner can oscillate between two α
     /// values, so we bound the search).
     pub max_iters: usize,
+    /// Restart-probe workers forwarded to the k-way partitioner (`0` =
+    /// one per available core). Worker count never changes the result.
+    pub probe_workers: usize,
 }
 
 impl AdaptiveConfig {
@@ -44,6 +47,7 @@ impl AdaptiveConfig {
             alpha_max: 1.5,
             seed: 42,
             max_iters: 64,
+            probe_workers: 0,
         }
     }
 
@@ -58,6 +62,13 @@ impl AdaptiveConfig {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the number of restart-probe workers (`0` = auto).
+    #[must_use]
+    pub fn with_probe_workers(mut self, workers: usize) -> Self {
+        self.probe_workers = workers;
         self
     }
 }
@@ -121,6 +132,22 @@ pub fn adaptive_partition(g: &Graph, config: &AdaptiveConfig) -> AdaptiveResult 
 /// Panics if `k == 0`, `γ ≤ 1`, or `α_max < 1`.
 #[must_use]
 pub fn adaptive_partition_csr(g: &CsrGraph, config: &AdaptiveConfig) -> AdaptiveResult {
+    adaptive_partition_csr_with(g, config, &mut KwayWorkspace::new())
+}
+
+/// [`adaptive_partition_csr`] with a caller-owned [`KwayWorkspace`]
+/// shared by every α probe of the search (and across searches when the
+/// caller keeps the workspace) — bit-identical results.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `γ ≤ 1`, or `α_max < 1`.
+#[must_use]
+pub fn adaptive_partition_csr_with(
+    g: &CsrGraph,
+    config: &AdaptiveConfig,
+    ws: &mut KwayWorkspace,
+) -> AdaptiveResult {
     assert!(config.k >= 1, "k must be positive");
     assert!(config.gamma > 1.0, "gamma must exceed 1");
     assert!(config.alpha_max >= 1.0, "alpha_max must be at least 1");
@@ -141,8 +168,9 @@ pub fn adaptive_partition_csr(g: &CsrGraph, config: &AdaptiveConfig) -> Adaptive
             .or_insert_with(|| {
                 let kcfg = KwayConfig::new(config.k)
                     .with_alpha(alpha)
-                    .with_seed(config.seed);
-                let p = multilevel_kway_csr(g, &kcfg);
+                    .with_seed(config.seed)
+                    .with_probe_workers(config.probe_workers);
+                let p = multilevel_kway_csr_with(g, &kcfg, ws);
                 let q = modularity_csr(g, &p);
                 (p, q)
             })

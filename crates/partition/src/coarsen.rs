@@ -122,6 +122,30 @@ pub struct CsrLevel {
     pub map: Vec<NodeId>,
 }
 
+/// Reusable scratch for the CSR coarsening hot path: the matching
+/// buffers and the [`CsrBuilder`] dedup table survive across levels and
+/// across whole partitioning calls, so repeated compilations stop
+/// re-allocating the coarsening hierarchy machinery.
+///
+/// [`CsrBuilder`]: mbqc_graph::csr::CsrBuilder
+#[derive(Debug, Default)]
+pub struct CoarsenWorkspace {
+    order: Vec<usize>,
+    key: Vec<i64>,
+    mate: Vec<Option<NodeId>>,
+    counts: Vec<u32>,
+    sorted: Vec<usize>,
+    builder: Option<mbqc_graph::csr::CsrBuilder>,
+}
+
+impl CoarsenWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// CSR-native [`coarsen_once`]: one round of heavy-edge matching on a
 /// frozen graph. Identical matching decisions to the `Graph` version for
 /// the same RNG state.
@@ -129,24 +153,39 @@ pub struct CsrLevel {
 /// Returns `None` when no edge could be matched.
 #[must_use]
 pub fn coarsen_once_csr(g: &CsrGraph, rng: &mut Rng) -> Option<CsrLevel> {
+    coarsen_once_csr_with(g, rng, &mut CoarsenWorkspace::new())
+}
+
+/// [`coarsen_once_csr`] with caller-owned scratch buffers — bit-identical
+/// results, zero steady-state allocation for the matching pass.
+#[must_use]
+pub fn coarsen_once_csr_with(
+    g: &CsrGraph,
+    rng: &mut Rng,
+    ws: &mut CoarsenWorkspace,
+) -> Option<CsrLevel> {
     let n = g.node_count();
-    let mut order: Vec<usize> = (0..n).collect();
-    rng.shuffle(&mut order);
+    let order = &mut ws.order;
+    order.clear();
+    order.extend(0..n);
+    rng.shuffle(order);
     // Heaviest-incident-edge-first visiting makes heavy edges reliably
     // collapse (the property that gives HEM its name and quality).
-    let key: Vec<i64> = (0..n)
-        .map(|i| {
-            g.neighbor_weights(NodeId::new(i))
-                .iter()
-                .copied()
-                .max()
-                .unwrap_or(0)
-        })
-        .collect();
-    sort_descending_stable(&mut order, &key);
-    let mut mate: Vec<Option<NodeId>> = vec![None; n];
+    let key = &mut ws.key;
+    key.clear();
+    key.extend((0..n).map(|i| {
+        g.neighbor_weights(NodeId::new(i))
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }));
+    sort_descending_stable(order, key, &mut ws.counts, &mut ws.sorted);
+    let mate = &mut ws.mate;
+    mate.clear();
+    mate.resize(n, None);
     let mut matched_any = false;
-    for &i in &order {
+    for &i in order.iter() {
         let u = NodeId::new(i);
         if mate[i].is_some() {
             continue;
@@ -198,8 +237,14 @@ pub fn coarsen_once_csr(g: &CsrGraph, rng: &mut Rng) -> Option<CsrLevel> {
     }
     // Accumulate coarse edges with the same first-encounter insertion
     // order `Graph::add_edge_weighted` produces, then freeze to CSR.
-    let mut builder =
-        mbqc_graph::csr::CsrBuilder::with_edge_capacity(coarse_weights, g.edge_count());
+    // The builder's dedup table is recycled from previous levels.
+    let mut builder = match ws.builder.take() {
+        Some(mut b) => {
+            b.reset(coarse_weights, g.edge_count());
+            b
+        }
+        None => mbqc_graph::csr::CsrBuilder::with_edge_capacity(coarse_weights, g.edge_count()),
+    };
     for a in g.nodes() {
         let ca = map[a.index()];
         let weights = g.neighbor_weights(a);
@@ -213,10 +258,9 @@ pub fn coarsen_once_csr(g: &CsrGraph, rng: &mut Rng) -> Option<CsrLevel> {
             }
         }
     }
-    Some(CsrLevel {
-        graph: builder.build(),
-        map,
-    })
+    let graph = builder.finish();
+    ws.builder = Some(builder);
+    Some(CsrLevel { graph, map })
 }
 
 /// Stable descending sort of `order` by `key[i]` — equivalent to
@@ -224,7 +268,12 @@ pub fn coarsen_once_csr(g: &CsrGraph, rng: &mut Rng) -> Option<CsrLevel> {
 /// the key range is small (the common multilevel case: keys are merged
 /// edge weights), avoiding comparison-sort overhead in the per-level hot
 /// path.
-fn sort_descending_stable(order: &mut Vec<usize>, key: &[i64]) {
+fn sort_descending_stable(
+    order: &mut Vec<usize>,
+    key: &[i64],
+    counts: &mut Vec<u32>,
+    sorted: &mut Vec<usize>,
+) {
     const COUNTING_MAX: i64 = 4096;
     let max = order.iter().map(|&i| key[i]).max().unwrap_or(0);
     let min = order.iter().map(|&i| key[i]).min().unwrap_or(0);
@@ -233,7 +282,8 @@ fn sort_descending_stable(order: &mut Vec<usize>, key: &[i64]) {
         return;
     }
     let span = (max + 1) as usize;
-    let mut counts = vec![0u32; span + 1];
+    counts.clear();
+    counts.resize(span + 1, 0);
     for &i in order.iter() {
         // Descending: bucket by (max − key).
         counts[(max - key[i]) as usize] += 1;
@@ -244,19 +294,33 @@ fn sort_descending_stable(order: &mut Vec<usize>, key: &[i64]) {
         *c = acc;
         acc += here;
     }
-    let mut out = vec![0usize; order.len()];
+    sorted.clear();
+    sorted.resize(order.len(), 0);
     for &i in order.iter() {
         let bucket = (max - key[i]) as usize;
-        out[counts[bucket] as usize] = i;
+        sorted[counts[bucket] as usize] = i;
         counts[bucket] += 1;
     }
-    *order = out;
+    std::mem::swap(order, sorted);
 }
 
 /// CSR-native [`coarsen_to`]: coarsens until at most `target_nodes`
 /// remain or a round shrinks the graph by less than ~10%.
 #[must_use]
 pub fn coarsen_to_csr(g: &CsrGraph, target_nodes: usize, rng: &mut Rng) -> Vec<CsrLevel> {
+    coarsen_to_csr_with(g, target_nodes, rng, &mut CoarsenWorkspace::new())
+}
+
+/// [`coarsen_to_csr`] with a caller-owned [`CoarsenWorkspace`]; the
+/// matching buffers and builder tables are reused across every level of
+/// the hierarchy (and across calls when the caller keeps the workspace).
+#[must_use]
+pub fn coarsen_to_csr_with(
+    g: &CsrGraph,
+    target_nodes: usize,
+    rng: &mut Rng,
+    ws: &mut CoarsenWorkspace,
+) -> Vec<CsrLevel> {
     let mut levels: Vec<CsrLevel> = Vec::new();
     while levels
         .last()
@@ -265,7 +329,7 @@ pub fn coarsen_to_csr(g: &CsrGraph, target_nodes: usize, rng: &mut Rng) -> Vec<C
     {
         let current: &CsrGraph = levels.last().map_or(g, |l| &l.graph);
         let before = current.node_count();
-        let Some(level) = coarsen_once_csr(current, rng) else {
+        let Some(level) = coarsen_once_csr_with(current, rng, ws) else {
             break;
         };
         let shrink = level.graph.node_count() as f64 / before as f64;
@@ -356,6 +420,25 @@ mod tests {
         for (a, b) in adj_levels.iter().zip(&csr_levels) {
             assert_eq!(a.map, b.map);
             assert_eq!(CsrGraph::from_graph(&a.graph), b.graph);
+        }
+    }
+
+    #[test]
+    fn reused_workspace_is_bit_identical() {
+        // One workspace driven through hierarchies of different sizes
+        // must reproduce the fresh-allocation path exactly.
+        let mut ws = CoarsenWorkspace::new();
+        for (dim, seed) in [(9usize, 8u64), (12, 9), (7, 10)] {
+            let g = CsrGraph::from_graph(&generate::grid_graph(dim, dim));
+            let mut rng_a = Rng::seed_from_u64(seed);
+            let mut rng_b = Rng::seed_from_u64(seed);
+            let fresh = coarsen_to_csr(&g, 12, &mut rng_a);
+            let reused = coarsen_to_csr_with(&g, 12, &mut rng_b, &mut ws);
+            assert_eq!(fresh.len(), reused.len());
+            for (a, b) in fresh.iter().zip(&reused) {
+                assert_eq!(a.map, b.map);
+                assert_eq!(a.graph, b.graph);
+            }
         }
     }
 

@@ -10,7 +10,7 @@
 use mbqc_graph::{algo, CsrGraph, Graph, NodeId};
 use mbqc_util::Rng;
 
-use crate::coarsen::coarsen_to_csr;
+use crate::coarsen::{coarsen_to_csr_with, CoarsenWorkspace};
 use crate::refine::{fm_refine_csr, rebalance_csr, refine_csr};
 use crate::Partition;
 
@@ -33,6 +33,11 @@ pub struct KwayConfig {
     pub initial_restarts: usize,
     /// RNG seed (the partitioner is deterministic given the seed).
     pub seed: u64,
+    /// Worker threads for the restart probes (`0` = one per available
+    /// core). Every probe draws from its own forked RNG and the lowest
+    /// `(cut, probe index)` wins, so the result is bit-identical for
+    /// every worker count — including fully sequential execution.
+    pub probe_workers: usize,
 }
 
 impl KwayConfig {
@@ -45,6 +50,7 @@ impl KwayConfig {
             refine_passes: 8,
             initial_restarts: 4,
             seed: 42,
+            probe_workers: 0,
         }
     }
 
@@ -61,6 +67,29 @@ impl KwayConfig {
         self.seed = seed;
         self
     }
+
+    /// Sets the number of restart-probe workers (`0` = auto).
+    #[must_use]
+    pub fn with_probe_workers(mut self, workers: usize) -> Self {
+        self.probe_workers = workers;
+        self
+    }
+
+    /// Sets the number of independent restart probes.
+    #[must_use]
+    pub fn with_initial_restarts(mut self, restarts: usize) -> Self {
+        self.initial_restarts = restarts;
+        self
+    }
+}
+
+/// Resolves a worker-count request against the job count: `0` means one
+/// per available core, and never more workers than jobs.
+#[must_use]
+pub fn resolve_workers(requested: usize, jobs: usize) -> usize {
+    let auto = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let w = if requested == 0 { auto } else { requested };
+    w.min(jobs).max(1)
 }
 
 /// Maximum part weight implied by a config for a given graph.
@@ -167,6 +196,90 @@ pub fn multilevel_kway(g: &Graph, config: &KwayConfig) -> Partition {
     multilevel_kway_csr(&CsrGraph::from_graph(g), config)
 }
 
+/// Reusable workspaces for [`multilevel_kway_csr_with`]: callers that
+/// partition repeatedly (the adaptive α sweep, a compile session, a
+/// batch service) keep one of these per thread and stop re-allocating
+/// the coarsening machinery on every call.
+#[derive(Debug, Default)]
+pub struct KwayWorkspace {
+    /// Coarsening scratch (matching buffers + recycled CSR builder).
+    pub coarsen: CoarsenWorkspace,
+}
+
+impl KwayWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// One restart probe on the coarsest graph: greedy growing + greedy
+/// refinement + FM hill climbing, from the probe's own RNG stream.
+fn restart_probe(g: &CsrGraph, config: &KwayConfig, max_w: i64, rng: &mut Rng) -> (i64, Partition) {
+    let mut p = initial_partition(g, config.k, max_w, rng);
+    let _ = refine_csr(g, &mut p, max_w, config.refine_passes, rng);
+    let _ = fm_refine_csr(g, &mut p, max_w, 3);
+    (p.cut_weight_csr(g), p)
+}
+
+/// Runs the coarsest-graph restart probes — in parallel when the config
+/// asks for it — and returns the winner. Each probe owns a forked RNG
+/// drawn *before* any work starts and the lowest `(cut, probe index)`
+/// wins, so the result is bit-identical for every worker count.
+fn run_restarts(coarsest: &CsrGraph, config: &KwayConfig, max_w: i64, rng: &mut Rng) -> Partition {
+    let restarts = config.initial_restarts.max(1);
+    let mut probe_rngs: Vec<Rng> = (0..restarts).map(|_| rng.fork()).collect();
+    let workers = resolve_workers(config.probe_workers, restarts);
+    let mut results: Vec<(i64, usize, Partition)> = Vec::with_capacity(restarts);
+    if workers <= 1 {
+        for (idx, probe_rng) in probe_rngs.iter_mut().enumerate() {
+            let (cut, p) = restart_probe(coarsest, config, max_w, probe_rng);
+            results.push((cut, idx, p));
+        }
+    } else {
+        // Strided ownership: worker w runs probes w, w + W, w + 2W, …
+        // Assignment is static, so no coordination is needed and the
+        // per-probe RNG guarantees scheduling cannot leak into results.
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for (w, chunk) in split_strided(&mut probe_rngs, workers)
+                .into_iter()
+                .enumerate()
+            {
+                handles.push(scope.spawn(move || {
+                    chunk
+                        .into_iter()
+                        .enumerate()
+                        .map(|(j, probe_rng)| {
+                            let (cut, p) = restart_probe(coarsest, config, max_w, probe_rng);
+                            (cut, w + j * workers, p)
+                        })
+                        .collect::<Vec<_>>()
+                }));
+            }
+            for h in handles {
+                results.extend(h.join().expect("restart probe panicked"));
+            }
+        });
+    }
+    let (_, _, part) = results
+        .into_iter()
+        .min_by_key(|&(cut, idx, _)| (cut, idx))
+        .expect("at least one probe ran");
+    part
+}
+
+/// Splits `items` into `workers` strided chunks of `&mut` references:
+/// chunk `w` holds items `w, w + W, w + 2W, …` in that order.
+fn split_strided<T>(items: &mut [T], workers: usize) -> Vec<Vec<&mut T>> {
+    let mut chunks: Vec<Vec<&mut T>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, item) in items.iter_mut().enumerate() {
+        chunks[i % workers].push(item);
+    }
+    chunks
+}
+
 /// [`multilevel_kway`] on an already-frozen CSR view. Callers that probe
 /// many configurations of the same graph (e.g. Algorithm 2's α sweep)
 /// freeze once and call this.
@@ -176,6 +289,21 @@ pub fn multilevel_kway(g: &Graph, config: &KwayConfig) -> Partition {
 /// Panics if `k == 0` or `alpha < 1`.
 #[must_use]
 pub fn multilevel_kway_csr(g: &CsrGraph, config: &KwayConfig) -> Partition {
+    multilevel_kway_csr_with(g, config, &mut KwayWorkspace::new())
+}
+
+/// [`multilevel_kway_csr`] with a caller-owned [`KwayWorkspace`] —
+/// bit-identical results, allocation reuse across calls.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `alpha < 1`.
+#[must_use]
+pub fn multilevel_kway_csr_with(
+    g: &CsrGraph,
+    config: &KwayConfig,
+    ws: &mut KwayWorkspace,
+) -> Partition {
     assert!(config.k >= 1, "k must be positive");
     assert!(config.alpha >= 1.0, "alpha must be at least 1");
     let mut rng = Rng::seed_from_u64(config.seed);
@@ -186,26 +314,10 @@ pub fn multilevel_kway_csr(g: &CsrGraph, config: &KwayConfig) -> Partition {
     }
     let max_w = weight_bound(g, config.k, config.alpha);
     let target_coarse = (config.k * 16).max(48);
-    let levels = coarsen_to_csr(g, target_coarse, &mut rng);
+    let levels = coarsen_to_csr_with(g, target_coarse, &mut rng, &mut ws.coarsen);
 
     let coarsest: &CsrGraph = levels.last().map_or(g, |l| &l.graph);
-    let mut part = initial_partition(coarsest, config.k, max_w, &mut rng);
-    let _ = refine_csr(coarsest, &mut part, max_w, config.refine_passes, &mut rng);
-    let _ = fm_refine_csr(coarsest, &mut part, max_w, 3);
-    for _ in 1..config.initial_restarts.max(1) {
-        let mut candidate = initial_partition(coarsest, config.k, max_w, &mut rng);
-        let _ = refine_csr(
-            coarsest,
-            &mut candidate,
-            max_w,
-            config.refine_passes,
-            &mut rng,
-        );
-        let _ = fm_refine_csr(coarsest, &mut candidate, max_w, 3);
-        if candidate.cut_weight_csr(coarsest) < part.cut_weight_csr(coarsest) {
-            part = candidate;
-        }
-    }
+    let mut part = run_restarts(coarsest, config, max_w, &mut rng);
 
     // Project back through the hierarchy, refining at each level
     // (hill-climbing FM on the few coarsest levels small enough to
@@ -340,6 +452,39 @@ mod tests {
         let a = multilevel_kway(&g, &KwayConfig::new(4).with_seed(7));
         let b = multilevel_kway(&g, &KwayConfig::new(4).with_seed(7));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn restart_result_independent_of_worker_count() {
+        // The tentpole determinism guarantee: same seed ⇒ bit-identical
+        // partition with 1, 2, and 8 probe workers.
+        let g = generate::grid_graph(10, 10);
+        for restarts in [1usize, 3, 8] {
+            let base = KwayConfig::new(4)
+                .with_seed(13)
+                .with_initial_restarts(restarts);
+            let sequential = multilevel_kway(&g, &base.with_probe_workers(1));
+            for workers in [2usize, 8] {
+                let parallel = multilevel_kway(&g, &base.with_probe_workers(workers));
+                assert_eq!(
+                    sequential, parallel,
+                    "restarts={restarts} workers={workers}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical() {
+        let mut ws = KwayWorkspace::new();
+        for dim in [6usize, 9, 8] {
+            let g = generate::grid_graph(dim, dim);
+            let csr = CsrGraph::from_graph(&g);
+            let cfg = KwayConfig::new(3).with_seed(dim as u64);
+            let fresh = multilevel_kway_csr(&csr, &cfg);
+            let reused = multilevel_kway_csr_with(&csr, &cfg, &mut ws);
+            assert_eq!(fresh, reused, "dim={dim}");
+        }
     }
 
     #[test]

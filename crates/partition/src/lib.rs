@@ -23,7 +23,9 @@
 //!   extreme of the trade-off, used for comparison).
 //! * [`adaptive`] — the paper's Algorithm 2.
 //! * [`reference`] — the pre-optimization adjacency-list implementation,
-//!   kept as the equivalence-test oracle and benchmark baseline.
+//!   kept as the equivalence-test oracle and benchmark baseline. Gated
+//!   behind the `reference-impls` feature (on by default) so release
+//!   consumers can compile without it (`default-features = false`).
 //!
 //! # Examples
 //!
@@ -44,9 +46,15 @@ pub mod kway;
 pub mod louvain;
 pub mod modularity;
 pub mod partition;
+#[cfg(feature = "reference-impls")]
 pub mod reference;
 pub mod refine;
 
-pub use adaptive::{adaptive_partition, adaptive_partition_csr, AdaptiveConfig};
-pub use kway::{multilevel_kway, multilevel_kway_csr, KwayConfig};
+pub use adaptive::{
+    adaptive_partition, adaptive_partition_csr, adaptive_partition_csr_with, AdaptiveConfig,
+};
+pub use kway::{
+    multilevel_kway, multilevel_kway_csr, multilevel_kway_csr_with, resolve_workers, KwayConfig,
+    KwayWorkspace,
+};
 pub use partition::Partition;

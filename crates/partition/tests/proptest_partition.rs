@@ -5,6 +5,7 @@ use mbqc_partition::adaptive::{adaptive_partition, AdaptiveConfig};
 use mbqc_partition::kway::{multilevel_kway, multilevel_kway_csr, KwayConfig};
 use mbqc_partition::louvain::louvain;
 use mbqc_partition::modularity::{modularity, modularity_csr};
+#[cfg(feature = "reference-impls")]
 use mbqc_partition::reference;
 use mbqc_util::Rng;
 use proptest::prelude::*;
@@ -79,6 +80,28 @@ proptest! {
     }
 
     #[test]
+    fn parallel_restarts_independent_of_worker_count(
+        n in 8usize..80,
+        extra in 0usize..60,
+        k in 2usize..6,
+        restarts in 1usize..10,
+        seed in 0u64..300,
+    ) {
+        // Same seed ⇒ bit-identical partition for every probe worker
+        // count (the deterministic-parallelism guarantee).
+        let g = random_connected_graph(n, extra, seed);
+        let base = KwayConfig::new(k)
+            .with_seed(seed)
+            .with_initial_restarts(restarts);
+        let one = multilevel_kway(&g, &base.with_probe_workers(1));
+        let two = multilevel_kway(&g, &base.with_probe_workers(2));
+        let eight = multilevel_kway(&g, &base.with_probe_workers(8));
+        prop_assert_eq!(&one, &two);
+        prop_assert_eq!(&one, &eight);
+    }
+
+    #[cfg(feature = "reference-impls")]
+    #[test]
     fn csr_partitioning_identical_to_seed_adjacency_path(
         n in 8usize..90,
         extra in 0usize..70,
@@ -116,6 +139,7 @@ proptest! {
         prop_assert!((qa - qb).abs() < 1e-9, "Q {} vs {}", qa, qb);
     }
 
+    #[cfg(feature = "reference-impls")]
     #[test]
     fn weighted_graphs_also_identical(
         n in 8usize..50,

@@ -10,7 +10,7 @@
 
 use mbqc_util::Rng;
 
-use crate::list::{list_schedule, priorities_from_schedule};
+use crate::list::{list_schedule_with, priorities_from_schedule, ScheduleWorkspace};
 use crate::problem::{LayerScheduleProblem, Schedule, TaskRef};
 
 /// SA parameters (paper defaults: `T₀ = 10`, cooling `0.95`,
@@ -46,6 +46,23 @@ impl Default for BdirConfig {
 /// Panics if `init` does not match the problem shape.
 #[must_use]
 pub fn bdir(p: &LayerScheduleProblem, init: &Schedule, config: &BdirConfig) -> Schedule {
+    bdir_with(p, init, config, &mut ScheduleWorkspace::new())
+}
+
+/// [`bdir`] with a caller-owned [`ScheduleWorkspace`]: every
+/// `PinAndReschedule` call of the annealing loop reuses the same
+/// ready-queue buffers. Identical schedules.
+///
+/// # Panics
+///
+/// Panics if `init` does not match the problem shape.
+#[must_use]
+pub fn bdir_with(
+    p: &LayerScheduleProblem,
+    init: &Schedule,
+    config: &BdirConfig,
+    ws: &mut ScheduleWorkspace,
+) -> Schedule {
     let mut rng = Rng::seed_from_u64(config.seed);
     let mut current = init.clone();
     let mut best = init.clone();
@@ -53,7 +70,7 @@ pub fn bdir(p: &LayerScheduleProblem, init: &Schedule, config: &BdirConfig) -> S
     let mut temp = config.t0;
 
     for _ in 0..config.max_iters {
-        let Some(neighbor) = generate_neighbor(p, &current) else {
+        let Some(neighbor) = generate_neighbor(p, &current, ws) else {
             break; // no bottleneck to move (objective already 0)
         };
         let c_current = p.evaluate(&current).objective();
@@ -75,13 +92,18 @@ pub fn bdir(p: &LayerScheduleProblem, init: &Schedule, config: &BdirConfig) -> S
 /// The "smart" neighborhood generator: pin the bottleneck task at its
 /// balance point and reschedule. Returns `None` when no cost term
 /// exists.
-fn generate_neighbor(p: &LayerScheduleProblem, current: &Schedule) -> Option<Schedule> {
+fn generate_neighbor(
+    p: &LayerScheduleProblem,
+    current: &Schedule,
+    ws: &mut ScheduleWorkspace,
+) -> Option<Schedule> {
     let (task, anchors) = find_bottleneck_task(p, current)?;
     let t = calculate_balance_point(&task, &anchors);
-    Some(list_schedule(
+    Some(list_schedule_with(
         p,
         &priorities_from_schedule(current),
         Some((task, t)),
+        ws,
     ))
 }
 
@@ -218,7 +240,7 @@ fn calculate_balance_point(task: &TaskRef, anchors: &[usize]) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::list::default_priorities;
+    use crate::list::{default_priorities, list_schedule};
     use crate::problem::{LocalStructure, SyncTask};
     use mbqc_graph::{DiGraph, NodeId};
 

@@ -25,6 +25,8 @@ pub mod bdir;
 pub mod list;
 pub mod problem;
 
-pub use bdir::{bdir, BdirConfig};
-pub use list::{default_priorities, list_schedule, Priorities};
+pub use bdir::{bdir, bdir_with, BdirConfig};
+pub use list::{
+    default_priorities, list_schedule, list_schedule_with, Priorities, ScheduleWorkspace,
+};
 pub use problem::{LayerScheduleProblem, LocalStructure, Schedule, ScheduleCost, SyncTask};

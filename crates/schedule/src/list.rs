@@ -1,4 +1,16 @@
 //! Priority-based list scheduling (the paper's baseline heuristic).
+//!
+//! The construction loop is the scheduler hot path: BDIR calls it once
+//! per annealing iteration. The seed implementation rebuilt and
+//! re-sorted candidate `Vec`s at every time slot; this version sorts
+//! the (static) sync priorities once and keeps the per-QPU main-task
+//! frontier in an index-based binary heap, so a slot costs the pending
+//! work it inspects instead of a full re-sort. Schedules are
+//! bit-identical to the seed path (pinned by `sorted_reference` tests),
+//! and [`ScheduleWorkspace`] lets callers reuse every buffer across
+//! calls.
+
+use std::collections::BinaryHeap;
 
 use crate::problem::{LayerScheduleProblem, Schedule, TaskRef};
 
@@ -53,6 +65,67 @@ enum SlotUse {
     Sync(usize),
 }
 
+/// A frontier main task in the ready heap, ordered so that
+/// [`BinaryHeap::pop`] yields the task with the *lowest*
+/// `(priority, qpu, index)` — the same total order the seed path's
+/// per-slot sort produced.
+#[derive(Debug, Clone, Copy)]
+struct MainEntry {
+    pri: f64,
+    qpu: u32,
+    index: u32,
+}
+
+impl PartialEq for MainEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for MainEntry {}
+impl PartialOrd for MainEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for MainEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the minimum first.
+        other
+            .pri
+            .total_cmp(&self.pri)
+            .then_with(|| other.qpu.cmp(&self.qpu))
+            .then_with(|| other.index.cmp(&self.index))
+    }
+}
+
+/// Reusable buffers for [`list_schedule_with`]: the sync ready-queue,
+/// the main-task frontier heap, and the per-slot occupancy row. One
+/// workspace serves any sequence of problems (buffers are resized per
+/// call); BDIR drives all its rescheduling calls through a single one.
+#[derive(Debug, Default)]
+pub struct ScheduleWorkspace {
+    /// Unscheduled sync indices in (priority, index) order.
+    pending_syncs: Vec<u32>,
+    /// Per-slot compaction scratch for `pending_syncs`.
+    retained: Vec<u32>,
+    /// Frontier main task of each QPU (plus stale entries, skipped lazily).
+    heap: BinaryHeap<MainEntry>,
+    /// Entries blocked in the current slot, re-armed for the next.
+    deferred: Vec<MainEntry>,
+    /// Occupancy of the current slot, per QPU.
+    slot: Vec<SlotUse>,
+    /// Scratch for marking pinned-fired syncs as done.
+    sync_done: Vec<bool>,
+}
+
+impl ScheduleWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Runs priority-based list scheduling, optionally with one task pinned
 /// at a fixed time (BDIR's rescheduling primitive).
 ///
@@ -72,6 +145,24 @@ pub fn list_schedule(
     priorities: &Priorities,
     pinned: Option<(TaskRef, usize)>,
 ) -> Schedule {
+    list_schedule_with(p, priorities, pinned, &mut ScheduleWorkspace::new())
+}
+
+/// [`list_schedule`] with a caller-owned [`ScheduleWorkspace`] —
+/// identical schedules, zero steady-state allocation for the ready
+/// queues.
+///
+/// # Panics
+///
+/// Panics if the priorities' shape disagrees with the problem, or a pin
+/// is infeasible (e.g. pinning `J_{i,j}` earlier than `j`).
+#[must_use]
+pub fn list_schedule_with(
+    p: &LayerScheduleProblem,
+    priorities: &Priorities,
+    pinned: Option<(TaskRef, usize)>,
+    ws: &mut ScheduleWorkspace,
+) -> Schedule {
     assert_eq!(priorities.main.len(), p.num_qpus, "priority shape mismatch");
     assert_eq!(priorities.sync.len(), p.sync_tasks.len());
     for (i, m) in priorities.main.iter().enumerate() {
@@ -85,10 +176,33 @@ pub fn list_schedule(
     let mut main_start: Vec<Vec<usize>> = p.main_counts.iter().map(|&m| vec![0; m]).collect();
     let mut sync_start = vec![0usize; p.sync_tasks.len()];
     let mut next_main: Vec<usize> = vec![0; p.num_qpus]; // next index per QPU
-    let mut sync_done = vec![false; p.sync_tasks.len()];
     let mut remaining = total_main + p.sync_tasks.len();
     // A pin slides later if its predecessors are not ready at its slot.
     let mut pin = pinned;
+
+    // Sync priorities are static: order the ready queue once by
+    // (priority, index) — the order the seed path re-sorted per slot.
+    ws.pending_syncs.clear();
+    ws.pending_syncs.extend(0..p.sync_tasks.len() as u32);
+    ws.pending_syncs.sort_by(|&a, &b| {
+        priorities.sync[a as usize]
+            .total_cmp(&priorities.sync[b as usize])
+            .then_with(|| a.cmp(&b))
+    });
+    ws.sync_done.clear();
+    ws.sync_done.resize(p.sync_tasks.len(), false);
+    // Main-task frontier: one live entry per QPU; entries overtaken by a
+    // pin become stale and are skipped when popped.
+    ws.heap.clear();
+    for (i, &m) in p.main_counts.iter().enumerate() {
+        if m > 0 {
+            ws.heap.push(MainEntry {
+                pri: priorities.main[i][0],
+                qpu: i as u32,
+                index: 0,
+            });
+        }
+    }
 
     let mut t = 0usize;
     // Generous horizon bound; every loop iteration either schedules a
@@ -98,7 +212,9 @@ pub fn list_schedule(
 
     while remaining > 0 {
         assert!(t <= horizon, "list scheduler exceeded horizon (bug)");
-        let mut slot: Vec<SlotUse> = vec![SlotUse::Free; p.num_qpus];
+        ws.slot.clear();
+        ws.slot.resize(p.num_qpus, SlotUse::Free);
+        let slot = &mut ws.slot;
 
         // Pinned task claims its slot first.
         if let Some((task, pt)) = pin {
@@ -110,6 +226,16 @@ pub fn list_schedule(
                         slot[i] = SlotUse::Main;
                         remaining -= 1;
                         pin = None;
+                        // The heap's (i, j) entry is now stale; arm the
+                        // successor (it cannot run before slot t + 1,
+                        // and the occupied slot blocks it this slot).
+                        if j + 1 < p.main_counts[i] {
+                            ws.heap.push(MainEntry {
+                                pri: priorities.main[i][j + 1],
+                                qpu: i as u32,
+                                index: (j + 1) as u32,
+                            });
+                        }
                     }
                     TaskRef::Main(_, _) => {
                         // Predecessors delayed by congestion: slide.
@@ -118,7 +244,7 @@ pub fn list_schedule(
                     TaskRef::Sync(k) => {
                         let s = p.sync_tasks[k];
                         sync_start[k] = t;
-                        sync_done[k] = true;
+                        ws.sync_done[k] = true;
                         slot[s.a.0] = SlotUse::Sync(1);
                         slot[s.b.0] = SlotUse::Sync(1);
                         remaining -= 1;
@@ -128,61 +254,77 @@ pub fn list_schedule(
             }
         }
 
-        // Candidates available now, ordered by priority — with all sync
-        // tasks ahead of main tasks. Processing syncs first lets a slot
-        // become a *connection layer* on every QPU that has pending
-        // communication (maximizing K_max batching); mains then fill
-        // the remaining QPUs. Interleaving instead lets each QPU's main
-        // task block its partners' syncs pairwise, serializing
-        // communication.
-        let mut candidates: Vec<(f64, TaskRef)> = Vec::new();
-        for (k, done) in sync_done.iter().enumerate() {
-            if !done && !is_pinned(pin, TaskRef::Sync(k)) {
-                candidates.push((priorities.sync[k], TaskRef::Sync(k)));
+        // Syncs first, in static priority order: processing syncs ahead
+        // of mains lets a slot become a *connection layer* on every QPU
+        // that has pending communication (maximizing K_max batching);
+        // mains then fill the remaining QPUs. Interleaving instead lets
+        // each QPU's main task block its partners' syncs pairwise,
+        // serializing communication.
+        ws.retained.clear();
+        for idx in 0..ws.pending_syncs.len() {
+            let k = ws.pending_syncs[idx] as usize;
+            if ws.sync_done[k] {
+                continue; // consumed by the pin branch
             }
-        }
-        candidates.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| cmp_ref(a.1, b.1)));
-        let mut mains: Vec<(f64, TaskRef)> = Vec::new();
-        for (i, &j) in next_main.iter().enumerate() {
-            if j < p.main_counts[i] && !is_pinned(pin, TaskRef::Main(i, j)) {
-                mains.push((priorities.main[i][j], TaskRef::Main(i, j)));
+            if is_pinned(pin, TaskRef::Sync(k)) {
+                ws.retained.push(k as u32);
+                continue;
             }
-        }
-        mains.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| cmp_ref(a.1, b.1)));
-        candidates.extend(mains);
-
-        for (_, task) in candidates {
-            match task {
-                TaskRef::Main(i, j) => {
-                    if slot[i] == SlotUse::Free && next_main[i] == j {
-                        main_start[i][j] = t;
-                        next_main[i] = j + 1;
-                        slot[i] = SlotUse::Main;
-                        remaining -= 1;
-                    }
-                }
-                TaskRef::Sync(k) => {
-                    let s = p.sync_tasks[k];
-                    let fits = |u: SlotUse| match u {
-                        SlotUse::Free => true,
-                        SlotUse::Sync(n) => n < p.kmax,
-                        SlotUse::Main => false,
+            let s = p.sync_tasks[k];
+            let fits = |u: SlotUse| match u {
+                SlotUse::Free => true,
+                SlotUse::Sync(n) => n < p.kmax,
+                SlotUse::Main => false,
+            };
+            if fits(slot[s.a.0]) && fits(slot[s.b.0]) {
+                sync_start[k] = t;
+                ws.sync_done[k] = true;
+                for q in [s.a.0, s.b.0] {
+                    slot[q] = match slot[q] {
+                        SlotUse::Free => SlotUse::Sync(1),
+                        SlotUse::Sync(n) => SlotUse::Sync(n + 1),
+                        SlotUse::Main => unreachable!(),
                     };
-                    if fits(slot[s.a.0]) && fits(slot[s.b.0]) {
-                        sync_start[k] = t;
-                        sync_done[k] = true;
-                        for q in [s.a.0, s.b.0] {
-                            slot[q] = match slot[q] {
-                                SlotUse::Free => SlotUse::Sync(1),
-                                SlotUse::Sync(n) => SlotUse::Sync(n + 1),
-                                SlotUse::Main => unreachable!(),
-                            };
-                        }
-                        remaining -= 1;
-                    }
                 }
+                remaining -= 1;
+            } else {
+                ws.retained.push(k as u32);
             }
         }
+        std::mem::swap(&mut ws.pending_syncs, &mut ws.retained);
+
+        // Mains: drain the frontier heap in (priority, qpu, index)
+        // order; blocked entries re-arm for the next slot.
+        ws.deferred.clear();
+        while let Some(e) = ws.heap.pop() {
+            let (i, j) = (e.qpu as usize, e.index as usize);
+            if next_main[i] != j {
+                continue; // stale (a pin advanced past it)
+            }
+            if is_pinned(pin, TaskRef::Main(i, j)) {
+                ws.deferred.push(e);
+                continue;
+            }
+            if slot[i] == SlotUse::Free {
+                main_start[i][j] = t;
+                next_main[i] = j + 1;
+                slot[i] = SlotUse::Main;
+                remaining -= 1;
+                if j + 1 < p.main_counts[i] {
+                    // Successor joins from the next slot on (this QPU's
+                    // slot is taken, so deferring it changes nothing
+                    // within slot t).
+                    ws.deferred.push(MainEntry {
+                        pri: priorities.main[i][j + 1],
+                        qpu: e.qpu,
+                        index: e.index + 1,
+                    });
+                }
+            } else {
+                ws.deferred.push(e);
+            }
+        }
+        ws.heap.extend(ws.deferred.drain(..));
         t += 1;
     }
     Schedule {
@@ -195,18 +337,139 @@ fn is_pinned(pinned: Option<(TaskRef, usize)>, task: TaskRef) -> bool {
     matches!(pinned, Some((p, _)) if p == task)
 }
 
-fn cmp_ref(a: TaskRef, b: TaskRef) -> std::cmp::Ordering {
-    let key = |t: TaskRef| match t {
-        TaskRef::Main(i, j) => (0usize, i, j),
-        TaskRef::Sync(k) => (1usize, k, 0),
-    };
-    key(a).cmp(&key(b))
+/// The seed per-slot-re-sort construction, preserved verbatim as the
+/// equivalence oracle for the heap-based ready queue (test-only).
+#[cfg(test)]
+mod sorted_reference {
+    use super::*;
+
+    fn cmp_ref(a: TaskRef, b: TaskRef) -> std::cmp::Ordering {
+        let key = |t: TaskRef| match t {
+            TaskRef::Main(i, j) => (0usize, i, j),
+            TaskRef::Sync(k) => (1usize, k, 0),
+        };
+        key(a).cmp(&key(b))
+    }
+
+    #[must_use]
+    pub fn list_schedule(
+        p: &LayerScheduleProblem,
+        priorities: &Priorities,
+        pinned: Option<(TaskRef, usize)>,
+    ) -> Schedule {
+        assert_eq!(priorities.main.len(), p.num_qpus, "priority shape mismatch");
+        assert_eq!(priorities.sync.len(), p.sync_tasks.len());
+        for (i, m) in priorities.main.iter().enumerate() {
+            assert_eq!(m.len(), p.main_counts[i], "priority shape mismatch");
+        }
+        if let Some((TaskRef::Main(i, j), t)) = pinned {
+            assert!(t >= j, "cannot pin J_{{{i},{j}}} before slot {j}");
+        }
+
+        let total_main: usize = p.main_counts.iter().sum();
+        let mut main_start: Vec<Vec<usize>> = p.main_counts.iter().map(|&m| vec![0; m]).collect();
+        let mut sync_start = vec![0usize; p.sync_tasks.len()];
+        let mut next_main: Vec<usize> = vec![0; p.num_qpus];
+        let mut sync_done = vec![false; p.sync_tasks.len()];
+        let mut remaining = total_main + p.sync_tasks.len();
+        let mut pin = pinned;
+
+        let mut t = 0usize;
+        let horizon =
+            2 * (total_main + p.sync_tasks.len()) + pinned.map_or(0, |(_, pt)| pt + 1) + 8;
+
+        while remaining > 0 {
+            assert!(t <= horizon, "list scheduler exceeded horizon (bug)");
+            let mut slot: Vec<SlotUse> = vec![SlotUse::Free; p.num_qpus];
+
+            if let Some((task, pt)) = pin {
+                if pt == t {
+                    match task {
+                        TaskRef::Main(i, j) if next_main[i] == j => {
+                            main_start[i][j] = t;
+                            next_main[i] = j + 1;
+                            slot[i] = SlotUse::Main;
+                            remaining -= 1;
+                            pin = None;
+                        }
+                        TaskRef::Main(_, _) => {
+                            pin = Some((task, t + 1));
+                        }
+                        TaskRef::Sync(k) => {
+                            let s = p.sync_tasks[k];
+                            sync_start[k] = t;
+                            sync_done[k] = true;
+                            slot[s.a.0] = SlotUse::Sync(1);
+                            slot[s.b.0] = SlotUse::Sync(1);
+                            remaining -= 1;
+                            pin = None;
+                        }
+                    }
+                }
+            }
+
+            let mut candidates: Vec<(f64, TaskRef)> = Vec::new();
+            for (k, done) in sync_done.iter().enumerate() {
+                if !done && !is_pinned(pin, TaskRef::Sync(k)) {
+                    candidates.push((priorities.sync[k], TaskRef::Sync(k)));
+                }
+            }
+            candidates.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| cmp_ref(a.1, b.1)));
+            let mut mains: Vec<(f64, TaskRef)> = Vec::new();
+            for (i, &j) in next_main.iter().enumerate() {
+                if j < p.main_counts[i] && !is_pinned(pin, TaskRef::Main(i, j)) {
+                    mains.push((priorities.main[i][j], TaskRef::Main(i, j)));
+                }
+            }
+            mains.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| cmp_ref(a.1, b.1)));
+            candidates.extend(mains);
+
+            for (_, task) in candidates {
+                match task {
+                    TaskRef::Main(i, j) => {
+                        if slot[i] == SlotUse::Free && next_main[i] == j {
+                            main_start[i][j] = t;
+                            next_main[i] = j + 1;
+                            slot[i] = SlotUse::Main;
+                            remaining -= 1;
+                        }
+                    }
+                    TaskRef::Sync(k) => {
+                        let s = p.sync_tasks[k];
+                        let fits = |u: SlotUse| match u {
+                            SlotUse::Free => true,
+                            SlotUse::Sync(n) => n < p.kmax,
+                            SlotUse::Main => false,
+                        };
+                        if fits(slot[s.a.0]) && fits(slot[s.b.0]) {
+                            sync_start[k] = t;
+                            sync_done[k] = true;
+                            for q in [s.a.0, s.b.0] {
+                                slot[q] = match slot[q] {
+                                    SlotUse::Free => SlotUse::Sync(1),
+                                    SlotUse::Sync(n) => SlotUse::Sync(n + 1),
+                                    SlotUse::Main => unreachable!(),
+                                };
+                            }
+                            remaining -= 1;
+                        }
+                    }
+                }
+            }
+            t += 1;
+        }
+        Schedule {
+            main_start,
+            sync_start,
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::problem::SyncTask;
+    use mbqc_util::Rng;
 
     #[test]
     fn schedules_independent_qpus_in_parallel() {
@@ -317,5 +580,69 @@ mod tests {
     fn pin_before_predecessors_panics() {
         let p = LayerScheduleProblem::new(vec![3], vec![], 4);
         let _ = list_schedule(&p, &default_priorities(&p), Some((TaskRef::Main(0, 2), 1)));
+    }
+
+    /// Builds a random problem with random (possibly colliding)
+    /// priorities — the adversarial input for ready-queue ordering.
+    fn random_case(seed: u64) -> (LayerScheduleProblem, Priorities, Option<(TaskRef, usize)>) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let qpus = 2 + rng.range(4);
+        let main_counts: Vec<usize> = (0..qpus).map(|_| 1 + rng.range(6)).collect();
+        let num_syncs = rng.range(10);
+        let sync_tasks: Vec<SyncTask> = (0..num_syncs)
+            .map(|_| {
+                let qa = rng.range(qpus);
+                let qb = (qa + 1 + rng.range(qpus - 1)) % qpus;
+                SyncTask {
+                    a: (qa, rng.range(main_counts[qa])),
+                    b: (qb, rng.range(main_counts[qb])),
+                }
+            })
+            .collect();
+        let kmax = 1 + rng.range(4);
+        let p = LayerScheduleProblem::new(main_counts.clone(), sync_tasks, kmax);
+        // Coarse integer-ish priorities force plenty of ties.
+        let priorities = Priorities {
+            main: main_counts
+                .iter()
+                .map(|&m| (0..m).map(|j| (j + rng.range(3)) as f64).collect())
+                .collect(),
+            sync: (0..num_syncs).map(|_| rng.range(6) as f64).collect(),
+        };
+        let pinned = if num_syncs > 0 && rng.bernoulli(0.5) {
+            let k = rng.range(num_syncs);
+            Some((TaskRef::Sync(k), rng.range(8)))
+        } else {
+            let i = rng.range(qpus);
+            let j = rng.range(main_counts[i]);
+            Some((TaskRef::Main(i, j), j + rng.range(6)))
+        };
+        let pinned = if rng.bernoulli(0.3) { None } else { pinned };
+        (p, priorities, pinned)
+    }
+
+    #[test]
+    fn heap_path_identical_to_sorted_reference() {
+        // The satellite guarantee: the index-heap ready queue produces
+        // bit-identical schedules to the seed per-slot-sort path, across
+        // random problems, tie-heavy priorities, and pins.
+        for seed in 0..500 {
+            let (p, priorities, pinned) = random_case(seed);
+            let new = list_schedule(&p, &priorities, pinned);
+            let old = sorted_reference::list_schedule(&p, &priorities, pinned);
+            assert_eq!(new, old, "seed {seed}, pinned {pinned:?}");
+            assert!(p.is_feasible(&new));
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_identical_across_problems() {
+        let mut ws = ScheduleWorkspace::new();
+        for seed in 100..160 {
+            let (p, priorities, pinned) = random_case(seed);
+            let fresh = list_schedule(&p, &priorities, pinned);
+            let reused = list_schedule_with(&p, &priorities, pinned, &mut ws);
+            assert_eq!(fresh, reused, "seed {seed}");
+        }
     }
 }

@@ -1,6 +1,7 @@
 //! Property-based equivalence tests: the bit-packed stabilizer tableau
 //! against the pre-optimization `Vec<bool>` reference, on random Clifford
 //! sequences with interleaved measurements.
+#![cfg(feature = "reference-impls")]
 
 use mbqc_graph::{generate, NodeId};
 use mbqc_sim::{reference, stabilizer};
