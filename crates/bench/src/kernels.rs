@@ -15,6 +15,7 @@ use mbqc_hardware::{DistributedHardware, ResourceStateKind};
 use mbqc_partition::refine::refine_csr;
 use mbqc_partition::{reference as partition_ref, KwayConfig, Partition};
 use mbqc_pattern::transpile::transpile;
+use mbqc_service::{CompileService, ServiceConfig};
 use mbqc_sim::stabilizer::{PauliString, Tableau};
 use mbqc_sim::{reference as sim_ref, StateVector, C64};
 use mbqc_util::table::fmt_f64;
@@ -259,6 +260,47 @@ pub fn measure_kernels(reps: usize) -> Vec<KernelResult> {
                 },
                 reps,
             ),
+        });
+    }
+
+    // End-to-end: a repeated workload through the compilation service —
+    // cold (a fresh service computes and stores every stage of six
+    // distinct patterns; startup included) vs. warm (the same six jobs
+    // resubmitted are pure `Scheduled` hits: partition, map, and
+    // schedule are all skipped and the stored artifacts decode back).
+    {
+        let patterns: Vec<_> = [11usize, 12, 13, 14, 15, 16]
+            .iter()
+            .map(|&n| transpile(&bench::qft(n)))
+            .collect();
+        let hw = DistributedHardware::builder()
+            .num_qpus(4)
+            .grid_width(bench::grid_size_for(16))
+            .resource_state(ResourceStateKind::FIVE_STAR)
+            .kmax(4)
+            .build();
+        let config = DcMbqcConfig::new(hw);
+        let service_config = || ServiceConfig {
+            shards: 1,
+            ..ServiceConfig::default()
+        };
+        let run = |service: &CompileService| {
+            for id in service.submit_many(&patterns, &config) {
+                std::hint::black_box(service.wait(id).expect("service compiles"));
+            }
+        };
+        let warm = CompileService::new(service_config()).expect("service starts");
+        run(&warm); // prime the cache
+        results.push(KernelResult {
+            name: "end_to_end/service_warm_cache",
+            baseline_ns: median_ns(
+                || {
+                    let cold = CompileService::new(service_config()).expect("service starts");
+                    run(&cold);
+                },
+                reps,
+            ),
+            optimized_ns: median_ns(|| run(&warm), reps),
         });
     }
 

@@ -3,9 +3,27 @@
 use std::fmt;
 
 use mbqc_compiler::{CompileError, CompilerConfig};
-use mbqc_hardware::DistributedHardware;
+use mbqc_hardware::{DistributedHardware, InterconnectTopology, ResourceStateKind};
 use mbqc_partition::AdaptiveConfig;
 use mbqc_schedule::BdirConfig;
+use mbqc_util::Encoder;
+
+/// The pipeline stage a configuration fingerprint is scoped to (see
+/// [`DcMbqcConfig::stage_fingerprint_bytes`]).
+///
+/// Stages are cumulative: each one's fingerprint covers every
+/// configuration field that can influence it *or any earlier stage*, so
+/// equal fingerprints guarantee bit-identical artifacts up to that
+/// stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PipelineStage {
+    /// Adaptive graph partitioning (Algorithm 2).
+    Partition,
+    /// Per-QPU grid mapping.
+    Map,
+    /// Layer scheduling (list scheduling + BDIR).
+    Schedule,
+}
 
 /// Configuration of the full DC-MBQC pipeline.
 ///
@@ -127,6 +145,67 @@ impl DcMbqcConfig {
         self.batch_workers = workers;
         self
     }
+
+    /// A stable byte rendering of every configuration field that can
+    /// influence the given stage (or an earlier one) — the
+    /// configuration half of the content-addressed artifact keys in
+    /// `mbqc-service`.
+    ///
+    /// Worker-count knobs (`batch_workers`, `adaptive.probe_workers`)
+    /// are deliberately *excluded*: they never change results
+    /// (property-tested), so artifacts cached under one worker count
+    /// must be hits under every other. `adaptive.k` and `adaptive.seed`
+    /// are excluded too — the pipeline overrides them with the
+    /// hardware's QPU count and the master seed. Everything else,
+    /// including fields the current stage implementations ignore (e.g.
+    /// the interconnect topology for scheduling), is included so a
+    /// future stage change cannot silently serve stale artifacts.
+    #[must_use]
+    pub fn stage_fingerprint_bytes(&self, stage: PipelineStage) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.u8(match stage {
+            PipelineStage::Partition => 0,
+            PipelineStage::Map => 1,
+            PipelineStage::Schedule => 2,
+        });
+        // Partition-relevant fields (feed every stage).
+        e.u64(self.seed);
+        e.usize(self.hardware.num_qpus());
+        e.f64(self.adaptive.epsilon_q);
+        e.f64(self.adaptive.gamma);
+        e.f64(self.adaptive.alpha_max);
+        e.usize(self.adaptive.max_iters);
+        if stage >= PipelineStage::Map {
+            e.usize(self.hardware.grid_width());
+            let (tag, photons) = match self.hardware.resource_state() {
+                ResourceStateKind::Ring(p) => (0u8, p),
+                ResourceStateKind::Star(p) => (1u8, p),
+            };
+            e.u8(tag);
+            e.usize(photons);
+            e.bool(self.boundary_reservation);
+            e.opt_usize(self.refresh_interval);
+        }
+        if stage >= PipelineStage::Schedule {
+            e.usize(self.hardware.kmax());
+            e.u8(match self.hardware.topology() {
+                InterconnectTopology::FullyConnected => 0,
+                InterconnectTopology::Line => 1,
+                InterconnectTopology::Ring => 2,
+            });
+            match &self.bdir {
+                Some(b) => {
+                    e.bool(true);
+                    e.f64(b.t0);
+                    e.f64(b.cooling);
+                    e.usize(b.max_iters);
+                    // b.seed is overridden with the master seed.
+                }
+                None => e.bool(false),
+            }
+        }
+        e.into_bytes()
+    }
 }
 
 /// Errors of the DC-MBQC pipeline.
@@ -199,6 +278,60 @@ mod tests {
         assert_eq!(cfg.refresh_interval, Some(20));
         assert!(cfg.boundary_reservation);
         assert!((cfg.adaptive.alpha_max - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stage_fingerprints_scope_config_fields() {
+        let hw = DistributedHardware::builder().num_qpus(4).build();
+        let base = DcMbqcConfig::new(hw);
+        // Worker counts never affect any stage's fingerprint.
+        let workers = base.clone().with_batch_workers(7).with_probe_workers(3);
+        for stage in [
+            PipelineStage::Partition,
+            PipelineStage::Map,
+            PipelineStage::Schedule,
+        ] {
+            assert_eq!(
+                base.stage_fingerprint_bytes(stage),
+                workers.stage_fingerprint_bytes(stage),
+                "{stage:?}"
+            );
+        }
+        // BDIR only affects the scheduling stage.
+        let no_bdir = base.clone().without_bdir();
+        assert_eq!(
+            base.stage_fingerprint_bytes(PipelineStage::Partition),
+            no_bdir.stage_fingerprint_bytes(PipelineStage::Partition)
+        );
+        assert_eq!(
+            base.stage_fingerprint_bytes(PipelineStage::Map),
+            no_bdir.stage_fingerprint_bytes(PipelineStage::Map)
+        );
+        assert_ne!(
+            base.stage_fingerprint_bytes(PipelineStage::Schedule),
+            no_bdir.stage_fingerprint_bytes(PipelineStage::Schedule)
+        );
+        // Refresh reaches mapping but not partitioning; the seed
+        // reaches everything.
+        let refreshed = base.clone().with_refresh(4);
+        assert_eq!(
+            base.stage_fingerprint_bytes(PipelineStage::Partition),
+            refreshed.stage_fingerprint_bytes(PipelineStage::Partition)
+        );
+        assert_ne!(
+            base.stage_fingerprint_bytes(PipelineStage::Map),
+            refreshed.stage_fingerprint_bytes(PipelineStage::Map)
+        );
+        let reseeded = base.clone().with_seed(7);
+        assert_ne!(
+            base.stage_fingerprint_bytes(PipelineStage::Partition),
+            reseeded.stage_fingerprint_bytes(PipelineStage::Partition)
+        );
+        // Stages are distinguished even for identical configs.
+        assert_ne!(
+            base.stage_fingerprint_bytes(PipelineStage::Partition),
+            base.stage_fingerprint_bytes(PipelineStage::Map)
+        );
     }
 
     #[test]

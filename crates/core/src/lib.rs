@@ -87,7 +87,12 @@
 //! concurrently over the shared hardware configuration — the building
 //! block of a sharded compilation service. Results are in input order
 //! and identical to a sequential `compile_pattern` loop for every
-//! worker count.
+//! worker count. (The `mbqc-service` crate builds the full service on
+//! top: a job queue over shard-owned sessions with a content-addressed
+//! stage-artifact cache keyed by [`Pattern::content_bytes`] and
+//! [`DcMbqcConfig::stage_fingerprint_bytes`].)
+//!
+//! [`Pattern::content_bytes`]: mbqc_pattern::Pattern::content_bytes
 //!
 //! ```
 //! use dc_mbqc::{DcMbqcCompiler, DcMbqcConfig};
@@ -115,7 +120,7 @@ pub mod report;
 pub mod session;
 
 pub use baseline::BaselineResult;
-pub use config::{DcMbqcConfig, DcMbqcError};
+pub use config::{DcMbqcConfig, DcMbqcError, PipelineStage};
 pub use pipeline::{DcMbqcCompiler, DistributedSchedule};
 pub use report::ComparisonReport;
 pub use session::{CompileSession, Mapped, Partitioned, Scheduled, Transpiled};

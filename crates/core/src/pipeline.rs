@@ -16,6 +16,7 @@ use mbqc_circuit::Circuit;
 use mbqc_partition::{resolve_workers, Partition};
 use mbqc_pattern::{transpile::transpile, Pattern};
 use mbqc_schedule::{LayerScheduleProblem, Schedule, ScheduleCost};
+use mbqc_util::codec::{CodecError, Decoder, Encoder};
 
 use crate::baseline::{placement_order, BaselineResult};
 use crate::config::{DcMbqcConfig, DcMbqcError};
@@ -24,7 +25,7 @@ use crate::session::CompileSession;
 /// The result of distributed compilation: a feasible schedule of
 /// execution layers and connection layers across all QPUs, with the
 /// paper's two headline metrics.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DistributedSchedule {
     cost: ScheduleCost,
     schedule: Schedule,
@@ -128,6 +129,78 @@ impl DistributedSchedule {
     #[must_use]
     pub fn problem(&self) -> &LayerScheduleProblem {
         &self.problem
+    }
+
+    /// Serializes the full artifact — schedule, problem instance,
+    /// partition, and every headline metric — with the hand-rolled
+    /// binary codec. This is the `Scheduled` stage artifact of
+    /// `mbqc-service`: a cache hit on it skips partitioning, mapping,
+    /// and scheduling entirely, and the decoded value is bit-identical
+    /// to the freshly compiled one (property-tested).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.usize(self.cost.tau_local);
+        e.usize(self.cost.tau_remote);
+        e.usize(self.cost.makespan);
+        e.bytes(&self.schedule.to_bytes());
+        e.bytes(&self.problem.to_bytes());
+        e.bytes(&self.partition.to_bytes());
+        e.f64(self.modularity);
+        e.usize(self.cut_edges);
+        e.usize_slice(&self.per_qpu_layers);
+        e.usize(self.refresh_events);
+        e.into_bytes()
+    }
+
+    /// Decodes an artifact written by [`DistributedSchedule::to_bytes`].
+    ///
+    /// Every derivable field is cross-checked, not trusted: the
+    /// schedule must be feasible for the problem, the stored cost must
+    /// equal `problem.evaluate(schedule)`, and the cut-edge count and
+    /// per-QPU layer list must match the problem's sync tasks and main
+    /// counts — a corrupt artifact must never masquerade as a valid
+    /// compilation. (Only `modularity` and `refresh_events` cannot be
+    /// recomputed without the pattern and are taken as stored.)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on truncated input or any failed
+    /// cross-check.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut d = Decoder::new(bytes);
+        let cost = ScheduleCost {
+            tau_local: d.usize()?,
+            tau_remote: d.usize()?,
+            makespan: d.usize()?,
+        };
+        let schedule = Schedule::from_bytes(d.bytes()?)?;
+        let problem = LayerScheduleProblem::from_bytes(d.bytes()?)?;
+        let partition = Partition::from_bytes(d.bytes()?)?;
+        let modularity = d.f64()?;
+        let cut_edges = d.usize()?;
+        let per_qpu_layers = d.usize_vec()?;
+        let refresh_events = d.usize()?;
+        d.finish()?;
+        if !problem.is_feasible(&schedule) {
+            return Err(CodecError::Invalid("schedule infeasible for problem"));
+        }
+        if problem.evaluate(&schedule) != cost {
+            return Err(CodecError::Invalid("stored cost disagrees with schedule"));
+        }
+        if cut_edges != problem.sync_tasks.len() || per_qpu_layers != problem.main_counts {
+            return Err(CodecError::Invalid("stored metrics disagree with problem"));
+        }
+        Ok(Self {
+            cost,
+            schedule,
+            problem,
+            partition,
+            modularity,
+            cut_edges,
+            per_qpu_layers,
+            refresh_events,
+        })
     }
 }
 
@@ -363,6 +436,23 @@ mod tests {
             .compile_circuit(&circuit)
             .unwrap();
         assert!(refreshed.refresh_events() > 0);
+    }
+
+    #[test]
+    fn codec_round_trips_full_artifact() {
+        let circuit = bench::qft(12);
+        let compiler = DcMbqcCompiler::new(DcMbqcConfig::new(hw(
+            4,
+            12,
+            ResourceStateKind::FIVE_STAR,
+            4,
+        )));
+        let dist = compiler.compile_circuit(&circuit).unwrap();
+        let back = DistributedSchedule::from_bytes(&dist.to_bytes()).unwrap();
+        assert_eq!(back, dist);
+        assert!(back.problem().is_feasible(back.schedule()));
+        let bytes = dist.to_bytes();
+        assert!(DistributedSchedule::from_bytes(&bytes[..bytes.len() - 3]).is_err());
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Directed graphs and DAG algorithms.
 
+use mbqc_util::codec::{CodecError, Decoder, Encoder};
+
 use crate::NodeId;
 
 /// A directed graph with dense node ids.
@@ -211,6 +213,78 @@ impl DiGraph {
         }
         depth
     }
+
+    /// Serializes the graph with the hand-rolled binary codec (see
+    /// [`mbqc_util::codec`]). Both adjacency directions are encoded so
+    /// the round trip preserves *insertion order*, not just the edge
+    /// set — decoded graphs are `==` to the original and every
+    /// order-sensitive traversal visits neighbors identically.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.usize(self.succ.len());
+        for list in self.succ.iter().chain(&self.pred) {
+            e.usize(list.len());
+            for v in list {
+                e.usize(v.index());
+            }
+        }
+        e.into_bytes()
+    }
+
+    /// Decodes a graph written by [`DiGraph::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on truncated input, out-of-range node
+    /// ids, or adjacency lists that are not mirror images of each
+    /// other.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut d = Decoder::new(bytes);
+        let n = d.len_hint()?;
+        let read_adj = |d: &mut Decoder<'_>| -> Result<Vec<Vec<NodeId>>, CodecError> {
+            let mut adj = Vec::with_capacity(n);
+            for _ in 0..n {
+                let len = d.len_hint()?;
+                let mut list = Vec::with_capacity(len);
+                for _ in 0..len {
+                    let v = d.usize()?;
+                    if v >= n {
+                        return Err(CodecError::Invalid("node id out of range"));
+                    }
+                    list.push(NodeId::new(v));
+                }
+                adj.push(list);
+            }
+            Ok(adj)
+        };
+        let succ = read_adj(&mut d)?;
+        let pred = read_adj(&mut d)?;
+        d.finish()?;
+        let edge_count: usize = succ.iter().map(Vec::len).sum();
+        // The two directions must describe the same edge *multiset* —
+        // existence checks alone would accept multiplicity mismatches.
+        let mut from_succ: Vec<(usize, usize)> = succ
+            .iter()
+            .enumerate()
+            .flat_map(|(u, list)| list.iter().map(move |v| (u, v.index())))
+            .collect();
+        let mut from_pred: Vec<(usize, usize)> = pred
+            .iter()
+            .enumerate()
+            .flat_map(|(v, list)| list.iter().map(move |u| (u.index(), v)))
+            .collect();
+        from_succ.sort_unstable();
+        from_pred.sort_unstable();
+        if from_succ != from_pred {
+            return Err(CodecError::Invalid("pred does not mirror succ"));
+        }
+        Ok(Self {
+            succ,
+            pred,
+            edge_count,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -244,6 +318,54 @@ mod tests {
         let d = chain(5);
         let order = d.topological_sort().unwrap();
         assert_eq!(order, (0..5).map(NodeId::new).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn codec_round_trip_preserves_insertion_order() {
+        let mut d = DiGraph::with_nodes(4);
+        let n: Vec<NodeId> = d.nodes().collect();
+        // Insert edges out of index order so pred lists are not sorted.
+        d.add_edge(n[2], n[3]);
+        d.add_edge(n[0], n[3]);
+        d.add_edge(n[0], n[1]);
+        let back = DiGraph::from_bytes(&d.to_bytes()).unwrap();
+        assert_eq!(back, d);
+        assert_eq!(back.predecessors(n[3]), &[n[2], n[0]]);
+    }
+
+    #[test]
+    fn codec_rejects_corruption() {
+        let d = chain(3);
+        let bytes = d.to_bytes();
+        assert!(DiGraph::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        let mut truncated = bytes.clone();
+        truncated.push(0);
+        assert!(DiGraph::from_bytes(&truncated).is_err());
+        // An out-of-range node id (low byte of the final LE u64).
+        let mut bad = bytes;
+        let len = bad.len();
+        bad[len - 8] = 200;
+        assert!(DiGraph::from_bytes(&bad).is_err());
+
+        // Directions that agree on edge existence and total count but
+        // not multiplicity: succ says 0→1 ×2, 0→2 ×1; pred says 0→1 ×1,
+        // 0→2 ×2. The multiset comparison must reject it.
+        let encode = |succ: [&[usize]; 3], pred: [&[usize]; 3]| {
+            let mut e = Encoder::new();
+            e.usize(3);
+            for list in succ.iter().chain(&pred) {
+                e.usize(list.len());
+                for &v in *list {
+                    e.usize(v);
+                }
+            }
+            e.into_bytes()
+        };
+        let bad = encode([&[1, 1, 2], &[], &[]], [&[], &[0], &[0, 0]]);
+        assert!(DiGraph::from_bytes(&bad).is_err());
+        // A pred-only edge balanced by a duplicated succ entry.
+        let bad = encode([&[1, 1], &[], &[]], [&[], &[0], &[0]]);
+        assert!(DiGraph::from_bytes(&bad).is_err());
     }
 
     #[test]

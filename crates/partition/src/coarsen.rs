@@ -5,7 +5,10 @@
 //! the CSR-native one the multilevel driver uses. Both produce identical
 //! hierarchies for the same RNG: matching visits nodes in the same order,
 //! and the coarse adjacency lists replicate the first-encounter insertion
-//! order of `Graph::add_edge_weighted`.
+//! order of `Graph::add_edge_weighted`. The CSR path fuses the visit-order
+//! construction (shuffle, per-node key build, stable descending sort)
+//! into a single pass over the candidate edges plus the Fisher–Yates
+//! walk itself — pinned bit-identical to the separate-pass formulation.
 
 use mbqc_graph::{CsrGraph, Graph, NodeId};
 use mbqc_util::Rng;
@@ -165,22 +168,78 @@ pub fn coarsen_once_csr_with(
     ws: &mut CoarsenWorkspace,
 ) -> Option<CsrLevel> {
     let n = g.node_count();
-    let order = &mut ws.order;
-    order.clear();
-    order.extend(0..n);
-    rng.shuffle(order);
     // Heaviest-incident-edge-first visiting makes heavy edges reliably
-    // collapse (the property that gives HEM its name and quality).
+    // collapse (the property that gives HEM its name and quality). The
+    // shuffle (random tie-break), per-node key build, and stable
+    // descending sort are fused: one pass over the candidate edges
+    // computes every key *and* the counting-sort histogram, and the
+    // Fisher–Yates walk scatters each slot into its bucket the moment
+    // it is finalized — semantically `shuffle(order)` followed by
+    // `order.sort_by_key(|&i| Reverse(key[i]))`, drawing the same RNG
+    // values and producing the same order bit for bit.
+    const COUNTING_MAX: i64 = 4096;
     let key = &mut ws.key;
     key.clear();
-    key.extend((0..n).map(|i| {
-        g.neighbor_weights(NodeId::new(i))
+    let counts = &mut ws.counts;
+    counts.clear();
+    let mut countable = true;
+    for i in 0..n {
+        let k = g
+            .neighbor_weights(NodeId::new(i))
             .iter()
             .copied()
             .max()
-            .unwrap_or(0)
-    }));
-    sort_descending_stable(order, key, &mut ws.counts, &mut ws.sorted);
+            .unwrap_or(0);
+        key.push(k);
+        if !(0..COUNTING_MAX).contains(&k) {
+            countable = false;
+        }
+        if countable {
+            let bucket = k as usize;
+            if counts.len() <= bucket {
+                counts.resize(bucket + 1, 0);
+            }
+            counts[bucket] += 1;
+        }
+    }
+    let order = &mut ws.order;
+    order.clear();
+    order.extend(0..n);
+    if countable {
+        // Suffix sums turn per-key counts into descending-bucket *end*
+        // offsets: counts[v] = #elements with key ≥ v.
+        let mut acc = 0u32;
+        for c in counts.iter_mut().rev() {
+            acc += *c;
+            *c = acc;
+        }
+        let sorted = &mut ws.sorted;
+        sorted.clear();
+        sorted.resize(n, 0);
+        // Fisher–Yates finalizes order[i] at step i (i descending), so
+        // each element scatters immediately; filling buckets back to
+        // front while walking the shuffled order back to front keeps
+        // equal keys in shuffled order — the stable-sort tie-break.
+        let place = |e: usize, sorted: &mut Vec<usize>, counts: &mut Vec<u32>| {
+            let slot = &mut counts[key[e] as usize];
+            *slot -= 1;
+            sorted[*slot as usize] = e;
+        };
+        for i in (1..n).rev() {
+            let j = rng.range(i + 1);
+            order.swap(i, j);
+            place(order[i], sorted, counts);
+        }
+        if n > 0 {
+            place(order[0], sorted, counts);
+        }
+        std::mem::swap(order, sorted);
+    } else {
+        // Key range too wide for counting buckets: plain shuffle +
+        // stable comparison sort (identical semantics, rare path).
+        rng.shuffle(order);
+        order.sort_by_key(|&i| std::cmp::Reverse(key[i]));
+    }
     let mate = &mut ws.mate;
     mate.clear();
     mate.resize(n, None);
@@ -261,47 +320,6 @@ pub fn coarsen_once_csr_with(
     let graph = builder.finish();
     ws.builder = Some(builder);
     Some(CsrLevel { graph, map })
-}
-
-/// Stable descending sort of `order` by `key[i]` — equivalent to
-/// `order.sort_by_key(|&i| Reverse(key[i]))` but via counting sort when
-/// the key range is small (the common multilevel case: keys are merged
-/// edge weights), avoiding comparison-sort overhead in the per-level hot
-/// path.
-fn sort_descending_stable(
-    order: &mut Vec<usize>,
-    key: &[i64],
-    counts: &mut Vec<u32>,
-    sorted: &mut Vec<usize>,
-) {
-    const COUNTING_MAX: i64 = 4096;
-    let max = order.iter().map(|&i| key[i]).max().unwrap_or(0);
-    let min = order.iter().map(|&i| key[i]).min().unwrap_or(0);
-    if min < 0 || max >= COUNTING_MAX {
-        order.sort_by_key(|&i| std::cmp::Reverse(key[i]));
-        return;
-    }
-    let span = (max + 1) as usize;
-    counts.clear();
-    counts.resize(span + 1, 0);
-    for &i in order.iter() {
-        // Descending: bucket by (max − key).
-        counts[(max - key[i]) as usize] += 1;
-    }
-    let mut acc = 0u32;
-    for c in counts.iter_mut() {
-        let here = *c;
-        *c = acc;
-        acc += here;
-    }
-    sorted.clear();
-    sorted.resize(order.len(), 0);
-    for &i in order.iter() {
-        let bucket = (max - key[i]) as usize;
-        sorted[counts[bucket] as usize] = i;
-        counts[bucket] += 1;
-    }
-    std::mem::swap(order, sorted);
 }
 
 /// CSR-native [`coarsen_to`]: coarsens until at most `target_nodes`
@@ -439,6 +457,28 @@ mod tests {
                 assert_eq!(a.map, b.map);
                 assert_eq!(a.graph, b.graph);
             }
+        }
+    }
+
+    #[test]
+    fn wide_key_fallback_identical_to_graph_hierarchy() {
+        // Edge weights ≥ 4096 push the fused counting path onto the
+        // comparison-sort fallback; both must still mirror the Graph
+        // oracle exactly.
+        let mut g = generate::grid_graph(8, 8);
+        let n: Vec<_> = g.nodes().collect();
+        g.add_edge_weighted(n[0], n[9], 10_000);
+        g.add_edge_weighted(n[20], n[28], 5_000);
+        let csr = CsrGraph::from_graph(&g);
+        let mut rng_a = Rng::seed_from_u64(11);
+        let mut rng_b = Rng::seed_from_u64(11);
+        let adj_levels = coarsen_to(&g, 10, &mut rng_a);
+        let csr_levels = coarsen_to_csr(&csr, 10, &mut rng_b);
+        assert_eq!(adj_levels.len(), csr_levels.len());
+        assert!(!adj_levels.is_empty());
+        for (a, b) in adj_levels.iter().zip(&csr_levels) {
+            assert_eq!(a.map, b.map);
+            assert_eq!(CsrGraph::from_graph(&a.graph), b.graph);
         }
     }
 

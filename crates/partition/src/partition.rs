@@ -1,6 +1,7 @@
 //! The [`Partition`] type and its quality metrics.
 
 use mbqc_graph::{CsrGraph, Graph, NodeId};
+use mbqc_util::codec::{CodecError, Decoder, Encoder};
 
 /// A k-way assignment of graph nodes to parts `0..k`.
 ///
@@ -207,6 +208,36 @@ impl Partition {
     pub fn is_balanced_csr(&self, g: &CsrGraph, alpha: f64) -> bool {
         self.imbalance_csr(g) <= alpha + 1e-9
     }
+
+    /// Serializes the partition with the hand-rolled binary codec (the
+    /// `Partitioned` stage artifact of `mbqc-service`).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.usize(self.k);
+        e.usize_slice(&self.assignment);
+        e.into_bytes()
+    }
+
+    /// Decodes a partition written by [`Partition::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on truncated input, `k == 0`, or an
+    /// assignment entry `≥ k`.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut d = Decoder::new(bytes);
+        let k = d.usize()?;
+        if k == 0 {
+            return Err(CodecError::Invalid("k must be positive"));
+        }
+        let assignment = d.usize_vec()?;
+        if assignment.iter().any(|&p| p >= k) {
+            return Err(CodecError::Invalid("assignment references part >= k"));
+        }
+        d.finish()?;
+        Ok(Self { assignment, k })
+    }
 }
 
 #[cfg(test)]
@@ -274,6 +305,22 @@ mod tests {
     #[should_panic(expected = "references part")]
     fn invalid_assignment_panics() {
         let _ = Partition::new(vec![0, 2], 2);
+    }
+
+    #[test]
+    fn codec_round_trip_and_validation() {
+        let p = Partition::new(vec![1, 0, 2, 1], 3);
+        let back = Partition::from_bytes(&p.to_bytes()).unwrap();
+        assert_eq!(back, p);
+        // Entries beyond k and zero k are rejected.
+        let mut e = mbqc_util::Encoder::new();
+        e.usize(2);
+        e.usize_slice(&[0, 2]);
+        assert!(Partition::from_bytes(&e.into_bytes()).is_err());
+        let mut e = mbqc_util::Encoder::new();
+        e.usize(0);
+        e.usize_slice(&[]);
+        assert!(Partition::from_bytes(&e.into_bytes()).is_err());
     }
 
     #[test]

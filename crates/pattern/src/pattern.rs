@@ -1,6 +1,7 @@
 //! The [`Pattern`] type: graph state + measurement pattern + flow.
 
 use mbqc_graph::{DiGraph, Graph, NodeId};
+use mbqc_util::Encoder;
 
 use crate::deps::DependencyGraph;
 
@@ -231,6 +232,41 @@ impl Pattern {
         DependencyGraph::new(x, z)
     }
 
+    /// A stable, canonical byte rendering of the pattern's full content
+    /// — the fingerprint input of the content-addressed stage-artifact
+    /// cache in `mbqc-service`.
+    ///
+    /// Two patterns with equal `content_bytes` compile identically under
+    /// any configuration: the encoding covers everything compilation
+    /// reads, *including adjacency-list insertion order* (the mapper and
+    /// partitioner both visit neighbors in that order, so two patterns
+    /// with the same edge set but different insertion histories are
+    /// deliberately distinct). Angles are encoded by `f64` bit pattern.
+    #[must_use]
+    pub fn content_bytes(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        let n = self.node_count();
+        e.usize(n);
+        for u in self.graph.nodes() {
+            e.i64(self.graph.node_weight(u));
+            let adj = self.graph.neighbors_weighted(u);
+            e.usize(adj.len());
+            for &(v, w) in adj {
+                e.usize(v.index());
+                e.i64(w);
+            }
+        }
+        for i in 0..n {
+            e.f64(self.angles[i]);
+            e.bool(self.measured[i]);
+            e.opt_usize(self.wire_succ[i].map(NodeId::index));
+            e.usize(self.qubit_of[i]);
+        }
+        e.usize_slice(&self.inputs.iter().map(|n| n.index()).collect::<Vec<_>>());
+        e.usize_slice(&self.outputs.iter().map(|n| n.index()).collect::<Vec<_>>());
+        e.into_bytes()
+    }
+
     /// Summary statistics.
     #[must_use]
     pub fn stats(&self) -> PatternStats {
@@ -337,6 +373,27 @@ mod tests {
         // u before Z-targets of f(u):
         assert!(pos(n[0]) < pos(n[3]));
         assert!(pos(n[1]) < pos(n[2]));
+    }
+
+    #[test]
+    fn content_bytes_distinguishes_semantic_changes() {
+        let a = chain_pattern();
+        assert_eq!(a.content_bytes(), chain_pattern().content_bytes());
+        // A changed angle, measurement flag, or edge changes the bytes.
+        let mut g = Graph::with_nodes(3);
+        let n: Vec<NodeId> = g.nodes().collect();
+        g.add_edge(n[0], n[1]);
+        g.add_edge(n[1], n[2]);
+        let angle_changed = Pattern::from_parts(
+            g,
+            vec![0.1, 0.25, 0.0],
+            vec![true, true, false],
+            vec![Some(n[1]), Some(n[2]), None],
+            vec![0, 0, 0],
+            vec![n[0]],
+            vec![n[2]],
+        );
+        assert_ne!(a.content_bytes(), angle_changed.content_bytes());
     }
 
     #[test]

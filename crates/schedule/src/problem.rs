@@ -1,6 +1,7 @@
 //! Problem and schedule types, feasibility checking, and the objective.
 
 use mbqc_graph::DiGraph;
+use mbqc_util::codec::{CodecError, Decoder, Encoder};
 
 /// A synchronization task `S_k`: one inter-QPU connection event,
 /// associated with a pair of main tasks on distinct QPUs.
@@ -15,7 +16,7 @@ pub struct SyncTask {
 /// Node-level structure for evaluating τ_local with Algorithm 1
 /// (Definition IV.1: "layer index is replaced by the start time of the
 /// corresponding main task").
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LocalStructure {
     /// Per computation-graph node: `(qpu, main-task index)` of the
     /// execution layer holding it.
@@ -28,7 +29,7 @@ pub struct LocalStructure {
 }
 
 /// An instance of the layer scheduling problem.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LayerScheduleProblem {
     /// Number of QPUs.
     pub num_qpus: usize,
@@ -84,6 +85,41 @@ impl ScheduleCost {
     #[must_use]
     pub fn objective(&self) -> usize {
         self.tau_local.max(self.tau_remote)
+    }
+}
+
+impl Schedule {
+    /// Serializes the schedule with the hand-rolled binary codec (part
+    /// of the `Scheduled` stage artifact of `mbqc-service`).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.usize(self.main_start.len());
+        for starts in &self.main_start {
+            e.usize_slice(starts);
+        }
+        e.usize_slice(&self.sync_start);
+        e.into_bytes()
+    }
+
+    /// Decodes a schedule written by [`Schedule::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on truncated or malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut d = Decoder::new(bytes);
+        let qpus = d.len_hint()?;
+        let mut main_start = Vec::with_capacity(qpus);
+        for _ in 0..qpus {
+            main_start.push(d.usize_vec()?);
+        }
+        let sync_start = d.usize_vec()?;
+        d.finish()?;
+        Ok(Self {
+            main_start,
+            sync_start,
+        })
     }
 }
 
@@ -245,6 +281,124 @@ impl LayerScheduleProblem {
             makespan,
         }
     }
+
+    /// Serializes the problem instance — node-level structure and
+    /// dependency DAG included — with the hand-rolled binary codec
+    /// (part of the `Scheduled` stage artifact of `mbqc-service`).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.usize(self.num_qpus);
+        e.usize_slice(&self.main_counts);
+        e.usize(self.sync_tasks.len());
+        for s in &self.sync_tasks {
+            e.usize(s.a.0);
+            e.usize(s.a.1);
+            e.usize(s.b.0);
+            e.usize(s.b.1);
+        }
+        e.usize(self.kmax);
+        match &self.local {
+            Some(local) => {
+                e.bool(true);
+                e.usize(local.node_slot.len());
+                for &(q, j) in &local.node_slot {
+                    e.usize(q);
+                    e.usize(j);
+                }
+                e.usize(local.fusee_pairs.len());
+                for &(u, v) in &local.fusee_pairs {
+                    e.usize(u);
+                    e.usize(v);
+                }
+                e.bytes(&local.deps.to_bytes());
+            }
+            None => e.bool(false),
+        }
+        e.opt_usize(self.refresh_bound);
+        e.into_bytes()
+    }
+
+    /// Decodes a problem written by [`LayerScheduleProblem::to_bytes`].
+    ///
+    /// The decoded instance passes the same shape checks as
+    /// construction via [`LayerScheduleProblem::new`] /
+    /// [`LayerScheduleProblem::with_local`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on truncated input or shapes that violate
+    /// the constructor invariants.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut d = Decoder::new(bytes);
+        let num_qpus = d.usize()?;
+        let main_counts = d.usize_vec()?;
+        if main_counts.len() != num_qpus {
+            return Err(CodecError::Invalid("main_counts length"));
+        }
+        let syncs = d.len_hint()?;
+        let mut sync_tasks = Vec::with_capacity(syncs);
+        for _ in 0..syncs {
+            let s = SyncTask {
+                a: (d.usize()?, d.usize()?),
+                b: (d.usize()?, d.usize()?),
+            };
+            for &(q, j) in &[s.a, s.b] {
+                if q >= num_qpus || j >= main_counts[q] {
+                    return Err(CodecError::Invalid("sync endpoint out of range"));
+                }
+            }
+            if s.a.0 == s.b.0 {
+                return Err(CodecError::Invalid("sync task joins one QPU"));
+            }
+            sync_tasks.push(s);
+        }
+        let kmax = d.usize()?;
+        if kmax == 0 {
+            return Err(CodecError::Invalid("kmax must be positive"));
+        }
+        let local = if d.bool()? {
+            let n = d.len_hint()?;
+            let mut node_slot = Vec::with_capacity(n);
+            for _ in 0..n {
+                let (q, j) = (d.usize()?, d.usize()?);
+                if q >= num_qpus || j >= main_counts[q] {
+                    return Err(CodecError::Invalid("node slot out of range"));
+                }
+                node_slot.push((q, j));
+            }
+            let pairs = d.len_hint()?;
+            let mut fusee_pairs = Vec::with_capacity(pairs);
+            for _ in 0..pairs {
+                let (u, v) = (d.usize()?, d.usize()?);
+                if u >= n || v >= n {
+                    return Err(CodecError::Invalid("fusee node out of range"));
+                }
+                fusee_pairs.push((u, v));
+            }
+            let deps = DiGraph::from_bytes(d.bytes()?)?;
+            if deps.node_count() != n {
+                return Err(CodecError::Invalid("deps size disagrees with slots"));
+            }
+            Some(LocalStructure {
+                node_slot,
+                fusee_pairs,
+                deps,
+            })
+        } else {
+            None
+        };
+        let refresh_bound = d.opt_usize()?;
+        d.finish()?;
+        Ok(Self {
+            num_qpus,
+            main_counts,
+            sync_tasks,
+            kmax,
+            local,
+            refresh_bound,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -356,6 +510,36 @@ mod tests {
         };
         let cost = p.evaluate(&s);
         assert_eq!(cost.tau_local, 7);
+    }
+
+    #[test]
+    fn codec_round_trips_problem_and_schedule() {
+        use mbqc_graph::NodeId;
+        let mut deps = DiGraph::with_nodes(2);
+        deps.add_edge(NodeId::new(0), NodeId::new(1));
+        let p = tiny_problem()
+            .with_local(LocalStructure {
+                node_slot: vec![(0, 1), (1, 0)],
+                fusee_pairs: vec![(0, 1)],
+                deps,
+            })
+            .with_refresh_bound(9);
+        let back = LayerScheduleProblem::from_bytes(&p.to_bytes()).unwrap();
+        assert_eq!(back, p);
+
+        let s = Schedule {
+            main_start: vec![vec![0, 1], vec![0, 3]],
+            sync_start: vec![2],
+        };
+        let s_back = Schedule::from_bytes(&s.to_bytes()).unwrap();
+        assert_eq!(s_back, s);
+        assert_eq!(back.evaluate(&s_back), p.evaluate(&s));
+
+        // Truncation never yields a malformed instance.
+        let bytes = p.to_bytes();
+        for cut in [1usize, 9, bytes.len() - 1] {
+            assert!(LayerScheduleProblem::from_bytes(&bytes[..cut]).is_err());
+        }
     }
 
     #[test]

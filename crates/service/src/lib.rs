@@ -1,0 +1,72 @@
+//! # mbqc-service
+//!
+//! A sharded compilation service over the DC-MBQC staged pipeline,
+//! with a content-addressed stage-artifact cache.
+//!
+//! Production traffic repeats itself: the same circuit families, the
+//! same hardware configurations, shared prefixes of both. The staged
+//! decomposition (`Transpiled` → `Partitioned` → `Mapped` →
+//! `Scheduled`) makes that repetition exploitable — each stage output
+//! is addressed by a deterministic fingerprint of `(pattern content,
+//! stage-scoped configuration)`, so a repeat job short-circuits at the
+//! deepest cached stage:
+//!
+//! | cache hit at | work skipped |
+//! |---|---|
+//! | `Scheduled` | everything — the artifact decodes straight back |
+//! | `Mapped` | partitioning *and* per-QPU grid mapping |
+//! | `Partitioned` | partitioning (the α-search of Algorithm 2) |
+//!
+//! Because configuration fingerprints are *stage-scoped*, changing a
+//! late-stage knob (say the BDIR budget) still hits the `Partitioned`
+//! and `Mapped` artifacts computed under the old configuration.
+//!
+//! The cache has an in-memory LRU tier and an optional on-disk tier
+//! (hand-rolled binary codecs; the build box is offline, so there is
+//! no serde). Disk artifacts survive restarts: a fresh service pointed
+//! at the same directory starts warm.
+//!
+//! **Determinism is the contract**: for any shard count and any cache
+//! state — cold, warm, disk-restored — results are bit-identical to a
+//! direct [`dc_mbqc::DcMbqcCompiler::compile_pattern`] call
+//! (property-tested).
+//!
+//! # Example
+//!
+//! ```
+//! use dc_mbqc::DcMbqcConfig;
+//! use mbqc_circuit::bench;
+//! use mbqc_hardware::{DistributedHardware, ResourceStateKind};
+//! use mbqc_pattern::transpile::transpile;
+//! use mbqc_service::{CompileService, ServiceConfig};
+//!
+//! let hw = DistributedHardware::builder()
+//!     .num_qpus(2)
+//!     .grid_width(bench::grid_size_for(8))
+//!     .resource_state(ResourceStateKind::FIVE_STAR)
+//!     .kmax(4)
+//!     .build();
+//! let config = DcMbqcConfig::new(hw);
+//! let service = CompileService::new(ServiceConfig {
+//!     shards: 1,
+//!     ..ServiceConfig::default()
+//! })
+//! .unwrap();
+//!
+//! let pattern = transpile(&bench::qft(8));
+//! let cold = service.wait(service.submit(pattern.clone(), config.clone())).unwrap();
+//! let warm = service.wait(service.submit(pattern, config)).unwrap();
+//! assert_eq!(cold, warm);
+//!
+//! let stats = service.stats();
+//! assert_eq!(stats.completed, 2);
+//! assert_eq!(stats.full_compiles, 1);
+//! assert_eq!(stats.hits_scheduled, 1, "second job skipped the pipeline");
+//! ```
+
+pub mod service;
+pub mod store;
+
+pub use dc_mbqc::PipelineStage;
+pub use service::{CompileService, JobId, ServiceConfig, ServiceError, ServiceStats};
+pub use store::{ArtifactKey, ArtifactStore, StoreConfig, StoreStats};

@@ -1,0 +1,558 @@
+//! The sharded compilation service.
+//!
+//! [`CompileService`] owns `N` shard worker threads, each with a
+//! long-lived [`CompileSession`], pulling jobs from a shared queue.
+//! Every job routes its pipeline stages through the shared
+//! [`ArtifactStore`]:
+//!
+//! * a `Scheduled` hit returns the decoded [`DistributedSchedule`]
+//!   directly — partitioning, mapping, and scheduling are all skipped;
+//! * a `Mapped` hit re-enters the pipeline at scheduling via
+//!   [`Partitioned::with_partition`] + [`Mapped::from_parts`];
+//! * a `Partitioned` hit re-enters at mapping via
+//!   [`Partitioned::with_partition`];
+//! * a full miss runs the session pipeline and stores every stage
+//!   artifact on the way out.
+//!
+//! Results are **bit-identical** to a direct
+//! [`DcMbqcCompiler::compile_pattern`](dc_mbqc::DcMbqcCompiler::compile_pattern)
+//! call for every shard count and every cache state — cold, warm, or
+//! disk-restored (property-tested in `tests/proptest_service.rs`).
+//!
+//! [`CompileSession`]: dc_mbqc::CompileSession
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use dc_mbqc::{
+    CompileSession, DcMbqcConfig, DcMbqcError, DistributedSchedule, Mapped, Partitioned,
+    PipelineStage, Transpiled,
+};
+use mbqc_compiler::CompiledProgram;
+use mbqc_graph::NodeId;
+use mbqc_partition::Partition;
+use mbqc_pattern::Pattern;
+use mbqc_util::codec::{CodecError, Decoder, Encoder};
+
+use crate::store::{ArtifactKey, ArtifactStore, StoreConfig, StoreStats};
+
+/// Handle of a submitted compilation job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(u64);
+
+/// Service failure modes surfaced to callers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The pipeline rejected the job.
+    Compile(DcMbqcError),
+    /// The job id was never submitted, or its result was already taken.
+    UnknownJob(JobId),
+    /// A shard worker panicked while running the job.
+    Internal(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Compile(e) => write!(f, "compilation failed: {e}"),
+            ServiceError::UnknownJob(id) => write!(f, "unknown or already-taken job {id:?}"),
+            ServiceError::Internal(msg) => write!(f, "shard worker panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Compile(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Service configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceConfig {
+    /// Worker shards (`0` = one per available core). Shard count never
+    /// changes results, only throughput.
+    pub shards: usize,
+    /// Artifact-store configuration (memory budget, optional disk
+    /// tier).
+    pub store: StoreConfig,
+}
+
+/// Aggregate service counters (a consistent snapshot).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServiceStats {
+    /// Jobs submitted.
+    pub submitted: u64,
+    /// Jobs finished (successfully or not).
+    pub completed: u64,
+    /// Jobs that returned an error.
+    pub failed: u64,
+    /// Jobs answered by a `Scheduled` artifact (nothing recomputed).
+    pub hits_scheduled: u64,
+    /// Jobs re-entered at scheduling from a `Mapped` artifact.
+    pub hits_mapped: u64,
+    /// Jobs re-entered at mapping from a `Partitioned` artifact.
+    pub hits_partitioned: u64,
+    /// Jobs that ran the full pipeline.
+    pub full_compiles: u64,
+    /// Total in-shard latency across completed jobs, nanoseconds.
+    pub total_latency_ns: u64,
+    /// Artifact-store counters.
+    pub store: StoreStats,
+}
+
+impl ServiceStats {
+    /// Fraction of completed jobs answered entirely from cache.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.completed == 0 {
+            return 0.0;
+        }
+        self.hits_scheduled as f64 / self.completed as f64
+    }
+
+    /// Mean in-shard latency per completed job, nanoseconds.
+    #[must_use]
+    pub fn mean_latency_ns(&self) -> f64 {
+        if self.completed == 0 {
+            return 0.0;
+        }
+        self.total_latency_ns as f64 / self.completed as f64
+    }
+}
+
+#[derive(Debug)]
+struct Job {
+    id: JobId,
+    pattern: Pattern,
+    config: DcMbqcConfig,
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+#[derive(Debug, Default)]
+struct ResultState {
+    pending: HashSet<JobId>,
+    done: HashMap<JobId, Result<DistributedSchedule, ServiceError>>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    completed: u64,
+    failed: u64,
+    hits_scheduled: u64,
+    hits_mapped: u64,
+    hits_partitioned: u64,
+    full_compiles: u64,
+    total_latency_ns: u64,
+}
+
+#[derive(Debug)]
+struct Shared {
+    queue: Mutex<QueueState>,
+    queue_cv: Condvar,
+    results: Mutex<ResultState>,
+    results_cv: Condvar,
+    store: ArtifactStore,
+    counters: Mutex<Counters>,
+    submitted: AtomicU64,
+    /// `> 1` pins each shard's inner stage parallelism to one thread
+    /// (the shards already saturate the cores).
+    shards: usize,
+}
+
+/// The sharded compilation service. See the [module docs](self).
+#[derive(Debug)]
+pub struct CompileService {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl CompileService {
+    /// Starts the service: spawns the shard workers and opens the
+    /// artifact store (creating the disk directory if configured).
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when the disk tier cannot be initialized.
+    pub fn new(config: ServiceConfig) -> std::io::Result<Self> {
+        let shards = if config.shards == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            config.shards
+        };
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState::default()),
+            queue_cv: Condvar::new(),
+            results: Mutex::new(ResultState::default()),
+            results_cv: Condvar::new(),
+            store: ArtifactStore::new(config.store)?,
+            counters: Mutex::new(Counters::default()),
+            submitted: AtomicU64::new(0),
+            shards,
+        });
+        let workers = (0..shards)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("mbqc-shard-{i}"))
+                    .spawn(move || shard_loop(&shared))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        Ok(Self { shared, workers })
+    }
+
+    /// Number of shard workers.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shared.shards
+    }
+
+    /// Enqueues one compilation job.
+    pub fn submit(&self, pattern: Pattern, config: DcMbqcConfig) -> JobId {
+        let id = JobId(self.shared.submitted.fetch_add(1, Ordering::Relaxed));
+        self.shared
+            .results
+            .lock()
+            .expect("results lock")
+            .pending
+            .insert(id);
+        let mut q = self.shared.queue.lock().expect("queue lock");
+        q.jobs.push_back(Job {
+            id,
+            pattern,
+            config,
+        });
+        drop(q);
+        self.shared.queue_cv.notify_one();
+        id
+    }
+
+    /// Enqueues one job per pattern under a shared configuration;
+    /// returned ids are in input order.
+    pub fn submit_many(&self, patterns: &[Pattern], config: &DcMbqcConfig) -> Vec<JobId> {
+        patterns
+            .iter()
+            .map(|p| self.submit(p.clone(), config.clone()))
+            .collect()
+    }
+
+    /// Blocks until the job finishes and takes its result. A second
+    /// `wait` on the same id returns [`ServiceError::UnknownJob`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the job's compilation error, or
+    /// [`ServiceError::UnknownJob`] for ids never submitted or already
+    /// taken.
+    pub fn wait(&self, id: JobId) -> Result<DistributedSchedule, ServiceError> {
+        let mut results = self.shared.results.lock().expect("results lock");
+        loop {
+            if let Some(r) = results.done.remove(&id) {
+                return r;
+            }
+            if !results.pending.contains(&id) {
+                return Err(ServiceError::UnknownJob(id));
+            }
+            results = self.shared.results_cv.wait(results).expect("results lock");
+        }
+    }
+
+    /// Takes the job's result if it already finished (`None` while it
+    /// is still queued or running).
+    #[must_use]
+    pub fn try_poll(&self, id: JobId) -> Option<Result<DistributedSchedule, ServiceError>> {
+        let mut results = self.shared.results.lock().expect("results lock");
+        if let Some(r) = results.done.remove(&id) {
+            return Some(r);
+        }
+        if results.pending.contains(&id) {
+            None
+        } else {
+            Some(Err(ServiceError::UnknownJob(id)))
+        }
+    }
+
+    /// A consistent snapshot of the service counters.
+    #[must_use]
+    pub fn stats(&self) -> ServiceStats {
+        let c = self.shared.counters.lock().expect("counters lock");
+        ServiceStats {
+            submitted: self.shared.submitted.load(Ordering::Relaxed),
+            completed: c.completed,
+            failed: c.failed,
+            hits_scheduled: c.hits_scheduled,
+            hits_mapped: c.hits_mapped,
+            hits_partitioned: c.hits_partitioned,
+            full_compiles: c.full_compiles,
+            total_latency_ns: c.total_latency_ns,
+            store: self.shared.store.stats(),
+        }
+    }
+}
+
+impl Drop for CompileService {
+    /// Drains the queue (queued jobs still complete), then stops the
+    /// shards.
+    fn drop(&mut self) {
+        self.shared.queue.lock().expect("queue lock").shutdown = true;
+        self.shared.queue_cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// What a shard found in the cache for one job. The `Scheduled` payload
+/// is boxed: it dwarfs the other variants, and the enum lives on the
+/// hot path of every job.
+enum CacheEntry {
+    Scheduled(Box<DistributedSchedule>),
+    Mapped(Partition, Vec<CompiledProgram>),
+    Partitioned(Partition),
+    Miss,
+}
+
+/// One shard: pop jobs until shutdown *and* the queue is empty.
+fn shard_loop(shared: &Shared) {
+    // The session (with all its stage workspaces) is kept across jobs
+    // with the same effective configuration; the fingerprint ignores
+    // worker-count knobs, which the shard overrides anyway.
+    let mut session: Option<(Vec<u8>, CompileSession)> = None;
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break job;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared.queue_cv.wait(q).expect("queue lock");
+            }
+        };
+        let start = Instant::now();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_job(shared, &mut session, &job.pattern, &job.config)
+        }));
+        let latency = start.elapsed().as_nanos() as u64;
+        let result = match outcome {
+            Ok(r) => r.map_err(ServiceError::Compile),
+            Err(panic) => {
+                // The session's workspaces may be mid-update; rebuild.
+                session = None;
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(ToString::to_string)
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                Err(ServiceError::Internal(msg))
+            }
+        };
+        {
+            let mut c = shared.counters.lock().expect("counters lock");
+            c.completed += 1;
+            c.total_latency_ns += latency;
+            if result.is_err() {
+                c.failed += 1;
+            }
+        }
+        let mut results = shared.results.lock().expect("results lock");
+        results.pending.remove(&job.id);
+        results.done.insert(job.id, result);
+        drop(results);
+        shared.results_cv.notify_all();
+    }
+}
+
+/// Runs one job through the cache-routed pipeline.
+fn run_job(
+    shared: &Shared,
+    session: &mut Option<(Vec<u8>, CompileSession)>,
+    pattern: &Pattern,
+    config: &DcMbqcConfig,
+) -> Result<DistributedSchedule, DcMbqcError> {
+    let pattern_bytes = pattern.content_bytes();
+    let key_of = |stage: PipelineStage| {
+        ArtifactKey::new(
+            stage,
+            &config.stage_fingerprint_bytes(stage),
+            &pattern_bytes,
+        )
+    };
+    let sched_key = key_of(PipelineStage::Schedule);
+    let map_key = key_of(PipelineStage::Map);
+    let part_key = key_of(PipelineStage::Partition);
+
+    // Deepest artifact first; every decode failure degrades to the next
+    // shallower tier (and ultimately to a full compile), never an error.
+    let mut entry = CacheEntry::Miss;
+    if let Some(bytes) = shared.store.get(&sched_key) {
+        if let Ok(s) = DistributedSchedule::from_bytes(&bytes) {
+            entry = CacheEntry::Scheduled(Box::new(s));
+        }
+    }
+    if matches!(entry, CacheEntry::Miss) {
+        if let Some(bytes) = shared.store.get(&map_key) {
+            if let Ok((p, programs)) = decode_mapped(&bytes) {
+                if partition_fits(&p, pattern, config) && programs_fit(&p, &programs) {
+                    entry = CacheEntry::Mapped(p, programs);
+                }
+            }
+        }
+    }
+    if matches!(entry, CacheEntry::Miss) {
+        if let Some(bytes) = shared.store.get(&part_key) {
+            if let Ok(p) = Partition::from_bytes(&bytes) {
+                if partition_fits(&p, pattern, config) {
+                    entry = CacheEntry::Partitioned(p);
+                }
+            }
+        }
+    }
+
+    if let CacheEntry::Scheduled(s) = entry {
+        shared
+            .counters
+            .lock()
+            .expect("counters lock")
+            .hits_scheduled += 1;
+        return Ok(*s);
+    }
+
+    let session = session_for(session, config, shared.shards);
+    let transpiled = Transpiled::new(pattern)?;
+    let mapped = match entry {
+        CacheEntry::Mapped(partition, programs) => {
+            shared.counters.lock().expect("counters lock").hits_mapped += 1;
+            let partitioned = Partitioned::with_partition(transpiled, partition);
+            let part_nodes = part_nodes_of(&partitioned);
+            Mapped::from_parts(partitioned, part_nodes, programs)
+        }
+        CacheEntry::Partitioned(partition) => {
+            shared
+                .counters
+                .lock()
+                .expect("counters lock")
+                .hits_partitioned += 1;
+            let partitioned = Partitioned::with_partition(transpiled, partition);
+            let mapped = session.map(partitioned)?;
+            shared.store.put(&map_key, encode_mapped(&mapped));
+            mapped
+        }
+        CacheEntry::Miss | CacheEntry::Scheduled(_) => {
+            shared.counters.lock().expect("counters lock").full_compiles += 1;
+            let partitioned = session.partition(transpiled);
+            shared
+                .store
+                .put(&part_key, partitioned.partition().to_bytes());
+            let mapped = session.map(partitioned)?;
+            shared.store.put(&map_key, encode_mapped(&mapped));
+            mapped
+        }
+    };
+    let scheduled = session.schedule(mapped);
+    shared.store.put(&sched_key, scheduled.to_bytes());
+    Ok(scheduled)
+}
+
+/// Reuses the shard session when the job's effective configuration
+/// matches; rebuilds it otherwise.
+fn session_for<'s>(
+    slot: &'s mut Option<(Vec<u8>, CompileSession)>,
+    config: &DcMbqcConfig,
+    shards: usize,
+) -> &'s mut CompileSession {
+    let fp = config.stage_fingerprint_bytes(PipelineStage::Schedule);
+    let stale = slot.as_ref().is_none_or(|(have, _)| *have != fp);
+    if stale {
+        let mut config = config.clone();
+        let mut map_workers = 0;
+        if shards > 1 {
+            // Mirrors `compile_batch`: the shard fleet already saturates
+            // the machine, so inner stage parallelism is pinned to one
+            // thread per shard. Worker counts never change results.
+            config.adaptive.probe_workers = 1;
+            map_workers = 1;
+        }
+        *slot = Some((
+            fp,
+            CompileSession::new(config).with_map_workers(map_workers),
+        ));
+    }
+    &mut slot.as_mut().expect("session just ensured").1
+}
+
+/// Per-QPU global node lists in placement order — exactly the
+/// assignment `CompileSession::map` derives, recomputed for cache
+/// re-entry.
+fn part_nodes_of(partitioned: &Partitioned<'_>) -> Vec<Vec<NodeId>> {
+    let partition = partitioned.partition();
+    let mut part_nodes: Vec<Vec<NodeId>> = vec![Vec::new(); partition.k()];
+    for &u in partitioned.transpiled().placement_order() {
+        part_nodes[partition.part_of(u)].push(u);
+    }
+    part_nodes
+}
+
+/// Shape guard for decoded partitions: exact keys make mismatches
+/// impossible in practice, but a corrupt disk tier must degrade to a
+/// miss rather than panic a shard.
+fn partition_fits(p: &Partition, pattern: &Pattern, config: &DcMbqcConfig) -> bool {
+    p.len() == pattern.node_count() && p.k() == config.hardware.num_qpus()
+}
+
+/// Shape guard for decoded `Mapped` artifacts: every per-QPU program
+/// must cover exactly the nodes its part owns, or
+/// [`Mapped::from_parts`] would panic the shard on a corrupt artifact
+/// instead of degrading to a recompute.
+fn programs_fit(partition: &Partition, programs: &[CompiledProgram]) -> bool {
+    let mut counts = vec![0usize; partition.k()];
+    for &part in partition.assignment() {
+        counts[part] += 1;
+    }
+    programs.len() == partition.k()
+        && programs
+            .iter()
+            .zip(&counts)
+            .all(|(prog, &nodes)| prog.layer_of.len() == nodes)
+}
+
+/// Encodes the `Mapped` artifact: the partition plus every per-QPU
+/// compiled program (the node lists are re-derived from the partition
+/// and placement order on re-entry).
+fn encode_mapped(mapped: &Mapped<'_>) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.bytes(&mapped.partitioned().partition().to_bytes());
+    e.usize(mapped.programs().len());
+    for p in mapped.programs() {
+        e.bytes(&p.to_bytes());
+    }
+    e.into_bytes()
+}
+
+fn decode_mapped(bytes: &[u8]) -> Result<(Partition, Vec<CompiledProgram>), CodecError> {
+    let mut d = Decoder::new(bytes);
+    let partition = Partition::from_bytes(d.bytes()?)?;
+    let k = d.len_hint()?;
+    if k != partition.k() {
+        return Err(CodecError::Invalid("program count disagrees with k"));
+    }
+    let mut programs = Vec::with_capacity(k);
+    for _ in 0..k {
+        programs.push(CompiledProgram::from_bytes(d.bytes()?)?);
+    }
+    d.finish()?;
+    Ok((partition, programs))
+}

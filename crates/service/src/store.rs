@@ -1,0 +1,469 @@
+//! The content-addressed stage-artifact store.
+//!
+//! Every pipeline stage output is stored under an [`ArtifactKey`]: the
+//! canonical bytes of `(stage, stage-scoped config fingerprint, pattern
+//! content)`. Lookups compare the *full key bytes*, never just a hash,
+//! so a hit is guaranteed to be the artifact of exactly this input —
+//! the 128-bit [`Fingerprint`] only names disk files and buckets the
+//! in-memory map.
+//!
+//! Two tiers:
+//!
+//! * an in-memory LRU bounded by a byte budget (intrusive list over a
+//!   slab; O(1) get/insert/evict), and
+//! * an optional on-disk tier (one file per artifact, written via
+//!   temp-file + rename) giving persistence and warm restarts. Disk
+//!   reads verify the embedded key and promote the artifact back into
+//!   the memory tier; every disk failure degrades to a cache miss,
+//!   never an error.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use dc_mbqc::PipelineStage;
+use mbqc_util::codec::{Decoder, Encoder};
+use mbqc_util::Fingerprint;
+
+/// A content-addressed cache key: canonical bytes of
+/// `(stage, config fingerprint, pattern content)`. The stage is the
+/// pipeline's own [`PipelineStage`] — the artifact stored under
+/// `Partition` is a `Partition`, under `Map` a partition plus per-QPU
+/// programs, under `Schedule` a full `DistributedSchedule`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ArtifactKey(Vec<u8>);
+
+impl ArtifactKey {
+    /// Builds the key for `stage` from the stage-scoped configuration
+    /// fingerprint bytes and the pattern's content bytes.
+    #[must_use]
+    pub fn new(stage: PipelineStage, config_bytes: &[u8], pattern_bytes: &[u8]) -> Self {
+        let mut e = Encoder::new();
+        e.u8(match stage {
+            PipelineStage::Partition => 0,
+            PipelineStage::Map => 1,
+            PipelineStage::Schedule => 2,
+        });
+        e.bytes(config_bytes);
+        e.bytes(pattern_bytes);
+        Self(e.into_bytes())
+    }
+
+    /// The 128-bit fingerprint naming this key's disk file.
+    #[must_use]
+    pub fn fingerprint(&self) -> Fingerprint {
+        Fingerprint::of(&self.0)
+    }
+
+    fn bytes(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Store configuration.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Byte budget of the in-memory LRU tier (keys + values).
+    pub memory_capacity: usize,
+    /// Directory of the on-disk tier; `None` disables it.
+    pub disk_dir: Option<PathBuf>,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self {
+            memory_capacity: 64 << 20,
+            disk_dir: None,
+        }
+    }
+}
+
+/// Counters describing store behaviour (monotonic except
+/// `entries`/`bytes`, which snapshot the memory tier).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Artifacts currently resident in the memory tier.
+    pub entries: usize,
+    /// Bytes (keys + values) resident in the memory tier.
+    pub bytes: usize,
+    /// Memory-tier evictions since creation.
+    pub evictions: u64,
+    /// Lookups answered by the memory tier.
+    pub memory_hits: u64,
+    /// Lookups answered by the disk tier.
+    pub disk_hits: u64,
+    /// Lookups answered by neither tier.
+    pub misses: u64,
+    /// Artifacts written to the disk tier.
+    pub disk_writes: u64,
+    /// Disk operations that failed and degraded to a miss / skipped
+    /// write (never an error).
+    pub disk_errors: u64,
+}
+
+const NONE: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Slot {
+    /// Shared with the map key, so the (pattern-sized) key bytes exist
+    /// once and the byte accounting below stays honest.
+    key: Arc<[u8]>,
+    value: Vec<u8>,
+    prev: usize,
+    next: usize,
+}
+
+/// Intrusive-list LRU over a slab, bounded by a byte budget.
+#[derive(Debug)]
+struct Lru {
+    map: HashMap<Arc<[u8]>, usize>,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    bytes: usize,
+    capacity: usize,
+}
+
+impl Lru {
+    fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NONE,
+            tail: NONE,
+            bytes: 0,
+            capacity,
+        }
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        match prev {
+            NONE => self.head = next,
+            p => self.slots[p].next = next,
+        }
+        match next {
+            NONE => self.tail = prev,
+            n => self.slots[n].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NONE;
+        self.slots[i].next = self.head;
+        match self.head {
+            NONE => self.tail = i,
+            h => self.slots[h].prev = i,
+        }
+        self.head = i;
+    }
+
+    fn get(&mut self, key: &[u8]) -> Option<&[u8]> {
+        let &i = self.map.get(key)?;
+        self.unlink(i);
+        self.push_front(i);
+        Some(&self.slots[i].value)
+    }
+
+    /// Inserts (or replaces) an entry, evicting from the tail until the
+    /// budget holds. Oversized artifacts are not cached (a replace with
+    /// an oversized value keeps the existing entry rather than flushing
+    /// the whole tier). Returns the number of evictions.
+    fn insert(&mut self, key: &[u8], value: Vec<u8>) -> u64 {
+        let cost = key.len() + value.len();
+        if cost > self.capacity {
+            return 0;
+        }
+        if let Some(&i) = self.map.get(key) {
+            self.bytes = self.bytes - self.slots[i].value.len() + value.len();
+            self.slots[i].value = value;
+            self.unlink(i);
+            self.push_front(i);
+        } else {
+            let key: Arc<[u8]> = key.into();
+            let slot = Slot {
+                key: Arc::clone(&key),
+                value,
+                prev: NONE,
+                next: NONE,
+            };
+            let i = match self.free.pop() {
+                Some(i) => {
+                    self.slots[i] = slot;
+                    i
+                }
+                None => {
+                    self.slots.push(slot);
+                    self.slots.len() - 1
+                }
+            };
+            self.map.insert(key, i);
+            self.bytes += cost;
+            self.push_front(i);
+        }
+        let mut evictions = 0;
+        while self.bytes > self.capacity {
+            let t = self.tail;
+            debug_assert_ne!(t, NONE, "over budget with no evictable entry");
+            self.unlink(t);
+            self.bytes -= self.slots[t].key.len() + self.slots[t].value.len();
+            let key = std::mem::replace(&mut self.slots[t].key, Arc::from(&[][..]));
+            self.map.remove(&key);
+            self.slots[t].value = Vec::new();
+            self.free.push(t);
+            evictions += 1;
+        }
+        evictions
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[derive(Debug)]
+struct StoreInner {
+    lru: Lru,
+    stats: StoreStats,
+}
+
+/// The two-tier content-addressed artifact store. Internally
+/// synchronized: shards share one store behind `&self`.
+#[derive(Debug)]
+pub struct ArtifactStore {
+    inner: Mutex<StoreInner>,
+    disk_dir: Option<PathBuf>,
+}
+
+impl ArtifactStore {
+    /// Creates a store; the disk directory (if any) is created eagerly
+    /// so a misconfigured path fails loudly here rather than silently
+    /// degrading every write.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when the disk directory cannot be created.
+    pub fn new(config: StoreConfig) -> std::io::Result<Self> {
+        if let Some(dir) = &config.disk_dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        Ok(Self {
+            inner: Mutex::new(StoreInner {
+                lru: Lru::new(config.memory_capacity),
+                stats: StoreStats::default(),
+            }),
+            disk_dir: config.disk_dir,
+        })
+    }
+
+    fn path_of(dir: &Path, key: &ArtifactKey) -> PathBuf {
+        dir.join(format!("{}.art", key.fingerprint().to_hex()))
+    }
+
+    /// Looks the artifact up: memory tier first, then disk (verifying
+    /// the embedded key and promoting the artifact into memory). The
+    /// disk read happens *outside* the store lock so one shard's cold
+    /// miss never stalls the others' memory-tier traffic.
+    #[must_use]
+    pub fn get(&self, key: &ArtifactKey) -> Option<Vec<u8>> {
+        {
+            let mut inner = self.inner.lock().expect("store lock");
+            if let Some(v) = inner.lru.get(key.bytes()) {
+                let v = v.to_vec();
+                inner.stats.memory_hits += 1;
+                return Some(v);
+            }
+        }
+        let mut disk_error = false;
+        if let Some(dir) = &self.disk_dir {
+            match std::fs::read(Self::path_of(dir, key)) {
+                Ok(file) => {
+                    if let Some(value) = decode_disk_artifact(&file, key) {
+                        let mut inner = self.inner.lock().expect("store lock");
+                        inner.stats.disk_hits += 1;
+                        inner.stats.evictions += inner.lru.insert(key.bytes(), value.clone());
+                        return Some(value);
+                    }
+                    // Fingerprint collision or corrupt file: a miss.
+                    disk_error = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(_) => disk_error = true,
+            }
+        }
+        let mut inner = self.inner.lock().expect("store lock");
+        if disk_error {
+            inner.stats.disk_errors += 1;
+        }
+        inner.stats.misses += 1;
+        None
+    }
+
+    /// Stores an artifact in both tiers. Disk failures are counted and
+    /// otherwise ignored — the cache stays best-effort.
+    pub fn put(&self, key: &ArtifactKey, value: Vec<u8>) {
+        if let Some(dir) = &self.disk_dir {
+            let mut e = Encoder::new();
+            e.bytes(key.bytes());
+            e.bytes(&value);
+            if write_atomically(&Self::path_of(dir, key), &e.into_bytes()).is_err() {
+                self.inner.lock().expect("store lock").stats.disk_errors += 1;
+            } else {
+                self.inner.lock().expect("store lock").stats.disk_writes += 1;
+            }
+        }
+        let mut inner = self.inner.lock().expect("store lock");
+        inner.stats.evictions += inner.lru.insert(key.bytes(), value);
+    }
+
+    /// A snapshot of the store counters.
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        let inner = self.inner.lock().expect("store lock");
+        let mut s = inner.stats;
+        s.entries = inner.lru.len();
+        s.bytes = inner.lru.bytes;
+        s
+    }
+}
+
+/// Decodes a disk artifact, returning its value only when the embedded
+/// key matches `key` exactly.
+fn decode_disk_artifact(file: &[u8], key: &ArtifactKey) -> Option<Vec<u8>> {
+    let mut d = Decoder::new(file);
+    let stored_key = d.bytes().ok()?;
+    if stored_key != key.bytes() {
+        return None;
+    }
+    let value = d.bytes().ok()?.to_vec();
+    d.finish().ok()?;
+    Some(value)
+}
+
+/// Writes via a sibling temp file + rename so concurrent writers of the
+/// same (deterministic) artifact can never expose a torn file. The temp
+/// name is unique per process *and* per call: two shards racing on the
+/// same key must not share a temp file either.
+fn write_atomically(path: &Path, contents: &[u8]) -> std::io::Result<()> {
+    static WRITE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = WRITE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let tmp = path.with_extension(format!("tmp{}-{seq}", std::process::id()));
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(contents)?;
+    f.sync_all()?;
+    drop(f);
+    let renamed = std::fs::rename(&tmp, path);
+    if renamed.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    renamed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u8) -> ArtifactKey {
+        ArtifactKey::new(PipelineStage::Partition, &[n], &[n, n])
+    }
+
+    #[test]
+    fn memory_tier_round_trip_and_stats() {
+        let store = ArtifactStore::new(StoreConfig::default()).unwrap();
+        assert!(store.get(&key(1)).is_none());
+        store.put(&key(1), vec![7, 8, 9]);
+        assert_eq!(store.get(&key(1)), Some(vec![7, 8, 9]));
+        let s = store.stats();
+        assert_eq!(s.memory_hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.entries, 1);
+        assert!(s.bytes > 3);
+    }
+
+    #[test]
+    fn keys_distinguish_stage_config_and_pattern() {
+        let k = ArtifactKey::new(PipelineStage::Map, b"cfg", b"pat");
+        for other in [
+            ArtifactKey::new(PipelineStage::Schedule, b"cfg", b"pat"),
+            ArtifactKey::new(PipelineStage::Map, b"cfg2", b"pat"),
+            ArtifactKey::new(PipelineStage::Map, b"cfg", b"pat2"),
+            // Length-prefixing keeps the boundary unambiguous.
+            ArtifactKey::new(PipelineStage::Map, b"cfgp", b"at"),
+        ] {
+            assert_ne!(k, other);
+            assert_ne!(k.fingerprint(), other.fingerprint());
+        }
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_first() {
+        let mut lru = Lru::new(3 * (key(0).bytes().len() + 8));
+        for n in 0..3 {
+            assert_eq!(lru.insert(key(n).bytes(), vec![n; 8]), 0);
+        }
+        // Touch 0 so 1 becomes the eviction victim.
+        assert!(lru.get(key(0).bytes()).is_some());
+        assert_eq!(lru.insert(key(3).bytes(), vec![3; 8]), 1);
+        assert!(lru.get(key(1).bytes()).is_none());
+        assert!(lru.get(key(0).bytes()).is_some());
+        assert!(lru.get(key(2).bytes()).is_some());
+        assert!(lru.get(key(3).bytes()).is_some());
+        assert_eq!(lru.len(), 3);
+    }
+
+    #[test]
+    fn lru_replaces_in_place_and_skips_oversized() {
+        let budget = key(0).bytes().len() + 16;
+        let mut lru = Lru::new(budget);
+        lru.insert(key(0).bytes(), vec![1; 8]);
+        lru.insert(key(0).bytes(), vec![2; 16]);
+        assert_eq!(lru.get(key(0).bytes()), Some(&vec![2u8; 16][..]));
+        assert_eq!(lru.len(), 1);
+        // An artifact larger than the whole budget is not cached (and
+        // does not flush everything else out).
+        assert_eq!(lru.insert(key(1).bytes(), vec![0; budget + 1]), 0);
+        assert!(lru.get(key(1).bytes()).is_none());
+        assert!(lru.get(key(0).bytes()).is_some());
+        // Same for an oversized *replacement*: the existing entry
+        // survives untouched instead of the tier being flushed.
+        assert_eq!(lru.insert(key(0).bytes(), vec![9; budget + 1]), 0);
+        assert_eq!(lru.get(key(0).bytes()), Some(&vec![2u8; 16][..]));
+    }
+
+    #[test]
+    fn disk_tier_survives_restart_and_verifies_keys() {
+        let dir = std::env::temp_dir().join(format!("mbqc-store-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = StoreConfig {
+            memory_capacity: 1 << 20,
+            disk_dir: Some(dir.clone()),
+        };
+        {
+            let store = ArtifactStore::new(cfg.clone()).unwrap();
+            store.put(&key(5), vec![42; 100]);
+        }
+        // A fresh store (cold memory) restores from disk.
+        let store = ArtifactStore::new(cfg).unwrap();
+        assert_eq!(store.get(&key(5)), Some(vec![42; 100]));
+        let s = store.stats();
+        assert_eq!(s.disk_hits, 1);
+        assert_eq!(s.entries, 1, "disk hit promotes into memory");
+        assert_eq!(store.get(&key(5)), Some(vec![42; 100]));
+        assert_eq!(store.stats().memory_hits, 1);
+
+        // Corrupt the file: the store degrades to a miss.
+        let path = ArtifactStore::path_of(&dir, &key(5));
+        std::fs::write(&path, b"garbage").unwrap();
+        let store = ArtifactStore::new(StoreConfig {
+            memory_capacity: 1 << 20,
+            disk_dir: Some(dir.clone()),
+        })
+        .unwrap();
+        assert_eq!(store.get(&key(5)), None);
+        assert_eq!(store.stats().disk_errors, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,239 @@
+//! Property pins for the compilation service:
+//!
+//! * `CompileService` output is **bit-identical** to a sequential
+//!   `compile_pattern` loop across shard counts {1, 2, 8} × cache
+//!   states {cold, warm, disk-restored};
+//! * every stage codec round-trips exactly on real pipeline artifacts.
+
+use dc_mbqc::{DcMbqcCompiler, DcMbqcConfig, DistributedSchedule};
+use mbqc_circuit::bench::{self, BenchmarkKind};
+use mbqc_hardware::{DistributedHardware, ResourceStateKind};
+use mbqc_partition::Partition;
+use mbqc_pattern::{transpile::transpile, Pattern};
+use mbqc_schedule::{LayerScheduleProblem, Schedule};
+use mbqc_service::{CompileService, ServiceConfig, StoreConfig};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn hardware(qpus: usize, qubits: usize) -> DistributedHardware {
+    DistributedHardware::builder()
+        .num_qpus(qpus)
+        .grid_width(bench::grid_size_for(qubits))
+        .resource_state(ResourceStateKind::FIVE_STAR)
+        .kmax(4)
+        .build()
+}
+
+fn pattern_for(kind_idx: usize, qubits: usize) -> Pattern {
+    let kinds = BenchmarkKind::all();
+    transpile(&kinds[kind_idx % kinds.len()].generate(qubits, 1))
+}
+
+/// A unique scratch directory per call (tests may run concurrently).
+fn scratch_dir() -> std::path::PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "mbqc-service-proptest-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn assert_identical(
+    a: &DistributedSchedule,
+    b: &DistributedSchedule,
+    what: &str,
+) -> Result<(), TestCaseError> {
+    // `DistributedSchedule: PartialEq` covers every field (schedule,
+    // problem, partition, metrics); compare piecewise first for
+    // readable failures.
+    prop_assert_eq!(a.schedule(), b.schedule(), "{}: schedule", what);
+    prop_assert_eq!(a.partition(), b.partition(), "{}: partition", what);
+    prop_assert_eq!(
+        a.required_photon_lifetime(),
+        b.required_photon_lifetime(),
+        "{}: lifetime",
+        what
+    );
+    prop_assert_eq!(a, b, "{}: full artifact", what);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The acceptance property: shard counts {1, 2, 8} × cache states
+    /// {cold, warm, disk-restored} all reproduce `compile_pattern`
+    /// bit-for-bit.
+    #[test]
+    fn service_bit_identical_to_compile_pattern(
+        qubits in 6usize..11,
+        qpus in 2usize..5,
+        seed in 0u64..1000,
+        batch in 2usize..4,
+    ) {
+        let config = DcMbqcConfig::new(hardware(qpus, qubits + 2)).with_seed(seed);
+        let patterns: Vec<Pattern> =
+            (0..batch).map(|i| pattern_for(i, qubits + (i % 3))).collect();
+        let expected: Vec<DistributedSchedule> = {
+            let compiler = DcMbqcCompiler::new(config.clone());
+            patterns
+                .iter()
+                .map(|p| compiler.compile_pattern(p).expect("compiles"))
+                .collect()
+        };
+
+        let dir = scratch_dir();
+        for shards in [1usize, 2, 8] {
+            let service = CompileService::new(ServiceConfig {
+                shards,
+                store: StoreConfig {
+                    memory_capacity: 8 << 20,
+                    disk_dir: Some(dir.clone()),
+                },
+            })
+            .expect("service starts");
+            // Cold on the first shard count; disk-restored (fresh
+            // memory, persisted artifacts) on the later ones.
+            for round in 0..2 {
+                let ids = service.submit_many(&patterns, &config);
+                for (i, id) in ids.into_iter().enumerate() {
+                    let got = service.wait(id).expect("service compiles");
+                    assert_identical(
+                        &expected[i],
+                        &got,
+                        &format!("shards={shards} round={round} job={i}"),
+                    )?;
+                }
+            }
+            let stats = service.stats();
+            prop_assert_eq!(stats.completed, 2 * patterns.len() as u64);
+            prop_assert_eq!(stats.failed, 0);
+            // Round 2 (and later shard counts, via the disk tier) must
+            // be pure `Scheduled` hits.
+            prop_assert!(
+                stats.hits_scheduled >= patterns.len() as u64,
+                "warm round recomputed: {:?}",
+                stats
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Mid-pipeline re-entry: a `Partitioned`/`Mapped` hit under a
+    /// *changed scheduling configuration* still reproduces the direct
+    /// compilation for the new configuration.
+    #[test]
+    fn stage_reentry_after_config_change_is_identical(
+        qubits in 6usize..11,
+        qpus in 2usize..5,
+        seed in 0u64..1000,
+    ) {
+        let base = DcMbqcConfig::new(hardware(qpus, qubits)).with_seed(seed);
+        let changed = base.clone().without_bdir();
+        let pattern = pattern_for(seed as usize, qubits);
+        let service = CompileService::new(ServiceConfig {
+            shards: 1,
+            ..ServiceConfig::default()
+        })
+        .expect("service starts");
+        service
+            .wait(service.submit(pattern.clone(), base))
+            .expect("warms the cache");
+        let got = service
+            .wait(service.submit(pattern.clone(), changed.clone()))
+            .expect("service compiles");
+        let direct = DcMbqcCompiler::new(changed)
+            .compile_pattern(&pattern)
+            .expect("compiles");
+        assert_identical(&direct, &got, "re-entry after config change")?;
+        // The scheduling-stage fingerprint changed, but partitioning
+        // and mapping were served from cache.
+        let stats = service.stats();
+        prop_assert_eq!(stats.hits_mapped, 1, "{:?}", stats);
+        prop_assert_eq!(stats.full_compiles, 1);
+    }
+
+    /// Round trips of every stage codec on real pipeline artifacts.
+    #[test]
+    fn stage_codecs_round_trip(
+        qubits in 6usize..12,
+        qpus in 2usize..5,
+        seed in 0u64..1000,
+        kind_idx in 0usize..4,
+    ) {
+        let config = DcMbqcConfig::new(hardware(qpus, qubits)).with_seed(seed);
+        let pattern = pattern_for(kind_idx, qubits);
+        let dist = DcMbqcCompiler::new(config)
+            .compile_pattern(&pattern)
+            .expect("compiles");
+
+        let p = dist.partition();
+        prop_assert_eq!(&Partition::from_bytes(&p.to_bytes()).unwrap(), p);
+        let s = dist.schedule();
+        prop_assert_eq!(&Schedule::from_bytes(&s.to_bytes()).unwrap(), s);
+        let problem = dist.problem();
+        let problem_back = LayerScheduleProblem::from_bytes(&problem.to_bytes()).unwrap();
+        prop_assert_eq!(&problem_back, problem);
+        prop_assert_eq!(problem_back.evaluate(s), problem.evaluate(s));
+        let dist_back = DistributedSchedule::from_bytes(&dist.to_bytes()).unwrap();
+        prop_assert_eq!(&dist_back, &dist);
+
+        // Any truncation decodes to an error, never a wrong artifact.
+        let bytes = dist.to_bytes();
+        for cut in [0usize, 1, bytes.len() / 2, bytes.len() - 1] {
+            prop_assert!(DistributedSchedule::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+}
+
+/// Error jobs surface the pipeline error (and are not cached as
+/// artifacts).
+#[test]
+fn compile_errors_surface_per_job() {
+    // Boundary reservation on a 2×2 grid leaves no usable sites.
+    let hw = DistributedHardware::builder()
+        .num_qpus(2)
+        .grid_width(2)
+        .resource_state(ResourceStateKind::FIVE_STAR)
+        .kmax(4)
+        .build();
+    let config = DcMbqcConfig::new(hw).with_boundary_reservation(true);
+    let pattern = transpile(&bench::qft(6));
+    let service = CompileService::new(ServiceConfig::default()).unwrap();
+    let id = service.submit(pattern, config);
+    let err = service.wait(id).unwrap_err();
+    assert!(matches!(err, mbqc_service::ServiceError::Compile(_)));
+    let stats = service.stats();
+    assert_eq!(stats.failed, 1);
+    // Waiting again on a taken id is UnknownJob, as is a bogus id.
+    assert!(matches!(
+        service.wait(id),
+        Err(mbqc_service::ServiceError::UnknownJob(_))
+    ));
+}
+
+/// `try_poll` returns `None` while queued/running and takes the result
+/// exactly once after completion.
+#[test]
+fn try_poll_takes_result_once() {
+    let config = DcMbqcConfig::new(hardware(2, 8));
+    let pattern = transpile(&bench::qft(8));
+    let service = CompileService::new(ServiceConfig {
+        shards: 1,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let id = service.submit(pattern, config);
+    let result = loop {
+        match service.try_poll(id) {
+            Some(r) => break r,
+            None => std::thread::yield_now(),
+        }
+    };
+    result.unwrap();
+    assert!(matches!(
+        service.try_poll(id),
+        Some(Err(mbqc_service::ServiceError::UnknownJob(_)))
+    ));
+}

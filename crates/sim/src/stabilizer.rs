@@ -241,6 +241,18 @@ pub struct Tableau {
     x: Vec<u64>,
     z: Vec<u64>,
     r: Vec<bool>,
+    /// Per-qubit *sound lower bound* on the first stabilizer row with an
+    /// X on that qubit: no row in `n..first_x[q]` has one; `2n` means
+    /// none at all. Gates that rewrite a qubit's X column (`h`, `cnot`
+    /// target) set it exactly inside their existing sweeps; `s`, `x`,
+    /// `z`, and `cz` leave X columns untouched; the measurement rowsum
+    /// clamps every qubit's bound to the lowest XORed stabilizer row
+    /// (X bits can only *appear* there — clears never break the bound).
+    /// Measurement pivot scans start at the bound, so re-measurements
+    /// and deterministic outcomes — the bulk of a graph-state
+    /// measurement sweep — skip the row sweep entirely (the ROADMAP's
+    /// "first stabilizer with X" index).
+    first_x: Vec<usize>,
 }
 
 impl Tableau {
@@ -255,6 +267,8 @@ impl Tableau {
             x: vec![0; rows * w],
             z: vec![0; rows * w],
             r: vec![false; rows],
+            // Stabilizers start as Z_i: no stabilizer carries an X.
+            first_x: vec![rows; n],
         };
         for i in 0..n {
             let (wq, m) = bit(i);
@@ -288,20 +302,28 @@ impl Tableau {
         assert!(q < self.n, "qubit {q} out of range");
     }
 
-    /// Hadamard on `q`. One contiguous column sweep.
+    /// Hadamard on `q`. One contiguous column sweep; the sweep also
+    /// recomputes the qubit's first-stabilizer-X bound exactly (X and Z
+    /// swap, so the old bound is void).
     pub fn h(&mut self, q: usize) {
         self.check(q);
-        let rows = 2 * self.n;
+        let n = self.n;
+        let rows = 2 * n;
         let (wq, m) = bit(q);
         let xs = &mut self.x[wq * rows..(wq + 1) * rows];
         let zs = &mut self.z[wq * rows..(wq + 1) * rows];
+        let mut first = rows;
         for i in 0..rows {
             let xv = xs[i];
             let zv = zs[i];
             self.r[i] ^= xv & zv & m != 0;
             xs[i] = (xv & !m) | (zv & m);
             zs[i] = (zv & !m) | (xv & m);
+            if i >= n && first == rows && xs[i] & m != 0 {
+                first = i;
+            }
         }
+        self.first_x[q] = first;
     }
 
     /// Phase gate S on `q`. One contiguous column sweep.
@@ -351,10 +373,15 @@ impl Tableau {
         self.check(control);
         self.check(target);
         assert_ne!(control, target, "control and target must differ");
-        let rows = 2 * self.n;
+        let n = self.n;
+        let rows = 2 * n;
         let (wc, mc) = bit(control);
         let (wt, mt) = bit(target);
         let (co, to) = (wc * rows, wt * rows);
+        // The target's X column is rewritten; recompute its bound
+        // exactly in the same sweep. The control's X column is
+        // untouched.
+        let mut first = rows;
         for i in 0..rows {
             let xc = self.x[co + i] & mc != 0;
             let zc = self.z[co + i] & mc != 0;
@@ -367,7 +394,11 @@ impl Tableau {
             if zt {
                 self.z[co + i] ^= mc;
             }
+            if i >= n && first == rows && self.x[to + i] & mt != 0 {
+                first = i;
+            }
         }
+        self.first_x[target] = first;
     }
 
     /// CZ between `a` and `b`. Single sweep: algebraically
@@ -439,17 +470,40 @@ impl Tableau {
         let rows = 2 * n;
         let (wq, m) = bit(q);
         let col = wq * rows;
-        // Find a stabilizer with an X on q (anticommutes with Z_q) — a
-        // contiguous scan of the qubit's column block.
-        if let Some(p) = (n..rows).find(|&i| self.x[col + i] & m != 0) {
+        // Find a stabilizer with an X on q (anticommutes with Z_q).
+        // Rows below `first_x[q]` are known X-free, so the scan starts
+        // there — O(1) when the index already says "none" (the common
+        // case deep into a measurement sweep, and every re-measurement).
+        if let Some(p) = (self.first_x[q]..rows).find(|&i| self.x[col + i] & m != 0) {
             // Random outcome. Row p−n (the pivot's partner destabilizer)
             // is skipped: it anticommutes with row p, so the rowsum phase
             // would be imaginary — and the row is overwritten with a copy
             // of row p below anyway, making the rowsum dead work.
-            let targets: Vec<usize> = (0..rows)
-                .filter(|&i| i != p && i != p - n && self.x[col + i] & m != 0)
+            // Stabilizer rows before p carry no X on q (that is what
+            // made p the pivot), so only `p+1..` needs scanning there.
+            let targets: Vec<usize> = (0..n)
+                .filter(|&i| i != p - n && self.x[col + i] & m != 0)
+                .chain((p + 1..rows).filter(|&i| self.x[col + i] & m != 0))
                 .collect();
             self.rowsum_batch(&targets, p);
+            // The rowsum XORs the pivot row into every target
+            // (`x_t ^= x_p`), so an X bit can *appear* only on qubits in
+            // the pivot row's X support, and only in XORed stabilizer
+            // rows: clamp exactly those qubits' bounds to the lowest
+            // one. Everything else keeps its exact bound — which is
+            // what keeps re-measurements and deterministic sweeps O(1).
+            if let Some(&floor) = targets.iter().find(|&&t| t >= n) {
+                for w in 0..self.w {
+                    let mut bits = self.x[w * rows + p];
+                    while bits != 0 {
+                        let q2 = w * WORD_BITS + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        if self.first_x[q2] > floor {
+                            self.first_x[q2] = floor;
+                        }
+                    }
+                }
+            }
             // Destabilizer row p−n becomes the old stabilizer row p, and
             // stabilizer row p becomes ±Z_q with the measured sign.
             let outcome = rng.bernoulli(0.5);
@@ -463,9 +517,14 @@ impl Tableau {
             self.z[col + p] = m;
             self.r[p - n] = self.r[p];
             self.r[p] = outcome;
+            // The rowsum cleared every other stabilizer X on q and the
+            // pivot became ±Z_q: the index is exact again.
+            self.first_x[q] = rows;
             outcome
         } else {
-            // Deterministic outcome: accumulate into a scratch row.
+            // Deterministic outcome: no stabilizer X on q at all —
+            // remember that, then accumulate into a scratch row.
+            self.first_x[q] = rows;
             self.scratch_row(q)
         }
     }

@@ -118,6 +118,35 @@ proptest! {
     }
 
     #[test]
+    fn interleaved_gates_and_measurements_match_bool(
+        n in 2usize..40,
+        steps in 10usize..80,
+        seed in 0u64..1000,
+    ) {
+        // Gates *between* measurements exercise every maintenance path
+        // of the packed tableau's first-stabilizer-with-X index: exact
+        // rebuilds in `h`/`cnot` sweeps, the rowsum clamp, and the
+        // post-measurement reset. Outcomes and rows must stay identical
+        // to the reference at every step.
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut packed = stabilizer::Tableau::new(n);
+        let mut boolean = reference::Tableau::new(n);
+        let mut rng_p = Rng::seed_from_u64(seed ^ 0xfeed);
+        let mut rng_b = Rng::seed_from_u64(seed ^ 0xfeed);
+        for step in 0..steps {
+            if rng.bernoulli(0.35) {
+                let q = rng.range(n);
+                let a = packed.measure_z(q, &mut rng_p);
+                let b = boolean.measure_z(q, &mut rng_b);
+                prop_assert_eq!(a, b, "step {} qubit {}", step, q);
+            } else {
+                apply_random_op(&mut packed, &mut boolean, n, &mut rng);
+            }
+        }
+        assert_rows_equal(&packed, &boolean)?;
+    }
+
+    #[test]
     fn packed_pauli_algebra_matches_bool(
         n in 1usize..130,
         seed in 0u64..2000,

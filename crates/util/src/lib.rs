@@ -12,6 +12,11 @@
 //!   `repro` binary to print the paper's tables and figure series.
 //! * [`stats`] — small summary-statistics helpers (mean, geometric mean,
 //!   min/max, linear fit) used by the evaluation harness.
+//! * [`codec`] — the hand-rolled binary encoder/decoder behind every
+//!   stage-artifact `to_bytes`/`from_bytes` pair (the build box is
+//!   offline, so there is no serde).
+//! * [`fingerprint`] — stable 128-bit content hashing for the
+//!   content-addressed artifact store of `mbqc-service`.
 //!
 //! # Examples
 //!
@@ -25,9 +30,13 @@
 //! assert!(i < 10);
 //! ```
 
+pub mod codec;
+pub mod fingerprint;
 pub mod rng;
 pub mod stats;
 pub mod table;
 
+pub use codec::{CodecError, Decoder, Encoder};
+pub use fingerprint::Fingerprint;
 pub use rng::Rng;
 pub use table::TextTable;
