@@ -235,6 +235,57 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_service(c: &mut Criterion) {
+    use dc_mbqc::DcMbqcConfig;
+    use mbqc_hardware::{DistributedHardware, ResourceStateKind};
+    use mbqc_service::{CompileService, ExecutionEngine, Priority, ServiceConfig};
+
+    let mut group = c.benchmark_group("service");
+    group.sample_size(10);
+    let patterns: Vec<_> = [10usize, 12, 11, 13]
+        .iter()
+        .map(|&n| transpile(&bench::qft(n)))
+        .collect();
+    let hw = DistributedHardware::builder()
+        .num_qpus(4)
+        .grid_width(bench::grid_size_for(13))
+        .resource_state(ResourceStateKind::FIVE_STAR)
+        .kmax(4)
+        .build();
+    let config = DcMbqcConfig::new(hw);
+    let run = |engine: ExecutionEngine| {
+        let service = CompileService::new(ServiceConfig {
+            workers: 0,
+            engine,
+            ..ServiceConfig::default()
+        })
+        .expect("service starts");
+        let ids: Vec<_> = patterns
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                service.submit_with_priority(
+                    p.clone(),
+                    config.clone(),
+                    Priority::ALL[i % Priority::ALL.len()],
+                )
+            })
+            .collect();
+        for id in ids {
+            service.wait(id).expect("service compiles");
+        }
+    };
+    group.bench_function("pipelined_batch_executor", |b| {
+        b.iter(|| run(ExecutionEngine::StageGraph));
+    });
+    // The preserved PR 3 whole-job shard loop, kept for speedup
+    // tracking against the stage-graph executor.
+    group.bench_function("pipelined_batch_jobloop_reference", |b| {
+        b.iter(|| run(ExecutionEngine::JobLoop));
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_transpile,
@@ -245,6 +296,7 @@ criterion_group!(
     bench_grid_mapper,
     bench_lifetime,
     bench_scheduling,
-    bench_end_to_end
+    bench_end_to_end,
+    bench_service
 );
 criterion_main!(benches);

@@ -85,10 +85,15 @@
 //!
 //! [`DcMbqcCompiler::compile_batch`] compiles many patterns
 //! concurrently over the shared hardware configuration — the building
-//! block of a sharded compilation service. Results are in input order
-//! and identical to a sequential `compile_pattern` loop for every
-//! worker count. (The `mbqc-service` crate builds the full service on
-//! top: a job queue over shard-owned sessions with a content-addressed
+//! block of a compilation service. Results are in input order and
+//! identical to a sequential `compile_pattern` loop for every worker
+//! count. For finer-grained scheduling, [`crate::stage_graph`] exposes
+//! the pipeline as *stage tasks*: a [`StageGraph`] tracks one job's
+//! stage dependencies, a [`WorkspacePool`] lends out per-stage
+//! workspaces, and the free stage functions ([`partition_stage`],
+//! [`map_stage`], [`schedule_stage`]) run any stage on any worker.
+//! (The `mbqc-service` crate builds the full service on top: a
+//! priority-aware stage-task executor over a content-addressed
 //! stage-artifact cache keyed by [`Pattern::content_bytes`] and
 //! [`DcMbqcConfig::stage_fingerprint_bytes`].)
 //!
@@ -118,9 +123,14 @@ pub mod config;
 pub mod pipeline;
 pub mod report;
 pub mod session;
+pub mod stage_graph;
 
 pub use baseline::BaselineResult;
 pub use config::{DcMbqcConfig, DcMbqcError, PipelineStage};
 pub use pipeline::{DcMbqcCompiler, DistributedSchedule};
 pub use report::ComparisonReport;
-pub use session::{CompileSession, Mapped, Partitioned, Scheduled, Transpiled};
+pub use session::{
+    map_stage, partition_stage, schedule_stage, CompileSession, Mapped, Partitioned,
+    PartitionedCache, Scheduled, Transpiled,
+};
+pub use stage_graph::{StageGraph, StageKind, WorkspacePool};

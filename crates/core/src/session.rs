@@ -57,6 +57,25 @@ impl<'p> Transpiled<'p> {
         Ok(Self { pattern, order })
     }
 
+    /// Re-enters the pipeline with an already-derived placement order
+    /// (e.g. one retained by a stage-task executor between tasks of the
+    /// same job). The order must be exactly what [`Transpiled::new`]
+    /// would derive for this pattern — it is taken on trust beyond a
+    /// length check, so the flow computation is not repeated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the order does not cover the pattern's nodes.
+    #[must_use]
+    pub fn from_parts(pattern: &'p Pattern, order: Vec<NodeId>) -> Self {
+        assert_eq!(
+            order.len(),
+            pattern.node_count(),
+            "placement order does not cover the pattern"
+        );
+        Self { pattern, order }
+    }
+
     /// The underlying pattern.
     #[must_use]
     pub fn pattern(&self) -> &'p Pattern {
@@ -140,6 +159,76 @@ impl<'p> Partitioned<'p> {
     pub fn weighted_graph(&self) -> &CsrGraph {
         &self.csr
     }
+
+    /// Snapshots the derived state [`Partitioned::with_partition`]
+    /// would recompute — the workload CSR and the partition metrics —
+    /// so an executor that rebuilds this artifact once per stage task
+    /// can pay for the derivation once per *job* (see
+    /// [`Partitioned::with_partition_cached`]).
+    #[must_use]
+    pub fn cache(&self) -> PartitionedCache {
+        PartitionedCache {
+            csr: self.csr.clone(),
+            modularity: self.modularity,
+            cut: self.adaptive.cut,
+            alpha: self.adaptive.alpha,
+        }
+    }
+
+    /// [`Partitioned::with_partition`] with the derived state supplied
+    /// from a previous construction's [`Partitioned::cache`] — a plain
+    /// memcpy instead of a workload-CSR rebuild plus modularity/cut
+    /// recomputation. The cache must come from the same
+    /// `(pattern, partition)` pair; sizes are checked, values are
+    /// trusted (they are deterministic functions of the pair).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache or partition does not cover the pattern's
+    /// nodes.
+    #[must_use]
+    pub fn with_partition_cached(
+        transpiled: Transpiled<'p>,
+        partition: Partition,
+        cache: PartitionedCache,
+    ) -> Self {
+        assert_eq!(
+            cache.csr.node_count(),
+            transpiled.pattern.node_count(),
+            "cached CSR does not cover the pattern"
+        );
+        assert_eq!(
+            partition.len(),
+            cache.csr.node_count(),
+            "partition size mismatch"
+        );
+        let modularity = cache.modularity;
+        Self {
+            transpiled,
+            csr: cache.csr,
+            adaptive: AdaptiveResult {
+                partition,
+                modularity: cache.modularity,
+                cut: cache.cut,
+                alpha: cache.alpha,
+                history: Vec::new(),
+            },
+            modularity,
+        }
+    }
+}
+
+/// The derived state of a [`Partitioned`] artifact (workload CSR +
+/// partition metrics), detached from the pattern borrow so it can be
+/// carried between the stage tasks of one job. Produced by
+/// [`Partitioned::cache`], consumed by
+/// [`Partitioned::with_partition_cached`].
+#[derive(Debug, Clone)]
+pub struct PartitionedCache {
+    csr: CsrGraph,
+    modularity: f64,
+    cut: i64,
+    alpha: f64,
 }
 
 /// Stage-3 artifact: every QPU's subprogram compiled onto its RSG grid.
@@ -276,18 +365,7 @@ impl CompileSession {
     /// workload-weighted graph.
     #[must_use]
     pub fn partition<'p>(&mut self, transpiled: Transpiled<'p>) -> Partitioned<'p> {
-        let csr = workload_csr(transpiled.pattern.graph());
-        let mut adaptive_cfg = self.config.adaptive;
-        adaptive_cfg.k = self.config.hardware.num_qpus();
-        adaptive_cfg.seed = self.config.seed;
-        let adaptive = adaptive_partition_csr_with(&csr, &adaptive_cfg, &mut self.kway_ws);
-        let modularity = modularity_csr(&csr, &adaptive.partition);
-        Partitioned {
-            transpiled,
-            csr,
-            adaptive,
-            modularity,
-        }
+        partition_stage(&self.config, transpiled, &mut self.kway_ws)
     }
 
     /// Stage 3 — per-QPU grid compilation, in parallel across the
@@ -300,82 +378,12 @@ impl CompileSession {
     /// Returns [`DcMbqcError::Compile`] for the lowest-indexed QPU
     /// whose grid cannot host its subprogram.
     pub fn map<'p>(&mut self, partitioned: Partitioned<'p>) -> Result<Mapped<'p>, DcMbqcError> {
-        let graph = partitioned.transpiled.pattern.graph();
-        let k = self.config.hardware.num_qpus();
-        // Guards externally injected partitions (`with_partition`): the
-        // adaptive stage always produces exactly one part per QPU.
-        assert_eq!(
-            partitioned.partition().k(),
-            k,
-            "partition has {} parts for {k} QPUs",
-            partitioned.partition().k()
-        );
-        // Per part: global nodes in placement order.
-        let mut part_nodes: Vec<Vec<NodeId>> = vec![Vec::new(); k];
-        for &u in &partitioned.transpiled.order {
-            part_nodes[partitioned.adaptive.partition.part_of(u)].push(u);
-        }
-        let subgraphs: Vec<Graph> = part_nodes
-            .iter()
-            .map(|nodes| graph.induced_subgraph(nodes).0)
-            .collect();
-
-        let workers = resolve_workers(self.map_workers, k);
-        if self.mapper_ws.len() < workers {
-            self.mapper_ws.resize_with(workers, MapperWorkspace::new);
-        }
-        let config = &self.config;
-        let mut results: Vec<Option<Result<CompiledProgram, DcMbqcError>>> =
-            (0..k).map(|_| None).collect();
-        let compile_one = |qpu: usize, sub: &Graph, ws: &mut MapperWorkspace| {
-            let mapper = GridMapper::new(config.mapper_config(config.seed ^ (qpu as u64)));
-            let local_order: Vec<NodeId> = sub.nodes().collect();
-            mapper
-                .compile_with(sub, &local_order, ws)
-                .map_err(|source| DcMbqcError::Compile {
-                    qpu: Some(qpu),
-                    source,
-                })
-        };
-        if workers <= 1 {
-            let ws = &mut self.mapper_ws[0];
-            for (qpu, sub) in subgraphs.iter().enumerate() {
-                results[qpu] = Some(compile_one(qpu, sub, ws));
-            }
-        } else {
-            // Strided ownership: worker w compiles QPUs w, w + W, …,
-            // reusing its own persistent workspace. Assignment is
-            // static, so no scheduling decision can reach the results.
-            let subgraphs = &subgraphs;
-            std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(workers);
-                for (w, ws) in self.mapper_ws.iter_mut().take(workers).enumerate() {
-                    handles.push(scope.spawn(move || {
-                        subgraphs
-                            .iter()
-                            .enumerate()
-                            .skip(w)
-                            .step_by(workers)
-                            .map(|(qpu, sub)| (qpu, compile_one(qpu, sub, ws)))
-                            .collect::<Vec<_>>()
-                    }));
-                }
-                for h in handles {
-                    for (qpu, r) in h.join().expect("mapping worker panicked") {
-                        results[qpu] = Some(r);
-                    }
-                }
-            });
-        }
-        let compiled: Vec<CompiledProgram> = results
-            .into_iter()
-            .map(|r| r.expect("every QPU compiled"))
-            .collect::<Result<_, _>>()?;
-        Ok(Mapped {
+        map_stage(
+            &self.config,
             partitioned,
-            part_nodes,
-            compiled,
-        })
+            self.map_workers,
+            &mut self.mapper_ws,
+        )
     }
 
     /// Stage 4 — assembles the layer scheduling problem from the cut
@@ -383,87 +391,7 @@ impl CompileSession {
     /// [`Scheduled`] artifact.
     #[must_use]
     pub fn schedule(&mut self, mapped: Mapped<'_>) -> Scheduled {
-        let Mapped {
-            partitioned,
-            part_nodes,
-            compiled,
-        } = mapped;
-        let pattern = partitioned.transpiled.pattern;
-        let graph = pattern.graph();
-
-        // Global node → (qpu, storage-epoch layer).
-        let n = graph.node_count();
-        let mut node_slot = vec![(0usize, 0usize); n];
-        for (qpu, globals) in part_nodes.iter().enumerate() {
-            for (local, &global) in globals.iter().enumerate() {
-                node_slot[global.index()] = (qpu, compiled[qpu].effective_layer[local]);
-            }
-        }
-        // Intra-QPU fusee pairs in global node ids.
-        let mut fusee_pairs = Vec::new();
-        for (qpu, globals) in part_nodes.iter().enumerate() {
-            for pair in &compiled[qpu].fusee_pairs {
-                fusee_pairs.push((
-                    globals[pair.a.index()].index(),
-                    globals[pair.b.index()].index(),
-                ));
-            }
-        }
-        // Cut edges → synchronization tasks.
-        let sync_tasks: Vec<SyncTask> = partitioned
-            .adaptive
-            .partition
-            .cut_edges(graph)
-            .map(|(u, v, _)| SyncTask {
-                a: node_slot[u.index()],
-                b: node_slot[v.index()],
-            })
-            .collect();
-        let cut_edges = sync_tasks.len();
-        let main_counts: Vec<usize> = compiled.iter().map(|c| c.num_layers).collect();
-        let deps = pattern.dependency_graph().real_time().clone();
-        let mut problem =
-            LayerScheduleProblem::new(main_counts.clone(), sync_tasks, self.config.hardware.kmax())
-                .with_local(LocalStructure {
-                    node_slot,
-                    fusee_pairs,
-                    deps,
-                });
-        if let Some(d) = self.config.refresh_interval {
-            // Refresh re-injects any photon (connectors included) after
-            // at most `d` stored cycles, capping every lifetime term.
-            problem = problem.with_refresh_bound(d);
-        }
-
-        // List scheduling + BDIR, on the session's scheduler scratch.
-        let init = list_schedule_with(
-            &problem,
-            &default_priorities(&problem),
-            None,
-            &mut self.schedule_ws,
-        );
-        let schedule = match &self.config.bdir {
-            Some(cfg) => {
-                let mut bdir_cfg = *cfg;
-                bdir_cfg.seed = self.config.seed;
-                bdir_with(&problem, &init, &bdir_cfg, &mut self.schedule_ws)
-            }
-            None => init,
-        };
-        debug_assert!(problem.is_feasible(&schedule));
-        let cost = problem.evaluate(&schedule);
-        let refresh_events = compiled.iter().map(|c| c.refresh_events).sum();
-
-        DistributedSchedule::from_parts(
-            cost,
-            schedule,
-            problem,
-            partitioned.adaptive.partition,
-            partitioned.modularity,
-            cut_edges,
-            main_counts,
-            refresh_events,
-        )
+        schedule_stage(&self.config, mapped, &mut self.schedule_ws)
     }
 
     /// Drives a pattern through all four stages.
@@ -482,4 +410,225 @@ impl CompileSession {
         let mapped = self.map(partitioned)?;
         Ok(self.schedule(mapped))
     }
+}
+
+// ---------------------------------------------------------------------
+// Free stage functions.
+//
+// Each stage of the pipeline is a pure function of `(config, input
+// artifact, workspace)`. `CompileSession` binds them to its owned
+// workspaces; executors that pool workspaces across many concurrent
+// jobs (`mbqc-service`'s stage-graph executor) call them directly with
+// a checked-out workspace instead. Workspaces never influence results
+// (property-tested), so the two call styles are bit-identical.
+// ---------------------------------------------------------------------
+
+/// Stage 2 — adaptive graph partitioning (Algorithm 2) on the
+/// workload-weighted graph, using the caller's coarsening scratch.
+///
+/// Identical to [`CompileSession::partition`]; the session delegates
+/// here.
+#[must_use]
+pub fn partition_stage<'p>(
+    config: &DcMbqcConfig,
+    transpiled: Transpiled<'p>,
+    ws: &mut KwayWorkspace,
+) -> Partitioned<'p> {
+    let csr = workload_csr(transpiled.pattern.graph());
+    let mut adaptive_cfg = config.adaptive;
+    adaptive_cfg.k = config.hardware.num_qpus();
+    adaptive_cfg.seed = config.seed;
+    let adaptive = adaptive_partition_csr_with(&csr, &adaptive_cfg, ws);
+    let modularity = modularity_csr(&csr, &adaptive.partition);
+    Partitioned {
+        transpiled,
+        csr,
+        adaptive,
+        modularity,
+    }
+}
+
+/// Stage 3 — per-QPU grid compilation across `map_workers` threads
+/// (`0` = one per available core), using the caller's mapper
+/// workspaces (grown to the worker count on demand). Results are
+/// identical for every worker count: each QPU's compilation is
+/// independent and seeded by `config.seed ^ qpu`.
+///
+/// Identical to [`CompileSession::map`]; the session delegates here.
+///
+/// # Errors
+///
+/// Returns [`DcMbqcError::Compile`] for the lowest-indexed QPU whose
+/// grid cannot host its subprogram.
+pub fn map_stage<'p>(
+    config: &DcMbqcConfig,
+    partitioned: Partitioned<'p>,
+    map_workers: usize,
+    mapper_ws: &mut Vec<MapperWorkspace>,
+) -> Result<Mapped<'p>, DcMbqcError> {
+    let graph = partitioned.transpiled.pattern.graph();
+    let k = config.hardware.num_qpus();
+    // Guards externally injected partitions (`with_partition`): the
+    // adaptive stage always produces exactly one part per QPU.
+    assert_eq!(
+        partitioned.partition().k(),
+        k,
+        "partition has {} parts for {k} QPUs",
+        partitioned.partition().k()
+    );
+    // Per part: global nodes in placement order.
+    let mut part_nodes: Vec<Vec<NodeId>> = vec![Vec::new(); k];
+    for &u in &partitioned.transpiled.order {
+        part_nodes[partitioned.adaptive.partition.part_of(u)].push(u);
+    }
+    let subgraphs: Vec<Graph> = part_nodes
+        .iter()
+        .map(|nodes| graph.induced_subgraph(nodes).0)
+        .collect();
+
+    let workers = resolve_workers(map_workers, k);
+    if mapper_ws.len() < workers {
+        mapper_ws.resize_with(workers, MapperWorkspace::new);
+    }
+    let mut results: Vec<Option<Result<CompiledProgram, DcMbqcError>>> =
+        (0..k).map(|_| None).collect();
+    let compile_one = |qpu: usize, sub: &Graph, ws: &mut MapperWorkspace| {
+        let mapper = GridMapper::new(config.mapper_config(config.seed ^ (qpu as u64)));
+        let local_order: Vec<NodeId> = sub.nodes().collect();
+        mapper
+            .compile_with(sub, &local_order, ws)
+            .map_err(|source| DcMbqcError::Compile {
+                qpu: Some(qpu),
+                source,
+            })
+    };
+    if workers <= 1 {
+        let ws = &mut mapper_ws[0];
+        for (qpu, sub) in subgraphs.iter().enumerate() {
+            results[qpu] = Some(compile_one(qpu, sub, ws));
+        }
+    } else {
+        // Strided ownership: worker w compiles QPUs w, w + W, …,
+        // reusing its own persistent workspace. Assignment is
+        // static, so no scheduling decision can reach the results.
+        let subgraphs = &subgraphs;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for (w, ws) in mapper_ws.iter_mut().take(workers).enumerate() {
+                handles.push(scope.spawn(move || {
+                    subgraphs
+                        .iter()
+                        .enumerate()
+                        .skip(w)
+                        .step_by(workers)
+                        .map(|(qpu, sub)| (qpu, compile_one(qpu, sub, ws)))
+                        .collect::<Vec<_>>()
+                }));
+            }
+            for h in handles {
+                for (qpu, r) in h.join().expect("mapping worker panicked") {
+                    results[qpu] = Some(r);
+                }
+            }
+        });
+    }
+    let compiled: Vec<CompiledProgram> = results
+        .into_iter()
+        .map(|r| r.expect("every QPU compiled"))
+        .collect::<Result<_, _>>()?;
+    Ok(Mapped {
+        partitioned,
+        part_nodes,
+        compiled,
+    })
+}
+
+/// Stage 4 — assembles the layer scheduling problem from the cut edges
+/// and runs list scheduling plus BDIR, using the caller's scheduler
+/// scratch.
+///
+/// Identical to [`CompileSession::schedule`]; the session delegates
+/// here.
+#[must_use]
+pub fn schedule_stage(
+    config: &DcMbqcConfig,
+    mapped: Mapped<'_>,
+    ws: &mut ScheduleWorkspace,
+) -> Scheduled {
+    let Mapped {
+        partitioned,
+        part_nodes,
+        compiled,
+    } = mapped;
+    let pattern = partitioned.transpiled.pattern;
+    let graph = pattern.graph();
+
+    // Global node → (qpu, storage-epoch layer).
+    let n = graph.node_count();
+    let mut node_slot = vec![(0usize, 0usize); n];
+    for (qpu, globals) in part_nodes.iter().enumerate() {
+        for (local, &global) in globals.iter().enumerate() {
+            node_slot[global.index()] = (qpu, compiled[qpu].effective_layer[local]);
+        }
+    }
+    // Intra-QPU fusee pairs in global node ids.
+    let mut fusee_pairs = Vec::new();
+    for (qpu, globals) in part_nodes.iter().enumerate() {
+        for pair in &compiled[qpu].fusee_pairs {
+            fusee_pairs.push((
+                globals[pair.a.index()].index(),
+                globals[pair.b.index()].index(),
+            ));
+        }
+    }
+    // Cut edges → synchronization tasks.
+    let sync_tasks: Vec<SyncTask> = partitioned
+        .adaptive
+        .partition
+        .cut_edges(graph)
+        .map(|(u, v, _)| SyncTask {
+            a: node_slot[u.index()],
+            b: node_slot[v.index()],
+        })
+        .collect();
+    let cut_edges = sync_tasks.len();
+    let main_counts: Vec<usize> = compiled.iter().map(|c| c.num_layers).collect();
+    let deps = pattern.dependency_graph().real_time().clone();
+    let mut problem =
+        LayerScheduleProblem::new(main_counts.clone(), sync_tasks, config.hardware.kmax())
+            .with_local(LocalStructure {
+                node_slot,
+                fusee_pairs,
+                deps,
+            });
+    if let Some(d) = config.refresh_interval {
+        // Refresh re-injects any photon (connectors included) after
+        // at most `d` stored cycles, capping every lifetime term.
+        problem = problem.with_refresh_bound(d);
+    }
+
+    // List scheduling + BDIR, on the caller's scheduler scratch.
+    let init = list_schedule_with(&problem, &default_priorities(&problem), None, ws);
+    let schedule = match &config.bdir {
+        Some(cfg) => {
+            let mut bdir_cfg = *cfg;
+            bdir_cfg.seed = config.seed;
+            bdir_with(&problem, &init, &bdir_cfg, ws)
+        }
+        None => init,
+    };
+    debug_assert!(problem.is_feasible(&schedule));
+    let cost = problem.evaluate(&schedule);
+    let refresh_events = compiled.iter().map(|c| c.refresh_events).sum();
+
+    DistributedSchedule::from_parts(
+        cost,
+        schedule,
+        problem,
+        partitioned.adaptive.partition,
+        partitioned.modularity,
+        cut_edges,
+        main_counts,
+        refresh_events,
+    )
 }

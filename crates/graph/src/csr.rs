@@ -129,6 +129,52 @@ impl CsrGraph {
         }
     }
 
+    /// Builds a CSR graph directly from its raw arrays — the
+    /// zero-copy constructor for graph-contraction passes that
+    /// assemble the flat arrays themselves (e.g. the coarsening
+    /// rebuild that runs when the `reference-impls` oracle is compiled
+    /// out and no insertion order has to be mirrored).
+    ///
+    /// `offsets[u]..offsets[u+1]` must bound node `u`'s adjacency
+    /// slice in `neighbors`/`weights`, and each undirected edge must
+    /// appear in both endpoint slices with equal weight (symmetry is
+    /// the caller's contract; only the total counts are checked here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array shapes are inconsistent or the adjacency
+    /// length is odd.
+    #[must_use]
+    pub fn from_csr_parts(
+        offsets: Vec<u32>,
+        neighbors: Vec<NodeId>,
+        weights: Vec<i64>,
+        node_weights: Vec<i64>,
+    ) -> Self {
+        assert_eq!(offsets.len(), node_weights.len() + 1, "offset count");
+        assert_eq!(offsets.first(), Some(&0), "offsets must start at 0");
+        assert_eq!(
+            *offsets.last().expect("non-empty offsets") as usize,
+            neighbors.len(),
+            "offsets must end at the adjacency length"
+        );
+        assert_eq!(neighbors.len(), weights.len(), "parallel array length");
+        assert!(
+            neighbors.len().is_multiple_of(2),
+            "each undirected edge must appear twice"
+        );
+        let total_edge_weight: i64 = weights.iter().sum::<i64>() / 2;
+        let edge_count = neighbors.len() / 2;
+        Self {
+            offsets,
+            neighbors,
+            weights,
+            node_weights,
+            edge_count,
+            total_edge_weight,
+        }
+    }
+
     /// Number of nodes.
     #[must_use]
     pub fn node_count(&self) -> usize {

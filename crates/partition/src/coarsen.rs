@@ -125,10 +125,50 @@ pub struct CsrLevel {
     pub map: Vec<NodeId>,
 }
 
+/// How the coarse graph's adjacency is rebuilt after matching.
+///
+/// The two strategies produce the same coarse *edge set* with the same
+/// merged weights; they differ only in per-node neighbor order, which
+/// downstream random tie-breaks observe — so each is deterministic,
+/// but they yield different (equal-quality) partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoarseRebuild {
+    /// Replicate the first-encounter insertion order of
+    /// `Graph::add_edge_weighted` through a [`CsrBuilder`] dedup
+    /// table — the order the `reference-impls` oracle produces, kept
+    /// so the CSR hierarchy stays bit-identical to the adjacency-list
+    /// reference.
+    ///
+    /// [`CsrBuilder`]: mbqc_graph::csr::CsrBuilder
+    MirrorInsertion,
+    /// Contract per coarse node: walk each coarse node's (at most two)
+    /// fine members and accumulate their neighbors with a flat marker
+    /// array, emitting the CSR arrays directly. No global dedup hash
+    /// table, no second counting pass — the cheaper rebuild used when
+    /// the oracle is compiled out and there is no insertion order left
+    /// to mirror.
+    Contracted,
+}
+
+impl CoarseRebuild {
+    /// The build's default strategy: mirror the oracle's insertion
+    /// order while `reference-impls` is compiled in (the equivalence
+    /// proptests pin against it), contract directly once it is not.
+    #[must_use]
+    pub fn default_mode() -> Self {
+        if cfg!(feature = "reference-impls") {
+            CoarseRebuild::MirrorInsertion
+        } else {
+            CoarseRebuild::Contracted
+        }
+    }
+}
+
 /// Reusable scratch for the CSR coarsening hot path: the matching
-/// buffers and the [`CsrBuilder`] dedup table survive across levels and
-/// across whole partitioning calls, so repeated compilations stop
-/// re-allocating the coarsening hierarchy machinery.
+/// buffers, the [`CsrBuilder`] dedup table, and the contraction marker
+/// arrays survive across levels and across whole partitioning calls,
+/// so repeated compilations stop re-allocating the coarsening
+/// hierarchy machinery.
 ///
 /// [`CsrBuilder`]: mbqc_graph::csr::CsrBuilder
 #[derive(Debug, Default)]
@@ -139,6 +179,10 @@ pub struct CoarsenWorkspace {
     counts: Vec<u32>,
     sorted: Vec<usize>,
     builder: Option<mbqc_graph::csr::CsrBuilder>,
+    /// Contracted-rebuild scratch: per-coarse-node last-visitor stamp.
+    mark: Vec<u32>,
+    /// Contracted-rebuild scratch: coarse neighbor → adjacency slot.
+    pos: Vec<u32>,
 }
 
 impl CoarsenWorkspace {
@@ -160,12 +204,27 @@ pub fn coarsen_once_csr(g: &CsrGraph, rng: &mut Rng) -> Option<CsrLevel> {
 }
 
 /// [`coarsen_once_csr`] with caller-owned scratch buffers — bit-identical
-/// results, zero steady-state allocation for the matching pass.
+/// results, zero steady-state allocation for the matching pass. Uses
+/// the build's default [`CoarseRebuild`] strategy.
 #[must_use]
 pub fn coarsen_once_csr_with(
     g: &CsrGraph,
     rng: &mut Rng,
     ws: &mut CoarsenWorkspace,
+) -> Option<CsrLevel> {
+    coarsen_once_csr_rebuild(g, rng, ws, CoarseRebuild::default_mode())
+}
+
+/// [`coarsen_once_csr_with`] with an explicit coarse-graph rebuild
+/// strategy (the default-mode entry points are what production callers
+/// use; an explicit mode lets tests compare the strategies directly in
+/// either feature configuration).
+#[must_use]
+pub fn coarsen_once_csr_rebuild(
+    g: &CsrGraph,
+    rng: &mut Rng,
+    ws: &mut CoarsenWorkspace,
+    rebuild: CoarseRebuild,
 ) -> Option<CsrLevel> {
     let n = g.node_count();
     // Heaviest-incident-edge-first visiting makes heavy edges reliably
@@ -276,27 +335,47 @@ pub fn coarsen_once_csr_with(
         return None;
     }
     // Assign coarse ids: the lower-index endpoint of each pair owns it.
+    // `fine_of` records each coarse node's (≤ 2) fine members for the
+    // contracted rebuild.
     let mut map = vec![NodeId::new(0); n];
     let mut coarse_weights: Vec<i64> = Vec::new();
+    let mut fine_of: Vec<(u32, u32)> = Vec::new();
     for i in 0..n {
         let u = NodeId::new(i);
         match mate[i] {
             Some(v) if v.index() < i => {
                 map[i] = map[v.index()]; // already created by the partner
+                fine_of[map[i].index()].1 = i as u32;
             }
             Some(v) => {
                 map[i] = NodeId::new(coarse_weights.len());
                 coarse_weights.push(g.node_weight(u) + g.node_weight(v));
+                fine_of.push((i as u32, u32::MAX));
             }
             None => {
                 map[i] = NodeId::new(coarse_weights.len());
                 coarse_weights.push(g.node_weight(u));
+                fine_of.push((i as u32, u32::MAX));
             }
         }
     }
-    // Accumulate coarse edges with the same first-encounter insertion
-    // order `Graph::add_edge_weighted` produces, then freeze to CSR.
-    // The builder's dedup table is recycled from previous levels.
+    let graph = match rebuild {
+        CoarseRebuild::MirrorInsertion => rebuild_mirrored(g, &map, coarse_weights, ws),
+        CoarseRebuild::Contracted => rebuild_contracted(g, &map, &fine_of, coarse_weights, ws),
+    };
+    Some(CsrLevel { graph, map })
+}
+
+/// Coarse-graph rebuild that replicates the first-encounter insertion
+/// order of `Graph::add_edge_weighted` through the recycled
+/// [`CsrBuilder`](mbqc_graph::csr::CsrBuilder) dedup table — the order
+/// the `reference-impls` oracle produces.
+fn rebuild_mirrored(
+    g: &CsrGraph,
+    map: &[NodeId],
+    coarse_weights: Vec<i64>,
+    ws: &mut CoarsenWorkspace,
+) -> CsrGraph {
     let mut builder = match ws.builder.take() {
         Some(mut b) => {
             b.reset(coarse_weights, g.edge_count());
@@ -319,7 +398,58 @@ pub fn coarsen_once_csr_with(
     }
     let graph = builder.finish();
     ws.builder = Some(builder);
-    Some(CsrLevel { graph, map })
+    graph
+}
+
+/// Coarse-graph rebuild by direct contraction: emits each coarse
+/// node's adjacency in one pass over its fine members' edges, merging
+/// parallel edges through a flat marker/slot pair instead of a dedup
+/// hash table, and writes the CSR arrays in place. Neighbor order is
+/// fine-member encounter order per coarse node — deterministic, but
+/// *not* the oracle's insertion order.
+fn rebuild_contracted(
+    g: &CsrGraph,
+    map: &[NodeId],
+    fine_of: &[(u32, u32)],
+    coarse_weights: Vec<i64>,
+    ws: &mut CoarsenWorkspace,
+) -> CsrGraph {
+    let nc = coarse_weights.len();
+    let mark = &mut ws.mark;
+    mark.clear();
+    mark.resize(nc, u32::MAX);
+    let pos = &mut ws.pos;
+    pos.clear();
+    pos.resize(nc, 0);
+    let mut offsets: Vec<u32> = Vec::with_capacity(nc + 1);
+    offsets.push(0);
+    let mut neighbors: Vec<NodeId> = Vec::with_capacity(2 * g.edge_count());
+    let mut weights: Vec<i64> = Vec::with_capacity(2 * g.edge_count());
+    for (c, &(a, b)) in fine_of.iter().enumerate() {
+        for fine in [a, b] {
+            if fine == u32::MAX {
+                continue;
+            }
+            let u = NodeId::new(fine as usize);
+            let edge_weights = g.neighbor_weights(u);
+            for (j, &v) in g.neighbors(u).iter().enumerate() {
+                let cv = map[v.index()].index();
+                if cv == c {
+                    continue; // collapsed (or self) edge
+                }
+                if mark[cv] == c as u32 {
+                    weights[pos[cv] as usize] += edge_weights[j];
+                } else {
+                    mark[cv] = c as u32;
+                    pos[cv] = neighbors.len() as u32;
+                    neighbors.push(NodeId::new(cv));
+                    weights.push(edge_weights[j]);
+                }
+            }
+        }
+        offsets.push(neighbors.len() as u32);
+    }
+    CsrGraph::from_csr_parts(offsets, neighbors, weights, coarse_weights)
 }
 
 /// CSR-native [`coarsen_to`]: coarsens until at most `target_nodes`
@@ -332,12 +462,26 @@ pub fn coarsen_to_csr(g: &CsrGraph, target_nodes: usize, rng: &mut Rng) -> Vec<C
 /// [`coarsen_to_csr`] with a caller-owned [`CoarsenWorkspace`]; the
 /// matching buffers and builder tables are reused across every level of
 /// the hierarchy (and across calls when the caller keeps the workspace).
+/// Uses the build's default [`CoarseRebuild`] strategy.
 #[must_use]
 pub fn coarsen_to_csr_with(
     g: &CsrGraph,
     target_nodes: usize,
     rng: &mut Rng,
     ws: &mut CoarsenWorkspace,
+) -> Vec<CsrLevel> {
+    coarsen_to_csr_rebuild(g, target_nodes, rng, ws, CoarseRebuild::default_mode())
+}
+
+/// [`coarsen_to_csr_with`] with an explicit coarse-graph rebuild
+/// strategy.
+#[must_use]
+pub fn coarsen_to_csr_rebuild(
+    g: &CsrGraph,
+    target_nodes: usize,
+    rng: &mut Rng,
+    ws: &mut CoarsenWorkspace,
+    rebuild: CoarseRebuild,
 ) -> Vec<CsrLevel> {
     let mut levels: Vec<CsrLevel> = Vec::new();
     while levels
@@ -347,7 +491,7 @@ pub fn coarsen_to_csr_with(
     {
         let current: &CsrGraph = levels.last().map_or(g, |l| &l.graph);
         let before = current.node_count();
-        let Some(level) = coarsen_once_csr_with(current, rng, ws) else {
+        let Some(level) = coarsen_once_csr_rebuild(current, rng, ws, rebuild) else {
             break;
         };
         let shrink = level.graph.node_count() as f64 / before as f64;
@@ -426,6 +570,20 @@ mod tests {
         assert!(coarsen_to(&g, 10, &mut rng).is_empty());
     }
 
+    /// Coarsens with the order-mirroring rebuild pinned (the
+    /// Graph-hierarchy equivalence only holds for that mode; the
+    /// build default switches to `Contracted` without
+    /// `reference-impls`).
+    fn coarsen_to_csr_mirrored(g: &CsrGraph, target: usize, rng: &mut Rng) -> Vec<CsrLevel> {
+        coarsen_to_csr_rebuild(
+            g,
+            target,
+            rng,
+            &mut CoarsenWorkspace::new(),
+            CoarseRebuild::MirrorInsertion,
+        )
+    }
+
     #[test]
     fn csr_hierarchy_identical_to_graph_hierarchy() {
         let g = generate::grid_graph(9, 9);
@@ -433,7 +591,7 @@ mod tests {
         let mut rng_a = Rng::seed_from_u64(8);
         let mut rng_b = Rng::seed_from_u64(8);
         let adj_levels = coarsen_to(&g, 12, &mut rng_a);
-        let csr_levels = coarsen_to_csr(&csr, 12, &mut rng_b);
+        let csr_levels = coarsen_to_csr_mirrored(&csr, 12, &mut rng_b);
         assert_eq!(adj_levels.len(), csr_levels.len());
         for (a, b) in adj_levels.iter().zip(&csr_levels) {
             assert_eq!(a.map, b.map);
@@ -473,7 +631,7 @@ mod tests {
         let mut rng_a = Rng::seed_from_u64(11);
         let mut rng_b = Rng::seed_from_u64(11);
         let adj_levels = coarsen_to(&g, 10, &mut rng_a);
-        let csr_levels = coarsen_to_csr(&csr, 10, &mut rng_b);
+        let csr_levels = coarsen_to_csr_mirrored(&csr, 10, &mut rng_b);
         assert_eq!(adj_levels.len(), csr_levels.len());
         assert!(!adj_levels.is_empty());
         for (a, b) in adj_levels.iter().zip(&csr_levels) {

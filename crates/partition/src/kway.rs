@@ -10,7 +10,7 @@
 use mbqc_graph::{algo, CsrGraph, Graph, NodeId};
 use mbqc_util::Rng;
 
-use crate::coarsen::{coarsen_to_csr_with, CoarsenWorkspace};
+use crate::coarsen::{coarsen_to_csr_rebuild, CoarseRebuild, CoarsenWorkspace};
 use crate::refine::{fm_refine_csr, rebalance_csr, refine_csr};
 use crate::Partition;
 
@@ -304,6 +304,21 @@ pub fn multilevel_kway_csr_with(
     config: &KwayConfig,
     ws: &mut KwayWorkspace,
 ) -> Partition {
+    multilevel_kway_csr_rebuild(g, config, ws, CoarseRebuild::default_mode())
+}
+
+/// [`multilevel_kway_csr_with`] with an explicit coarse-graph rebuild
+/// strategy — a test hook for comparing the strategies' partition
+/// quality under either feature configuration; production callers use
+/// the build default.
+#[doc(hidden)]
+#[must_use]
+pub fn multilevel_kway_csr_rebuild(
+    g: &CsrGraph,
+    config: &KwayConfig,
+    ws: &mut KwayWorkspace,
+    rebuild: CoarseRebuild,
+) -> Partition {
     assert!(config.k >= 1, "k must be positive");
     assert!(config.alpha >= 1.0, "alpha must be at least 1");
     let mut rng = Rng::seed_from_u64(config.seed);
@@ -314,7 +329,7 @@ pub fn multilevel_kway_csr_with(
     }
     let max_w = weight_bound(g, config.k, config.alpha);
     let target_coarse = (config.k * 16).max(48);
-    let levels = coarsen_to_csr_with(g, target_coarse, &mut rng, &mut ws.coarsen);
+    let levels = coarsen_to_csr_rebuild(g, target_coarse, &mut rng, &mut ws.coarsen, rebuild);
 
     let coarsest: &CsrGraph = levels.last().map_or(g, |l| &l.graph);
     let mut part = run_restarts(coarsest, config, max_w, &mut rng);

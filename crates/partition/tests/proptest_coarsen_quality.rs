@@ -1,0 +1,142 @@
+//! The two coarse-graph rebuild strategies ([`CoarseRebuild`]) must be
+//! interchangeable in everything but neighbor order: identical coarse
+//! edge sets at each matched level, and — since neighbor order shifts
+//! downstream random tie-breaks — *equal-quality* (not bit-identical)
+//! partitions. This file runs under both feature configurations; CI
+//! exercises it with `--no-default-features`, where `Contracted` is
+//! the production default.
+
+use mbqc_graph::{generate, CsrGraph, NodeId};
+use mbqc_partition::coarsen::{coarsen_once_csr_rebuild, CoarseRebuild, CoarsenWorkspace};
+use mbqc_partition::kway::multilevel_kway_csr_rebuild;
+use mbqc_partition::{KwayConfig, KwayWorkspace};
+use mbqc_util::Rng;
+use proptest::prelude::*;
+
+fn random_graph(n: usize, edge_factor: usize, seed: u64) -> CsrGraph {
+    let p = (edge_factor as f64) / (n as f64);
+    CsrGraph::from_graph(&generate::erdos_renyi_gnp(
+        n,
+        p.min(0.9),
+        &mut Rng::seed_from_u64(seed),
+    ))
+}
+
+/// Canonical edge set: sorted `(a, b, w)` with `a < b`.
+fn edge_set(g: &CsrGraph) -> Vec<(usize, usize, i64)> {
+    let mut edges: Vec<(usize, usize, i64)> = g
+        .edges()
+        .map(|(a, b, w)| (a.index(), b.index(), w))
+        .collect();
+    edges.sort_unstable();
+    edges
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// One matching round rebuilt both ways: same matching (same RNG),
+    /// same coarse node weights, same merged edge set — only neighbor
+    /// order may differ.
+    #[test]
+    fn rebuilds_agree_on_the_coarse_graph(
+        n in 8usize..150,
+        edge_factor in 1usize..6,
+        seed in 0u64..10_000,
+    ) {
+        let g = random_graph(n, edge_factor, seed);
+        let run = |rebuild| {
+            let mut rng = Rng::seed_from_u64(seed ^ 0xc0a3);
+            coarsen_once_csr_rebuild(&g, &mut rng, &mut CoarsenWorkspace::new(), rebuild)
+        };
+        let mirrored = run(CoarseRebuild::MirrorInsertion);
+        let contracted = run(CoarseRebuild::Contracted);
+        match (mirrored, contracted) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                prop_assert_eq!(&a.map, &b.map, "matching must not depend on the rebuild");
+                prop_assert_eq!(a.graph.node_count(), b.graph.node_count());
+                prop_assert_eq!(a.graph.total_node_weight(), b.graph.total_node_weight());
+                prop_assert_eq!(a.graph.total_edge_weight(), b.graph.total_edge_weight());
+                prop_assert_eq!(edge_set(&a.graph), edge_set(&b.graph));
+                for u in 0..a.graph.node_count() {
+                    let u = NodeId::new(u);
+                    prop_assert_eq!(a.graph.node_weight(u), b.graph.node_weight(u));
+                    prop_assert_eq!(a.graph.degree(u), b.graph.degree(u));
+                }
+            }
+            (a, b) => {
+                prop_assert!(false, "one rebuild coarsened, the other did not: {:?} vs {:?}",
+                    a.is_some(), b.is_some());
+            }
+        }
+    }
+
+    /// Full-pipeline sanity per graph: the contracted rebuild's
+    /// partition stays balanced and its cut is never *catastrophically*
+    /// worse than the mirrored one (the tight aggregate bound lives in
+    /// `contracted_cut_no_worse_over_200_random_graphs`).
+    #[test]
+    fn contracted_partition_balanced_and_sane(
+        n in 16usize..120,
+        edge_factor in 2usize..6,
+        k in 2usize..5,
+        seed in 0u64..10_000,
+    ) {
+        let g = random_graph(n, edge_factor, seed);
+        let cfg = KwayConfig::new(k).with_seed(seed).with_probe_workers(1);
+        let run = |rebuild| {
+            multilevel_kway_csr_rebuild(&g, &cfg, &mut KwayWorkspace::new(), rebuild)
+        };
+        let mirrored = run(CoarseRebuild::MirrorInsertion);
+        let contracted = run(CoarseRebuild::Contracted);
+        prop_assert_eq!(contracted.k(), k);
+        prop_assert_eq!(contracted.len(), g.node_count());
+        // Both runs face the same bound; neither may be less balanced
+        // than the other beyond the bound itself.
+        prop_assert!(
+            contracted.is_balanced_csr(&g, 1.5) || !mirrored.is_balanced_csr(&g, 1.5),
+            "contracted rebuild lost balance: {} vs {}",
+            contracted.imbalance_csr(&g),
+            mirrored.imbalance_csr(&g)
+        );
+        let (cm, cc) = (mirrored.cut_weight_csr(&g), contracted.cut_weight_csr(&g));
+        prop_assert!(
+            cc <= cm * 2 + 8,
+            "contracted cut collapsed: {} vs mirrored {}",
+            cc,
+            cm
+        );
+    }
+}
+
+/// The satellite acceptance bound: over 200 random graphs, the
+/// contracted rebuild's total cut is no worse than the mirrored
+/// rebuild's (random tie-breaks swing individual graphs both ways; the
+/// aggregate must not regress).
+#[test]
+fn contracted_cut_no_worse_over_200_random_graphs() {
+    let mut total_mirrored = 0i64;
+    let mut total_contracted = 0i64;
+    let mut ws_m = KwayWorkspace::new();
+    let mut ws_c = KwayWorkspace::new();
+    for seed in 0u64..200 {
+        let n = 16 + (seed as usize * 7) % 100;
+        let edge_factor = 2 + (seed as usize) % 4;
+        let k = 2 + (seed as usize) % 3;
+        let g = random_graph(n, edge_factor, seed * 31 + 1);
+        let cfg = KwayConfig::new(k).with_seed(seed).with_probe_workers(1);
+        total_mirrored +=
+            multilevel_kway_csr_rebuild(&g, &cfg, &mut ws_m, CoarseRebuild::MirrorInsertion)
+                .cut_weight_csr(&g);
+        total_contracted +=
+            multilevel_kway_csr_rebuild(&g, &cfg, &mut ws_c, CoarseRebuild::Contracted)
+                .cut_weight_csr(&g);
+    }
+    // "No worse": within 2% in aggregate (both directions are pure
+    // tie-break noise; this is deterministic, so a pass is stable).
+    assert!(
+        total_contracted as f64 <= total_mirrored as f64 * 1.02,
+        "contracted rebuild degrades cut quality: {total_contracted} vs {total_mirrored}"
+    );
+}

@@ -1,0 +1,282 @@
+//! The stage-graph executor: workers drain a shared priority queue of
+//! *stage tasks* instead of whole jobs.
+//!
+//! Every submitted job is decomposed into `Transpile` → `Partition` →
+//! `Map` → `Schedule` tasks with explicit data dependencies (tracked by
+//! the job's [`StageGraph`](dc_mbqc::StageGraph)). A worker pops the
+//! highest-priority ready task, executes exactly one stage on
+//! workspaces checked out of the shared
+//! [`WorkspacePool`](dc_mbqc::WorkspacePool), and returns the job to
+//! the queue with its next task ready — so stages of *different* jobs
+//! overlap across workers, and a long batch job never blocks an
+//! interactive job for more than one stage's duration.
+//!
+//! Cache integration is per task:
+//!
+//! * the `Transpile` task doubles as the job's planning step — it
+//!   probes the [`ArtifactStore`](crate::ArtifactStore)
+//!   deepest-artifact-first and fast-forwards the job's stage graph
+//!   past every stage a cached artifact already answers (re-entry via
+//!   [`Partitioned::with_partition`] / [`Mapped::from_parts`]);
+//! * every later task re-consults the store for its own stage key
+//!   before computing, so an artifact published mid-flight (say by a
+//!   concurrent duplicate job) is still picked up;
+//! * every computed artifact is stored the moment its task completes,
+//!   not at the end of the job — a duplicate job one stage behind can
+//!   hit it immediately.
+//!
+//! Between tasks a job carries only *owned* state (placement order,
+//! partition, compiled programs); the borrow-holding stage artifacts
+//! are rebuilt transiently inside each task through the same re-entry
+//! constructors the cache path uses, which is exactly why any task
+//! interleaving stays bit-identical to a direct `compile_pattern`
+//! (property-tested across worker counts × priority mixes × cache
+//! states).
+
+use std::time::Instant;
+
+use dc_mbqc::{
+    map_stage, partition_stage, schedule_stage, DcMbqcError, DistributedSchedule, Mapped,
+    Partitioned, StageKind, Transpiled,
+};
+use mbqc_partition::Partition;
+
+use crate::service::{
+    decode_mapped, encode_mapped, panic_message, part_nodes_of, partition_fits, probe_cache,
+    programs_fit, CacheEntry, JobState, ServiceError, Shared, StageKeys,
+};
+
+/// One stage-graph worker: pop ready stage tasks until shutdown *and*
+/// the queue is drained.
+pub(crate) fn stage_loop(shared: &Shared) {
+    while let Some((seq, mut state)) = shared.next_job() {
+        let kind = state
+            .stages
+            .ready()
+            .expect("queued job has a ready stage task");
+        let start = Instant::now();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_stage_task(shared, &mut state, kind)
+        }));
+        state.latency_ns += start.elapsed().as_nanos() as u64;
+        {
+            let mut c = shared.counters.lock().expect("counters lock");
+            c.tasks_executed += 1;
+        }
+        match outcome {
+            Ok(Ok(Some(result))) => shared.finish_job(seq, Ok(result), state.latency_ns),
+            Ok(Ok(None)) => shared.requeue(seq, state),
+            Ok(Err(e)) => shared.finish_job(seq, Err(ServiceError::Compile(e)), state.latency_ns),
+            // A panicking task never returns its checked-out workspace
+            // to the pool (the buffers may be mid-update); the pool
+            // re-allocates on the next checkout.
+            Err(panic) => shared.finish_job(
+                seq,
+                Err(ServiceError::Internal(panic_message(&panic))),
+                state.latency_ns,
+            ),
+        }
+    }
+}
+
+/// Executes one stage task of one job. `Ok(Some(..))` carries the
+/// job's final result; `Ok(None)` means the next stage task is ready.
+fn run_stage_task(
+    shared: &Shared,
+    state: &mut JobState,
+    kind: StageKind,
+) -> Result<Option<DistributedSchedule>, DcMbqcError> {
+    match kind {
+        StageKind::Transpile => transpile_task(shared, state),
+        StageKind::Partition => partition_task(shared, state),
+        StageKind::Map => map_task(shared, state),
+        StageKind::Schedule => schedule_task(shared, state),
+    }
+}
+
+/// The planning task: derives the placement order and probes the cache
+/// deepest-artifact-first, fast-forwarding past answered stages.
+fn transpile_task(
+    shared: &Shared,
+    state: &mut JobState,
+) -> Result<Option<DistributedSchedule>, DcMbqcError> {
+    let keys = StageKeys::new(&state.pattern, &state.config);
+    let entry = probe_cache(shared, &keys, &state.pattern, &state.config);
+    state.keys = Some(keys);
+    if let CacheEntry::Scheduled(s) = entry {
+        // Terminal hit: the job never runs another task (the flow
+        // check is subsumed — a stored schedule proves the pattern
+        // compiled before).
+        state.stages.finish();
+        return Ok(Some(*s));
+    }
+    let transpiled = Transpiled::new(&state.pattern)?;
+    state.order = Some(transpiled.placement_order().to_vec());
+    state.stages.complete(StageKind::Transpile);
+    match entry {
+        CacheEntry::Mapped(partition, programs) => {
+            state.partition = Some(partition);
+            state.programs = Some(programs);
+            state.stages.skip_to(StageKind::Schedule);
+        }
+        CacheEntry::Partitioned(partition) => {
+            state.partition = Some(partition);
+            state.stages.skip_to(StageKind::Map);
+        }
+        CacheEntry::Miss | CacheEntry::Scheduled(_) => {}
+    }
+    Ok(None)
+}
+
+/// Stage task 2: adaptive partitioning on a pooled coarsening
+/// workspace.
+fn partition_task(
+    shared: &Shared,
+    state: &mut JobState,
+) -> Result<Option<DistributedSchedule>, DcMbqcError> {
+    let keys = state.keys.as_ref().expect("planning task ran first");
+    // Re-consult the store: a concurrent duplicate job may have
+    // published this stage since the probe.
+    if let Some(bytes) = shared.store.get(&keys.part) {
+        if let Ok(p) = Partition::from_bytes(&bytes) {
+            if partition_fits(&p, &state.pattern, &state.config) {
+                shared
+                    .counters
+                    .lock()
+                    .expect("counters lock")
+                    .task_store_hits += 1;
+                state.partition = Some(p);
+                state.stages.complete(StageKind::Partition);
+                return Ok(None);
+            }
+        }
+    }
+    let mut config = state.config.clone();
+    if shared.workers > 1 {
+        // The worker fleet already saturates the machine; pin the
+        // restart probes to one thread. Worker counts never change
+        // results, and the artifact keys ignore this knob.
+        config.adaptive.probe_workers = 1;
+    }
+    let mut ws = shared.pool.checkout_kway();
+    let (partition, cache) = {
+        let transpiled = transpiled_of(state);
+        let partitioned = partition_stage(&config, transpiled, &mut ws);
+        (partitioned.partition().clone(), partitioned.cache())
+    };
+    shared.pool.checkin_kway(ws);
+    shared.store.put(&keys.part, partition.to_bytes());
+    state.partition = Some(partition);
+    state.part_cache = Some(cache);
+    state.stages.complete(StageKind::Partition);
+    Ok(None)
+}
+
+/// Stage task 3: per-QPU grid mapping on a pooled mapper-workspace
+/// bundle.
+fn map_task(
+    shared: &Shared,
+    state: &mut JobState,
+) -> Result<Option<DistributedSchedule>, DcMbqcError> {
+    let keys = state.keys.as_ref().expect("planning task ran first");
+    if let Some(bytes) = shared.store.get(&keys.map) {
+        if let Ok((p, programs)) = decode_mapped(&bytes) {
+            if partition_fits(&p, &state.pattern, &state.config) && programs_fit(&p, &programs) {
+                shared
+                    .counters
+                    .lock()
+                    .expect("counters lock")
+                    .task_store_hits += 1;
+                // The adopted partition replaces whatever the partition
+                // task computed; the cached derivation belongs to the
+                // *old* partition, so drop it — the schedule task must
+                // re-derive metrics consistent with the adopted one.
+                state.partition = Some(p);
+                state.part_cache = None;
+                state.programs = Some(programs);
+                state.stages.complete(StageKind::Map);
+                return Ok(None);
+            }
+        }
+    }
+    let map_workers = if shared.workers > 1 { 1 } else { 0 };
+    let mut ws = shared.pool.checkout_mapper();
+    let outcome = {
+        let transpiled = transpiled_of(state);
+        let partition = state.partition.clone().expect("partition stage ran");
+        let partitioned = partitioned_of(state, transpiled, partition);
+        // Fill the derivation cache for the schedule task if this is
+        // the first construction (a `Partitioned` cache-probe hit
+        // enters here without one).
+        let cache = state.part_cache.is_none().then(|| partitioned.cache());
+        map_stage(&state.config, partitioned, map_workers, &mut ws)
+            .map(|mapped| (encode_mapped(&mapped), mapped.programs().to_vec(), cache))
+    };
+    shared.pool.checkin_mapper(ws);
+    let (artifact, programs, cache) = outcome?;
+    shared.store.put(&keys.map, artifact);
+    state.programs = Some(programs);
+    if cache.is_some() {
+        state.part_cache = cache;
+    }
+    state.stages.complete(StageKind::Map);
+    Ok(None)
+}
+
+/// Stage task 4: layer scheduling on a pooled scheduler workspace;
+/// produces the job's result.
+fn schedule_task(
+    shared: &Shared,
+    state: &mut JobState,
+) -> Result<Option<DistributedSchedule>, DcMbqcError> {
+    let keys = state.keys.as_ref().expect("planning task ran first");
+    if let Some(bytes) = shared.store.get(&keys.sched) {
+        if let Ok(s) = DistributedSchedule::from_bytes(&bytes) {
+            shared
+                .counters
+                .lock()
+                .expect("counters lock")
+                .task_store_hits += 1;
+            state.stages.complete(StageKind::Schedule);
+            return Ok(Some(s));
+        }
+    }
+    let mut ws = shared.pool.checkout_schedule();
+    let programs = state.programs.take().expect("map stage ran");
+    let scheduled = {
+        let transpiled = transpiled_of(state);
+        let partition = state.partition.clone().expect("partition stage ran");
+        let partitioned = partitioned_of(state, transpiled, partition);
+        let part_nodes = part_nodes_of(&partitioned);
+        let mapped = Mapped::from_parts(partitioned, part_nodes, programs);
+        schedule_stage(&state.config, mapped, &mut ws)
+    };
+    shared.pool.checkin_schedule(ws);
+    shared.store.put(&keys.sched, scheduled.to_bytes());
+    state.stages.complete(StageKind::Schedule);
+    Ok(Some(scheduled))
+}
+
+/// Rebuilds the stage-1 artifact from the job's retained placement
+/// order (no flow recomputation).
+fn transpiled_of(state: &JobState) -> Transpiled<'_> {
+    Transpiled::from_parts(
+        &state.pattern,
+        state.order.clone().expect("transpile task ran"),
+    )
+}
+
+/// Rebuilds the stage-2 artifact, reusing the job's cached derivation
+/// (workload CSR + metrics) when a previous task already computed it —
+/// one memcpy instead of a per-task CSR rebuild plus modularity/cut
+/// recomputation.
+fn partitioned_of<'p>(
+    state: &JobState,
+    transpiled: Transpiled<'p>,
+    partition: Partition,
+) -> Partitioned<'p> {
+    match &state.part_cache {
+        Some(cache) => Partitioned::with_partition_cached(transpiled, partition, cache.clone()),
+        None => Partitioned::with_partition(transpiled, partition),
+    }
+}

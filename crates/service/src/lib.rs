@@ -1,15 +1,53 @@
 //! # mbqc-service
 //!
-//! A sharded compilation service over the DC-MBQC staged pipeline,
-//! with a content-addressed stage-artifact cache.
+//! A pipelined compilation service over the DC-MBQC staged pipeline,
+//! with a priority-aware stage-task scheduler and a content-addressed
+//! stage-artifact cache.
+//!
+//! # Architecture
+//!
+//! ## Job → stage-task decomposition
+//!
+//! A submitted job `(pattern, config, priority)` is not executed as one
+//! monolithic pipeline run. The stage-graph executor (the default
+//! [`ExecutionEngine`]) decomposes it into four stage tasks with
+//! explicit data dependencies,
+//!
+//! > `Transpile` → `Partition` → `Map` → `Schedule`
+//!
+//! tracked by a per-job [`dc_mbqc::StageGraph`]. All jobs' ready tasks
+//! sit in one shared priority queue that every worker drains: worker A
+//! can partition job 2 while worker B schedules job 1. Between tasks a
+//! job carries only owned state (placement order, partition, compiled
+//! programs); each task rebuilds the borrow-holding stage artifact it
+//! needs through the pipeline's re-entry constructors
+//! ([`dc_mbqc::Partitioned::with_partition`],
+//! [`dc_mbqc::Mapped::from_parts`]) and runs the matching stage
+//! function ([`dc_mbqc::partition_stage`] & co.) on workspaces checked
+//! out of a shared [`dc_mbqc::WorkspacePool`].
+//!
+//! The preserved PR 3 whole-job shard loop remains available as
+//! [`ExecutionEngine::JobLoop`] — it is the baseline the
+//! `end_to_end/pipelined_batch` kernel and the engine-equivalence
+//! property tests compare the executor against.
+//!
+//! ## Priority semantics
+//!
+//! Jobs carry a [`Priority`] (`Interactive` > `Normal` > `Batch`).
+//! The ready-queue pops the highest priority first and submission
+//! order within a class. Because the executor schedules *stage tasks*,
+//! an interactive job submitted behind a deep batch backlog waits for
+//! at most one in-flight task per worker before its own first task
+//! runs — it does not wait for whole batch pipelines. Priority never
+//! changes any job's result (property-tested), only when it runs.
+//!
+//! ## Cache re-entry points
 //!
 //! Production traffic repeats itself: the same circuit families, the
-//! same hardware configurations, shared prefixes of both. The staged
-//! decomposition (`Transpiled` → `Partitioned` → `Mapped` →
-//! `Scheduled`) makes that repetition exploitable — each stage output
-//! is addressed by a deterministic fingerprint of `(pattern content,
-//! stage-scoped configuration)`, so a repeat job short-circuits at the
-//! deepest cached stage:
+//! same hardware configurations, shared prefixes of both. Each stage
+//! output is addressed by `(stage, stage-scoped config fingerprint,
+//! pattern content)`, so a repeat job short-circuits at the deepest
+//! cached stage:
 //!
 //! | cache hit at | work skipped |
 //! |---|---|
@@ -17,28 +55,40 @@
 //! | `Mapped` | partitioning *and* per-QPU grid mapping |
 //! | `Partitioned` | partitioning (the α-search of Algorithm 2) |
 //!
-//! Because configuration fingerprints are *stage-scoped*, changing a
-//! late-stage knob (say the BDIR budget) still hits the `Partitioned`
-//! and `Mapped` artifacts computed under the old configuration.
+//! The store is consulted *per task*, not per job: the job's first
+//! task probes deepest-artifact-first and fast-forwards the stage
+//! graph, every later task re-checks its own stage key before
+//! computing (catching artifacts published mid-flight by concurrent
+//! duplicate jobs), and every computed artifact is published the
+//! moment its task completes. Because configuration fingerprints are
+//! *stage-scoped*, changing a late-stage knob (say the BDIR budget)
+//! still hits the `Partitioned` and `Mapped` artifacts computed under
+//! the old configuration.
 //!
 //! The cache has an in-memory LRU tier and an optional on-disk tier
 //! (hand-rolled binary codecs; the build box is offline, so there is
-//! no serde). Disk artifacts survive restarts: a fresh service pointed
-//! at the same directory starts warm.
+//! no serde). Disk artifacts survive restarts — a fresh service
+//! pointed at the same directory starts warm — and the disk tier is
+//! bounded: a byte budget with least-recently-accessed eviction, plus
+//! an optional TTL ([`StoreConfig::disk_capacity`],
+//! [`StoreConfig::disk_ttl`]).
 //!
-//! **Determinism is the contract**: for any shard count and any cache
-//! state — cold, warm, disk-restored — results are bit-identical to a
-//! direct [`dc_mbqc::DcMbqcCompiler::compile_pattern`] call
-//! (property-tested).
+//! **Determinism is the contract**: for any engine, worker count,
+//! priority mix, and cache state — cold, warm, disk-restored — results
+//! are bit-identical to a direct
+//! [`dc_mbqc::DcMbqcCompiler::compile_pattern`] call (property-tested).
 //!
 //! # Example
+//!
+//! An interactive job submitted after a pile of batch work still pops
+//! first, and repeat traffic is answered from the cache:
 //!
 //! ```
 //! use dc_mbqc::DcMbqcConfig;
 //! use mbqc_circuit::bench;
 //! use mbqc_hardware::{DistributedHardware, ResourceStateKind};
 //! use mbqc_pattern::transpile::transpile;
-//! use mbqc_service::{CompileService, ServiceConfig};
+//! use mbqc_service::{CompileService, Priority, ServiceConfig};
 //!
 //! let hw = DistributedHardware::builder()
 //!     .num_qpus(2)
@@ -48,25 +98,40 @@
 //!     .build();
 //! let config = DcMbqcConfig::new(hw);
 //! let service = CompileService::new(ServiceConfig {
-//!     shards: 1,
+//!     workers: 1,
 //!     ..ServiceConfig::default()
 //! })
 //! .unwrap();
 //!
-//! let pattern = transpile(&bench::qft(8));
-//! let cold = service.wait(service.submit(pattern.clone(), config.clone())).unwrap();
-//! let warm = service.wait(service.submit(pattern, config)).unwrap();
-//! assert_eq!(cold, warm);
+//! let batch = transpile(&bench::qft(8));
+//! let interactive = transpile(&bench::qft(7));
+//! let batch_ids =
+//!     service.submit_many_with_priority(&[batch.clone(), batch.clone()], &config, Priority::Batch);
+//! let hot = service.submit_with_priority(interactive, config.clone(), Priority::Interactive);
 //!
+//! // Same results as a direct compile, whatever the queue order…
+//! let got = service.wait(hot).unwrap();
+//! let direct = dc_mbqc::DcMbqcCompiler::new(config.clone())
+//!     .compile_pattern(&transpile(&bench::qft(7)))
+//!     .unwrap();
+//! assert_eq!(got, direct);
+//!
+//! // …and the duplicate batch job is answered from the cache.
+//! for id in batch_ids {
+//!     service.wait(id).unwrap();
+//! }
 //! let stats = service.stats();
-//! assert_eq!(stats.completed, 2);
-//! assert_eq!(stats.full_compiles, 1);
-//! assert_eq!(stats.hits_scheduled, 1, "second job skipped the pipeline");
+//! assert_eq!(stats.completed, 3);
+//! assert_eq!(stats.submitted_by_priority, [2, 0, 1]);
+//! assert!(stats.hits_scheduled + stats.task_store_hits >= 1, "{stats:?}");
 //! ```
 
+pub mod executor;
 pub mod service;
 pub mod store;
 
 pub use dc_mbqc::PipelineStage;
-pub use service::{CompileService, JobId, ServiceConfig, ServiceError, ServiceStats};
+pub use service::{
+    CompileService, ExecutionEngine, JobId, Priority, ServiceConfig, ServiceError, ServiceStats,
+};
 pub use store::{ArtifactKey, ArtifactStore, StoreConfig, StoreStats};

@@ -1,9 +1,22 @@
-//! The sharded compilation service.
+//! The compilation service: a priority-aware queue of jobs executed by
+//! a pool of workers.
 //!
-//! [`CompileService`] owns `N` shard worker threads, each with a
-//! long-lived [`CompileSession`], pulling jobs from a shared queue.
-//! Every job routes its pipeline stages through the shared
+//! Two execution engines share the queue, the result plumbing, and the
 //! [`ArtifactStore`]:
+//!
+//! * [`ExecutionEngine::StageGraph`] (the default) decomposes every
+//!   job into stage tasks (`Transpile` → `Partition` → `Map` →
+//!   `Schedule`) tracked by a [`StageGraph`](dc_mbqc::StageGraph) and
+//!   lets any worker run any ready task — stages of *different* jobs
+//!   overlap, so worker A can partition job 2 while worker B schedules
+//!   job 1 (see [`crate::executor`]).
+//! * [`ExecutionEngine::JobLoop`] is the preserved whole-job shard
+//!   loop of PR 3 — each worker runs a popped job's entire pipeline on
+//!   a long-lived [`CompileSession`] — kept as the baseline the
+//!   `end_to_end/pipelined_batch` kernel and the engine-equivalence
+//!   property tests compare against.
+//!
+//! Either way, every job routes its stages through the shared store:
 //!
 //! * a `Scheduled` hit returns the decoded [`DistributedSchedule`]
 //!   directly — partitioning, mapping, and scheduling are all skipped;
@@ -11,24 +24,25 @@
 //!   [`Partitioned::with_partition`] + [`Mapped::from_parts`];
 //! * a `Partitioned` hit re-enters at mapping via
 //!   [`Partitioned::with_partition`];
-//! * a full miss runs the session pipeline and stores every stage
-//!   artifact on the way out.
+//! * a full miss runs the pipeline and stores every stage artifact on
+//!   the way out.
 //!
 //! Results are **bit-identical** to a direct
 //! [`DcMbqcCompiler::compile_pattern`](dc_mbqc::DcMbqcCompiler::compile_pattern)
-//! call for every shard count and every cache state — cold, warm, or
-//! disk-restored (property-tested in `tests/proptest_service.rs`).
+//! call for every engine, worker count, priority mix, and cache state —
+//! cold, warm, or disk-restored (property-tested in
+//! `tests/proptest_service.rs`).
 //!
 //! [`CompileSession`]: dc_mbqc::CompileSession
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use dc_mbqc::{
     CompileSession, DcMbqcConfig, DcMbqcError, DistributedSchedule, Mapped, Partitioned,
-    PipelineStage, Transpiled,
+    PipelineStage, StageGraph, Transpiled, WorkspacePool,
 };
 use mbqc_compiler::CompiledProgram;
 use mbqc_graph::NodeId;
@@ -36,11 +50,34 @@ use mbqc_partition::Partition;
 use mbqc_pattern::Pattern;
 use mbqc_util::codec::{CodecError, Decoder, Encoder};
 
+use crate::executor;
 use crate::store::{ArtifactKey, ArtifactStore, StoreConfig, StoreStats};
 
 /// Handle of a submitted compilation job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct JobId(u64);
+pub struct JobId(pub(crate) u64);
+
+/// Scheduling priority of a job: orders the shared ready-queue.
+///
+/// Higher priorities always pop first; within one priority class jobs
+/// (and their stage tasks) pop in submission order. Priority never
+/// changes a job's *result* — only when it runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Backfill work: runs only when nothing more urgent is ready.
+    Batch,
+    /// The default service class.
+    #[default]
+    Normal,
+    /// Front-of-queue latency-sensitive jobs.
+    Interactive,
+}
+
+impl Priority {
+    /// All priorities, lowest first (index order of the per-priority
+    /// stats counters).
+    pub const ALL: [Priority; 3] = [Priority::Batch, Priority::Normal, Priority::Interactive];
+}
 
 /// Service failure modes surfaced to callers.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,7 +86,7 @@ pub enum ServiceError {
     Compile(DcMbqcError),
     /// The job id was never submitted, or its result was already taken.
     UnknownJob(JobId),
-    /// A shard worker panicked while running the job.
+    /// A worker panicked while running the job.
     Internal(String),
 }
 
@@ -58,7 +95,7 @@ impl std::fmt::Display for ServiceError {
         match self {
             ServiceError::Compile(e) => write!(f, "compilation failed: {e}"),
             ServiceError::UnknownJob(id) => write!(f, "unknown or already-taken job {id:?}"),
-            ServiceError::Internal(msg) => write!(f, "shard worker panicked: {msg}"),
+            ServiceError::Internal(msg) => write!(f, "worker panicked: {msg}"),
         }
     }
 }
@@ -72,12 +109,29 @@ impl std::error::Error for ServiceError {
     }
 }
 
+/// Which machinery executes queued jobs. Results are bit-identical
+/// either way (property-tested); only scheduling granularity differs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ExecutionEngine {
+    /// Stage-task executor: jobs decompose into stage tasks on the
+    /// shared ready-queue, so stages of different jobs overlap across
+    /// workers.
+    #[default]
+    StageGraph,
+    /// The preserved PR 3 shard loop: each worker runs one job's whole
+    /// pipeline at a time on a long-lived session. Kept as the
+    /// benchmark baseline for the stage-graph executor.
+    JobLoop,
+}
+
 /// Service configuration.
 #[derive(Debug, Clone, Default)]
 pub struct ServiceConfig {
-    /// Worker shards (`0` = one per available core). Shard count never
-    /// changes results, only throughput.
-    pub shards: usize,
+    /// Worker threads (`0` = one per available core). Worker count
+    /// never changes results, only throughput.
+    pub workers: usize,
+    /// Execution engine (stage-graph executor by default).
+    pub engine: ExecutionEngine,
     /// Artifact-store configuration (memory budget, optional disk
     /// tier).
     pub store: StoreConfig,
@@ -88,10 +142,20 @@ pub struct ServiceConfig {
 pub struct ServiceStats {
     /// Jobs submitted.
     pub submitted: u64,
+    /// Jobs submitted per priority class, indexed like
+    /// [`Priority::ALL`] (batch, normal, interactive).
+    pub submitted_by_priority: [u64; 3],
     /// Jobs finished (successfully or not).
     pub completed: u64,
     /// Jobs that returned an error.
     pub failed: u64,
+    /// Stage tasks executed by the stage-graph engine (cache-skipped
+    /// stages excluded; always 0 under [`ExecutionEngine::JobLoop`]).
+    pub tasks_executed: u64,
+    /// Stage tasks answered by an artifact that appeared *after* the
+    /// job's initial cache probe (e.g. published by a concurrent
+    /// duplicate job).
+    pub task_store_hits: u64,
     /// Jobs answered by a `Scheduled` artifact (nothing recomputed).
     pub hits_scheduled: u64,
     /// Jobs re-entered at scheduling from a `Mapped` artifact.
@@ -100,7 +164,9 @@ pub struct ServiceStats {
     pub hits_partitioned: u64,
     /// Jobs that ran the full pipeline.
     pub full_compiles: u64,
-    /// Total in-shard latency across completed jobs, nanoseconds.
+    /// Total in-worker latency across completed jobs, nanoseconds (the
+    /// sum of a job's stage-task execution times under the stage-graph
+    /// engine; queue wait is excluded in both engines).
     pub total_latency_ns: u64,
     /// Artifact-store counters.
     pub store: StoreStats,
@@ -116,7 +182,7 @@ impl ServiceStats {
         self.hits_scheduled as f64 / self.completed as f64
     }
 
-    /// Mean in-shard latency per completed job, nanoseconds.
+    /// Mean in-worker latency per completed job, nanoseconds.
     #[must_use]
     pub fn mean_latency_ns(&self) -> f64 {
         if self.completed == 0 {
@@ -126,16 +192,106 @@ impl ServiceStats {
     }
 }
 
+/// The three content-addressed keys of one job's stage artifacts.
 #[derive(Debug)]
-struct Job {
-    id: JobId,
-    pattern: Pattern,
-    config: DcMbqcConfig,
+pub(crate) struct StageKeys {
+    pub(crate) part: ArtifactKey,
+    pub(crate) map: ArtifactKey,
+    pub(crate) sched: ArtifactKey,
+}
+
+impl StageKeys {
+    pub(crate) fn new(pattern: &Pattern, config: &DcMbqcConfig) -> Self {
+        let pattern_bytes = pattern.content_bytes();
+        let key_of = |stage: PipelineStage| {
+            ArtifactKey::new(
+                stage,
+                &config.stage_fingerprint_bytes(stage),
+                &pattern_bytes,
+            )
+        };
+        Self {
+            part: key_of(PipelineStage::Partition),
+            map: key_of(PipelineStage::Map),
+            sched: key_of(PipelineStage::Schedule),
+        }
+    }
+}
+
+/// Everything a queued job carries: its inputs plus the owned outputs
+/// of every completed stage task (the executor's inter-task state —
+/// the borrow-holding stage artifacts are rebuilt transiently inside
+/// each task via the re-entry constructors).
+#[derive(Debug)]
+pub(crate) struct JobState {
+    pub(crate) pattern: Pattern,
+    pub(crate) config: DcMbqcConfig,
+    pub(crate) priority: Priority,
+    /// Stage-task dependency tracker (stage-graph engine only).
+    pub(crate) stages: StageGraph,
+    /// Artifact keys, computed once by the first stage task.
+    pub(crate) keys: Option<StageKeys>,
+    /// Placement order (after `Transpile`).
+    pub(crate) order: Option<Vec<NodeId>>,
+    /// Chosen partition (after `Partition`).
+    pub(crate) partition: Option<Partition>,
+    /// Per-QPU compiled programs (after `Map`).
+    pub(crate) programs: Option<Vec<CompiledProgram>>,
+    /// Derived partition state (workload CSR + metrics), computed once
+    /// by the first task that needs the `Partitioned` artifact and
+    /// reused by the rest — rebuilding it per task would make the
+    /// executor pay more per job than the whole-job loop does.
+    pub(crate) part_cache: Option<dc_mbqc::PartitionedCache>,
+    /// Accumulated in-worker execution time of this job's tasks.
+    pub(crate) latency_ns: u64,
+}
+
+impl JobState {
+    fn new(pattern: Pattern, config: DcMbqcConfig, priority: Priority) -> Self {
+        Self {
+            pattern,
+            config,
+            priority,
+            stages: StageGraph::new(),
+            keys: None,
+            order: None,
+            partition: None,
+            programs: None,
+            part_cache: None,
+            latency_ns: 0,
+        }
+    }
+}
+
+/// A ready queue entry: one job with (at least) one runnable stage
+/// task. Max-heap order: higher priority first, then submission order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ReadyJob {
+    priority: Priority,
+    seq: u64,
+}
+
+impl Ord for ReadyJob {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for ReadyJob {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
 }
 
 #[derive(Debug, Default)]
-struct QueueState {
-    jobs: VecDeque<Job>,
+pub(crate) struct QueueState {
+    ready: BinaryHeap<ReadyJob>,
+    jobs: HashMap<u64, JobState>,
+    /// Jobs currently executing a task on some worker (they will come
+    /// back to the queue or finish — shutdown must wait for them).
+    running: usize,
     shutdown: bool,
 }
 
@@ -146,31 +302,100 @@ struct ResultState {
 }
 
 #[derive(Debug, Default)]
-struct Counters {
-    completed: u64,
-    failed: u64,
-    hits_scheduled: u64,
-    hits_mapped: u64,
-    hits_partitioned: u64,
-    full_compiles: u64,
-    total_latency_ns: u64,
+pub(crate) struct Counters {
+    pub(crate) completed: u64,
+    pub(crate) failed: u64,
+    pub(crate) submitted_by_priority: [u64; 3],
+    pub(crate) tasks_executed: u64,
+    pub(crate) task_store_hits: u64,
+    pub(crate) hits_scheduled: u64,
+    pub(crate) hits_mapped: u64,
+    pub(crate) hits_partitioned: u64,
+    pub(crate) full_compiles: u64,
+    pub(crate) total_latency_ns: u64,
 }
 
 #[derive(Debug)]
-struct Shared {
-    queue: Mutex<QueueState>,
-    queue_cv: Condvar,
+pub(crate) struct Shared {
+    pub(crate) queue: Mutex<QueueState>,
+    pub(crate) queue_cv: Condvar,
     results: Mutex<ResultState>,
     results_cv: Condvar,
-    store: ArtifactStore,
-    counters: Mutex<Counters>,
+    pub(crate) store: ArtifactStore,
+    pub(crate) counters: Mutex<Counters>,
     submitted: AtomicU64,
-    /// `> 1` pins each shard's inner stage parallelism to one thread
-    /// (the shards already saturate the cores).
-    shards: usize,
+    /// Stage workspaces checked out per task (stage-graph engine).
+    pub(crate) pool: WorkspacePool,
+    /// `> 1` pins each job's inner stage parallelism to one thread
+    /// (the worker fleet already saturates the cores).
+    pub(crate) workers: usize,
 }
 
-/// The sharded compilation service. See the [module docs](self).
+impl Shared {
+    /// Pops the highest-priority ready job and takes its state out of
+    /// the job table for the duration of one task (at most one worker
+    /// ever holds a given job). Returns `None` on drained shutdown.
+    pub(crate) fn next_job(&self) -> Option<(u64, JobState)> {
+        let mut q = self.queue.lock().expect("queue lock");
+        loop {
+            if let Some(r) = q.ready.pop() {
+                let state = q.jobs.remove(&r.seq).expect("queued job has state");
+                q.running += 1;
+                return Some((r.seq, state));
+            }
+            if q.shutdown && q.running == 0 {
+                return None;
+            }
+            q = self.queue_cv.wait(q).expect("queue lock");
+        }
+    }
+
+    /// Returns a job to the queue with its next stage task ready.
+    pub(crate) fn requeue(&self, seq: u64, state: JobState) {
+        let entry = ReadyJob {
+            priority: state.priority,
+            seq,
+        };
+        let mut q = self.queue.lock().expect("queue lock");
+        q.jobs.insert(seq, state);
+        q.ready.push(entry);
+        q.running -= 1;
+        drop(q);
+        self.queue_cv.notify_all();
+    }
+
+    /// Records a finished job: releases its running slot, rolls the
+    /// counters, and publishes the result.
+    pub(crate) fn finish_job(
+        &self,
+        seq: u64,
+        result: Result<DistributedSchedule, ServiceError>,
+        latency_ns: u64,
+    ) {
+        {
+            let mut q = self.queue.lock().expect("queue lock");
+            q.running -= 1;
+        }
+        self.queue_cv.notify_all();
+        {
+            let mut c = self.counters.lock().expect("counters lock");
+            c.completed += 1;
+            c.total_latency_ns += latency_ns;
+            if result.is_err() {
+                c.failed += 1;
+            }
+        }
+        let mut results = self.results.lock().expect("results lock");
+        let id = JobId(seq);
+        results.pending.remove(&id);
+        results.done.insert(id, result);
+        drop(results);
+        self.results_cv.notify_all();
+    }
+}
+
+/// The compilation service. See the [module docs](self) and the
+/// architecture section of the [crate docs](crate).
 #[derive(Debug)]
 pub struct CompileService {
     shared: Arc<Shared>,
@@ -178,17 +403,17 @@ pub struct CompileService {
 }
 
 impl CompileService {
-    /// Starts the service: spawns the shard workers and opens the
-    /// artifact store (creating the disk directory if configured).
+    /// Starts the service: spawns the workers and opens the artifact
+    /// store (creating the disk directory if configured).
     ///
     /// # Errors
     ///
     /// Returns the I/O error when the disk tier cannot be initialized.
     pub fn new(config: ServiceConfig) -> std::io::Result<Self> {
-        let shards = if config.shards == 0 {
+        let workers = if config.workers == 0 {
             std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
         } else {
-            config.shards
+            config.workers
         };
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueState::default()),
@@ -198,28 +423,48 @@ impl CompileService {
             store: ArtifactStore::new(config.store)?,
             counters: Mutex::new(Counters::default()),
             submitted: AtomicU64::new(0),
-            shards,
+            pool: WorkspacePool::new(),
+            workers,
         });
-        let workers = (0..shards)
+        let handles = (0..workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
+                let engine = config.engine;
                 std::thread::Builder::new()
-                    .name(format!("mbqc-shard-{i}"))
-                    .spawn(move || shard_loop(&shared))
-                    .expect("spawn shard worker")
+                    .name(format!("mbqc-worker-{i}"))
+                    .spawn(move || match engine {
+                        ExecutionEngine::StageGraph => executor::stage_loop(&shared),
+                        ExecutionEngine::JobLoop => job_loop(&shared),
+                    })
+                    .expect("spawn service worker")
             })
             .collect();
-        Ok(Self { shared, workers })
+        Ok(Self {
+            shared,
+            workers: handles,
+        })
     }
 
-    /// Number of shard workers.
+    /// Number of worker threads.
     #[must_use]
-    pub fn shards(&self) -> usize {
-        self.shared.shards
+    pub fn workers(&self) -> usize {
+        self.shared.workers
     }
 
-    /// Enqueues one compilation job.
+    /// Enqueues one compilation job at [`Priority::Normal`].
     pub fn submit(&self, pattern: Pattern, config: DcMbqcConfig) -> JobId {
+        self.submit_with_priority(pattern, config, Priority::Normal)
+    }
+
+    /// Enqueues one compilation job at the given priority. Priority
+    /// orders the ready-queue (interactive jobs pop before batch
+    /// backfill) and never changes the job's result.
+    pub fn submit_with_priority(
+        &self,
+        pattern: Pattern,
+        config: DcMbqcConfig,
+        priority: Priority,
+    ) -> JobId {
         let id = JobId(self.shared.submitted.fetch_add(1, Ordering::Relaxed));
         self.shared
             .results
@@ -227,23 +472,40 @@ impl CompileService {
             .expect("results lock")
             .pending
             .insert(id);
+        self.shared
+            .counters
+            .lock()
+            .expect("counters lock")
+            .submitted_by_priority[priority as usize] += 1;
         let mut q = self.shared.queue.lock().expect("queue lock");
-        q.jobs.push_back(Job {
-            id,
-            pattern,
-            config,
+        q.jobs
+            .insert(id.0, JobState::new(pattern, config, priority));
+        q.ready.push(ReadyJob {
+            priority,
+            seq: id.0,
         });
         drop(q);
         self.shared.queue_cv.notify_one();
         id
     }
 
-    /// Enqueues one job per pattern under a shared configuration;
-    /// returned ids are in input order.
+    /// Enqueues one job per pattern under a shared configuration at
+    /// [`Priority::Normal`]; returned ids are in input order.
     pub fn submit_many(&self, patterns: &[Pattern], config: &DcMbqcConfig) -> Vec<JobId> {
+        self.submit_many_with_priority(patterns, config, Priority::Normal)
+    }
+
+    /// Enqueues one job per pattern under a shared configuration and
+    /// priority; returned ids are in input order.
+    pub fn submit_many_with_priority(
+        &self,
+        patterns: &[Pattern],
+        config: &DcMbqcConfig,
+        priority: Priority,
+    ) -> Vec<JobId> {
         patterns
             .iter()
-            .map(|p| self.submit(p.clone(), config.clone()))
+            .map(|p| self.submit_with_priority(p.clone(), config.clone(), priority))
             .collect()
     }
 
@@ -289,8 +551,11 @@ impl CompileService {
         let c = self.shared.counters.lock().expect("counters lock");
         ServiceStats {
             submitted: self.shared.submitted.load(Ordering::Relaxed),
+            submitted_by_priority: c.submitted_by_priority,
             completed: c.completed,
             failed: c.failed,
+            tasks_executed: c.tasks_executed,
+            task_store_hits: c.task_store_hits,
             hits_scheduled: c.hits_scheduled,
             hits_mapped: c.hits_mapped,
             hits_partitioned: c.hits_partitioned,
@@ -303,7 +568,7 @@ impl CompileService {
 
 impl Drop for CompileService {
     /// Drains the queue (queued jobs still complete), then stops the
-    /// shards.
+    /// workers.
     fn drop(&mut self) {
         self.shared.queue.lock().expect("queue lock").shutdown = true;
         self.shared.queue_cv.notify_all();
@@ -313,98 +578,33 @@ impl Drop for CompileService {
     }
 }
 
-/// What a shard found in the cache for one job. The `Scheduled` payload
-/// is boxed: it dwarfs the other variants, and the enum lives on the
-/// hot path of every job.
-enum CacheEntry {
+/// What the cache probe found for one job. The `Scheduled` payload is
+/// boxed: it dwarfs the other variants, and the enum lives on the hot
+/// path of every job.
+pub(crate) enum CacheEntry {
     Scheduled(Box<DistributedSchedule>),
     Mapped(Partition, Vec<CompiledProgram>),
     Partitioned(Partition),
     Miss,
 }
 
-/// One shard: pop jobs until shutdown *and* the queue is empty.
-fn shard_loop(shared: &Shared) {
-    // The session (with all its stage workspaces) is kept across jobs
-    // with the same effective configuration; the fingerprint ignores
-    // worker-count knobs, which the shard overrides anyway.
-    let mut session: Option<(Vec<u8>, CompileSession)> = None;
-    loop {
-        let job = {
-            let mut q = shared.queue.lock().expect("queue lock");
-            loop {
-                if let Some(job) = q.jobs.pop_front() {
-                    break job;
-                }
-                if q.shutdown {
-                    return;
-                }
-                q = shared.queue_cv.wait(q).expect("queue lock");
-            }
-        };
-        let start = Instant::now();
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_job(shared, &mut session, &job.pattern, &job.config)
-        }));
-        let latency = start.elapsed().as_nanos() as u64;
-        let result = match outcome {
-            Ok(r) => r.map_err(ServiceError::Compile),
-            Err(panic) => {
-                // The session's workspaces may be mid-update; rebuild.
-                session = None;
-                let msg = panic
-                    .downcast_ref::<&str>()
-                    .map(ToString::to_string)
-                    .or_else(|| panic.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "non-string panic payload".to_string());
-                Err(ServiceError::Internal(msg))
-            }
-        };
-        {
-            let mut c = shared.counters.lock().expect("counters lock");
-            c.completed += 1;
-            c.total_latency_ns += latency;
-            if result.is_err() {
-                c.failed += 1;
-            }
-        }
-        let mut results = shared.results.lock().expect("results lock");
-        results.pending.remove(&job.id);
-        results.done.insert(job.id, result);
-        drop(results);
-        shared.results_cv.notify_all();
-    }
-}
-
-/// Runs one job through the cache-routed pipeline.
-fn run_job(
+/// Probes the store deepest-artifact-first for one job; every decode
+/// failure degrades to the next shallower tier (and ultimately to a
+/// full compile), never an error. Rolls the job-level hit counters.
+pub(crate) fn probe_cache(
     shared: &Shared,
-    session: &mut Option<(Vec<u8>, CompileSession)>,
+    keys: &StageKeys,
     pattern: &Pattern,
     config: &DcMbqcConfig,
-) -> Result<DistributedSchedule, DcMbqcError> {
-    let pattern_bytes = pattern.content_bytes();
-    let key_of = |stage: PipelineStage| {
-        ArtifactKey::new(
-            stage,
-            &config.stage_fingerprint_bytes(stage),
-            &pattern_bytes,
-        )
-    };
-    let sched_key = key_of(PipelineStage::Schedule);
-    let map_key = key_of(PipelineStage::Map);
-    let part_key = key_of(PipelineStage::Partition);
-
-    // Deepest artifact first; every decode failure degrades to the next
-    // shallower tier (and ultimately to a full compile), never an error.
+) -> CacheEntry {
     let mut entry = CacheEntry::Miss;
-    if let Some(bytes) = shared.store.get(&sched_key) {
+    if let Some(bytes) = shared.store.get(&keys.sched) {
         if let Ok(s) = DistributedSchedule::from_bytes(&bytes) {
             entry = CacheEntry::Scheduled(Box::new(s));
         }
     }
     if matches!(entry, CacheEntry::Miss) {
-        if let Some(bytes) = shared.store.get(&map_key) {
+        if let Some(bytes) = shared.store.get(&keys.map) {
             if let Ok((p, programs)) = decode_mapped(&bytes) {
                 if partition_fits(&p, pattern, config) && programs_fit(&p, &programs) {
                     entry = CacheEntry::Mapped(p, programs);
@@ -413,7 +613,7 @@ fn run_job(
         }
     }
     if matches!(entry, CacheEntry::Miss) {
-        if let Some(bytes) = shared.store.get(&part_key) {
+        if let Some(bytes) = shared.store.get(&keys.part) {
             if let Ok(p) = Partition::from_bytes(&bytes) {
                 if partition_fits(&p, pattern, config) {
                     entry = CacheEntry::Partitioned(p);
@@ -421,68 +621,113 @@ fn run_job(
             }
         }
     }
+    {
+        let mut c = shared.counters.lock().expect("counters lock");
+        match &entry {
+            CacheEntry::Scheduled(_) => c.hits_scheduled += 1,
+            CacheEntry::Mapped(..) => c.hits_mapped += 1,
+            CacheEntry::Partitioned(_) => c.hits_partitioned += 1,
+            CacheEntry::Miss => c.full_compiles += 1,
+        }
+    }
+    entry
+}
 
+/// One `JobLoop` worker: pop jobs until shutdown *and* the queue is
+/// empty, running each popped job's whole pipeline (the preserved PR 3
+/// shard loop).
+fn job_loop(shared: &Shared) {
+    // The session (with all its stage workspaces) is kept across jobs
+    // with the same effective configuration; the fingerprint ignores
+    // worker-count knobs, which the worker overrides anyway.
+    let mut session: Option<(Vec<u8>, CompileSession)> = None;
+    while let Some((seq, state)) = shared.next_job() {
+        let start = Instant::now();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_job(shared, &mut session, &state.pattern, &state.config)
+        }));
+        let latency = start.elapsed().as_nanos() as u64;
+        let result = match outcome {
+            Ok(r) => r.map_err(ServiceError::Compile),
+            Err(panic) => {
+                // The session's workspaces may be mid-update; rebuild.
+                session = None;
+                Err(ServiceError::Internal(panic_message(&panic)))
+            }
+        };
+        shared.finish_job(seq, result, latency);
+    }
+}
+
+/// Renders a panic payload for [`ServiceError::Internal`].
+pub(crate) fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {
+    panic
+        .downcast_ref::<&str>()
+        .map(ToString::to_string)
+        .or_else(|| panic.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+/// Runs one job through the cache-routed pipeline (the `JobLoop`
+/// engine's whole-job path).
+fn run_job(
+    shared: &Shared,
+    session: &mut Option<(Vec<u8>, CompileSession)>,
+    pattern: &Pattern,
+    config: &DcMbqcConfig,
+) -> Result<DistributedSchedule, DcMbqcError> {
+    let keys = StageKeys::new(pattern, config);
+    let entry = probe_cache(shared, &keys, pattern, config);
     if let CacheEntry::Scheduled(s) = entry {
-        shared
-            .counters
-            .lock()
-            .expect("counters lock")
-            .hits_scheduled += 1;
         return Ok(*s);
     }
 
-    let session = session_for(session, config, shared.shards);
+    let session = session_for(session, config, shared.workers);
     let transpiled = Transpiled::new(pattern)?;
     let mapped = match entry {
         CacheEntry::Mapped(partition, programs) => {
-            shared.counters.lock().expect("counters lock").hits_mapped += 1;
             let partitioned = Partitioned::with_partition(transpiled, partition);
             let part_nodes = part_nodes_of(&partitioned);
             Mapped::from_parts(partitioned, part_nodes, programs)
         }
         CacheEntry::Partitioned(partition) => {
-            shared
-                .counters
-                .lock()
-                .expect("counters lock")
-                .hits_partitioned += 1;
             let partitioned = Partitioned::with_partition(transpiled, partition);
             let mapped = session.map(partitioned)?;
-            shared.store.put(&map_key, encode_mapped(&mapped));
+            shared.store.put(&keys.map, encode_mapped(&mapped));
             mapped
         }
         CacheEntry::Miss | CacheEntry::Scheduled(_) => {
-            shared.counters.lock().expect("counters lock").full_compiles += 1;
             let partitioned = session.partition(transpiled);
             shared
                 .store
-                .put(&part_key, partitioned.partition().to_bytes());
+                .put(&keys.part, partitioned.partition().to_bytes());
             let mapped = session.map(partitioned)?;
-            shared.store.put(&map_key, encode_mapped(&mapped));
+            shared.store.put(&keys.map, encode_mapped(&mapped));
             mapped
         }
     };
     let scheduled = session.schedule(mapped);
-    shared.store.put(&sched_key, scheduled.to_bytes());
+    shared.store.put(&keys.sched, scheduled.to_bytes());
     Ok(scheduled)
 }
 
-/// Reuses the shard session when the job's effective configuration
+/// Reuses the worker's session when the job's effective configuration
 /// matches; rebuilds it otherwise.
 fn session_for<'s>(
     slot: &'s mut Option<(Vec<u8>, CompileSession)>,
     config: &DcMbqcConfig,
-    shards: usize,
+    workers: usize,
 ) -> &'s mut CompileSession {
     let fp = config.stage_fingerprint_bytes(PipelineStage::Schedule);
     let stale = slot.as_ref().is_none_or(|(have, _)| *have != fp);
     if stale {
         let mut config = config.clone();
         let mut map_workers = 0;
-        if shards > 1 {
-            // Mirrors `compile_batch`: the shard fleet already saturates
-            // the machine, so inner stage parallelism is pinned to one
-            // thread per shard. Worker counts never change results.
+        if workers > 1 {
+            // Mirrors `compile_batch`: the worker fleet already
+            // saturates the machine, so inner stage parallelism is
+            // pinned to one thread per worker. Worker counts never
+            // change results.
             config.adaptive.probe_workers = 1;
             map_workers = 1;
         }
@@ -495,9 +740,9 @@ fn session_for<'s>(
 }
 
 /// Per-QPU global node lists in placement order — exactly the
-/// assignment `CompileSession::map` derives, recomputed for cache
+/// assignment [`dc_mbqc::map_stage`] derives, recomputed for cache
 /// re-entry.
-fn part_nodes_of(partitioned: &Partitioned<'_>) -> Vec<Vec<NodeId>> {
+pub(crate) fn part_nodes_of(partitioned: &Partitioned<'_>) -> Vec<Vec<NodeId>> {
     let partition = partitioned.partition();
     let mut part_nodes: Vec<Vec<NodeId>> = vec![Vec::new(); partition.k()];
     for &u in partitioned.transpiled().placement_order() {
@@ -508,16 +753,16 @@ fn part_nodes_of(partitioned: &Partitioned<'_>) -> Vec<Vec<NodeId>> {
 
 /// Shape guard for decoded partitions: exact keys make mismatches
 /// impossible in practice, but a corrupt disk tier must degrade to a
-/// miss rather than panic a shard.
-fn partition_fits(p: &Partition, pattern: &Pattern, config: &DcMbqcConfig) -> bool {
+/// miss rather than panic a worker.
+pub(crate) fn partition_fits(p: &Partition, pattern: &Pattern, config: &DcMbqcConfig) -> bool {
     p.len() == pattern.node_count() && p.k() == config.hardware.num_qpus()
 }
 
 /// Shape guard for decoded `Mapped` artifacts: every per-QPU program
 /// must cover exactly the nodes its part owns, or
-/// [`Mapped::from_parts`] would panic the shard on a corrupt artifact
+/// [`Mapped::from_parts`] would panic the worker on a corrupt artifact
 /// instead of degrading to a recompute.
-fn programs_fit(partition: &Partition, programs: &[CompiledProgram]) -> bool {
+pub(crate) fn programs_fit(partition: &Partition, programs: &[CompiledProgram]) -> bool {
     let mut counts = vec![0usize; partition.k()];
     for &part in partition.assignment() {
         counts[part] += 1;
@@ -532,7 +777,7 @@ fn programs_fit(partition: &Partition, programs: &[CompiledProgram]) -> bool {
 /// Encodes the `Mapped` artifact: the partition plus every per-QPU
 /// compiled program (the node lists are re-derived from the partition
 /// and placement order on re-entry).
-fn encode_mapped(mapped: &Mapped<'_>) -> Vec<u8> {
+pub(crate) fn encode_mapped(mapped: &Mapped<'_>) -> Vec<u8> {
     let mut e = Encoder::new();
     e.bytes(&mapped.partitioned().partition().to_bytes());
     e.usize(mapped.programs().len());
@@ -542,7 +787,7 @@ fn encode_mapped(mapped: &Mapped<'_>) -> Vec<u8> {
     e.into_bytes()
 }
 
-fn decode_mapped(bytes: &[u8]) -> Result<(Partition, Vec<CompiledProgram>), CodecError> {
+pub(crate) fn decode_mapped(bytes: &[u8]) -> Result<(Partition, Vec<CompiledProgram>), CodecError> {
     let mut d = Decoder::new(bytes);
     let partition = Partition::from_bytes(d.bytes()?)?;
     let k = d.len_hint()?;

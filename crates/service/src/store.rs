@@ -15,12 +15,18 @@
 //!   temp-file + rename) giving persistence and warm restarts. Disk
 //!   reads verify the embedded key and promote the artifact back into
 //!   the memory tier; every disk failure degrades to a cache miss,
-//!   never an error.
+//!   never an error. The tier is bounded too: an optional byte budget
+//!   evicts least-recently-accessed artifacts
+//!   ([`StoreConfig::disk_capacity`]) and an optional TTL expires
+//!   artifacts by age ([`StoreConfig::disk_ttl`]); a restart rebuilds
+//!   the index (and the recency order, from file modification times)
+//!   by scanning the directory, so the budget holds across restarts.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, SystemTime};
 
 use dc_mbqc::PipelineStage;
 use mbqc_util::codec::{Decoder, Encoder};
@@ -68,6 +74,16 @@ pub struct StoreConfig {
     pub memory_capacity: usize,
     /// Directory of the on-disk tier; `None` disables it.
     pub disk_dir: Option<PathBuf>,
+    /// Byte budget of the on-disk tier (file sizes, i.e. keys +
+    /// values + framing); `None` leaves it unbounded. When the budget
+    /// would be exceeded, least-recently-accessed artifacts are
+    /// deleted first; an artifact larger than the whole budget is not
+    /// written at all.
+    pub disk_capacity: Option<usize>,
+    /// Age bound for disk artifacts, measured from their last write;
+    /// expired artifacts read as misses and are deleted lazily.
+    /// `None` disables expiry.
+    pub disk_ttl: Option<Duration>,
 }
 
 impl Default for StoreConfig {
@@ -75,6 +91,8 @@ impl Default for StoreConfig {
         Self {
             memory_capacity: 64 << 20,
             disk_dir: None,
+            disk_capacity: Some(1 << 30),
+            disk_ttl: None,
         }
     }
 }
@@ -97,6 +115,15 @@ pub struct StoreStats {
     pub misses: u64,
     /// Artifacts written to the disk tier.
     pub disk_writes: u64,
+    /// Artifacts currently resident in the disk tier (a snapshot of
+    /// the index; 0 when the tier is disabled).
+    pub disk_entries: usize,
+    /// Bytes (file sizes) currently resident in the disk tier.
+    pub disk_bytes: usize,
+    /// Disk-tier evictions (budget) since creation.
+    pub disk_evictions: u64,
+    /// Disk-tier TTL expirations since creation.
+    pub disk_expirations: u64,
     /// Disk operations that failed and degraded to a miss / skipped
     /// write (never an error).
     pub disk_errors: u64,
@@ -230,43 +257,290 @@ struct StoreInner {
     stats: StoreStats,
 }
 
+/// Per-artifact bookkeeping of the disk tier's in-memory index.
+#[derive(Debug)]
+struct DiskEntry {
+    /// File size on disk (framing included).
+    size: u64,
+    /// Recency stamp (key into `by_recency`).
+    seq: u64,
+    /// Last write time (TTL reference point).
+    written: SystemTime,
+}
+
+/// The bounded on-disk tier: one file per artifact plus an in-memory
+/// index carrying sizes, recency, and write times. A restart rebuilds
+/// the index by scanning the directory (recency from file modification
+/// times), so the byte budget holds across restarts too.
+///
+/// File I/O is deliberately *not* performed under this tier's lock:
+/// lookups and stores run as lock–IO–lock sequences (`pre_read` /
+/// `note_read`, `pre_write` / `note_write`) so a worker's
+/// millisecond-scale read or fsync never stalls the other workers'
+/// disk traffic — only the index bookkeeping serializes. The transient
+/// races this admits (a file landing while another worker evicts, two
+/// workers storing the same deterministic artifact) at worst leave the
+/// accounting briefly off by one in-flight file; the next bookkeeping
+/// call reconverges it.
+#[derive(Debug)]
+struct DiskTier {
+    dir: PathBuf,
+    capacity: Option<u64>,
+    ttl: Option<Duration>,
+    index: HashMap<String, DiskEntry>,
+    /// Recency order: lowest sequence number = least recently used.
+    by_recency: BTreeMap<u64, String>,
+    bytes: u64,
+    next_seq: u64,
+    evictions: u64,
+    expirations: u64,
+}
+
+impl DiskTier {
+    /// Opens (and bounds) the tier: creates the directory, removes
+    /// stale temp files, indexes existing artifacts oldest-first,
+    /// expires the over-age ones, and evicts down to the byte budget.
+    fn open(dir: PathBuf, capacity: Option<u64>, ttl: Option<Duration>) -> std::io::Result<Self> {
+        std::fs::create_dir_all(&dir)?;
+        let mut found: Vec<(SystemTime, String, u64)> = Vec::new();
+        for entry in std::fs::read_dir(&dir)? {
+            let Ok(entry) = entry else { continue };
+            let path = entry.path();
+            let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
+            if ext.starts_with("tmp") {
+                // A writer died mid-write in a previous life.
+                let _ = std::fs::remove_file(&path);
+                continue;
+            }
+            if ext != "art" {
+                continue;
+            }
+            let Some(name) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            let Ok(meta) = entry.metadata() else { continue };
+            let written = meta.modified().unwrap_or_else(|_| SystemTime::now());
+            found.push((written, name.to_string(), meta.len()));
+        }
+        // Oldest first, name-tie-broken: restarts reproduce a stable
+        // recency order.
+        found.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+        let mut tier = Self {
+            dir,
+            capacity,
+            ttl,
+            index: HashMap::new(),
+            by_recency: BTreeMap::new(),
+            bytes: 0,
+            next_seq: 0,
+            evictions: 0,
+            expirations: 0,
+        };
+        for (written, name, size) in found {
+            let seq = tier.next_seq;
+            tier.next_seq += 1;
+            tier.by_recency.insert(seq, name.clone());
+            tier.bytes += size;
+            tier.index.insert(name, DiskEntry { size, seq, written });
+        }
+        tier.sweep_expired();
+        tier.evict_to_budget();
+        Ok(tier)
+    }
+
+    fn path_of(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("{name}.art"))
+    }
+
+    fn expired(&self, entry: &DiskEntry) -> bool {
+        match self.ttl {
+            Some(ttl) => entry.written.elapsed().is_ok_and(|age| age > ttl),
+            None => false,
+        }
+    }
+
+    /// Drops one artifact from the index and the filesystem.
+    fn remove(&mut self, name: &str) {
+        if let Some(entry) = self.index.remove(name) {
+            self.by_recency.remove(&entry.seq);
+            self.bytes -= entry.size;
+            let _ = std::fs::remove_file(self.path_of(name));
+        }
+    }
+
+    /// Deletes every over-age artifact (no-op without a TTL).
+    fn sweep_expired(&mut self) {
+        if self.ttl.is_none() {
+            return;
+        }
+        let expired: Vec<String> = self
+            .index
+            .iter()
+            .filter(|(_, e)| self.expired(e))
+            .map(|(name, _)| name.clone())
+            .collect();
+        for name in expired {
+            self.remove(&name);
+            self.expirations += 1;
+        }
+    }
+
+    /// Deletes least-recently-accessed artifacts until the byte budget
+    /// holds (no-op without a budget).
+    fn evict_to_budget(&mut self) {
+        let Some(capacity) = self.capacity else {
+            return;
+        };
+        while self.bytes > capacity {
+            let Some((_, name)) = self.by_recency.pop_first() else {
+                break;
+            };
+            if let Some(entry) = self.index.remove(&name) {
+                self.bytes -= entry.size;
+                let _ = std::fs::remove_file(self.path_of(&name));
+            }
+            self.evictions += 1;
+        }
+    }
+
+    /// Lookup phase 1 (locked): TTL gate. Expired artifacts are
+    /// deleted here and report `None` (a miss); otherwise the caller
+    /// gets the path to read *outside* the lock — even for unindexed
+    /// names, which may be files written by a sibling process sharing
+    /// the directory.
+    fn pre_read(&mut self, name: &str) -> Option<PathBuf> {
+        if let Some(entry) = self.index.get(name) {
+            if self.expired(entry) {
+                self.remove(name);
+                self.expirations += 1;
+                return None;
+            }
+        }
+        Some(self.path_of(name))
+    }
+
+    /// Lookup phase 2 (locked, after a successful unlocked read):
+    /// refreshes the artifact's recency, adopting externally written
+    /// files into the index so the budget keeps counting them.
+    fn note_read(&mut self, name: &str, size: u64) {
+        match self.index.get_mut(name) {
+            Some(entry) => {
+                // Touch: most-recently-used now.
+                self.by_recency.remove(&entry.seq);
+                entry.seq = self.next_seq;
+                self.next_seq += 1;
+                self.by_recency.insert(entry.seq, name.to_string());
+            }
+            None => {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.by_recency.insert(seq, name.to_string());
+                self.bytes += size;
+                self.index.insert(
+                    name.to_string(),
+                    DiskEntry {
+                        size,
+                        seq,
+                        written: SystemTime::now(),
+                    },
+                );
+                self.evict_to_budget();
+            }
+        }
+    }
+
+    /// Lookup cleanup (locked): the file turned out not to exist —
+    /// drop any stale index entry so the budget stops counting it
+    /// (e.g. an eviction raced an in-flight write).
+    fn note_missing(&mut self, name: &str) {
+        if let Some(entry) = self.index.remove(name) {
+            self.by_recency.remove(&entry.seq);
+            self.bytes -= entry.size;
+        }
+    }
+
+    /// Store phase 1 (locked): TTL sweep + admission. Artifacts larger
+    /// than the whole budget are rejected (`None`); otherwise the
+    /// caller performs the temp-file + rename write *outside* the lock
+    /// (concurrent writers of the same deterministic artifact are safe
+    /// — unique temp names, atomic rename).
+    fn pre_write(&mut self, name: &str, size: u64) -> Option<PathBuf> {
+        self.sweep_expired();
+        if self.capacity.is_some_and(|c| size > c) {
+            return None;
+        }
+        Some(self.path_of(name))
+    }
+
+    /// Store phase 2 (locked, after a successful unlocked write):
+    /// replaces the artifact's index entry and evicts back down to the
+    /// byte budget.
+    fn note_write(&mut self, name: &str, size: u64) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if let Some(old) = self.index.remove(name) {
+            self.by_recency.remove(&old.seq);
+            self.bytes -= old.size;
+        }
+        self.by_recency.insert(seq, name.to_string());
+        self.bytes += size;
+        self.index.insert(
+            name.to_string(),
+            DiskEntry {
+                size,
+                seq,
+                written: SystemTime::now(),
+            },
+        );
+        self.evict_to_budget();
+    }
+}
+
 /// The two-tier content-addressed artifact store. Internally
-/// synchronized: shards share one store behind `&self`.
+/// synchronized: workers share one store behind `&self`.
 #[derive(Debug)]
 pub struct ArtifactStore {
     inner: Mutex<StoreInner>,
-    disk_dir: Option<PathBuf>,
+    disk: Option<Mutex<DiskTier>>,
 }
 
 impl ArtifactStore {
-    /// Creates a store; the disk directory (if any) is created eagerly
-    /// so a misconfigured path fails loudly here rather than silently
-    /// degrading every write.
+    /// Creates a store; the disk directory (if any) is created and
+    /// indexed eagerly so a misconfigured path fails loudly here
+    /// rather than silently degrading every write — and so a restart
+    /// immediately re-enforces the disk byte budget.
     ///
     /// # Errors
     ///
-    /// Returns the I/O error when the disk directory cannot be created.
+    /// Returns the I/O error when the disk directory cannot be created
+    /// or scanned.
     pub fn new(config: StoreConfig) -> std::io::Result<Self> {
-        if let Some(dir) = &config.disk_dir {
-            std::fs::create_dir_all(dir)?;
-        }
+        let disk = match config.disk_dir {
+            Some(dir) => Some(Mutex::new(DiskTier::open(
+                dir,
+                config.disk_capacity.map(|c| c as u64),
+                config.disk_ttl,
+            )?)),
+            None => None,
+        };
         Ok(Self {
             inner: Mutex::new(StoreInner {
                 lru: Lru::new(config.memory_capacity),
                 stats: StoreStats::default(),
             }),
-            disk_dir: config.disk_dir,
+            disk,
         })
     }
 
-    fn path_of(dir: &Path, key: &ArtifactKey) -> PathBuf {
-        dir.join(format!("{}.art", key.fingerprint().to_hex()))
+    fn name_of(key: &ArtifactKey) -> String {
+        key.fingerprint().to_hex()
     }
 
     /// Looks the artifact up: memory tier first, then disk (verifying
     /// the embedded key and promoting the artifact into memory). The
-    /// disk read happens *outside* the store lock so one shard's cold
-    /// miss never stalls the others' memory-tier traffic.
+    /// disk read happens *outside* the memory-tier lock so one
+    /// worker's cold miss never stalls the others' memory-tier
+    /// traffic.
     #[must_use]
     pub fn get(&self, key: &ArtifactKey) -> Option<Vec<u8>> {
         {
@@ -278,20 +552,31 @@ impl ArtifactStore {
             }
         }
         let mut disk_error = false;
-        if let Some(dir) = &self.disk_dir {
-            match std::fs::read(Self::path_of(dir, key)) {
-                Ok(file) => {
-                    if let Some(value) = decode_disk_artifact(&file, key) {
-                        let mut inner = self.inner.lock().expect("store lock");
-                        inner.stats.disk_hits += 1;
-                        inner.stats.evictions += inner.lru.insert(key.bytes(), value.clone());
-                        return Some(value);
+        if let Some(disk) = &self.disk {
+            let name = Self::name_of(key);
+            let path = disk.lock().expect("disk tier lock").pre_read(&name);
+            if let Some(path) = path {
+                // The file read runs outside the disk-tier lock too:
+                // only index bookkeeping serializes, never I/O.
+                match std::fs::read(&path) {
+                    Ok(file) => {
+                        disk.lock()
+                            .expect("disk tier lock")
+                            .note_read(&name, file.len() as u64);
+                        if let Some(value) = decode_disk_artifact(&file, key) {
+                            let mut inner = self.inner.lock().expect("store lock");
+                            inner.stats.disk_hits += 1;
+                            inner.stats.evictions += inner.lru.insert(key.bytes(), value.clone());
+                            return Some(value);
+                        }
+                        // Fingerprint collision or corrupt file: a miss.
+                        disk_error = true;
                     }
-                    // Fingerprint collision or corrupt file: a miss.
-                    disk_error = true;
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                        disk.lock().expect("disk tier lock").note_missing(&name);
+                    }
+                    Err(_) => disk_error = true,
                 }
-                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-                Err(_) => disk_error = true,
             }
         }
         let mut inner = self.inner.lock().expect("store lock");
@@ -305,14 +590,29 @@ impl ArtifactStore {
     /// Stores an artifact in both tiers. Disk failures are counted and
     /// otherwise ignored — the cache stays best-effort.
     pub fn put(&self, key: &ArtifactKey, value: Vec<u8>) {
-        if let Some(dir) = &self.disk_dir {
+        if let Some(disk) = &self.disk {
+            let name = Self::name_of(key);
             let mut e = Encoder::new();
             e.bytes(key.bytes());
             e.bytes(&value);
-            if write_atomically(&Self::path_of(dir, key), &e.into_bytes()).is_err() {
-                self.inner.lock().expect("store lock").stats.disk_errors += 1;
-            } else {
-                self.inner.lock().expect("store lock").stats.disk_writes += 1;
+            let contents = e.into_bytes();
+            let path = disk
+                .lock()
+                .expect("disk tier lock")
+                .pre_write(&name, contents.len() as u64);
+            if let Some(path) = path {
+                // The temp-file write + fsync + rename runs outside the
+                // disk-tier lock: a worker's fsync must never stall the
+                // other workers' disk traffic.
+                match write_atomically(&path, &contents) {
+                    Ok(()) => {
+                        disk.lock()
+                            .expect("disk tier lock")
+                            .note_write(&name, contents.len() as u64);
+                        self.inner.lock().expect("store lock").stats.disk_writes += 1;
+                    }
+                    Err(_) => self.inner.lock().expect("store lock").stats.disk_errors += 1,
+                }
             }
         }
         let mut inner = self.inner.lock().expect("store lock");
@@ -322,10 +622,20 @@ impl ArtifactStore {
     /// A snapshot of the store counters.
     #[must_use]
     pub fn stats(&self) -> StoreStats {
-        let inner = self.inner.lock().expect("store lock");
-        let mut s = inner.stats;
-        s.entries = inner.lru.len();
-        s.bytes = inner.lru.bytes;
+        let mut s = {
+            let inner = self.inner.lock().expect("store lock");
+            let mut s = inner.stats;
+            s.entries = inner.lru.len();
+            s.bytes = inner.lru.bytes;
+            s
+        };
+        if let Some(disk) = &self.disk {
+            let disk = disk.lock().expect("disk tier lock");
+            s.disk_entries = disk.index.len();
+            s.disk_bytes = disk.bytes as usize;
+            s.disk_evictions = disk.evictions;
+            s.disk_expirations = disk.expirations;
+        }
         s
     }
 }
@@ -433,37 +743,153 @@ mod tests {
         assert_eq!(lru.get(key(0).bytes()), Some(&vec![2u8; 16][..]));
     }
 
+    /// A unique scratch directory per call (tests run concurrently).
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("mbqc-store-test-{tag}-{}", std::process::id()))
+    }
+
+    fn art_path(dir: &Path, k: &ArtifactKey) -> std::path::PathBuf {
+        dir.join(format!("{}.art", k.fingerprint().to_hex()))
+    }
+
+    /// Total size of the `.art` files in a directory — the ground
+    /// truth the disk budget is asserted against.
+    fn dir_art_bytes(dir: &Path) -> u64 {
+        std::fs::read_dir(dir)
+            .map(|entries| {
+                entries
+                    .filter_map(Result::ok)
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "art"))
+                    .filter_map(|e| e.metadata().ok())
+                    .map(|m| m.len())
+                    .sum()
+            })
+            .unwrap_or(0)
+    }
+
     #[test]
     fn disk_tier_survives_restart_and_verifies_keys() {
-        let dir = std::env::temp_dir().join(format!("mbqc-store-test-{}", std::process::id()));
+        let dir = scratch_dir("restart");
         let _ = std::fs::remove_dir_all(&dir);
         let cfg = StoreConfig {
             memory_capacity: 1 << 20,
             disk_dir: Some(dir.clone()),
+            ..StoreConfig::default()
         };
         {
             let store = ArtifactStore::new(cfg.clone()).unwrap();
             store.put(&key(5), vec![42; 100]);
         }
         // A fresh store (cold memory) restores from disk.
-        let store = ArtifactStore::new(cfg).unwrap();
+        let store = ArtifactStore::new(cfg.clone()).unwrap();
         assert_eq!(store.get(&key(5)), Some(vec![42; 100]));
         let s = store.stats();
         assert_eq!(s.disk_hits, 1);
         assert_eq!(s.entries, 1, "disk hit promotes into memory");
+        assert_eq!(s.disk_entries, 1, "restart re-indexed the artifact");
+        assert!(s.disk_bytes > 100);
         assert_eq!(store.get(&key(5)), Some(vec![42; 100]));
         assert_eq!(store.stats().memory_hits, 1);
 
         // Corrupt the file: the store degrades to a miss.
-        let path = ArtifactStore::path_of(&dir, &key(5));
-        std::fs::write(&path, b"garbage").unwrap();
-        let store = ArtifactStore::new(StoreConfig {
-            memory_capacity: 1 << 20,
-            disk_dir: Some(dir.clone()),
-        })
-        .unwrap();
+        std::fs::write(art_path(&dir, &key(5)), b"garbage").unwrap();
+        let store = ArtifactStore::new(cfg).unwrap();
         assert_eq!(store.get(&key(5)), None);
         assert_eq!(store.stats().disk_errors, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disk_budget_evicts_least_recently_accessed() {
+        let dir = scratch_dir("budget");
+        let _ = std::fs::remove_dir_all(&dir);
+        // Room for roughly two artifacts (file = key framing + 200-byte
+        // value), and a tiny memory tier so reads actually hit disk.
+        let file_size = {
+            let probe = ArtifactStore::new(StoreConfig {
+                memory_capacity: 1,
+                disk_dir: Some(dir.clone()),
+                disk_capacity: None,
+                disk_ttl: None,
+            })
+            .unwrap();
+            probe.put(&key(0), vec![0; 200]);
+            probe.stats().disk_bytes as u64
+        };
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = StoreConfig {
+            memory_capacity: 1,
+            disk_dir: Some(dir.clone()),
+            disk_capacity: Some((2 * file_size + file_size / 2) as usize),
+            disk_ttl: None,
+        };
+        let store = ArtifactStore::new(cfg.clone()).unwrap();
+        store.put(&key(1), vec![1; 200]);
+        store.put(&key(2), vec![2; 200]);
+        // Touch 1 so 2 becomes the eviction victim.
+        assert!(store.get(&key(1)).is_some());
+        store.put(&key(3), vec![3; 200]);
+        let s = store.stats();
+        assert_eq!(s.disk_evictions, 1);
+        assert_eq!(s.disk_entries, 2);
+        assert!(s.disk_bytes as u64 <= 2 * file_size + file_size / 2);
+        assert!(dir_art_bytes(&dir) <= 2 * file_size + file_size / 2);
+        assert!(store.get(&key(2)).is_none(), "LRU victim evicted");
+        assert!(store.get(&key(1)).is_some());
+        assert!(store.get(&key(3)).is_some());
+
+        // An artifact larger than the whole budget is never written.
+        store.put(&key(4), vec![4; 3 * file_size as usize]);
+        assert!(dir_art_bytes(&dir) <= 2 * file_size + file_size / 2);
+
+        // A restart over an over-budget directory evicts on open.
+        drop(store);
+        let unbounded = ArtifactStore::new(StoreConfig {
+            disk_capacity: None,
+            ..cfg.clone()
+        })
+        .unwrap();
+        unbounded.put(&key(5), vec![5; 200]);
+        unbounded.put(&key(6), vec![6; 200]);
+        drop(unbounded);
+        let store = ArtifactStore::new(cfg).unwrap();
+        let s = store.stats();
+        assert!(
+            s.disk_bytes as u64 <= 2 * file_size + file_size / 2,
+            "{s:?}"
+        );
+        assert!(dir_art_bytes(&dir) <= 2 * file_size + file_size / 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disk_ttl_expires_artifacts() {
+        let dir = scratch_dir("ttl");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mk = |ttl| {
+            ArtifactStore::new(StoreConfig {
+                memory_capacity: 1, // force disk reads
+                disk_dir: Some(dir.clone()),
+                disk_capacity: None,
+                disk_ttl: ttl,
+            })
+            .unwrap()
+        };
+        // A generous TTL keeps the artifact readable…
+        let store = mk(Some(Duration::from_secs(3600)));
+        store.put(&key(7), vec![7; 50]);
+        assert!(store.get(&key(7)).is_some());
+        drop(store);
+        // …a zero TTL expires it on the next lookup (and deletes it).
+        let store = mk(Some(Duration::ZERO));
+        store.put(&key(8), vec![8; 50]);
+        assert!(store.get(&key(8)).is_none());
+        let s = store.stats();
+        assert!(s.disk_expirations >= 1, "{s:?}");
+        assert!(!art_path(&dir, &key(8)).exists());
+        // The long-TTL artifact also ages out across the zero-TTL
+        // restart (its mtime is in the past).
+        assert!(store.get(&key(7)).is_none());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

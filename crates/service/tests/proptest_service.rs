@@ -1,8 +1,10 @@
 //! Property pins for the compilation service:
 //!
-//! * `CompileService` output is **bit-identical** to a sequential
-//!   `compile_pattern` loop across shard counts {1, 2, 8} × cache
-//!   states {cold, warm, disk-restored};
+//! * the stage-graph executor's output is **bit-identical** to a
+//!   sequential `compile_pattern` loop across worker counts {1, 2, 8}
+//!   × priority mixes × cache states {cold, warm, disk-restored};
+//! * the preserved PR 3 whole-job engine (`ExecutionEngine::JobLoop`)
+//!   produces the same bits as the executor;
 //! * every stage codec round-trips exactly on real pipeline artifacts.
 
 use dc_mbqc::{DcMbqcCompiler, DcMbqcConfig, DistributedSchedule};
@@ -11,7 +13,7 @@ use mbqc_hardware::{DistributedHardware, ResourceStateKind};
 use mbqc_partition::Partition;
 use mbqc_pattern::{transpile::transpile, Pattern};
 use mbqc_schedule::{LayerScheduleProblem, Schedule};
-use mbqc_service::{CompileService, ServiceConfig, StoreConfig};
+use mbqc_service::{CompileService, ExecutionEngine, Priority, ServiceConfig, StoreConfig};
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -27,6 +29,12 @@ fn hardware(qpus: usize, qubits: usize) -> DistributedHardware {
 fn pattern_for(kind_idx: usize, qubits: usize) -> Pattern {
     let kinds = BenchmarkKind::all();
     transpile(&kinds[kind_idx % kinds.len()].generate(qubits, 1))
+}
+
+/// The priority mix: job `i` cycles through every class, so every
+/// batch exercises out-of-submission-order execution.
+fn priority_of(i: usize) -> Priority {
+    Priority::ALL[i % Priority::ALL.len()]
 }
 
 /// A unique scratch directory per call (tests may run concurrently).
@@ -62,11 +70,12 @@ fn assert_identical(
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
-    /// The acceptance property: shard counts {1, 2, 8} × cache states
-    /// {cold, warm, disk-restored} all reproduce `compile_pattern`
-    /// bit-for-bit.
+    /// The acceptance property: worker counts {1, 2, 8} × a cycling
+    /// priority mix × cache states {cold, warm, disk-restored} all
+    /// reproduce `compile_pattern` bit-for-bit under the stage-graph
+    /// executor.
     #[test]
-    fn service_bit_identical_to_compile_pattern(
+    fn executor_bit_identical_to_compile_pattern(
         qubits in 6usize..11,
         qpus in 2usize..5,
         seed in 0u64..1000,
@@ -84,38 +93,97 @@ proptest! {
         };
 
         let dir = scratch_dir();
-        for shards in [1usize, 2, 8] {
+        for workers in [1usize, 2, 8] {
             let service = CompileService::new(ServiceConfig {
-                shards,
+                workers,
+                engine: ExecutionEngine::StageGraph,
                 store: StoreConfig {
                     memory_capacity: 8 << 20,
                     disk_dir: Some(dir.clone()),
+                    ..StoreConfig::default()
                 },
             })
             .expect("service starts");
-            // Cold on the first shard count; disk-restored (fresh
+            // Cold on the first worker count; disk-restored (fresh
             // memory, persisted artifacts) on the later ones.
             for round in 0..2 {
-                let ids = service.submit_many(&patterns, &config);
+                let ids: Vec<_> = patterns
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| {
+                        service.submit_with_priority(
+                            p.clone(),
+                            config.clone(),
+                            priority_of(i + round),
+                        )
+                    })
+                    .collect();
                 for (i, id) in ids.into_iter().enumerate() {
                     let got = service.wait(id).expect("service compiles");
                     assert_identical(
                         &expected[i],
                         &got,
-                        &format!("shards={shards} round={round} job={i}"),
+                        &format!("workers={workers} round={round} job={i}"),
                     )?;
                 }
             }
             let stats = service.stats();
             prop_assert_eq!(stats.completed, 2 * patterns.len() as u64);
             prop_assert_eq!(stats.failed, 0);
-            // Round 2 (and later shard counts, via the disk tier) must
+            prop_assert!(stats.tasks_executed >= 1, "{:?}", stats);
+            // Round 2 (and later worker counts, via the disk tier) must
             // be pure `Scheduled` hits.
             prop_assert!(
                 stats.hits_scheduled >= patterns.len() as u64,
                 "warm round recomputed: {:?}",
                 stats
             );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The preserved PR 3 whole-job engine is bit-identical to the
+    /// stage-graph executor (both pinned to `compile_pattern`), on a
+    /// shared disk tier.
+    #[test]
+    fn job_loop_engine_matches_executor(
+        qubits in 6usize..11,
+        qpus in 2usize..5,
+        seed in 0u64..1000,
+    ) {
+        let config = DcMbqcConfig::new(hardware(qpus, qubits + 1)).with_seed(seed);
+        let patterns: Vec<Pattern> = (0..3).map(|i| pattern_for(i, qubits)).collect();
+        let direct: Vec<DistributedSchedule> = {
+            let compiler = DcMbqcCompiler::new(config.clone());
+            patterns
+                .iter()
+                .map(|p| compiler.compile_pattern(p).expect("compiles"))
+                .collect()
+        };
+        let dir = scratch_dir();
+        for engine in [ExecutionEngine::JobLoop, ExecutionEngine::StageGraph] {
+            let service = CompileService::new(ServiceConfig {
+                workers: 2,
+                engine,
+                store: StoreConfig {
+                    memory_capacity: 8 << 20,
+                    disk_dir: Some(dir.clone()),
+                    ..StoreConfig::default()
+                },
+            })
+            .expect("service starts");
+            let ids: Vec<_> = patterns
+                .iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    service.submit_with_priority(p.clone(), config.clone(), priority_of(i))
+                })
+                .collect();
+            for (i, id) in ids.into_iter().enumerate() {
+                let got = service.wait(id).expect("service compiles");
+                assert_identical(&direct[i], &got, &format!("{engine:?} job={i}"))?;
+            }
+            prop_assert_eq!(service.stats().failed, 0);
         }
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -133,7 +201,7 @@ proptest! {
         let changed = base.clone().without_bdir();
         let pattern = pattern_for(seed as usize, qubits);
         let service = CompileService::new(ServiceConfig {
-            shards: 1,
+            workers: 1,
             ..ServiceConfig::default()
         })
         .expect("service starts");
@@ -187,6 +255,59 @@ proptest! {
     }
 }
 
+/// A starved interactive job overtakes queued batch jobs: with one
+/// worker and a pile of batch work submitted first, the interactive
+/// job still finishes before the *last* batch job (it never waits for
+/// the whole backlog).
+#[test]
+fn interactive_overtakes_batch_backlog() {
+    let config = DcMbqcConfig::new(hardware(2, 9));
+    let service = CompileService::new(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    // Distinct patterns so nothing is answered from the cache. Built
+    // before any submission: transpilation on this thread must not
+    // widen the gap between the batch and interactive submits (the
+    // lone worker could drain the whole backlog in that window).
+    let batch_patterns = [
+        pattern_for(0, 8),
+        pattern_for(1, 8),
+        pattern_for(2, 8),
+        pattern_for(3, 8),
+        pattern_for(0, 10),
+        pattern_for(1, 10),
+    ];
+    let hot_pattern = pattern_for(0, 9);
+    let batch_ids = service.submit_many_with_priority(&batch_patterns, &config, Priority::Batch);
+    let hot = service.submit_with_priority(hot_pattern, config.clone(), Priority::Interactive);
+    service.wait(hot).expect("interactive job compiles");
+    // At the moment the interactive job finished, the batch backlog
+    // must not be done: at least one batch job is still pending.
+    // (`try_poll` *takes* finished results, so collect the leftovers
+    // and `wait` only on those.)
+    let mut still_pending = Vec::new();
+    for id in batch_ids {
+        match service.try_poll(id) {
+            Some(result) => {
+                result.expect("batch job compiles");
+            }
+            None => still_pending.push(id),
+        }
+    }
+    assert!(
+        !still_pending.is_empty(),
+        "interactive job did not overtake the batch backlog"
+    );
+    for id in still_pending {
+        service.wait(id).expect("batch job compiles");
+    }
+    let stats = service.stats();
+    assert_eq!(stats.submitted_by_priority, [6, 0, 1]);
+    assert_eq!(stats.completed, 7);
+}
+
 /// Error jobs surface the pipeline error (and are not cached as
 /// artifacts).
 #[test]
@@ -220,7 +341,7 @@ fn try_poll_takes_result_once() {
     let config = DcMbqcConfig::new(hardware(2, 8));
     let pattern = transpile(&bench::qft(8));
     let service = CompileService::new(ServiceConfig {
-        shards: 1,
+        workers: 1,
         ..ServiceConfig::default()
     })
     .unwrap();

@@ -253,6 +253,13 @@ pub struct Tableau {
     /// measurement sweep — skip the row sweep entirely (the ROADMAP's
     /// "first stabilizer with X" index).
     first_x: Vec<usize>,
+    /// Measurement scratch: rowsum target rows of the current
+    /// measurement, reused across calls (no per-measurement
+    /// allocation).
+    targets: Vec<usize>,
+    /// Measurement scratch: per-target phase accumulators, parallel to
+    /// `targets`.
+    accs: Vec<i32>,
 }
 
 impl Tableau {
@@ -269,6 +276,8 @@ impl Tableau {
             r: vec![false; rows],
             // Stabilizers start as Z_i: no stabilizer carries an X.
             first_x: vec![rows; n],
+            targets: Vec::new(),
+            accs: Vec::new(),
         };
         for i in 0..n {
             let (wq, m) = bit(i);
@@ -432,29 +441,72 @@ impl Tableau {
         }
     }
 
-    /// Batched Aaronson–Gottesman rowsum: `row[t] ← row[t] · row[p]` for
-    /// every `t` in `targets`, with exact per-row phase bookkeeping.
-    /// Processes one column block at a time, so the strided per-row walk
-    /// becomes a sequential pass per block over the (ascending) targets.
-    fn rowsum_batch(&mut self, targets: &[usize], p: usize) {
-        let rows = 2 * self.n;
-        let mut accs: Vec<i32> = targets
-            .iter()
-            .map(|&t| 2 * i32::from(self.r[t]) + 2 * i32::from(self.r[p]))
-            .collect();
+    /// Measurement rowsum: `row[t] ← row[t] · row[p]` for every row
+    /// `t` carrying an X on the measured qubit (the pivot `p` and its
+    /// partner destabilizer excluded), with exact per-row phase
+    /// bookkeeping.
+    ///
+    /// The destabilizer/stabilizer target collection feeds the rowsum
+    /// directly: the target list and phase accumulators live on the
+    /// tableau (no per-measurement allocation), and the accumulator
+    /// initialization (`2·r[t] + 2·r[p]`, formerly a separate
+    /// collect-pass) is folded into the rowsum's first column-block
+    /// loop. The collection scans themselves stay as tight
+    /// compare-only loops over the measured qubit's contiguous column
+    /// — fully fusing them into the rowsum body was measured *slower*
+    /// (it defeats the vectorized column scan; see
+    /// `tableau/rowops_measure_grid24`).
+    fn rowsum_measure(&mut self, p: usize, wq: usize, m: u64) {
+        let n = self.n;
+        let rows = 2 * n;
+        let col = wq * rows;
+        self.targets.clear();
+        self.accs.clear();
+        // Row p−n (the pivot's partner destabilizer) is skipped: it
+        // anticommutes with row p, so the rowsum phase would be
+        // imaginary — and the row is overwritten with a copy of row p
+        // afterwards anyway, making the rowsum dead work. Stabilizer
+        // rows before p carry no X on the qubit (that is what made p
+        // the pivot), so only `p+1..` needs scanning there.
+        for i in 0..n {
+            if self.x[col + i] & m != 0 && i != p - n {
+                self.targets.push(i);
+            }
+        }
+        for i in p + 1..rows {
+            if self.x[col + i] & m != 0 {
+                self.targets.push(i);
+            }
+        }
+        let rp = 2 * i32::from(self.r[p]);
         for w in 0..self.w {
             let o = w * rows;
             let (xp, zp) = (self.x[o + p], self.z[o + p]);
-            for (k, &t) in targets.iter().enumerate() {
-                let (xt, zt) = (self.x[o + t], self.z[o + t]);
-                let (pos, neg) = phase_masks(xp, zp, xt, zt);
-                accs[k] += pos.count_ones() as i32 - neg.count_ones() as i32;
-                self.x[o + t] = xt ^ xp;
-                self.z[o + t] = zt ^ zp;
+            if w == 0 {
+                // The first block's pass doubles as accumulator
+                // construction.
+                for &t in &self.targets {
+                    let (xt, zt) = (self.x[o + t], self.z[o + t]);
+                    let (pos, neg) = phase_masks(xp, zp, xt, zt);
+                    self.accs.push(
+                        2 * i32::from(self.r[t]) + rp + pos.count_ones() as i32
+                            - neg.count_ones() as i32,
+                    );
+                    self.x[o + t] = xt ^ xp;
+                    self.z[o + t] = zt ^ zp;
+                }
+            } else {
+                for (k, &t) in self.targets.iter().enumerate() {
+                    let (xt, zt) = (self.x[o + t], self.z[o + t]);
+                    let (pos, neg) = phase_masks(xp, zp, xt, zt);
+                    self.accs[k] += pos.count_ones() as i32 - neg.count_ones() as i32;
+                    self.x[o + t] = xt ^ xp;
+                    self.z[o + t] = zt ^ zp;
+                }
             }
         }
-        for (k, &t) in targets.iter().enumerate() {
-            let phase = accs[k].rem_euclid(4);
+        for (k, &t) in self.targets.iter().enumerate() {
+            let phase = self.accs[k].rem_euclid(4);
             debug_assert!(phase == 0 || phase == 2, "non-Hermitian rowsum");
             self.r[t] = phase == 2;
         }
@@ -475,24 +527,19 @@ impl Tableau {
         // there — O(1) when the index already says "none" (the common
         // case deep into a measurement sweep, and every re-measurement).
         if let Some(p) = (self.first_x[q]..rows).find(|&i| self.x[col + i] & m != 0) {
-            // Random outcome. Row p−n (the pivot's partner destabilizer)
-            // is skipped: it anticommutes with row p, so the rowsum phase
-            // would be imaginary — and the row is overwritten with a copy
-            // of row p below anyway, making the rowsum dead work.
-            // Stabilizer rows before p carry no X on q (that is what
-            // made p the pivot), so only `p+1..` needs scanning there.
-            let targets: Vec<usize> = (0..n)
-                .filter(|&i| i != p - n && self.x[col + i] & m != 0)
-                .chain((p + 1..rows).filter(|&i| self.x[col + i] & m != 0))
-                .collect();
-            self.rowsum_batch(&targets, p);
+            // Random outcome: the rowsum pass itself collects the
+            // target rows while sweeping the measured qubit's column
+            // block (no separate column scan, no per-measurement
+            // allocation).
+            self.rowsum_measure(p, wq, m);
             // The rowsum XORs the pivot row into every target
             // (`x_t ^= x_p`), so an X bit can *appear* only on qubits in
             // the pivot row's X support, and only in XORed stabilizer
             // rows: clamp exactly those qubits' bounds to the lowest
             // one. Everything else keeps its exact bound — which is
             // what keeps re-measurements and deterministic sweeps O(1).
-            if let Some(&floor) = targets.iter().find(|&&t| t >= n) {
+            // (Targets are ascending, so the first `>= n` is lowest.)
+            if let Some(&floor) = self.targets.iter().find(|&&t| t >= n) {
                 for w in 0..self.w {
                     let mut bits = self.x[w * rows + p];
                     while bits != 0 {

@@ -15,7 +15,7 @@ use dc_mbqc::DcMbqcConfig;
 use mbqc_circuit::bench::{self, BenchmarkKind};
 use mbqc_hardware::{DistributedHardware, ResourceStateKind};
 use mbqc_pattern::{transpile::transpile, Pattern};
-use mbqc_service::{CompileService, ServiceConfig};
+use mbqc_service::{CompileService, Priority, ServiceConfig};
 
 fn main() {
     // 1. A mixed production-style workload: QFT instances alongside
@@ -47,20 +47,22 @@ fn main() {
         .build();
     let config = DcMbqcConfig::new(hw);
     let service = CompileService::new(ServiceConfig {
-        shards: 2,
+        workers: 2,
         ..ServiceConfig::default()
     })
     .expect("service starts");
     println!(
-        "service: {} shards, {} jobs per round\n",
-        service.shards(),
+        "service: {} workers (stage-graph executor), {} jobs per round\n",
+        service.workers(),
         patterns.len()
     );
 
-    // 3. Submit the whole workload twice: cold, then warm.
-    for round in ["cold", "warm"] {
+    // 3. Submit the whole workload twice: cold (as batch backfill),
+    //    then warm (as interactive traffic — priority orders the
+    //    stage-task ready-queue but never changes results).
+    for (round, priority) in [("cold", Priority::Batch), ("warm", Priority::Interactive)] {
         let t = Instant::now();
-        let ids = service.submit_many(&just_patterns, &config);
+        let ids = service.submit_many_with_priority(&just_patterns, &config, priority);
         for ((name, _), id) in patterns.iter().zip(ids) {
             let result = service.wait(id).expect("job compiles");
             if round == "cold" {
@@ -103,5 +105,9 @@ fn main() {
         stats.store.evictions,
         stats.hits_scheduled,
         stats.completed,
+    );
+    println!(
+        "executor: {} stage tasks for {} jobs (cache hits skip stages), priorities [batch, normal, interactive] = {:?}",
+        stats.tasks_executed, stats.submitted, stats.submitted_by_priority,
     );
 }

@@ -1,0 +1,208 @@
+//! Error-path pins for every `from_bytes` codec in the workspace:
+//! truncated buffers, corrupted length prefixes, wrong-stage bytes, and
+//! fuzz-style random mutations of valid encodings must all return
+//! [`CodecError`]s (or, for value-level mutations that happen to stay
+//! structurally valid, a decoded value) — **never** a panic or a runaway
+//! allocation.
+//!
+//! Covered impls: `Partition`, `CompiledProgram`, `Schedule`,
+//! `LayerScheduleProblem`, `DistributedSchedule`, `DiGraph`.
+
+use dc_mbqc::{DcMbqcCompiler, DcMbqcConfig, DistributedSchedule};
+use mbqc_circuit::bench;
+use mbqc_compiler::{CompiledProgram, CompilerConfig, GridMapper};
+use mbqc_graph::DiGraph;
+use mbqc_hardware::{DistributedHardware, ResourceStateKind};
+use mbqc_partition::Partition;
+use mbqc_pattern::transpile::transpile;
+use mbqc_schedule::{LayerScheduleProblem, Schedule};
+use proptest::prelude::*;
+
+/// One codec under test: a real valid encoding, a decode probe
+/// (`true` = decoded successfully), and the byte offset of a length
+/// prefix inside the encoding (every codec here has one in its fixed
+/// header region).
+struct Codec {
+    name: &'static str,
+    bytes: Vec<u8>,
+    decodes: fn(&[u8]) -> bool,
+    len_prefix_offset: usize,
+}
+
+/// The codecs are built from one real compilation, computed once per
+/// test process (the fuzz property rebuilds nothing per case).
+fn codecs() -> &'static [Codec] {
+    static CODECS: std::sync::OnceLock<Vec<Codec>> = std::sync::OnceLock::new();
+    CODECS.get_or_init(build_codecs)
+}
+
+fn build_codecs() -> Vec<Codec> {
+    let qubits = 8;
+    let pattern = transpile(&bench::qft(qubits));
+    let hw = DistributedHardware::builder()
+        .num_qpus(3)
+        .grid_width(bench::grid_size_for(qubits))
+        .resource_state(ResourceStateKind::FIVE_STAR)
+        .kmax(4)
+        .build();
+    let dist = DcMbqcCompiler::new(DcMbqcConfig::new(hw))
+        .compile_pattern(&pattern)
+        .expect("compiles");
+
+    let order = pattern
+        .flow_constraints()
+        .topological_sort()
+        .expect("has flow");
+    let program = GridMapper::new(CompilerConfig::new(
+        bench::grid_size_for(qubits),
+        ResourceStateKind::FIVE_STAR,
+    ))
+    .compile(pattern.graph(), &order)
+    .expect("maps");
+
+    let deps = pattern.dependency_graph().real_time().clone();
+
+    vec![
+        Codec {
+            name: "Partition",
+            bytes: dist.partition().to_bytes(),
+            decodes: |b| Partition::from_bytes(b).is_ok(),
+            // Layout: k (u64), then the assignment length prefix.
+            len_prefix_offset: 8,
+        },
+        Codec {
+            name: "CompiledProgram",
+            bytes: program.to_bytes(),
+            decodes: |b| CompiledProgram::from_bytes(b).is_ok(),
+            // Layout: num_layers (u64), then the layer_of length prefix.
+            len_prefix_offset: 8,
+        },
+        Codec {
+            name: "Schedule",
+            bytes: dist.schedule().to_bytes(),
+            decodes: |b| Schedule::from_bytes(b).is_ok(),
+            // Layout: the per-QPU list count leads.
+            len_prefix_offset: 0,
+        },
+        Codec {
+            name: "LayerScheduleProblem",
+            bytes: dist.problem().to_bytes(),
+            decodes: |b| LayerScheduleProblem::from_bytes(b).is_ok(),
+            // Layout: num_qpus (u64), then the main_counts length prefix.
+            len_prefix_offset: 8,
+        },
+        Codec {
+            name: "DistributedSchedule",
+            bytes: dist.to_bytes(),
+            decodes: |b| DistributedSchedule::from_bytes(b).is_ok(),
+            // Layout: three cost u64s, then the schedule byte-string
+            // length prefix.
+            len_prefix_offset: 24,
+        },
+        Codec {
+            name: "DiGraph",
+            bytes: deps.to_bytes(),
+            decodes: |b| DiGraph::from_bytes(b).is_ok(),
+            // Layout: the node count leads.
+            len_prefix_offset: 0,
+        },
+    ]
+}
+
+/// Every strict prefix of a valid encoding must fail to decode — a
+/// truncated artifact can never masquerade as a shorter valid one.
+#[test]
+fn truncations_are_errors_for_every_codec() {
+    for codec in codecs() {
+        let bytes = &codec.bytes;
+        assert!((codec.decodes)(bytes), "{}: valid encoding", codec.name);
+        // Every cut point for short encodings; dense sampling plus the
+        // boundary region for long ones.
+        let step = (bytes.len() / 97).max(1);
+        let cuts = (0..bytes.len())
+            .step_by(step)
+            .chain(bytes.len().saturating_sub(9)..bytes.len());
+        for cut in cuts {
+            assert!(
+                !(codec.decodes)(&bytes[..cut]),
+                "{}: truncation to {} of {} decoded",
+                codec.name,
+                cut,
+                bytes.len()
+            );
+        }
+    }
+}
+
+/// A corrupted length prefix (`u64::MAX`) must be rejected — without a
+/// huge allocation and without a panic.
+#[test]
+fn corrupted_length_prefixes_are_errors() {
+    for codec in codecs() {
+        let mut bytes = codec.bytes.clone();
+        let o = codec.len_prefix_offset;
+        bytes[o..o + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(
+            !(codec.decodes)(&bytes),
+            "{}: corrupt length prefix decoded",
+            codec.name
+        );
+        // A plausible-but-wrong length (off by one up) must fail too.
+        let mut bytes = codec.bytes.clone();
+        let len = u64::from_le_bytes(bytes[o..o + 8].try_into().unwrap());
+        bytes[o..o + 8].copy_from_slice(&(len + 1).to_le_bytes());
+        assert!(
+            !(codec.decodes)(&bytes),
+            "{}: off-by-one length prefix decoded",
+            codec.name
+        );
+    }
+}
+
+/// Feeding one stage's bytes to another stage's decoder must return an
+/// error, not a bogus artifact or a panic.
+#[test]
+fn wrong_stage_bytes_are_errors() {
+    let all = codecs();
+    for (i, codec) in all.iter().enumerate() {
+        for (j, other) in all.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            assert!(
+                !(codec.decodes)(&other.bytes),
+                "{} decoder accepted {} bytes",
+                codec.name,
+                other.name
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    /// Fuzz: random byte mutations of valid encodings never panic.
+    /// (A mutation that only shifts a *value* may still decode; the
+    /// contract under test is errors-not-panics.)
+    #[test]
+    fn random_mutations_never_panic(
+        which in 0usize..6,
+        positions in prop::collection::vec(0usize..1_000_000, 1..8),
+        values in prop::collection::vec(0u8..=255, 8..9),
+        truncate_to in 0usize..1_000_000,
+    ) {
+        let all = codecs();
+        let codec = &all[which % all.len()];
+        let mut bytes = codec.bytes.clone();
+        for (k, &pos) in positions.iter().enumerate() {
+            let i = pos % bytes.len();
+            bytes[i] = values[k % values.len()];
+        }
+        // Decode the mutated buffer and a truncation of it: both must
+        // return (Ok or Err) without panicking.
+        let _ = (codec.decodes)(&bytes);
+        let cut = truncate_to % (bytes.len() + 1);
+        let _ = (codec.decodes)(&bytes[..cut]);
+    }
+}
