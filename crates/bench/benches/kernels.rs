@@ -283,6 +283,47 @@ fn bench_service(c: &mut Criterion) {
     group.bench_function("pipelined_batch_jobloop_reference", |b| {
         b.iter(|| run(ExecutionEngine::JobLoop));
     });
+    // The same workload with ~30% abandonment riding along: cancelled
+    // and expired jobs must cost bookkeeping only (tracked as
+    // `end_to_end/lifecycle_churn` in BENCH_kernels.json).
+    let victims: Vec<_> = [15usize, 16]
+        .iter()
+        .map(|&n| transpile(&bench::qft(n)))
+        .collect();
+    group.bench_function("lifecycle_churn", |b| {
+        b.iter(|| {
+            let service = CompileService::new(ServiceConfig {
+                workers: 0,
+                ..ServiceConfig::default()
+            })
+            .expect("service starts");
+            let ids = service.submit_many(&patterns, &config);
+            let doomed: Vec<_> = victims
+                .iter()
+                .map(|p| {
+                    let h = service.submit_with(
+                        p.clone(),
+                        config.clone(),
+                        mbqc_service::JobOptions::default(),
+                    );
+                    h.cancel();
+                    h.id()
+                })
+                .collect();
+            let expired = service.submit_with_deadline(
+                victims[0].clone(),
+                config.clone(),
+                std::time::Duration::ZERO,
+            );
+            for id in ids {
+                service.wait(id).expect("service compiles");
+            }
+            for id in doomed {
+                assert!(service.wait(id).is_err());
+            }
+            assert!(expired.wait().is_err());
+        });
+    });
     group.finish();
 }
 

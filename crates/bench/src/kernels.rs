@@ -352,6 +352,87 @@ pub fn measure_kernels(reps: usize) -> Vec<KernelResult> {
         });
     }
 
+    // End-to-end: the lifecycle machinery under churn. Both sides
+    // compile the same ten jobs on a cold service; the churn side
+    // additionally submits ~30% extra jobs that are cancelled (three
+    // immediately by token/id, one expired via a lapsed deadline) —
+    // production abandonment traffic. Cancellation is boundary-checked
+    // bookkeeping, so completed-job throughput should be unchanged:
+    // the tracked ratio pins the lifecycle overhead at ~1.0× on 1 CPU.
+    {
+        let survivors: Vec<_> = [10usize, 12, 11, 13, 10, 12, 11, 13, 10, 12]
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let kinds = mbqc_circuit::bench::BenchmarkKind::all();
+                transpile(&kinds[i % kinds.len()].generate(n, 1))
+            })
+            .collect();
+        let victims: Vec<_> = [14usize, 15, 16]
+            .iter()
+            .map(|&n| transpile(&bench::qft(n)))
+            .collect();
+        let hw = DistributedHardware::builder()
+            .num_qpus(4)
+            .grid_width(bench::grid_size_for(16))
+            .resource_state(ResourceStateKind::FIVE_STAR)
+            .kmax(4)
+            .build();
+        let config = DcMbqcConfig::new(hw);
+        let fresh = || {
+            CompileService::new(ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            })
+            .expect("service starts")
+        };
+        results.push(KernelResult {
+            name: "end_to_end/lifecycle_churn",
+            baseline_ns: median_ns(
+                || {
+                    let service = fresh();
+                    for id in service.submit_many(&survivors, &config) {
+                        std::hint::black_box(service.wait(id).expect("job compiles"));
+                    }
+                },
+                reps,
+            ),
+            optimized_ns: median_ns(
+                || {
+                    let service = fresh();
+                    let ids = service.submit_many(&survivors, &config);
+                    // The churn: cancelled and expired jobs riding
+                    // along with the real workload.
+                    let doomed: Vec<_> = victims
+                        .iter()
+                        .map(|p| {
+                            let h = service.submit_with(
+                                p.clone(),
+                                config.clone(),
+                                mbqc_service::JobOptions::default(),
+                            );
+                            h.cancel();
+                            h.id()
+                        })
+                        .collect();
+                    let expired = service.submit_with_deadline(
+                        victims[0].clone(),
+                        config.clone(),
+                        std::time::Duration::ZERO,
+                    );
+                    for id in ids {
+                        std::hint::black_box(service.wait(id).expect("job compiles"));
+                    }
+                    for id in doomed {
+                        assert!(service.wait(id).is_err(), "victim must not complete");
+                    }
+                    assert!(expired.wait().is_err(), "lapsed deadline must expire");
+                },
+                reps,
+            ),
+        });
+    }
+
     // Statevector single-qubit kernels, on a cache-resident 14-qubit
     // register so the loop structure (not DRAM bandwidth) is measured:
     // a Hadamard sweep through the general 2×2 path…

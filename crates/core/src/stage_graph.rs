@@ -98,6 +98,9 @@ pub struct StageGraph {
     /// Tasks that actually executed (skips excluded).
     executed: u32,
     ready: Option<StageKind>,
+    /// Set by [`StageGraph::abandon`]: the job was dropped between
+    /// tasks instead of running to a result.
+    abandoned: bool,
 }
 
 impl StageGraph {
@@ -108,6 +111,7 @@ impl StageGraph {
             done: [false; 4],
             executed: 0,
             ready: Some(StageKind::Transpile),
+            abandoned: false,
         }
     }
 
@@ -155,8 +159,33 @@ impl StageGraph {
         self.ready = None;
     }
 
-    /// `true` when no task is ready (the job produced its result or
-    /// failed).
+    /// Abandons the job between tasks (a cancellation or an expired
+    /// deadline observed at a task boundary): no task is ready any
+    /// more, and the remaining stages are left pending — they were
+    /// *dropped*, not answered. Identical to [`finish`](Self::finish)
+    /// in effect on the ready queue; kept distinct so executors state
+    /// their intent and `is_abandoned` can tell a dropped job from a
+    /// produced result.
+    ///
+    /// Abandonment only ever happens *between* tasks — a running stage
+    /// is never interrupted (stages stay deterministic), so an
+    /// abandoned job holds no checked-out workspace: everything it
+    /// borrowed from the [`WorkspacePool`] was already returned when
+    /// its last task finished.
+    pub fn abandon(&mut self) {
+        self.abandoned = self.abandoned || self.ready.is_some();
+        self.ready = None;
+    }
+
+    /// `true` when the job was dropped between tasks by
+    /// [`abandon`](Self::abandon) rather than running to a result.
+    #[must_use]
+    pub fn is_abandoned(&self) -> bool {
+        self.abandoned
+    }
+
+    /// `true` when no task is ready (the job produced its result,
+    /// failed, or was abandoned).
     #[must_use]
     pub fn is_finished(&self) -> bool {
         self.ready.is_none()
@@ -167,6 +196,15 @@ impl StageGraph {
     #[must_use]
     pub fn completed(&self) -> u32 {
         self.executed
+    }
+
+    /// Pipeline depth: how many of the four stages are already
+    /// satisfied (executed *or* answered by a cached artifact). A
+    /// deepest-stage-first queue policy orders ready jobs by this —
+    /// draining work-in-progress before starting fresh jobs.
+    #[must_use]
+    pub fn depth(&self) -> u32 {
+        self.done.iter().map(|&d| u32::from(d)).sum()
     }
 }
 
@@ -190,11 +228,21 @@ impl Default for StageGraph {
 /// Mapping workspaces are pooled as bundles (`Vec<MapperWorkspace>`,
 /// one entry per mapping worker) because the map stage owns all its
 /// workers' scratch for the duration of one task.
+///
+/// The pool counts outstanding checkouts
+/// ([`outstanding`](WorkspacePool::outstanding)): a drained executor —
+/// every job in a terminal state, no task running — must read 0, which
+/// is exactly the "no workspace leaked on the cancellation/abandon
+/// path" invariant the lifecycle property tests pin. Only a panicking
+/// task legitimately leaves the count raised (its workspace is
+/// deliberately dropped, not returned).
 #[derive(Debug, Default)]
 pub struct WorkspacePool {
     kway: Mutex<Vec<KwayWorkspace>>,
     mapper: Mutex<Vec<Vec<MapperWorkspace>>>,
     schedule: Mutex<Vec<ScheduleWorkspace>>,
+    /// Checkouts minus checkins, all workspace kinds together.
+    outstanding: std::sync::atomic::AtomicUsize,
 }
 
 impl WorkspacePool {
@@ -204,9 +252,30 @@ impl WorkspacePool {
         Self::default()
     }
 
+    fn note_checkout(&self) {
+        self.outstanding
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    fn note_checkin(&self) {
+        let prev = self
+            .outstanding
+            .fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
+        debug_assert!(prev > 0, "workspace checked in twice");
+    }
+
+    /// Workspaces currently checked out (any kind). 0 on a drained
+    /// executor; stays raised only when a panicking task dropped its
+    /// workspace instead of returning it.
+    #[must_use]
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
     /// Checks out a partitioning workspace.
     #[must_use]
     pub fn checkout_kway(&self) -> KwayWorkspace {
+        self.note_checkout();
         self.kway
             .lock()
             .expect("workspace pool lock")
@@ -217,11 +286,13 @@ impl WorkspacePool {
     /// Returns a partitioning workspace to the pool.
     pub fn checkin_kway(&self, ws: KwayWorkspace) {
         self.kway.lock().expect("workspace pool lock").push(ws);
+        self.note_checkin();
     }
 
     /// Checks out a mapping workspace bundle.
     #[must_use]
     pub fn checkout_mapper(&self) -> Vec<MapperWorkspace> {
+        self.note_checkout();
         self.mapper
             .lock()
             .expect("workspace pool lock")
@@ -232,11 +303,13 @@ impl WorkspacePool {
     /// Returns a mapping workspace bundle to the pool.
     pub fn checkin_mapper(&self, ws: Vec<MapperWorkspace>) {
         self.mapper.lock().expect("workspace pool lock").push(ws);
+        self.note_checkin();
     }
 
     /// Checks out a scheduling workspace.
     #[must_use]
     pub fn checkout_schedule(&self) -> ScheduleWorkspace {
+        self.note_checkout();
         self.schedule
             .lock()
             .expect("workspace pool lock")
@@ -247,6 +320,7 @@ impl WorkspacePool {
     /// Returns a scheduling workspace to the pool.
     pub fn checkin_schedule(&self, ws: ScheduleWorkspace) {
         self.schedule.lock().expect("workspace pool lock").push(ws);
+        self.note_checkin();
     }
 }
 
@@ -284,7 +358,45 @@ mod tests {
         g.complete(StageKind::Transpile);
         g.finish();
         assert!(g.is_finished());
+        assert!(!g.is_abandoned(), "finish is not abandonment");
         assert_eq!(g.ready(), None);
+    }
+
+    #[test]
+    fn abandon_drops_pending_stages() {
+        let mut g = StageGraph::new();
+        g.complete(StageKind::Transpile);
+        g.complete(StageKind::Partition);
+        assert_eq!(g.depth(), 2);
+        g.abandon();
+        assert!(g.is_finished());
+        assert!(g.is_abandoned());
+        assert_eq!(g.ready(), None);
+        assert_eq!(g.completed(), 2, "executed tasks keep counting");
+        assert_eq!(g.depth(), 2, "abandoned stages are not satisfied");
+    }
+
+    #[test]
+    fn abandon_after_finish_is_not_abandonment() {
+        // The job already produced its result; a late cancel must not
+        // relabel it as dropped.
+        let mut g = StageGraph::new();
+        for kind in StageKind::ALL {
+            g.complete(kind);
+        }
+        g.abandon();
+        assert!(!g.is_abandoned());
+    }
+
+    #[test]
+    fn depth_counts_skips_as_satisfied() {
+        let mut g = StageGraph::new();
+        assert_eq!(g.depth(), 0);
+        g.complete(StageKind::Transpile);
+        g.skip_to(StageKind::Schedule);
+        assert_eq!(g.depth(), 3, "transpile + two cache-answered stages");
+        g.complete(StageKind::Schedule);
+        assert_eq!(g.depth(), 4);
     }
 
     #[test]
@@ -305,5 +417,22 @@ mod tests {
         pool.checkin_mapper(m);
         let s = pool.checkout_schedule();
         pool.checkin_schedule(s);
+    }
+
+    #[test]
+    fn pool_counts_outstanding_checkouts() {
+        let pool = WorkspacePool::new();
+        assert_eq!(pool.outstanding(), 0);
+        let k = pool.checkout_kway();
+        let m = pool.checkout_mapper();
+        assert_eq!(pool.outstanding(), 2);
+        pool.checkin_mapper(m);
+        assert_eq!(pool.outstanding(), 1);
+        pool.checkin_kway(k);
+        assert_eq!(pool.outstanding(), 0);
+        let s = pool.checkout_schedule();
+        assert_eq!(pool.outstanding(), 1);
+        pool.checkin_schedule(s);
+        assert_eq!(pool.outstanding(), 0);
     }
 }

@@ -32,6 +32,16 @@
 //! interleaving stays bit-identical to a direct `compile_pattern`
 //! (property-tested across worker counts × priority mixes × cache
 //! states).
+//!
+//! Job lifecycle hooks live at the task boundaries: queue pops drop
+//! cancelled/expired jobs before running anything (see
+//! `Shared::next_job`), requeues turn a mid-flight cancellation into
+//! the `Cancelled` terminal state, and each task re-checks its job's
+//! [`CancelToken`](crate::CancelToken) *before publishing* its
+//! artifact — a cancelled job's task never stores its output. The
+//! running stage itself is never interrupted (stages stay
+//! deterministic), and its pooled workspace is always returned on the
+//! way out, cancelled or not.
 
 use std::time::Instant;
 
@@ -165,7 +175,12 @@ fn partition_task(
         (partitioned.partition().clone(), partitioned.cache())
     };
     shared.pool.checkin_kway(ws);
-    shared.store.put(&keys.part, partition.to_bytes());
+    // Publish gate: a task that observes its job's cancellation keeps
+    // its (fully computed, deterministic) artifact out of the store —
+    // the job terminates `Cancelled` at the requeue that follows.
+    if !state.cancel.is_cancelled() {
+        shared.store.put(&keys.part, partition.to_bytes());
+    }
     state.partition = Some(partition);
     state.part_cache = Some(cache);
     state.stages.complete(StageKind::Partition);
@@ -214,7 +229,9 @@ fn map_task(
     };
     shared.pool.checkin_mapper(ws);
     let (artifact, programs, cache) = outcome?;
-    shared.store.put(&keys.map, artifact);
+    if !state.cancel.is_cancelled() {
+        shared.store.put(&keys.map, artifact);
+    }
     state.programs = Some(programs);
     if cache.is_some() {
         state.part_cache = cache;
@@ -252,7 +269,11 @@ fn schedule_task(
         schedule_stage(&state.config, mapped, &mut ws)
     };
     shared.pool.checkin_schedule(ws);
-    shared.store.put(&keys.sched, scheduled.to_bytes());
+    // The job's result exists, so it terminates `Done` even under a
+    // late cancel — but the artifact publish is still gated.
+    if !state.cancel.is_cancelled() {
+        shared.store.put(&keys.sched, scheduled.to_bytes());
+    }
     state.stages.complete(StageKind::Schedule);
     Ok(Some(scheduled))
 }

@@ -73,10 +73,92 @@
 //! an optional TTL ([`StoreConfig::disk_capacity`],
 //! [`StoreConfig::disk_ttl`]).
 //!
+//! ## Job lifecycle
+//!
+//! Production traffic abandons work constantly — clients disconnect,
+//! time out, and resubmit — so jobs are first-class lifecycle objects.
+//! Every submitted job ends in exactly one **terminal state**:
+//!
+//! | terminal state | how | surfaced as |
+//! |---|---|---|
+//! | `Done` | the pipeline (or cache) produced the result | `Ok(schedule)` |
+//! | `Failed` | pipeline error or worker panic | [`ServiceError::Compile`] / [`ServiceError::Internal`] |
+//! | `Cancelled` | [`CompileService::cancel`], [`JobHandle::cancel`], or a shared [`CancelToken`] | [`ServiceError::Cancelled`] |
+//! | `Expired` | the deadline of [`CompileService::submit_with_deadline`] lapsed while queued | [`ServiceError::Expired`] |
+//!
+//! **Cancellation is boundary-checked.** Stages are deterministic and
+//! are never interrupted mid-computation: a queued job is dropped from
+//! the queue immediately, an in-flight job finishes its current stage
+//! task and is dropped at the boundary instead of being requeued, and
+//! a job whose *final* task already produced the result stays `Done`.
+//! A task that observes its job's cancellation does not publish its
+//! artifact — the store only ever holds artifacts a non-cancelled job
+//! produced (property-tested).
+//!
+//! **Deadlines are lazy.** Nothing wakes up to expire a job: the
+//! deadline is checked when the job's next task would be popped, so an
+//! expired job costs exactly one queue pop and never a stage
+//! execution. The flip side: expiry latency is bounded by the queue's
+//! pop rate, not wall-clock — an expired job parked behind a long
+//! backlog reports `Expired` only when its turn comes (or when it is
+//! cancelled, or at service drain).
+//!
+//! **The queue order is pluggable** ([`QueuePolicy`]).
+//! `PriorityFifo` (the default) pops by priority then submission
+//! order. `DeepestStageFirst` drains work-in-progress first within a
+//! priority class: jobs with more satisfied stages pop before fresh
+//! jobs, which finishes nearly-done (e.g. cache-accelerated) jobs
+//! ahead of cold backlog and trims completion-latency tails under
+//! mixed load. Policies are pure scheduling — no policy, cancellation
+//! interleaving, or deadline can change a surviving job's bits.
+//!
+//! ```
+//! use dc_mbqc::DcMbqcConfig;
+//! use mbqc_circuit::bench;
+//! use mbqc_hardware::{DistributedHardware, ResourceStateKind};
+//! use mbqc_pattern::transpile::transpile;
+//! use mbqc_service::{CompileService, ServiceConfig, ServiceError};
+//!
+//! let hw = DistributedHardware::builder()
+//!     .num_qpus(2)
+//!     .grid_width(bench::grid_size_for(16))
+//!     .resource_state(ResourceStateKind::FIVE_STAR)
+//!     .kmax(4)
+//!     .build();
+//! let config = DcMbqcConfig::new(hw);
+//! let service = CompileService::new(ServiceConfig {
+//!     workers: 1,
+//!     ..ServiceConfig::default()
+//! })
+//! .unwrap();
+//!
+//! // A blocker keeps the lone worker busy while the client changes
+//! // its mind about the second job.
+//! let keep = service.submit(transpile(&bench::qft(12)), config.clone());
+//! let abandon = service.submit_with(
+//!     transpile(&bench::qft(16)),
+//!     config.clone(),
+//!     mbqc_service::JobOptions::default(),
+//! );
+//! assert!(abandon.cancel(), "registered before a terminal state");
+//!
+//! assert!(matches!(abandon.wait(), Err(ServiceError::Cancelled(_))));
+//! let schedule = service.wait(keep).expect("unaffected by the cancel");
+//! assert!(schedule.execution_time() > 0);
+//!
+//! let stats = service.stats();
+//! assert_eq!((stats.completed, stats.cancelled), (1, 1));
+//! assert_eq!(stats.pool_outstanding, 0, "no workspace leaked");
+//! ```
+//!
 //! **Determinism is the contract**: for any engine, worker count,
-//! priority mix, and cache state — cold, warm, disk-restored — results
-//! are bit-identical to a direct
-//! [`dc_mbqc::DcMbqcCompiler::compile_pattern`] call (property-tested).
+//! priority mix, queue policy, and cache state — cold, warm,
+//! disk-restored — results are bit-identical to a direct
+//! [`dc_mbqc::DcMbqcCompiler::compile_pattern`] call, and lifecycle
+//! churn (cancellation/expiry at arbitrary points) never perturbs a
+//! surviving job, leaks a pooled workspace, or leaves a partial
+//! artifact in the store (property-tested in
+//! `tests/proptest_lifecycle.rs`).
 //!
 //! # Example
 //!
@@ -132,6 +214,7 @@ pub mod store;
 
 pub use dc_mbqc::PipelineStage;
 pub use service::{
-    CompileService, ExecutionEngine, JobId, Priority, ServiceConfig, ServiceError, ServiceStats,
+    CancelToken, CompileService, ExecutionEngine, JobHandle, JobId, JobOptions, Priority,
+    QueuePolicy, ServiceConfig, ServiceError, ServiceStats,
 };
 pub use store::{ArtifactKey, ArtifactStore, StoreConfig, StoreStats};

@@ -33,12 +33,47 @@
 //! cold, warm, or disk-restored (property-tested in
 //! `tests/proptest_service.rs`).
 //!
+//! # Job lifecycle
+//!
+//! A submitted job ends in exactly one **terminal state**:
+//!
+//! * **Done** — the pipeline ran (or the cache answered) and
+//!   [`wait`](CompileService::wait) returns `Ok(schedule)`, bit-identical
+//!   to `compile_pattern`;
+//! * **Failed** — the pipeline rejected the job
+//!   ([`ServiceError::Compile`]) or a worker panicked
+//!   ([`ServiceError::Internal`]);
+//! * **Cancelled** — the client called [`CompileService::cancel`] /
+//!   [`JobHandle::cancel`] or fired a shared [`CancelToken`]
+//!   ([`ServiceError::Cancelled`]);
+//! * **Expired** — the job's deadline passed while it was queued
+//!   ([`ServiceError::Expired`]).
+//!
+//! Cancellation is observed **at task boundaries only**: a queued job is
+//! dropped from the queue immediately, while an in-flight job finishes
+//! its current stage task (stages stay deterministic — they are never
+//! interrupted mid-computation) and is then dropped instead of being
+//! requeued. A task that observes its job's cancellation does not
+//! publish its artifact to the store. Deadlines are **lazy**: nothing
+//! wakes up to expire a job — the deadline is checked when the job's
+//! next task would be popped, so an expired job costs exactly one
+//! queue-pop and never a stage execution.
+//!
+//! The ready queue itself is policy-driven ([`QueuePolicy`]): the
+//! default [`QueuePolicy::PriorityFifo`] pops by priority then
+//! submission order, while [`QueuePolicy::DeepestStageFirst`] drains
+//! work-in-progress first within a priority class — jobs with more
+//! satisfied stages pop before fresh jobs, cutting latency tails under
+//! mixed load. Neither policy (nor any cancellation interleaving) can
+//! change a surviving job's *result* — only when it runs
+//! (property-tested in `tests/proptest_lifecycle.rs`).
+//!
 //! [`CompileSession`]: dc_mbqc::CompileSession
 
-use std::collections::{BinaryHeap, HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use dc_mbqc::{
     CompileSession, DcMbqcConfig, DcMbqcError, DistributedSchedule, Mapped, Partitioned,
@@ -88,6 +123,13 @@ pub enum ServiceError {
     UnknownJob(JobId),
     /// A worker panicked while running the job.
     Internal(String),
+    /// The job was cancelled (terminal state `Cancelled`): dropped from
+    /// the queue, or stopped at its next task boundary if it was
+    /// in flight.
+    Cancelled(JobId),
+    /// The job's deadline passed before its next task was popped
+    /// (terminal state `Expired`).
+    Expired(JobId),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -96,6 +138,8 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Compile(e) => write!(f, "compilation failed: {e}"),
             ServiceError::UnknownJob(id) => write!(f, "unknown or already-taken job {id:?}"),
             ServiceError::Internal(msg) => write!(f, "worker panicked: {msg}"),
+            ServiceError::Cancelled(id) => write!(f, "job {id:?} was cancelled"),
+            ServiceError::Expired(id) => write!(f, "job {id:?} expired before running"),
         }
     }
 }
@@ -107,6 +151,89 @@ impl std::error::Error for ServiceError {
             _ => None,
         }
     }
+}
+
+/// A shareable cancellation flag. One token can be attached to many
+/// jobs (cancel a whole request group at once) and one job can be
+/// cancelled through its token or through
+/// [`CompileService::cancel`] — the two are equivalent.
+///
+/// Cancellation is cooperative and boundary-checked: firing the token
+/// drops every attached *queued* job the next time the queue looks at
+/// it, and stops every attached *in-flight* job at its next task
+/// boundary (the running stage always completes — stages stay
+/// deterministic). A job whose final task already finished is past
+/// cancellation: it terminates `Done` and its result stays available.
+///
+/// # Examples
+///
+/// ```
+/// use mbqc_service::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let clone = token.clone(); // same flag
+/// assert!(!clone.is_cancelled());
+/// token.cancel();
+/// assert!(clone.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-fired token.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fires the token: every job attached to it stops at its next
+    /// task boundary (idempotent).
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// `true` once [`cancel`](Self::cancel) has been called.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// How the shared ready-queue orders runnable jobs *within* a priority
+/// class (priority always dominates; submission order always breaks
+/// ties). The policy is pure scheduling: it can never change a job's
+/// result, only when it runs (property-tested).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum QueuePolicy {
+    /// Today's order: priority, then submission order. A fresh job and
+    /// a three-stages-deep job of the same priority pop
+    /// first-come-first-served.
+    #[default]
+    PriorityFifo,
+    /// Drain work-in-progress first: within a priority class, the job
+    /// with the most satisfied stages pops first (ties by submission
+    /// order). Finishing nearly-done jobs before starting fresh ones
+    /// cuts completion-latency tails under mixed load. Only the
+    /// stage-graph engine ever requeues a job mid-pipeline, so under
+    /// [`ExecutionEngine::JobLoop`] (whole jobs, depth always 0) this
+    /// degenerates to [`QueuePolicy::PriorityFifo`].
+    DeepestStageFirst,
+}
+
+/// Per-job submission options beyond the pattern and configuration.
+#[derive(Debug, Clone, Default)]
+pub struct JobOptions {
+    /// Queue priority (see [`Priority`]).
+    pub priority: Priority,
+    /// Time budget measured from submission: if it elapses before the
+    /// job's next task is popped, the job terminates
+    /// [`Expired`](ServiceError::Expired) instead of running. Checked
+    /// lazily at queue pops — an in-flight task is never interrupted.
+    pub deadline: Option<Duration>,
+    /// Cancellation flag to attach; one token may be shared by many
+    /// jobs. Jobs are always cancellable by id; a token just adds a
+    /// client-held handle that outlives the submission call.
+    pub cancel: Option<CancelToken>,
 }
 
 /// Which machinery executes queued jobs. Results are bit-identical
@@ -132,6 +259,9 @@ pub struct ServiceConfig {
     pub workers: usize,
     /// Execution engine (stage-graph executor by default).
     pub engine: ExecutionEngine,
+    /// Ready-queue order within a priority class (FIFO by default).
+    /// Pure scheduling: never changes results.
+    pub policy: QueuePolicy,
     /// Artifact-store configuration (memory budget, optional disk
     /// tier).
     pub store: StoreConfig,
@@ -145,10 +275,18 @@ pub struct ServiceStats {
     /// Jobs submitted per priority class, indexed like
     /// [`Priority::ALL`] (batch, normal, interactive).
     pub submitted_by_priority: [u64; 3],
-    /// Jobs finished (successfully or not).
+    /// Jobs that ran to an end — successfully or with a compile/panic
+    /// error. Cancelled and expired jobs are *not* completed; every
+    /// submitted job ends up in exactly one of
+    /// `completed`/`cancelled`/`expired` once terminal.
     pub completed: u64,
     /// Jobs that returned an error.
     pub failed: u64,
+    /// Jobs that terminated `Cancelled` (dropped from the queue or
+    /// stopped at a task boundary).
+    pub cancelled: u64,
+    /// Jobs whose deadline lapsed before their next task was popped.
+    pub expired: u64,
     /// Stage tasks executed by the stage-graph engine (cache-skipped
     /// stages excluded; always 0 under [`ExecutionEngine::JobLoop`]).
     pub tasks_executed: u64,
@@ -166,8 +304,14 @@ pub struct ServiceStats {
     pub full_compiles: u64,
     /// Total in-worker latency across completed jobs, nanoseconds (the
     /// sum of a job's stage-task execution times under the stage-graph
-    /// engine; queue wait is excluded in both engines).
+    /// engine; queue wait is excluded in both engines; cancelled and
+    /// expired jobs are excluded).
     pub total_latency_ns: u64,
+    /// Stage workspaces currently checked out of the shared pool
+    /// (stage-graph engine). 0 whenever no task is running; a leak on
+    /// the cancellation/abandon path would show up here
+    /// (property-tested to stay 0 on a drained service).
+    pub pool_outstanding: usize,
     /// Artifact-store counters.
     pub store: StoreStats,
 }
@@ -244,10 +388,24 @@ pub(crate) struct JobState {
     pub(crate) part_cache: Option<dc_mbqc::PartitionedCache>,
     /// Accumulated in-worker execution time of this job's tasks.
     pub(crate) latency_ns: u64,
+    /// The job's cancellation flag (always present: service-created
+    /// when the client did not supply one). Checked at every task
+    /// boundary — queue pop, requeue, artifact publish, result
+    /// publish — never mid-stage.
+    pub(crate) cancel: CancelToken,
+    /// Lazy deadline: a pop at or after this instant terminates the
+    /// job `Expired` instead of running its task.
+    pub(crate) deadline: Option<Instant>,
 }
 
 impl JobState {
-    fn new(pattern: Pattern, config: DcMbqcConfig, priority: Priority) -> Self {
+    fn new(
+        pattern: Pattern,
+        config: DcMbqcConfig,
+        priority: Priority,
+        cancel: CancelToken,
+        deadline: Option<Instant>,
+    ) -> Self {
         Self {
             pattern,
             config,
@@ -259,15 +417,23 @@ impl JobState {
             programs: None,
             part_cache: None,
             latency_ns: 0,
+            cancel,
+            deadline,
         }
     }
 }
 
 /// A ready queue entry: one job with (at least) one runnable stage
-/// task. Max-heap order: higher priority first, then submission order.
+/// task. Max-heap order: higher priority first, then pipeline depth
+/// (always 0 under [`QueuePolicy::PriorityFifo`], so the term is
+/// inert), then submission order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct ReadyJob {
     priority: Priority,
+    /// Satisfied-stage count at push time under
+    /// [`QueuePolicy::DeepestStageFirst`]; 0 under
+    /// [`QueuePolicy::PriorityFifo`].
+    depth: u32,
     seq: u64,
 }
 
@@ -275,6 +441,7 @@ impl Ord for ReadyJob {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.priority
             .cmp(&other.priority)
+            .then_with(|| self.depth.cmp(&other.depth))
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -287,6 +454,10 @@ impl PartialOrd for ReadyJob {
 
 #[derive(Debug, Default)]
 pub(crate) struct QueueState {
+    /// Ready entries. May contain *stale* entries whose job was
+    /// cancelled while queued (the job is dropped from `jobs`
+    /// immediately; the heap entry is skipped lazily at pop — a heap
+    /// cannot remove from the middle in O(log n)).
     ready: BinaryHeap<ReadyJob>,
     jobs: HashMap<u64, JobState>,
     /// Jobs currently executing a task on some worker (they will come
@@ -297,7 +468,10 @@ pub(crate) struct QueueState {
 
 #[derive(Debug, Default)]
 struct ResultState {
-    pending: HashSet<JobId>,
+    /// Submitted jobs that have not reached a terminal state, with
+    /// their cancellation flags (so [`CompileService::cancel`] can
+    /// reach a job whose state is currently checked out by a worker).
+    pending: HashMap<JobId, CancelToken>,
     done: HashMap<JobId, Result<DistributedSchedule, ServiceError>>,
 }
 
@@ -305,6 +479,8 @@ struct ResultState {
 pub(crate) struct Counters {
     pub(crate) completed: u64,
     pub(crate) failed: u64,
+    pub(crate) cancelled: u64,
+    pub(crate) expired: u64,
     pub(crate) submitted_by_priority: [u64; 3],
     pub(crate) tasks_executed: u64,
     pub(crate) task_store_hits: u64,
@@ -329,33 +505,88 @@ pub(crate) struct Shared {
     /// `> 1` pins each job's inner stage parallelism to one thread
     /// (the worker fleet already saturates the cores).
     pub(crate) workers: usize,
+    /// Ready-queue order within a priority class.
+    pub(crate) policy: QueuePolicy,
 }
 
 impl Shared {
-    /// Pops the highest-priority ready job and takes its state out of
+    /// The heap key a job's next task gets under the configured
+    /// [`QueuePolicy`].
+    fn ready_entry(&self, seq: u64, state: &JobState) -> ReadyJob {
+        ReadyJob {
+            priority: state.priority,
+            depth: match self.policy {
+                QueuePolicy::PriorityFifo => 0,
+                QueuePolicy::DeepestStageFirst => state.stages.depth(),
+            },
+            seq,
+        }
+    }
+
+    /// Pops the highest-ranked ready job and takes its state out of
     /// the job table for the duration of one task (at most one worker
     /// ever holds a given job). Returns `None` on drained shutdown.
+    ///
+    /// This pop is the lazy half of the lifecycle checks: stale heap
+    /// entries of jobs already dropped by [`CompileService::cancel`]
+    /// are skipped, a popped job whose token fired terminates
+    /// `Cancelled`, and a popped job whose deadline lapsed terminates
+    /// `Expired` — all without running a stage.
     pub(crate) fn next_job(&self) -> Option<(u64, JobState)> {
         let mut q = self.queue.lock().expect("queue lock");
         loop {
             if let Some(r) = q.ready.pop() {
-                let state = q.jobs.remove(&r.seq).expect("queued job has state");
-                q.running += 1;
-                return Some((r.seq, state));
+                // Stale entry: the job was cancelled while queued (its
+                // result is already published).
+                let Some(state) = q.jobs.remove(&r.seq) else {
+                    continue;
+                };
+                let verdict = if state.cancel.is_cancelled() {
+                    Some(ServiceError::Cancelled(JobId(r.seq)))
+                } else if state.deadline.is_some_and(|d| Instant::now() >= d) {
+                    Some(ServiceError::Expired(JobId(r.seq)))
+                } else {
+                    None
+                };
+                match verdict {
+                    None => {
+                        q.running += 1;
+                        return Some((r.seq, state));
+                    }
+                    Some(err) => {
+                        // Terminal without running (the dropped state's
+                        // remaining stage tasks die with it): release
+                        // the queue lock before touching the
+                        // counter/result locks.
+                        drop(q);
+                        self.finish_dropped(r.seq, err);
+                        q = self.queue.lock().expect("queue lock");
+                    }
+                }
+            } else {
+                if q.shutdown && q.running == 0 {
+                    return None;
+                }
+                q = self.queue_cv.wait(q).expect("queue lock");
             }
-            if q.shutdown && q.running == 0 {
-                return None;
-            }
-            q = self.queue_cv.wait(q).expect("queue lock");
         }
     }
 
-    /// Returns a job to the queue with its next stage task ready.
-    pub(crate) fn requeue(&self, seq: u64, state: JobState) {
-        let entry = ReadyJob {
-            priority: state.priority,
-            seq,
-        };
+    /// Returns a job to the queue with its next stage task ready — or,
+    /// when its cancellation fired during the task, terminates it
+    /// `Cancelled` right here (the task boundary). The decision is
+    /// recorded on (and read back from) the job's stage graph: an
+    /// abandoned graph has no ready task, which is exactly why the job
+    /// must not re-enter the queue.
+    pub(crate) fn requeue(&self, seq: u64, mut state: JobState) {
+        if state.cancel.is_cancelled() {
+            state.stages.abandon();
+        }
+        if state.stages.is_abandoned() {
+            self.finish_job(seq, Err(ServiceError::Cancelled(JobId(seq))), 0);
+            return;
+        }
+        let entry = self.ready_entry(seq, &state);
         let mut q = self.queue.lock().expect("queue lock");
         q.jobs.insert(seq, state);
         q.ready.push(entry);
@@ -364,8 +595,33 @@ impl Shared {
         self.queue_cv.notify_all();
     }
 
-    /// Records a finished job: releases its running slot, rolls the
-    /// counters, and publishes the result.
+    /// Rolls the terminal-state counters and publishes the result
+    /// (common tail of every way a job can end).
+    fn publish_terminal(&self, seq: u64, result: Result<DistributedSchedule, ServiceError>) {
+        {
+            let mut c = self.counters.lock().expect("counters lock");
+            match &result {
+                Err(ServiceError::Cancelled(_)) => c.cancelled += 1,
+                Err(ServiceError::Expired(_)) => c.expired += 1,
+                Err(_) => {
+                    c.completed += 1;
+                    c.failed += 1;
+                }
+                Ok(_) => c.completed += 1,
+            }
+        }
+        let mut results = self.results.lock().expect("results lock");
+        let id = JobId(seq);
+        results.pending.remove(&id);
+        results.done.insert(id, result);
+        drop(results);
+        self.results_cv.notify_all();
+    }
+
+    /// Records a job finished by a worker: releases its running slot,
+    /// rolls the counters, and publishes the result (which the engines
+    /// decide at the final task boundary — a cancel observed there
+    /// turns a computed result into `Cancelled`).
     pub(crate) fn finish_job(
         &self,
         seq: u64,
@@ -377,20 +633,23 @@ impl Shared {
             q.running -= 1;
         }
         self.queue_cv.notify_all();
-        {
-            let mut c = self.counters.lock().expect("counters lock");
-            c.completed += 1;
-            c.total_latency_ns += latency_ns;
-            if result.is_err() {
-                c.failed += 1;
+        match &result {
+            Err(ServiceError::Cancelled(_) | ServiceError::Expired(_)) => {}
+            _ => {
+                // Latency counts only for jobs that ran to an end.
+                self.counters
+                    .lock()
+                    .expect("counters lock")
+                    .total_latency_ns += latency_ns;
             }
         }
-        let mut results = self.results.lock().expect("results lock");
-        let id = JobId(seq);
-        results.pending.remove(&id);
-        results.done.insert(id, result);
-        drop(results);
-        self.results_cv.notify_all();
+        self.publish_terminal(seq, result);
+    }
+
+    /// Records a job that terminated *without* occupying a running
+    /// slot: cancelled while queued, or expired/cancelled at a pop.
+    pub(crate) fn finish_dropped(&self, seq: u64, err: ServiceError) {
+        self.publish_terminal(seq, Err(err));
     }
 }
 
@@ -425,6 +684,7 @@ impl CompileService {
             submitted: AtomicU64::new(0),
             pool: WorkspacePool::new(),
             workers,
+            policy: config.policy,
         });
         let handles = (0..workers)
             .map(|i| {
@@ -465,28 +725,121 @@ impl CompileService {
         config: DcMbqcConfig,
         priority: Priority,
     ) -> JobId {
+        self.submit_with(
+            pattern,
+            config,
+            JobOptions {
+                priority,
+                ..JobOptions::default()
+            },
+        )
+        .id()
+    }
+
+    /// Enqueues one compilation job with full lifecycle options —
+    /// priority, an optional deadline, an optional shared
+    /// [`CancelToken`] — and returns a [`JobHandle`] bundling the id
+    /// with the wait/poll/cancel operations.
+    pub fn submit_with(
+        &self,
+        pattern: Pattern,
+        config: DcMbqcConfig,
+        options: JobOptions,
+    ) -> JobHandle<'_> {
+        let JobOptions {
+            priority,
+            deadline,
+            cancel,
+        } = options;
+        let cancel = cancel.unwrap_or_default();
+        let deadline = deadline.map(|d| Instant::now() + d);
         let id = JobId(self.shared.submitted.fetch_add(1, Ordering::Relaxed));
         self.shared
             .results
             .lock()
             .expect("results lock")
             .pending
-            .insert(id);
+            .insert(id, cancel.clone());
         self.shared
             .counters
             .lock()
             .expect("counters lock")
             .submitted_by_priority[priority as usize] += 1;
+        let state = JobState::new(pattern, config, priority, cancel, deadline);
+        let entry = self.shared.ready_entry(id.0, &state);
         let mut q = self.shared.queue.lock().expect("queue lock");
-        q.jobs
-            .insert(id.0, JobState::new(pattern, config, priority));
-        q.ready.push(ReadyJob {
-            priority,
-            seq: id.0,
-        });
+        q.jobs.insert(id.0, state);
+        q.ready.push(entry);
         drop(q);
         self.shared.queue_cv.notify_one();
-        id
+        JobHandle { service: self, id }
+    }
+
+    /// Enqueues one job at [`Priority::Normal`] with a time budget
+    /// measured from now: if the deadline lapses before the job's next
+    /// task is popped, the job terminates
+    /// [`Expired`](ServiceError::Expired) instead of running. Expiry is
+    /// lazy — checked at queue pops, never by a timer — so an expired
+    /// job costs one pop, not a stage execution; a job whose *last*
+    /// task is already running when the deadline passes still
+    /// completes.
+    pub fn submit_with_deadline(
+        &self,
+        pattern: Pattern,
+        config: DcMbqcConfig,
+        deadline: Duration,
+    ) -> JobHandle<'_> {
+        self.submit_with(
+            pattern,
+            config,
+            JobOptions {
+                deadline: Some(deadline),
+                ..JobOptions::default()
+            },
+        )
+    }
+
+    /// Requests cancellation of a job. Returns `true` when the request
+    /// was registered before the job reached a terminal state: the job
+    /// will terminate [`Cancelled`](ServiceError::Cancelled) — dropped
+    /// from the queue immediately if it was waiting, stopped at its
+    /// next task boundary if a worker holds it — unless a concurrent
+    /// terminal event wins the race: its final task completing (the
+    /// job is then `Done` and its result stays available) or, for a
+    /// deadline job, a pop observing the lapsed deadline first (then
+    /// [`Expired`](ServiceError::Expired)). Returns `false` for
+    /// unknown ids and jobs already in a terminal state: cancelling
+    /// those is a no-op, never an error.
+    pub fn cancel(&self, id: JobId) -> bool {
+        let token = {
+            let results = self.shared.results.lock().expect("results lock");
+            match results.pending.get(&id) {
+                Some(t) => t.clone(),
+                None => return false,
+            }
+        };
+        // Fire the flag first: a worker holding the job observes it at
+        // the next task boundary even if the queue no longer knows it.
+        token.cancel();
+        // Drop the job immediately if it is still queued (its
+        // remaining stage tasks die with the dropped state). Whoever
+        // removes the `JobState` publishes the terminal result — here,
+        // or the worker/pop that already holds it.
+        let queued = {
+            let mut q = self.shared.queue.lock().expect("queue lock");
+            q.jobs.remove(&id.0).is_some()
+        };
+        if queued {
+            self.shared
+                .finish_dropped(id.0, ServiceError::Cancelled(id));
+        }
+        true
+    }
+
+    /// A [`JobHandle`] for a previously submitted job id.
+    #[must_use]
+    pub fn handle(&self, id: JobId) -> JobHandle<'_> {
+        JobHandle { service: self, id }
     }
 
     /// Enqueues one job per pattern under a shared configuration at
@@ -509,40 +862,51 @@ impl CompileService {
             .collect()
     }
 
-    /// Blocks until the job finishes and takes its result. A second
-    /// `wait` on the same id returns [`ServiceError::UnknownJob`].
+    /// Blocks until the job reaches a terminal state and takes its
+    /// result. A second `wait` on the same id returns
+    /// [`ServiceError::UnknownJob`].
     ///
     /// # Errors
     ///
-    /// Returns the job's compilation error, or
-    /// [`ServiceError::UnknownJob`] for ids never submitted or already
-    /// taken.
+    /// Returns the job's compilation error,
+    /// [`ServiceError::Cancelled`] / [`ServiceError::Expired`] for
+    /// dropped jobs, or [`ServiceError::UnknownJob`] for ids never
+    /// submitted or already taken.
     pub fn wait(&self, id: JobId) -> Result<DistributedSchedule, ServiceError> {
         let mut results = self.shared.results.lock().expect("results lock");
         loop {
             if let Some(r) = results.done.remove(&id) {
                 return r;
             }
-            if !results.pending.contains(&id) {
+            if !results.pending.contains_key(&id) {
                 return Err(ServiceError::UnknownJob(id));
             }
             results = self.shared.results_cv.wait(results).expect("results lock");
         }
     }
 
-    /// Takes the job's result if it already finished (`None` while it
-    /// is still queued or running).
+    /// Takes the job's result if it already reached a terminal state
+    /// (`None` while it is still queued or running).
     #[must_use]
     pub fn try_poll(&self, id: JobId) -> Option<Result<DistributedSchedule, ServiceError>> {
         let mut results = self.shared.results.lock().expect("results lock");
         if let Some(r) = results.done.remove(&id) {
             return Some(r);
         }
-        if results.pending.contains(&id) {
+        if results.pending.contains_key(&id) {
             None
         } else {
             Some(Err(ServiceError::UnknownJob(id)))
         }
+    }
+
+    /// Reads an artifact straight out of the service's store — cache
+    /// introspection for operational tooling, and how the lifecycle
+    /// property tests audit that cancelled jobs published nothing and
+    /// that every resident artifact is bit-exact.
+    #[must_use]
+    pub fn store_get(&self, key: &ArtifactKey) -> Option<Vec<u8>> {
+        self.shared.store.get(key)
     }
 
     /// A consistent snapshot of the service counters.
@@ -554,6 +918,8 @@ impl CompileService {
             submitted_by_priority: c.submitted_by_priority,
             completed: c.completed,
             failed: c.failed,
+            cancelled: c.cancelled,
+            expired: c.expired,
             tasks_executed: c.tasks_executed,
             task_store_hits: c.task_store_hits,
             hits_scheduled: c.hits_scheduled,
@@ -561,8 +927,48 @@ impl CompileService {
             hits_partitioned: c.hits_partitioned,
             full_compiles: c.full_compiles,
             total_latency_ns: c.total_latency_ns,
+            pool_outstanding: self.shared.pool.outstanding(),
             store: self.shared.store.stats(),
         }
+    }
+}
+
+/// A submitted job's id bundled with the service it lives on: wait,
+/// poll, and cancel without threading the service reference around.
+/// Obtained from [`CompileService::submit_with`] /
+/// [`CompileService::submit_with_deadline`] or retrofitted onto any id
+/// via [`CompileService::handle`].
+#[derive(Debug, Clone, Copy)]
+pub struct JobHandle<'s> {
+    service: &'s CompileService,
+    id: JobId,
+}
+
+impl JobHandle<'_> {
+    /// The job's id (usable with every id-based service method).
+    #[must_use]
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// Requests cancellation — see [`CompileService::cancel`].
+    pub fn cancel(&self) -> bool {
+        self.service.cancel(self.id)
+    }
+
+    /// Blocks for the result — see [`CompileService::wait`].
+    ///
+    /// # Errors
+    ///
+    /// As [`CompileService::wait`].
+    pub fn wait(&self) -> Result<DistributedSchedule, ServiceError> {
+        self.service.wait(self.id)
+    }
+
+    /// Non-blocking poll — see [`CompileService::try_poll`].
+    #[must_use]
+    pub fn try_poll(&self) -> Option<Result<DistributedSchedule, ServiceError>> {
+        self.service.try_poll(self.id)
     }
 }
 
@@ -644,11 +1050,18 @@ fn job_loop(shared: &Shared) {
     while let Some((seq, state)) = shared.next_job() {
         let start = Instant::now();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_job(shared, &mut session, &state.pattern, &state.config)
+            run_job(shared, &mut session, &state)
         }));
         let latency = start.elapsed().as_nanos() as u64;
         let result = match outcome {
-            Ok(r) => r.map_err(ServiceError::Compile),
+            // A whole job is one task to this engine, but cancellation
+            // is still observed between stages: a cancel that lands
+            // mid-pipeline stops before the next stage (and before the
+            // next artifact publish).
+            Ok(Ok(None)) => Err(ServiceError::Cancelled(JobId(seq))),
+            Ok(r) => r
+                .map(|s| s.expect("Some checked above"))
+                .map_err(ServiceError::Compile),
             Err(panic) => {
                 // The session's workspaces may be mid-update; rebuild.
                 session = None;
@@ -669,21 +1082,27 @@ pub(crate) fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {
 }
 
 /// Runs one job through the cache-routed pipeline (the `JobLoop`
-/// engine's whole-job path).
+/// engine's whole-job path). `Ok(None)` means the job's cancellation
+/// fired mid-pipeline: the run stopped at a stage boundary, publishing
+/// nothing further to the store.
 fn run_job(
     shared: &Shared,
     session: &mut Option<(Vec<u8>, CompileSession)>,
-    pattern: &Pattern,
-    config: &DcMbqcConfig,
-) -> Result<DistributedSchedule, DcMbqcError> {
+    state: &JobState,
+) -> Result<Option<DistributedSchedule>, DcMbqcError> {
+    let (pattern, config) = (&state.pattern, &state.config);
+    let cancelled = || state.cancel.is_cancelled();
     let keys = StageKeys::new(pattern, config);
     let entry = probe_cache(shared, &keys, pattern, config);
     if let CacheEntry::Scheduled(s) = entry {
-        return Ok(*s);
+        return Ok(Some(*s));
     }
 
     let session = session_for(session, config, shared.workers);
     let transpiled = Transpiled::new(pattern)?;
+    if cancelled() {
+        return Ok(None);
+    }
     let mapped = match entry {
         CacheEntry::Mapped(partition, programs) => {
             let partitioned = Partitioned::with_partition(transpiled, partition);
@@ -693,22 +1112,36 @@ fn run_job(
         CacheEntry::Partitioned(partition) => {
             let partitioned = Partitioned::with_partition(transpiled, partition);
             let mapped = session.map(partitioned)?;
+            if cancelled() {
+                return Ok(None);
+            }
             shared.store.put(&keys.map, encode_mapped(&mapped));
             mapped
         }
         CacheEntry::Miss | CacheEntry::Scheduled(_) => {
             let partitioned = session.partition(transpiled);
+            if cancelled() {
+                return Ok(None);
+            }
             shared
                 .store
                 .put(&keys.part, partitioned.partition().to_bytes());
             let mapped = session.map(partitioned)?;
+            if cancelled() {
+                return Ok(None);
+            }
             shared.store.put(&keys.map, encode_mapped(&mapped));
             mapped
         }
     };
     let scheduled = session.schedule(mapped);
-    shared.store.put(&keys.sched, scheduled.to_bytes());
-    Ok(scheduled)
+    // The result exists: the job is past cancellation (it terminates
+    // `Done`), but a cancel observed here still suppresses the
+    // artifact publish.
+    if !cancelled() {
+        shared.store.put(&keys.sched, scheduled.to_bytes());
+    }
+    Ok(Some(scheduled))
 }
 
 /// Reuses the worker's session when the job's effective configuration
@@ -800,4 +1233,54 @@ pub(crate) fn decode_mapped(bytes: &[u8]) -> Result<(Partition, Vec<CompiledProg
     }
     d.finish()?;
     Ok((partition, programs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rj(priority: Priority, depth: u32, seq: u64) -> ReadyJob {
+        ReadyJob {
+            priority,
+            depth,
+            seq,
+        }
+    }
+
+    /// The heap comparator behind both queue policies: priority
+    /// dominates, then depth (inert under `PriorityFifo`, where every
+    /// entry carries 0), then submission order.
+    #[test]
+    fn ready_queue_pops_priority_then_depth_then_submission_order() {
+        let mut heap = BinaryHeap::new();
+        heap.push(rj(Priority::Normal, 0, 0)); // early but shallow
+        heap.push(rj(Priority::Normal, 3, 5)); // late but deep
+        heap.push(rj(Priority::Batch, 3, 1)); // deepest of the lowest class
+        heap.push(rj(Priority::Interactive, 0, 9)); // priority trumps all
+        heap.push(rj(Priority::Normal, 3, 4)); // same depth: earlier seq first
+        let order: Vec<u64> = std::iter::from_fn(|| heap.pop()).map(|r| r.seq).collect();
+        assert_eq!(order, vec![9, 4, 5, 0, 1]);
+    }
+
+    /// With every depth pinned to 0 (what `PriorityFifo` pushes), the
+    /// comparator reduces to priority + submission order exactly.
+    #[test]
+    fn fifo_entries_ignore_depth() {
+        let mut heap = BinaryHeap::new();
+        for seq in [3u64, 1, 4, 0, 2] {
+            heap.push(rj(Priority::Normal, 0, seq));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| heap.pop()).map(|r| r.seq).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn cancel_token_is_shared_and_idempotent() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        assert!(!t.is_cancelled());
+        clone.cancel();
+        clone.cancel();
+        assert!(t.is_cancelled(), "clones share one flag");
+    }
 }

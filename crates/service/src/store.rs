@@ -21,6 +21,17 @@
 //!   artifacts by age ([`StoreConfig::disk_ttl`]); a restart rebuilds
 //!   the index (and the recency order, from file modification times)
 //!   by scanning the directory, so the budget holds across restarts.
+//!
+//! Two integrity properties hold under job-lifecycle churn
+//! (property-tested in `tests/proptest_service.rs` and
+//! `tests/proptest_lifecycle.rs`): a key-verified read never observes
+//! a torn write — atomic rename plus full-key comparison turn any
+//! partial/abandoned write (a cancelled or killed writer's stale temp
+//! file, a truncated artifact) into a miss, and restarts sweep the
+//! leftovers — and the store only ever holds artifacts a non-cancelled
+//! job's task published: the engines gate every [`ArtifactStore::put`]
+//! on the job's cancellation flag at the task boundary (see
+//! [`crate::executor`]), so a cancelled job contributes nothing.
 
 use std::collections::{BTreeMap, HashMap};
 use std::io::Write;

@@ -102,6 +102,7 @@ proptest! {
                     disk_dir: Some(dir.clone()),
                     ..StoreConfig::default()
                 },
+                ..ServiceConfig::default()
             })
             .expect("service starts");
             // Cold on the first worker count; disk-restored (fresh
@@ -170,6 +171,7 @@ proptest! {
                     disk_dir: Some(dir.clone()),
                     ..StoreConfig::default()
                 },
+                ..ServiceConfig::default()
             })
             .expect("service starts");
             let ids: Vec<_> = patterns
@@ -255,6 +257,187 @@ proptest! {
     }
 }
 
+/// The disk tier under lifecycle churn: random interleavings of
+/// puts, gets, abandoned writes (a writer cancelled/killed mid-write
+/// leaves a stale temp file), corruptions (torn or garbled artifact
+/// files), and restarts. Invariants, checked after every operation:
+///
+/// * the on-disk artifact bytes never exceed `disk_capacity`
+///   (including immediately after a restart over a dirty directory);
+/// * a key-verified read returns either exactly the last value stored
+///   under that key or a miss — never torn, stale-keyed, or foreign
+///   bytes;
+/// * a restart sweeps abandoned temp files.
+mod disk_churn {
+    use super::*;
+    use mbqc_service::{ArtifactKey, ArtifactStore, PipelineStage};
+    use mbqc_util::Rng;
+    use std::path::Path;
+
+    const KEYS: u64 = 6;
+    const CAPACITY: usize = 1200;
+
+    fn key(n: u64) -> ArtifactKey {
+        ArtifactKey::new(PipelineStage::Partition, &[n as u8], &[n as u8, n as u8])
+    }
+
+    fn art_path(dir: &Path, n: u64) -> std::path::PathBuf {
+        dir.join(format!("{}.art", key(n).fingerprint().to_hex()))
+    }
+
+    /// Ground truth the budget is asserted against: actual `.art`
+    /// bytes in the directory.
+    fn dir_art_bytes(dir: &Path) -> usize {
+        std::fs::read_dir(dir)
+            .map(|entries| {
+                entries
+                    .filter_map(Result::ok)
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "art"))
+                    .filter_map(|e| e.metadata().ok())
+                    .map(|m| m.len() as usize)
+                    .sum()
+            })
+            .unwrap_or(0)
+    }
+
+    fn has_tmp_files(dir: &Path) -> bool {
+        std::fs::read_dir(dir).is_ok_and(|entries| {
+            entries.filter_map(Result::ok).any(|e| {
+                e.path()
+                    .extension()
+                    .and_then(|x| x.to_str())
+                    .is_some_and(|x| x.starts_with("tmp"))
+            })
+        })
+    }
+
+    fn open(dir: &Path) -> ArtifactStore {
+        ArtifactStore::new(mbqc_service::StoreConfig {
+            // A one-byte memory tier forces every read through the
+            // disk path under test.
+            memory_capacity: 1,
+            disk_dir: Some(dir.to_path_buf()),
+            disk_capacity: Some(CAPACITY),
+            disk_ttl: None,
+        })
+        .expect("store opens")
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn churn_never_exceeds_budget_or_tears_a_read(
+            seed in 0u64..100_000,
+            ops in 20usize..70,
+        ) {
+            let dir = scratch_dir();
+            let _ = std::fs::remove_dir_all(&dir);
+            let mut store = open(&dir);
+            let mut rng = Rng::seed_from_u64(seed);
+            // Last value successfully handed to `put` per key (`put`
+            // is best-effort: the value may be evicted or rejected,
+            // but a read must never return anything else).
+            let mut last_put: Vec<Option<Vec<u8>>> = vec![None; KEYS as usize];
+            for step in 0..ops {
+                let k = rng.range(KEYS as usize) as u64;
+                match rng.range(10) {
+                    // Put (sizes vary; occasionally over-budget).
+                    0..=3 => {
+                        let oversized = rng.bernoulli(0.1);
+                        let len = if oversized {
+                            CAPACITY + 64
+                        } else {
+                            20 + rng.range(300)
+                        };
+                        let value = vec![(seed ^ step as u64) as u8; len];
+                        store.put(&key(k), value.clone());
+                        if !oversized {
+                            last_put[k as usize] = Some(value);
+                        }
+                        // An oversized put is rejected by admission
+                        // control and the *previous* artifact stays
+                        // readable (documented store semantics — same
+                        // as the memory LRU), so the model keeps the
+                        // old expectation.
+                    }
+                    // Get: exactly the last put or a miss.
+                    4..=6 => {
+                        let got = store.get(&key(k));
+                        match (&got, &last_put[k as usize]) {
+                            (None, _) => {}
+                            (Some(g), Some(v)) => prop_assert_eq!(
+                                g, v, "step {}: torn/stale read", step
+                            ),
+                            (Some(_), None) => prop_assert!(
+                                false,
+                                "step {}: read a value never put",
+                                step
+                            ),
+                        }
+                    }
+                    // A cancelled/killed writer: stale temp file.
+                    7 => {
+                        let name = key(k).fingerprint().to_hex();
+                        std::fs::write(
+                            dir.join(format!("{name}.tmp{step}")),
+                            vec![0xAB; 40 + rng.range(100)],
+                        )
+                        .ok();
+                    }
+                    // Corruption: truncate or garble the artifact file
+                    // (never growing it — external growth is outside
+                    // the store's budget contract).
+                    8 => {
+                        let path = art_path(&dir, k);
+                        if let Ok(bytes) = std::fs::read(&path) {
+                            let cut = rng.range(bytes.len().max(1));
+                            let torn = if rng.bernoulli(0.5) {
+                                bytes[..cut].to_vec()
+                            } else {
+                                b"garbage".to_vec()
+                            };
+                            std::fs::write(&path, torn).ok();
+                        }
+                    }
+                    // Restart: temp files swept, budget re-enforced.
+                    _ => {
+                        drop(store);
+                        store = open(&dir);
+                        prop_assert!(
+                            !has_tmp_files(&dir),
+                            "step {}: restart left temp files",
+                            step
+                        );
+                    }
+                }
+                let bytes = dir_art_bytes(&dir);
+                prop_assert!(
+                    bytes <= CAPACITY,
+                    "step {}: disk budget exceeded: {} > {}",
+                    step,
+                    bytes,
+                    CAPACITY
+                );
+            }
+            // Final audit across a clean restart.
+            drop(store);
+            let store = open(&dir);
+            prop_assert!(dir_art_bytes(&dir) <= CAPACITY);
+            for k in 0..KEYS {
+                if let Some(got) = store.get(&key(k)) {
+                    prop_assert_eq!(
+                        Some(got),
+                        last_put[k as usize].clone(),
+                        "post-restart read disagrees with last put"
+                    );
+                }
+            }
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}
+
 /// A starved interactive job overtakes queued batch jobs: with one
 /// worker and a pile of batch work submitted first, the interactive
 /// job still finishes before the *last* batch job (it never waits for
@@ -306,6 +489,81 @@ fn interactive_overtakes_batch_backlog() {
     let stats = service.stats();
     assert_eq!(stats.submitted_by_priority, [6, 0, 1]);
     assert_eq!(stats.completed, 7);
+}
+
+/// Degenerate patterns — empty, single-node, two nodes on one or more
+/// QPUs than nodes — round-trip through the service twice: the cold
+/// round runs the stage tasks on edge shapes, the warm round re-enters
+/// mid-pipeline from their cached artifacts (`Transpiled::from_parts`,
+/// `Partitioned::with_partition(_cached)`, codec decodes of empty
+/// artifacts). Both must match the direct compilation; nothing may
+/// panic a worker.
+#[test]
+fn degenerate_patterns_round_trip_through_the_service() {
+    use mbqc_graph::Graph;
+
+    let empty = Pattern::from_parts(Graph::new(), vec![], vec![], vec![], vec![], vec![], vec![]);
+    let single = {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        Pattern::from_parts(
+            g,
+            vec![0.0],
+            vec![false],
+            vec![None],
+            vec![0],
+            vec![a],
+            vec![a],
+        )
+    };
+    let two = {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b);
+        Pattern::from_parts(
+            g,
+            vec![0.0, 0.0],
+            vec![true, false],
+            vec![Some(b), None],
+            vec![0, 0],
+            vec![a],
+            vec![b],
+        )
+    };
+    let cases: Vec<(&str, Pattern, usize)> = vec![
+        ("empty", empty, 2),
+        ("single", single.clone(), 2),
+        ("single k=1", single, 1),
+        ("two on 4 QPUs", two.clone(), 4),
+        ("two k=1", two, 1),
+    ];
+    for engine in [ExecutionEngine::StageGraph, ExecutionEngine::JobLoop] {
+        let service = CompileService::new(ServiceConfig {
+            workers: 1,
+            engine,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        for round in 0..2 {
+            for (what, pattern, qpus) in &cases {
+                let config = DcMbqcConfig::new(hardware(*qpus, 6));
+                let direct = DcMbqcCompiler::new(config.clone())
+                    .compile_pattern(pattern)
+                    .unwrap_or_else(|e| panic!("{what}: direct: {e}"));
+                let got = service
+                    .wait(service.submit(pattern.clone(), config))
+                    .unwrap_or_else(|e| panic!("{engine:?} round {round} {what}: {e}"));
+                assert_eq!(got, direct, "{engine:?} round {round} {what}");
+            }
+        }
+        let stats = service.stats();
+        assert_eq!(stats.failed, 0);
+        assert!(
+            stats.hits_scheduled >= cases.len() as u64,
+            "warm round must hit: {stats:?}"
+        );
+    }
 }
 
 /// Error jobs surface the pipeline error (and are not cached as

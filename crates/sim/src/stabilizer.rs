@@ -260,6 +260,16 @@ pub struct Tableau {
     /// Measurement scratch: per-target phase accumulators, parallel to
     /// `targets`.
     accs: Vec<i32>,
+    /// Measurement scratch: destabilizer rows carrying an X on the
+    /// measured qubit, collected once per measurement by the column
+    /// pass in [`Tableau::measure_z`] and consumed by *both* outcome
+    /// paths (rowsum targets on the random path, scratch-row factors
+    /// on the deterministic path).
+    dtargets: Vec<usize>,
+    /// Deterministic-outcome scratch row (X/Z words), tableau-resident
+    /// so the scratch-row path allocates nothing per measurement.
+    scratch_x: Vec<u64>,
+    scratch_z: Vec<u64>,
 }
 
 impl Tableau {
@@ -278,6 +288,9 @@ impl Tableau {
             first_x: vec![rows; n],
             targets: Vec::new(),
             accs: Vec::new(),
+            dtargets: Vec::new(),
+            scratch_x: vec![0; w],
+            scratch_z: vec![0; w],
         };
         for i in 0..n {
             let (wq, m) = bit(i);
@@ -462,14 +475,16 @@ impl Tableau {
         let col = wq * rows;
         self.targets.clear();
         self.accs.clear();
-        // Row p−n (the pivot's partner destabilizer) is skipped: it
-        // anticommutes with row p, so the rowsum phase would be
-        // imaginary — and the row is overwritten with a copy of row p
-        // afterwards anyway, making the rowsum dead work. Stabilizer
-        // rows before p carry no X on the qubit (that is what made p
-        // the pivot), so only `p+1..` needs scanning there.
-        for i in 0..n {
-            if self.x[col + i] & m != 0 && i != p - n {
+        // The destabilizer targets were already collected by the
+        // measurement's column pass (`dtargets`). Row p−n (the pivot's
+        // partner destabilizer) is skipped: it anticommutes with row
+        // p, so the rowsum phase would be imaginary — and the row is
+        // overwritten with a copy of row p afterwards anyway, making
+        // the rowsum dead work. Stabilizer rows before p carry no X on
+        // the qubit (that is what made p the pivot), so only `p+1..`
+        // needs scanning there.
+        for &i in &self.dtargets {
+            if i != p - n {
                 self.targets.push(i);
             }
         }
@@ -522,14 +537,27 @@ impl Tableau {
         let rows = 2 * n;
         let (wq, m) = bit(q);
         let col = wq * rows;
+        // One pass over the destabilizer half of the measured qubit's
+        // column collects the X-carrying rows *both* outcome paths
+        // need: the random path rowsums exactly these destabilizer
+        // targets, and the deterministic path multiplies exactly their
+        // partner stabilizers into the scratch row. Formerly each path
+        // re-scanned this column half on its own (`scratch_row` was
+        // the last separate scan left on the measurement path).
+        self.dtargets.clear();
+        for i in 0..n {
+            if self.x[col + i] & m != 0 {
+                self.dtargets.push(i);
+            }
+        }
         // Find a stabilizer with an X on q (anticommutes with Z_q).
         // Rows below `first_x[q]` are known X-free, so the scan starts
         // there — O(1) when the index already says "none" (the common
         // case deep into a measurement sweep, and every re-measurement).
         if let Some(p) = (self.first_x[q]..rows).find(|&i| self.x[col + i] & m != 0) {
-            // Random outcome: the rowsum pass itself collects the
-            // target rows while sweeping the measured qubit's column
-            // block (no separate column scan, no per-measurement
+            // Random outcome: the rowsum consumes the collected
+            // destabilizer targets and sweeps only the stabilizer half
+            // itself (no repeated column scan, no per-measurement
             // allocation).
             self.rowsum_measure(p, wq, m);
             // The rowsum XORs the pivot row into every target
@@ -570,38 +598,43 @@ impl Tableau {
             outcome
         } else {
             // Deterministic outcome: no stabilizer X on q at all —
-            // remember that, then accumulate into a scratch row.
+            // remember that, then accumulate into the scratch row.
             self.first_x[q] = rows;
-            self.scratch_row(q)
+            self.scratch_row()
         }
     }
 
-    /// Computes the deterministic measurement outcome for `Z_q` using a
-    /// scratch row (case where no stabilizer has an X on `q`).
-    fn scratch_row(&self, q: usize) -> bool {
+    /// Computes the deterministic measurement outcome using the
+    /// tableau-resident scratch row (case where no stabilizer has an X
+    /// on the measured qubit). The factor rows are the partner
+    /// stabilizers of the destabilizer targets the measurement's
+    /// column pass collected (`dtargets`) — no second scan of the
+    /// column, no per-measurement allocation.
+    fn scratch_row(&mut self) -> bool {
         let n = self.n;
         let rows = 2 * n;
-        let (wq, m) = bit(q);
-        let col = wq * rows;
-        let mut sx = vec![0u64; self.w];
-        let mut sz = vec![0u64; self.w];
+        self.scratch_x.iter_mut().for_each(|w| *w = 0);
+        self.scratch_z.iter_mut().for_each(|w| *w = 0);
         let mut sr: i32 = 0;
-        for i in 0..n {
-            if self.x[col + i] & m != 0 {
-                // rowsum(scratch, i + n)
-                let stab = i + n;
-                let mut acc = 2 * i32::from(self.r[stab]) + sr;
-                for w in 0..self.w {
-                    let o = w * rows;
-                    let (pos, neg) = phase_masks(self.x[o + stab], self.z[o + stab], sx[w], sz[w]);
-                    acc += pos.count_ones() as i32 - neg.count_ones() as i32;
-                }
-                sr = acc.rem_euclid(4);
-                for w in 0..self.w {
-                    let o = w * rows;
-                    sx[w] ^= self.x[o + stab];
-                    sz[w] ^= self.z[o + stab];
-                }
+        for &i in &self.dtargets {
+            // rowsum(scratch, i + n)
+            let stab = i + n;
+            let mut acc = 2 * i32::from(self.r[stab]) + sr;
+            for w in 0..self.w {
+                let o = w * rows;
+                let (pos, neg) = phase_masks(
+                    self.x[o + stab],
+                    self.z[o + stab],
+                    self.scratch_x[w],
+                    self.scratch_z[w],
+                );
+                acc += pos.count_ones() as i32 - neg.count_ones() as i32;
+            }
+            sr = acc.rem_euclid(4);
+            for w in 0..self.w {
+                let o = w * rows;
+                self.scratch_x[w] ^= self.x[o + stab];
+                self.scratch_z[w] ^= self.z[o + stab];
             }
         }
         debug_assert!(sr == 0 || sr == 2);

@@ -147,6 +147,43 @@ proptest! {
     }
 
     #[test]
+    fn measure_sweep_and_remeasure_match_bool(
+        side in 2usize..7,
+        seed in 0u64..1000,
+    ) {
+        // The scratch-row deterministic path, exercised hard: a
+        // graph-state measure-all sweep turns mostly deterministic as
+        // it progresses, and the second sweep (plus interleaved
+        // re-measurements) is deterministic end to end — every outcome
+        // flows through the shared destabilizer-target collection and
+        // the tableau-resident scratch row. Outcomes and rows must
+        // match the reference at every step.
+        let g = generate::grid_graph(side, side);
+        let n = g.node_count();
+        let mut packed = stabilizer::Tableau::graph_state(&g);
+        let mut boolean = reference::Tableau::graph_state(&g);
+        let mut rng_p = Rng::seed_from_u64(seed ^ 0xdead);
+        let mut rng_b = Rng::seed_from_u64(seed ^ 0xdead);
+        let mut rng = Rng::seed_from_u64(seed);
+        for sweep in 0..2 {
+            for q in 0..n {
+                let a = packed.measure_z(q, &mut rng_p);
+                let b = boolean.measure_z(q, &mut rng_b);
+                prop_assert_eq!(a, b, "sweep {} qubit {}", sweep, q);
+                if rng.bernoulli(0.2) {
+                    // Immediate re-measurement: deterministic, O(1)
+                    // pivot scan, scratch-row outcome.
+                    let a2 = packed.measure_z(q, &mut rng_p);
+                    let b2 = boolean.measure_z(q, &mut rng_b);
+                    prop_assert_eq!(a2, b2, "re-measure sweep {} qubit {}", sweep, q);
+                    prop_assert_eq!(a2, a, "re-measurement must repeat the outcome");
+                }
+            }
+            assert_rows_equal(&packed, &boolean)?;
+        }
+    }
+
+    #[test]
     fn packed_pauli_algebra_matches_bool(
         n in 1usize..130,
         seed in 0u64..2000,

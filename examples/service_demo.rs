@@ -2,20 +2,23 @@
 //! submitted twice through a sharded [`CompileService`], showing the
 //! content-addressed stage-artifact cache turn the repeat traffic into
 //! near-free `Scheduled`-artifact hits — plus a BDIR-budget change that
-//! re-enters the pipeline mid-way from the cached `Mapped` artifacts.
+//! re-enters the pipeline mid-way from the cached `Mapped` artifacts,
+//! and a lifecycle round where clients abandon work: cancellations (by
+//! handle and by shared token) and deadlines drop jobs without
+//! disturbing the rest of the queue.
 //!
 //! Run with:
 //! ```text
 //! cargo run --release --example service_demo
 //! ```
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use dc_mbqc::DcMbqcConfig;
 use mbqc_circuit::bench::{self, BenchmarkKind};
 use mbqc_hardware::{DistributedHardware, ResourceStateKind};
 use mbqc_pattern::{transpile::transpile, Pattern};
-use mbqc_service::{CompileService, Priority, ServiceConfig};
+use mbqc_service::{CancelToken, CompileService, JobOptions, Priority, QueuePolicy, ServiceConfig};
 
 fn main() {
     // 1. A mixed production-style workload: QFT instances alongside
@@ -48,11 +51,14 @@ fn main() {
     let config = DcMbqcConfig::new(hw);
     let service = CompileService::new(ServiceConfig {
         workers: 2,
+        // Drain work-in-progress before starting fresh jobs within a
+        // priority class (pure scheduling — results are identical).
+        policy: QueuePolicy::DeepestStageFirst,
         ..ServiceConfig::default()
     })
     .expect("service starts");
     println!(
-        "service: {} workers (stage-graph executor), {} jobs per round\n",
+        "service: {} workers (stage-graph executor, deepest-stage-first), {} jobs per round\n",
         service.workers(),
         patterns.len()
     );
@@ -86,7 +92,7 @@ fn main() {
     // 4. Change a *scheduling* knob: the partition and mapping
     //    artifacts still hit (their stage-scoped fingerprints ignore
     //    BDIR), so only the scheduler reruns.
-    let core_only = config.without_bdir();
+    let core_only = config.clone().without_bdir();
     let t = Instant::now();
     for id in service.submit_many(&just_patterns, &core_only) {
         service.wait(id).expect("job compiles");
@@ -109,5 +115,52 @@ fn main() {
     println!(
         "executor: {} stage tasks for {} jobs (cache hits skip stages), priorities [batch, normal, interactive] = {:?}",
         stats.tasks_executed, stats.submitted, stats.submitted_by_priority,
+    );
+
+    // 5. Lifecycle round: clients abandon work. A fresh batch of
+    //    *novel* patterns (nothing cached) is submitted and then mostly
+    //    walked away from — one job cancelled through its handle, a
+    //    token-grouped pair cancelled in one shot, one job submitted
+    //    with an already-hopeless deadline. Only the surviving job
+    //    costs compile time; the rest are queue bookkeeping.
+    let novel: Vec<Pattern> = [18usize, 19, 20, 21, 17]
+        .iter()
+        .map(|&n| transpile(&bench::qft(n)))
+        .collect();
+    let t = Instant::now();
+    let survivor = service.submit(novel[4].clone(), config.clone());
+    let handle = service.submit_with(novel[0].clone(), config.clone(), JobOptions::default());
+    handle.cancel();
+    let group = CancelToken::new();
+    let grouped: Vec<_> = novel[1..3]
+        .iter()
+        .map(|p| {
+            service
+                .submit_with(
+                    p.clone(),
+                    config.clone(),
+                    JobOptions {
+                        cancel: Some(group.clone()),
+                        ..JobOptions::default()
+                    },
+                )
+                .id()
+        })
+        .collect();
+    group.cancel();
+    let hopeless = service.submit_with_deadline(novel[3].clone(), config.clone(), Duration::ZERO);
+    service.wait(survivor).expect("survivor compiles");
+    for id in grouped {
+        assert!(service.wait(id).is_err(), "token dropped the group");
+    }
+    assert!(handle.wait().is_err(), "cancelled by handle");
+    assert!(hopeless.wait().is_err(), "deadline lapsed before running");
+    let stats = service.stats();
+    println!(
+        "\nlifecycle round: {:.1} ms wall for 1 survivor + 4 abandoned jobs — {} cancelled, {} expired, {} completed total (cancelled work costs bookkeeping, not compile time)",
+        t.elapsed().as_secs_f64() * 1e3,
+        stats.cancelled,
+        stats.expired,
+        stats.completed,
     );
 }
