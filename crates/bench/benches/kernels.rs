@@ -324,6 +324,37 @@ fn bench_service(c: &mut Criterion) {
             assert!(expired.wait().is_err());
         });
     });
+    // The same workload with a retry budget on every job: in a build
+    // without `fault-inject` no fault ever fires, so this measures the
+    // cost of carrying the recovery machinery (tracked as
+    // `end_to_end/fault_churn` in BENCH_kernels.json).
+    let retry =
+        mbqc_service::RetryPolicy::attempts(4).with_backoff(std::time::Duration::from_millis(1));
+    group.bench_function("fault_churn", |b| {
+        b.iter(|| {
+            let service = CompileService::new(ServiceConfig {
+                workers: 0,
+                ..ServiceConfig::default()
+            })
+            .expect("service starts");
+            let handles: Vec<_> = patterns
+                .iter()
+                .map(|p| {
+                    service.submit_with(
+                        p.clone(),
+                        config.clone(),
+                        mbqc_service::JobOptions {
+                            retry,
+                            ..mbqc_service::JobOptions::default()
+                        },
+                    )
+                })
+                .collect();
+            for h in handles {
+                h.wait().expect("service compiles");
+            }
+        });
+    });
     group.finish();
 }
 

@@ -433,6 +433,77 @@ pub fn measure_kernels(reps: usize) -> Vec<KernelResult> {
         });
     }
 
+    // End-to-end: the failure-recovery machinery when nothing fails.
+    // Both sides compile the same ten jobs on a cold service; the
+    // recovery side additionally attaches a retry budget to every job
+    // (attempt tracking, retry classification on the worker's error
+    // path, the parked-retry queue check in the scheduler loop) and
+    // runs against a store whose circuit breaker is armed. This build
+    // carries no `fault-inject` feature, so no fault ever fires — the
+    // tracked ratio pins the cost of *having* the recovery machinery
+    // at ~1.00×.
+    {
+        let jobs: Vec<_> = [10usize, 12, 11, 13, 10, 12, 11, 13, 10, 12]
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let kinds = mbqc_circuit::bench::BenchmarkKind::all();
+                transpile(&kinds[i % kinds.len()].generate(n, 1))
+            })
+            .collect();
+        let hw = DistributedHardware::builder()
+            .num_qpus(4)
+            .grid_width(bench::grid_size_for(16))
+            .resource_state(ResourceStateKind::FIVE_STAR)
+            .kmax(4)
+            .build();
+        let config = DcMbqcConfig::new(hw);
+        let fresh = || {
+            CompileService::new(ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            })
+            .expect("service starts")
+        };
+        let retry = mbqc_service::RetryPolicy::attempts(4)
+            .with_backoff(std::time::Duration::from_millis(1));
+        results.push(KernelResult {
+            name: "end_to_end/fault_churn",
+            baseline_ns: median_ns(
+                || {
+                    let service = fresh();
+                    for id in service.submit_many(&jobs, &config) {
+                        std::hint::black_box(service.wait(id).expect("job compiles"));
+                    }
+                },
+                reps,
+            ),
+            optimized_ns: median_ns(
+                || {
+                    let service = fresh();
+                    let handles: Vec<_> = jobs
+                        .iter()
+                        .map(|p| {
+                            service.submit_with(
+                                p.clone(),
+                                config.clone(),
+                                mbqc_service::JobOptions {
+                                    retry,
+                                    ..mbqc_service::JobOptions::default()
+                                },
+                            )
+                        })
+                        .collect();
+                    for h in handles {
+                        std::hint::black_box(h.wait().expect("job compiles"));
+                    }
+                    assert_eq!(service.stats().retries, 0, "no fault fires in this build");
+                },
+                reps,
+            ),
+        });
+    }
+
     // Statevector single-qubit kernels, on a cache-resident 14-qubit
     // register so the loop structure (not DRAM bandwidth) is measured:
     // a Hadamard sweep through the general 2×2 path…

@@ -23,6 +23,7 @@ use std::sync::Mutex;
 use mbqc_compiler::MapperWorkspace;
 use mbqc_partition::KwayWorkspace;
 use mbqc_schedule::ScheduleWorkspace;
+use mbqc_util::sync::lock;
 
 /// One stage task of a job, in pipeline order. `Transpile` also acts
 /// as the job's planning step in executors: it probes the artifact
@@ -222,8 +223,10 @@ impl Default for StageGraph {
 /// tasks per stage and then stops allocating. Workspaces are scratch
 /// only — which one a task gets never influences its result — so the
 /// pool needs no fairness or affinity, just a free list. A task that
-/// panics simply never returns its workspace (the buffers may be
-/// mid-update); the pool re-allocates on the next checkout.
+/// panics must *not* return its workspace (the buffers may be
+/// mid-update); instead it [`discard`](WorkspacePool::discard)s it —
+/// the workspace is dropped, the accounting is balanced, and the pool
+/// re-allocates on the next checkout.
 ///
 /// Mapping workspaces are pooled as bundles (`Vec<MapperWorkspace>`,
 /// one entry per mapping worker) because the map stage owns all its
@@ -233,9 +236,9 @@ impl Default for StageGraph {
 /// ([`outstanding`](WorkspacePool::outstanding)): a drained executor —
 /// every job in a terminal state, no task running — must read 0, which
 /// is exactly the "no workspace leaked on the cancellation/abandon
-/// path" invariant the lifecycle property tests pin. Only a panicking
-/// task legitimately leaves the count raised (its workspace is
-/// deliberately dropped, not returned).
+/// path" invariant the lifecycle property tests pin — and, because
+/// panicking tasks discard rather than leak, the invariant holds even
+/// under injected task panics (the chaos property tests pin that too).
 #[derive(Debug, Default)]
 pub struct WorkspacePool {
     kway: Mutex<Vec<KwayWorkspace>>,
@@ -265,27 +268,32 @@ impl WorkspacePool {
     }
 
     /// Workspaces currently checked out (any kind). 0 on a drained
-    /// executor; stays raised only when a panicking task dropped its
-    /// workspace instead of returning it.
+    /// executor — panicking tasks [`discard`](Self::discard) their
+    /// workspace, so even a panic path balances the count.
     #[must_use]
     pub fn outstanding(&self) -> usize {
         self.outstanding.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Balances the accounting for a checked-out workspace that will
+    /// *not* be returned — its task panicked and the buffers may be
+    /// mid-update, so the workspace is dropped by the caller and the
+    /// pool re-allocates on the next checkout. Exactly one of
+    /// `checkin_*` / `discard` must run per checkout.
+    pub fn discard(&self) {
+        self.note_checkin();
     }
 
     /// Checks out a partitioning workspace.
     #[must_use]
     pub fn checkout_kway(&self) -> KwayWorkspace {
         self.note_checkout();
-        self.kway
-            .lock()
-            .expect("workspace pool lock")
-            .pop()
-            .unwrap_or_default()
+        lock(&self.kway).pop().unwrap_or_default()
     }
 
     /// Returns a partitioning workspace to the pool.
     pub fn checkin_kway(&self, ws: KwayWorkspace) {
-        self.kway.lock().expect("workspace pool lock").push(ws);
+        lock(&self.kway).push(ws);
         self.note_checkin();
     }
 
@@ -293,16 +301,12 @@ impl WorkspacePool {
     #[must_use]
     pub fn checkout_mapper(&self) -> Vec<MapperWorkspace> {
         self.note_checkout();
-        self.mapper
-            .lock()
-            .expect("workspace pool lock")
-            .pop()
-            .unwrap_or_default()
+        lock(&self.mapper).pop().unwrap_or_default()
     }
 
     /// Returns a mapping workspace bundle to the pool.
     pub fn checkin_mapper(&self, ws: Vec<MapperWorkspace>) {
-        self.mapper.lock().expect("workspace pool lock").push(ws);
+        lock(&self.mapper).push(ws);
         self.note_checkin();
     }
 
@@ -310,16 +314,12 @@ impl WorkspacePool {
     #[must_use]
     pub fn checkout_schedule(&self) -> ScheduleWorkspace {
         self.note_checkout();
-        self.schedule
-            .lock()
-            .expect("workspace pool lock")
-            .pop()
-            .unwrap_or_default()
+        lock(&self.schedule).pop().unwrap_or_default()
     }
 
     /// Returns a scheduling workspace to the pool.
     pub fn checkin_schedule(&self, ws: ScheduleWorkspace) {
-        self.schedule.lock().expect("workspace pool lock").push(ws);
+        lock(&self.schedule).push(ws);
         self.note_checkin();
     }
 }
@@ -433,6 +433,32 @@ mod tests {
         let s = pool.checkout_schedule();
         assert_eq!(pool.outstanding(), 1);
         pool.checkin_schedule(s);
+        assert_eq!(pool.outstanding(), 0);
+    }
+
+    #[test]
+    fn discard_balances_a_panicked_checkout() {
+        let pool = WorkspacePool::new();
+        let ws = pool.checkout_kway();
+        assert_eq!(pool.outstanding(), 1);
+        // A panicking task drops its workspace instead of returning it…
+        drop(ws);
+        // …and discards the checkout so the accounting stays balanced.
+        pool.discard();
+        assert_eq!(pool.outstanding(), 0);
+    }
+
+    #[test]
+    fn pool_survives_a_poisoned_free_list() {
+        // A panic while the free-list lock is held (e.g. an allocator
+        // failure mid-push) must not wedge every later checkout.
+        let pool = WorkspacePool::new();
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = pool.kway.lock().unwrap();
+            panic!("poison the free list");
+        }));
+        let ws = pool.checkout_kway();
+        pool.checkin_kway(ws);
         assert_eq!(pool.outstanding(), 0);
     }
 }

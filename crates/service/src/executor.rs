@@ -6,7 +6,7 @@
 //! the job's [`StageGraph`](dc_mbqc::StageGraph)). A worker pops the
 //! highest-priority ready task, executes exactly one stage on
 //! workspaces checked out of the shared
-//! [`WorkspacePool`](dc_mbqc::WorkspacePool), and returns the job to
+//! [`WorkspacePool`], and returns the job to
 //! the queue with its next task ready — so stages of *different* jobs
 //! overlap across workers, and a long batch job never blocks an
 //! interactive job for more than one stage's duration.
@@ -47,12 +47,13 @@ use std::time::Instant;
 
 use dc_mbqc::{
     map_stage, partition_stage, schedule_stage, DcMbqcError, DistributedSchedule, Mapped,
-    Partitioned, StageKind, Transpiled,
+    Partitioned, StageKind, Transpiled, WorkspacePool,
 };
 use mbqc_partition::Partition;
+use mbqc_util::sync::lock;
 
 use crate::service::{
-    decode_mapped, encode_mapped, panic_message, part_nodes_of, partition_fits, probe_cache,
+    decode_mapped, encode_mapped, internal_error, part_nodes_of, partition_fits, probe_cache,
     programs_fit, CacheEntry, JobState, ServiceError, Shared, StageKeys,
 };
 
@@ -66,11 +67,19 @@ pub(crate) fn stage_loop(shared: &Shared) {
             .expect("queued job has a ready stage task");
         let start = Instant::now();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // Fault-injection boundary (compiled out without the
+            // `fault-inject` feature): a delay here widens the race
+            // windows the chaos tests explore; a panic exercises the
+            // retry path before the task touches any pooled workspace.
+            if let Some(delay) = shared.faults.injected_delay() {
+                std::thread::sleep(delay);
+            }
+            shared.faults.maybe_panic(kind);
             run_stage_task(shared, &mut state, kind)
         }));
         state.latency_ns += start.elapsed().as_nanos() as u64;
         {
-            let mut c = shared.counters.lock().expect("counters lock");
+            let mut c = lock(&shared.counters);
             c.tasks_executed += 1;
         }
         match outcome {
@@ -78,14 +87,30 @@ pub(crate) fn stage_loop(shared: &Shared) {
             Ok(Ok(None)) => shared.requeue(seq, state),
             Ok(Err(e)) => shared.finish_job(seq, Err(ServiceError::Compile(e)), state.latency_ns),
             // A panicking task never returns its checked-out workspace
-            // to the pool (the buffers may be mid-update); the pool
-            // re-allocates on the next checkout.
-            Err(panic) => shared.finish_job(
-                seq,
-                Err(ServiceError::Internal(panic_message(&panic))),
-                state.latency_ns,
-            ),
+            // to the pool — the buffers may be mid-update, so the
+            // task's `DiscardOnUnwind` guard dropped it and balanced
+            // the checkout count. Transient failure: the job goes to
+            // the retry decision point, not straight to `Failed`.
+            Err(panic) => {
+                let err = internal_error(Some(kind), &panic);
+                shared.retry_or_fail(seq, state, err);
+            }
         }
+    }
+}
+
+/// Balances the pool's checkout accounting when a stage task unwinds
+/// mid-stage: the panicking task's workspace is dropped rather than
+/// checked back in (its buffers may be mid-update), and
+/// [`WorkspacePool::discard`] records the check-in it will never make —
+/// keeping `pool_outstanding` at 0 on a drained service even under
+/// injected panics. Forgotten (disarmed) on the normal path, where the
+/// real check-in runs.
+struct DiscardOnUnwind<'p>(&'p WorkspacePool);
+
+impl Drop for DiscardOnUnwind<'_> {
+    fn drop(&mut self) {
+        self.0.discard();
     }
 }
 
@@ -150,11 +175,7 @@ fn partition_task(
     if let Some(bytes) = shared.store.get(&keys.part) {
         if let Ok(p) = Partition::from_bytes(&bytes) {
             if partition_fits(&p, &state.pattern, &state.config) {
-                shared
-                    .counters
-                    .lock()
-                    .expect("counters lock")
-                    .task_store_hits += 1;
+                lock(&shared.counters).task_store_hits += 1;
                 state.partition = Some(p);
                 state.stages.complete(StageKind::Partition);
                 return Ok(None);
@@ -169,11 +190,17 @@ fn partition_task(
         config.adaptive.probe_workers = 1;
     }
     let mut ws = shared.pool.checkout_kway();
+    let unwind = DiscardOnUnwind(&shared.pool);
+    // Mid-task injection: a panic *here* unwinds with the workspace
+    // checked out, which is exactly what the guard (and the pool's
+    // outstanding-count invariant) must survive.
+    shared.faults.maybe_panic(StageKind::Partition);
     let (partition, cache) = {
         let transpiled = transpiled_of(state);
         let partitioned = partition_stage(&config, transpiled, &mut ws);
         (partitioned.partition().clone(), partitioned.cache())
     };
+    std::mem::forget(unwind);
     shared.pool.checkin_kway(ws);
     // Publish gate: a task that observes its job's cancellation keeps
     // its (fully computed, deterministic) artifact out of the store —
@@ -197,11 +224,7 @@ fn map_task(
     if let Some(bytes) = shared.store.get(&keys.map) {
         if let Ok((p, programs)) = decode_mapped(&bytes) {
             if partition_fits(&p, &state.pattern, &state.config) && programs_fit(&p, &programs) {
-                shared
-                    .counters
-                    .lock()
-                    .expect("counters lock")
-                    .task_store_hits += 1;
+                lock(&shared.counters).task_store_hits += 1;
                 // The adopted partition replaces whatever the partition
                 // task computed; the cached derivation belongs to the
                 // *old* partition, so drop it — the schedule task must
@@ -216,6 +239,8 @@ fn map_task(
     }
     let map_workers = if shared.workers > 1 { 1 } else { 0 };
     let mut ws = shared.pool.checkout_mapper();
+    let unwind = DiscardOnUnwind(&shared.pool);
+    shared.faults.maybe_panic(StageKind::Map);
     let outcome = {
         let transpiled = transpiled_of(state);
         let partition = state.partition.clone().expect("partition stage ran");
@@ -227,6 +252,7 @@ fn map_task(
         map_stage(&state.config, partitioned, map_workers, &mut ws)
             .map(|mapped| (encode_mapped(&mapped), mapped.programs().to_vec(), cache))
     };
+    std::mem::forget(unwind);
     shared.pool.checkin_mapper(ws);
     let (artifact, programs, cache) = outcome?;
     if !state.cancel.is_cancelled() {
@@ -249,16 +275,14 @@ fn schedule_task(
     let keys = state.keys.as_ref().expect("planning task ran first");
     if let Some(bytes) = shared.store.get(&keys.sched) {
         if let Ok(s) = DistributedSchedule::from_bytes(&bytes) {
-            shared
-                .counters
-                .lock()
-                .expect("counters lock")
-                .task_store_hits += 1;
+            lock(&shared.counters).task_store_hits += 1;
             state.stages.complete(StageKind::Schedule);
             return Ok(Some(s));
         }
     }
     let mut ws = shared.pool.checkout_schedule();
+    let unwind = DiscardOnUnwind(&shared.pool);
+    shared.faults.maybe_panic(StageKind::Schedule);
     let programs = state.programs.take().expect("map stage ran");
     let scheduled = {
         let transpiled = transpiled_of(state);
@@ -268,6 +292,7 @@ fn schedule_task(
         let mapped = Mapped::from_parts(partitioned, part_nodes, programs);
         schedule_stage(&state.config, mapped, &mut ws)
     };
+    std::mem::forget(unwind);
     shared.pool.checkin_schedule(ws);
     // The job's result exists, so it terminates `Done` even under a
     // late cancel — but the artifact publish is still gated.

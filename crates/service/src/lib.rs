@@ -160,6 +160,106 @@
 //! artifact in the store (property-tested in
 //! `tests/proptest_lifecycle.rs`).
 //!
+//! ## Failure model and recovery
+//!
+//! The service classifies every failure by *whether trying again could
+//! help*, and only ever retries the ones where it could:
+//!
+//! | error | meaning | retried? |
+//! |---|---|---|
+//! | [`ServiceError::Internal`] | a worker task panicked — environmental / transient | yes, up to [`RetryPolicy::max_attempts`] |
+//! | [`ServiceError::Compile`] | the pipeline rejected the input — deterministic | never (same input, same rejection) |
+//! | [`ServiceError::Cancelled`] | the client abandoned the job | never |
+//! | [`ServiceError::Expired`] | the client's deadline lapsed | never |
+//!
+//! **Retries are opt-in and bounded.** [`JobOptions::retry`] carries a
+//! [`RetryPolicy`]: a maximum attempt count and an exponential backoff
+//! (doubling per retry, capped at [`RetryPolicy::max_backoff`]). A
+//! retried job is parked until its backoff elapses, then re-enqueued
+//! with a fresh stage graph — no state from the failed attempt leaks
+//! into the next one, and stage artifacts the failed attempt already
+//! published still short-circuit the redo. Every retry increments
+//! [`ServiceStats::retries`], and [`CompileService::attempts`] reports
+//! a job's attempt count (frozen at its terminal state) until the
+//! result is taken. A panic is reported with the panicking stage and a
+//! rendered payload ([`ServiceError::Internal`]'s `stage` / `message`),
+//! whatever type the payload was thrown with.
+//!
+//! **The disk tier heals itself.** Every disk artifact is framed with
+//! a content checksum; a torn, truncated, or bit-flipped file is
+//! detected on read, deleted, and served as a miss — the store never
+//! returns bytes that don't decode ([`StoreStats::disk_corrupt`]).
+//! Corruption is a *data* problem and is not a breaker event. IO
+//! errors are: [`StoreConfig::disk_error_threshold`] *consecutive*
+//! read/write failures quarantine the disk tier
+//! ([`StoreStats::disk_quarantined`]), and the service degrades to
+//! memory-only caching — slower on repeats, still correct, still
+//! serving. Every [`StoreConfig::disk_probe_interval`] the breaker
+//! lets one operation through as a probe; the first success closes it
+//! and the tier resumes ([`StoreStats::disk_quarantines`] /
+//! [`StoreStats::disk_probes`] count the transitions).
+//!
+//! **Locks never poison.** Workers take every shared lock through a
+//! poison-recovering helper (`mbqc_util::sync`), so a panicking task —
+//! injected or real — can never wedge the queue, the store, or the
+//! stats for everyone else.
+//!
+//! Attaching a retry budget, and the classification in action — the
+//! deterministic rejection is *not* retried:
+//!
+//! ```
+//! use std::time::Duration;
+//!
+//! use dc_mbqc::DcMbqcConfig;
+//! use mbqc_circuit::bench;
+//! use mbqc_hardware::{DistributedHardware, ResourceStateKind};
+//! use mbqc_pattern::transpile::transpile;
+//! use mbqc_service::{
+//!     CompileService, JobOptions, RetryPolicy, ServiceConfig, ServiceError,
+//! };
+//!
+//! // A 2x2 grid with boundary reservation cannot map this circuit:
+//! // the pipeline rejects it deterministically.
+//! let hw = DistributedHardware::builder()
+//!     .num_qpus(2)
+//!     .grid_width(2)
+//!     .resource_state(ResourceStateKind::FIVE_STAR)
+//!     .kmax(4)
+//!     .build();
+//! let config = DcMbqcConfig::new(hw).with_boundary_reservation(true);
+//! let service = CompileService::new(ServiceConfig {
+//!     workers: 1,
+//!     ..ServiceConfig::default()
+//! })
+//! .unwrap();
+//!
+//! let handle = service.submit_with(
+//!     transpile(&bench::qft(6)),
+//!     config,
+//!     JobOptions {
+//!         // Up to 4 attempts, 10ms before the first retry, doubling.
+//!         retry: RetryPolicy::attempts(4).with_backoff(Duration::from_millis(10)),
+//!         ..JobOptions::default()
+//!     },
+//! );
+//! let id = handle.id();
+//! assert!(matches!(handle.wait(), Err(ServiceError::Compile(_))));
+//!
+//! // Deterministic rejection: one attempt, the retry budget unused.
+//! let stats = service.stats();
+//! assert_eq!((stats.failed, stats.retries), (1, 0));
+//! # let _ = id;
+//! ```
+//!
+//! Injected-failure coverage (disk IO errors, artifact corruption,
+//! task panics, stage delays) lives behind the `fault-inject` cargo
+//! feature: a seeded [`FaultPlan`] in [`ServiceConfig::faults`] /
+//! [`StoreConfig::faults`] drives the chaos determinism matrix in
+//! `tests/proptest_chaos.rs`, which demands exactly one terminal state
+//! per job, bit-identical surviving results, zero leaked workspaces,
+//! and no torn bytes under every plan. With the feature off (the
+//! default) the injection sites compile to nothing.
+//!
 //! # Example
 //!
 //! An interactive job submitted after a pile of batch work still pops
@@ -209,12 +309,14 @@
 //! ```
 
 pub mod executor;
+pub mod fault;
 pub mod service;
 pub mod store;
 
-pub use dc_mbqc::PipelineStage;
+pub use dc_mbqc::{PipelineStage, StageKind};
+pub use fault::{FaultConfig, FaultPlan, InjectedFault};
 pub use service::{
     CancelToken, CompileService, ExecutionEngine, JobHandle, JobId, JobOptions, Priority,
-    QueuePolicy, ServiceConfig, ServiceError, ServiceStats,
+    QueuePolicy, RetryPolicy, ServiceConfig, ServiceError, ServiceStats,
 };
 pub use store::{ArtifactKey, ArtifactStore, StoreConfig, StoreStats};

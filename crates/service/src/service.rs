@@ -6,7 +6,7 @@
 //!
 //! * [`ExecutionEngine::StageGraph`] (the default) decomposes every
 //!   job into stage tasks (`Transpile` → `Partition` → `Map` →
-//!   `Schedule`) tracked by a [`StageGraph`](dc_mbqc::StageGraph) and
+//!   `Schedule`) tracked by a [`StageGraph`] and
 //!   lets any worker run any ready task — stages of *different* jobs
 //!   overlap, so worker A can partition job 2 while worker B schedules
 //!   job 1 (see [`crate::executor`]).
@@ -42,7 +42,10 @@
 //!   to `compile_pattern`;
 //! * **Failed** — the pipeline rejected the job
 //!   ([`ServiceError::Compile`]) or a worker panicked
-//!   ([`ServiceError::Internal`]);
+//!   ([`ServiceError::Internal`]) with no [`RetryPolicy`] attempts
+//!   left — panics are *transient* and retryable; compile rejections
+//!   are deterministic and never retried (see the crate-level
+//!   "Failure model and recovery" section);
 //! * **Cancelled** — the client called [`CompileService::cancel`] /
 //!   [`JobHandle::cancel`] or fired a shared [`CancelToken`]
 //!   ([`ServiceError::Cancelled`]);
@@ -71,21 +74,23 @@
 //! [`CompileSession`]: dc_mbqc::CompileSession
 
 use std::collections::{BinaryHeap, HashMap};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use dc_mbqc::{
     CompileSession, DcMbqcConfig, DcMbqcError, DistributedSchedule, Mapped, Partitioned,
-    PipelineStage, StageGraph, Transpiled, WorkspacePool,
+    PipelineStage, StageGraph, StageKind, Transpiled, WorkspacePool,
 };
 use mbqc_compiler::CompiledProgram;
 use mbqc_graph::NodeId;
 use mbqc_partition::Partition;
 use mbqc_pattern::Pattern;
 use mbqc_util::codec::{CodecError, Decoder, Encoder};
+use mbqc_util::sync::{lock, wait, wait_timeout};
 
 use crate::executor;
+use crate::fault::FaultPlan;
 use crate::store::{ArtifactKey, ArtifactStore, StoreConfig, StoreStats};
 
 /// Handle of a submitted compilation job.
@@ -121,8 +126,17 @@ pub enum ServiceError {
     Compile(DcMbqcError),
     /// The job id was never submitted, or its result was already taken.
     UnknownJob(JobId),
-    /// A worker panicked while running the job.
-    Internal(String),
+    /// A worker panicked while running the job (and every retry its
+    /// [`RetryPolicy`] allowed panicked too). This is the *transient*
+    /// failure class — the only one a retry policy re-enqueues.
+    Internal {
+        /// The pipeline stage whose task panicked, when the engine
+        /// could attribute it (the stage-graph engine always can; the
+        /// whole-job loop marks the stage it was entering).
+        stage: Option<StageKind>,
+        /// Rendered panic payload.
+        message: String,
+    },
     /// The job was cancelled (terminal state `Cancelled`): dropped from
     /// the queue, or stopped at its next task boundary if it was
     /// in flight.
@@ -137,7 +151,14 @@ impl std::fmt::Display for ServiceError {
         match self {
             ServiceError::Compile(e) => write!(f, "compilation failed: {e}"),
             ServiceError::UnknownJob(id) => write!(f, "unknown or already-taken job {id:?}"),
-            ServiceError::Internal(msg) => write!(f, "worker panicked: {msg}"),
+            ServiceError::Internal {
+                stage: Some(stage),
+                message,
+            } => write!(f, "worker panicked in {stage:?} task: {message}"),
+            ServiceError::Internal {
+                stage: None,
+                message,
+            } => write!(f, "worker panicked: {message}"),
             ServiceError::Cancelled(id) => write!(f, "job {id:?} was cancelled"),
             ServiceError::Expired(id) => write!(f, "job {id:?} expired before running"),
         }
@@ -220,6 +241,88 @@ pub enum QueuePolicy {
     DeepestStageFirst,
 }
 
+/// Per-job retry policy for *transient* failures.
+///
+/// A job that fails with [`ServiceError::Internal`] (a worker panic —
+/// the only failure class the service treats as transient) is reset to
+/// a fresh pipeline and re-enqueued after a backoff delay, up to
+/// `max_attempts` total attempts. Deterministic failures are **never**
+/// retried: a [`ServiceError::Compile`] rejection would fail
+/// identically on every attempt, so it terminates the job immediately,
+/// and `Cancelled`/`Expired` are client decisions, not faults.
+///
+/// The backoff schedule is exponential: the first retry waits
+/// [`backoff`](Self::backoff), each later retry doubles the previous
+/// delay, and every delay is capped at [`max_backoff`](Self::max_backoff).
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use mbqc_service::RetryPolicy;
+///
+/// let policy = RetryPolicy::attempts(4).with_backoff(Duration::from_millis(10));
+/// assert_eq!(policy.delay_before(2), Duration::from_millis(10));
+/// assert_eq!(policy.delay_before(3), Duration::from_millis(20));
+/// assert_eq!(policy.delay_before(4), Duration::from_millis(40));
+///
+/// // The default policy never retries.
+/// assert_eq!(RetryPolicy::default().max_attempts, 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first run (values below 1 behave
+    /// as 1). The default is 1: no retries.
+    pub max_attempts: u32,
+    /// Delay before the first retry re-enqueues (later retries double
+    /// it). [`Duration::ZERO`] re-enqueues immediately.
+    pub backoff: Duration,
+    /// Upper bound on any single backoff delay.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 1,
+            backoff: Duration::ZERO,
+            max_backoff: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy allowing `max_attempts` total attempts with no backoff
+    /// delay (failed jobs re-enqueue immediately).
+    #[must_use]
+    pub fn attempts(max_attempts: u32) -> Self {
+        Self {
+            max_attempts: max_attempts.max(1),
+            ..Self::default()
+        }
+    }
+
+    /// Sets the base backoff delay (doubled per retry, capped at
+    /// [`max_backoff`](Self::max_backoff)).
+    #[must_use]
+    pub fn with_backoff(mut self, backoff: Duration) -> Self {
+        self.backoff = backoff;
+        if self.max_backoff < backoff {
+            self.max_backoff = backoff;
+        }
+        self
+    }
+
+    /// The delay parked before the given attempt number runs (attempt
+    /// 2 is the first retry).
+    #[must_use]
+    pub fn delay_before(&self, attempt: u32) -> Duration {
+        let retries_done = attempt.saturating_sub(2).min(30);
+        let delay = self.backoff.saturating_mul(1u32 << retries_done);
+        delay.min(self.max_backoff)
+    }
+}
+
 /// Per-job submission options beyond the pattern and configuration.
 #[derive(Debug, Clone, Default)]
 pub struct JobOptions {
@@ -229,11 +332,16 @@ pub struct JobOptions {
     /// job's next task is popped, the job terminates
     /// [`Expired`](ServiceError::Expired) instead of running. Checked
     /// lazily at queue pops — an in-flight task is never interrupted.
+    /// The budget spans retries: a parked retry that outlives the
+    /// deadline expires at its next pop.
     pub deadline: Option<Duration>,
     /// Cancellation flag to attach; one token may be shared by many
     /// jobs. Jobs are always cancellable by id; a token just adds a
     /// client-held handle that outlives the submission call.
     pub cancel: Option<CancelToken>,
+    /// Retry policy for transient ([`ServiceError::Internal`])
+    /// failures. The default never retries.
+    pub retry: RetryPolicy,
 }
 
 /// Which machinery executes queued jobs. Results are bit-identical
@@ -265,6 +373,13 @@ pub struct ServiceConfig {
     /// Artifact-store configuration (memory budget, optional disk
     /// tier).
     pub store: StoreConfig,
+    /// Deterministic fault-injection plan for *worker tasks* (injected
+    /// panics and stage delays). Inert by default, and compiled out
+    /// entirely without the `fault-inject` feature. Disk-fault
+    /// injection is configured separately on
+    /// [`StoreConfig::faults`](crate::StoreConfig) — pass clones of
+    /// one plan to both to drive them from a single seed.
+    pub faults: FaultPlan,
 }
 
 /// Aggregate service counters (a consistent snapshot).
@@ -282,6 +397,11 @@ pub struct ServiceStats {
     pub completed: u64,
     /// Jobs that returned an error.
     pub failed: u64,
+    /// Transient-failure retries: every time a job failed by a worker
+    /// panic was reset and re-enqueued under its [`RetryPolicy`]. A
+    /// job that panics twice and then succeeds contributes 2 here and
+    /// 1 to `completed`.
+    pub retries: u64,
     /// Jobs that terminated `Cancelled` (dropped from the queue or
     /// stopped at a task boundary).
     pub cancelled: u64,
@@ -312,6 +432,10 @@ pub struct ServiceStats {
     /// the cancellation/abandon path would show up here
     /// (property-tested to stay 0 on a drained service).
     pub pool_outstanding: usize,
+    /// `true` while the store's disk tier is quarantined by its
+    /// circuit breaker (memory-only degraded mode). Mirrors
+    /// [`StoreStats::disk_quarantined`] for one-stop health checks.
+    pub disk_quarantined: bool,
     /// Artifact-store counters.
     pub store: StoreStats,
 }
@@ -396,6 +520,15 @@ pub(crate) struct JobState {
     /// Lazy deadline: a pop at or after this instant terminates the
     /// job `Expired` instead of running its task.
     pub(crate) deadline: Option<Instant>,
+    /// Retry policy for transient failures (the default never
+    /// retries).
+    pub(crate) retry: RetryPolicy,
+    /// 1-based attempt currently running.
+    pub(crate) attempt: u32,
+    /// Live attempt counter shared with the result table, so
+    /// [`CompileService::attempts`] can answer while a worker holds
+    /// this state.
+    pub(crate) attempts: Arc<AtomicU32>,
 }
 
 impl JobState {
@@ -405,6 +538,8 @@ impl JobState {
         priority: Priority,
         cancel: CancelToken,
         deadline: Option<Instant>,
+        retry: RetryPolicy,
+        attempts: Arc<AtomicU32>,
     ) -> Self {
         Self {
             pattern,
@@ -419,7 +554,24 @@ impl JobState {
             latency_ns: 0,
             cancel,
             deadline,
+            retry,
+            attempt: 1,
+            attempts,
         }
+    }
+
+    /// Resets the job to a fresh pipeline for a retry: a new stage
+    /// graph and no carried stage outputs (the failed attempt's state
+    /// may be mid-update). Identity (pattern, config, priority,
+    /// cancellation, deadline) and the accumulated in-worker latency
+    /// survive — latency spans attempts.
+    fn reset_for_retry(&mut self) {
+        self.stages = StageGraph::new();
+        self.keys = None;
+        self.order = None;
+        self.partition = None;
+        self.programs = None;
+        self.part_cache = None;
     }
 }
 
@@ -452,6 +604,15 @@ impl PartialOrd for ReadyJob {
     }
 }
 
+/// A retry waiting out its backoff: the job re-enters the ready queue
+/// at `due`.
+#[derive(Debug)]
+struct ParkedJob {
+    due: Instant,
+    seq: u64,
+    state: JobState,
+}
+
 #[derive(Debug, Default)]
 pub(crate) struct QueueState {
     /// Ready entries. May contain *stale* entries whose job was
@@ -460,25 +621,48 @@ pub(crate) struct QueueState {
     /// cannot remove from the middle in O(log n)).
     ready: BinaryHeap<ReadyJob>,
     jobs: HashMap<u64, JobState>,
+    /// Retries waiting out their backoff. Promoted back into `ready`
+    /// by queue pops once due (workers `wait_timeout` until the
+    /// earliest parked deadline, so a parked retry never waits on a
+    /// client to nudge the queue). Shutdown drains parked retries like
+    /// any other queued job.
+    parked: Vec<ParkedJob>,
     /// Jobs currently executing a task on some worker (they will come
     /// back to the queue or finish — shutdown must wait for them).
     running: usize,
     shutdown: bool,
 }
 
+/// A not-yet-terminal job's client-reachable state.
+#[derive(Debug)]
+struct PendingJob {
+    /// Cancellation flag (so [`CompileService::cancel`] can reach a
+    /// job whose state is currently checked out by a worker).
+    cancel: CancelToken,
+    /// Live attempt counter shared with the job's `JobState`.
+    attempts: Arc<AtomicU32>,
+}
+
+/// A terminal job's result, held until the client takes it.
+#[derive(Debug)]
+struct DoneJob {
+    result: Result<DistributedSchedule, ServiceError>,
+    /// Attempts frozen at terminal time.
+    attempts: u32,
+}
+
 #[derive(Debug, Default)]
 struct ResultState {
-    /// Submitted jobs that have not reached a terminal state, with
-    /// their cancellation flags (so [`CompileService::cancel`] can
-    /// reach a job whose state is currently checked out by a worker).
-    pending: HashMap<JobId, CancelToken>,
-    done: HashMap<JobId, Result<DistributedSchedule, ServiceError>>,
+    /// Submitted jobs that have not reached a terminal state.
+    pending: HashMap<JobId, PendingJob>,
+    done: HashMap<JobId, DoneJob>,
 }
 
 #[derive(Debug, Default)]
 pub(crate) struct Counters {
     pub(crate) completed: u64,
     pub(crate) failed: u64,
+    pub(crate) retries: u64,
     pub(crate) cancelled: u64,
     pub(crate) expired: u64,
     pub(crate) submitted_by_priority: [u64; 3],
@@ -507,6 +691,8 @@ pub(crate) struct Shared {
     pub(crate) workers: usize,
     /// Ready-queue order within a priority class.
     pub(crate) policy: QueuePolicy,
+    /// Task-level fault injection (inert in production builds).
+    pub(crate) faults: FaultPlan,
 }
 
 impl Shared {
@@ -533,8 +719,21 @@ impl Shared {
     /// `Cancelled`, and a popped job whose deadline lapsed terminates
     /// `Expired` — all without running a stage.
     pub(crate) fn next_job(&self) -> Option<(u64, JobState)> {
-        let mut q = self.queue.lock().expect("queue lock");
+        let mut q = lock(&self.queue);
         loop {
+            // Promote parked retries whose backoff elapsed.
+            let now = Instant::now();
+            let mut i = 0;
+            while i < q.parked.len() {
+                if q.parked[i].due <= now {
+                    let p = q.parked.swap_remove(i);
+                    let entry = self.ready_entry(p.seq, &p.state);
+                    q.jobs.insert(p.seq, p.state);
+                    q.ready.push(entry);
+                } else {
+                    i += 1;
+                }
+            }
             if let Some(r) = q.ready.pop() {
                 // Stale entry: the job was cancelled while queued (its
                 // result is already published).
@@ -560,14 +759,22 @@ impl Shared {
                         // counter/result locks.
                         drop(q);
                         self.finish_dropped(r.seq, err);
-                        q = self.queue.lock().expect("queue lock");
+                        q = lock(&self.queue);
                     }
                 }
             } else {
-                if q.shutdown && q.running == 0 {
+                if q.shutdown && q.running == 0 && q.parked.is_empty() {
                     return None;
                 }
-                q = self.queue_cv.wait(q).expect("queue lock");
+                // With retries parked, sleep only until the earliest
+                // one is due — no client nudge required to resume it.
+                q = match q.parked.iter().map(|p| p.due).min() {
+                    Some(due) => {
+                        let timeout = due.saturating_duration_since(Instant::now());
+                        wait_timeout(&self.queue_cv, q, timeout).0
+                    }
+                    None => wait(&self.queue_cv, q),
+                };
             }
         }
     }
@@ -587,7 +794,7 @@ impl Shared {
             return;
         }
         let entry = self.ready_entry(seq, &state);
-        let mut q = self.queue.lock().expect("queue lock");
+        let mut q = lock(&self.queue);
         q.jobs.insert(seq, state);
         q.ready.push(entry);
         q.running -= 1;
@@ -599,7 +806,7 @@ impl Shared {
     /// (common tail of every way a job can end).
     fn publish_terminal(&self, seq: u64, result: Result<DistributedSchedule, ServiceError>) {
         {
-            let mut c = self.counters.lock().expect("counters lock");
+            let mut c = lock(&self.counters);
             match &result {
                 Err(ServiceError::Cancelled(_)) => c.cancelled += 1,
                 Err(ServiceError::Expired(_)) => c.expired += 1,
@@ -610,10 +817,13 @@ impl Shared {
                 Ok(_) => c.completed += 1,
             }
         }
-        let mut results = self.results.lock().expect("results lock");
+        let mut results = lock(&self.results);
         let id = JobId(seq);
-        results.pending.remove(&id);
-        results.done.insert(id, result);
+        let attempts = results
+            .pending
+            .remove(&id)
+            .map_or(1, |p| p.attempts.load(Ordering::Relaxed));
+        results.done.insert(id, DoneJob { result, attempts });
         drop(results);
         self.results_cv.notify_all();
     }
@@ -629,7 +839,7 @@ impl Shared {
         latency_ns: u64,
     ) {
         {
-            let mut q = self.queue.lock().expect("queue lock");
+            let mut q = lock(&self.queue);
             q.running -= 1;
         }
         self.queue_cv.notify_all();
@@ -637,13 +847,37 @@ impl Shared {
             Err(ServiceError::Cancelled(_) | ServiceError::Expired(_)) => {}
             _ => {
                 // Latency counts only for jobs that ran to an end.
-                self.counters
-                    .lock()
-                    .expect("counters lock")
-                    .total_latency_ns += latency_ns;
+                lock(&self.counters).total_latency_ns += latency_ns;
             }
         }
         self.publish_terminal(seq, result);
+    }
+
+    /// The retry decision point, called by both engines when a job's
+    /// task **panicked** ([`ServiceError::Internal`] — the transient
+    /// failure class; deterministic `Compile` rejections never come
+    /// here). If the job's [`RetryPolicy`] has attempts left and its
+    /// cancellation has not fired, the job is reset to a fresh
+    /// pipeline and *parked* until its backoff elapses; otherwise the
+    /// error is terminal.
+    pub(crate) fn retry_or_fail(&self, seq: u64, mut state: JobState, err: ServiceError) {
+        debug_assert!(matches!(err, ServiceError::Internal { .. }));
+        let exhausted = state.attempt >= state.retry.max_attempts.max(1);
+        if exhausted || state.cancel.is_cancelled() {
+            self.finish_job(seq, Err(err), state.latency_ns);
+            return;
+        }
+        state.attempt += 1;
+        state.attempts.store(state.attempt, Ordering::Relaxed);
+        state.reset_for_retry();
+        let due = Instant::now() + state.retry.delay_before(state.attempt);
+        lock(&self.counters).retries += 1;
+        let mut q = lock(&self.queue);
+        q.parked.push(ParkedJob { due, seq, state });
+        q.running -= 1;
+        drop(q);
+        // Wake every waiter: the earliest parked deadline changed.
+        self.queue_cv.notify_all();
     }
 
     /// Records a job that terminated *without* occupying a running
@@ -685,6 +919,7 @@ impl CompileService {
             pool: WorkspacePool::new(),
             workers,
             policy: config.policy,
+            faults: config.faults,
         });
         let handles = (0..workers)
             .map(|i| {
@@ -750,24 +985,23 @@ impl CompileService {
             priority,
             deadline,
             cancel,
+            retry,
         } = options;
         let cancel = cancel.unwrap_or_default();
         let deadline = deadline.map(|d| Instant::now() + d);
+        let attempts = Arc::new(AtomicU32::new(1));
         let id = JobId(self.shared.submitted.fetch_add(1, Ordering::Relaxed));
-        self.shared
-            .results
-            .lock()
-            .expect("results lock")
-            .pending
-            .insert(id, cancel.clone());
-        self.shared
-            .counters
-            .lock()
-            .expect("counters lock")
-            .submitted_by_priority[priority as usize] += 1;
-        let state = JobState::new(pattern, config, priority, cancel, deadline);
+        lock(&self.shared.results).pending.insert(
+            id,
+            PendingJob {
+                cancel: cancel.clone(),
+                attempts: Arc::clone(&attempts),
+            },
+        );
+        lock(&self.shared.counters).submitted_by_priority[priority as usize] += 1;
+        let state = JobState::new(pattern, config, priority, cancel, deadline, retry, attempts);
         let entry = self.shared.ready_entry(id.0, &state);
-        let mut q = self.shared.queue.lock().expect("queue lock");
+        let mut q = lock(&self.shared.queue);
         q.jobs.insert(id.0, state);
         q.ready.push(entry);
         drop(q);
@@ -812,22 +1046,25 @@ impl CompileService {
     /// those is a no-op, never an error.
     pub fn cancel(&self, id: JobId) -> bool {
         let token = {
-            let results = self.shared.results.lock().expect("results lock");
+            let results = lock(&self.shared.results);
             match results.pending.get(&id) {
-                Some(t) => t.clone(),
+                Some(p) => p.cancel.clone(),
                 None => return false,
             }
         };
         // Fire the flag first: a worker holding the job observes it at
         // the next task boundary even if the queue no longer knows it.
         token.cancel();
-        // Drop the job immediately if it is still queued (its
-        // remaining stage tasks die with the dropped state). Whoever
-        // removes the `JobState` publishes the terminal result — here,
-        // or the worker/pop that already holds it.
+        // Drop the job immediately if it is still queued — in the
+        // ready queue or parked between retry attempts (its remaining
+        // stage tasks die with the dropped state). Whoever removes the
+        // `JobState` publishes the terminal result — here, or the
+        // worker/pop that already holds it.
         let queued = {
-            let mut q = self.shared.queue.lock().expect("queue lock");
-            q.jobs.remove(&id.0).is_some()
+            let mut q = lock(&self.shared.queue);
+            let parked_len = q.parked.len();
+            q.parked.retain(|p| p.seq != id.0);
+            q.jobs.remove(&id.0).is_some() || q.parked.len() != parked_len
         };
         if queued {
             self.shared
@@ -873,25 +1110,38 @@ impl CompileService {
     /// dropped jobs, or [`ServiceError::UnknownJob`] for ids never
     /// submitted or already taken.
     pub fn wait(&self, id: JobId) -> Result<DistributedSchedule, ServiceError> {
-        let mut results = self.shared.results.lock().expect("results lock");
+        let mut results = lock(&self.shared.results);
         loop {
             if let Some(r) = results.done.remove(&id) {
-                return r;
+                return r.result;
             }
             if !results.pending.contains_key(&id) {
                 return Err(ServiceError::UnknownJob(id));
             }
-            results = self.shared.results_cv.wait(results).expect("results lock");
+            results = wait(&self.shared.results_cv, results);
         }
+    }
+
+    /// Attempts the job has used so far: 1 until its first retry,
+    /// frozen at the terminal count once the job ends. `None` for ids
+    /// never submitted or whose result was already taken.
+    #[must_use]
+    pub fn attempts(&self, id: JobId) -> Option<u32> {
+        let results = lock(&self.shared.results);
+        results
+            .pending
+            .get(&id)
+            .map(|p| p.attempts.load(Ordering::Relaxed))
+            .or_else(|| results.done.get(&id).map(|d| d.attempts))
     }
 
     /// Takes the job's result if it already reached a terminal state
     /// (`None` while it is still queued or running).
     #[must_use]
     pub fn try_poll(&self, id: JobId) -> Option<Result<DistributedSchedule, ServiceError>> {
-        let mut results = self.shared.results.lock().expect("results lock");
+        let mut results = lock(&self.shared.results);
         if let Some(r) = results.done.remove(&id) {
-            return Some(r);
+            return Some(r.result);
         }
         if results.pending.contains_key(&id) {
             None
@@ -912,12 +1162,14 @@ impl CompileService {
     /// A consistent snapshot of the service counters.
     #[must_use]
     pub fn stats(&self) -> ServiceStats {
-        let c = self.shared.counters.lock().expect("counters lock");
+        let store = self.shared.store.stats();
+        let c = lock(&self.shared.counters);
         ServiceStats {
             submitted: self.shared.submitted.load(Ordering::Relaxed),
             submitted_by_priority: c.submitted_by_priority,
             completed: c.completed,
             failed: c.failed,
+            retries: c.retries,
             cancelled: c.cancelled,
             expired: c.expired,
             tasks_executed: c.tasks_executed,
@@ -928,7 +1180,8 @@ impl CompileService {
             full_compiles: c.full_compiles,
             total_latency_ns: c.total_latency_ns,
             pool_outstanding: self.shared.pool.outstanding(),
-            store: self.shared.store.stats(),
+            disk_quarantined: store.disk_quarantined,
+            store,
         }
     }
 }
@@ -970,13 +1223,19 @@ impl JobHandle<'_> {
     pub fn try_poll(&self) -> Option<Result<DistributedSchedule, ServiceError>> {
         self.service.try_poll(self.id)
     }
+
+    /// Attempts used so far — see [`CompileService::attempts`].
+    #[must_use]
+    pub fn attempts(&self) -> Option<u32> {
+        self.service.attempts(self.id)
+    }
 }
 
 impl Drop for CompileService {
     /// Drains the queue (queued jobs still complete), then stops the
     /// workers.
     fn drop(&mut self) {
-        self.shared.queue.lock().expect("queue lock").shutdown = true;
+        lock(&self.shared.queue).shutdown = true;
         self.shared.queue_cv.notify_all();
         for w in self.workers.drain(..) {
             let _ = w.join();
@@ -1028,7 +1287,7 @@ pub(crate) fn probe_cache(
         }
     }
     {
-        let mut c = shared.counters.lock().expect("counters lock");
+        let mut c = lock(&shared.counters);
         match &entry {
             CacheEntry::Scheduled(_) => c.hits_scheduled += 1,
             CacheEntry::Mapped(..) => c.hits_mapped += 1,
@@ -1047,12 +1306,16 @@ fn job_loop(shared: &Shared) {
     // with the same effective configuration; the fingerprint ignores
     // worker-count knobs, which the worker overrides anyway.
     let mut session: Option<(Vec<u8>, CompileSession)> = None;
-    while let Some((seq, state)) = shared.next_job() {
+    while let Some((seq, mut state)) = shared.next_job() {
+        // Which stage a panic should be attributed to: the whole job
+        // is one `catch_unwind` to this engine, so `run_job` marks
+        // each stage as it enters it.
+        let stage = std::cell::Cell::new(None);
         let start = Instant::now();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_job(shared, &mut session, &state)
+            run_job(shared, &mut session, &state, &stage)
         }));
-        let latency = start.elapsed().as_nanos() as u64;
+        state.latency_ns += start.elapsed().as_nanos() as u64;
         let result = match outcome {
             // A whole job is one task to this engine, but cancellation
             // is still observed between stages: a cancel that lands
@@ -1065,33 +1328,77 @@ fn job_loop(shared: &Shared) {
             Err(panic) => {
                 // The session's workspaces may be mid-update; rebuild.
                 session = None;
-                Err(ServiceError::Internal(panic_message(&panic)))
+                // Transient failure: the retry decision point, not a
+                // terminal result.
+                shared.retry_or_fail(seq, state, internal_error(stage.get(), &panic));
+                continue;
             }
         };
-        shared.finish_job(seq, result, latency);
+        shared.finish_job(seq, result, state.latency_ns);
+    }
+}
+
+/// Builds the [`ServiceError::Internal`] for a caught worker panic.
+pub(crate) fn internal_error(
+    stage: Option<StageKind>,
+    panic: &Box<dyn std::any::Any + Send>,
+) -> ServiceError {
+    ServiceError::Internal {
+        stage,
+        message: panic_message(panic),
     }
 }
 
 /// Renders a panic payload for [`ServiceError::Internal`].
+///
+/// `panic!` payloads are strings and render verbatim. For
+/// [`panic_any`](std::panic::panic_any) payloads the true type name is
+/// unrecoverable from a `dyn Any`, so known service types are
+/// downcast and rendered with their type name — notably
+/// [`InjectedFault`](crate::fault::InjectedFault), so chaos-test
+/// failures are self-describing — and anything else falls back to the
+/// payload's opaque [`TypeId`](std::any::TypeId).
 pub(crate) fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {
-    panic
-        .downcast_ref::<&str>()
-        .map(ToString::to_string)
-        .or_else(|| panic.downcast_ref::<String>().cloned())
-        .unwrap_or_else(|| "non-string panic payload".to_string())
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(fault) = panic.downcast_ref::<crate::fault::InjectedFault>() {
+        format!("{fault} (payload type mbqc_service::fault::InjectedFault)")
+    } else {
+        format!(
+            "non-string panic payload (type id {:?})",
+            std::any::Any::type_id(&**panic)
+        )
+    }
 }
 
 /// Runs one job through the cache-routed pipeline (the `JobLoop`
 /// engine's whole-job path). `Ok(None)` means the job's cancellation
 /// fired mid-pipeline: the run stopped at a stage boundary, publishing
-/// nothing further to the store.
+/// nothing further to the store. `stage` tracks the pipeline stage
+/// being entered, for panic attribution.
 fn run_job(
     shared: &Shared,
     session: &mut Option<(Vec<u8>, CompileSession)>,
     state: &JobState,
+    stage: &std::cell::Cell<Option<StageKind>>,
 ) -> Result<Option<DistributedSchedule>, DcMbqcError> {
     let (pattern, config) = (&state.pattern, &state.config);
     let cancelled = || state.cancel.is_cancelled();
+    // Fault-injection boundary, mirroring the stage-graph executor's
+    // per-task sites: an injected delay widens the race windows the
+    // chaos tests explore, an injected panic exercises the retry path.
+    // Compiled out (constant no-op) without the `fault-inject`
+    // feature.
+    let enter = |kind: StageKind| {
+        stage.set(Some(kind));
+        if let Some(delay) = shared.faults.injected_delay() {
+            std::thread::sleep(delay);
+        }
+        shared.faults.maybe_panic(kind);
+    };
+    enter(StageKind::Transpile);
     let keys = StageKeys::new(pattern, config);
     let entry = probe_cache(shared, &keys, pattern, config);
     if let CacheEntry::Scheduled(s) = entry {
@@ -1110,6 +1417,7 @@ fn run_job(
             Mapped::from_parts(partitioned, part_nodes, programs)
         }
         CacheEntry::Partitioned(partition) => {
+            enter(StageKind::Map);
             let partitioned = Partitioned::with_partition(transpiled, partition);
             let mapped = session.map(partitioned)?;
             if cancelled() {
@@ -1119,6 +1427,7 @@ fn run_job(
             mapped
         }
         CacheEntry::Miss | CacheEntry::Scheduled(_) => {
+            enter(StageKind::Partition);
             let partitioned = session.partition(transpiled);
             if cancelled() {
                 return Ok(None);
@@ -1126,6 +1435,7 @@ fn run_job(
             shared
                 .store
                 .put(&keys.part, partitioned.partition().to_bytes());
+            enter(StageKind::Map);
             let mapped = session.map(partitioned)?;
             if cancelled() {
                 return Ok(None);
@@ -1134,6 +1444,7 @@ fn run_job(
             mapped
         }
     };
+    enter(StageKind::Schedule);
     let scheduled = session.schedule(mapped);
     // The result exists: the job is past cancellation (it terminates
     // `Done`), but a cancel observed here still suppresses the

@@ -13,14 +13,28 @@
 //!   slab; O(1) get/insert/evict), and
 //! * an optional on-disk tier (one file per artifact, written via
 //!   temp-file + rename) giving persistence and warm restarts. Disk
-//!   reads verify the embedded key and promote the artifact back into
-//!   the memory tier; every disk failure degrades to a cache miss,
-//!   never an error. The tier is bounded too: an optional byte budget
-//!   evicts least-recently-accessed artifacts
+//!   reads verify the embedded key *and* a content checksum (a
+//!   [`Fingerprint`] over the framed key + value) and promote the
+//!   artifact back into the memory tier; every disk failure degrades
+//!   to a cache miss, never an error, and a file that fails
+//!   verification is deleted on detection (it can never verify again,
+//!   so keeping it would cost a failed decode per lookup). The tier is
+//!   bounded too: an optional byte budget evicts
+//!   least-recently-accessed artifacts
 //!   ([`StoreConfig::disk_capacity`]) and an optional TTL expires
 //!   artifacts by age ([`StoreConfig::disk_ttl`]); a restart rebuilds
 //!   the index (and the recency order, from file modification times)
 //!   by scanning the directory, so the budget holds across restarts.
+//!
+//! The disk tier sits behind a **circuit breaker**: after
+//! [`StoreConfig::disk_error_threshold`] *consecutive* IO errors
+//! (reads or writes — corrupt-but-readable files don't count, the
+//! disk answered) the tier is quarantined and the store runs
+//! memory-only, so a dead disk costs one error burst instead of an
+//! error per artifact. Every [`StoreConfig::disk_probe_interval`] one
+//! operation is let through as a probe; the first success closes the
+//! breaker and the tier resumes. Quarantine state and counts are
+//! surfaced in [`StoreStats`].
 //!
 //! Two integrity properties hold under job-lifecycle churn
 //! (property-tested in `tests/proptest_service.rs` and
@@ -37,11 +51,14 @@ use std::collections::{BTreeMap, HashMap};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, SystemTime};
+use std::time::{Duration, Instant, SystemTime};
 
 use dc_mbqc::PipelineStage;
 use mbqc_util::codec::{Decoder, Encoder};
+use mbqc_util::sync::lock;
 use mbqc_util::Fingerprint;
+
+use crate::fault::FaultPlan;
 
 /// A content-addressed cache key: canonical bytes of
 /// `(stage, config fingerprint, pattern content)`. The stage is the
@@ -95,6 +112,18 @@ pub struct StoreConfig {
     /// expired artifacts read as misses and are deleted lazily.
     /// `None` disables expiry.
     pub disk_ttl: Option<Duration>,
+    /// Circuit breaker: consecutive disk IO errors (reads or writes)
+    /// before the disk tier is quarantined into memory-only degraded
+    /// mode. `u32::MAX` effectively disables the breaker.
+    pub disk_error_threshold: u32,
+    /// How often a quarantined disk tier lets one operation through as
+    /// a recovery probe (the first success closes the breaker).
+    /// `Duration::ZERO` probes on every operation.
+    pub disk_probe_interval: Duration,
+    /// Deterministic fault injection (inert unless the crate is built
+    /// with the `fault-inject` feature *and* an active plan is
+    /// supplied). See [`crate::fault`].
+    pub faults: FaultPlan,
 }
 
 impl Default for StoreConfig {
@@ -104,6 +133,9 @@ impl Default for StoreConfig {
             disk_dir: None,
             disk_capacity: Some(1 << 30),
             disk_ttl: None,
+            disk_error_threshold: 8,
+            disk_probe_interval: Duration::from_secs(2),
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -136,8 +168,21 @@ pub struct StoreStats {
     /// Disk-tier TTL expirations since creation.
     pub disk_expirations: u64,
     /// Disk operations that failed and degraded to a miss / skipped
-    /// write (never an error).
+    /// write (never an error). Counts IO errors *and* verification
+    /// failures.
     pub disk_errors: u64,
+    /// Disk reads whose bytes failed checksum/key verification (a
+    /// subset of `disk_errors`): the corrupt file was served as a miss
+    /// and deleted, never decoded.
+    pub disk_corrupt: u64,
+    /// `true` while the disk tier is quarantined by the circuit
+    /// breaker (memory-only degraded mode, awaiting a re-probe).
+    pub disk_quarantined: bool,
+    /// Times the circuit breaker opened (consecutive-IO-error
+    /// threshold reached) since creation.
+    pub disk_quarantines: u64,
+    /// Recovery probes let through while quarantined.
+    pub disk_probes: u64,
 }
 
 const NONE: usize = usize::MAX;
@@ -268,6 +313,80 @@ struct StoreInner {
     stats: StoreStats,
 }
 
+/// The disk tier's circuit breaker: counts *consecutive* IO errors
+/// and, at the threshold, quarantines the tier — every operation is
+/// skipped (memory-only degraded mode) except one probe per
+/// `probe_interval`, whose first success closes the breaker again.
+/// Only genuine IO errors feed it; a corrupt-but-readable file means
+/// the disk answered, so verification failures reset nothing and trip
+/// nothing.
+#[derive(Debug)]
+struct Breaker {
+    threshold: u32,
+    probe_interval: Duration,
+    /// Consecutive IO errors since the last success.
+    consecutive: u32,
+    /// `Some(t)` while quarantined: operations are skipped until `t`,
+    /// then one probe is let through (and the gate re-arms).
+    open_until: Option<Instant>,
+    quarantines: u64,
+    probes: u64,
+}
+
+impl Breaker {
+    fn new(threshold: u32, probe_interval: Duration) -> Self {
+        Self {
+            threshold,
+            probe_interval,
+            consecutive: 0,
+            open_until: None,
+            quarantines: 0,
+            probes: 0,
+        }
+    }
+
+    /// Gate at the head of every disk operation: `false` skips the
+    /// tier (quarantined, not yet probe time).
+    fn allow(&mut self) -> bool {
+        match self.open_until {
+            None => true,
+            Some(until) => {
+                let now = Instant::now();
+                if now >= until {
+                    // Half-open: let this one operation probe the disk
+                    // and re-arm the gate — a failed probe keeps the
+                    // tier quarantined for another interval.
+                    self.open_until = Some(now + self.probe_interval);
+                    self.probes += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// A disk operation completed (reads, writes, and NotFound alike:
+    /// the disk answered). Closes the breaker if it was open.
+    fn success(&mut self) {
+        self.consecutive = 0;
+        self.open_until = None;
+    }
+
+    /// A disk operation failed with an IO error.
+    fn failure(&mut self) {
+        self.consecutive = self.consecutive.saturating_add(1);
+        if self.open_until.is_none() && self.consecutive >= self.threshold {
+            self.open_until = Some(Instant::now() + self.probe_interval);
+            self.quarantines += 1;
+        }
+    }
+
+    fn quarantined(&self) -> bool {
+        self.open_until.is_some()
+    }
+}
+
 /// Per-artifact bookkeeping of the disk tier's in-memory index.
 #[derive(Debug)]
 struct DiskEntry {
@@ -305,13 +424,19 @@ struct DiskTier {
     next_seq: u64,
     evictions: u64,
     expirations: u64,
+    breaker: Breaker,
 }
 
 impl DiskTier {
     /// Opens (and bounds) the tier: creates the directory, removes
     /// stale temp files, indexes existing artifacts oldest-first,
     /// expires the over-age ones, and evicts down to the byte budget.
-    fn open(dir: PathBuf, capacity: Option<u64>, ttl: Option<Duration>) -> std::io::Result<Self> {
+    fn open(
+        dir: PathBuf,
+        capacity: Option<u64>,
+        ttl: Option<Duration>,
+        breaker: Breaker,
+    ) -> std::io::Result<Self> {
         std::fs::create_dir_all(&dir)?;
         let mut found: Vec<(SystemTime, String, u64)> = Vec::new();
         for entry in std::fs::read_dir(&dir)? {
@@ -346,6 +471,7 @@ impl DiskTier {
             next_seq: 0,
             evictions: 0,
             expirations: 0,
+            breaker,
         };
         for (written, name, size) in found {
             let seq = tier.next_seq;
@@ -414,12 +540,16 @@ impl DiskTier {
         }
     }
 
-    /// Lookup phase 1 (locked): TTL gate. Expired artifacts are
-    /// deleted here and report `None` (a miss); otherwise the caller
-    /// gets the path to read *outside* the lock — even for unindexed
-    /// names, which may be files written by a sibling process sharing
-    /// the directory.
+    /// Lookup phase 1 (locked): circuit-breaker gate, then TTL gate.
+    /// A quarantined tier reports `None` (memory-only degraded mode);
+    /// expired artifacts are deleted here and report `None` (a miss);
+    /// otherwise the caller gets the path to read *outside* the lock —
+    /// even for unindexed names, which may be files written by a
+    /// sibling process sharing the directory.
     fn pre_read(&mut self, name: &str) -> Option<PathBuf> {
+        if !self.breaker.allow() {
+            return None;
+        }
         if let Some(entry) = self.index.get(name) {
             if self.expired(entry) {
                 self.remove(name);
@@ -434,6 +564,7 @@ impl DiskTier {
     /// refreshes the artifact's recency, adopting externally written
     /// files into the index so the budget keeps counting them.
     fn note_read(&mut self, name: &str, size: u64) {
+        self.breaker.success();
         match self.index.get_mut(name) {
             Some(entry) => {
                 // Touch: most-recently-used now.
@@ -462,20 +593,33 @@ impl DiskTier {
 
     /// Lookup cleanup (locked): the file turned out not to exist —
     /// drop any stale index entry so the budget stops counting it
-    /// (e.g. an eviction raced an in-flight write).
+    /// (e.g. an eviction raced an in-flight write). NotFound means
+    /// the disk *answered*, so it counts as a breaker success.
     fn note_missing(&mut self, name: &str) {
+        self.breaker.success();
         if let Some(entry) = self.index.remove(name) {
             self.by_recency.remove(&entry.seq);
             self.bytes -= entry.size;
         }
     }
 
-    /// Store phase 1 (locked): TTL sweep + admission. Artifacts larger
-    /// than the whole budget are rejected (`None`); otherwise the
-    /// caller performs the temp-file + rename write *outside* the lock
+    /// A disk read or write failed with a genuine IO error: feed the
+    /// circuit breaker (enough consecutive errors quarantine the
+    /// tier).
+    fn note_io_error(&mut self) {
+        self.breaker.failure();
+    }
+
+    /// Store phase 1 (locked): circuit-breaker gate, TTL sweep, and
+    /// admission. A quarantined tier and artifacts larger than the
+    /// whole budget are rejected (`None`); otherwise the caller
+    /// performs the temp-file + rename write *outside* the lock
     /// (concurrent writers of the same deterministic artifact are safe
     /// — unique temp names, atomic rename).
     fn pre_write(&mut self, name: &str, size: u64) -> Option<PathBuf> {
+        if !self.breaker.allow() {
+            return None;
+        }
         self.sweep_expired();
         if self.capacity.is_some_and(|c| size > c) {
             return None;
@@ -487,6 +631,7 @@ impl DiskTier {
     /// replaces the artifact's index entry and evicts back down to the
     /// byte budget.
     fn note_write(&mut self, name: &str, size: u64) {
+        self.breaker.success();
         let seq = self.next_seq;
         self.next_seq += 1;
         if let Some(old) = self.index.remove(name) {
@@ -513,6 +658,7 @@ impl DiskTier {
 pub struct ArtifactStore {
     inner: Mutex<StoreInner>,
     disk: Option<Mutex<DiskTier>>,
+    faults: FaultPlan,
 }
 
 impl ArtifactStore {
@@ -531,6 +677,7 @@ impl ArtifactStore {
                 dir,
                 config.disk_capacity.map(|c| c as u64),
                 config.disk_ttl,
+                Breaker::new(config.disk_error_threshold, config.disk_probe_interval),
             )?)),
             None => None,
         };
@@ -540,6 +687,7 @@ impl ArtifactStore {
                 stats: StoreStats::default(),
             }),
             disk,
+            faults: config.faults,
         })
     }
 
@@ -548,14 +696,14 @@ impl ArtifactStore {
     }
 
     /// Looks the artifact up: memory tier first, then disk (verifying
-    /// the embedded key and promoting the artifact into memory). The
-    /// disk read happens *outside* the memory-tier lock so one
-    /// worker's cold miss never stalls the others' memory-tier
-    /// traffic.
+    /// the embedded key and the content checksum, then promoting the
+    /// artifact into memory). The disk read happens *outside* the
+    /// memory-tier lock so one worker's cold miss never stalls the
+    /// others' memory-tier traffic.
     #[must_use]
     pub fn get(&self, key: &ArtifactKey) -> Option<Vec<u8>> {
         {
-            let mut inner = self.inner.lock().expect("store lock");
+            let mut inner = lock(&self.inner);
             if let Some(v) = inner.lru.get(key.bytes()) {
                 let v = v.to_vec();
                 inner.stats.memory_hits += 1;
@@ -563,70 +711,104 @@ impl ArtifactStore {
             }
         }
         let mut disk_error = false;
+        let mut corrupt = false;
         if let Some(disk) = &self.disk {
             let name = Self::name_of(key);
-            let path = disk.lock().expect("disk tier lock").pre_read(&name);
+            let path = lock(disk).pre_read(&name);
             if let Some(path) = path {
                 // The file read runs outside the disk-tier lock too:
                 // only index bookkeeping serializes, never I/O.
-                match std::fs::read(&path) {
+                // Injected read errors take the exact path a real one
+                // would.
+                let read = if self.faults.disk_read_error() {
+                    Err(std::io::Error::other("injected disk read error"))
+                } else {
+                    std::fs::read(&path)
+                };
+                match read {
                     Ok(file) => {
-                        disk.lock()
-                            .expect("disk tier lock")
-                            .note_read(&name, file.len() as u64);
+                        lock(disk).note_read(&name, file.len() as u64);
                         if let Some(value) = decode_disk_artifact(&file, key) {
-                            let mut inner = self.inner.lock().expect("store lock");
+                            let mut inner = lock(&self.inner);
                             inner.stats.disk_hits += 1;
                             inner.stats.evictions += inner.lru.insert(key.bytes(), value.clone());
                             return Some(value);
                         }
-                        // Fingerprint collision or corrupt file: a miss.
+                        // Checksum or key verification failed: the
+                        // artifact is corrupt (or a fingerprint
+                        // collision named a foreign key). Serve a miss
+                        // and delete the file — it can never verify
+                        // again, so keeping it would cost one failed
+                        // decode per future lookup. Not a breaker
+                        // event: the disk answered.
+                        lock(disk).remove(&name);
                         disk_error = true;
+                        corrupt = true;
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                        disk.lock().expect("disk tier lock").note_missing(&name);
+                        lock(disk).note_missing(&name);
                     }
-                    Err(_) => disk_error = true,
+                    Err(_) => {
+                        // A genuine IO error feeds the circuit breaker:
+                        // enough consecutive ones quarantine the tier
+                        // instead of re-probing a sick path on every
+                        // future get.
+                        lock(disk).note_io_error();
+                        disk_error = true;
+                    }
                 }
             }
         }
-        let mut inner = self.inner.lock().expect("store lock");
+        let mut inner = lock(&self.inner);
         if disk_error {
             inner.stats.disk_errors += 1;
+        }
+        if corrupt {
+            inner.stats.disk_corrupt += 1;
         }
         inner.stats.misses += 1;
         None
     }
 
-    /// Stores an artifact in both tiers. Disk failures are counted and
-    /// otherwise ignored — the cache stays best-effort.
+    /// Stores an artifact in both tiers. Disk failures are counted,
+    /// fed to the circuit breaker, and otherwise ignored — the cache
+    /// stays best-effort.
     pub fn put(&self, key: &ArtifactKey, value: Vec<u8>) {
+        let mut disk_error = false;
         if let Some(disk) = &self.disk {
             let name = Self::name_of(key);
-            let mut e = Encoder::new();
-            e.bytes(key.bytes());
-            e.bytes(&value);
-            let contents = e.into_bytes();
-            let path = disk
-                .lock()
-                .expect("disk tier lock")
-                .pre_write(&name, contents.len() as u64);
+            let mut contents = encode_disk_artifact(key, &value);
+            // Injected corruption lands between encoding and the
+            // write: the bytes reach the file torn exactly like a
+            // storage-layer bit flip would tear them, checksum
+            // included.
+            self.faults.corrupt(&mut contents);
+            let path = lock(disk).pre_write(&name, contents.len() as u64);
             if let Some(path) = path {
                 // The temp-file write + fsync + rename runs outside the
                 // disk-tier lock: a worker's fsync must never stall the
                 // other workers' disk traffic.
-                match write_atomically(&path, &contents) {
+                let write = if self.faults.disk_write_error() {
+                    Err(std::io::Error::other("injected disk write error"))
+                } else {
+                    write_atomically(&path, &contents)
+                };
+                match write {
                     Ok(()) => {
-                        disk.lock()
-                            .expect("disk tier lock")
-                            .note_write(&name, contents.len() as u64);
-                        self.inner.lock().expect("store lock").stats.disk_writes += 1;
+                        lock(disk).note_write(&name, contents.len() as u64);
+                        lock(&self.inner).stats.disk_writes += 1;
                     }
-                    Err(_) => self.inner.lock().expect("store lock").stats.disk_errors += 1,
+                    Err(_) => {
+                        lock(disk).note_io_error();
+                        disk_error = true;
+                    }
                 }
             }
         }
-        let mut inner = self.inner.lock().expect("store lock");
+        let mut inner = lock(&self.inner);
+        if disk_error {
+            inner.stats.disk_errors += 1;
+        }
         inner.stats.evictions += inner.lru.insert(key.bytes(), value);
     }
 
@@ -634,34 +816,59 @@ impl ArtifactStore {
     #[must_use]
     pub fn stats(&self) -> StoreStats {
         let mut s = {
-            let inner = self.inner.lock().expect("store lock");
+            let inner = lock(&self.inner);
             let mut s = inner.stats;
             s.entries = inner.lru.len();
             s.bytes = inner.lru.bytes;
             s
         };
         if let Some(disk) = &self.disk {
-            let disk = disk.lock().expect("disk tier lock");
+            let disk = lock(disk);
             s.disk_entries = disk.index.len();
             s.disk_bytes = disk.bytes as usize;
             s.disk_evictions = disk.evictions;
             s.disk_expirations = disk.expirations;
+            s.disk_quarantined = disk.breaker.quarantined();
+            s.disk_quarantines = disk.breaker.quarantines;
+            s.disk_probes = disk.breaker.probes;
         }
         s
     }
 }
 
-/// Decodes a disk artifact, returning its value only when the embedded
-/// key matches `key` exactly.
+/// Encodes a disk artifact: the length-framed key and value, followed
+/// by a [`Fingerprint`] checksum over those framed bytes. The key
+/// comparison makes a hit exact; the checksum makes *any* bit flip in
+/// the file detectable (key framing, value bytes, or the checksum
+/// itself), so a corrupted resident artifact always reads as a miss
+/// and is never decoded into a stage re-entry.
+fn encode_disk_artifact(key: &ArtifactKey, value: &[u8]) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.bytes(key.bytes());
+    e.bytes(value);
+    let mut contents = e.into_bytes();
+    let check = Fingerprint::of(&contents).0;
+    let mut tail = Encoder::new();
+    tail.u64((check >> 64) as u64);
+    tail.u64(check as u64);
+    contents.extend_from_slice(&tail.into_bytes());
+    contents
+}
+
+/// Decodes a disk artifact, returning its value only when the trailing
+/// checksum verifies over the framed bytes *and* the embedded key
+/// matches `key` exactly.
 fn decode_disk_artifact(file: &[u8], key: &ArtifactKey) -> Option<Vec<u8>> {
     let mut d = Decoder::new(file);
     let stored_key = d.bytes().ok()?;
-    if stored_key != key.bytes() {
+    let value = d.bytes().ok()?;
+    let framed_len = file.len() - d.remaining();
+    let check = (u128::from(d.u64().ok()?) << 64) | u128::from(d.u64().ok()?);
+    d.finish().ok()?;
+    if Fingerprint::of(&file[..framed_len]).0 != check || stored_key != key.bytes() {
         return None;
     }
-    let value = d.bytes().ok()?.to_vec();
-    d.finish().ok()?;
-    Some(value)
+    Some(value.to_vec())
 }
 
 /// Writes via a sibling temp file + rename so concurrent writers of the
@@ -821,7 +1028,7 @@ mod tests {
                 memory_capacity: 1,
                 disk_dir: Some(dir.clone()),
                 disk_capacity: None,
-                disk_ttl: None,
+                ..StoreConfig::default()
             })
             .unwrap();
             probe.put(&key(0), vec![0; 200]);
@@ -832,7 +1039,7 @@ mod tests {
             memory_capacity: 1,
             disk_dir: Some(dir.clone()),
             disk_capacity: Some((2 * file_size + file_size / 2) as usize),
-            disk_ttl: None,
+            ..StoreConfig::default()
         };
         let store = ArtifactStore::new(cfg.clone()).unwrap();
         store.put(&key(1), vec![1; 200]);
@@ -883,6 +1090,7 @@ mod tests {
                 disk_dir: Some(dir.clone()),
                 disk_capacity: None,
                 disk_ttl: ttl,
+                ..StoreConfig::default()
             })
             .unwrap()
         };
@@ -902,5 +1110,164 @@ mod tests {
         // restart (its mtime is in the past).
         assert!(store.get(&key(7)).is_none());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn single_bit_flips_are_always_detected_and_self_healed() {
+        let dir = scratch_dir("bitflip");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = StoreConfig {
+            memory_capacity: 1, // force disk reads
+            disk_dir: Some(dir.clone()),
+            ..StoreConfig::default()
+        };
+        let store = ArtifactStore::new(cfg.clone()).unwrap();
+        store.put(&key(3), vec![0xAB; 64]);
+        let path = art_path(&dir, &key(3));
+        let clean = std::fs::read(&path).unwrap();
+        // Every single-bit flip anywhere in the file — key framing,
+        // value bytes, or the checksum itself — must read as a miss.
+        for byte in 0..clean.len() {
+            for bit in 0..8 {
+                let mut torn = clean.clone();
+                torn[byte] ^= 1 << bit;
+                std::fs::write(&path, &torn).unwrap();
+                let store = ArtifactStore::new(cfg.clone()).unwrap();
+                assert_eq!(store.get(&key(3)), None, "byte {byte} bit {bit}");
+                let s = store.stats();
+                assert_eq!((s.disk_errors, s.disk_corrupt), (1, 1));
+                assert!(!path.exists(), "corrupt file is deleted");
+                // Re-seed for the next flip.
+                write_atomically(&path, &clean).unwrap();
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_and_oversized_files_read_as_corrupt_misses() {
+        let dir = scratch_dir("torn");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = StoreConfig {
+            memory_capacity: 1,
+            disk_dir: Some(dir.clone()),
+            ..StoreConfig::default()
+        };
+        let store = ArtifactStore::new(cfg.clone()).unwrap();
+        store.put(&key(9), vec![9; 40]);
+        let path = art_path(&dir, &key(9));
+        let clean = std::fs::read(&path).unwrap();
+        for torn in [&clean[..clean.len() / 2], &[&clean[..], b"x"].concat()[..]] {
+            std::fs::write(&path, torn).unwrap();
+            let store = ArtifactStore::new(cfg.clone()).unwrap();
+            assert_eq!(store.get(&key(9)), None);
+            assert_eq!(store.stats().disk_corrupt, 1);
+            write_atomically(&path, &clean).unwrap();
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_reprobes() {
+        let mut b = Breaker::new(3, Duration::from_secs(3600));
+        assert!(b.allow() && !b.quarantined());
+        b.failure();
+        b.failure();
+        assert!(b.allow(), "below threshold stays closed");
+        b.failure();
+        assert!(b.quarantined());
+        // Quarantined: the first allow() within the probe interval is
+        // denied; the gate has already been armed far in the future.
+        assert!(!b.allow());
+        assert_eq!(b.quarantines, 1);
+        // A success (e.g. from a half-open probe) closes it again.
+        b.success();
+        assert!(!b.quarantined() && b.allow());
+        // Successes also reset the consecutive-failure run.
+        b.failure();
+        b.failure();
+        b.success();
+        b.failure();
+        b.failure();
+        assert!(!b.quarantined(), "non-consecutive failures do not open");
+    }
+
+    #[test]
+    fn breaker_half_open_probe_fires_after_interval() {
+        let mut b = Breaker::new(1, Duration::ZERO);
+        b.failure();
+        assert!(b.quarantined());
+        // Zero probe interval: the deadline is always in the past, so
+        // every allow() is a half-open probe.
+        assert!(b.allow());
+        assert!(b.probes >= 1);
+        b.failure(); // probe failed: stays quarantined
+        assert!(b.quarantined());
+        assert!(b.allow());
+        b.success(); // probe succeeded: closes
+        assert!(!b.quarantined());
+    }
+
+    #[cfg(feature = "fault-inject")]
+    mod injected {
+        use super::*;
+        use crate::fault::{FaultConfig, FaultPlan};
+
+        fn faulty(dir: &Path, faults: FaultPlan) -> ArtifactStore {
+            ArtifactStore::new(StoreConfig {
+                memory_capacity: 1, // force disk traffic
+                disk_dir: Some(dir.to_path_buf()),
+                disk_error_threshold: 2,
+                faults,
+                ..StoreConfig::default()
+            })
+            .unwrap()
+        }
+
+        #[test]
+        fn injected_read_errors_quarantine_the_disk_tier() {
+            let dir = scratch_dir("inj-read");
+            let _ = std::fs::remove_dir_all(&dir);
+            let plan = FaultPlan::new(FaultConfig {
+                seed: 7,
+                disk_read_error: 1.0,
+                ..FaultConfig::default()
+            });
+            let store = faulty(&dir, plan);
+            store.put(&key(1), vec![1; 32]);
+            assert_eq!(store.get(&key(1)), None);
+            assert_eq!(store.get(&key(1)), None);
+            let s = store.stats();
+            assert!(s.disk_quarantined, "{s:?}");
+            assert_eq!(s.disk_quarantines, 1);
+            assert_eq!(s.disk_errors, 2);
+            // Quarantined tier: later operations skip the disk
+            // entirely, so the p=1.0 fault site is never even reached
+            // — no new IO errors accrue (this store's memory tier is
+            // deliberately too small to hold anything, so the get is
+            // just a quiet miss).
+            store.put(&key(2), vec![2; 32]);
+            assert_eq!(store.get(&key(2)), None);
+            assert_eq!(store.stats().disk_errors, 2, "fault site skipped");
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+
+        #[test]
+        fn injected_corruption_is_caught_by_the_checksum() {
+            let dir = scratch_dir("inj-corrupt");
+            let _ = std::fs::remove_dir_all(&dir);
+            let plan = FaultPlan::new(FaultConfig {
+                seed: 11,
+                disk_corrupt: 1.0,
+                ..FaultConfig::default()
+            });
+            let store = faulty(&dir, plan);
+            store.put(&key(4), vec![4; 32]);
+            assert_eq!(store.get(&key(4)), None, "torn bytes never served");
+            let s = store.stats();
+            assert_eq!((s.disk_corrupt, s.disk_errors), (1, 1));
+            assert!(!s.disk_quarantined, "corruption is not a breaker event");
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
     }
 }

@@ -212,6 +212,7 @@ proptest! {
                             disk_dir: Some(dir.clone()),
                             ..StoreConfig::default()
                         },
+                        ..ServiceConfig::default()
                     })
                     .expect("service starts");
                     let rounds = if workers == 1 { 2 } else { 1 };

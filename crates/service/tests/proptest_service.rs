@@ -318,7 +318,7 @@ mod disk_churn {
             memory_capacity: 1,
             disk_dir: Some(dir.to_path_buf()),
             disk_capacity: Some(CAPACITY),
-            disk_ttl: None,
+            ..mbqc_service::StoreConfig::default()
         })
         .expect("store opens")
     }
@@ -339,6 +339,11 @@ mod disk_churn {
             // is best-effort: the value may be evicted or rejected,
             // but a read must never return anything else).
             let mut last_put: Vec<Option<Vec<u8>>> = vec![None; KEYS as usize];
+            // Keys whose resident artifact file we corrupted and the
+            // store has not yet had a chance to detect. The *first*
+            // read must detect (miss + `disk_corrupt` count + file
+            // deleted), never decode the torn bytes.
+            let mut corrupted = vec![false; KEYS as usize];
             for step in 0..ops {
                 let k = rng.range(KEYS as usize) as u64;
                 match rng.range(10) {
@@ -354,6 +359,8 @@ mod disk_churn {
                         store.put(&key(k), value.clone());
                         if !oversized {
                             last_put[k as usize] = Some(value);
+                            // A fresh write replaces the corrupt file.
+                            corrupted[k as usize] = false;
                         }
                         // An oversized put is rejected by admission
                         // control and the *previous* artifact stays
@@ -361,9 +368,41 @@ mod disk_churn {
                         // as the memory LRU), so the model keeps the
                         // old expectation.
                     }
-                    // Get: exactly the last put or a miss.
+                    // Get: exactly the last put or a miss — and a
+                    // corrupted resident file is *always* detected:
+                    // served as a miss, counted, and self-healed
+                    // (deleted), never decoded.
                     4..=6 => {
+                        // A corrupted file may have been *evicted* by
+                        // the disk budget before this read — then the
+                        // miss is an ordinary NotFound, not a
+                        // detection.
+                        let resident = art_path(&dir, k).exists();
+                        let corrupt_before = store.stats().disk_corrupt;
                         let got = store.get(&key(k));
+                        if corrupted[k as usize] {
+                            prop_assert!(
+                                got.is_none(),
+                                "step {}: served bytes from a corrupted file",
+                                step
+                            );
+                            if resident {
+                                prop_assert!(
+                                    store.stats().disk_corrupt > corrupt_before,
+                                    "step {}: corruption not counted",
+                                    step
+                                );
+                                prop_assert!(
+                                    !art_path(&dir, k).exists(),
+                                    "step {}: corrupt file not deleted",
+                                    step
+                                );
+                            }
+                            // Detected (or evicted) and removed: the
+                            // key is now an ordinary miss.
+                            corrupted[k as usize] = false;
+                            last_put[k as usize] = None;
+                        }
                         match (&got, &last_put[k as usize]) {
                             (None, _) => {}
                             (Some(g), Some(v)) => prop_assert_eq!(
@@ -385,19 +424,27 @@ mod disk_churn {
                         )
                         .ok();
                     }
-                    // Corruption: truncate or garble the artifact file
-                    // (never growing it — external growth is outside
-                    // the store's budget contract).
+                    // Corruption: flip a single bit, truncate, or
+                    // garble the artifact file (never growing it —
+                    // external growth is outside the store's budget
+                    // contract).
                     8 => {
                         let path = art_path(&dir, k);
                         if let Ok(bytes) = std::fs::read(&path) {
-                            let cut = rng.range(bytes.len().max(1));
-                            let torn = if rng.bernoulli(0.5) {
-                                bytes[..cut].to_vec()
-                            } else {
-                                b"garbage".to_vec()
+                            let torn = match rng.range(3) {
+                                // One bit anywhere — key framing,
+                                // value bytes, or the checksum itself.
+                                0 => {
+                                    let mut b = bytes.clone();
+                                    let bit = rng.range(b.len().max(1) * 8);
+                                    b[bit / 8] ^= 1 << (bit % 8);
+                                    b
+                                }
+                                1 => bytes[..rng.range(bytes.len().max(1))].to_vec(),
+                                _ => b"garbage".to_vec(),
                             };
                             std::fs::write(&path, torn).ok();
+                            corrupted[k as usize] = true;
                         }
                     }
                     // Restart: temp files swept, budget re-enforced.
@@ -426,6 +473,10 @@ mod disk_churn {
             prop_assert!(dir_art_bytes(&dir) <= CAPACITY);
             for k in 0..KEYS {
                 if let Some(got) = store.get(&key(k)) {
+                    prop_assert!(
+                        !corrupted[k as usize],
+                        "post-restart read decoded a corrupted file"
+                    );
                     prop_assert_eq!(
                         Some(got),
                         last_put[k as usize].clone(),

@@ -17,6 +17,9 @@
 //!   offline, so there is no serde).
 //! * [`fingerprint`] — stable 128-bit content hashing for the
 //!   content-addressed artifact store of `mbqc-service`.
+//! * [`sync`] — poison-recovering lock/condvar helpers, so one
+//!   panicking worker degrades to its own failure instead of
+//!   cascading a poisoned mutex through every other worker.
 //!
 //! # Examples
 //!
@@ -34,6 +37,7 @@ pub mod codec;
 pub mod fingerprint;
 pub mod rng;
 pub mod stats;
+pub mod sync;
 pub mod table;
 
 pub use codec::{CodecError, Decoder, Encoder};

@@ -1,0 +1,93 @@
+//! Poison-recovering synchronization helpers.
+//!
+//! `std::sync::Mutex` poisons itself when a thread panics while
+//! holding the guard, and every later `lock()` returns `Err` forever.
+//! For the service crates that is exactly the wrong failure mode: the
+//! data under the lock is plain bookkeeping (cache indexes, counters,
+//! free lists) whose invariants are re-established by construction on
+//! every operation, so one panicking worker must degrade to *its own*
+//! failure — a cache miss, a lost workspace — not cascade a poisoned
+//! lock through every other worker's `.expect("lock")`.
+//!
+//! [`lock`] (and the matching [`wait`] / [`wait_timeout`] condvar
+//! helpers) therefore recover the guard from a [`PoisonError`] instead
+//! of panicking: the poisoned flag is acknowledged and the inner data
+//! is used as-is. Callers remain responsible for keeping their
+//! critical sections simple enough that "as-is" is safe — which is the
+//! standing idiom in this workspace: locks guard small index/counter
+//! updates, never multi-step invariants spanning an unwind edge.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Mutex;
+//!
+//! let m = Mutex::new(0u64);
+//! // A panic while holding the guard poisons the mutex…
+//! let _ = std::panic::catch_unwind(|| {
+//!     let _guard = m.lock().unwrap();
+//!     panic!("worker died mid-update");
+//! });
+//! assert!(m.lock().is_err(), "std lock stays poisoned");
+//! // …but the recovering helper still hands out the data.
+//! *mbqc_util::sync::lock(&m) += 1;
+//! assert_eq!(*mbqc_util::sync::lock(&m), 1);
+//! ```
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError, WaitTimeoutResult};
+use std::time::Duration;
+
+/// Locks `mutex`, recovering the guard when the lock is poisoned (a
+/// previous holder panicked). See the [module docs](self) for when
+/// that is the right call.
+pub fn lock<T: ?Sized>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Blocks on `condvar` with the given guard, recovering from poison on
+/// wake-up (same policy as [`lock`]).
+pub fn wait<'a, T>(condvar: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    condvar.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Blocks on `condvar` for at most `timeout`, recovering from poison
+/// on wake-up (same policy as [`lock`]).
+pub fn wait_timeout<'a, T>(
+    condvar: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: Duration,
+) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+    condvar
+        .wait_timeout(guard, timeout)
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_recovers_from_poison() {
+        let m = Mutex::new(vec![1, 2, 3]);
+        let _ = std::panic::catch_unwind(|| {
+            let _g = m.lock().unwrap();
+            panic!("poison it");
+        });
+        assert!(m.is_poisoned());
+        lock(&m).push(4);
+        assert_eq!(*lock(&m), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn wait_timeout_times_out_on_a_poisoned_pair() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let _ = std::panic::catch_unwind(|| {
+            let _g = m.lock().unwrap();
+            panic!("poison it");
+        });
+        let (guard, result) = wait_timeout(&cv, lock(&m), Duration::from_millis(1));
+        assert!(result.timed_out());
+        drop(guard);
+    }
+}

@@ -18,7 +18,10 @@ use dc_mbqc::DcMbqcConfig;
 use mbqc_circuit::bench::{self, BenchmarkKind};
 use mbqc_hardware::{DistributedHardware, ResourceStateKind};
 use mbqc_pattern::{transpile::transpile, Pattern};
-use mbqc_service::{CancelToken, CompileService, JobOptions, Priority, QueuePolicy, ServiceConfig};
+use mbqc_service::{
+    CancelToken, CompileService, FaultConfig, FaultPlan, InjectedFault, JobOptions, Priority,
+    QueuePolicy, RetryPolicy, ServiceConfig, StoreConfig,
+};
 
 fn main() {
     // 1. A mixed production-style workload: QFT instances alongside
@@ -163,4 +166,95 @@ fn main() {
         stats.expired,
         stats.completed,
     );
+
+    // 6. Fault round: a seeded chaos plan — injected task panics,
+    //    stage delays, and disk read errors — against a fresh
+    //    disk-backed service whose jobs carry retry budgets. Transient
+    //    panics are retried with exponential backoff; enough
+    //    consecutive disk IO errors trip the circuit breaker and the
+    //    store degrades to memory-only until a re-probe succeeds.
+    //    Without the `fault-inject` feature (the default) the plan is
+    //    inert and this round is simply one more clean pass; run with
+    //    `--features fault-inject` to watch the service absorb faults.
+    let faults = FaultPlan::new(FaultConfig {
+        seed: 7,
+        task_panic: 0.2,
+        stage_delay: 0.2,
+        disk_read_error: 0.8,
+        ..FaultConfig::default()
+    });
+    let disk_dir = std::env::temp_dir().join(format!("mbqc-service-demo-{}", std::process::id()));
+    let chaotic = CompileService::new(ServiceConfig {
+        workers: 2,
+        store: StoreConfig {
+            disk_dir: Some(disk_dir.clone()),
+            disk_error_threshold: 3,
+            faults: faults.clone(),
+            ..StoreConfig::default()
+        },
+        faults: faults.clone(),
+        ..ServiceConfig::default()
+    })
+    .expect("service starts");
+    // Injected panics are caught at the task boundary and retried;
+    // keep the default hook's backtrace chatter out of the output
+    // (real panics still print).
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if info.payload().downcast_ref::<InjectedFault>().is_none() {
+            default_hook(info);
+        }
+    }));
+    let retry = RetryPolicy::attempts(10).with_backoff(Duration::from_micros(200));
+    let small: Vec<Pattern> = [10usize, 11, 12]
+        .iter()
+        .map(|&n| transpile(&bench::qft(n)))
+        .collect();
+    let t = Instant::now();
+    let handles: Vec<_> = small
+        .iter()
+        .chain(small.iter()) // repeats exercise the (faulty) cache path
+        .map(|p| {
+            chaotic.submit_with(
+                p.clone(),
+                config.clone(),
+                JobOptions {
+                    retry,
+                    ..JobOptions::default()
+                },
+            )
+        })
+        .collect();
+    let (mut survived, mut gave_up) = (0u32, 0u32);
+    for h in handles {
+        match h.wait() {
+            Ok(_) => survived += 1,
+            Err(e) => {
+                gave_up += 1;
+                println!("  retry budget exhausted: {e}");
+            }
+        }
+    }
+    let stats = chaotic.stats();
+    println!(
+        "\nfault round ({}): {:.1} ms wall — {}/{} jobs survived, {} retries absorbed",
+        if faults.is_active() {
+            "fault-inject"
+        } else {
+            "faults compiled out"
+        },
+        t.elapsed().as_secs_f64() * 1e3,
+        survived,
+        survived + gave_up,
+        stats.retries,
+    );
+    println!(
+        "  disk tier: {} IO errors, quarantined now: {}, {} quarantines, {} re-probes",
+        stats.store.disk_errors,
+        stats.store.disk_quarantined,
+        stats.store.disk_quarantines,
+        stats.store.disk_probes,
+    );
+    drop(chaotic);
+    let _ = std::fs::remove_dir_all(&disk_dir);
 }
