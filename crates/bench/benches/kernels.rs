@@ -11,6 +11,7 @@ use mbqc_circuit::bench::{self, BenchmarkKind};
 use mbqc_compiler::{CompilerConfig, GridMapper};
 use mbqc_graph::generate;
 use mbqc_hardware::ResourceStateKind;
+use mbqc_partition::coarsen::{heavy_edge_matching, heavy_edge_matching_reference};
 use mbqc_partition::{
     adaptive_partition, multilevel_kway, reference as partition_ref, AdaptiveConfig, KwayConfig,
 };
@@ -44,6 +45,22 @@ fn bench_partition(c: &mut Criterion) {
     });
     group.bench_function("adaptive_qft36_k4", |b| {
         b.iter(|| adaptive_partition(&graph, &AdaptiveConfig::new(4)));
+    });
+    // One heavy-edge matching round in isolation on a 360k-node grid
+    // (above the adaptive threshold): the word-parallel bitset branch
+    // vs. the preserved Option-probe scalar pass.
+    let big = generate::grid_graph(600, 600);
+    let csr = mbqc_graph::CsrGraph::from_graph(&big);
+    let mut order: Vec<usize> = (0..big.node_count()).collect();
+    Rng::seed_from_u64(11).shuffle(&mut order);
+    group.bench_function("matching_grid600", |b| {
+        let mut mate = Vec::new();
+        let mut unmatched = Vec::new();
+        b.iter(|| heavy_edge_matching(&csr, &order, &mut mate, &mut unmatched));
+    });
+    group.bench_function("matching_grid600_reference", |b| {
+        let mut mate = Vec::new();
+        b.iter(|| heavy_edge_matching_reference(&csr, &order, &mut mate));
     });
     group.finish();
 }
@@ -135,6 +152,31 @@ fn bench_tableau(c: &mut Criterion) {
                 .count()
         });
     });
+    // Stabilizer-membership checks: the word-blocked symplectic
+    // elimination vs. the preserved single-bit-probe elimination.
+    let probes: Vec<_> = {
+        let gens = packed.stabilizer_generators();
+        (0..4)
+            .map(|k| {
+                let mut acc = gens[k * 5].clone();
+                for p in gens.iter().skip(k * 5 + 1).step_by(13) {
+                    acc.mul_inplace(p);
+                }
+                acc
+            })
+            .collect()
+    };
+    group.bench_function("is_stabilized_by_grid24", |b| {
+        b.iter(|| probes.iter().filter(|p| packed.is_stabilized_by(p)).count());
+    });
+    group.bench_function("is_stabilized_by_grid24_reference", |b| {
+        b.iter(|| {
+            probes
+                .iter()
+                .filter(|p| packed.is_stabilized_by_reference(p))
+                .count()
+        });
+    });
     group.finish();
 }
 
@@ -169,6 +211,37 @@ fn bench_statevector(c: &mut Criterion) {
             for q in 0..20 {
                 s.apply_single(q, s_gate);
             }
+            s
+        });
+    });
+    // Gate fusion on a single-qubit-dense circuit: runs of H/T/S/Rz
+    // collapse into one composed 2×2 sweep each.
+    let fused_circuit = {
+        let n = 14;
+        let mut circ = mbqc_circuit::Circuit::new(n);
+        for _ in 0..4 {
+            for q in 0..n {
+                circ.h(q).t(q).s(q).rz(q, 0.37).h(q);
+            }
+            for q in 0..n - 1 {
+                circ.cz(q, q + 1);
+            }
+        }
+        circ
+    };
+    let sv14 = StateVector::plus_state(14);
+    group.bench_function("fused_1q_runs14", |b| {
+        let mut ws = mbqc_sim::FusionWorkspace::new();
+        b.iter(|| {
+            let mut s = sv14.clone();
+            s.apply_circuit_with(&fused_circuit, &mut ws);
+            s
+        });
+    });
+    group.bench_function("fused_1q_runs14_reference", |b| {
+        b.iter(|| {
+            let mut s = sv14.clone();
+            s.apply_circuit_reference(&fused_circuit);
             s
         });
     });

@@ -15,7 +15,7 @@ use mbqc_pattern::transpile::transpile;
 use mbqc_util::table::{fmt_f64, fmt_factor};
 use mbqc_util::TextTable;
 
-pub use crate::kernels::bench_kernels;
+pub use crate::kernels::{bench_kernels, bench_kernels_check};
 
 use crate::runner::{compare, compare_oneadapt, RunConfig, SEED};
 use crate::Scale;

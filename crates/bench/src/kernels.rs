@@ -9,15 +9,16 @@
 use std::time::Instant;
 
 use dc_mbqc::{DcMbqcCompiler, DcMbqcConfig};
-use mbqc_circuit::bench;
+use mbqc_circuit::{bench, Circuit};
 use mbqc_graph::{generate, CsrGraph, NodeId};
 use mbqc_hardware::{DistributedHardware, ResourceStateKind};
+use mbqc_partition::coarsen::{heavy_edge_matching, heavy_edge_matching_reference};
 use mbqc_partition::refine::refine_csr;
 use mbqc_partition::{reference as partition_ref, KwayConfig, Partition};
 use mbqc_pattern::transpile::transpile;
 use mbqc_service::{CompileService, ExecutionEngine, Priority, ServiceConfig};
 use mbqc_sim::stabilizer::{PauliString, Tableau};
-use mbqc_sim::{reference as sim_ref, StateVector, C64};
+use mbqc_sim::{reference as sim_ref, FusionWorkspace, StateVector, C64};
 use mbqc_util::table::fmt_f64;
 use mbqc_util::{Rng, TextTable};
 
@@ -26,9 +27,9 @@ use mbqc_util::{Rng, TextTable};
 pub struct KernelResult {
     /// Kernel identifier (stable across PRs; used as the JSON key).
     pub name: &'static str,
-    /// Median nanoseconds per run, pre-optimization implementation.
+    /// Minimum nanoseconds per run, pre-optimization implementation.
     pub baseline_ns: f64,
-    /// Median nanoseconds per run, current implementation.
+    /// Minimum nanoseconds per run, current implementation.
     pub optimized_ns: f64,
 }
 
@@ -40,20 +41,42 @@ impl KernelResult {
     }
 }
 
-/// Median wall-clock nanoseconds of `reps` runs of `f`.
-fn median_ns<F: FnMut()>(mut f: F, reps: usize) -> f64 {
-    let mut samples = Vec::with_capacity(reps);
-    for _ in 0..reps {
+/// Interleaved minimum wall-clock nanoseconds of a kernel pair.
+///
+/// Rounds alternate one run of `base` with one run of `opt`, so both
+/// sides sample the same interference windows — on a contended
+/// single-core host, timing dilations arrive in bursts, and measuring
+/// the sides back-to-back would charge a burst entirely to whichever
+/// side ran inside it. Each side reports its *minimum* (the
+/// least-interfered run), the robust location estimator for a
+/// deterministic kernel whose only timing variance is added noise.
+/// Rounds continue past `reps` until each side has accumulated ~20 ms
+/// of samples (capped at 64×`reps`) so microsecond-scale kernels get
+/// enough draws for the minimum to converge.
+fn measure_pair<A: FnMut(), B: FnMut()>(mut base: A, mut opt: B, reps: usize) -> (f64, f64) {
+    const TARGET_NS: f64 = 20_000_000.0;
+    let (mut min_b, mut min_o) = (f64::INFINITY, f64::INFINITY);
+    let (mut tot_b, mut tot_o) = (0.0f64, 0.0f64);
+    let mut rounds = 0usize;
+    while rounds < reps || (tot_b.min(tot_o) < TARGET_NS && rounds < reps * 64) {
         let t = Instant::now();
-        f();
-        samples.push(t.elapsed().as_nanos() as f64);
+        base();
+        let b = t.elapsed().as_nanos() as f64;
+        let t = Instant::now();
+        opt();
+        let o = t.elapsed().as_nanos() as f64;
+        min_b = min_b.min(b);
+        min_o = min_o.min(o);
+        tot_b += b;
+        tot_o += o;
+        rounds += 1;
     }
-    samples.sort_by(f64::total_cmp);
-    samples[samples.len() / 2]
+    (min_b, min_o)
 }
 
-/// Measures every tracked kernel pair. `reps` controls samples per
-/// kernel (median is reported).
+/// Measures every tracked kernel pair. `reps` is the minimum number of
+/// interleaved rounds per kernel (the per-side minimum is reported;
+/// see [`measure_pair`]).
 #[must_use]
 pub fn measure_kernels(reps: usize) -> Vec<KernelResult> {
     let mut results = Vec::new();
@@ -64,20 +87,19 @@ pub fn measure_kernels(reps: usize) -> Vec<KernelResult> {
     let graph = pattern.graph().clone();
     {
         let cfg = KwayConfig::new(4);
+        let (baseline_ns, optimized_ns) = measure_pair(
+            || {
+                std::hint::black_box(partition_ref::multilevel_kway(&graph, &cfg));
+            },
+            || {
+                std::hint::black_box(mbqc_partition::multilevel_kway(&graph, &cfg));
+            },
+            reps,
+        );
         results.push(KernelResult {
             name: "partition/kway_qft36_k4",
-            baseline_ns: median_ns(
-                || {
-                    std::hint::black_box(partition_ref::multilevel_kway(&graph, &cfg));
-                },
-                reps,
-            ),
-            optimized_ns: median_ns(
-                || {
-                    std::hint::black_box(mbqc_partition::multilevel_kway(&graph, &cfg));
-                },
-                reps,
-            ),
+            baseline_ns,
+            optimized_ns,
         });
     }
 
@@ -89,24 +111,60 @@ pub fn measure_kernels(reps: usize) -> Vec<KernelResult> {
         let bound = graph.total_node_weight() / 4 + n as i64 / 8;
         let mut rng = Rng::seed_from_u64(3);
         let p0 = Partition::new((0..n).map(|_| rng.range(4)).collect(), 4);
+        let (baseline_ns, optimized_ns) = measure_pair(
+            || {
+                let mut p = p0.clone();
+                let mut r = Rng::seed_from_u64(7);
+                std::hint::black_box(partition_ref::refine(&graph, &mut p, bound, 8, &mut r));
+            },
+            || {
+                let mut p = p0.clone();
+                let mut r = Rng::seed_from_u64(7);
+                std::hint::black_box(refine_csr(&csr, &mut p, bound, 8, &mut r));
+            },
+            reps,
+        );
         results.push(KernelResult {
             name: "partition/refine_qft36_k4",
-            baseline_ns: median_ns(
-                || {
-                    let mut p = p0.clone();
-                    let mut r = Rng::seed_from_u64(7);
-                    std::hint::black_box(partition_ref::refine(&graph, &mut p, bound, 8, &mut r));
-                },
-                reps,
-            ),
-            optimized_ns: median_ns(
-                || {
-                    let mut p = p0.clone();
-                    let mut r = Rng::seed_from_u64(7);
-                    std::hint::black_box(refine_csr(&csr, &mut p, bound, 8, &mut r));
-                },
-                reps,
-            ),
+            baseline_ns,
+            optimized_ns,
+        });
+    }
+
+    // Matching in isolation: one heavy-edge matching round over a
+    // 600×600 grid (360k nodes — above the adaptive threshold, so the
+    // public entry takes the word-parallel bitset branch) vs. the
+    // Option-probe scalar reference, identical visit order and
+    // identical mates. Small levels (like QFT-36's) take the scalar
+    // branch, where the two sides are the same algorithm.
+    {
+        let big = generate::grid_graph(600, 600);
+        let csr = CsrGraph::from_graph(&big);
+        let n = big.node_count();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = Rng::seed_from_u64(11);
+        rng.shuffle(&mut order);
+        let mut mate_ref: Vec<Option<NodeId>> = Vec::new();
+        let mut mate_opt: Vec<Option<NodeId>> = Vec::new();
+        let mut unmatched: Vec<u64> = Vec::new();
+        let (baseline_ns, optimized_ns) = measure_pair(
+            || {
+                std::hint::black_box(heavy_edge_matching_reference(&csr, &order, &mut mate_ref));
+            },
+            || {
+                std::hint::black_box(heavy_edge_matching(
+                    &csr,
+                    &order,
+                    &mut mate_opt,
+                    &mut unmatched,
+                ));
+            },
+            reps,
+        );
+        results.push(KernelResult {
+            name: "partition/matching_grid600",
+            baseline_ns,
+            optimized_ns,
         });
     }
 
@@ -122,28 +180,27 @@ pub fn measure_kernels(reps: usize) -> Vec<KernelResult> {
             .step_by(3)
             .map(|i| sim_ref::PauliString::graph_stabilizer(&g, NodeId::new(i)))
             .collect();
+        let (baseline_ns, optimized_ns) = measure_pair(
+            || {
+                let mut acc = boolean[0].clone();
+                for p in &boolean[1..] {
+                    acc = acc.mul(p);
+                }
+                std::hint::black_box(acc);
+            },
+            || {
+                let mut acc = packed[0].clone();
+                for p in &packed[1..] {
+                    acc.mul_inplace(p);
+                }
+                std::hint::black_box(acc);
+            },
+            reps,
+        );
         results.push(KernelResult {
             name: "tableau/rowops_mul_grid32",
-            baseline_ns: median_ns(
-                || {
-                    let mut acc = boolean[0].clone();
-                    for p in &boolean[1..] {
-                        acc = acc.mul(p);
-                    }
-                    std::hint::black_box(acc);
-                },
-                reps,
-            ),
-            optimized_ns: median_ns(
-                || {
-                    let mut acc = packed[0].clone();
-                    for p in &packed[1..] {
-                        acc.mul_inplace(p);
-                    }
-                    std::hint::black_box(acc);
-                },
-                reps,
-            ),
+            baseline_ns,
+            optimized_ns,
         });
     }
 
@@ -154,28 +211,27 @@ pub fn measure_kernels(reps: usize) -> Vec<KernelResult> {
         let packed = Tableau::graph_state(&g);
         let boolean = sim_ref::Tableau::graph_state(&g);
         let n = g.node_count();
+        let (baseline_ns, optimized_ns) = measure_pair(
+            || {
+                let mut t = boolean.clone();
+                let mut rng = Rng::seed_from_u64(1);
+                for q in 0..n {
+                    std::hint::black_box(t.measure_z(q, &mut rng));
+                }
+            },
+            || {
+                let mut t = packed.clone();
+                let mut rng = Rng::seed_from_u64(1);
+                for q in 0..n {
+                    std::hint::black_box(t.measure_z(q, &mut rng));
+                }
+            },
+            reps,
+        );
         results.push(KernelResult {
             name: "tableau/rowops_measure_grid24",
-            baseline_ns: median_ns(
-                || {
-                    let mut t = boolean.clone();
-                    let mut rng = Rng::seed_from_u64(1);
-                    for q in 0..n {
-                        std::hint::black_box(t.measure_z(q, &mut rng));
-                    }
-                },
-                reps,
-            ),
-            optimized_ns: median_ns(
-                || {
-                    let mut t = packed.clone();
-                    let mut rng = Rng::seed_from_u64(1);
-                    for q in 0..n {
-                        std::hint::black_box(t.measure_z(q, &mut rng));
-                    }
-                },
-                reps,
-            ),
+            baseline_ns,
+            optimized_ns,
         });
     }
 
@@ -183,20 +239,56 @@ pub fn measure_kernels(reps: usize) -> Vec<KernelResult> {
     // bound (the graph-state build path).
     {
         let g = generate::grid_graph(24, 24);
+        let (baseline_ns, optimized_ns) = measure_pair(
+            || {
+                std::hint::black_box(sim_ref::Tableau::graph_state(&g));
+            },
+            || {
+                std::hint::black_box(Tableau::graph_state(&g));
+            },
+            reps,
+        );
         results.push(KernelResult {
             name: "tableau/graph_state_grid24",
-            baseline_ns: median_ns(
-                || {
-                    std::hint::black_box(sim_ref::Tableau::graph_state(&g));
-                },
-                reps,
-            ),
-            optimized_ns: median_ns(
-                || {
-                    std::hint::black_box(Tableau::graph_state(&g));
-                },
-                reps,
-            ),
+            baseline_ns,
+            optimized_ns,
+        });
+    }
+
+    // Stabilizer-membership verification: the word-blocked symplectic
+    // elimination vs. the single-bit-probe Gaussian elimination,
+    // deciding membership of generator products on a 576-photon grid
+    // graph state (the graph-state verification path).
+    {
+        let g = generate::grid_graph(24, 24);
+        let t = Tableau::graph_state(&g);
+        let gens = t.stabilizer_generators();
+        let probes: Vec<PauliString> = (0..4)
+            .map(|k| {
+                let mut acc = gens[k * 5].clone();
+                for p in gens.iter().skip(k * 5 + 1).step_by(13) {
+                    acc.mul_inplace(p);
+                }
+                acc
+            })
+            .collect();
+        let (baseline_ns, optimized_ns) = measure_pair(
+            || {
+                for p in &probes {
+                    std::hint::black_box(t.is_stabilized_by_reference(p));
+                }
+            },
+            || {
+                for p in &probes {
+                    std::hint::black_box(t.is_stabilized_by(p));
+                }
+            },
+            reps,
+        );
+        results.push(KernelResult {
+            name: "tableau/is_stabilized_by_grid24",
+            baseline_ns,
+            optimized_ns,
         });
     }
 
@@ -205,26 +297,25 @@ pub fn measure_kernels(reps: usize) -> Vec<KernelResult> {
     // speedup is bounded by the core count — ~1.0× on a 1-core box).
     {
         let cfg = KwayConfig::new(4).with_initial_restarts(16);
+        let (baseline_ns, optimized_ns) = measure_pair(
+            || {
+                std::hint::black_box(mbqc_partition::multilevel_kway(
+                    &graph,
+                    &cfg.with_probe_workers(1),
+                ));
+            },
+            || {
+                std::hint::black_box(mbqc_partition::multilevel_kway(
+                    &graph,
+                    &cfg.with_probe_workers(0),
+                ));
+            },
+            reps,
+        );
         results.push(KernelResult {
             name: "end_to_end/restarts_parallel",
-            baseline_ns: median_ns(
-                || {
-                    std::hint::black_box(mbqc_partition::multilevel_kway(
-                        &graph,
-                        &cfg.with_probe_workers(1),
-                    ));
-                },
-                reps,
-            ),
-            optimized_ns: median_ns(
-                || {
-                    std::hint::black_box(mbqc_partition::multilevel_kway(
-                        &graph,
-                        &cfg.with_probe_workers(0),
-                    ));
-                },
-                reps,
-            ),
+            baseline_ns,
+            optimized_ns,
         });
     }
 
@@ -244,22 +335,21 @@ pub fn measure_kernels(reps: usize) -> Vec<KernelResult> {
             .kmax(4)
             .build();
         let compiler = DcMbqcCompiler::new(DcMbqcConfig::new(hw));
+        let (baseline_ns, optimized_ns) = measure_pair(
+            || {
+                for p in &patterns {
+                    std::hint::black_box(compiler.compile_pattern(p).unwrap());
+                }
+            },
+            || {
+                std::hint::black_box(compiler.compile_batch(&patterns));
+            },
+            reps,
+        );
         results.push(KernelResult {
             name: "end_to_end/batch_compile",
-            baseline_ns: median_ns(
-                || {
-                    for p in &patterns {
-                        std::hint::black_box(compiler.compile_pattern(p).unwrap());
-                    }
-                },
-                reps,
-            ),
-            optimized_ns: median_ns(
-                || {
-                    std::hint::black_box(compiler.compile_batch(&patterns));
-                },
-                reps,
-            ),
+            baseline_ns,
+            optimized_ns,
         });
     }
 
@@ -291,16 +381,18 @@ pub fn measure_kernels(reps: usize) -> Vec<KernelResult> {
         };
         let warm = CompileService::new(service_config()).expect("service starts");
         run(&warm); // prime the cache
+        let (baseline_ns, optimized_ns) = measure_pair(
+            || {
+                let cold = CompileService::new(service_config()).expect("service starts");
+                run(&cold);
+            },
+            || run(&warm),
+            reps,
+        );
         results.push(KernelResult {
             name: "end_to_end/service_warm_cache",
-            baseline_ns: median_ns(
-                || {
-                    let cold = CompileService::new(service_config()).expect("service starts");
-                    run(&cold);
-                },
-                reps,
-            ),
-            optimized_ns: median_ns(|| run(&warm), reps),
+            baseline_ns,
+            optimized_ns,
         });
     }
 
@@ -345,10 +437,15 @@ pub fn measure_kernels(reps: usize) -> Vec<KernelResult> {
                 std::hint::black_box(service.wait(id).expect("service compiles"));
             }
         };
+        let (baseline_ns, optimized_ns) = measure_pair(
+            || run(ExecutionEngine::JobLoop),
+            || run(ExecutionEngine::StageGraph),
+            reps,
+        );
         results.push(KernelResult {
             name: "end_to_end/pipelined_batch",
-            baseline_ns: median_ns(|| run(ExecutionEngine::JobLoop), reps),
-            optimized_ns: median_ns(|| run(ExecutionEngine::StageGraph), reps),
+            baseline_ns,
+            optimized_ns,
         });
     }
 
@@ -386,50 +483,49 @@ pub fn measure_kernels(reps: usize) -> Vec<KernelResult> {
             })
             .expect("service starts")
         };
+        let (baseline_ns, optimized_ns) = measure_pair(
+            || {
+                let service = fresh();
+                for id in service.submit_many(&survivors, &config) {
+                    std::hint::black_box(service.wait(id).expect("job compiles"));
+                }
+            },
+            || {
+                let service = fresh();
+                let ids = service.submit_many(&survivors, &config);
+                // The churn: cancelled and expired jobs riding
+                // along with the real workload.
+                let doomed: Vec<_> = victims
+                    .iter()
+                    .map(|p| {
+                        let h = service.submit_with(
+                            p.clone(),
+                            config.clone(),
+                            mbqc_service::JobOptions::default(),
+                        );
+                        h.cancel();
+                        h.id()
+                    })
+                    .collect();
+                let expired = service.submit_with_deadline(
+                    victims[0].clone(),
+                    config.clone(),
+                    std::time::Duration::ZERO,
+                );
+                for id in ids {
+                    std::hint::black_box(service.wait(id).expect("job compiles"));
+                }
+                for id in doomed {
+                    assert!(service.wait(id).is_err(), "victim must not complete");
+                }
+                assert!(expired.wait().is_err(), "lapsed deadline must expire");
+            },
+            reps,
+        );
         results.push(KernelResult {
             name: "end_to_end/lifecycle_churn",
-            baseline_ns: median_ns(
-                || {
-                    let service = fresh();
-                    for id in service.submit_many(&survivors, &config) {
-                        std::hint::black_box(service.wait(id).expect("job compiles"));
-                    }
-                },
-                reps,
-            ),
-            optimized_ns: median_ns(
-                || {
-                    let service = fresh();
-                    let ids = service.submit_many(&survivors, &config);
-                    // The churn: cancelled and expired jobs riding
-                    // along with the real workload.
-                    let doomed: Vec<_> = victims
-                        .iter()
-                        .map(|p| {
-                            let h = service.submit_with(
-                                p.clone(),
-                                config.clone(),
-                                mbqc_service::JobOptions::default(),
-                            );
-                            h.cancel();
-                            h.id()
-                        })
-                        .collect();
-                    let expired = service.submit_with_deadline(
-                        victims[0].clone(),
-                        config.clone(),
-                        std::time::Duration::ZERO,
-                    );
-                    for id in ids {
-                        std::hint::black_box(service.wait(id).expect("job compiles"));
-                    }
-                    for id in doomed {
-                        assert!(service.wait(id).is_err(), "victim must not complete");
-                    }
-                    assert!(expired.wait().is_err(), "lapsed deadline must expire");
-                },
-                reps,
-            ),
+            baseline_ns,
+            optimized_ns,
         });
     }
 
@@ -467,40 +563,39 @@ pub fn measure_kernels(reps: usize) -> Vec<KernelResult> {
         };
         let retry = mbqc_service::RetryPolicy::attempts(4)
             .with_backoff(std::time::Duration::from_millis(1));
+        let (baseline_ns, optimized_ns) = measure_pair(
+            || {
+                let service = fresh();
+                for id in service.submit_many(&jobs, &config) {
+                    std::hint::black_box(service.wait(id).expect("job compiles"));
+                }
+            },
+            || {
+                let service = fresh();
+                let handles: Vec<_> = jobs
+                    .iter()
+                    .map(|p| {
+                        service.submit_with(
+                            p.clone(),
+                            config.clone(),
+                            mbqc_service::JobOptions {
+                                retry,
+                                ..mbqc_service::JobOptions::default()
+                            },
+                        )
+                    })
+                    .collect();
+                for h in handles {
+                    std::hint::black_box(h.wait().expect("job compiles"));
+                }
+                assert_eq!(service.stats().retries, 0, "no fault fires in this build");
+            },
+            reps,
+        );
         results.push(KernelResult {
             name: "end_to_end/fault_churn",
-            baseline_ns: median_ns(
-                || {
-                    let service = fresh();
-                    for id in service.submit_many(&jobs, &config) {
-                        std::hint::black_box(service.wait(id).expect("job compiles"));
-                    }
-                },
-                reps,
-            ),
-            optimized_ns: median_ns(
-                || {
-                    let service = fresh();
-                    let handles: Vec<_> = jobs
-                        .iter()
-                        .map(|p| {
-                            service.submit_with(
-                                p.clone(),
-                                config.clone(),
-                                mbqc_service::JobOptions {
-                                    retry,
-                                    ..mbqc_service::JobOptions::default()
-                                },
-                            )
-                        })
-                        .collect();
-                    for h in handles {
-                        std::hint::black_box(h.wait().expect("job compiles"));
-                    }
-                    assert_eq!(service.stats().retries, 0, "no fault fires in this build");
-                },
-                reps,
-            ),
+            baseline_ns,
+            optimized_ns,
         });
     }
 
@@ -513,32 +608,31 @@ pub fn measure_kernels(reps: usize) -> Vec<KernelResult> {
         let k = C64::new(std::f64::consts::FRAC_1_SQRT_2, 0.0);
         let h = [[k, k], [k, -k]];
         let sv = StateVector::plus_state(SV_QUBITS);
+        let (baseline_ns, optimized_ns) = measure_pair(
+            || {
+                let mut s = sv.clone();
+                for _ in 0..SV_SWEEPS {
+                    for q in 0..SV_QUBITS {
+                        s.apply_single_reference(q, h);
+                    }
+                }
+                std::hint::black_box(&s);
+            },
+            || {
+                let mut s = sv.clone();
+                for _ in 0..SV_SWEEPS {
+                    for q in 0..SV_QUBITS {
+                        s.apply_single(q, h);
+                    }
+                }
+                std::hint::black_box(&s);
+            },
+            reps,
+        );
         results.push(KernelResult {
             name: "statevector/apply_single_h14",
-            baseline_ns: median_ns(
-                || {
-                    let mut s = sv.clone();
-                    for _ in 0..SV_SWEEPS {
-                        for q in 0..SV_QUBITS {
-                            s.apply_single_reference(q, h);
-                        }
-                    }
-                    std::hint::black_box(&s);
-                },
-                reps,
-            ),
-            optimized_ns: median_ns(
-                || {
-                    let mut s = sv.clone();
-                    for _ in 0..SV_SWEEPS {
-                        for q in 0..SV_QUBITS {
-                            s.apply_single(q, h);
-                        }
-                    }
-                    std::hint::black_box(&s);
-                },
-                reps,
-            ),
+            baseline_ns,
+            optimized_ns,
         });
     }
 
@@ -547,32 +641,67 @@ pub fn measure_kernels(reps: usize) -> Vec<KernelResult> {
     {
         let s_gate = [[C64::ONE, C64::ZERO], [C64::ZERO, C64::I]];
         let sv = StateVector::plus_state(SV_QUBITS);
+        let (baseline_ns, optimized_ns) = measure_pair(
+            || {
+                let mut s = sv.clone();
+                for _ in 0..SV_SWEEPS {
+                    for q in 0..SV_QUBITS {
+                        s.apply_single_reference(q, s_gate);
+                    }
+                }
+                std::hint::black_box(&s);
+            },
+            || {
+                let mut s = sv.clone();
+                for _ in 0..SV_SWEEPS {
+                    for q in 0..SV_QUBITS {
+                        s.apply_single(q, s_gate);
+                    }
+                }
+                std::hint::black_box(&s);
+            },
+            reps,
+        );
         results.push(KernelResult {
             name: "statevector/apply_single_s14_diag",
-            baseline_ns: median_ns(
-                || {
-                    let mut s = sv.clone();
-                    for _ in 0..SV_SWEEPS {
-                        for q in 0..SV_QUBITS {
-                            s.apply_single_reference(q, s_gate);
-                        }
-                    }
-                    std::hint::black_box(&s);
-                },
-                reps,
-            ),
-            optimized_ns: median_ns(
-                || {
-                    let mut s = sv.clone();
-                    for _ in 0..SV_SWEEPS {
-                        for q in 0..SV_QUBITS {
-                            s.apply_single(q, s_gate);
-                        }
-                    }
-                    std::hint::black_box(&s);
-                },
-                reps,
-            ),
+            baseline_ns,
+            optimized_ns,
+        });
+    }
+
+    // Gate fusion: a single-qubit-dense circuit (the transpiled-pattern
+    // shape — runs of H/T/S/Rz per qubit between CZ barriers) applied
+    // gate-by-gate vs. through the fusing walker, which collapses each
+    // run into one composed 2×2 sweep.
+    {
+        let mut c = Circuit::new(SV_QUBITS);
+        for _ in 0..4 {
+            for q in 0..SV_QUBITS {
+                c.h(q).t(q).s(q).rz(q, 0.37).h(q);
+            }
+            for q in 0..SV_QUBITS - 1 {
+                c.cz(q, q + 1);
+            }
+        }
+        let sv = StateVector::plus_state(SV_QUBITS);
+        let mut ws = FusionWorkspace::new();
+        let (baseline_ns, optimized_ns) = measure_pair(
+            || {
+                let mut s = sv.clone();
+                s.apply_circuit_reference(&c);
+                std::hint::black_box(&s);
+            },
+            || {
+                let mut s = sv.clone();
+                s.apply_circuit_with(&c, &mut ws);
+                std::hint::black_box(&s);
+            },
+            reps,
+        );
+        results.push(KernelResult {
+            name: "statevector/fused_1q_runs14",
+            baseline_ns,
+            optimized_ns,
         });
     }
 
@@ -597,6 +726,80 @@ pub fn to_json(results: &[KernelResult]) -> String {
     out
 }
 
+/// Extracts the string value following `key` on `line` (up to the next
+/// quote). Part of the fixed-shape `BENCH_kernels.json` reader — the
+/// document is one kernel object per line, exactly as [`to_json`]
+/// writes it, so no JSON dependency is needed.
+fn str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let rest = &line[line.find(key)? + key.len()..];
+    Some(&rest[..rest.find('"')?])
+}
+
+/// Extracts the numeric value following `key` on `line` (up to the
+/// next `,` or `}`).
+fn num_field(line: &str, key: &str) -> Option<f64> {
+    let rest = &line[line.find(key)? + key.len()..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Parses a committed `BENCH_kernels.json` into `(name, speedup)`
+/// pairs (lines that are not kernel entries are skipped).
+#[must_use]
+pub fn parse_committed(json: &str) -> Vec<(String, f64)> {
+    json.lines()
+        .filter_map(|line| {
+            let name = str_field(line, "\"name\": \"")?;
+            let speedup = num_field(line, "\"speedup\": ")?;
+            Some((name.to_string(), speedup))
+        })
+        .collect()
+}
+
+/// Compares fresh measurements against committed speedups: a tracked
+/// kernel regresses when its fresh speedup falls fractionally more
+/// than `tolerance` below the committed one. Both sides are ratios
+/// measured on the *same* box in the same run, so the comparison is
+/// robust to absolute machine speed. Kernels present on only one side
+/// are never failures: a retired kernel stops being tracked, and a new
+/// kernel has no committed number yet.
+#[must_use]
+pub fn regressions(
+    results: &[KernelResult],
+    committed: &[(String, f64)],
+    tolerance: f64,
+) -> Vec<String> {
+    let mut out = Vec::new();
+    for (name, committed_speedup) in committed {
+        let Some(r) = results.iter().find(|r| r.name == name) else {
+            continue;
+        };
+        let fresh = r.speedup();
+        if fresh < committed_speedup * (1.0 - tolerance) {
+            out.push(format!(
+                "{name}: fresh speedup {fresh:.2}x is more than {:.0}% below committed {committed_speedup:.2}x",
+                tolerance * 100.0
+            ));
+        }
+    }
+    out
+}
+
+/// Renders the kernel comparison table.
+fn table_of(results: &[KernelResult]) -> TextTable {
+    let mut t = TextTable::new(vec!["Kernel", "Baseline [ms]", "Optimized [ms]", "Speedup"]);
+    t.title("Kernel speedups — pre-optimization reference vs. current hot paths");
+    for r in results {
+        t.row(vec![
+            r.name.to_string(),
+            fmt_f64(r.baseline_ns / 1e6, 3),
+            fmt_f64(r.optimized_ns / 1e6, 3),
+            format!("{:.2}x", r.speedup()),
+        ]);
+    }
+    t
+}
+
 /// The `bench-kernels` experiment: measures every kernel pair, writes
 /// `BENCH_kernels.json` to the working directory, and returns the
 /// comparison table.
@@ -610,17 +813,27 @@ pub fn bench_kernels() -> TextTable {
     } else {
         eprintln!("[wrote {path}]");
     }
-    let mut t = TextTable::new(vec!["Kernel", "Baseline [ms]", "Optimized [ms]", "Speedup"]);
-    t.title("Kernel speedups — pre-optimization reference vs. current hot paths");
-    for r in &results {
-        t.row(vec![
-            r.name.to_string(),
-            fmt_f64(r.baseline_ns / 1e6, 3),
-            fmt_f64(r.optimized_ns / 1e6, 3),
-            format!("{:.2}x", r.speedup()),
-        ]);
-    }
-    t
+    table_of(&results)
+}
+
+/// The `bench-kernels --check` gate: re-measures every kernel pair and
+/// compares against the committed `BENCH_kernels.json` in the working
+/// directory *without* rewriting it. Returns the comparison table and
+/// the list of tracked kernels that regressed more than `tolerance`
+/// (empty = pass; also empty when no committed file exists — there is
+/// nothing to regress against).
+#[must_use]
+pub fn bench_kernels_check(tolerance: f64) -> (TextTable, Vec<String>) {
+    let results = measure_kernels(7);
+    let committed = match std::fs::read_to_string("BENCH_kernels.json") {
+        Ok(json) => parse_committed(&json),
+        Err(e) => {
+            eprintln!("warning: no committed BENCH_kernels.json to check against: {e}");
+            Vec::new()
+        }
+    };
+    let failures = regressions(&results, &committed, tolerance);
+    (table_of(&results), failures)
 }
 
 #[cfg(test)]
@@ -647,6 +860,66 @@ mod tests {
         assert!(json.contains("\"speedup\": 1.00"));
         // Exactly one comma between the two entries, none trailing.
         assert_eq!(json.matches("},").count(), 1);
+    }
+
+    /// The committed-JSON reader round-trips what [`to_json`] writes.
+    #[test]
+    fn committed_json_round_trips() {
+        let results = vec![
+            KernelResult {
+                name: "a/b",
+                baseline_ns: 2000.0,
+                optimized_ns: 500.0,
+            },
+            KernelResult {
+                name: "c/d",
+                baseline_ns: 10.0,
+                optimized_ns: 10.0,
+            },
+        ];
+        let committed = parse_committed(&to_json(&results));
+        assert_eq!(committed.len(), 2);
+        assert_eq!(committed[0].0, "a/b");
+        assert!((committed[0].1 - 4.0).abs() < 1e-9);
+        assert_eq!(committed[1].0, "c/d");
+        assert!((committed[1].1 - 1.0).abs() < 1e-9);
+    }
+
+    /// The regression gate: >tolerance drops fail, smaller drops and
+    /// improvements pass, and kernels on only one side are ignored.
+    #[test]
+    fn regression_gate_flags_only_real_drops() {
+        let fresh = vec![
+            KernelResult {
+                name: "k/slower",
+                baseline_ns: 1000.0,
+                optimized_ns: 1000.0, // 1.0x, was 2.0x: -50%
+            },
+            KernelResult {
+                name: "k/noisy",
+                baseline_ns: 1900.0,
+                optimized_ns: 1000.0, // 1.9x, was 2.0x: -5%
+            },
+            KernelResult {
+                name: "k/faster",
+                baseline_ns: 3000.0,
+                optimized_ns: 1000.0, // 3.0x, was 2.0x
+            },
+            KernelResult {
+                name: "k/new",
+                baseline_ns: 100.0,
+                optimized_ns: 100.0, // not committed yet
+            },
+        ];
+        let committed = vec![
+            ("k/slower".to_string(), 2.0),
+            ("k/noisy".to_string(), 2.0),
+            ("k/faster".to_string(), 2.0),
+            ("k/retired".to_string(), 9.0),
+        ];
+        let failures = regressions(&fresh, &committed, 0.15);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].starts_with("k/slower:"), "{}", failures[0]);
     }
 
     #[test]

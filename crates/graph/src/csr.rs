@@ -330,10 +330,15 @@ pub struct CsrBuilder {
     node_weights: Vec<i64>,
     /// Distinct undirected edges in first-encounter order.
     pairs: Vec<(u32, u32, i64)>,
-    /// Open-addressed map: normalized pair key → index into `pairs`.
+    /// Open-addressed map: normalized pair key → index into `pairs`,
+    /// split into parallel key/value arrays so probing touches only the
+    /// dense key array (and clearing the table memsets half the bytes).
     /// Sentinel `u64::MAX` marks empty slots (unreachable as a key since
-    /// it would require `lo == hi`, and self-loops are rejected).
-    slots: Vec<(u64, u32)>,
+    /// it would require `lo == hi`, and self-loops are rejected);
+    /// `slot_vals` is only read where a key matched, so it is never
+    /// cleared.
+    slot_keys: Vec<u64>,
+    slot_vals: Vec<u32>,
     mask: usize,
 }
 
@@ -346,7 +351,8 @@ impl CsrBuilder {
         Self {
             node_weights,
             pairs: Vec::new(),
-            slots: vec![(EMPTY_KEY, 0); 16],
+            slot_keys: vec![EMPTY_KEY; 16],
+            slot_vals: vec![0; 16],
             mask: 15,
         }
     }
@@ -358,17 +364,18 @@ impl CsrBuilder {
         Self {
             node_weights,
             pairs: Vec::with_capacity(edges),
-            slots: vec![(EMPTY_KEY, 0); cap],
+            slot_keys: vec![EMPTY_KEY; cap],
+            slot_vals: vec![0; cap],
             mask: cap - 1,
         }
     }
 
     #[inline]
-    fn probe(slots: &[(u64, u32)], mask: usize, key: u64) -> usize {
+    fn probe(slot_keys: &[u64], mask: usize, key: u64) -> usize {
         // Fibonacci hashing; linear probing.
         let mut i = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & mask;
         loop {
-            let k = slots[i].0;
+            let k = slot_keys[i];
             if k == key || k == EMPTY_KEY {
                 return i;
             }
@@ -377,14 +384,19 @@ impl CsrBuilder {
     }
 
     fn grow(&mut self) {
-        let cap = self.slots.len() * 2;
+        let cap = self.slot_keys.len() * 2;
         let mask = cap - 1;
-        let mut slots = vec![(EMPTY_KEY, 0u32); cap];
-        for &(k, v) in self.slots.iter().filter(|&&(k, _)| k != EMPTY_KEY) {
-            let i = Self::probe(&slots, mask, k);
-            slots[i] = (k, v);
+        let mut keys = vec![EMPTY_KEY; cap];
+        let mut vals = vec![0u32; cap];
+        for (j, &k) in self.slot_keys.iter().enumerate() {
+            if k != EMPTY_KEY {
+                let i = Self::probe(&keys, mask, k);
+                keys[i] = k;
+                vals[i] = self.slot_vals[j];
+            }
         }
-        self.slots = slots;
+        self.slot_keys = keys;
+        self.slot_vals = vals;
         self.mask = mask;
     }
 
@@ -400,31 +412,42 @@ impl CsrBuilder {
         assert_ne!(a, b, "self-loops are not allowed");
         let (lo, hi) = if a < b { (a, b) } else { (b, a) };
         let key = ((lo.index() as u64) << 32) | hi.index() as u64;
-        let i = Self::probe(&self.slots, self.mask, key);
-        if self.slots[i].0 == key {
-            self.pairs[self.slots[i].1 as usize].2 += w;
+        let i = Self::probe(&self.slot_keys, self.mask, key);
+        if self.slot_keys[i] == key {
+            self.pairs[self.slot_vals[i] as usize].2 += w;
             return;
         }
-        self.slots[i] = (key, self.pairs.len() as u32);
+        self.slot_keys[i] = key;
+        self.slot_vals[i] = self.pairs.len() as u32;
         // The stored pair keeps the caller's (a, b) orientation so both
         // adjacency lists append in encounter order.
         self.pairs.push((a.index() as u32, b.index() as u32, w));
         // Keep load factor under 1/2.
-        if self.pairs.len() * 2 > self.slots.len() {
+        if self.pairs.len() * 2 > self.slot_keys.len() {
             self.grow();
         }
     }
 
     /// Rearms a spent builder for a new contraction pass, reusing the
     /// pair and dedup-table allocations of previous passes. Equivalent
-    /// to [`CsrBuilder::with_edge_capacity`] but without reallocating.
+    /// to [`CsrBuilder::with_edge_capacity`] but without reallocating
+    /// when the new table fits in the old one's footprint.
+    ///
+    /// The table is sized to *this* pass's edge estimate, not the
+    /// historical maximum: a contraction hierarchy shrinks
+    /// geometrically, and clearing a finest-level-sized table on every
+    /// coarse level would cost more memset than the level's entire
+    /// edge scan. (Table capacity only affects probe collisions, never
+    /// the first-encounter pair order, so resizing is invisible to the
+    /// built graph.)
     pub fn reset(&mut self, node_weights: Vec<i64>, edges: usize) {
         self.node_weights = node_weights;
         self.pairs.clear();
         self.pairs.reserve(edges);
-        let cap = ((edges * 2).next_power_of_two().max(16)).max(self.slots.len());
-        self.slots.clear();
-        self.slots.resize(cap, (EMPTY_KEY, 0));
+        let cap = (edges * 2).next_power_of_two().max(16);
+        self.slot_keys.clear();
+        self.slot_keys.resize(cap, EMPTY_KEY);
+        self.slot_vals.resize(cap.max(self.slot_vals.len()), 0);
         self.mask = cap - 1;
     }
 

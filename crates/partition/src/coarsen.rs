@@ -134,12 +134,10 @@ pub struct CsrLevel {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CoarseRebuild {
     /// Replicate the first-encounter insertion order of
-    /// `Graph::add_edge_weighted` through a [`CsrBuilder`] dedup
-    /// table — the order the `reference-impls` oracle produces, kept
-    /// so the CSR hierarchy stays bit-identical to the adjacency-list
+    /// `Graph::add_edge_weighted` with a hash-free bucket scatter —
+    /// the order the `reference-impls` oracle produces, kept so the
+    /// CSR hierarchy stays bit-identical to the adjacency-list
     /// reference.
-    ///
-    /// [`CsrBuilder`]: mbqc_graph::csr::CsrBuilder
     MirrorInsertion,
     /// Contract per coarse node: walk each coarse node's (at most two)
     /// fine members and accumulate their neighbors with a flat marker
@@ -165,23 +163,35 @@ impl CoarseRebuild {
 }
 
 /// Reusable scratch for the CSR coarsening hot path: the matching
-/// buffers, the [`CsrBuilder`] dedup table, and the contraction marker
+/// buffers, the rebuild scatter arrays, and the contraction marker
 /// arrays survive across levels and across whole partitioning calls,
 /// so repeated compilations stop re-allocating the coarsening
 /// hierarchy machinery.
-///
-/// [`CsrBuilder`]: mbqc_graph::csr::CsrBuilder
 #[derive(Debug, Default)]
 pub struct CoarsenWorkspace {
     order: Vec<usize>,
     key: Vec<i64>,
     mate: Vec<Option<NodeId>>,
+    /// Packed matched-state bitset for the word-parallel matching scan:
+    /// bit `i` set ⇔ node `i` is still unmatched.
+    unmatched: Vec<u64>,
     counts: Vec<u32>,
     sorted: Vec<usize>,
-    builder: Option<mbqc_graph::csr::CsrBuilder>,
-    /// Contracted-rebuild scratch: per-coarse-node last-visitor stamp.
+    /// Mirrored-rebuild scratch: surviving coarse edges `(ca, cb, w)` in
+    /// fine-scan order.
+    pairs: Vec<(u32, u32, i64)>,
+    /// Mirrored-rebuild scratch: per-coarse-node bucket cursors.
+    cursor: Vec<u32>,
+    /// Mirrored-rebuild scratch: scattered half-edge targets.
+    half_nb: Vec<u32>,
+    /// Mirrored-rebuild scratch: scattered half-edge weights.
+    half_w: Vec<i64>,
+    /// Per-coarse-node fine members `(a, b)` (`b == u32::MAX` for
+    /// singletons), rebuilt every round.
+    fine_of: Vec<(u32, u32)>,
+    /// Rebuild scratch: per-coarse-node last-visitor stamp.
     mark: Vec<u32>,
-    /// Contracted-rebuild scratch: coarse neighbor → adjacency slot.
+    /// Rebuild scratch: coarse neighbor → adjacency slot.
     pos: Vec<u32>,
 }
 
@@ -299,17 +309,210 @@ pub fn coarsen_once_csr_rebuild(
         rng.shuffle(order);
         order.sort_by_key(|&i| std::cmp::Reverse(key[i]));
     }
-    let mate = &mut ws.mate;
+    let matched_any = heavy_edge_matching(g, &ws.order, &mut ws.mate, &mut ws.unmatched);
+    let mate = &ws.mate;
+    if !matched_any {
+        return None;
+    }
+    // Assign coarse ids: the lower-index endpoint of each pair owns it.
+    // `fine_of` records each coarse node's (≤ 2) fine members for the
+    // contracted rebuild. `map` is built by pushing (each entry is
+    // final when reached — a matched partner with a lower index was
+    // already assigned), skipping the zero-fill an indexed write-out
+    // would need; it is owned by the returned level, so it is the one
+    // per-level allocation that cannot live in the workspace.
+    let mut map: Vec<NodeId> = Vec::with_capacity(n);
+    let mut coarse_weights: Vec<i64> = Vec::with_capacity(n);
+    let fine_of = &mut ws.fine_of;
+    fine_of.clear();
+    for (i, &mate_i) in mate.iter().enumerate() {
+        let u = NodeId::new(i);
+        match mate_i {
+            Some(v) if v.index() < i => {
+                let c = map[v.index()]; // already created by the partner
+                map.push(c);
+                fine_of[c.index()].1 = i as u32;
+            }
+            Some(v) => {
+                map.push(NodeId::new(coarse_weights.len()));
+                coarse_weights.push(g.node_weight(u) + g.node_weight(v));
+                fine_of.push((i as u32, u32::MAX));
+            }
+            None => {
+                map.push(NodeId::new(coarse_weights.len()));
+                coarse_weights.push(g.node_weight(u));
+                fine_of.push((i as u32, u32::MAX));
+            }
+        }
+    }
+    let graph = match rebuild {
+        CoarseRebuild::MirrorInsertion => rebuild_mirrored(g, &map, coarse_weights, ws),
+        CoarseRebuild::Contracted => {
+            let fine_of = std::mem::take(&mut ws.fine_of);
+            let graph = rebuild_contracted(g, &map, &fine_of, coarse_weights, ws);
+            ws.fine_of = fine_of;
+            graph
+        }
+    };
+    Some(CsrLevel { graph, map })
+}
+
+/// Node count at which [`heavy_edge_matching`] switches its liveness
+/// probes from the `Option<NodeId>` mate array to the packed bitset.
+/// Below it the mate array (8 bytes per node) is cache-resident and a
+/// direct load beats the bitset's shift–mask chain; above it shuffled
+/// visit orders turn every mate probe into a cache miss while the
+/// bitset (1 *bit* per node — ~12 KiB per 100k nodes) stays hot.
+/// Measured break-even on the tracked workloads: the bitset costs ~6%
+/// on the QFT-36 levels (~3k nodes) and wins 1.1–1.4× on a 360k-node
+/// grid (the spread is measurement-window load on the shared box).
+const WORD_PARALLEL_MIN_NODES: usize = 1 << 16;
+
+/// One round of heavy-edge matching over a frozen CSR graph, visiting
+/// nodes in `order`: each still-unmatched node pairs with its unmatched
+/// neighbor of maximum edge weight (smallest index on ties). Fills
+/// `mate` (resized to the node count) and returns whether any pair
+/// matched.
+///
+/// Adaptive probe strategy: levels below
+/// [`WORD_PARALLEL_MIN_NODES`](self) scan with direct mate-array
+/// probes (the scalar reference loop — fastest when the array is
+/// cache-resident); larger levels take the word-parallel bitset pass
+/// ([`heavy_edge_matching_bitset`]). Both branches make identical
+/// max-weight-then-smallest-index decisions, so the output is
+/// bit-identical to [`heavy_edge_matching_reference`] at every size —
+/// pinned by proptest on both branches.
+pub fn heavy_edge_matching(
+    g: &CsrGraph,
+    order: &[usize],
+    mate: &mut Vec<Option<NodeId>>,
+    unmatched: &mut Vec<u64>,
+) -> bool {
+    let n = g.node_count();
+    if n >= WORD_PARALLEL_MIN_NODES {
+        return heavy_edge_matching_bitset(g, order, mate, unmatched);
+    }
     mate.clear();
     mate.resize(n, None);
     let mut matched_any = false;
-    for &i in order.iter() {
+    for &i in order {
+        if mate[i].is_some() {
+            continue;
+        }
+        let u = NodeId::new(i);
+        let neighbors = g.neighbors(u);
+        let weights = g.neighbor_weights(u);
+        let mut bw = i64::MIN;
+        let mut bv = usize::MAX;
+        for (j, &v) in neighbors.iter().enumerate() {
+            let vi = v.index();
+            if vi == i || mate[vi].is_some() {
+                continue;
+            }
+            let w = weights[j];
+            if w > bw || (w == bw && vi < bv) {
+                bw = w;
+                bv = vi;
+            }
+        }
+        if bv == usize::MAX {
+            continue;
+        }
+        mate[i] = Some(NodeId::new(bv));
+        mate[bv] = Some(u);
+        matched_any = true;
+    }
+    matched_any
+}
+
+/// The word-parallel branch of [`heavy_edge_matching`]: the matched
+/// state lives in `unmatched`, a packed `u64` bitset (bit `i` set ⇔
+/// node `i` unmatched), so one cached word answers the liveness probe
+/// for 64 nodes — the whole matching state for a 100k-node level is
+/// ~12 KiB instead of the 800 KiB `Option<NodeId>` array the scalar
+/// pass probes, which keeps shuffled-order probes inside L1/L2 on
+/// levels where mate-array probes thrash. `mate` is write-only here;
+/// every liveness read is a bitset word.
+///
+/// Exposed (hidden) so the equivalence proptest can pin this branch
+/// directly on small random graphs, below the adaptive threshold.
+#[doc(hidden)]
+pub fn heavy_edge_matching_bitset(
+    g: &CsrGraph,
+    order: &[usize],
+    mate: &mut Vec<Option<NodeId>>,
+    unmatched: &mut Vec<u64>,
+) -> bool {
+    let n = g.node_count();
+    mate.clear();
+    mate.resize(n, None);
+    unmatched.clear();
+    unmatched.resize(n.div_ceil(64), !0u64);
+    if !n.is_multiple_of(64) {
+        // Clear the tail bits past node n-1 (never probed, kept zero so
+        // the bitset is exactly the unmatched set).
+        *unmatched.last_mut().unwrap() = (1u64 << (n % 64)) - 1;
+    }
+    let mut matched_any = false;
+    for &i in order {
+        if (unmatched[i >> 6] >> (i & 63)) & 1 == 0 {
+            continue;
+        }
+        let u = NodeId::new(i);
+        let neighbors = g.neighbors(u);
+        let weights = g.neighbor_weights(u);
+        // Same running (max weight, smallest index) scan as the scalar
+        // branch; only the liveness probe differs. `usize::MAX` marks
+        // "no live candidate yet"; any live index is smaller, so the
+        // first live lane always takes over through the tie-break
+        // compare.
+        let mut bw = i64::MIN;
+        let mut bv = usize::MAX;
+        for (j, &v) in neighbors.iter().enumerate() {
+            let vi = v.index();
+            if vi == i || (unmatched[vi >> 6] >> (vi & 63)) & 1 == 0 {
+                continue;
+            }
+            let w = weights[j];
+            if w > bw || (w == bw && vi < bv) {
+                bw = w;
+                bv = vi;
+            }
+        }
+        if bv == usize::MAX {
+            continue;
+        }
+        let vi = bv;
+        mate[i] = Some(NodeId::new(vi));
+        mate[vi] = Some(u);
+        unmatched[i >> 6] &= !(1u64 << (i & 63));
+        unmatched[vi >> 6] &= !(1u64 << (vi & 63));
+        matched_any = true;
+    }
+    matched_any
+}
+
+/// The scalar matching pass [`heavy_edge_matching`] replaced: probes a
+/// per-node `Option<NodeId>` array and keeps the running best through a
+/// branchy compare. Preserved as the bit-identity oracle for the
+/// word-parallel pass.
+#[cfg(any(test, feature = "reference-impls"))]
+pub fn heavy_edge_matching_reference(
+    g: &CsrGraph,
+    order: &[usize],
+    mate: &mut Vec<Option<NodeId>>,
+) -> bool {
+    let n = g.node_count();
+    mate.clear();
+    mate.resize(n, None);
+    let mut matched_any = false;
+    for &i in order {
         let u = NodeId::new(i);
         if mate[i].is_some() {
             continue;
         }
         // Unmatched neighbor of maximum edge weight, smallest index on
-        // ties (hand-rolled: this scan is the matching hot loop).
+        // ties.
         let weights = g.neighbor_weights(u);
         let mut best: Option<(NodeId, i64)> = None;
         for (j, &v) in g.neighbors(u).iter().enumerate() {
@@ -331,74 +534,110 @@ pub fn coarsen_once_csr_rebuild(
             matched_any = true;
         }
     }
-    if !matched_any {
-        return None;
-    }
-    // Assign coarse ids: the lower-index endpoint of each pair owns it.
-    // `fine_of` records each coarse node's (≤ 2) fine members for the
-    // contracted rebuild.
-    let mut map = vec![NodeId::new(0); n];
-    let mut coarse_weights: Vec<i64> = Vec::new();
-    let mut fine_of: Vec<(u32, u32)> = Vec::new();
-    for i in 0..n {
-        let u = NodeId::new(i);
-        match mate[i] {
-            Some(v) if v.index() < i => {
-                map[i] = map[v.index()]; // already created by the partner
-                fine_of[map[i].index()].1 = i as u32;
-            }
-            Some(v) => {
-                map[i] = NodeId::new(coarse_weights.len());
-                coarse_weights.push(g.node_weight(u) + g.node_weight(v));
-                fine_of.push((i as u32, u32::MAX));
-            }
-            None => {
-                map[i] = NodeId::new(coarse_weights.len());
-                coarse_weights.push(g.node_weight(u));
-                fine_of.push((i as u32, u32::MAX));
-            }
-        }
-    }
-    let graph = match rebuild {
-        CoarseRebuild::MirrorInsertion => rebuild_mirrored(g, &map, coarse_weights, ws),
-        CoarseRebuild::Contracted => rebuild_contracted(g, &map, &fine_of, coarse_weights, ws),
-    };
-    Some(CsrLevel { graph, map })
+    matched_any
 }
 
 /// Coarse-graph rebuild that replicates the first-encounter insertion
-/// order of `Graph::add_edge_weighted` through the recycled
-/// [`CsrBuilder`](mbqc_graph::csr::CsrBuilder) dedup table — the order
-/// the `reference-impls` oracle produces.
+/// order of `Graph::add_edge_weighted` — the order the
+/// `reference-impls` oracle produces — without a dedup hash table.
+///
+/// `Graph::add_edge_weighted(ca, cb, w)` appends `cb` to `ca`'s
+/// adjacency (and vice versa) on first encounter and accumulates the
+/// weight afterwards, so each coarse node's final adjacency is its
+/// distinct coarse neighbors in *global fine-edge scan order*. That
+/// order is reproduced hash-free in three linear passes: collect the
+/// surviving coarse edges in scan order, scatter both directed
+/// half-edges into per-coarse-node buckets (bucket contents inherit the
+/// scan order), then dedup each bucket with a stamp/slot pair while
+/// emitting the CSR arrays.
 fn rebuild_mirrored(
     g: &CsrGraph,
     map: &[NodeId],
     coarse_weights: Vec<i64>,
     ws: &mut CoarsenWorkspace,
 ) -> CsrGraph {
-    let mut builder = match ws.builder.take() {
-        Some(mut b) => {
-            b.reset(coarse_weights, g.edge_count());
-            b
-        }
-        None => mbqc_graph::csr::CsrBuilder::with_edge_capacity(coarse_weights, g.edge_count()),
-    };
+    let nc = coarse_weights.len();
+    // Pass 1: surviving coarse edges in fine-scan order, plus
+    // duplicate-inclusive coarse degrees (offset-shifted for the prefix
+    // sum below).
+    let pairs = &mut ws.pairs;
+    pairs.clear();
+    let cursor = &mut ws.cursor;
+    cursor.clear();
+    cursor.resize(nc + 1, 0);
     for a in g.nodes() {
-        let ca = map[a.index()];
+        let ca = map[a.index()].index() as u32;
         let weights = g.neighbor_weights(a);
         for (j, &b) in g.neighbors(a).iter().enumerate() {
             // Each undirected edge once, in Graph::edges() order.
             if a < b {
-                let cb = map[b.index()];
+                let cb = map[b.index()].index() as u32;
                 if ca != cb {
-                    builder.add_edge(ca, cb, weights[j]);
+                    pairs.push((ca, cb, weights[j]));
+                    cursor[ca as usize + 1] += 1;
+                    cursor[cb as usize + 1] += 1;
                 }
             }
         }
     }
-    let graph = builder.finish();
-    ws.builder = Some(builder);
-    graph
+    for c in 0..nc {
+        cursor[c + 1] += cursor[c];
+    }
+    // Pass 2: scatter both half-edges of every pair, in pair order, so
+    // each bucket lists its neighbors in global scan order. `cursor[c]`
+    // walks from the bucket start and ends at the bucket *end* (the
+    // next bucket's start), which pass 3 unwinds with a running start.
+    // Every slot in `0..half` is written exactly once (the counts sum
+    // to `half`), so the scratch is only grown, never re-zeroed.
+    let half = 2 * pairs.len();
+    let half_nb = &mut ws.half_nb;
+    if half_nb.len() < half {
+        half_nb.resize(half, 0);
+    }
+    let half_w = &mut ws.half_w;
+    if half_w.len() < half {
+        half_w.resize(half, 0);
+    }
+    for &(ca, cb, w) in pairs.iter() {
+        let ia = cursor[ca as usize] as usize;
+        cursor[ca as usize] += 1;
+        half_nb[ia] = cb;
+        half_w[ia] = w;
+        let ib = cursor[cb as usize] as usize;
+        cursor[cb as usize] += 1;
+        half_nb[ib] = ca;
+        half_w[ib] = w;
+    }
+    // Pass 3: dedup each bucket in first-encounter order, accumulating
+    // parallel-edge weights through the stamp/slot arrays.
+    let mark = &mut ws.mark;
+    mark.clear();
+    mark.resize(nc, u32::MAX);
+    let pos = &mut ws.pos;
+    pos.clear();
+    pos.resize(nc, 0);
+    let mut offsets: Vec<u32> = Vec::with_capacity(nc + 1);
+    offsets.push(0);
+    let mut neighbors: Vec<NodeId> = Vec::with_capacity(half);
+    let mut out_weights: Vec<i64> = Vec::with_capacity(half);
+    let mut start = 0usize;
+    for (c, &bucket_end) in cursor.iter().take(nc).enumerate() {
+        let end = bucket_end as usize;
+        for i in start..end {
+            let cv = half_nb[i] as usize;
+            if mark[cv] == c as u32 {
+                out_weights[pos[cv] as usize] += half_w[i];
+            } else {
+                mark[cv] = c as u32;
+                pos[cv] = neighbors.len() as u32;
+                neighbors.push(NodeId::new(cv));
+                out_weights.push(half_w[i]);
+            }
+        }
+        start = end;
+        offsets.push(neighbors.len() as u32);
+    }
+    CsrGraph::from_csr_parts(offsets, neighbors, out_weights, coarse_weights)
 }
 
 /// Coarse-graph rebuild by direct contraction: emits each coarse
@@ -460,7 +699,7 @@ pub fn coarsen_to_csr(g: &CsrGraph, target_nodes: usize, rng: &mut Rng) -> Vec<C
 }
 
 /// [`coarsen_to_csr`] with a caller-owned [`CoarsenWorkspace`]; the
-/// matching buffers and builder tables are reused across every level of
+/// matching buffers and rebuild scratch are reused across every level of
 /// the hierarchy (and across calls when the caller keeps the workspace).
 /// Uses the build's default [`CoarseRebuild`] strategy.
 #[must_use]

@@ -11,7 +11,9 @@ use mbqc_graph::{algo, CsrGraph, Graph, NodeId};
 use mbqc_util::Rng;
 
 use crate::coarsen::{coarsen_to_csr_rebuild, CoarseRebuild, CoarsenWorkspace};
-use crate::refine::{fm_refine_csr, rebalance_csr, refine_csr};
+use crate::refine::{
+    fm_refine_csr, fm_refine_csr_with, rebalance_csr, refine_csr, refine_csr_with, RefineWorkspace,
+};
 use crate::Partition;
 
 /// Node-count bound under which the quadratic FM pass runs at a level.
@@ -202,8 +204,11 @@ pub fn multilevel_kway(g: &Graph, config: &KwayConfig) -> Partition {
 /// the coarsening machinery on every call.
 #[derive(Debug, Default)]
 pub struct KwayWorkspace {
-    /// Coarsening scratch (matching buffers + recycled CSR builder).
+    /// Coarsening scratch (matching buffers + rebuild scatter arrays).
     pub coarsen: CoarsenWorkspace,
+    /// Refinement scratch (connectivity table + visit-order buffer),
+    /// reused at every uncoarsening level.
+    pub refine: RefineWorkspace,
 }
 
 impl KwayWorkspace {
@@ -350,15 +355,29 @@ pub fn multilevel_kway_csr_rebuild(
             .map(|i| part.part_of(map[i]))
             .collect();
         part = Partition::new(assignment, config.k);
-        let _ = refine_csr(finer, &mut part, max_w, config.refine_passes, &mut rng);
+        let _ = refine_csr_with(
+            finer,
+            &mut part,
+            max_w,
+            config.refine_passes,
+            &mut rng,
+            &mut ws.refine,
+        );
         if finer.node_count() <= FM_LIMIT && fm_runs < 4 {
-            let _ = fm_refine_csr(finer, &mut part, max_w, 2);
+            let _ = fm_refine_csr_with(finer, &mut part, max_w, 2, &mut ws.refine);
             fm_runs += 1;
         }
     }
     if !part.is_balanced_csr(g, config.alpha) {
         let _ = rebalance_csr(g, &mut part, max_w, &mut rng);
-        let _ = refine_csr(g, &mut part, max_w, config.refine_passes, &mut rng);
+        let _ = refine_csr_with(
+            g,
+            &mut part,
+            max_w,
+            config.refine_passes,
+            &mut rng,
+            &mut ws.refine,
+        );
     }
     part
 }

@@ -167,12 +167,25 @@ impl Partition {
     /// Panics if the graph size disagrees with the assignment.
     #[must_use]
     pub fn part_weights_csr(&self, g: &CsrGraph) -> Vec<i64> {
+        let mut w = Vec::new();
+        self.part_weights_csr_into(g, &mut w);
+        w
+    }
+
+    /// [`Partition::part_weights_csr`] into a caller-owned buffer
+    /// (cleared and refilled) — the refinement hot path calls this once
+    /// per hierarchy level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph size disagrees with the assignment.
+    pub fn part_weights_csr_into(&self, g: &CsrGraph, w: &mut Vec<i64>) {
         assert_eq!(g.node_count(), self.assignment.len(), "graph size mismatch");
-        let mut w = vec![0i64; self.k];
+        w.clear();
+        w.resize(self.k, 0);
         for n in g.nodes() {
             w[self.assignment[n.index()]] += g.node_weight(n);
         }
-        w
     }
 
     /// Total weight of cut edges, computed from a CSR view.

@@ -23,7 +23,7 @@ use crate::Partition;
 /// Building costs O(E); applying a move costs O(deg(u)). Since a node's
 /// connectivity row only changes when a *neighbor* moves, the table stays
 /// exact under any sequence of [`GainTable::apply_move`] calls.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct GainTable {
     k: usize,
     /// Row-major `n × k` connectivity matrix.
@@ -34,22 +34,25 @@ impl GainTable {
     /// Builds the table for `p` on `g`.
     #[must_use]
     pub fn build(g: &CsrGraph, p: &Partition) -> Self {
-        let (n, k) = (g.node_count(), p.k());
-        let mut conn = vec![0i64; n * k];
-        for u in g.nodes() {
-            let row = u.index() * k;
-            for (v, w) in g.adj(u) {
-                conn[row + p.part_of(v)] += w;
-            }
-        }
-        Self { k, conn }
+        let mut table = Self {
+            k: p.k(),
+            conn: Vec::new(),
+        };
+        table.rebuild(g, p);
+        table
     }
 
-    /// Rebuilds in place for a new partition (reuses the buffer).
+    /// Rebuilds in place for a new partition (reuses the buffer, and
+    /// re-shapes it when the graph or `k` changed since the last
+    /// build — the multilevel driver moves one table through every
+    /// hierarchy level).
     pub fn rebuild(&mut self, g: &CsrGraph, p: &Partition) {
-        self.conn.iter_mut().for_each(|c| *c = 0);
+        let (n, k) = (g.node_count(), p.k());
+        self.k = k;
+        self.conn.clear();
+        self.conn.resize(n * k, 0);
         for u in g.nodes() {
-            let row = u.index() * self.k;
+            let row = u.index() * k;
             for (v, w) in g.adj(u) {
                 self.conn[row + p.part_of(v)] += w;
             }
@@ -99,6 +102,38 @@ pub fn refine(
     refine_csr(&CsrGraph::from_graph(g), p, max_part_weight, passes, rng)
 }
 
+/// Reusable scratch for [`refine_csr_with`]: the connectivity table,
+/// visit-order buffer, and part-weight vector survive across calls, so
+/// the multilevel driver stops re-allocating them at every hierarchy
+/// level. Results are bit-identical to the allocating entry point.
+#[derive(Debug, Default)]
+pub struct RefineWorkspace {
+    gains: GainTable,
+    order: Vec<usize>,
+    weights: Vec<i64>,
+    /// `movable[i]` ⇔ some part beats `i`'s current connectivity
+    /// (`∃ to ≠ from: conn[to] > conn[from]`) — a necessary condition
+    /// for a positive-gain move that ignores the balance bound, so
+    /// skipping nodes with the flag clear cannot change any decision.
+    movable: Vec<bool>,
+    /// FM scratch: per-node moved-this-round flag.
+    locked: Vec<bool>,
+    /// FM scratch: per-node ≥ 1-cross-part-edge flag.
+    boundary: Vec<bool>,
+    /// FM scratch: compact unlocked-boundary candidate list.
+    active: Vec<u32>,
+    /// FM scratch: tentative `(node, from, to, gain)` move log.
+    moves: Vec<(NodeId, usize, usize, i64)>,
+}
+
+impl RefineWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// CSR-native [`refine`]; the multilevel driver calls this directly so the
 /// conversion happens once per hierarchy, not once per level visit.
 ///
@@ -112,16 +147,68 @@ pub fn refine_csr(
     passes: usize,
     rng: &mut Rng,
 ) -> i64 {
+    refine_csr_with(
+        g,
+        p,
+        max_part_weight,
+        passes,
+        rng,
+        &mut RefineWorkspace::new(),
+    )
+}
+
+/// [`refine_csr`] with caller-owned scratch — identical moves and RNG
+/// consumption, zero steady-state allocation.
+///
+/// # Panics
+///
+/// Panics if graph and partition sizes disagree.
+pub fn refine_csr_with(
+    g: &CsrGraph,
+    p: &mut Partition,
+    max_part_weight: i64,
+    passes: usize,
+    rng: &mut Rng,
+    ws: &mut RefineWorkspace,
+) -> i64 {
     assert_eq!(g.node_count(), p.len(), "graph size mismatch");
-    let mut weights = p.part_weights_csr(g);
-    let mut gains = GainTable::build(g, p);
+    let RefineWorkspace {
+        gains,
+        order,
+        weights,
+        movable,
+        ..
+    } = ws;
+    p.part_weights_csr_into(g, weights);
+    gains.rebuild(g, p);
     let k = p.k();
+    let n = g.node_count();
+    // A node's gain to part `to` is conn[to] − conn[from]; only nodes
+    // where some other part's connectivity beats the home part's can
+    // ever produce a positive-gain move, and a node's row only changes
+    // when it or a neighbor moves. Tracking that predicate per node
+    // turns the pass body into a flag check for the (typical) interior
+    // majority — the move sequence and RNG stream are untouched.
+    let flag_of = |gains: &GainTable, p: &Partition, u: NodeId| {
+        let conn = gains.conn(u);
+        let conn_from = conn[p.part_of(u)];
+        conn.iter().any(|&c| c > conn_from)
+    };
+    movable.clear();
+    movable.resize(n, false);
+    for (i, m) in movable.iter_mut().enumerate() {
+        *m = flag_of(gains, p, NodeId::new(i));
+    }
     let mut total_gain = 0i64;
-    let mut order: Vec<usize> = (0..g.node_count()).collect();
+    order.clear();
+    order.extend(0..n);
     for _ in 0..passes {
-        rng.shuffle(&mut order);
+        rng.shuffle(order);
         let mut moved = false;
-        for &i in &order {
+        for &i in order.iter() {
+            if !movable[i] {
+                continue;
+            }
             let u = NodeId::new(i);
             let from = p.part_of(u);
             let conn = gains.conn(u);
@@ -145,6 +232,12 @@ pub fn refine_csr(
                 weights[to] += wu;
                 total_gain += gain;
                 moved = true;
+                // The move changed u's home part and its neighbors'
+                // connectivity rows; those are the only flags affected.
+                movable[i] = flag_of(gains, p, u);
+                for &v in g.neighbors(u) {
+                    movable[v.index()] = flag_of(gains, p, v);
+                }
             }
         }
         if !moved {
@@ -179,21 +272,55 @@ pub fn fm_refine(g: &Graph, p: &mut Partition, max_part_weight: i64, rounds: usi
 ///
 /// Panics if graph and partition sizes disagree.
 pub fn fm_refine_csr(g: &CsrGraph, p: &mut Partition, max_part_weight: i64, rounds: usize) -> i64 {
+    fm_refine_csr_with(g, p, max_part_weight, rounds, &mut RefineWorkspace::new())
+}
+
+/// [`fm_refine_csr`] with caller-owned scratch — identical moves, zero
+/// steady-state allocation. Shares the [`RefineWorkspace`] with
+/// [`refine_csr_with`], so the multilevel driver threads one workspace
+/// through both refinement styles.
+///
+/// # Panics
+///
+/// Panics if graph and partition sizes disagree.
+pub fn fm_refine_csr_with(
+    g: &CsrGraph,
+    p: &mut Partition,
+    max_part_weight: i64,
+    rounds: usize,
+    ws: &mut RefineWorkspace,
+) -> i64 {
     /// Tentative moves per FM round.
     const MAX_FM_MOVES: usize = 384;
     assert_eq!(g.node_count(), p.len(), "graph size mismatch");
     let n = g.node_count();
     let mut total_gain = 0i64;
     // Scratch reused across rounds: gain table, lock and boundary flags.
-    let mut gains = GainTable::build(g, p);
-    let mut locked = vec![false; n];
-    let mut boundary = vec![false; n];
-    let mut moves: Vec<(NodeId, usize, usize, i64)> = Vec::new();
+    let RefineWorkspace {
+        gains,
+        weights,
+        locked,
+        boundary,
+        // Compact list of unlocked boundary nodes — the only candidates
+        // the selection scan must visit. Entries are dropped lazily when
+        // their node locks; the scan compares with an explicit
+        // (gain, lowest-index, lowest-part) key, so list order is free
+        // and the chosen move matches the ascending full-array scan
+        // exactly.
+        active,
+        moves,
+        ..
+    } = ws;
+    gains.rebuild(g, p);
+    locked.clear();
+    locked.resize(n, false);
+    boundary.clear();
+    boundary.resize(n, false);
     for round in 0..rounds {
         if round > 0 {
             gains.rebuild(g, p);
         }
-        let mut weights = p.part_weights_csr(g);
+        p.part_weights_csr_into(g, weights);
         locked.iter_mut().for_each(|l| *l = false);
         // Only boundary nodes (≥ 1 cross-part edge) can have
         // non-negative moves; restricting the scan to them keeps each
@@ -205,18 +332,26 @@ pub fn fm_refine_csr(g: &CsrGraph, p: &mut Partition, max_part_weight: i64, roun
                 boundary[b.index()] = true;
             }
         }
+        active.clear();
+        active.extend((0..n as u32).filter(|&i| boundary[i as usize]));
         // (node, from, to, gain) in application order.
         moves.clear();
         let mut cum = 0i64;
         let mut best_cum = 0i64;
         let mut best_prefix = 0usize;
         loop {
-            // Best single move over unlocked boundary nodes.
+            // Best single move over unlocked boundary nodes. Ties break
+            // to the lowest node index, then the lowest target part —
+            // what an ascending scan with a strict `>` yields.
             let mut best: Option<(NodeId, usize, i64)> = None;
-            for i in 0..n {
-                if locked[i] || !boundary[i] {
-                    continue;
+            let mut write = 0;
+            for r in 0..active.len() {
+                let i = active[r] as usize;
+                if locked[i] {
+                    continue; // drop locked entries on the fly
                 }
+                active[write] = active[r];
+                write += 1;
                 let u = NodeId::new(i);
                 let from = p.part_of(u);
                 let wu = g.node_weight(u);
@@ -227,11 +362,19 @@ pub fn fm_refine_csr(g: &CsrGraph, p: &mut Partition, max_part_weight: i64, roun
                         continue;
                     }
                     let gain = c_to - conn_from;
-                    if best.is_none_or(|(_, _, g0)| gain > g0) {
+                    let better = match best {
+                        None => true,
+                        Some((u0, to0, g0)) => {
+                            gain > g0
+                                || (gain == g0 && (u.index() < u0.index() || (u == u0 && to < to0)))
+                        }
+                    };
+                    if better {
                         best = Some((u, to, gain));
                     }
                 }
             }
+            active.truncate(write);
             let Some((u, to, gain)) = best else { break };
             let from = p.part_of(u);
             let wu = g.node_weight(u);
@@ -242,7 +385,12 @@ pub fn fm_refine_csr(g: &CsrGraph, p: &mut Partition, max_part_weight: i64, roun
             locked[u.index()] = true;
             // The move may expose new boundary nodes.
             for &v in g.neighbors(u) {
-                boundary[v.index()] = true;
+                if !boundary[v.index()] {
+                    boundary[v.index()] = true;
+                    if !locked[v.index()] {
+                        active.push(v.index() as u32);
+                    }
+                }
             }
             cum += gain;
             moves.push((u, from, to, gain));

@@ -58,9 +58,10 @@ use crate::service::{
 };
 
 /// One stage-graph worker: pop ready stage tasks until shutdown *and*
-/// the queue is drained.
-pub(crate) fn stage_loop(shared: &Shared) {
-    while let Some((seq, mut state)) = shared.next_job() {
+/// the queue is drained. The worker index selects the class-scan order
+/// under [`QueuePolicy::WorkStealing`](crate::QueuePolicy).
+pub(crate) fn stage_loop(shared: &Shared, worker: usize) {
+    while let Some((seq, mut state)) = shared.next_job(worker) {
         let kind = state
             .stages
             .ready()

@@ -64,12 +64,15 @@
 //!
 //! The ready queue itself is policy-driven ([`QueuePolicy`]): the
 //! default [`QueuePolicy::PriorityFifo`] pops by priority then
-//! submission order, while [`QueuePolicy::DeepestStageFirst`] drains
+//! submission order, [`QueuePolicy::DeepestStageFirst`] drains
 //! work-in-progress first within a priority class — jobs with more
 //! satisfied stages pop before fresh jobs, cutting latency tails under
-//! mixed load. Neither policy (nor any cancellation interleaving) can
-//! change a surviving job's *result* — only when it runs
-//! (property-tested in `tests/proptest_lifecycle.rs`).
+//! mixed load — and [`QueuePolicy::WorkStealing`] affines each worker
+//! to a home priority class and lets idle workers steal from the other
+//! classes (descending priority) instead of contending on one shared
+//! order. No policy (nor any cancellation interleaving) can change a
+//! surviving job's *result* — only when it runs (property-tested in
+//! `tests/proptest_lifecycle.rs`).
 //!
 //! [`CompileSession`]: dc_mbqc::CompileSession
 
@@ -239,6 +242,19 @@ pub enum QueuePolicy {
     /// [`ExecutionEngine::JobLoop`] (whole jobs, depth always 0) this
     /// degenerates to [`QueuePolicy::PriorityFifo`].
     DeepestStageFirst,
+    /// Class-affined workers with steal fall-through: worker `i`'s
+    /// *home class* round-robins Interactive → Normal → Batch by index,
+    /// a pop scans the worker's home class first, and an idle worker
+    /// whose home class is empty *steals* from the remaining classes in
+    /// descending priority (so Batch backfill is stolen last, and only
+    /// when nothing more urgent is ready anywhere). With fewer than
+    /// three workers every class is still served — stealing is a scan
+    /// order, not a partition — and within one class jobs pop in
+    /// submission order exactly as under
+    /// [`QueuePolicy::PriorityFifo`]. The win is queue-contention
+    /// relief under mixed load: a Batch-affined worker drains backfill
+    /// without racing the interactive workers for the same heap top.
+    WorkStealing,
 }
 
 /// Per-job retry policy for *transient* failures.
@@ -615,11 +631,16 @@ struct ParkedJob {
 
 #[derive(Debug, Default)]
 pub(crate) struct QueueState {
-    /// Ready entries. May contain *stale* entries whose job was
+    /// Ready entries, one heap per priority class (indexed like
+    /// [`Priority::ALL`]). Splitting by class is order-preserving for
+    /// every policy — priority dominates the single-heap order, so
+    /// "pop the highest non-empty class" is the same sequence — and it
+    /// is what gives [`QueuePolicy::WorkStealing`] its per-worker scan
+    /// order for free. May contain *stale* entries whose job was
     /// cancelled while queued (the job is dropped from `jobs`
     /// immediately; the heap entry is skipped lazily at pop — a heap
     /// cannot remove from the middle in O(log n)).
-    ready: BinaryHeap<ReadyJob>,
+    ready: [BinaryHeap<ReadyJob>; 3],
     jobs: HashMap<u64, JobState>,
     /// Retries waiting out their backoff. Promoted back into `ready`
     /// by queue pops once due (workers `wait_timeout` until the
@@ -631,6 +652,37 @@ pub(crate) struct QueueState {
     /// back to the queue or finish — shutdown must wait for them).
     running: usize,
     shutdown: bool,
+}
+
+impl QueueState {
+    /// Queues a ready entry under its job's priority class.
+    fn push_ready(&mut self, entry: ReadyJob) {
+        self.ready[entry.priority as usize].push(entry);
+    }
+
+    /// Pops the best ready entry in the given class-scan order (every
+    /// scan covers all three classes, so `None` means the whole ready
+    /// queue is empty regardless of policy).
+    fn pop_ready(&mut self, scan: [usize; 3]) -> Option<ReadyJob> {
+        scan.into_iter().find_map(|class| self.ready[class].pop())
+    }
+}
+
+/// The class-scan order (indices into [`Priority::ALL`], visited first
+/// to last) the given worker uses at a pop. Under the global policies
+/// every worker scans descending priority; under
+/// [`QueuePolicy::WorkStealing`] the worker's home class comes first
+/// and the rest follow in descending priority — the steal fall-through.
+fn scan_order(policy: QueuePolicy, worker: usize) -> [usize; 3] {
+    const DESCENDING: [usize; 3] = [2, 1, 0];
+    match policy {
+        QueuePolicy::PriorityFifo | QueuePolicy::DeepestStageFirst => DESCENDING,
+        QueuePolicy::WorkStealing => match worker % 3 {
+            0 => [2, 1, 0], // home Interactive
+            1 => [1, 2, 0], // home Normal
+            _ => [0, 2, 1], // home Batch
+        },
+    }
 }
 
 /// A not-yet-terminal job's client-reachable state.
@@ -702,7 +754,7 @@ impl Shared {
         ReadyJob {
             priority: state.priority,
             depth: match self.policy {
-                QueuePolicy::PriorityFifo => 0,
+                QueuePolicy::PriorityFifo | QueuePolicy::WorkStealing => 0,
                 QueuePolicy::DeepestStageFirst => state.stages.depth(),
             },
             seq,
@@ -718,23 +770,27 @@ impl Shared {
     /// are skipped, a popped job whose token fired terminates
     /// `Cancelled`, and a popped job whose deadline lapsed terminates
     /// `Expired` — all without running a stage.
-    pub(crate) fn next_job(&self) -> Option<(u64, JobState)> {
+    pub(crate) fn next_job(&self, worker: usize) -> Option<(u64, JobState)> {
+        let scan = scan_order(self.policy, worker);
         let mut q = lock(&self.queue);
         loop {
-            // Promote parked retries whose backoff elapsed.
-            let now = Instant::now();
-            let mut i = 0;
-            while i < q.parked.len() {
-                if q.parked[i].due <= now {
-                    let p = q.parked.swap_remove(i);
-                    let entry = self.ready_entry(p.seq, &p.state);
-                    q.jobs.insert(p.seq, p.state);
-                    q.ready.push(entry);
-                } else {
-                    i += 1;
+            // Promote parked retries whose backoff elapsed. Guarded so
+            // the common retry-free pop pays no clock read and no scan.
+            if !q.parked.is_empty() {
+                let now = Instant::now();
+                let mut i = 0;
+                while i < q.parked.len() {
+                    if q.parked[i].due <= now {
+                        let p = q.parked.swap_remove(i);
+                        let entry = self.ready_entry(p.seq, &p.state);
+                        q.jobs.insert(p.seq, p.state);
+                        q.push_ready(entry);
+                    } else {
+                        i += 1;
+                    }
                 }
             }
-            if let Some(r) = q.ready.pop() {
+            if let Some(r) = q.pop_ready(scan) {
                 // Stale entry: the job was cancelled while queued (its
                 // result is already published).
                 let Some(state) = q.jobs.remove(&r.seq) else {
@@ -796,7 +852,7 @@ impl Shared {
         let entry = self.ready_entry(seq, &state);
         let mut q = lock(&self.queue);
         q.jobs.insert(seq, state);
-        q.ready.push(entry);
+        q.push_ready(entry);
         q.running -= 1;
         drop(q);
         self.queue_cv.notify_all();
@@ -928,8 +984,8 @@ impl CompileService {
                 std::thread::Builder::new()
                     .name(format!("mbqc-worker-{i}"))
                     .spawn(move || match engine {
-                        ExecutionEngine::StageGraph => executor::stage_loop(&shared),
-                        ExecutionEngine::JobLoop => job_loop(&shared),
+                        ExecutionEngine::StageGraph => executor::stage_loop(&shared, i),
+                        ExecutionEngine::JobLoop => job_loop(&shared, i),
                     })
                     .expect("spawn service worker")
             })
@@ -1003,7 +1059,7 @@ impl CompileService {
         let entry = self.shared.ready_entry(id.0, &state);
         let mut q = lock(&self.shared.queue);
         q.jobs.insert(id.0, state);
-        q.ready.push(entry);
+        q.push_ready(entry);
         drop(q);
         self.shared.queue_cv.notify_one();
         JobHandle { service: self, id }
@@ -1301,12 +1357,12 @@ pub(crate) fn probe_cache(
 /// One `JobLoop` worker: pop jobs until shutdown *and* the queue is
 /// empty, running each popped job's whole pipeline (the preserved PR 3
 /// shard loop).
-fn job_loop(shared: &Shared) {
+fn job_loop(shared: &Shared, worker: usize) {
     // The session (with all its stage workspaces) is kept across jobs
     // with the same effective configuration; the fingerprint ignores
     // worker-count knobs, which the worker overrides anyway.
     let mut session: Option<(Vec<u8>, CompileSession)> = None;
-    while let Some((seq, mut state)) = shared.next_job() {
+    while let Some((seq, mut state)) = shared.next_job(worker) {
         // Which stage a panic should be attributed to: the whole job
         // is one `catch_unwind` to this engine, so `run_job` marks
         // each stage as it enters it.
@@ -1583,6 +1639,71 @@ mod tests {
         }
         let order: Vec<u64> = std::iter::from_fn(|| heap.pop()).map(|r| r.seq).collect();
         assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    /// Every scan visits all three classes exactly once (stealing is a
+    /// scan *order*, never a partition — no class can starve), the
+    /// global policies scan descending priority for every worker, and
+    /// work stealing round-robins the home class by worker index.
+    #[test]
+    fn scan_orders_cover_all_classes_and_rotate_homes() {
+        for policy in [
+            QueuePolicy::PriorityFifo,
+            QueuePolicy::DeepestStageFirst,
+            QueuePolicy::WorkStealing,
+        ] {
+            for worker in 0..9 {
+                let mut scan = scan_order(policy, worker);
+                scan.sort_unstable();
+                assert_eq!(scan, [0, 1, 2], "{policy:?} worker {worker}");
+            }
+        }
+        for worker in 0..9 {
+            assert_eq!(
+                scan_order(QueuePolicy::PriorityFifo, worker),
+                [2, 1, 0],
+                "global policies ignore the worker index"
+            );
+        }
+        // Home classes rotate Interactive → Normal → Batch, and the
+        // steal fall-through after the home is descending priority.
+        assert_eq!(scan_order(QueuePolicy::WorkStealing, 0), [2, 1, 0]);
+        assert_eq!(scan_order(QueuePolicy::WorkStealing, 1), [1, 2, 0]);
+        assert_eq!(scan_order(QueuePolicy::WorkStealing, 2), [0, 2, 1]);
+        assert_eq!(
+            scan_order(QueuePolicy::WorkStealing, 3),
+            scan_order(QueuePolicy::WorkStealing, 0)
+        );
+    }
+
+    /// The class-split ready queue preserves the single-heap pop
+    /// sequence under a descending scan, and a stealing worker's scan
+    /// pops its home class first, then steals in descending priority.
+    #[test]
+    fn class_split_pop_matches_priority_order_and_steals_home_first() {
+        let mut q = QueueState::default();
+        q.push_ready(rj(Priority::Batch, 0, 0));
+        q.push_ready(rj(Priority::Interactive, 0, 1));
+        q.push_ready(rj(Priority::Normal, 0, 2));
+        q.push_ready(rj(Priority::Normal, 0, 3));
+        let descending = scan_order(QueuePolicy::PriorityFifo, 0);
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop_ready(descending))
+            .map(|r| r.seq)
+            .collect();
+        assert_eq!(order, vec![1, 2, 3, 0], "same sequence as one shared heap");
+
+        let mut q = QueueState::default();
+        q.push_ready(rj(Priority::Batch, 0, 0));
+        q.push_ready(rj(Priority::Interactive, 0, 1));
+        q.push_ready(rj(Priority::Normal, 0, 2));
+        // A Batch-affined worker drains its home class before stealing
+        // the more urgent classes (which its siblings would normally
+        // serve), and steals Interactive before Normal once idle.
+        let batch_home = scan_order(QueuePolicy::WorkStealing, 2);
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop_ready(batch_home))
+            .map(|r| r.seq)
+            .collect();
+        assert_eq!(order, vec![0, 1, 2]);
     }
 
     #[test]

@@ -3,9 +3,12 @@
 //!
 //! The headline property pins, for random [`FaultConfig`]s (injected
 //! disk IO errors, artifact byte corruption, task panics, stage
-//! delays) × engine {`JobLoop`, `StageGraph`} × workers {1, 2, 8} ×
-//! cache state {cold, warm/disk-restored}, with per-job retry
-//! policies:
+//! delays) × engine/queue-policy cells {`StageGraph`+`PriorityFifo`,
+//! `StageGraph`+`WorkStealing`, `JobLoop`+`WorkStealing`} × workers
+//! {1, 2, 8} × cache state {cold, warm/disk-restored}, with per-job
+//! retry policies (work stealing must stay fault-transparent: a stolen
+//! task retries, cancels, and publishes exactly like a home-class
+//! one):
 //!
 //! * the service never deadlocks — every `wait` returns;
 //! * every job reaches **exactly one** terminal state: `Done`, or
@@ -42,7 +45,7 @@ use mbqc_partition::Partition;
 use mbqc_pattern::{transpile::transpile, Pattern};
 use mbqc_service::{
     ArtifactKey, CompileService, ExecutionEngine, FaultConfig, FaultPlan, JobId, JobOptions,
-    RetryPolicy, ServiceConfig, ServiceError, StoreConfig,
+    QueuePolicy, RetryPolicy, ServiceConfig, ServiceError, StoreConfig,
 };
 use mbqc_util::Rng;
 use proptest::prelude::*;
@@ -156,8 +159,12 @@ proptest! {
                 .collect()
         };
         let mut plan_rng = Rng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9));
-        for engine in [ExecutionEngine::StageGraph, ExecutionEngine::JobLoop] {
-            // One disk dir per engine: workers=1 runs cold then warm;
+        for (engine, policy) in [
+            (ExecutionEngine::StageGraph, QueuePolicy::PriorityFifo),
+            (ExecutionEngine::StageGraph, QueuePolicy::WorkStealing),
+            (ExecutionEngine::JobLoop, QueuePolicy::WorkStealing),
+        ] {
+            // One disk dir per cell: workers=1 runs cold then warm;
             // workers=2/8 start disk-restored (possibly with files a
             // corrupting run left behind — they must read as misses).
             let dir = scratch_dir();
@@ -179,6 +186,7 @@ proptest! {
                 let service = CompileService::new(ServiceConfig {
                     workers,
                     engine,
+                    policy,
                     store: StoreConfig {
                         memory_capacity: 8 << 20,
                         disk_dir: Some(dir.clone()),
@@ -211,8 +219,8 @@ proptest! {
                     }
                     for &(id, i, max_attempts) in &jobs {
                         let what = format!(
-                            "engine={engine:?} workers={workers} round={round} \
-                             job={i} faults={fault_config:?}"
+                            "engine={engine:?} policy={policy:?} workers={workers} \
+                             round={round} job={i} faults={fault_config:?}"
                         );
                         let attempts =
                             service.attempts(id).expect("job known until taken");
@@ -247,7 +255,8 @@ proptest! {
                     }
                 }
                 let stats = service.stats();
-                let what = format!("engine={engine:?} workers={workers}");
+                let what =
+                    format!("engine={engine:?} policy={policy:?} workers={workers}");
                 prop_assert_eq!(
                     stats.completed + stats.cancelled + stats.expired,
                     stats.submitted,

@@ -2,8 +2,9 @@
 //! arbitrary points must never corrupt the service.
 //!
 //! The headline property pins, for engine {`JobLoop`, `StageGraph`} ×
-//! workers {1, 2, 8} × policy {`PriorityFifo`, `DeepestStageFirst`} ×
-//! cache state {cold, warm, disk-restored}, under a mixed workload
+//! workers {1, 2, 8} × policy {`PriorityFifo`, `DeepestStageFirst`,
+//! `WorkStealing`} × cache state {cold, warm, disk-restored}, under a
+//! mixed workload
 //! where jobs are cancelled (by id and by shared token) and expired
 //! (lazy deadlines) at random points:
 //!
@@ -198,7 +199,11 @@ proptest! {
         };
 
         for engine in [ExecutionEngine::StageGraph, ExecutionEngine::JobLoop] {
-            for policy in [QueuePolicy::PriorityFifo, QueuePolicy::DeepestStageFirst] {
+            for policy in [
+                QueuePolicy::PriorityFifo,
+                QueuePolicy::DeepestStageFirst,
+                QueuePolicy::WorkStealing,
+            ] {
                 // One disk dir per (engine, policy): workers=1 runs
                 // cold then warm; workers=2/8 start disk-restored.
                 let dir = scratch_dir();

@@ -1,0 +1,63 @@
+//! Allocation audit for the fused statevector fast path: once a
+//! [`FusionWorkspace`] is warm, applying a circuit must not allocate —
+//! not per gate, not per sweep. A counting global allocator pins it.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use mbqc_circuit::Circuit;
+use mbqc_sim::{FusionWorkspace, StateVector};
+
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn warm_fused_circuit_application_allocates_nothing() {
+    let n = 10;
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.h(q).t(q).s(q).rz(q, 0.37).h(q);
+        if q + 1 < n {
+            c.cz(q, q + 1);
+        }
+    }
+    let mut sv = StateVector::plus_state(n);
+    let mut ws = FusionWorkspace::new();
+    // Warm-up: sizes the per-qubit pending slots once.
+    sv.apply_circuit_with(&c, &mut ws);
+
+    ARMED.store(true, Ordering::SeqCst);
+    sv.apply_circuit_with(&c, &mut ws);
+    ARMED.store(false, Ordering::SeqCst);
+
+    let counted = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        counted, 0,
+        "fused fast path allocated {counted} times with a warm workspace"
+    );
+}

@@ -244,4 +244,143 @@ proptest! {
             boolean.is_stabilized_by(&x_bool)
         );
     }
+
+    #[test]
+    fn blocked_stabilizer_check_matches_probe_reference(
+        n in 2usize..70,
+        ops in 10usize..120,
+        trials in 1usize..6,
+        seed in 0u64..2000,
+    ) {
+        // The membership pin, three ways: the destabilizer-projection
+        // `is_stabilized_by`, the word-blocked elimination, and the
+        // probe-based reference must agree on random stabilizer states
+        // × (true members, sign-flipped members, random Paulis). Sizes
+        // beyond 64 qubits exercise multi-word rows.
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut t = stabilizer::Tableau::new(n);
+        for _ in 0..ops {
+            match rng.range(6) {
+                0 => t.h(rng.range(n)),
+                1 => t.s(rng.range(n)),
+                2 => t.x_gate(rng.range(n)),
+                3 => t.z_gate(rng.range(n)),
+                4 => {
+                    let a = rng.range(n);
+                    t.cnot(a, (a + 1 + rng.range(n - 1)) % n);
+                }
+                _ => {
+                    let a = rng.range(n);
+                    t.cz(a, (a + 1 + rng.range(n - 1)) % n);
+                }
+            }
+        }
+        // −I as a PauliString: (X·Z)² = (−iY)² = −I.
+        let minus_i_y = stabilizer::PauliString::single_x(n, 0)
+            .mul(&stabilizer::PauliString::single_z(n, 0));
+        let minus_one = minus_i_y.mul(&minus_i_y);
+        let gens = t.stabilizer_generators();
+        for _ in 0..trials {
+            // A true group member: random subset product of generators.
+            let mut member = stabilizer::PauliString::identity(n);
+            for g in &gens {
+                if rng.bernoulli(0.4) {
+                    member = member.mul(g);
+                }
+            }
+            prop_assert!(t.is_stabilized_by(&member));
+            prop_assert!(t.is_stabilized_by_elimination(&member));
+            prop_assert!(t.is_stabilized_by_reference(&member));
+            // Its sign flip: never a member (−P and +P can't both be).
+            let flipped = member.mul(&minus_one);
+            prop_assert_eq!(
+                t.is_stabilized_by(&flipped),
+                t.is_stabilized_by_reference(&flipped)
+            );
+            prop_assert_eq!(
+                t.is_stabilized_by_elimination(&flipped),
+                t.is_stabilized_by_reference(&flipped)
+            );
+            prop_assert!(!t.is_stabilized_by(&flipped), "−I is never a stabilizer");
+            // A random Pauli string: usually not a member.
+            let mut random = stabilizer::PauliString::identity(n);
+            for q in 0..n {
+                if rng.bernoulli(0.2) {
+                    random = random.mul(&stabilizer::PauliString::single_x(n, q));
+                }
+                if rng.bernoulli(0.2) {
+                    random = random.mul(&stabilizer::PauliString::single_z(n, q));
+                }
+            }
+            prop_assert_eq!(
+                t.is_stabilized_by(&random),
+                t.is_stabilized_by_reference(&random)
+            );
+            prop_assert_eq!(
+                t.is_stabilized_by_elimination(&random),
+                t.is_stabilized_by_reference(&random)
+            );
+        }
+    }
+
+    #[test]
+    fn fused_circuit_matches_sequential_application(
+        n in 1usize..7,
+        gates in 0usize..80,
+        seed in 0u64..2000,
+    ) {
+        // The gate-fusion pin: applying a random circuit through the
+        // fusing path must match gate-by-gate application within 1e-12
+        // per amplitude (fusion only reassociates the same f64
+        // products). Heavy on single-qubit runs so fusion actually
+        // composes matrices, with enough multi-qubit gates to exercise
+        // the flush boundaries.
+        use mbqc_circuit::Circuit;
+        use mbqc_sim::{FusionWorkspace, StateVector};
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut c = Circuit::new(n);
+        for _ in 0..gates {
+            let q = rng.range(n);
+            match rng.range(16) {
+                0 => c.h(q),
+                1 => c.x(q),
+                2 => c.y(q),
+                3 => c.z(q),
+                4 => c.s(q),
+                5 => c.sdg(q),
+                6 => c.t(q),
+                7 => c.tdg(q),
+                8 => c.rx(q, rng.next_f64() * 3.0),
+                9 => c.ry(q, rng.next_f64() * 3.0),
+                10 => c.rz(q, rng.next_f64() * 3.0),
+                11 => c.phase(q, rng.next_f64() * 3.0),
+                _ if n >= 2 => {
+                    let b = (q + 1 + rng.range(n - 1)) % n;
+                    match rng.range(4) {
+                        0 => c.cz(q, b),
+                        1 => c.cnot(q, b),
+                        2 => c.swap(q, b),
+                        _ => c.cphase(q, b, rng.next_f64() * 3.0),
+                    }
+                }
+                _ => c.h(q),
+            };
+        }
+        let mut fused = StateVector::plus_state(n);
+        let mut ws = FusionWorkspace::new();
+        fused.apply_circuit_with(&c, &mut ws);
+        let mut sequential = StateVector::plus_state(n);
+        sequential.apply_circuit_reference(&c);
+        for (i, (a, b)) in fused
+            .amplitudes()
+            .iter()
+            .zip(sequential.amplitudes())
+            .enumerate()
+        {
+            prop_assert!(
+                (*a - *b).is_near_zero(1e-12),
+                "amplitude {} diverged: {} vs {}", i, a, b
+            );
+        }
+    }
 }
