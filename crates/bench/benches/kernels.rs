@@ -428,6 +428,39 @@ fn bench_service(c: &mut Criterion) {
             }
         });
     });
+    // The same workload with full telemetry armed — flight recorder,
+    // a live service-wide subscriber on a drainer thread, and a
+    // Chrome-trace export of the capture (tracked as
+    // `end_to_end/telemetry_churn` in BENCH_kernels.json; the dormant
+    // side of that pair is `pipelined_batch_executor` shaped work with
+    // telemetry configured off, i.e. one relaxed atomic per emit site).
+    group.bench_function("telemetry_churn", |b| {
+        b.iter(|| {
+            let service = CompileService::new(ServiceConfig {
+                workers: 0,
+                telemetry: mbqc_service::TelemetryConfig {
+                    flight_recorder: 256,
+                    ..mbqc_service::TelemetryConfig::default()
+                },
+                ..ServiceConfig::default()
+            })
+            .expect("service starts");
+            let stream = service.subscribe_with_capacity(4096);
+            let drainer = std::thread::spawn(move || {
+                let mut events = Vec::new();
+                while let Some(ev) = stream.recv() {
+                    events.push(ev);
+                }
+                events
+            });
+            for id in service.submit_many(&patterns, &config) {
+                service.wait(id).expect("service compiles");
+            }
+            drop(service);
+            let events = drainer.join().expect("drainer exits");
+            std::hint::black_box(mbqc_service::chrome_trace_json(&events).len());
+        });
+    });
     group.finish();
 }
 

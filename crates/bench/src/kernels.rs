@@ -599,6 +599,75 @@ pub fn measure_kernels(reps: usize) -> Vec<KernelResult> {
         });
     }
 
+    // End-to-end: the telemetry machinery. Both sides compile the same
+    // ten jobs on a cold single-worker service. The baseline service is
+    // dormant — no subscriber, no flight recorder — so every emit site
+    // costs exactly one relaxed atomic load (this is the zero-cost
+    // contract the ratio pins at ~1.0×). The optimized side arms
+    // everything: a flight recorder, a service-wide subscriber drained
+    // from a live background thread, and a Chrome-trace export of the
+    // capture after the batch drains.
+    {
+        let jobs: Vec<_> = [10usize, 12, 11, 13, 10, 12, 11, 13, 10, 12]
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let kinds = mbqc_circuit::bench::BenchmarkKind::all();
+                transpile(&kinds[i % kinds.len()].generate(n, 1))
+            })
+            .collect();
+        let hw = DistributedHardware::builder()
+            .num_qpus(4)
+            .grid_width(bench::grid_size_for(16))
+            .resource_state(ResourceStateKind::FIVE_STAR)
+            .kmax(4)
+            .build();
+        let config = DcMbqcConfig::new(hw);
+        let fresh = |recorder: usize| {
+            CompileService::new(ServiceConfig {
+                workers: 1,
+                telemetry: mbqc_service::TelemetryConfig {
+                    flight_recorder: recorder,
+                    ..mbqc_service::TelemetryConfig::default()
+                },
+                ..ServiceConfig::default()
+            })
+            .expect("service starts")
+        };
+        let (baseline_ns, optimized_ns) = measure_pair(
+            || {
+                let service = fresh(0);
+                for id in service.submit_many(&jobs, &config) {
+                    std::hint::black_box(service.wait(id).expect("job compiles"));
+                }
+            },
+            || {
+                let service = fresh(256);
+                let stream = service.subscribe_with_capacity(4096);
+                let drainer = std::thread::spawn(move || {
+                    let mut events = Vec::new();
+                    while let Some(ev) = stream.recv() {
+                        events.push(ev);
+                    }
+                    events
+                });
+                for id in service.submit_many(&jobs, &config) {
+                    std::hint::black_box(service.wait(id).expect("job compiles"));
+                }
+                drop(service); // closes the stream; the drainer ends
+                let events = drainer.join().expect("drainer exits");
+                let trace = mbqc_service::chrome_trace_json(&events);
+                std::hint::black_box(trace.len());
+            },
+            reps,
+        );
+        results.push(KernelResult {
+            name: "end_to_end/telemetry_churn",
+            baseline_ns,
+            optimized_ns,
+        });
+    }
+
     // Statevector single-qubit kernels, on a cache-resident 14-qubit
     // register so the loop structure (not DRAM bandwidth) is measured:
     // a Hadamard sweep through the general 2×2 path…

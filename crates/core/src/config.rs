@@ -25,6 +25,19 @@ pub enum PipelineStage {
     Schedule,
 }
 
+impl PipelineStage {
+    /// Human-readable stage name, used by telemetry events and trace
+    /// export.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PipelineStage::Partition => "partition",
+            PipelineStage::Map => "map",
+            PipelineStage::Schedule => "schedule",
+        }
+    }
+}
+
 /// Configuration of the full DC-MBQC pipeline.
 ///
 /// Defaults follow the paper's evaluation setup (Section V-A):

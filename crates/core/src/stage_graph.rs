@@ -62,7 +62,23 @@ impl StageKind {
         }
     }
 
-    fn index(self) -> usize {
+    /// Human-readable stage name, used by telemetry events, trace
+    /// export, and stats tables.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            StageKind::Transpile => "transpile",
+            StageKind::Partition => "partition",
+            StageKind::Map => "map",
+            StageKind::Schedule => "schedule",
+        }
+    }
+
+    /// Position of this stage in [`StageKind::ALL`] — the index used by
+    /// per-stage stats arrays (e.g. `ServiceStats::stage_latency` in
+    /// `mbqc-service`).
+    #[must_use]
+    pub fn index(self) -> usize {
         self as usize
     }
 }

@@ -47,15 +47,16 @@ use std::time::Instant;
 
 use dc_mbqc::{
     map_stage, partition_stage, schedule_stage, DcMbqcError, DistributedSchedule, Mapped,
-    Partitioned, StageKind, Transpiled, WorkspacePool,
+    Partitioned, PipelineStage, StageKind, Transpiled, WorkspacePool,
 };
 use mbqc_partition::Partition;
 use mbqc_util::sync::lock;
 
 use crate::service::{
     decode_mapped, encode_mapped, internal_error, part_nodes_of, partition_fits, probe_cache,
-    programs_fit, CacheEntry, JobState, ServiceError, Shared, StageKeys,
+    programs_fit, CacheEntry, JobId, JobState, ServiceError, Shared, StageKeys,
 };
+use crate::telemetry::EventKind;
 
 /// One stage-graph worker: pop ready stage tasks until shutdown *and*
 /// the queue is drained. The worker index selects the class-scan order
@@ -66,6 +67,17 @@ pub(crate) fn stage_loop(shared: &Shared, worker: usize) {
             .stages
             .ready()
             .expect("queued job has a ready stage task");
+        let job = JobId(seq);
+        let attempt = state.attempt;
+        if shared.telemetry.armed() {
+            shared.telemetry.emit(
+                Some(job),
+                EventKind::TaskStarted {
+                    stage: kind,
+                    attempt,
+                },
+            );
+        }
         let start = Instant::now();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             // Fault-injection boundary (compiled out without the
@@ -76,12 +88,34 @@ pub(crate) fn stage_loop(shared: &Shared, worker: usize) {
                 std::thread::sleep(delay);
             }
             shared.faults.maybe_panic(kind);
-            run_stage_task(shared, &mut state, kind)
+            run_stage_task(shared, job, &mut state, kind)
         }));
-        state.latency_ns += start.elapsed().as_nanos() as u64;
+        let elapsed_ns = start.elapsed().as_nanos() as u64;
+        state.latency_ns += elapsed_ns;
         {
             let mut c = lock(&shared.counters);
             c.tasks_executed += 1;
+        }
+        if outcome.is_ok() {
+            // Panicked tasks record nothing: their duration measures
+            // where the panic fired, not what the stage costs.
+            shared.metrics.stage[kind.index()].record(elapsed_ns);
+            if kind == StageKind::Transpile && matches!(outcome, Ok(Ok(Some(_)))) {
+                // The planning task short-circuited on a `Scheduled`
+                // artifact: its duration *is* the warm-hit serving
+                // latency.
+                shared.metrics.warm_hit.record(elapsed_ns);
+            }
+            if shared.telemetry.armed() {
+                shared.telemetry.emit(
+                    Some(job),
+                    EventKind::TaskFinished {
+                        stage: kind,
+                        attempt,
+                        duration_ns: elapsed_ns,
+                    },
+                );
+            }
         }
         match outcome {
             Ok(Ok(Some(result))) => shared.finish_job(seq, Ok(result), state.latency_ns),
@@ -119,14 +153,15 @@ impl Drop for DiscardOnUnwind<'_> {
 /// job's final result; `Ok(None)` means the next stage task is ready.
 fn run_stage_task(
     shared: &Shared,
+    job: JobId,
     state: &mut JobState,
     kind: StageKind,
 ) -> Result<Option<DistributedSchedule>, DcMbqcError> {
     match kind {
-        StageKind::Transpile => transpile_task(shared, state),
-        StageKind::Partition => partition_task(shared, state),
-        StageKind::Map => map_task(shared, state),
-        StageKind::Schedule => schedule_task(shared, state),
+        StageKind::Transpile => transpile_task(shared, job, state),
+        StageKind::Partition => partition_task(shared, job, state),
+        StageKind::Map => map_task(shared, job, state),
+        StageKind::Schedule => schedule_task(shared, job, state),
     }
 }
 
@@ -134,10 +169,11 @@ fn run_stage_task(
 /// deepest-artifact-first, fast-forwarding past answered stages.
 fn transpile_task(
     shared: &Shared,
+    job: JobId,
     state: &mut JobState,
 ) -> Result<Option<DistributedSchedule>, DcMbqcError> {
     let keys = StageKeys::new(&state.pattern, &state.config);
-    let entry = probe_cache(shared, &keys, &state.pattern, &state.config);
+    let entry = probe_cache(shared, job, &keys, &state.pattern, &state.config);
     state.keys = Some(keys);
     if let CacheEntry::Scheduled(s) = entry {
         // Terminal hit: the job never runs another task (the flow
@@ -168,6 +204,7 @@ fn transpile_task(
 /// workspace.
 fn partition_task(
     shared: &Shared,
+    job: JobId,
     state: &mut JobState,
 ) -> Result<Option<DistributedSchedule>, DcMbqcError> {
     let keys = state.keys.as_ref().expect("planning task ran first");
@@ -177,6 +214,14 @@ fn partition_task(
         if let Ok(p) = Partition::from_bytes(&bytes) {
             if partition_fits(&p, &state.pattern, &state.config) {
                 lock(&shared.counters).task_store_hits += 1;
+                if shared.telemetry.armed() {
+                    shared.telemetry.emit(
+                        Some(job),
+                        EventKind::CacheHit {
+                            stage: PipelineStage::Partition,
+                        },
+                    );
+                }
                 state.partition = Some(p);
                 state.stages.complete(StageKind::Partition);
                 return Ok(None);
@@ -219,6 +264,7 @@ fn partition_task(
 /// bundle.
 fn map_task(
     shared: &Shared,
+    job: JobId,
     state: &mut JobState,
 ) -> Result<Option<DistributedSchedule>, DcMbqcError> {
     let keys = state.keys.as_ref().expect("planning task ran first");
@@ -226,6 +272,14 @@ fn map_task(
         if let Ok((p, programs)) = decode_mapped(&bytes) {
             if partition_fits(&p, &state.pattern, &state.config) && programs_fit(&p, &programs) {
                 lock(&shared.counters).task_store_hits += 1;
+                if shared.telemetry.armed() {
+                    shared.telemetry.emit(
+                        Some(job),
+                        EventKind::CacheHit {
+                            stage: PipelineStage::Map,
+                        },
+                    );
+                }
                 // The adopted partition replaces whatever the partition
                 // task computed; the cached derivation belongs to the
                 // *old* partition, so drop it — the schedule task must
@@ -271,12 +325,21 @@ fn map_task(
 /// produces the job's result.
 fn schedule_task(
     shared: &Shared,
+    job: JobId,
     state: &mut JobState,
 ) -> Result<Option<DistributedSchedule>, DcMbqcError> {
     let keys = state.keys.as_ref().expect("planning task ran first");
     if let Some(bytes) = shared.store.get(&keys.sched) {
         if let Ok(s) = DistributedSchedule::from_bytes(&bytes) {
             lock(&shared.counters).task_store_hits += 1;
+            if shared.telemetry.armed() {
+                shared.telemetry.emit(
+                    Some(job),
+                    EventKind::CacheHit {
+                        stage: PipelineStage::Schedule,
+                    },
+                );
+            }
             state.stages.complete(StageKind::Schedule);
             return Ok(Some(s));
         }

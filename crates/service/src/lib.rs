@@ -260,6 +260,89 @@
 //! and no torn bytes under every plan. With the feature off (the
 //! default) the injection sites compile to nothing.
 //!
+//! ## Observability
+//!
+//! Three layers, all hand-rolled (the build box is offline):
+//!
+//! * **Event streams.** Every lifecycle transition emits a
+//!   [`TelemetryEvent`] — submitted, stage task started/finished,
+//!   cache hit, retry scheduled, quarantine opened/closed, terminal —
+//!   with a monotonic timestamp and a gap-free per-job sequence
+//!   number. Subscribe service-wide ([`CompileService::subscribe`]) or
+//!   per-job ([`CompileService::submit_observed`] for a
+//!   guaranteed-complete stream, [`JobHandle::events`] for
+//!   from-now-on). Streams are bounded channels: a slow or abandoned
+//!   subscriber overflows (counted, [`EventStream::dropped`]) or is
+//!   pruned — it never blocks a worker. **Emission is zero-cost when
+//!   nobody listens**: with no subscriber and no flight recorder, an
+//!   emit site is one relaxed atomic load (pinned ~1.0× by the tracked
+//!   `end_to_end/telemetry_churn` kernel).
+//! * **Latency histograms.** Always-on `mbqc_util::metrics` log-bucketed
+//!   histograms (relaxed atomics, ≤12.5% relative quantile error)
+//!   record per-stage execution latency, queue wait, and warm-hit
+//!   serving latency under both engines; [`CompileService::stats`]
+//!   exports them as p50/p95/p99 [`ServiceStats::stage_latency`] /
+//!   [`ServiceStats::queue_wait`] / [`ServiceStats::warm_hit`]
+//!   summaries.
+//! * **Flight recorder and traces.** [`TelemetryConfig::flight_recorder`]
+//!   keeps the last N events in a ring ([`CompileService::flight_recorder`])
+//!   — the lifecycle/chaos proptests dump it on failure. Any captured
+//!   event slice renders to Chrome trace-event JSON
+//!   ([`chrome_trace_json`], schema-checked by
+//!   [`validate_chrome_trace`]) as a job → attempt → stage-task span
+//!   tree for `chrome://tracing` / Perfetto; the `service_demo`
+//!   example's `--trace <path>` flag writes one.
+//!
+//! A complete per-job stream, and the quantile summaries:
+//!
+//! ```
+//! use dc_mbqc::DcMbqcConfig;
+//! use mbqc_circuit::bench;
+//! use mbqc_hardware::{DistributedHardware, ResourceStateKind};
+//! use mbqc_pattern::transpile::transpile;
+//! use mbqc_service::{
+//!     CompileService, EventKind, JobOptions, ServiceConfig, TerminalState,
+//! };
+//!
+//! let hw = DistributedHardware::builder()
+//!     .num_qpus(2)
+//!     .grid_width(bench::grid_size_for(8))
+//!     .resource_state(ResourceStateKind::FIVE_STAR)
+//!     .kmax(4)
+//!     .build();
+//! let config = DcMbqcConfig::new(hw);
+//! let service = CompileService::new(ServiceConfig {
+//!     workers: 1,
+//!     ..ServiceConfig::default()
+//! })
+//! .unwrap();
+//!
+//! // A per-job stream registered before the job's first event.
+//! let (handle, events) = service.submit_observed(
+//!     transpile(&bench::qft(8)),
+//!     config,
+//!     JobOptions::default(),
+//! );
+//! handle.wait().unwrap();
+//!
+//! // `wait` returning implies the terminal event is already delivered:
+//! // the stream drains Submitted → 4 × (TaskStarted, TaskFinished) →
+//! // Terminal, gap-free.
+//! let captured: Vec<_> = events.collect();
+//! assert!(matches!(captured[0].kind, EventKind::Submitted { .. }));
+//! assert!(matches!(
+//!     captured.last().unwrap().kind,
+//!     EventKind::Terminal { state: TerminalState::Done }
+//! ));
+//! assert!(captured.iter().enumerate().all(|(i, e)| e.seq as usize == i));
+//!
+//! // The always-on histograms: every executed stage left a sample.
+//! let stats = service.stats();
+//! assert!(stats.stage_latency.iter().all(|s| s.count == 1), "{stats:?}");
+//! assert!(stats.queue_wait.count >= 1);
+//! assert!(stats.queue_wait.p50 <= stats.queue_wait.p99);
+//! ```
+//!
 //! # Example
 //!
 //! An interactive job submitted after a pile of batch work still pops
@@ -312,11 +395,15 @@ pub mod executor;
 pub mod fault;
 pub mod service;
 pub mod store;
+pub mod telemetry;
 
 pub use dc_mbqc::{PipelineStage, StageKind};
 pub use fault::{FaultConfig, FaultPlan, InjectedFault};
 pub use service::{
     CancelToken, CompileService, ExecutionEngine, JobHandle, JobId, JobOptions, Priority,
-    QueuePolicy, RetryPolicy, ServiceConfig, ServiceError, ServiceStats,
+    QueuePolicy, RetryPolicy, ServiceConfig, ServiceError, ServiceStats, TelemetryConfig,
 };
 pub use store::{ArtifactKey, ArtifactStore, StoreConfig, StoreStats};
+pub use telemetry::{
+    chrome_trace_json, validate_chrome_trace, EventKind, EventStream, TelemetryEvent, TerminalState,
+};

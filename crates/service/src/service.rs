@@ -92,9 +92,12 @@ use mbqc_pattern::Pattern;
 use mbqc_util::codec::{CodecError, Decoder, Encoder};
 use mbqc_util::sync::{lock, wait, wait_timeout};
 
+use mbqc_util::metrics::{Histogram, Summary};
+
 use crate::executor;
 use crate::fault::FaultPlan;
 use crate::store::{ArtifactKey, ArtifactStore, StoreConfig, StoreStats};
+use crate::telemetry::{EventKind, EventStream, TelemetryEvent, TelemetryHub, TerminalState};
 
 /// Handle of a submitted compilation job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -396,6 +399,37 @@ pub struct ServiceConfig {
     /// [`StoreConfig::faults`](crate::StoreConfig) — pass clones of
     /// one plan to both to drive them from a single seed.
     pub faults: FaultPlan,
+    /// Telemetry knobs (flight-recorder capacity, subscription-channel
+    /// bound). The defaults keep the hub dormant: no recorder, and no
+    /// cost beyond one relaxed atomic check per emit site until
+    /// somebody subscribes.
+    pub telemetry: TelemetryConfig,
+}
+
+/// Telemetry configuration (see the crate-level "Observability"
+/// section).
+#[derive(Debug, Clone)]
+pub struct TelemetryConfig {
+    /// Capacity (in events) of the flight recorder — the ring buffer of
+    /// most-recent events [`CompileService::flight_recorder`] snapshots.
+    /// `0` (the default) disables it; a non-zero capacity keeps the
+    /// telemetry hub permanently armed, so every event pays the
+    /// recording cost even with no subscriber.
+    pub flight_recorder: usize,
+    /// Default capacity of subscription channels
+    /// ([`CompileService::subscribe`], [`JobHandle::events`]). A full
+    /// channel drops events (counted on [`EventStream::dropped`])
+    /// rather than blocking the emitting worker.
+    pub channel_capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            flight_recorder: 0,
+            channel_capacity: 1024,
+        }
+    }
 }
 
 /// Aggregate service counters (a consistent snapshot).
@@ -438,11 +472,34 @@ pub struct ServiceStats {
     pub hits_partitioned: u64,
     /// Jobs that ran the full pipeline.
     pub full_compiles: u64,
-    /// Total in-worker latency across completed jobs, nanoseconds (the
-    /// sum of a job's stage-task execution times under the stage-graph
-    /// engine; queue wait is excluded in both engines; cancelled and
-    /// expired jobs are excluded).
+    /// Total in-worker latency across *successful* jobs, nanoseconds —
+    /// the sum of each job's stage execution times (stage tasks under
+    /// the stage-graph engine, stage segments under the whole-job
+    /// loop; see [`ServiceStats::stage_latency`] for the residual
+    /// difference). Queue wait is excluded in both engines; failed,
+    /// cancelled, and expired jobs contribute nothing (a failed job's
+    /// partial latency is not a meaningful service time).
     pub total_latency_ns: u64,
+    /// Per-stage execution-latency summaries (p50/p95/p99, ns),
+    /// indexed like [`StageKind::ALL`]. Both engines record here: the
+    /// stage-graph engine times each stage *task*, the whole-job loop
+    /// times each stage *segment* of `run_job` — the two agree on
+    /// stage cost, but segment timings additionally include the
+    /// inter-stage glue (cache re-checks, artifact encodes) that the
+    /// stage-graph engine counts inside its task spans anyway.
+    /// Recorded for every executed stage, whatever the job's eventual
+    /// terminal state; panicked executions record nothing.
+    pub stage_latency: [Summary; 4],
+    /// Queue-wait summary (ns): time from a job's (re-)enqueue to the
+    /// pop that ran it. One sample per executed task/segment batch
+    /// pop, both engines; a parked retry's wait counts from its
+    /// promotion back into the ready queue, not from first submit.
+    pub queue_wait: Summary,
+    /// Warm-hit latency summary (ns): time to answer a job entirely
+    /// from a cached `Scheduled` artifact (the planning stage's
+    /// duration when it short-circuits). The cache's serving latency,
+    /// as opposed to the compile latencies above.
+    pub warm_hit: Summary,
     /// Stage workspaces currently checked out of the shared pool
     /// (stage-graph engine). 0 whenever no task is running; a leak on
     /// the cancellation/abandon path would show up here
@@ -457,22 +514,42 @@ pub struct ServiceStats {
 }
 
 impl ServiceStats {
-    /// Fraction of completed jobs answered entirely from cache.
+    /// Jobs that completed *successfully* (`completed` minus `failed`)
+    /// — the denominator for [`hit_rate`](Self::hit_rate) and
+    /// [`mean_latency_ns`](Self::mean_latency_ns), since failed jobs
+    /// count as completed but contribute no useful latency and can
+    /// never be cache hits.
     #[must_use]
-    pub fn hit_rate(&self) -> f64 {
-        if self.completed == 0 {
-            return 0.0;
-        }
-        self.hits_scheduled as f64 / self.completed as f64
+    pub fn succeeded(&self) -> u64 {
+        self.completed.saturating_sub(self.failed)
     }
 
-    /// Mean in-worker latency per completed job, nanoseconds.
+    /// Fraction of *successful* jobs answered entirely from cache
+    /// (`hits_scheduled / succeeded`). Failed jobs are excluded from
+    /// the denominator: a job that fails cannot have been a
+    /// `Scheduled` hit, so including it would understate the cache's
+    /// effectiveness on the traffic it can actually serve.
     #[must_use]
-    pub fn mean_latency_ns(&self) -> f64 {
-        if self.completed == 0 {
+    pub fn hit_rate(&self) -> f64 {
+        let succeeded = self.succeeded();
+        if succeeded == 0 {
             return 0.0;
         }
-        self.total_latency_ns as f64 / self.completed as f64
+        self.hits_scheduled as f64 / succeeded as f64
+    }
+
+    /// Mean in-worker latency per *successful* job, nanoseconds
+    /// (`total_latency_ns / succeeded`). Failed jobs are excluded from
+    /// both numerator and denominator — before this was fixed, each
+    /// failure silently dragged the mean toward zero because it
+    /// inflated the denominator while contributing no latency.
+    #[must_use]
+    pub fn mean_latency_ns(&self) -> f64 {
+        let succeeded = self.succeeded();
+        if succeeded == 0 {
+            return 0.0;
+        }
+        self.total_latency_ns as f64 / succeeded as f64
     }
 }
 
@@ -595,7 +672,7 @@ impl JobState {
 /// task. Max-heap order: higher priority first, then pipeline depth
 /// (always 0 under [`QueuePolicy::PriorityFifo`], so the term is
 /// inert), then submission order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy)]
 struct ReadyJob {
     priority: Priority,
     /// Satisfied-stage count at push time under
@@ -603,6 +680,10 @@ struct ReadyJob {
     /// [`QueuePolicy::PriorityFifo`].
     depth: u32,
     seq: u64,
+    /// Push time, for the queue-wait histogram (never part of the heap
+    /// order). A parked retry is re-stamped at promotion, so its
+    /// sample measures wait since re-entering the ready queue.
+    enqueued: Instant,
 }
 
 impl Ord for ReadyJob {
@@ -619,6 +700,14 @@ impl PartialOrd for ReadyJob {
         Some(self.cmp(other))
     }
 }
+
+impl PartialEq for ReadyJob {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for ReadyJob {}
 
 /// A retry waiting out its backoff: the job re-enters the ready queue
 /// at `due`.
@@ -712,6 +801,12 @@ struct ResultState {
 
 #[derive(Debug, Default)]
 pub(crate) struct Counters {
+    /// Jobs submitted. Counted under this lock (not the id allocator)
+    /// so a [`CompileService::stats`] snapshot sees `submitted` and
+    /// the terminal counters at one consistent instant —
+    /// `completed + cancelled + expired <= submitted` holds in every
+    /// snapshot.
+    pub(crate) submitted: u64,
     pub(crate) completed: u64,
     pub(crate) failed: u64,
     pub(crate) retries: u64,
@@ -727,6 +822,20 @@ pub(crate) struct Counters {
     pub(crate) total_latency_ns: u64,
 }
 
+/// Always-on latency histograms (snapshotted into
+/// [`ServiceStats::stage_latency`] & co). Recording is a handful of
+/// relaxed atomic adds — cheap enough to run unconditionally, unlike
+/// event emission which is gated on [`TelemetryHub::armed`].
+#[derive(Debug, Default)]
+pub(crate) struct ServiceMetrics {
+    /// Stage execution latency, indexed like [`StageKind::ALL`].
+    pub(crate) stage: [Histogram; 4],
+    /// Enqueue → pop wait.
+    pub(crate) queue_wait: Histogram,
+    /// `Scheduled`-hit serving latency.
+    pub(crate) warm_hit: Histogram,
+}
+
 #[derive(Debug)]
 pub(crate) struct Shared {
     pub(crate) queue: Mutex<QueueState>,
@@ -735,7 +844,13 @@ pub(crate) struct Shared {
     results_cv: Condvar,
     pub(crate) store: ArtifactStore,
     pub(crate) counters: Mutex<Counters>,
-    submitted: AtomicU64,
+    /// Job-id allocator only; the `submitted` *statistic* lives in
+    /// [`Counters`] so stats snapshots stay consistent.
+    next_id: AtomicU64,
+    /// Event fan-out (dormant unless subscribed / recording).
+    pub(crate) telemetry: Arc<TelemetryHub>,
+    /// Always-on latency histograms.
+    pub(crate) metrics: ServiceMetrics,
     /// Stage workspaces checked out per task (stage-graph engine).
     pub(crate) pool: WorkspacePool,
     /// `> 1` pins each job's inner stage parallelism to one thread
@@ -758,6 +873,7 @@ impl Shared {
                 QueuePolicy::DeepestStageFirst => state.stages.depth(),
             },
             seq,
+            enqueued: Instant::now(),
         }
     }
 
@@ -806,6 +922,10 @@ impl Shared {
                 match verdict {
                     None => {
                         q.running += 1;
+                        drop(q);
+                        self.metrics
+                            .queue_wait
+                            .record(r.enqueued.elapsed().as_nanos() as u64);
                         return Some((r.seq, state));
                     }
                     Some(err) => {
@@ -873,6 +993,19 @@ impl Shared {
                 Ok(_) => c.completed += 1,
             }
         }
+        // Emit the terminal event *before* publishing the result:
+        // once `wait` returns, the event is already in every
+        // subscriber's buffer (and the per-job stream is closed).
+        if self.telemetry.armed() {
+            let state = match &result {
+                Ok(_) => TerminalState::Done,
+                Err(ServiceError::Cancelled(_)) => TerminalState::Cancelled,
+                Err(ServiceError::Expired(_)) => TerminalState::Expired,
+                Err(_) => TerminalState::Failed,
+            };
+            self.telemetry
+                .emit(Some(JobId(seq)), EventKind::Terminal { state });
+        }
         let mut results = lock(&self.results);
         let id = JobId(seq);
         let attempts = results
@@ -899,12 +1032,11 @@ impl Shared {
             q.running -= 1;
         }
         self.queue_cv.notify_all();
-        match &result {
-            Err(ServiceError::Cancelled(_) | ServiceError::Expired(_)) => {}
-            _ => {
-                // Latency counts only for jobs that ran to an end.
-                lock(&self.counters).total_latency_ns += latency_ns;
-            }
+        // Latency counts only for jobs that succeeded — failed jobs
+        // inflate `completed` but would poison the mean with partial
+        // pipelines (see `ServiceStats::mean_latency_ns`).
+        if result.is_ok() {
+            lock(&self.counters).total_latency_ns += latency_ns;
         }
         self.publish_terminal(seq, result);
     }
@@ -926,8 +1058,18 @@ impl Shared {
         state.attempt += 1;
         state.attempts.store(state.attempt, Ordering::Relaxed);
         state.reset_for_retry();
-        let due = Instant::now() + state.retry.delay_before(state.attempt);
+        let delay = state.retry.delay_before(state.attempt);
+        let due = Instant::now() + delay;
         lock(&self.counters).retries += 1;
+        if self.telemetry.armed() {
+            self.telemetry.emit(
+                Some(JobId(seq)),
+                EventKind::RetryScheduled {
+                    attempt: state.attempt,
+                    delay_ns: delay.as_nanos() as u64,
+                },
+            );
+        }
         let mut q = lock(&self.queue);
         q.parked.push(ParkedJob { due, seq, state });
         q.running -= 1;
@@ -964,14 +1106,23 @@ impl CompileService {
         } else {
             config.workers
         };
+        let telemetry = Arc::new(TelemetryHub::new(
+            config.telemetry.flight_recorder,
+            config.telemetry.channel_capacity,
+        ));
+        let store = ArtifactStore::new(config.store)?;
+        // The store emits quarantine transitions through the same hub.
+        store.attach_telemetry(Arc::clone(&telemetry));
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueState::default()),
             queue_cv: Condvar::new(),
             results: Mutex::new(ResultState::default()),
             results_cv: Condvar::new(),
-            store: ArtifactStore::new(config.store)?,
+            store,
             counters: Mutex::new(Counters::default()),
-            submitted: AtomicU64::new(0),
+            next_id: AtomicU64::new(0),
+            telemetry,
+            metrics: ServiceMetrics::default(),
             pool: WorkspacePool::new(),
             workers,
             policy: config.policy,
@@ -1037,6 +1188,33 @@ impl CompileService {
         config: DcMbqcConfig,
         options: JobOptions,
     ) -> JobHandle<'_> {
+        self.submit_inner(pattern, config, options, false).0
+    }
+
+    /// Like [`submit_with`](Self::submit_with), but also returns a
+    /// per-job [`EventStream`] registered *before* the job's first
+    /// event — the stream is guaranteed complete, from
+    /// [`EventKind::Submitted`] (`seq` 0) through
+    /// [`EventKind::Terminal`], with no subscription race.
+    /// ([`JobHandle::events`] by contrast observes from the moment it
+    /// is called.)
+    pub fn submit_observed(
+        &self,
+        pattern: Pattern,
+        config: DcMbqcConfig,
+        options: JobOptions,
+    ) -> (JobHandle<'_>, EventStream) {
+        let (handle, events) = self.submit_inner(pattern, config, options, true);
+        (handle, events.expect("observed submit registers a stream"))
+    }
+
+    fn submit_inner(
+        &self,
+        pattern: Pattern,
+        config: DcMbqcConfig,
+        options: JobOptions,
+        observed: bool,
+    ) -> (JobHandle<'_>, Option<EventStream>) {
         let JobOptions {
             priority,
             deadline,
@@ -1046,7 +1224,7 @@ impl CompileService {
         let cancel = cancel.unwrap_or_default();
         let deadline = deadline.map(|d| Instant::now() + d);
         let attempts = Arc::new(AtomicU32::new(1));
-        let id = JobId(self.shared.submitted.fetch_add(1, Ordering::Relaxed));
+        let id = JobId(self.shared.next_id.fetch_add(1, Ordering::Relaxed));
         lock(&self.shared.results).pending.insert(
             id,
             PendingJob {
@@ -1054,7 +1232,20 @@ impl CompileService {
                 attempts: Arc::clone(&attempts),
             },
         );
-        lock(&self.shared.counters).submitted_by_priority[priority as usize] += 1;
+        {
+            let mut c = lock(&self.shared.counters);
+            c.submitted += 1;
+            c.submitted_by_priority[priority as usize] += 1;
+        }
+        // Register the observer and emit `Submitted` before the job
+        // becomes poppable, so no event can precede the subscription
+        // and `Submitted` is always seq 0.
+        let events = observed.then(|| self.shared.telemetry.subscribe(Some(id), None));
+        if self.shared.telemetry.armed() {
+            self.shared
+                .telemetry
+                .emit(Some(id), EventKind::Submitted { priority });
+        }
         let state = JobState::new(pattern, config, priority, cancel, deadline, retry, attempts);
         let entry = self.shared.ready_entry(id.0, &state);
         let mut q = lock(&self.shared.queue);
@@ -1062,7 +1253,7 @@ impl CompileService {
         q.push_ready(entry);
         drop(q);
         self.shared.queue_cv.notify_one();
-        JobHandle { service: self, id }
+        (JobHandle { service: self, id }, events)
     }
 
     /// Enqueues one job at [`Priority::Normal`] with a time budget
@@ -1216,12 +1407,27 @@ impl CompileService {
     }
 
     /// A consistent snapshot of the service counters.
+    ///
+    /// Every job counter — `submitted` (and its per-priority split),
+    /// the terminal-state counters, hit/compile classification,
+    /// `total_latency_ns` — is read in one pass under the single
+    /// counter lock every writer uses, so the snapshot is mutually
+    /// consistent: `completed + cancelled + expired <= submitted`
+    /// holds in any snapshot, with equality exactly when the service
+    /// is drained. The latency summaries, store counters, and pool
+    /// gauge are separate monotone instruments sampled alongside (a
+    /// histogram cannot be "torn" — each sample is atomic — but its
+    /// `count` may run slightly ahead of or behind the job counters).
     #[must_use]
     pub fn stats(&self) -> ServiceStats {
         let store = self.shared.store.stats();
+        let m = &self.shared.metrics;
+        let stage_latency = std::array::from_fn(|i| m.stage[i].summary());
+        let queue_wait = m.queue_wait.summary();
+        let warm_hit = m.warm_hit.summary();
         let c = lock(&self.shared.counters);
         ServiceStats {
-            submitted: self.shared.submitted.load(Ordering::Relaxed),
+            submitted: c.submitted,
             submitted_by_priority: c.submitted_by_priority,
             completed: c.completed,
             failed: c.failed,
@@ -1235,10 +1441,46 @@ impl CompileService {
             hits_partitioned: c.hits_partitioned,
             full_compiles: c.full_compiles,
             total_latency_ns: c.total_latency_ns,
+            stage_latency,
+            queue_wait,
+            warm_hit,
             pool_outstanding: self.shared.pool.outstanding(),
             disk_quarantined: store.disk_quarantined,
             store,
         }
+    }
+
+    /// Subscribes to the service-wide event stream: every
+    /// [`TelemetryEvent`] of every job (plus service-scoped store
+    /// events), from now on. The stream closes when the service is
+    /// dropped. See the crate-level "Observability" section.
+    ///
+    /// Subscribing arms the telemetry hub: emit sites go from one
+    /// relaxed atomic check to actually constructing and delivering
+    /// events. Delivery into the bounded channel never blocks a worker
+    /// — on overflow, events are dropped and counted
+    /// ([`EventStream::dropped`]).
+    #[must_use]
+    pub fn subscribe(&self) -> EventStream {
+        self.shared.telemetry.subscribe(None, None)
+    }
+
+    /// [`subscribe`](Self::subscribe) with an explicit channel bound
+    /// instead of [`TelemetryConfig::channel_capacity`].
+    #[must_use]
+    pub fn subscribe_with_capacity(&self, capacity: usize) -> EventStream {
+        self.shared.telemetry.subscribe(None, Some(capacity))
+    }
+
+    /// Snapshot of the flight recorder: the most recent telemetry
+    /// events (oldest first), up to
+    /// [`TelemetryConfig::flight_recorder`] of them. Empty when the
+    /// recorder is disabled (the default). The lifecycle/chaos
+    /// property tests dump this on failure, turning "assertion failed"
+    /// into a replayable event history.
+    #[must_use]
+    pub fn flight_recorder(&self) -> Vec<TelemetryEvent> {
+        self.shared.telemetry.recorder_dump()
     }
 }
 
@@ -1285,6 +1527,17 @@ impl JobHandle<'_> {
     pub fn attempts(&self) -> Option<u32> {
         self.service.attempts(self.id)
     }
+
+    /// Subscribes to this job's events **from now on** (events emitted
+    /// before the call are not replayed — submit with
+    /// [`CompileService::submit_observed`] for a guaranteed-complete
+    /// stream). The stream closes after delivering the job's
+    /// [`EventKind::Terminal`] event; for a job that was already
+    /// terminal when this was called, it closes only at service drop.
+    #[must_use]
+    pub fn events(&self) -> EventStream {
+        self.service.shared.telemetry.subscribe(Some(self.id), None)
+    }
 }
 
 impl Drop for CompileService {
@@ -1296,6 +1549,10 @@ impl Drop for CompileService {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        // Every event is emitted (the queue is drained): close the
+        // subscription channels so blocked receivers and stream
+        // iterators terminate.
+        self.shared.telemetry.close();
     }
 }
 
@@ -1311,9 +1568,11 @@ pub(crate) enum CacheEntry {
 
 /// Probes the store deepest-artifact-first for one job; every decode
 /// failure degrades to the next shallower tier (and ultimately to a
-/// full compile), never an error. Rolls the job-level hit counters.
+/// full compile), never an error. Rolls the job-level hit counters and
+/// emits the job's [`EventKind::CacheHit`] event on a hit.
 pub(crate) fn probe_cache(
     shared: &Shared,
+    job: JobId,
     keys: &StageKeys,
     pattern: &Pattern,
     config: &DcMbqcConfig,
@@ -1351,6 +1610,19 @@ pub(crate) fn probe_cache(
             CacheEntry::Miss => c.full_compiles += 1,
         }
     }
+    if shared.telemetry.armed() {
+        let stage = match &entry {
+            CacheEntry::Scheduled(_) => Some(PipelineStage::Schedule),
+            CacheEntry::Mapped(..) => Some(PipelineStage::Map),
+            CacheEntry::Partitioned(_) => Some(PipelineStage::Partition),
+            CacheEntry::Miss => None,
+        };
+        if let Some(stage) = stage {
+            shared
+                .telemetry
+                .emit(Some(job), EventKind::CacheHit { stage });
+        }
+    }
     entry
 }
 
@@ -1364,24 +1636,37 @@ fn job_loop(shared: &Shared, worker: usize) {
     let mut session: Option<(Vec<u8>, CompileSession)> = None;
     while let Some((seq, mut state)) = shared.next_job(worker) {
         // Which stage a panic should be attributed to: the whole job
-        // is one `catch_unwind` to this engine, so `run_job` marks
-        // each stage as it enters it.
+        // is one `catch_unwind` to this engine, so the segment tracker
+        // marks each stage as `run_job` enters it.
         let stage = std::cell::Cell::new(None);
         let start = Instant::now();
+        let mut segments = StageSegments::new(shared, JobId(seq), state.attempt);
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_job(shared, &mut session, &state, &stage)
+            run_job(shared, &mut session, &state, &stage, &mut segments)
         }));
-        state.latency_ns += start.elapsed().as_nanos() as u64;
         let result = match outcome {
-            // A whole job is one task to this engine, but cancellation
-            // is still observed between stages: a cancel that lands
-            // mid-pipeline stops before the next stage (and before the
-            // next artifact publish).
-            Ok(Ok(None)) => Err(ServiceError::Cancelled(JobId(seq))),
-            Ok(r) => r
-                .map(|s| s.expect("Some checked above"))
-                .map_err(ServiceError::Compile),
+            Ok(r) => {
+                // Stage-segment-sourced latency, matching the
+                // stage-graph engine's task-time accounting.
+                state.latency_ns += segments.finish();
+                match r {
+                    // A whole job is one task to this engine, but
+                    // cancellation is still observed between stages: a
+                    // cancel that lands mid-pipeline stops before the
+                    // next stage (and before the next artifact
+                    // publish).
+                    Ok(None) => Err(ServiceError::Cancelled(JobId(seq))),
+                    Ok(Some(s)) => Ok(s),
+                    Err(e) => Err(ServiceError::Compile(e)),
+                }
+            }
             Err(panic) => {
+                // The open segment unwound mid-stage: its duration is
+                // untrustworthy, so the histograms skip it and the
+                // attempt falls back to wall-clock latency (matching
+                // the pre-telemetry accounting for panicked attempts).
+                segments.abandon();
+                state.latency_ns += start.elapsed().as_nanos() as u64;
                 // The session's workspaces may be mid-update; rebuild.
                 session = None;
                 // Transient failure: the retry decision point, not a
@@ -1391,6 +1676,103 @@ fn job_loop(shared: &Shared, worker: usize) {
             }
         };
         shared.finish_job(seq, result, state.latency_ns);
+    }
+}
+
+/// Per-stage segment tracker for the whole-job (`JobLoop`) engine: the
+/// satellite that unifies latency attribution across engines. Entering
+/// a stage closes the previous segment — recording its duration into
+/// the per-stage histogram and emitting `TaskStarted`/`TaskFinished`
+/// events — so the engine produces the same per-stage observability
+/// the stage-graph executor gets from its discrete tasks. Segments
+/// partition `run_job` wall time (cache probes, artifact encodes, and
+/// publishes are attributed to the stage that performs them), which is
+/// also what the stage-graph engine's task spans include.
+struct StageSegments<'s> {
+    shared: &'s Shared,
+    job: JobId,
+    attempt: u32,
+    open: Option<(StageKind, Instant)>,
+    total_ns: u64,
+    warm_hit: bool,
+}
+
+impl<'s> StageSegments<'s> {
+    fn new(shared: &'s Shared, job: JobId, attempt: u32) -> Self {
+        StageSegments {
+            shared,
+            job,
+            attempt,
+            open: None,
+            total_ns: 0,
+            warm_hit: false,
+        }
+    }
+
+    /// Opens the `kind` segment (closing the previous one) and runs
+    /// the stage-entry fault-injection boundary, mirroring the
+    /// stage-graph executor's per-task sites: an injected delay widens
+    /// the race windows the chaos tests explore, an injected panic
+    /// exercises the retry path. Compiled out (constant no-op) without
+    /// the `fault-inject` feature.
+    fn enter(&mut self, kind: StageKind, stage: &std::cell::Cell<Option<StageKind>>) {
+        stage.set(Some(kind));
+        self.close();
+        if self.shared.telemetry.armed() {
+            self.shared.telemetry.emit(
+                Some(self.job),
+                EventKind::TaskStarted {
+                    stage: kind,
+                    attempt: self.attempt,
+                },
+            );
+        }
+        self.open = Some((kind, Instant::now()));
+        if let Some(delay) = self.shared.faults.injected_delay() {
+            std::thread::sleep(delay);
+        }
+        self.shared.faults.maybe_panic(kind);
+    }
+
+    /// Marks the current (planning) segment as a `Scheduled` cache
+    /// hit, so its duration also lands in the warm-hit histogram.
+    fn mark_warm_hit(&mut self) {
+        self.warm_hit = true;
+    }
+
+    fn close(&mut self) {
+        if let Some((kind, started)) = self.open.take() {
+            let ns = started.elapsed().as_nanos() as u64;
+            self.total_ns += ns;
+            self.shared.metrics.stage[kind.index()].record(ns);
+            if self.warm_hit && kind == StageKind::Transpile {
+                self.shared.metrics.warm_hit.record(ns);
+            }
+            if self.shared.telemetry.armed() {
+                self.shared.telemetry.emit(
+                    Some(self.job),
+                    EventKind::TaskFinished {
+                        stage: kind,
+                        attempt: self.attempt,
+                        duration_ns: ns,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Closes the final segment and returns the attempt's summed
+    /// stage-segment latency.
+    fn finish(&mut self) -> u64 {
+        self.close();
+        self.total_ns
+    }
+
+    /// Discards the open segment without recording it (the stage
+    /// panicked mid-execution — its `TaskStarted` stays unmatched,
+    /// which the trace exporter renders as an unclosed attempt).
+    fn abandon(&mut self) {
+        self.open = None;
     }
 }
 
@@ -1439,25 +1821,16 @@ fn run_job(
     session: &mut Option<(Vec<u8>, CompileSession)>,
     state: &JobState,
     stage: &std::cell::Cell<Option<StageKind>>,
+    segments: &mut StageSegments<'_>,
 ) -> Result<Option<DistributedSchedule>, DcMbqcError> {
     let (pattern, config) = (&state.pattern, &state.config);
     let cancelled = || state.cancel.is_cancelled();
-    // Fault-injection boundary, mirroring the stage-graph executor's
-    // per-task sites: an injected delay widens the race windows the
-    // chaos tests explore, an injected panic exercises the retry path.
-    // Compiled out (constant no-op) without the `fault-inject`
-    // feature.
-    let enter = |kind: StageKind| {
-        stage.set(Some(kind));
-        if let Some(delay) = shared.faults.injected_delay() {
-            std::thread::sleep(delay);
-        }
-        shared.faults.maybe_panic(kind);
-    };
-    enter(StageKind::Transpile);
+    let job = segments.job;
+    segments.enter(StageKind::Transpile, stage);
     let keys = StageKeys::new(pattern, config);
-    let entry = probe_cache(shared, &keys, pattern, config);
+    let entry = probe_cache(shared, job, &keys, pattern, config);
     if let CacheEntry::Scheduled(s) = entry {
+        segments.mark_warm_hit();
         return Ok(Some(*s));
     }
 
@@ -1473,7 +1846,7 @@ fn run_job(
             Mapped::from_parts(partitioned, part_nodes, programs)
         }
         CacheEntry::Partitioned(partition) => {
-            enter(StageKind::Map);
+            segments.enter(StageKind::Map, stage);
             let partitioned = Partitioned::with_partition(transpiled, partition);
             let mapped = session.map(partitioned)?;
             if cancelled() {
@@ -1483,7 +1856,7 @@ fn run_job(
             mapped
         }
         CacheEntry::Miss | CacheEntry::Scheduled(_) => {
-            enter(StageKind::Partition);
+            segments.enter(StageKind::Partition, stage);
             let partitioned = session.partition(transpiled);
             if cancelled() {
                 return Ok(None);
@@ -1491,7 +1864,7 @@ fn run_job(
             shared
                 .store
                 .put(&keys.part, partitioned.partition().to_bytes());
-            enter(StageKind::Map);
+            segments.enter(StageKind::Map, stage);
             let mapped = session.map(partitioned)?;
             if cancelled() {
                 return Ok(None);
@@ -1500,7 +1873,7 @@ fn run_job(
             mapped
         }
     };
-    enter(StageKind::Schedule);
+    segments.enter(StageKind::Schedule, stage);
     let scheduled = session.schedule(mapped);
     // The result exists: the job is past cancellation (it terminates
     // `Done`), but a cancel observed here still suppresses the
@@ -1611,6 +1984,7 @@ mod tests {
             priority,
             depth,
             seq,
+            enqueued: Instant::now(),
         }
     }
 

@@ -50,7 +50,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant, SystemTime};
 
 use dc_mbqc::PipelineStage;
@@ -59,6 +59,7 @@ use mbqc_util::sync::lock;
 use mbqc_util::Fingerprint;
 
 use crate::fault::FaultPlan;
+use crate::telemetry::{EventKind, TelemetryHub};
 
 /// A content-addressed cache key: canonical bytes of
 /// `(stage, config fingerprint, pattern content)`. The stage is the
@@ -367,19 +368,25 @@ impl Breaker {
     }
 
     /// A disk operation completed (reads, writes, and NotFound alike:
-    /// the disk answered). Closes the breaker if it was open.
-    fn success(&mut self) {
+    /// the disk answered). Closes the breaker if it was open; returns
+    /// `true` exactly on that open→closed transition so the caller can
+    /// surface a `QuarantineClosed` telemetry event.
+    fn success(&mut self) -> bool {
         self.consecutive = 0;
-        self.open_until = None;
+        self.open_until.take().is_some()
     }
 
-    /// A disk operation failed with an IO error.
-    fn failure(&mut self) {
+    /// A disk operation failed with an IO error. Returns `true`
+    /// exactly when this error tripped the breaker (closed→open), so
+    /// the caller can surface a `QuarantineOpened` telemetry event.
+    fn failure(&mut self) -> bool {
         self.consecutive = self.consecutive.saturating_add(1);
         if self.open_until.is_none() && self.consecutive >= self.threshold {
             self.open_until = Some(Instant::now() + self.probe_interval);
             self.quarantines += 1;
+            return true;
         }
+        false
     }
 
     fn quarantined(&self) -> bool {
@@ -563,8 +570,8 @@ impl DiskTier {
     /// Lookup phase 2 (locked, after a successful unlocked read):
     /// refreshes the artifact's recency, adopting externally written
     /// files into the index so the budget keeps counting them.
-    fn note_read(&mut self, name: &str, size: u64) {
-        self.breaker.success();
+    fn note_read(&mut self, name: &str, size: u64) -> bool {
+        let reopened = self.breaker.success();
         match self.index.get_mut(name) {
             Some(entry) => {
                 // Touch: most-recently-used now.
@@ -589,25 +596,27 @@ impl DiskTier {
                 self.evict_to_budget();
             }
         }
+        reopened
     }
 
     /// Lookup cleanup (locked): the file turned out not to exist —
     /// drop any stale index entry so the budget stops counting it
     /// (e.g. an eviction raced an in-flight write). NotFound means
     /// the disk *answered*, so it counts as a breaker success.
-    fn note_missing(&mut self, name: &str) {
-        self.breaker.success();
+    fn note_missing(&mut self, name: &str) -> bool {
+        let reopened = self.breaker.success();
         if let Some(entry) = self.index.remove(name) {
             self.by_recency.remove(&entry.seq);
             self.bytes -= entry.size;
         }
+        reopened
     }
 
     /// A disk read or write failed with a genuine IO error: feed the
     /// circuit breaker (enough consecutive errors quarantine the
     /// tier).
-    fn note_io_error(&mut self) {
-        self.breaker.failure();
+    fn note_io_error(&mut self) -> bool {
+        self.breaker.failure()
     }
 
     /// Store phase 1 (locked): circuit-breaker gate, TTL sweep, and
@@ -630,8 +639,8 @@ impl DiskTier {
     /// Store phase 2 (locked, after a successful unlocked write):
     /// replaces the artifact's index entry and evicts back down to the
     /// byte budget.
-    fn note_write(&mut self, name: &str, size: u64) {
-        self.breaker.success();
+    fn note_write(&mut self, name: &str, size: u64) -> bool {
+        let reopened = self.breaker.success();
         let seq = self.next_seq;
         self.next_seq += 1;
         if let Some(old) = self.index.remove(name) {
@@ -649,6 +658,7 @@ impl DiskTier {
             },
         );
         self.evict_to_budget();
+        reopened
     }
 }
 
@@ -659,6 +669,10 @@ pub struct ArtifactStore {
     inner: Mutex<StoreInner>,
     disk: Option<Mutex<DiskTier>>,
     faults: FaultPlan,
+    /// Service telemetry hub, attached once at service construction so
+    /// disk-quarantine transitions surface as events. Absent on stores
+    /// used outside a service (unit tests): transitions stay silent.
+    telemetry: OnceLock<Arc<TelemetryHub>>,
 }
 
 impl ArtifactStore {
@@ -688,7 +702,30 @@ impl ArtifactStore {
             }),
             disk,
             faults: config.faults,
+            telemetry: OnceLock::new(),
         })
+    }
+
+    /// Attaches the service's telemetry hub (first caller wins) so the
+    /// store can emit `QuarantineOpened` / `QuarantineClosed` on
+    /// circuit-breaker transitions.
+    pub(crate) fn attach_telemetry(&self, hub: Arc<TelemetryHub>) {
+        let _ = self.telemetry.set(hub);
+    }
+
+    /// Emits a quarantine-transition event (service-scoped: no job id).
+    /// Called *outside* the disk-tier lock.
+    fn emit_quarantine(&self, opened: bool) {
+        if let Some(hub) = self.telemetry.get() {
+            if hub.armed() {
+                let kind = if opened {
+                    EventKind::QuarantineOpened
+                } else {
+                    EventKind::QuarantineClosed
+                };
+                hub.emit(None, kind);
+            }
+        }
     }
 
     fn name_of(key: &ArtifactKey) -> String {
@@ -727,7 +764,9 @@ impl ArtifactStore {
                 };
                 match read {
                     Ok(file) => {
-                        lock(disk).note_read(&name, file.len() as u64);
+                        if lock(disk).note_read(&name, file.len() as u64) {
+                            self.emit_quarantine(false);
+                        }
                         if let Some(value) = decode_disk_artifact(&file, key) {
                             let mut inner = lock(&self.inner);
                             inner.stats.disk_hits += 1;
@@ -746,14 +785,18 @@ impl ArtifactStore {
                         corrupt = true;
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                        lock(disk).note_missing(&name);
+                        if lock(disk).note_missing(&name) {
+                            self.emit_quarantine(false);
+                        }
                     }
                     Err(_) => {
                         // A genuine IO error feeds the circuit breaker:
                         // enough consecutive ones quarantine the tier
                         // instead of re-probing a sick path on every
                         // future get.
-                        lock(disk).note_io_error();
+                        if lock(disk).note_io_error() {
+                            self.emit_quarantine(true);
+                        }
                         disk_error = true;
                     }
                 }
@@ -795,11 +838,15 @@ impl ArtifactStore {
                 };
                 match write {
                     Ok(()) => {
-                        lock(disk).note_write(&name, contents.len() as u64);
+                        if lock(disk).note_write(&name, contents.len() as u64) {
+                            self.emit_quarantine(false);
+                        }
                         lock(&self.inner).stats.disk_writes += 1;
                     }
                     Err(_) => {
-                        lock(disk).note_io_error();
+                        if lock(disk).note_io_error() {
+                            self.emit_quarantine(true);
+                        }
                         disk_error = true;
                     }
                 }

@@ -36,6 +36,8 @@
 
 #![cfg(feature = "fault-inject")]
 
+mod common;
+
 use std::time::Duration;
 
 use dc_mbqc::{DcMbqcCompiler, DcMbqcConfig, DistributedSchedule, PipelineStage};
@@ -45,7 +47,7 @@ use mbqc_partition::Partition;
 use mbqc_pattern::{transpile::transpile, Pattern};
 use mbqc_service::{
     ArtifactKey, CompileService, ExecutionEngine, FaultConfig, FaultPlan, JobId, JobOptions,
-    QueuePolicy, RetryPolicy, ServiceConfig, ServiceError, StoreConfig,
+    QueuePolicy, RetryPolicy, ServiceConfig, ServiceError, StoreConfig, TelemetryConfig,
 };
 use mbqc_util::Rng;
 use proptest::prelude::*;
@@ -196,9 +198,20 @@ proptest! {
                         ..StoreConfig::default()
                     },
                     faults: plan,
+                    // Flight recorder on: a failing cell dumps the
+                    // recent event history (retries, quarantine
+                    // transitions) alongside the assertion.
+                    telemetry: TelemetryConfig {
+                        flight_recorder: 128,
+                        ..TelemetryConfig::default()
+                    },
                     ..ServiceConfig::default()
                 })
                 .expect("service starts");
+                // CI's release-mode pass sets MBQC_LIVE_SUBSCRIBER: the
+                // armed emit paths then run under injected faults too.
+                let _live = common::live_subscriber(&service);
+                let cell = (|| -> Result<(), TestCaseError> {
                 let rounds = if workers == 1 { 2 } else { 1 };
                 for round in 0..rounds {
                     let mut rng = Rng::seed_from_u64(
@@ -282,6 +295,13 @@ proptest! {
                 // The store never decoded an injected corruption into
                 // a foreign artifact; whatever survived is bit-exact.
                 check_store(&service, &workload, &config, &what)?;
+                Ok(())
+                })();
+                common::audited(
+                    &service,
+                    &format!("engine={engine:?} policy={policy:?} workers={workers}"),
+                    cell,
+                )?;
                 drop(service);
             }
             std::fs::remove_dir_all(&dir).ok();

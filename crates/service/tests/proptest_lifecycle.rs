@@ -26,6 +26,8 @@
 //! shared token drops a whole group, terminal/unknown cancels are
 //! no-op `false`, and a generous deadline never fires.
 
+mod common;
+
 use std::time::Duration;
 
 use dc_mbqc::{DcMbqcCompiler, DcMbqcConfig, DistributedSchedule, PipelineStage};
@@ -35,7 +37,7 @@ use mbqc_partition::Partition;
 use mbqc_pattern::{transpile::transpile, Pattern};
 use mbqc_service::{
     ArtifactKey, CancelToken, CompileService, ExecutionEngine, JobId, JobOptions, Priority,
-    QueuePolicy, ServiceConfig, ServiceError, StoreConfig,
+    QueuePolicy, ServiceConfig, ServiceError, StoreConfig, TelemetryConfig,
 };
 use mbqc_util::Rng;
 use proptest::prelude::*;
@@ -217,9 +219,21 @@ proptest! {
                             disk_dir: Some(dir.clone()),
                             ..StoreConfig::default()
                         },
+                        // Flight recorder on: a failing cell below
+                        // dumps the recent event history alongside the
+                        // assertion (see `common::audited`).
+                        telemetry: TelemetryConfig {
+                            flight_recorder: 128,
+                            ..TelemetryConfig::default()
+                        },
                         ..ServiceConfig::default()
                     })
                     .expect("service starts");
+                    // CI's release-mode pass sets MBQC_LIVE_SUBSCRIBER:
+                    // the armed fan-out path then runs under the full
+                    // lifecycle churn instead of only the happy paths.
+                    let _live = common::live_subscriber(&service);
+                    let cell = (|| -> Result<(), TestCaseError> {
                     let rounds = if workers == 1 { 2 } else { 1 };
                     for round in 0..rounds {
                         // Deterministic churn plan from the seed; the
@@ -358,6 +372,13 @@ proptest! {
                         stats
                     );
                     check_store(&service, &workload, &config, &what)?;
+                    Ok(())
+                    })();
+                    common::audited(
+                        &service,
+                        &format!("engine={engine:?} policy={policy:?} workers={workers}"),
+                        cell,
+                    )?;
                 }
                 std::fs::remove_dir_all(&dir).ok();
             }

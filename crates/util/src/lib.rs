@@ -17,6 +17,10 @@
 //!   offline, so there is no serde).
 //! * [`fingerprint`] — stable 128-bit content hashing for the
 //!   content-addressed artifact store of `mbqc-service`.
+//! * [`metrics`] — atomic counters and fixed-size log-bucketed
+//!   histograms with p50/p95/p99 summaries, the offline-box stand-in
+//!   for a metrics crate; `mbqc-service` records per-stage latency,
+//!   queue wait, and warm-hit latency through them.
 //! * [`sync`] — poison-recovering lock/condvar helpers, so one
 //!   panicking worker degrades to its own failure instead of
 //!   cascading a poisoned mutex through every other worker.
@@ -35,6 +39,7 @@
 
 pub mod codec;
 pub mod fingerprint;
+pub mod metrics;
 pub mod rng;
 pub mod stats;
 pub mod sync;

@@ -5,12 +5,19 @@
 //! re-enters the pipeline mid-way from the cached `Mapped` artifacts,
 //! and a lifecycle round where clients abandon work: cancellations (by
 //! handle and by shared token) and deadlines drop jobs without
-//! disturbing the rest of the queue.
+//! disturbing the rest of the queue. The run ends with the service's
+//! per-stage latency distributions (p50/p95/p99 from the always-on
+//! histograms).
 //!
 //! Run with:
 //! ```text
 //! cargo run --release --example service_demo
 //! ```
+//!
+//! Pass `--trace <path>` to also capture the full telemetry event
+//! stream and write it as a Chrome trace-event JSON file — open it in
+//! `chrome://tracing` or <https://ui.perfetto.dev> to see the
+//! job → attempt → stage-task span tree.
 
 use std::time::{Duration, Instant};
 
@@ -19,11 +26,49 @@ use mbqc_circuit::bench::{self, BenchmarkKind};
 use mbqc_hardware::{DistributedHardware, ResourceStateKind};
 use mbqc_pattern::{transpile::transpile, Pattern};
 use mbqc_service::{
-    CancelToken, CompileService, FaultConfig, FaultPlan, InjectedFault, JobOptions, Priority,
-    QueuePolicy, RetryPolicy, ServiceConfig, StoreConfig,
+    chrome_trace_json, CancelToken, CompileService, FaultConfig, FaultPlan, InjectedFault,
+    JobOptions, Priority, QueuePolicy, RetryPolicy, ServiceConfig, ServiceStats, StoreConfig,
 };
+use mbqc_util::TextTable;
+
+/// Renders the service's latency distributions — per-stage execution,
+/// queue wait, and warm-hit serving — as a p50/p95/p99 table in µs.
+fn latency_table(stats: &ServiceStats) -> String {
+    let us = |ns: u64| format!("{:.1}", ns as f64 / 1e3);
+    let mut table = TextTable::new(vec![
+        "metric", "count", "p50 µs", "p95 µs", "p99 µs", "max µs",
+    ]);
+    let rows = [
+        ("stage: transpile", stats.stage_latency[0]),
+        ("stage: partition", stats.stage_latency[1]),
+        ("stage: map", stats.stage_latency[2]),
+        ("stage: schedule", stats.stage_latency[3]),
+        ("queue wait", stats.queue_wait),
+        ("warm hit", stats.warm_hit),
+    ];
+    for (name, summary) in rows {
+        table.row(vec![
+            name.to_string(),
+            summary.count.to_string(),
+            us(summary.p50),
+            us(summary.p95),
+            us(summary.p99),
+            us(summary.max),
+        ]);
+    }
+    table.title("latency distributions (log-bucketed histograms)");
+    table.render()
+}
 
 fn main() {
+    // `--trace <path>` captures the telemetry event stream and writes
+    // a Chrome trace-event JSON file at exit.
+    let trace_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--trace")
+            .map(|i| args.get(i + 1).expect("--trace needs a path").clone())
+    };
     // 1. A mixed production-style workload: QFT instances alongside
     //    QAOA Max-Cut and ripple-carry-adder programs, with repeats —
     //    exactly the traffic shape a service sees.
@@ -60,6 +105,18 @@ fn main() {
         ..ServiceConfig::default()
     })
     .expect("service starts");
+    // Subscribe before the first submission so the trace misses
+    // nothing; a background thread keeps the bounded channel drained.
+    let observer = trace_path.is_some().then(|| {
+        let stream = service.subscribe_with_capacity(1 << 14);
+        std::thread::spawn(move || {
+            let mut events = Vec::new();
+            while let Some(ev) = stream.recv() {
+                events.push(ev);
+            }
+            events
+        })
+    });
     println!(
         "service: {} workers (stage-graph executor, deepest-stage-first), {} jobs per round\n",
         service.workers(),
@@ -167,6 +224,11 @@ fn main() {
         stats.completed,
     );
 
+    // The always-on metrics registry: per-stage execution latency,
+    // queue wait, and warm-hit serving latency as quantile summaries
+    // over the whole mixed workload above.
+    println!("\n{}", latency_table(&stats));
+
     // 6. Fault round: a seeded chaos plan — injected task panics,
     //    stage delays, and disk read errors — against a fresh
     //    disk-backed service whose jobs carry retry budgets. Transient
@@ -257,4 +319,17 @@ fn main() {
     );
     drop(chaotic);
     let _ = std::fs::remove_dir_all(&disk_dir);
+
+    // Close the main service so the observer's stream ends, then write
+    // the Chrome trace.
+    if let (Some(path), Some(observer)) = (trace_path, observer) {
+        drop(service);
+        let events = observer.join().expect("observer exits");
+        let json = chrome_trace_json(&events);
+        std::fs::write(&path, &json).expect("trace file writes");
+        println!(
+            "\ntrace: {} events -> {path} (open in chrome://tracing or ui.perfetto.dev)",
+            events.len()
+        );
+    }
 }
