@@ -8,7 +8,7 @@
 
 use std::time::Instant;
 
-use dc_mbqc::{DcMbqcCompiler, DcMbqcConfig};
+use dc_mbqc::{DcMbqcCompiler, DcMbqcConfig, DistributedSchedule, ScheduledView};
 use mbqc_circuit::{bench, Circuit};
 use mbqc_graph::{generate, CsrGraph, NodeId};
 use mbqc_hardware::{DistributedHardware, ResourceStateKind};
@@ -16,7 +16,10 @@ use mbqc_partition::coarsen::{heavy_edge_matching, heavy_edge_matching_reference
 use mbqc_partition::refine::refine_csr;
 use mbqc_partition::{reference as partition_ref, KwayConfig, Partition};
 use mbqc_pattern::transpile::transpile;
-use mbqc_service::{CompileService, ExecutionEngine, Priority, ServiceConfig};
+use mbqc_service::{
+    ArtifactKey, ArtifactStore, CompileService, ExecutionEngine, PipelineStage, Priority,
+    ServiceConfig, StoreConfig,
+};
 use mbqc_sim::stabilizer::{PauliString, Tableau};
 use mbqc_sim::{reference as sim_ref, FusionWorkspace, StateVector, C64};
 use mbqc_util::table::fmt_f64;
@@ -663,6 +666,162 @@ pub fn measure_kernels(reps: usize) -> Vec<KernelResult> {
         );
         results.push(KernelResult {
             name: "end_to_end/telemetry_churn",
+            baseline_ns,
+            optimized_ns,
+        });
+    }
+
+    // Store: the zero-copy mmap warm-hit path. One large `Scheduled`
+    // artifact lives on the disk tier (the one-byte memory tier forces
+    // every read through it). Baseline: the eager path copies the file
+    // into a `Vec` and fully decodes it. Optimized: `get_ref` hands
+    // back checksum-verified bytes in place (memory-mapped) and the
+    // lazy `ScheduledView` answers without decoding anything.
+    {
+        let pattern = transpile(&bench::qft(36));
+        let hw = DistributedHardware::builder()
+            .num_qpus(4)
+            .grid_width(bench::grid_size_for(36))
+            .resource_state(ResourceStateKind::FIVE_STAR)
+            .kmax(4)
+            .build();
+        let config = DcMbqcConfig::new(hw);
+        let dist = DcMbqcCompiler::new(config)
+            .compile_pattern(&pattern)
+            .expect("compiles");
+        let dir = std::env::temp_dir().join(format!("mbqc-bench-warmhit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ArtifactStore::new(StoreConfig {
+            memory_capacity: 1,
+            disk_dir: Some(dir.clone()),
+            ..StoreConfig::default()
+        })
+        .expect("store opens");
+        let key = ArtifactKey::new(PipelineStage::Schedule, &[1], &[2]);
+        store.put(&key, dist.to_bytes());
+        let (baseline_ns, optimized_ns) = measure_pair(
+            || {
+                let bytes = store.get(&key).expect("disk hit");
+                let s = DistributedSchedule::from_bytes(&bytes).expect("decodes");
+                std::hint::black_box(s.execution_time());
+            },
+            || {
+                let bytes = store.get_ref(&key).expect("disk hit");
+                let v = ScheduledView::new(&bytes).expect("views");
+                std::hint::black_box(v.makespan());
+            },
+            reps,
+        );
+        results.push(KernelResult {
+            name: "store/warm_hit_mmap",
+            baseline_ns,
+            optimized_ns,
+        });
+        drop(store);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // Store: restart recovery — one sequential manifest replay vs. the
+    // O(files) directory rescan it replaces (measured by deleting the
+    // manifest before each baseline open, which forces the fallback
+    // scan and its whole-manifest rewrite). Two store sizes so the
+    // scaling difference is recorded, not just one point.
+    for (count, name) in [
+        (128usize, "store/restart_manifest_128"),
+        (512usize, "store/restart_manifest_512"),
+    ] {
+        let dir =
+            std::env::temp_dir().join(format!("mbqc-bench-restart-{}-{count}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let open = || {
+            ArtifactStore::new(StoreConfig {
+                memory_capacity: 1,
+                disk_dir: Some(dir.clone()),
+                // Loose files only: the fallback scan adopts loose
+                // artifacts but drops segment files (it cannot prove
+                // frame liveness), so the replay-vs-scan comparison
+                // must run over a layout both paths fully recover.
+                segment_threshold: None,
+                ..StoreConfig::default()
+            })
+            .expect("store opens")
+        };
+        {
+            let store = open();
+            for i in 0..count {
+                let b = (i as u32).to_le_bytes();
+                store.put(
+                    &ArtifactKey::new(PipelineStage::Partition, &b, &b),
+                    vec![i as u8; 64],
+                );
+            }
+        }
+        let manifest = ArtifactStore::manifest_path(&dir);
+        let (baseline_ns, optimized_ns) = measure_pair(
+            || {
+                std::fs::remove_file(&manifest).ok();
+                let store = open();
+                assert_eq!(
+                    store.stats().disk_entries,
+                    count,
+                    "fallback scan lost entries"
+                );
+            },
+            || {
+                let store = open();
+                assert_eq!(
+                    store.stats().disk_entries,
+                    count,
+                    "manifest replay lost entries"
+                );
+            },
+            reps,
+        );
+        results.push(KernelResult {
+            name,
+            baseline_ns,
+            optimized_ns,
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // End-to-end: a storm of identical concurrent submits, with
+    // in-flight dedup off (every duplicate decodes the stored artifact
+    // back on its own warm-hit probe) vs. on (duplicates join the
+    // in-flight leader, run zero tasks, and receive a clone of its
+    // result). Results are asserted bit-identical on both sides.
+    {
+        const STORM: usize = 8;
+        let pattern = transpile(&bench::qft(14));
+        let hw = DistributedHardware::builder()
+            .num_qpus(4)
+            .grid_width(bench::grid_size_for(14))
+            .resource_state(ResourceStateKind::FIVE_STAR)
+            .kmax(4)
+            .build();
+        let config = DcMbqcConfig::new(hw);
+        let run = |dedup: bool| {
+            let service = CompileService::new(ServiceConfig {
+                workers: 1,
+                dedup,
+                ..ServiceConfig::default()
+            })
+            .expect("service starts");
+            let ids: Vec<_> = (0..STORM)
+                .map(|_| service.submit(pattern.clone(), config.clone()))
+                .collect();
+            let mut first: Option<DistributedSchedule> = None;
+            for id in ids {
+                let got = service.wait(id).expect("job compiles");
+                match &first {
+                    Some(f) => assert_eq!(f, &got, "storm result diverged"),
+                    None => first = Some(got),
+                }
+            }
+        };
+        let (baseline_ns, optimized_ns) = measure_pair(|| run(false), || run(true), reps);
+        results.push(KernelResult {
+            name: "end_to_end/dedup_storm",
             baseline_ns,
             optimized_ns,
         });

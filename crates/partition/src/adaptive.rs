@@ -32,7 +32,10 @@ pub struct AdaptiveConfig {
     /// values, so we bound the search).
     pub max_iters: usize,
     /// Restart-probe workers forwarded to the k-way partitioner (`0` =
-    /// one per available core). Worker count never changes the result.
+    /// one per available core). With more than one effective worker the
+    /// adaptive walk also probes the two candidate successors `α·γ` and
+    /// `α/γ` concurrently, discarding the loser. Worker count never
+    /// changes the result.
     pub probe_workers: usize,
 }
 
@@ -161,20 +164,67 @@ pub fn adaptive_partition_csr_with(
     // re-partitioning until the iteration cap.
     let mut memo: std::collections::HashMap<u64, (Partition, f64)> =
         std::collections::HashMap::new();
+    // Speculative α-probing: with a second worker available, each
+    // iteration probes both candidate successors (α·γ capped at α_max,
+    // and α/γ) concurrently before the ΔQ decision picks one — the
+    // winner is already memoized when the next iteration needs it, the
+    // loser is discarded (it stays in the memo, where an oscillating
+    // walk may still consume it). Probes are deterministic per
+    // (α, seed) and workspace-independent, so speculation is
+    // bit-identical to the sequential walk: the history records only
+    // visited αs, in the same order, with the same partitions.
+    let workers = if config.probe_workers == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        config.probe_workers
+    };
+    let speculative = workers > 1;
+    let mut spec_ws: Option<KwayWorkspace> = None;
+    let probe = |a: f64, ws: &mut KwayWorkspace| {
+        let kcfg = KwayConfig::new(config.k)
+            .with_alpha(a)
+            .with_seed(config.seed)
+            .with_probe_workers(config.probe_workers);
+        let p = multilevel_kway_csr_with(g, &kcfg, ws);
+        let q = modularity_csr(g, &p);
+        (p, q)
+    };
 
     for _ in 0..config.max_iters {
-        let (p, q) = memo
-            .entry(alpha.to_bits())
-            .or_insert_with(|| {
-                let kcfg = KwayConfig::new(config.k)
-                    .with_alpha(alpha)
-                    .with_seed(config.seed)
-                    .with_probe_workers(config.probe_workers);
-                let p = multilevel_kway_csr_with(g, &kcfg, ws);
-                let q = modularity_csr(g, &p);
-                (p, q)
-            })
-            .clone();
+        // At most two missing probes run per iteration (one per
+        // workspace): the current α always wins a slot, then the
+        // successors in up-then-down order.
+        let mut targets: Vec<u64> = Vec::new();
+        let mut candidates = vec![alpha];
+        if speculative {
+            candidates.push((alpha * config.gamma).min(config.alpha_max));
+            candidates.push(alpha / config.gamma);
+        }
+        for a in candidates {
+            let bits = a.to_bits();
+            if targets.len() < 2 && !memo.contains_key(&bits) && !targets.contains(&bits) {
+                targets.push(bits);
+            }
+        }
+        match *targets.as_slice() {
+            [] => {}
+            [a] => {
+                let r = probe(f64::from_bits(a), ws);
+                memo.insert(a, r);
+            }
+            [a, b] => {
+                let sw = spec_ws.get_or_insert_with(KwayWorkspace::new);
+                let (ra, rb) = std::thread::scope(|s| {
+                    let hb = s.spawn(|| probe(f64::from_bits(b), sw));
+                    let ra = probe(f64::from_bits(a), ws);
+                    (ra, hb.join().expect("speculative probe panicked"))
+                });
+                memo.insert(a, ra);
+                memo.insert(b, rb);
+            }
+            _ => unreachable!("targets capped at two"),
+        }
+        let (p, q) = memo[&alpha.to_bits()].clone();
         history.push(AdaptiveStep {
             alpha,
             modularity: q,
@@ -290,6 +340,25 @@ mod tests {
         };
         let r = adaptive_partition(&g, &cfg);
         assert!(r.history.len() <= 5);
+    }
+
+    #[test]
+    fn speculative_probing_is_bit_identical() {
+        let g = generate::grid_graph(9, 9);
+        // One worker disables speculation; four force it on even on a
+        // single-core host.
+        let seq = adaptive_partition(&g, &AdaptiveConfig::new(4).with_probe_workers(1));
+        let spec = adaptive_partition(&g, &AdaptiveConfig::new(4).with_probe_workers(4));
+        assert_eq!(seq.partition, spec.partition);
+        assert_eq!(seq.history.len(), spec.history.len());
+        for (a, b) in seq.history.iter().zip(&spec.history) {
+            assert_eq!(a.alpha.to_bits(), b.alpha.to_bits());
+            assert_eq!(a.modularity.to_bits(), b.modularity.to_bits());
+            assert_eq!(a.cut, b.cut);
+        }
+        assert_eq!(seq.modularity.to_bits(), spec.modularity.to_bits());
+        assert_eq!(seq.alpha.to_bits(), spec.alpha.to_bits());
+        assert_eq!(seq.cut, spec.cut);
     }
 
     #[test]

@@ -65,13 +65,118 @@
 //! still hits the `Partitioned` and `Mapped` artifacts computed under
 //! the old configuration.
 //!
-//! The cache has an in-memory LRU tier and an optional on-disk tier
-//! (hand-rolled binary codecs; the build box is offline, so there is
-//! no serde). Disk artifacts survive restarts — a fresh service
-//! pointed at the same directory starts warm — and the disk tier is
-//! bounded: a byte budget with least-recently-accessed eviction, plus
-//! an optional TTL ([`StoreConfig::disk_capacity`],
+//! ## Store architecture
+//!
+//! The [`ArtifactStore`] behind those re-entry points is two tiers
+//! under one API (hand-rolled binary codecs; the build box is offline,
+//! so there is no serde): a byte-budgeted in-memory LRU
+//! ([`StoreConfig::memory_capacity`]) whose entries are `Arc`-shared,
+//! and an optional on-disk tier ([`StoreConfig::disk_dir`]) of
+//! content-checksummed frames. Disk artifacts survive restarts — a
+//! fresh service pointed at the same directory starts warm — and the
+//! tier is bounded by a byte budget with least-recently-accessed
+//! eviction plus an optional TTL ([`StoreConfig::disk_capacity`],
 //! [`StoreConfig::disk_ttl`]).
+//!
+//! **Zero-copy reads.** The `Scheduled` warm-hit probe goes through
+//! [`ArtifactStore::get_ref`], which returns [`ArtifactBytes`]: the
+//! artifact's checksum-verified value bytes *in place*, memory-mapped
+//! when they live on disk — no intermediate `Vec` copy of a multi-MB
+//! artifact. The lazy stage views ([`dc_mbqc::ScheduledView`] & co.)
+//! then validate structure over those bytes without decoding anything;
+//! only a confirmed hit pays the single materializing decode that
+//! produces the job's owned result. [`ArtifactStore::get`] remains the
+//! copying variant, and is the one that promotes disk hits into the
+//! memory tier.
+//!
+//! **Segments and compaction.** A store that only ever writes one
+//! loose `<fingerprint>.art` file per artifact degrades into an
+//! O(files) directory of tiny files. Once
+//! [`StoreConfig::segment_threshold`] loose files accumulate, the cold
+//! majority (by recency) is packed into an append-only `seg-N.seg`
+//! file whose frames are byte-identical to the loose encoding, so
+//! every checksum and key verification carries over verbatim. Segment
+//! reads go through one cached mmap per segment. Eviction or invalidation of a packed
+//! artifact only marks it dead; a segment whose live fraction falls
+//! below [`StoreConfig::segment_gc_fraction`] is garbage-collected
+//! (survivors spill back to loose files) and an all-dead segment is
+//! deleted outright ([`StoreStats::compactions`],
+//! [`StoreStats::segment_gcs`]).
+//!
+//! **Crash-safe manifest.** Every disk mutation appends a checksummed
+//! record to `manifest.log`, so restart recovery is one sequential
+//! read that rebuilds the index *and the exact access-recency order* —
+//! the byte/TTL budgets re-enforce against true recency, not file
+//! mtimes. A torn tail, a missing manifest, or any record that fails
+//! its checksum falls back to a full directory scan
+//! ([`StoreStats::manifest_fallbacks`]) whose recency approximation
+//! *is* file mtime (1-second granularity on many filesystems), after
+//! which the manifest is rewritten whole. The scan adopts loose files
+//! only and deletes segment files: an append-only segment can hold
+//! clean-checksumming frames that are nonetheless dead (superseded or
+//! deleted after packing), and only the manifest records liveness —
+//! dropping cold packed artifacts on this rare path is an ordinary
+//! cache miss, never a stale read. The log self-compacts: when
+//! the appended tail outgrows the live index, it is snapshotted.
+//!
+//! **Negative caching.** A small ring of recently-missed fingerprints
+//! ([`StoreConfig::negative_capacity`]) answers repeat misses without
+//! touching the filesystem ([`StoreStats::negative_hits`]). Only an
+//! authoritative absence — not found, expired, corrupt-and-deleted —
+//! is cached; IO errors and quarantine skips never are, and a store
+//! write clears its key.
+//!
+//! **In-flight dedup** ([`ServiceConfig::dedup`], on by default).
+//! Concurrent submits of an identical `(pattern, config)` collapse
+//! into one compilation: the first in flight is the *leader*; later
+//! ones become *followers* that run zero tasks and receive a clone of
+//! the leader's result at its terminal event
+//! ([`ServiceStats::dedup_hits`], [`EventKind::Deduplicated`]).
+//! Followers keep their own lifecycle — a follower's fired cancel or
+//! lapsed deadline wins over the shared result at delivery — and a
+//! leader that ends `Cancelled`/`Expired`/`Internal` (artifacts of
+//! *its* lifecycle, not of the computation) promotes its first live
+//! follower to a fresh leader instead of failing the group. Exactly
+//! one compilation, whatever the interleaving:
+//!
+//! ```
+//! use dc_mbqc::DcMbqcConfig;
+//! use mbqc_circuit::bench;
+//! use mbqc_hardware::{DistributedHardware, ResourceStateKind};
+//! use mbqc_pattern::transpile::transpile;
+//! use mbqc_service::{CompileService, ServiceConfig};
+//!
+//! let hw = DistributedHardware::builder()
+//!     .num_qpus(2)
+//!     .grid_width(bench::grid_size_for(8))
+//!     .resource_state(ResourceStateKind::FIVE_STAR)
+//!     .kmax(4)
+//!     .build();
+//! let config = DcMbqcConfig::new(hw);
+//! let service = CompileService::new(ServiceConfig {
+//!     workers: 1,
+//!     ..ServiceConfig::default()
+//! })
+//! .unwrap();
+//!
+//! // A blocker occupies the lone worker, so the identical burst below
+//! // is all in flight at once.
+//! let blocker = service.submit(transpile(&bench::qft(10)), config.clone());
+//! let burst: Vec<_> = (0..3)
+//!     .map(|_| service.submit(transpile(&bench::qft(8)), config.clone()))
+//!     .collect();
+//!
+//! let results: Vec<_> = burst.iter().map(|&id| service.wait(id).unwrap()).collect();
+//! assert!(results.windows(2).all(|w| w[0] == w[1]), "bit-identical");
+//! service.wait(blocker).unwrap();
+//!
+//! // One compilation for the whole burst (the blocker is the other):
+//! // the two duplicates either joined the leader in flight, or — had
+//! // the leader already finished — warm-hit its stored artifact.
+//! let stats = service.stats();
+//! assert_eq!(stats.full_compiles, 2, "{stats:?}");
+//! assert_eq!(stats.dedup_hits + stats.hits_scheduled, 2, "{stats:?}");
+//! ```
 //!
 //! ## Job lifecycle
 //!
@@ -381,14 +486,18 @@
 //!     .unwrap();
 //! assert_eq!(got, direct);
 //!
-//! // …and the duplicate batch job is answered from the cache.
+//! // …and the duplicate batch job is answered without recompiling —
+//! // deduplicated while its twin is in flight, or from the cache.
 //! for id in batch_ids {
 //!     service.wait(id).unwrap();
 //! }
 //! let stats = service.stats();
 //! assert_eq!(stats.completed, 3);
 //! assert_eq!(stats.submitted_by_priority, [2, 0, 1]);
-//! assert!(stats.hits_scheduled + stats.task_store_hits >= 1, "{stats:?}");
+//! assert!(
+//!     stats.dedup_hits + stats.hits_scheduled + stats.task_store_hits >= 1,
+//!     "{stats:?}"
+//! );
 //! ```
 
 pub mod executor;
@@ -403,7 +512,7 @@ pub use service::{
     CancelToken, CompileService, ExecutionEngine, JobHandle, JobId, JobOptions, Priority,
     QueuePolicy, RetryPolicy, ServiceConfig, ServiceError, ServiceStats, TelemetryConfig,
 };
-pub use store::{ArtifactKey, ArtifactStore, StoreConfig, StoreStats};
+pub use store::{ArtifactBytes, ArtifactKey, ArtifactStore, StoreConfig, StoreStats};
 pub use telemetry::{
     chrome_trace_json, validate_chrome_trace, EventKind, EventStream, TelemetryEvent, TerminalState,
 };

@@ -83,7 +83,7 @@ use std::time::{Duration, Instant};
 
 use dc_mbqc::{
     CompileSession, DcMbqcConfig, DcMbqcError, DistributedSchedule, Mapped, Partitioned,
-    PipelineStage, StageGraph, StageKind, Transpiled, WorkspacePool,
+    PipelineStage, ScheduledView, StageGraph, StageKind, Transpiled, WorkspacePool,
 };
 use mbqc_compiler::CompiledProgram;
 use mbqc_graph::NodeId;
@@ -379,11 +379,23 @@ pub enum ExecutionEngine {
 }
 
 /// Service configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Worker threads (`0` = one per available core). Worker count
     /// never changes results, only throughput.
     pub workers: usize,
+    /// In-flight deduplication (on by default): concurrent submits of
+    /// an identical job — same pattern content and same scheduling
+    /// fingerprint — collapse into one compilation. The first submit
+    /// leads; later ones register as followers and receive a clone of
+    /// the leader's result (bit-identical — artifacts are
+    /// deterministic). Followers keep their own lifecycle: a
+    /// follower's cancellation or deadline is honoured at delivery,
+    /// and a leader that ends cancelled/expired/panicked promotes its
+    /// first live follower to a fresh leader instead of spreading the
+    /// non-deterministic failure. Deterministic `Compile` rejections
+    /// are shared like successes.
+    pub dedup: bool,
     /// Execution engine (stage-graph executor by default).
     pub engine: ExecutionEngine,
     /// Ready-queue order within a priority class (FIFO by default).
@@ -404,6 +416,20 @@ pub struct ServiceConfig {
     /// cost beyond one relaxed atomic check per emit site until
     /// somebody subscribes.
     pub telemetry: TelemetryConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 0,
+            dedup: true,
+            engine: ExecutionEngine::default(),
+            policy: QueuePolicy::default(),
+            store: StoreConfig::default(),
+            faults: FaultPlan::none(),
+            telemetry: TelemetryConfig::default(),
+        }
+    }
 }
 
 /// Telemetry configuration (see the crate-level "Observability"
@@ -464,6 +490,11 @@ pub struct ServiceStats {
     /// job's initial cache probe (e.g. published by a concurrent
     /// duplicate job).
     pub task_store_hits: u64,
+    /// Submits that collapsed into a concurrent identical in-flight
+    /// job ([`ServiceConfig::dedup`]): the follower ran zero tasks and
+    /// received a clone of the leader's result. Not counted in the
+    /// `hits_*`/`full_compiles` buckets — the leader's execution is.
+    pub dedup_hits: u64,
     /// Jobs answered by a `Scheduled` artifact (nothing recomputed).
     pub hits_scheduled: u64,
     /// Jobs re-entered at scheduling from a `Mapped` artifact.
@@ -799,6 +830,57 @@ struct ResultState {
     done: HashMap<JobId, DoneJob>,
 }
 
+/// A submit that collapsed into a concurrent identical leader
+/// ([`ServiceConfig::dedup`]). It holds everything needed to finalize
+/// the job at delivery time — or to rebuild it as a fresh leader when
+/// the original leader ends without a shareable result.
+#[derive(Debug)]
+struct Follower {
+    seq: u64,
+    pattern: Pattern,
+    config: DcMbqcConfig,
+    priority: Priority,
+    cancel: CancelToken,
+    deadline: Option<Instant>,
+    retry: RetryPolicy,
+    attempts: Arc<AtomicU32>,
+}
+
+impl Follower {
+    /// The follower's own terminal verdict at delivery time, if its
+    /// lifecycle ended independently of the leader's result.
+    fn dead_verdict(&self) -> Option<ServiceError> {
+        if self.cancel.is_cancelled() {
+            Some(ServiceError::Cancelled(JobId(self.seq)))
+        } else if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            Some(ServiceError::Expired(JobId(self.seq)))
+        } else {
+            None
+        }
+    }
+}
+
+/// One in-flight dedup group: the leading job plus the followers
+/// awaiting its result.
+#[derive(Debug)]
+struct InflightGroup {
+    /// The dedup key (the `Schedule`-stage artifact fingerprint), kept
+    /// here so the leader's terminal hook can clear `by_key`.
+    key: u128,
+    followers: Vec<Follower>,
+}
+
+/// The in-flight dedup table. Both maps mutate together under one
+/// lock: `by_key` routes submits to the live leader, `groups` routes
+/// the leader's terminal result back to its followers.
+#[derive(Debug, Default)]
+struct InflightState {
+    /// Dedup key → leader seq.
+    by_key: HashMap<u128, u64>,
+    /// Leader seq → its group.
+    groups: HashMap<u64, InflightGroup>,
+}
+
 #[derive(Debug, Default)]
 pub(crate) struct Counters {
     /// Jobs submitted. Counted under this lock (not the id allocator)
@@ -815,6 +897,7 @@ pub(crate) struct Counters {
     pub(crate) submitted_by_priority: [u64; 3],
     pub(crate) tasks_executed: u64,
     pub(crate) task_store_hits: u64,
+    pub(crate) dedup_hits: u64,
     pub(crate) hits_scheduled: u64,
     pub(crate) hits_mapped: u64,
     pub(crate) hits_partitioned: u64,
@@ -844,6 +927,13 @@ pub(crate) struct Shared {
     results_cv: Condvar,
     pub(crate) store: ArtifactStore,
     pub(crate) counters: Mutex<Counters>,
+    /// In-flight dedup table ([`ServiceConfig::dedup`]). Lock order:
+    /// `inflight` is never held while acquiring `queue`, `counters`,
+    /// or `results` — every settlement collects under `inflight` and
+    /// acts after dropping it.
+    inflight: Mutex<InflightState>,
+    /// Whether submits consult the dedup table at all.
+    dedup: bool,
     /// Job-id allocator only; the `submitted` *statistic* lives in
     /// [`Counters`] so stats snapshots stay consistent.
     next_id: AtomicU64,
@@ -978,9 +1068,86 @@ impl Shared {
         self.queue_cv.notify_all();
     }
 
+    /// The dedup settlement hook, run on every terminal publish. A
+    /// *deliverable* result — `Ok`, or the deterministic
+    /// [`ServiceError::Compile`] rejection — is cloned to every
+    /// follower of the ending leader (each follower's own fired cancel
+    /// or lapsed deadline wins over the shared result at delivery). A
+    /// non-deliverable terminal (`Cancelled`/`Expired`/`Internal` —
+    /// artifacts of the *leader's* lifecycle, not of the computation)
+    /// instead promotes the first still-live follower to a fresh
+    /// leader carrying the remaining followers; a leader's
+    /// cancellation therefore never cancels its followers.
+    fn settle_inflight(&self, seq: u64, result: &Result<DistributedSchedule, ServiceError>) {
+        // All table surgery in one critical section; follower
+        // publishing and leader re-enqueue happen after the lock
+        // drops (lock order: `inflight` before everything else).
+        let mut inflight = lock(&self.inflight);
+        // Followers never create a group, so the delivery recursion
+        // below bottoms out here at depth one.
+        let Some(InflightGroup { key, followers }) = inflight.groups.remove(&seq) else {
+            return;
+        };
+        let deliverable = matches!(result, Ok(_) | Err(ServiceError::Compile(_)));
+        if deliverable {
+            debug_assert_eq!(inflight.by_key.get(&key), Some(&seq));
+            inflight.by_key.remove(&key);
+            drop(inflight);
+            for f in followers {
+                let r = match f.dead_verdict() {
+                    Some(err) => Err(err),
+                    None => result.clone(),
+                };
+                self.publish_terminal(f.seq, r);
+            }
+            return;
+        }
+        let mut dead = Vec::new();
+        let mut live = Vec::new();
+        for f in followers {
+            match f.dead_verdict() {
+                Some(err) => dead.push((f.seq, err)),
+                None => live.push(f),
+            }
+        }
+        let promoted = if live.is_empty() {
+            debug_assert_eq!(inflight.by_key.get(&key), Some(&seq));
+            inflight.by_key.remove(&key);
+            None
+        } else {
+            let rest = live.split_off(1);
+            let f = live.pop().expect("live is non-empty");
+            inflight.by_key.insert(key, f.seq);
+            inflight.groups.insert(
+                f.seq,
+                InflightGroup {
+                    key,
+                    followers: rest,
+                },
+            );
+            Some(f)
+        };
+        drop(inflight);
+        for (fseq, err) in dead {
+            self.publish_terminal(fseq, Err(err));
+        }
+        if let Some(f) = promoted {
+            let state = JobState::new(
+                f.pattern, f.config, f.priority, f.cancel, f.deadline, f.retry, f.attempts,
+            );
+            let entry = self.ready_entry(f.seq, &state);
+            let mut q = lock(&self.queue);
+            q.jobs.insert(f.seq, state);
+            q.push_ready(entry);
+            drop(q);
+            self.queue_cv.notify_one();
+        }
+    }
+
     /// Rolls the terminal-state counters and publishes the result
     /// (common tail of every way a job can end).
     fn publish_terminal(&self, seq: u64, result: Result<DistributedSchedule, ServiceError>) {
+        self.settle_inflight(seq, &result);
         {
             let mut c = lock(&self.counters);
             match &result {
@@ -1120,6 +1287,8 @@ impl CompileService {
             results_cv: Condvar::new(),
             store,
             counters: Mutex::new(Counters::default()),
+            inflight: Mutex::new(InflightState::default()),
+            dedup: config.dedup,
             next_id: AtomicU64::new(0),
             telemetry,
             metrics: ServiceMetrics::default(),
@@ -1245,6 +1414,53 @@ impl CompileService {
             self.shared
                 .telemetry
                 .emit(Some(id), EventKind::Submitted { priority });
+        }
+        // In-flight dedup: an identical submit still in flight makes
+        // this job a *follower* — it registers in the leader's group
+        // and never enters the queue; the leader's terminal settlement
+        // delivers to it (see [`Shared::settle_inflight`]). The lookup
+        // and the registration are one critical section, so a submit
+        // either joins a group that settlement will still observe, or
+        // finds the group gone and becomes a fresh leader.
+        if self.shared.dedup {
+            let key = StageKeys::new(&pattern, &config).sched.fingerprint().0;
+            let mut inflight = lock(&self.shared.inflight);
+            if let Some(&leader) = inflight.by_key.get(&key) {
+                inflight
+                    .groups
+                    .get_mut(&leader)
+                    .expect("by_key entry has a live group")
+                    .followers
+                    .push(Follower {
+                        seq: id.0,
+                        pattern,
+                        config,
+                        priority,
+                        cancel,
+                        deadline,
+                        retry,
+                        attempts,
+                    });
+                drop(inflight);
+                lock(&self.shared.counters).dedup_hits += 1;
+                if self.shared.telemetry.armed() {
+                    self.shared.telemetry.emit(
+                        Some(id),
+                        EventKind::Deduplicated {
+                            leader: JobId(leader),
+                        },
+                    );
+                }
+                return (JobHandle { service: self, id }, events);
+            }
+            inflight.by_key.insert(key, id.0);
+            inflight.groups.insert(
+                id.0,
+                InflightGroup {
+                    key,
+                    followers: Vec::new(),
+                },
+            );
         }
         let state = JobState::new(pattern, config, priority, cancel, deadline, retry, attempts);
         let entry = self.shared.ready_entry(id.0, &state);
@@ -1436,6 +1652,7 @@ impl CompileService {
             expired: c.expired,
             tasks_executed: c.tasks_executed,
             task_store_hits: c.task_store_hits,
+            dedup_hits: c.dedup_hits,
             hits_scheduled: c.hits_scheduled,
             hits_mapped: c.hits_mapped,
             hits_partitioned: c.hits_partitioned,
@@ -1578,9 +1795,17 @@ pub(crate) fn probe_cache(
     config: &DcMbqcConfig,
 ) -> CacheEntry {
     let mut entry = CacheEntry::Miss;
-    if let Some(bytes) = shared.store.get(&keys.sched) {
-        if let Ok(s) = DistributedSchedule::from_bytes(&bytes) {
-            entry = CacheEntry::Scheduled(Box::new(s));
+    // Zero-copy warm-hit path: `get_ref` hands the artifact's verified
+    // bytes back in place (memory-mapped when they live on disk, no
+    // intermediate `Vec` copy of a multi-MB artifact), the lazy view
+    // validates structure without decoding, and only a confirmed hit
+    // pays the one materializing decode that produces the job's owned
+    // result.
+    if let Some(bytes) = shared.store.get_ref(&keys.sched) {
+        if let Ok(view) = ScheduledView::new(&bytes) {
+            if let Ok(s) = view.materialize() {
+                entry = CacheEntry::Scheduled(Box::new(s));
+            }
         }
     }
     if matches!(entry, CacheEntry::Miss) {

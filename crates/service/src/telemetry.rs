@@ -90,6 +90,14 @@ pub enum EventKind {
         /// The deepest pipeline stage the cached artifact covers.
         stage: PipelineStage,
     },
+    /// The job joined a concurrent identical in-flight job instead of
+    /// entering the queue (`ServiceConfig::dedup`): it runs zero tasks
+    /// and receives a clone of the leader's result at the leader's
+    /// terminal event. Emitted right after [`Submitted`](Self::Submitted).
+    Deduplicated {
+        /// The in-flight job this submit collapsed into.
+        leader: JobId,
+    },
     /// A transient failure was absorbed by the retry policy; the job
     /// will re-enter the queue after the backoff delay.
     RetryScheduled {
@@ -678,6 +686,14 @@ pub fn chrome_trace_json(events: &[TelemetryEvent]) -> String {
                     w.instant(
                         &format!("retry scheduled (attempt {attempt})"),
                         "retry",
+                        id,
+                        ev.at_ns,
+                    );
+                }
+                EventKind::Deduplicated { leader } => {
+                    w.instant(
+                        &format!("deduplicated into job {}", leader.0),
+                        "dedup",
                         id,
                         ev.at_ns,
                     );

@@ -260,14 +260,18 @@ proptest! {
 /// The disk tier under lifecycle churn: random interleavings of
 /// puts, gets, abandoned writes (a writer cancelled/killed mid-write
 /// leaves a stale temp file), corruptions (torn or garbled artifact
-/// files), and restarts. Invariants, checked after every operation:
+/// files), segment compactions, manifest tail tears, and restarts.
+/// Invariants, checked after every operation:
 ///
-/// * the on-disk artifact bytes never exceed `disk_capacity`
-///   (including immediately after a restart over a dirty directory);
+/// * the on-disk artifact bytes (loose `.art` files *and* packed
+///   `.seg` segments) never exceed `disk_capacity` (including
+///   immediately after a restart over a dirty directory);
 /// * a key-verified read returns either exactly the last value stored
 ///   under that key or a miss — never torn, stale-keyed, or foreign
-///   bytes;
-/// * a restart sweeps abandoned temp files.
+///   bytes — whether the artifact is loose or packed;
+/// * a restart sweeps abandoned temp files, and a restart over a
+///   *torn manifest* falls back to the directory scan with every
+///   invariant intact.
 mod disk_churn {
     use super::*;
     use mbqc_service::{ArtifactKey, ArtifactStore, PipelineStage};
@@ -285,14 +289,19 @@ mod disk_churn {
         dir.join(format!("{}.art", key(n).fingerprint().to_hex()))
     }
 
-    /// Ground truth the budget is asserted against: actual `.art`
-    /// bytes in the directory.
+    /// Ground truth the budget is asserted against: actual `.art` and
+    /// `.seg` bytes in the directory (the manifest log is metadata,
+    /// not artifact payload, and is excluded from the budget).
     fn dir_art_bytes(dir: &Path) -> usize {
         std::fs::read_dir(dir)
             .map(|entries| {
                 entries
                     .filter_map(Result::ok)
-                    .filter(|e| e.path().extension().is_some_and(|x| x == "art"))
+                    .filter(|e| {
+                        e.path()
+                            .extension()
+                            .is_some_and(|x| x == "art" || x == "seg")
+                    })
                     .filter_map(|e| e.metadata().ok())
                     .map(|m| m.len() as usize)
                     .sum()
@@ -318,6 +327,10 @@ mod disk_churn {
             memory_capacity: 1,
             disk_dir: Some(dir.to_path_buf()),
             disk_capacity: Some(CAPACITY),
+            // Low threshold so the churn crosses the loose → segment
+            // boundary organically (on top of the explicit compaction
+            // op below).
+            segment_threshold: Some(4),
             ..mbqc_service::StoreConfig::default()
         })
         .expect("store opens")
@@ -346,7 +359,7 @@ mod disk_churn {
             let mut corrupted = vec![false; KEYS as usize];
             for step in 0..ops {
                 let k = rng.range(KEYS as usize) as u64;
-                match rng.range(10) {
+                match rng.range(12) {
                     // Put (sizes vary; occasionally over-budget).
                     0..=3 => {
                         let oversized = rng.bernoulli(0.1);
@@ -445,6 +458,27 @@ mod disk_churn {
                             };
                             std::fs::write(&path, torn).ok();
                             corrupted[k as usize] = true;
+                        }
+                    }
+                    // Explicit compaction: every loose artifact packs
+                    // into a fresh segment (reads must keep resolving
+                    // through the segment mmap path).
+                    9 => {
+                        store.compact();
+                    }
+                    // Torn manifest tail (a crash mid-append): nothing
+                    // may break *now* — appends continue past the tear
+                    // — and the next restart must fall back to the
+                    // directory scan with every invariant intact.
+                    10 => {
+                        let m = ArtifactStore::manifest_path(&dir);
+                        if let Ok(meta) = std::fs::metadata(&m) {
+                            let cut = meta.len().saturating_sub(1 + rng.range(24) as u64);
+                            if let Ok(f) =
+                                std::fs::OpenOptions::new().write(true).open(&m)
+                            {
+                                f.set_len(cut).ok();
+                            }
                         }
                     }
                     // Restart: temp files swept, budget re-enforced.
@@ -641,6 +675,51 @@ fn compile_errors_surface_per_job() {
         service.wait(id),
         Err(mbqc_service::ServiceError::UnknownJob(_))
     ));
+}
+
+/// A storm of concurrent identical submits performs exactly one full
+/// compilation: every later submit either joins the in-flight leader
+/// (in-flight dedup, `dedup_hits`) or — when the leader finished
+/// before it landed — warm-hits the leader's stored artifact
+/// (`hits_scheduled`). Every waiter gets bits identical to the direct
+/// compilation.
+#[test]
+fn dedup_storm_compiles_exactly_once() {
+    const STORM: usize = 12;
+    let config = DcMbqcConfig::new(hardware(2, 8));
+    let pattern = transpile(&bench::qft(8));
+    let direct = DcMbqcCompiler::new(config.clone())
+        .compile_pattern(&pattern)
+        .expect("compiles");
+    let service = CompileService::new(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..STORM)
+            .map(|_| {
+                let service = &service;
+                let pattern = pattern.clone();
+                let config = config.clone();
+                s.spawn(move || service.wait(service.submit(pattern, config)))
+            })
+            .collect();
+        for h in handles {
+            let got = h.join().expect("no panic").expect("compiles");
+            assert_eq!(got, direct, "storm result diverged from direct compile");
+        }
+    });
+    let stats = service.stats();
+    assert_eq!(stats.full_compiles, 1, "{stats:?}");
+    assert_eq!(stats.completed, STORM as u64, "{stats:?}");
+    assert_eq!(
+        stats.dedup_hits + stats.hits_scheduled,
+        (STORM - 1) as u64,
+        "{stats:?}"
+    );
+    assert_eq!(stats.failed, 0, "{stats:?}");
+    assert_eq!(stats.pool_outstanding, 0, "{stats:?}");
 }
 
 /// `try_poll` returns `None` while queued/running and takes the result

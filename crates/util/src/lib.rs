@@ -17,6 +17,9 @@
 //!   offline, so there is no serde).
 //! * [`fingerprint`] — stable 128-bit content hashing for the
 //!   content-addressed artifact store of `mbqc-service`.
+//! * [`mmap`] — read-only memory-mapped byte buffers (with a heap
+//!   fallback), the zero-copy substrate under the store's lazy artifact
+//!   views.
 //! * [`metrics`] — atomic counters and fixed-size log-bucketed
 //!   histograms with p50/p95/p99 summaries, the offline-box stand-in
 //!   for a metrics crate; `mbqc-service` records per-stage latency,
@@ -40,12 +43,14 @@
 pub mod codec;
 pub mod fingerprint;
 pub mod metrics;
+pub mod mmap;
 pub mod rng;
 pub mod stats;
 pub mod sync;
 pub mod table;
 
-pub use codec::{CodecError, Decoder, Encoder};
+pub use codec::{CodecError, Decoder, Encoder, UsizeSliceView};
 pub use fingerprint::Fingerprint;
+pub use mmap::MappedBytes;
 pub use rng::Rng;
 pub use table::TextTable;

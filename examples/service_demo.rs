@@ -5,9 +5,13 @@
 //! re-enters the pipeline mid-way from the cached `Mapped` artifacts,
 //! and a lifecycle round where clients abandon work: cancellations (by
 //! handle and by shared token) and deadlines drop jobs without
-//! disturbing the rest of the queue. The run ends with the service's
-//! per-stage latency distributions (p50/p95/p99 from the always-on
-//! histograms).
+//! disturbing the rest of the queue. A persistence round then runs a
+//! disk-backed service: an identical-submit storm collapses onto one
+//! in-flight compilation, cold traffic fills (and segment-compacts)
+//! the disk tier, and a restart replays the crash-safe manifest and
+//! serves the warm repeat round from memory-mapped lazy views. The
+//! run ends with the service's per-stage latency distributions
+//! (p50/p95/p99 from the always-on histograms).
 //!
 //! Run with:
 //! ```text
@@ -229,7 +233,78 @@ fn main() {
     // over the whole mixed workload above.
     println!("\n{}", latency_table(&stats));
 
-    // 6. Fault round: a seeded chaos plan — injected task panics,
+    // 6. Persistence + dedup round: a disk-backed service with a small
+    //    segment threshold. First a burst of identical concurrent
+    //    submits collapses onto one in-flight compilation (the rest
+    //    join as followers and receive clones of the leader's result).
+    //    Then the mixed workload cold-fills the disk tier — watch
+    //    loose artifact files get compacted into append-only segments.
+    //    Finally the service is dropped and reopened over the same
+    //    directory: the crash-safe manifest replays the disk index in
+    //    one sequential read (no O(files) rescan) and the repeat
+    //    traffic is served from memory-mapped artifact bytes through
+    //    lazy views — checksum plus pointer fixups, no decode.
+    let store_dir =
+        std::env::temp_dir().join(format!("mbqc-service-demo-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let disk_config = || ServiceConfig {
+        workers: 2,
+        store: StoreConfig {
+            disk_dir: Some(store_dir.clone()),
+            segment_threshold: Some(8),
+            ..StoreConfig::default()
+        },
+        ..ServiceConfig::default()
+    };
+    let persistent = CompileService::new(disk_config()).expect("service starts");
+    let storm_pattern = transpile(&bench::qft(18));
+    let t = Instant::now();
+    let storm: Vec<_> = (0..10)
+        .map(|_| persistent.submit(storm_pattern.clone(), config.clone()))
+        .collect();
+    for id in storm {
+        persistent.wait(id).expect("storm job compiles");
+    }
+    let storm_ms = t.elapsed().as_secs_f64() * 1e3;
+    let stats = persistent.stats();
+    println!(
+        "\ndedup storm: 10 identical submits -> {} full compile(s), {} in-flight dedup hits, {:.1} ms wall",
+        stats.full_compiles, stats.dedup_hits, storm_ms,
+    );
+    let t = Instant::now();
+    for id in persistent.submit_many(&just_patterns, &config) {
+        persistent.wait(id).expect("cold job compiles");
+    }
+    let cold_ms = t.elapsed().as_secs_f64() * 1e3;
+    let stats = persistent.stats();
+    println!(
+        "cold fill: {:.1} ms wall -> {} artifacts on disk, {} segment file(s) ({:.1} KiB packed, {} compactions)",
+        cold_ms,
+        stats.store.disk_entries,
+        stats.store.segments,
+        stats.store.segment_bytes as f64 / 1024.0,
+        stats.store.compactions,
+    );
+    drop(persistent);
+    let reopened = CompileService::new(disk_config()).expect("service reopens");
+    let t = Instant::now();
+    for id in reopened.submit_many(&just_patterns, &config) {
+        reopened.wait(id).expect("warm job compiles");
+    }
+    let warm_ms = t.elapsed().as_secs_f64() * 1e3;
+    let stats = reopened.stats();
+    println!(
+        "restart: manifest replayed {} artifacts ({} scan fallbacks); mmap warm round {:.1} ms vs {:.1} ms cold ({} scheduled hits served from lazy views)",
+        stats.store.disk_entries,
+        stats.store.manifest_fallbacks,
+        warm_ms,
+        cold_ms,
+        stats.hits_scheduled,
+    );
+    drop(reopened);
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    // 7. Fault round: a seeded chaos plan — injected task panics,
     //    stage delays, and disk read errors — against a fresh
     //    disk-backed service whose jobs carry retry budgets. Transient
     //    panics are retried with exponential backoff; enough

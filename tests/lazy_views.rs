@@ -1,0 +1,288 @@
+//! Lazy-view ↔ eager-decode equivalence pins for every zero-copy view
+//! in the workspace: [`PartitionView`], [`CompiledProgramView`], and
+//! [`ScheduledView`] must agree with their `from_bytes` twins on every
+//! input — valid encodings, truncations, corrupted length prefixes,
+//! wrong-stage bytes, and fuzz-style random mutations.
+//!
+//! The pinned contract is one-directional per layer:
+//!
+//! - `from_bytes` Ok ⇒ view Ok, with equal scalars and a
+//!   `materialize()` equal to the eager value;
+//! - view Err ⇒ `from_bytes` Err (both reject; the *classifications*
+//!   must match for the fully-validating `Partition`/`CompiledProgram`
+//!   views, but may differ for `ScheduledView`, which finishes the
+//!   outer frame before any nested decode while the eager decoder
+//!   interleaves them — multi-site corruption can surface a different
+//!   first error on each path);
+//! - view Ok + `materialize()` ≡ `from_bytes` exactly (this is where
+//!   `ScheduledView`'s deferred semantic cross-checks surface).
+//!
+//! Nothing here may panic or read out of bounds, whatever the input.
+
+use dc_mbqc::{DcMbqcCompiler, DcMbqcConfig, DistributedSchedule, ScheduledView};
+use mbqc_circuit::bench;
+use mbqc_compiler::{CompiledProgram, CompiledProgramView, CompilerConfig, GridMapper};
+use mbqc_graph::NodeId;
+use mbqc_hardware::{DistributedHardware, ResourceStateKind};
+use mbqc_partition::{Partition, PartitionView};
+use mbqc_pattern::transpile::transpile;
+use proptest::prelude::*;
+
+/// One lazy/eager pair under test: a real valid encoding, the
+/// consistency check to run on arbitrary bytes, a view-decode probe,
+/// and the byte offset of a length prefix inside the encoding.
+struct Pair {
+    name: &'static str,
+    bytes: Vec<u8>,
+    check: fn(&[u8]),
+    view_decodes: fn(&[u8]) -> bool,
+    len_prefix_offset: usize,
+}
+
+/// The pairs are built from one real compilation, computed once per
+/// test process.
+fn pairs() -> &'static [Pair] {
+    static PAIRS: std::sync::OnceLock<Vec<Pair>> = std::sync::OnceLock::new();
+    PAIRS.get_or_init(build_pairs)
+}
+
+fn build_pairs() -> Vec<Pair> {
+    let qubits = 8;
+    let pattern = transpile(&bench::qft(qubits));
+    let hw = DistributedHardware::builder()
+        .num_qpus(3)
+        .grid_width(bench::grid_size_for(qubits))
+        .resource_state(ResourceStateKind::FIVE_STAR)
+        .kmax(4)
+        .build();
+    let dist = DcMbqcCompiler::new(DcMbqcConfig::new(hw))
+        .compile_pattern(&pattern)
+        .expect("compiles");
+
+    let order = pattern
+        .flow_constraints()
+        .topological_sort()
+        .expect("has flow");
+    let program = GridMapper::new(CompilerConfig::new(
+        bench::grid_size_for(qubits),
+        ResourceStateKind::FIVE_STAR,
+    ))
+    .compile(pattern.graph(), &order)
+    .expect("maps");
+
+    vec![
+        Pair {
+            name: "Partition",
+            bytes: dist.partition().to_bytes(),
+            check: check_partition,
+            view_decodes: |b| PartitionView::new(b).is_ok(),
+            len_prefix_offset: 8,
+        },
+        Pair {
+            name: "CompiledProgram",
+            bytes: program.to_bytes(),
+            check: check_program,
+            view_decodes: |b| CompiledProgramView::new(b).is_ok(),
+            len_prefix_offset: 8,
+        },
+        Pair {
+            name: "DistributedSchedule",
+            bytes: dist.to_bytes(),
+            check: check_schedule,
+            view_decodes: |b| ScheduledView::new(b).is_ok(),
+            len_prefix_offset: 24,
+        },
+    ]
+}
+
+/// `PartitionView` validates fully, so the equivalence is exact in both
+/// directions.
+fn check_partition(b: &[u8]) {
+    let eager = Partition::from_bytes(b);
+    let view = PartitionView::new(b);
+    match (&eager, &view) {
+        (Ok(e), Ok(v)) => {
+            assert_eq!(v.k(), e.k());
+            assert_eq!(v.num_nodes(), e.len());
+            for i in 0..e.len() {
+                assert_eq!(v.part_of(i), Some(e.part_of(NodeId::new(i))));
+            }
+            assert_eq!(v.part_of(e.len()), None, "out-of-range index is None");
+            assert_eq!(&v.materialize(), e);
+        }
+        (Ok(_), Err(ve)) => panic!("eager Ok but PartitionView Err: {ve:?}"),
+        (Err(ee), Ok(_)) => panic!("PartitionView Ok but eager Err: {ee:?}"),
+        (Err(ee), Err(ve)) => assert_eq!(ee, ve, "error classification diverged"),
+    }
+}
+
+/// `CompiledProgramView` validates fully too (including the pair-walk
+/// over the fusee table), so the equivalence is exact in both
+/// directions.
+fn check_program(b: &[u8]) {
+    let eager = CompiledProgram::from_bytes(b);
+    let view = CompiledProgramView::new(b);
+    match (&eager, &view) {
+        (Ok(e), Ok(v)) => {
+            assert_eq!(v.materialize().to_bytes(), e.to_bytes());
+            assert_eq!(v.layer_of().len(), v.num_nodes());
+            assert_eq!(v.effective_layer().len(), v.num_nodes());
+            assert_eq!(v.site_of().len(), v.num_nodes());
+            for i in 0..v.num_fusee_pairs() {
+                assert!(v.fusee_pair(i).is_some(), "pair {i} in range");
+            }
+            assert!(v.fusee_pair(v.num_fusee_pairs()).is_none());
+        }
+        (Ok(_), Err(ve)) => panic!("eager Ok but CompiledProgramView Err: {ve:?}"),
+        (Err(ee), Ok(_)) => panic!("CompiledProgramView Ok but eager Err: {ee:?}"),
+        (Err(ee), Err(ve)) => assert_eq!(ee, ve, "error classification diverged"),
+    }
+}
+
+/// `ScheduledView` validates structurally only: it may accept bytes the
+/// eager decoder rejects on semantic cross-checks — which then must
+/// surface, identically classified, from `materialize()`.
+fn check_schedule(b: &[u8]) {
+    let eager = DistributedSchedule::from_bytes(b);
+    let view = ScheduledView::new(b);
+    match (&eager, &view) {
+        (Ok(e), Ok(v)) => {
+            assert_eq!(v.makespan(), e.execution_time());
+            assert_eq!(v.tau_local(), e.tau_local());
+            assert_eq!(v.tau_remote(), e.tau_remote());
+            assert_eq!(v.required_photon_lifetime(), e.required_photon_lifetime());
+            assert_eq!(v.modularity().to_bits(), e.modularity().to_bits());
+            assert_eq!(v.cut_edges(), e.cut_edges());
+            assert_eq!(v.refresh_events(), e.refresh_events());
+            assert!(v.per_qpu_layers().eq_slice(e.per_qpu_layers()));
+            assert_eq!(v.schedule_bytes(), e.schedule().to_bytes().as_slice());
+            assert_eq!(v.problem_bytes(), e.problem().to_bytes().as_slice());
+            assert_eq!(v.partition_bytes(), e.partition().to_bytes().as_slice());
+            let pv = v.partition_view().expect("nested partition validates");
+            assert_eq!(&pv.materialize(), e.partition());
+            let m = v.materialize().expect("materialize after eager Ok");
+            assert_eq!(m.to_bytes(), e.to_bytes());
+        }
+        (Ok(_), Err(ve)) => panic!("eager Ok but ScheduledView Err: {ve:?}"),
+        (Err(ee), Ok(v)) => {
+            // Structural pass, semantic failure: deferred to
+            // materialize(), same classification.
+            let me = v.materialize().expect_err("eager rejected these bytes");
+            assert_eq!(&me, ee, "deferred error classification diverged");
+        }
+        (Err(_), Err(_)) => {
+            // Both paths reject — that is the pin. The classifications
+            // may legitimately differ here: the view finishes the outer
+            // frame (length prefixes, per-QPU table, trailing-bytes
+            // check) before any nested decode, while the eager decoder
+            // interleaves nested blob decodes with the outer walk, so
+            // multi-site corruption surfaces a different first error on
+            // each path.
+        }
+    }
+}
+
+#[test]
+fn valid_encodings_agree_everywhere() {
+    for pair in pairs() {
+        assert!(
+            (pair.view_decodes)(&pair.bytes),
+            "{}: valid encoding views",
+            pair.name
+        );
+        (pair.check)(&pair.bytes);
+    }
+}
+
+/// Every strict prefix of a valid encoding must fail to view — a
+/// truncated artifact can never masquerade as a shorter valid one —
+/// and must classify exactly like the eager decoder.
+#[test]
+fn truncations_are_errors_for_every_view() {
+    for pair in pairs() {
+        let bytes = &pair.bytes;
+        let step = (bytes.len() / 97).max(1);
+        let cuts = (0..bytes.len())
+            .step_by(step)
+            .chain(bytes.len().saturating_sub(9)..bytes.len());
+        for cut in cuts {
+            assert!(
+                !(pair.view_decodes)(&bytes[..cut]),
+                "{}: truncation to {} of {} viewed",
+                pair.name,
+                cut,
+                bytes.len()
+            );
+            (pair.check)(&bytes[..cut]);
+        }
+    }
+}
+
+/// A corrupted length prefix (`u64::MAX`, and plausible off-by-one)
+/// must be rejected by the view — without a huge allocation, a panic,
+/// or an out-of-bounds read — and classify like the eager decoder.
+#[test]
+fn corrupted_length_prefixes_are_view_errors() {
+    for pair in pairs() {
+        let o = pair.len_prefix_offset;
+        let mut bytes = pair.bytes.clone();
+        bytes[o..o + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(
+            !(pair.view_decodes)(&bytes),
+            "{}: corrupt length prefix viewed",
+            pair.name
+        );
+        (pair.check)(&bytes);
+        let mut bytes = pair.bytes.clone();
+        let len = u64::from_le_bytes(bytes[o..o + 8].try_into().unwrap());
+        bytes[o..o + 8].copy_from_slice(&(len + 1).to_le_bytes());
+        assert!(
+            !(pair.view_decodes)(&bytes),
+            "{}: off-by-one length prefix viewed",
+            pair.name
+        );
+        (pair.check)(&bytes);
+    }
+}
+
+/// Feeding one stage's bytes to another stage's view must error (or,
+/// for the structural-only `ScheduledView`, at latest error from
+/// `materialize()`) exactly like the eager decoder does.
+#[test]
+fn wrong_stage_bytes_agree_with_eager() {
+    let all = pairs();
+    for (i, pair) in all.iter().enumerate() {
+        for (j, other) in all.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            (pair.check)(&other.bytes);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    /// Fuzz: random byte mutations of valid encodings keep view and
+    /// eager decoder in lockstep — same acceptance, same error
+    /// classification, equal values, never a panic.
+    #[test]
+    fn random_mutations_keep_views_in_lockstep(
+        which in 0usize..3,
+        positions in prop::collection::vec(0usize..1_000_000, 1..8),
+        values in prop::collection::vec(0u8..=255, 8..9),
+        truncate_to in 0usize..1_000_000,
+    ) {
+        let all = pairs();
+        let pair = &all[which % all.len()];
+        let mut bytes = pair.bytes.clone();
+        for (k, &pos) in positions.iter().enumerate() {
+            let i = pos % bytes.len();
+            bytes[i] = values[k % values.len()];
+        }
+        (pair.check)(&bytes);
+        let cut = truncate_to % (bytes.len() + 1);
+        (pair.check)(&bytes[..cut]);
+    }
+}
