@@ -6,12 +6,14 @@
 //! tracked across PRs* rather than asserted in tests (timing assertions
 //! flake; JSON diffs don't).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use dc_mbqc::{DcMbqcCompiler, DcMbqcConfig, DistributedSchedule, ScheduledView};
 use mbqc_circuit::{bench, Circuit};
 use mbqc_graph::{generate, CsrGraph, NodeId};
 use mbqc_hardware::{DistributedHardware, ResourceStateKind};
+use mbqc_net::{Client, Server, WireJobOptions};
 use mbqc_partition::coarsen::{heavy_edge_matching, heavy_edge_matching_reference};
 use mbqc_partition::refine::refine_csr;
 use mbqc_partition::{reference as partition_ref, KwayConfig, Partition};
@@ -822,6 +824,68 @@ pub fn measure_kernels(reps: usize) -> Vec<KernelResult> {
         let (baseline_ns, optimized_ns) = measure_pair(|| run(false), || run(true), reps);
         results.push(KernelResult {
             name: "end_to_end/dedup_storm",
+            baseline_ns,
+            optimized_ns,
+        });
+    }
+
+    // End-to-end: the framed TCP front door vs. calling the service in
+    // process. Both sides drive the *same* warm service — every job is
+    // a pure `Scheduled` cache hit — so the pair isolates the wire
+    // cost: frame encode/decode and checksums, one loopback TCP round
+    // trip per verb, and the server's per-connection loop. The speedup
+    // reads as the inverse framing-overhead factor: 0.50 means a
+    // remote round trip costs 2× the in-process warm-hit path (the
+    // tracked acceptance line), and `--check` flags the overhead
+    // growing, not shrinking.
+    {
+        let patterns: Vec<_> = [8usize, 10, 12, 14]
+            .iter()
+            .map(|&n| transpile(&bench::qft(n)))
+            .collect();
+        let hw = DistributedHardware::builder()
+            .num_qpus(4)
+            .grid_width(bench::grid_size_for(14))
+            .resource_state(ResourceStateKind::FIVE_STAR)
+            .kmax(4)
+            .build();
+        let config = DcMbqcConfig::new(hw);
+        let service = Arc::new(
+            CompileService::new(ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            })
+            .expect("service starts"),
+        );
+        let server = Server::bind(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        // Prime the cache: after this, both measured paths serve pure
+        // warm hits.
+        for id in service.submit_many(&patterns, &config) {
+            service.wait(id).expect("service compiles");
+        }
+        let (baseline_ns, optimized_ns) = measure_pair(
+            || {
+                for p in &patterns {
+                    let id = service.submit(p.clone(), config.clone());
+                    std::hint::black_box(service.wait(id).expect("service compiles"));
+                }
+            },
+            || {
+                for p in &patterns {
+                    let id = client
+                        .submit(p, &config, WireJobOptions::default())
+                        .expect("admitted");
+                    std::hint::black_box(
+                        client.wait(id, None).expect("transport").expect("terminal"),
+                    );
+                }
+            },
+            reps,
+        );
+        drop(server);
+        results.push(KernelResult {
+            name: "end_to_end/remote_roundtrip",
             baseline_ns,
             optimized_ns,
         });

@@ -6,6 +6,7 @@ use mbqc_compiler::{CompileError, CompilerConfig};
 use mbqc_hardware::{DistributedHardware, InterconnectTopology, ResourceStateKind};
 use mbqc_partition::AdaptiveConfig;
 use mbqc_schedule::BdirConfig;
+use mbqc_util::codec::{CodecError, Decoder};
 use mbqc_util::Encoder;
 
 /// The pipeline stage a configuration fingerprint is scoped to (see
@@ -219,6 +220,132 @@ impl DcMbqcConfig {
         }
         e.into_bytes()
     }
+
+    /// Serializes the complete configuration for the wire (see
+    /// `mbqc-net`), covering *every* field — worker-count knobs
+    /// included, because a remote client's request must reproduce the
+    /// exact config an in-process caller would have passed.
+    ///
+    /// This is distinct from [`DcMbqcConfig::stage_fingerprint_bytes`],
+    /// which deliberately omits result-neutral fields and stays frozen
+    /// so cache keys never shift.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        // Hardware: the five builder fields determine the value.
+        e.usize(self.hardware.num_qpus());
+        e.usize(self.hardware.grid_width());
+        let (tag, photons) = match self.hardware.resource_state() {
+            ResourceStateKind::Ring(p) => (0u8, p),
+            ResourceStateKind::Star(p) => (1u8, p),
+        };
+        e.u8(tag);
+        e.usize(photons);
+        e.usize(self.hardware.kmax());
+        e.u8(match self.hardware.topology() {
+            InterconnectTopology::FullyConnected => 0,
+            InterconnectTopology::Line => 1,
+            InterconnectTopology::Ring => 2,
+        });
+        // Adaptive partitioning.
+        e.usize(self.adaptive.k);
+        e.f64(self.adaptive.epsilon_q);
+        e.f64(self.adaptive.gamma);
+        e.f64(self.adaptive.alpha_max);
+        e.u64(self.adaptive.seed);
+        e.usize(self.adaptive.max_iters);
+        e.usize(self.adaptive.probe_workers);
+        // BDIR.
+        match &self.bdir {
+            Some(b) => {
+                e.bool(true);
+                e.f64(b.t0);
+                e.f64(b.cooling);
+                e.usize(b.max_iters);
+                e.u64(b.seed);
+            }
+            None => e.bool(false),
+        }
+        // Pipeline scalars.
+        e.opt_usize(self.refresh_interval);
+        e.bool(self.boundary_reservation);
+        e.u64(self.seed);
+        e.usize(self.batch_workers);
+        e.into_bytes()
+    }
+
+    /// Decodes a configuration written by [`DcMbqcConfig::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on truncation or an unknown enum tag.
+    /// Decoded values round-trip exactly: f64 fields by bit pattern,
+    /// so stage fingerprints — and therefore cache keys — agree with
+    /// the sender's.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut d = Decoder::new(bytes);
+        let num_qpus = d.usize()?;
+        let grid_width = d.usize()?;
+        let rs_tag = d.u8()?;
+        let photons = d.usize()?;
+        let resource_state = match rs_tag {
+            0 => ResourceStateKind::Ring(photons),
+            1 => ResourceStateKind::Star(photons),
+            _ => return Err(CodecError::Invalid("resource state tag")),
+        };
+        let kmax = d.usize()?;
+        let topology = match d.u8()? {
+            0 => InterconnectTopology::FullyConnected,
+            1 => InterconnectTopology::Line,
+            2 => InterconnectTopology::Ring,
+            _ => return Err(CodecError::Invalid("topology tag")),
+        };
+        // The builder panics on zero parameters; these bytes may come
+        // from an untrusted peer, so pre-validate into a typed error.
+        if num_qpus == 0 || grid_width == 0 || kmax == 0 || photons == 0 {
+            return Err(CodecError::Invalid("hardware parameter must be positive"));
+        }
+        let hardware = DistributedHardware::builder()
+            .num_qpus(num_qpus)
+            .grid_width(grid_width)
+            .resource_state(resource_state)
+            .kmax(kmax)
+            .topology(topology)
+            .build();
+        let adaptive = AdaptiveConfig {
+            k: d.usize()?,
+            epsilon_q: d.f64()?,
+            gamma: d.f64()?,
+            alpha_max: d.f64()?,
+            seed: d.u64()?,
+            max_iters: d.usize()?,
+            probe_workers: d.usize()?,
+        };
+        let bdir = if d.bool()? {
+            Some(BdirConfig {
+                t0: d.f64()?,
+                cooling: d.f64()?,
+                max_iters: d.usize()?,
+                seed: d.u64()?,
+            })
+        } else {
+            None
+        };
+        let refresh_interval = d.opt_usize()?;
+        let boundary_reservation = d.bool()?;
+        let seed = d.u64()?;
+        let batch_workers = d.usize()?;
+        d.finish()?;
+        Ok(Self {
+            hardware,
+            adaptive,
+            bdir,
+            refresh_interval,
+            boundary_reservation,
+            seed,
+            batch_workers,
+        })
+    }
 }
 
 /// Errors of the DC-MBQC pipeline.
@@ -345,6 +472,71 @@ mod tests {
             base.stage_fingerprint_bytes(PipelineStage::Partition),
             base.stage_fingerprint_bytes(PipelineStage::Map)
         );
+    }
+
+    #[test]
+    fn wire_codec_round_trips() {
+        let hw = DistributedHardware::builder()
+            .num_qpus(3)
+            .grid_width(9)
+            .resource_state(ResourceStateKind::Ring(6))
+            .kmax(2)
+            .topology(InterconnectTopology::Line)
+            .build();
+        let cfg = DcMbqcConfig::new(hw)
+            .with_seed(99)
+            .with_refresh(5)
+            .with_boundary_reservation(true)
+            .with_alpha_max(2.5)
+            .with_probe_workers(3)
+            .with_batch_workers(2);
+        let back = DcMbqcConfig::from_bytes(&cfg.to_bytes()).unwrap();
+        assert_eq!(back.seed, cfg.seed);
+        assert_eq!(back.refresh_interval, cfg.refresh_interval);
+        assert_eq!(back.boundary_reservation, cfg.boundary_reservation);
+        assert_eq!(back.batch_workers, cfg.batch_workers);
+        assert_eq!(back.hardware.num_qpus(), 3);
+        assert_eq!(back.hardware.grid_width(), 9);
+        assert_eq!(back.hardware.resource_state(), ResourceStateKind::Ring(6));
+        assert_eq!(back.hardware.kmax(), 2);
+        assert_eq!(back.hardware.topology(), InterconnectTopology::Line);
+        // The decoded config keys into the same cache entries.
+        for stage in [
+            PipelineStage::Partition,
+            PipelineStage::Map,
+            PipelineStage::Schedule,
+        ] {
+            assert_eq!(
+                back.stage_fingerprint_bytes(stage),
+                cfg.stage_fingerprint_bytes(stage),
+                "{stage:?}"
+            );
+        }
+        // No-BDIR configurations round-trip too.
+        let no_bdir = cfg.without_bdir();
+        assert!(DcMbqcConfig::from_bytes(&no_bdir.to_bytes())
+            .unwrap()
+            .bdir
+            .is_none());
+    }
+
+    #[test]
+    fn wire_codec_rejects_hostile_bytes() {
+        let hw = DistributedHardware::builder().build();
+        let bytes = DcMbqcConfig::new(hw).to_bytes();
+        assert!(DcMbqcConfig::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(DcMbqcConfig::from_bytes(&[]).is_err());
+        // Zeroed hardware parameters are a typed error, not a panic.
+        let mut zeroed = bytes.clone();
+        zeroed[..8].copy_from_slice(&0u64.to_le_bytes());
+        assert_eq!(
+            DcMbqcConfig::from_bytes(&zeroed).unwrap_err(),
+            CodecError::Invalid("hardware parameter must be positive")
+        );
+        // An unknown enum tag is rejected.
+        let mut bad_tag = bytes;
+        bad_tag[16] = 9;
+        assert!(DcMbqcConfig::from_bytes(&bad_tag).is_err());
     }
 
     #[test]

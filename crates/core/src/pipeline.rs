@@ -139,13 +139,21 @@ impl DistributedSchedule {
     /// to the freshly compiled one (property-tested).
     #[must_use]
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut e = Encoder::new();
+        let schedule = self.schedule.to_bytes();
+        let problem = self.problem.to_bytes();
+        let partition = self.partition.to_bytes();
+        // Three nested blobs (with length prefixes) plus the scalar
+        // fields and the per-QPU table; reserving the exact size skips
+        // the doubling-growth copies on the wire reply path.
+        let cap =
+            schedule.len() + problem.len() + partition.len() + 8 * (8 + self.per_qpu_layers.len());
+        let mut e = Encoder::with_capacity(cap);
         e.usize(self.cost.tau_local);
         e.usize(self.cost.tau_remote);
         e.usize(self.cost.makespan);
-        e.bytes(&self.schedule.to_bytes());
-        e.bytes(&self.problem.to_bytes());
-        e.bytes(&self.partition.to_bytes());
+        e.bytes(&schedule);
+        e.bytes(&problem);
+        e.bytes(&partition);
         e.f64(self.modularity);
         e.usize(self.cut_edges);
         e.usize_slice(&self.per_qpu_layers);
@@ -168,6 +176,33 @@ impl DistributedSchedule {
     /// Returns [`CodecError`] on truncated input or any failed
     /// cross-check.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        Self::decode(bytes, true)
+    }
+
+    /// Decodes an artifact from a *trusted, integrity-checked* source:
+    /// bytes produced by [`DistributedSchedule::to_bytes`] on the far
+    /// side of a checksummed transport whose producer already ran the
+    /// full validation — concretely, the framed wire replies of the
+    /// network front door, where the frame checksum covers transport
+    /// corruption and the server materialized (and thereby validated)
+    /// the artifact before encoding it. Skips the semantic
+    /// cross-checks of [`DistributedSchedule::from_bytes`]
+    /// (feasibility, cost re-evaluation, metric agreement, dependency
+    /// mirror audit) but none of the structural or range checks, so
+    /// arbitrary bytes still decode to a typed [`CodecError`] rather
+    /// than a panic. The artifact store and anything reading durable
+    /// bytes must keep using `from_bytes`: a lying producer is exactly
+    /// what bit-rot looks like.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on truncated or structurally invalid
+    /// input.
+    pub fn from_bytes_trusted(bytes: &[u8]) -> Result<Self, CodecError> {
+        Self::decode(bytes, false)
+    }
+
+    fn decode(bytes: &[u8], verify: bool) -> Result<Self, CodecError> {
         let mut d = Decoder::new(bytes);
         let cost = ScheduleCost {
             tau_local: d.usize()?,
@@ -175,21 +210,27 @@ impl DistributedSchedule {
             makespan: d.usize()?,
         };
         let schedule = Schedule::from_bytes(d.bytes()?)?;
-        let problem = LayerScheduleProblem::from_bytes(d.bytes()?)?;
+        let problem = if verify {
+            LayerScheduleProblem::from_bytes(d.bytes()?)?
+        } else {
+            LayerScheduleProblem::from_bytes_trusted(d.bytes()?)?
+        };
         let partition = Partition::from_bytes(d.bytes()?)?;
         let modularity = d.f64()?;
         let cut_edges = d.usize()?;
         let per_qpu_layers = d.usize_vec()?;
         let refresh_events = d.usize()?;
         d.finish()?;
-        if !problem.is_feasible(&schedule) {
-            return Err(CodecError::Invalid("schedule infeasible for problem"));
-        }
-        if problem.evaluate(&schedule) != cost {
-            return Err(CodecError::Invalid("stored cost disagrees with schedule"));
-        }
-        if cut_edges != problem.sync_tasks.len() || per_qpu_layers != problem.main_counts {
-            return Err(CodecError::Invalid("stored metrics disagree with problem"));
+        if verify {
+            if !problem.is_feasible(&schedule) {
+                return Err(CodecError::Invalid("schedule infeasible for problem"));
+            }
+            if problem.evaluate(&schedule) != cost {
+                return Err(CodecError::Invalid("stored cost disagrees with schedule"));
+            }
+            if cut_edges != problem.sync_tasks.len() || per_qpu_layers != problem.main_counts {
+                return Err(CodecError::Invalid("stored metrics disagree with problem"));
+            }
         }
         Ok(Self {
             cost,

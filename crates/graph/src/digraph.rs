@@ -240,6 +240,26 @@ impl DiGraph {
     /// ids, or adjacency lists that are not mirror images of each
     /// other.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        Self::decode(bytes, true)
+    }
+
+    /// Decodes a graph from a *trusted, integrity-checked* source —
+    /// bytes produced by [`DiGraph::to_bytes`] on the other side of a
+    /// checksummed transport. Skips the `pred`/`succ` mirror
+    /// consistency check (a consistency audit, not a panic guard);
+    /// node-id range checks and every structural error stay typed, so
+    /// arbitrary bytes still never panic. Durable storage must keep
+    /// using [`DiGraph::from_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on truncated input or out-of-range node
+    /// ids.
+    pub fn from_bytes_trusted(bytes: &[u8]) -> Result<Self, CodecError> {
+        Self::decode(bytes, false)
+    }
+
+    fn decode(bytes: &[u8], verify_mirror: bool) -> Result<Self, CodecError> {
         let mut d = Decoder::new(bytes);
         let n = d.len_hint()?;
         let read_adj = |d: &mut Decoder<'_>| -> Result<Vec<Vec<NodeId>>, CodecError> {
@@ -262,22 +282,24 @@ impl DiGraph {
         let pred = read_adj(&mut d)?;
         d.finish()?;
         let edge_count: usize = succ.iter().map(Vec::len).sum();
-        // The two directions must describe the same edge *multiset* —
-        // existence checks alone would accept multiplicity mismatches.
-        let mut from_succ: Vec<(usize, usize)> = succ
-            .iter()
-            .enumerate()
-            .flat_map(|(u, list)| list.iter().map(move |v| (u, v.index())))
-            .collect();
-        let mut from_pred: Vec<(usize, usize)> = pred
-            .iter()
-            .enumerate()
-            .flat_map(|(v, list)| list.iter().map(move |u| (u.index(), v)))
-            .collect();
-        from_succ.sort_unstable();
-        from_pred.sort_unstable();
-        if from_succ != from_pred {
-            return Err(CodecError::Invalid("pred does not mirror succ"));
+        if verify_mirror {
+            // The two directions must describe the same edge *multiset* —
+            // existence checks alone would accept multiplicity mismatches.
+            let mut from_succ: Vec<(usize, usize)> = succ
+                .iter()
+                .enumerate()
+                .flat_map(|(u, list)| list.iter().map(move |v| (u, v.index())))
+                .collect();
+            let mut from_pred: Vec<(usize, usize)> = pred
+                .iter()
+                .enumerate()
+                .flat_map(|(v, list)| list.iter().map(move |u| (u.index(), v)))
+                .collect();
+            from_succ.sort_unstable();
+            from_pred.sort_unstable();
+            if from_succ != from_pred {
+                return Err(CodecError::Invalid("pred does not mirror succ"));
+            }
         }
         Ok(Self {
             succ,

@@ -1,5 +1,7 @@
 //! Undirected graphs with node and edge weights.
 
+use mbqc_util::codec::{CodecError, Decoder, Encoder};
+
 use crate::NodeId;
 
 /// An undirected graph with integer node and edge weights.
@@ -256,6 +258,105 @@ impl Graph {
         }
         (sub, map)
     }
+
+    /// Serializes the graph with the hand-rolled binary codec (see
+    /// [`mbqc_util::codec`]). The full adjacency structure is encoded
+    /// verbatim — both endpoint lists, in insertion order — so the
+    /// round trip preserves neighbor iteration order, and decoded
+    /// graphs are `==` to the original (which is what the pattern wire
+    /// codec needs: downstream compilation is order-sensitive and the
+    /// remote matrix pins bit-identical schedules).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        // Exact encoded size: node count + per-node weight and list
+        // length + 16 bytes per half-edge (2·edge_count halves).
+        let mut e = Encoder::with_capacity(8 + 16 * self.adj.len() + 32 * self.edge_count);
+        e.usize(self.adj.len());
+        for w in &self.node_weights {
+            e.i64(*w);
+        }
+        for list in &self.adj {
+            e.usize(list.len());
+            for (v, w) in list {
+                e.usize(v.index());
+                e.i64(*w);
+            }
+        }
+        e.into_bytes()
+    }
+
+    /// Decodes a graph written by [`Graph::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on truncated input, out-of-range node
+    /// ids, self-loops, duplicate neighbors, or adjacency lists that
+    /// are not weight-preserving mirror images of each other. This is
+    /// the non-panicking counterpart to building the graph by hand —
+    /// hostile bytes from the network must never abort the server.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut d = Decoder::new(bytes);
+        let n = d.len_hint()?;
+        let mut node_weights = Vec::with_capacity(n);
+        for _ in 0..n {
+            node_weights.push(d.i64()?);
+        }
+        let mut adj: Vec<Vec<(NodeId, i64)>> = Vec::with_capacity(n);
+        for u in 0..n {
+            let len = d.len_hint()?;
+            // One bounds check for the whole list, then a fixed-stride
+            // walk over the raw bytes — this decode sits on the network
+            // submit path, where per-field decoder calls were measurable.
+            let raw = d.raw(len.checked_mul(16).ok_or(CodecError::UnexpectedEof)?)?;
+            let mut list: Vec<(NodeId, i64)> = Vec::with_capacity(len);
+            for entry in raw.chunks_exact(16) {
+                let v = u64::from_le_bytes(entry[..8].try_into().expect("8-byte field"));
+                let v = usize::try_from(v).map_err(|_| CodecError::Invalid("usize overflow"))?;
+                if v >= n {
+                    return Err(CodecError::Invalid("node id out of range"));
+                }
+                if v == u {
+                    return Err(CodecError::Invalid("self-loop"));
+                }
+                let w = i64::from_le_bytes(entry[8..].try_into().expect("8-byte field"));
+                if list.iter().any(|(m, _)| m.index() == v) {
+                    return Err(CodecError::Invalid("duplicate neighbor"));
+                }
+                list.push((NodeId::new(v), w));
+            }
+            adj.push(list);
+        }
+        d.finish()?;
+        // Each undirected edge must appear in exactly both endpoint
+        // lists with equal weight; half-edges or weight mismatches are
+        // corrupt. Duplicate neighbors were rejected above, so the
+        // mirror lookup is unambiguous: every half-edge either finds
+        // its unique equal-weight mirror or the graph is invalid. This
+        // is O(E·deg) with no allocation — decode sits on the network
+        // submit path, where the old sort-based pairing was measurable.
+        let mut edge_count = 0usize;
+        let mut total_edge_weight = 0i64;
+        for (u, list) in adj.iter().enumerate() {
+            for &(v, w) in list {
+                let mirrored = adj[v.index()]
+                    .iter()
+                    .any(|&(m, mw)| m.index() == u && mw == w);
+                if !mirrored {
+                    return Err(CodecError::Invalid("adjacency is not symmetric"));
+                }
+                if u < v.index() {
+                    edge_count += 1;
+                    total_edge_weight += w;
+                }
+            }
+        }
+        Ok(Self {
+            adj,
+            node_weights,
+            edge_count,
+            total_edge_weight,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -391,5 +492,70 @@ mod tests {
     fn induced_subgraph_duplicate_panics() {
         let g = path(3);
         let _ = g.induced_subgraph(&[NodeId::new(0), NodeId::new(0)]);
+    }
+
+    #[test]
+    fn codec_round_trips_with_order() {
+        let mut g = Graph::with_nodes(4);
+        let n: Vec<NodeId> = g.nodes().collect();
+        g.add_edge_weighted(n[2], n[0], 3);
+        g.add_edge(n[0], n[1]);
+        g.add_edge_weighted(n[1], n[3], 5);
+        g.set_node_weight(n[3], -2);
+        let back = Graph::from_bytes(&g.to_bytes()).unwrap();
+        assert_eq!(back, g);
+        assert_eq!(back.edge_count(), g.edge_count());
+        assert_eq!(back.total_edge_weight(), g.total_edge_weight());
+        // Insertion order of adjacency survives.
+        let nb: Vec<NodeId> = back.neighbors(n[0]).collect();
+        assert_eq!(nb, vec![n[2], n[1]]);
+    }
+
+    #[test]
+    fn codec_rejects_corruption() {
+        let mut g = path(3);
+        g.add_edge(NodeId::new(0), NodeId::new(2));
+        let bytes = g.to_bytes();
+        assert!(Graph::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+
+        // A half-edge (present in one endpoint list only) is corrupt.
+        let mut e = Encoder::new();
+        e.usize(2);
+        e.i64(1);
+        e.i64(1);
+        e.usize(1); // node 0: one neighbor
+        e.usize(1);
+        e.i64(1);
+        e.usize(0); // node 1: empty
+        assert!(Graph::from_bytes(&e.into_bytes()).is_err());
+
+        // Mirrored edge with mismatched weight is corrupt.
+        let mut e = Encoder::new();
+        e.usize(2);
+        e.i64(1);
+        e.i64(1);
+        e.usize(1);
+        e.usize(1);
+        e.i64(1);
+        e.usize(1);
+        e.usize(0);
+        e.i64(2);
+        assert!(Graph::from_bytes(&e.into_bytes()).is_err());
+
+        // Self-loops and out-of-range ids are rejected, not panicked on.
+        let mut e = Encoder::new();
+        e.usize(1);
+        e.i64(1);
+        e.usize(1);
+        e.usize(0);
+        e.i64(1);
+        assert!(Graph::from_bytes(&e.into_bytes()).is_err());
+        let mut e = Encoder::new();
+        e.usize(1);
+        e.i64(1);
+        e.usize(1);
+        e.usize(7);
+        e.i64(1);
+        assert!(Graph::from_bytes(&e.into_bytes()).is_err());
     }
 }

@@ -1,6 +1,7 @@
 //! The [`Pattern`] type: graph state + measurement pattern + flow.
 
 use mbqc_graph::{DiGraph, Graph, NodeId};
+use mbqc_util::codec::{CodecError, Decoder};
 use mbqc_util::Encoder;
 
 use crate::deps::DependencyGraph;
@@ -267,6 +268,136 @@ impl Pattern {
         e.into_bytes()
     }
 
+    /// Serializes the full pattern for the wire (see `mbqc-net`).
+    ///
+    /// Unlike [`Pattern::content_bytes`] — which is a *fingerprint
+    /// input* and stays frozen so cache keys never shift — this is a
+    /// reversible encoding: [`Pattern::from_bytes`] reconstructs a
+    /// pattern `==` to the original, adjacency insertion order
+    /// included, so a remotely submitted pattern compiles bit-
+    /// identically to the in-process original.
+    ///
+    /// The per-node fields are laid out as fixed-stride *columns*
+    /// (all angles, then all measured flags, then all wire
+    /// successors, then all qubit ids) rather than interleaved
+    /// records: the decoder pays one bounds check per column instead
+    /// of four per node, which is measurable on the network submit
+    /// path. A wire successor of `u64::MAX` encodes `None`.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let graph_bytes = self.graph.to_bytes();
+        let n = self.node_count();
+        // Per node: angle (8) + measured (1) + wire successor (8) +
+        // qubit (8); plus the graph blob and the input/output lists.
+        let cap = graph_bytes.len() + 25 * n + 16 * (self.inputs.len() + self.outputs.len()) + 64;
+        let mut e = Encoder::with_capacity(cap);
+        e.bytes(&graph_bytes);
+        for &a in &self.angles {
+            e.f64(a);
+        }
+        for &m in &self.measured {
+            e.u8(u8::from(m));
+        }
+        for s in &self.wire_succ {
+            e.u64(s.map_or(u64::MAX, |x| x.index() as u64));
+        }
+        for &q in &self.qubit_of {
+            e.usize(q);
+        }
+        e.usize_slice(&self.inputs.iter().map(|n| n.index()).collect::<Vec<_>>());
+        e.usize_slice(&self.outputs.iter().map(|n| n.index()).collect::<Vec<_>>());
+        e.into_bytes()
+    }
+
+    /// Decodes a pattern written by [`Pattern::to_bytes`], validating
+    /// every invariant [`Pattern::from_parts`] asserts — but returning
+    /// a typed error instead of panicking, because the bytes may come
+    /// from an untrusted network peer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on truncation, out-of-range node ids, a
+    /// measured node without an in-graph flow successor, or a measured
+    /// output.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut d = Decoder::new(bytes);
+        let graph = Graph::from_bytes(d.bytes()?)?;
+        let n = graph.node_count();
+        let col = n.checked_mul(8).ok_or(CodecError::UnexpectedEof)?;
+        let word = |s: &[u8]| u64::from_le_bytes(s.try_into().expect("8-byte field"));
+        let angles: Vec<f64> = d
+            .raw(col)?
+            .chunks_exact(8)
+            .map(|c| f64::from_bits(word(c)))
+            .collect();
+        let measured = d
+            .raw(n)?
+            .iter()
+            .map(|&b| match b {
+                0 => Ok(false),
+                1 => Ok(true),
+                _ => Err(CodecError::Invalid("bool byte")),
+            })
+            .collect::<Result<Vec<bool>, _>>()?;
+        let wire_succ = d
+            .raw(col)?
+            .chunks_exact(8)
+            .map(|c| match word(c) {
+                u64::MAX => Ok(None),
+                v => match usize::try_from(v) {
+                    Ok(s) if s < n => Ok(Some(NodeId::new(s))),
+                    _ => Err(CodecError::Invalid("wire successor out of range")),
+                },
+            })
+            .collect::<Result<Vec<Option<NodeId>>, _>>()?;
+        let qubit_of = d
+            .raw(col)?
+            .chunks_exact(8)
+            .map(|c| usize::try_from(word(c)).map_err(|_| CodecError::Invalid("usize overflow")))
+            .collect::<Result<Vec<usize>, _>>()?;
+        let read_nodes = |d: &mut Decoder<'_>| -> Result<Vec<NodeId>, CodecError> {
+            d.usize_vec()?
+                .into_iter()
+                .map(|i| {
+                    if i < n {
+                        Ok(NodeId::new(i))
+                    } else {
+                        Err(CodecError::Invalid("endpoint node out of range"))
+                    }
+                })
+                .collect()
+        };
+        let inputs = read_nodes(&mut d)?;
+        let outputs = read_nodes(&mut d)?;
+        d.finish()?;
+        if inputs.len() != outputs.len() {
+            return Err(CodecError::Invalid("inputs/outputs length mismatch"));
+        }
+        for i in 0..n {
+            if measured[i] {
+                let succ =
+                    wire_succ[i].ok_or(CodecError::Invalid("measured node without successor"))?;
+                if !graph.has_edge(NodeId::new(i), succ) {
+                    return Err(CodecError::Invalid("flow successor is not a neighbor"));
+                }
+            }
+        }
+        for o in &outputs {
+            if measured[o.index()] {
+                return Err(CodecError::Invalid("output node marked measured"));
+            }
+        }
+        Ok(Self {
+            graph,
+            angles,
+            measured,
+            wire_succ,
+            qubit_of,
+            inputs,
+            outputs,
+        })
+    }
+
     /// Summary statistics.
     #[must_use]
     pub fn stats(&self) -> PatternStats {
@@ -394,6 +525,84 @@ mod tests {
             vec![n[2]],
         );
         assert_ne!(a.content_bytes(), angle_changed.content_bytes());
+    }
+
+    #[test]
+    fn wire_codec_round_trips() {
+        let p = chain_pattern();
+        let back = Pattern::from_bytes(&p.to_bytes()).unwrap();
+        assert_eq!(back, p);
+        // And the cache fingerprint input agrees, so a remotely
+        // submitted pattern hits the same store entries.
+        assert_eq!(back.content_bytes(), p.content_bytes());
+    }
+
+    #[test]
+    fn wire_codec_rejects_invalid_patterns() {
+        let p = chain_pattern();
+        let bytes = p.to_bytes();
+        assert!(Pattern::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(Pattern::from_bytes(&[]).is_err());
+
+        // A measured output must be a typed error, not a panic.
+        let mut g = Graph::with_nodes(2);
+        let n: Vec<NodeId> = g.nodes().collect();
+        g.add_edge(n[0], n[1]);
+        let valid = Pattern::from_parts(
+            g,
+            vec![0.1, 0.0],
+            vec![true, false],
+            vec![Some(n[1]), None],
+            vec![0, 0],
+            vec![n[0]],
+            vec![n[1]],
+        );
+        // The `measured` flag of the output node lives in the
+        // measured column; flipping it by scanning for the exact
+        // encoding is brittle, so rebuild through the encoder.
+        let mut e = Encoder::new();
+        e.bytes(&valid.graph.to_bytes());
+        e.f64(0.1); // angle column
+        e.f64(0.0);
+        e.u8(1); // measured column: output marked measured
+        e.u8(1);
+        e.u64(1); // wire-successor column
+        e.u64(0);
+        e.usize(0); // qubit column
+        e.usize(0);
+        e.usize_slice(&[0]);
+        e.usize_slice(&[1]);
+        let bytes = e.into_bytes();
+        assert_eq!(
+            Pattern::from_bytes(&bytes).unwrap_err(),
+            CodecError::Invalid("output node marked measured")
+        );
+
+        // A measured node whose successor is not a graph neighbor.
+        let mut e = Encoder::new();
+        let mut g2 = Graph::with_nodes(3);
+        let m: Vec<NodeId> = g2.nodes().collect();
+        g2.add_edge(m[0], m[1]);
+        g2.add_edge(m[1], m[2]);
+        e.bytes(&g2.to_bytes());
+        e.f64(0.1); // angle column
+        e.f64(0.2);
+        e.f64(0.0);
+        e.u8(1); // measured column
+        e.u8(1);
+        e.u8(0);
+        e.u64(2); // wire-successor column: n0's successor n2 is not adjacent
+        e.u64(2);
+        e.u64(u64::MAX);
+        e.usize(0); // qubit column
+        e.usize(0);
+        e.usize(0);
+        e.usize_slice(&[0]);
+        e.usize_slice(&[2]);
+        assert_eq!(
+            Pattern::from_bytes(&e.into_bytes()).unwrap_err(),
+            CodecError::Invalid("flow successor is not a neighbor")
+        );
     }
 
     #[test]

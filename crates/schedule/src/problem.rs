@@ -330,6 +330,26 @@ impl LayerScheduleProblem {
     /// Returns [`CodecError`] on truncated input or shapes that violate
     /// the constructor invariants.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        Self::decode(bytes, true)
+    }
+
+    /// Decodes a problem from a *trusted, integrity-checked* source —
+    /// bytes produced by [`LayerScheduleProblem::to_bytes`] behind a
+    /// checksummed transport. Every shape and range check that guards
+    /// later indexing is kept (arbitrary bytes still never panic); only
+    /// the dependency DAG's mirror-consistency audit is skipped (see
+    /// [`DiGraph::from_bytes_trusted`]). Durable storage must keep
+    /// using [`LayerScheduleProblem::from_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on truncated input or shapes that violate
+    /// the constructor invariants.
+    pub fn from_bytes_trusted(bytes: &[u8]) -> Result<Self, CodecError> {
+        Self::decode(bytes, false)
+    }
+
+    fn decode(bytes: &[u8], verify_deps: bool) -> Result<Self, CodecError> {
         let mut d = Decoder::new(bytes);
         let num_qpus = d.usize()?;
         let main_counts = d.usize_vec()?;
@@ -376,7 +396,11 @@ impl LayerScheduleProblem {
                 }
                 fusee_pairs.push((u, v));
             }
-            let deps = DiGraph::from_bytes(d.bytes()?)?;
+            let deps = if verify_deps {
+                DiGraph::from_bytes(d.bytes()?)?
+            } else {
+                DiGraph::from_bytes_trusted(d.bytes()?)?
+            };
             if deps.node_count() != n {
                 return Err(CodecError::Invalid("deps size disagrees with slots"));
             }

@@ -501,6 +501,7 @@
 //! ```
 
 pub mod executor;
+pub(crate) mod fair;
 pub mod fault;
 pub mod service;
 pub mod store;
@@ -509,8 +510,9 @@ pub mod telemetry;
 pub use dc_mbqc::{PipelineStage, StageKind};
 pub use fault::{FaultConfig, FaultPlan, InjectedFault};
 pub use service::{
-    CancelToken, CompileService, ExecutionEngine, JobHandle, JobId, JobOptions, Priority,
-    QueuePolicy, RetryPolicy, ServiceConfig, ServiceError, ServiceStats, TelemetryConfig,
+    AdmissionConfig, AdmissionError, CancelToken, CompileService, ExecutionEngine, JobHandle,
+    JobId, JobOptions, Priority, QueuePolicy, RetryPolicy, ServiceConfig, ServiceError,
+    ServiceStats, TelemetryConfig, TenantQuota, TenantStat,
 };
 pub use store::{ArtifactBytes, ArtifactKey, ArtifactStore, StoreConfig, StoreStats};
 pub use telemetry::{

@@ -95,6 +95,7 @@ use mbqc_util::sync::{lock, wait, wait_timeout};
 use mbqc_util::metrics::{Histogram, Summary};
 
 use crate::executor;
+use crate::fair::{FairClass, TenantWeights};
 use crate::fault::FaultPlan;
 use crate::store::{ArtifactKey, ArtifactStore, StoreConfig, StoreStats};
 use crate::telemetry::{EventKind, EventStream, TelemetryEvent, TelemetryHub, TerminalState};
@@ -102,6 +103,24 @@ use crate::telemetry::{EventKind, EventStream, TelemetryEvent, TelemetryHub, Ter
 /// Handle of a submitted compilation job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct JobId(pub(crate) u64);
+
+impl JobId {
+    /// The raw id value — the wire representation used by `mbqc-net`
+    /// (job ids are per-service, monotonically allocated at submit).
+    #[must_use]
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a `JobId` from its raw value (the inverse of
+    /// [`as_u64`](Self::as_u64) — how a network server resolves an id
+    /// decoded off the wire). An id that was never allocated behaves
+    /// like any unknown id: [`ServiceError::UnknownJob`].
+    #[must_use]
+    pub fn from_raw(raw: u64) -> Self {
+        JobId(raw)
+    }
+}
 
 /// Scheduling priority of a job: orders the shared ready-queue.
 ///
@@ -258,6 +277,175 @@ pub enum QueuePolicy {
     /// relief under mixed load: a Batch-affined worker drains backfill
     /// without racing the interactive workers for the same heap top.
     WorkStealing,
+    /// Weighted fair sharing across *tenants* within a priority class
+    /// (priority still dominates across classes). Each tenant
+    /// ([`JobOptions::tenant`]) gets a FIFO lane; lanes are served by a
+    /// credit scheduler so every backlogged tenant's share of pops
+    /// stays within one task of its configured weight
+    /// ([`TenantQuota::weight`], default 1) — a tenant flooding the
+    /// queue can no longer starve the others in its class. With a
+    /// single tenant this degenerates to [`QueuePolicy::PriorityFifo`]
+    /// exactly. See the `fair` module docs for the scheduling rule and
+    /// its fairness bound.
+    WeightedFair,
+}
+
+/// One tenant's multi-tenancy configuration: its fair-share weight
+/// under [`QueuePolicy::WeightedFair`] and an optional in-flight quota
+/// enforced by admission-checked submits.
+///
+/// # Examples
+///
+/// ```
+/// use mbqc_service::TenantQuota;
+///
+/// let q = TenantQuota::new(7).with_weight(3).with_max_in_flight(64);
+/// assert_eq!(q.tenant, 7);
+/// assert_eq!(q.weight, 3);
+/// assert_eq!(q.max_in_flight, Some(64));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantQuota {
+    /// The tenant id this entry configures.
+    pub tenant: u32,
+    /// Fair-share weight under [`QueuePolicy::WeightedFair`]: a
+    /// backlogged weight-3 tenant gets three pops for every pop a
+    /// weight-1 tenant gets, within one task. Must be non-zero —
+    /// [`CompileService::new`] rejects a zero weight (a tenant that
+    /// should never run is expressed by not submitting, not by a
+    /// starvation weight).
+    pub weight: u32,
+    /// Ceiling on the tenant's concurrently in-flight jobs (submitted
+    /// but not yet terminal). Enforced only by the admission-checked
+    /// submits ([`CompileService::submit_checked`]); `None` (the
+    /// default) is unlimited.
+    pub max_in_flight: Option<u64>,
+}
+
+impl TenantQuota {
+    /// A quota entry with weight 1 and no in-flight limit.
+    #[must_use]
+    pub fn new(tenant: u32) -> Self {
+        Self {
+            tenant,
+            weight: 1,
+            max_in_flight: None,
+        }
+    }
+
+    /// Sets the fair-share weight (must be non-zero; validated at
+    /// [`CompileService::new`]).
+    #[must_use]
+    pub fn with_weight(mut self, weight: u32) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Sets the in-flight quota.
+    #[must_use]
+    pub fn with_max_in_flight(mut self, max_in_flight: u64) -> Self {
+        self.max_in_flight = Some(max_in_flight);
+        self
+    }
+}
+
+/// Admission-control configuration: what the *checked* submit paths
+/// ([`CompileService::submit_checked`],
+/// [`CompileService::submit_observed_checked`]) enforce before a job
+/// may enter the queue. The unchecked submits ([`CompileService::submit`]
+/// & co) bypass every check — in-process callers keep their infallible
+/// API; the network front door routes through the checked path.
+#[derive(Debug, Clone, Default)]
+pub struct AdmissionConfig {
+    /// Bound on the submit queue (jobs queued or parked, not yet
+    /// running): a checked submit that would exceed it is rejected
+    /// [`AdmissionError::Overloaded`] instead of enqueued — typed
+    /// backpressure the client can retry on, rather than an unbounded
+    /// queue absorbing any overload. `None` (the default) is
+    /// unbounded.
+    pub max_queue_depth: Option<usize>,
+    /// Per-tenant weights and quotas. Tenants not listed here get
+    /// weight 1 and no quota. Duplicate tenant ids and zero weights
+    /// are rejected by [`CompileService::new`].
+    pub tenants: Vec<TenantQuota>,
+}
+
+/// Why an admission-checked submit refused a job. Rejection happens
+/// *at submit*: the job was never enqueued, holds no id, and costs the
+/// service nothing (counted in [`ServiceStats::rejected`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The submit queue is at [`AdmissionConfig::max_queue_depth`].
+    Overloaded {
+        /// Jobs queued or parked at the time of the check.
+        depth: usize,
+        /// The configured bound.
+        limit: usize,
+    },
+    /// The tenant is at its [`TenantQuota::max_in_flight`] ceiling.
+    QuotaExceeded {
+        /// The tenant whose quota is exhausted.
+        tenant: u32,
+        /// The tenant's in-flight jobs at the time of the check.
+        in_flight: u64,
+        /// The configured ceiling.
+        limit: u64,
+    },
+    /// The deadline cannot be met: it already lapsed (a zero budget),
+    /// or the queue's current depth times the observed per-job stage
+    /// latency (the sum of the four stage p95s) exceeds it. With no
+    /// latency samples yet the service admits optimistically — the
+    /// estimate only ever rejects on evidence.
+    DeadlineUnmeetable {
+        /// The submitted time budget, nanoseconds.
+        deadline_ns: u64,
+        /// The service-time estimate that exceeded it, nanoseconds.
+        estimated_ns: u64,
+    },
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::Overloaded { depth, limit } => {
+                write!(
+                    f,
+                    "submit queue overloaded: {depth} jobs queued (limit {limit})"
+                )
+            }
+            AdmissionError::QuotaExceeded {
+                tenant,
+                in_flight,
+                limit,
+            } => write!(
+                f,
+                "tenant {tenant} quota exceeded: {in_flight} jobs in flight (limit {limit})"
+            ),
+            AdmissionError::DeadlineUnmeetable {
+                deadline_ns,
+                estimated_ns,
+            } => write!(
+                f,
+                "deadline of {deadline_ns}ns cannot be met: estimated service time {estimated_ns}ns"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// One tenant's row in [`ServiceStats::tenants`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantStat {
+    /// The tenant id.
+    pub tenant: u32,
+    /// Jobs this tenant has submitted.
+    pub submitted: u64,
+    /// Jobs currently in flight (submitted, not yet terminal). Summed
+    /// over all tenants this always equals
+    /// `submitted − completed − cancelled − expired` in the same
+    /// snapshot.
+    pub in_flight: u64,
 }
 
 /// Per-job retry policy for *transient* failures.
@@ -361,6 +549,12 @@ pub struct JobOptions {
     /// Retry policy for transient ([`ServiceError::Internal`])
     /// failures. The default never retries.
     pub retry: RetryPolicy,
+    /// The submitting tenant (default 0). Tenancy is pure scheduling
+    /// and accounting — it feeds the per-tenant fair lanes under
+    /// [`QueuePolicy::WeightedFair`], the in-flight quotas of the
+    /// admission-checked submits, and the [`ServiceStats::tenants`]
+    /// breakdown — and never changes a job's result.
+    pub tenant: u32,
 }
 
 /// Which machinery executes queued jobs. Results are bit-identical
@@ -416,6 +610,11 @@ pub struct ServiceConfig {
     /// cost beyond one relaxed atomic check per emit site until
     /// somebody subscribes.
     pub telemetry: TelemetryConfig,
+    /// Admission control: queue bound, per-tenant weights and quotas.
+    /// Enforced by the *checked* submit paths only
+    /// ([`CompileService::submit_checked`]); the default is fully
+    /// permissive.
+    pub admission: AdmissionConfig,
 }
 
 impl Default for ServiceConfig {
@@ -428,6 +627,7 @@ impl Default for ServiceConfig {
             store: StoreConfig::default(),
             faults: FaultPlan::none(),
             telemetry: TelemetryConfig::default(),
+            admission: AdmissionConfig::default(),
         }
     }
 }
@@ -459,7 +659,7 @@ impl Default for TelemetryConfig {
 }
 
 /// Aggregate service counters (a consistent snapshot).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ServiceStats {
     /// Jobs submitted.
     pub submitted: u64,
@@ -542,6 +742,20 @@ pub struct ServiceStats {
     pub disk_quarantined: bool,
     /// Artifact-store counters.
     pub store: StoreStats,
+    /// Admission-checked submits refused before enqueue
+    /// ([`AdmissionError`] — overload, quota, or unmeetable deadline).
+    /// Rejected jobs appear in no other counter.
+    pub rejected: u64,
+    /// Jobs queued or parked (not running) at snapshot time — the
+    /// depth [`AdmissionConfig::max_queue_depth`] bounds. Sampled
+    /// alongside the counters, not under the same lock.
+    pub queue_depth: usize,
+    /// Per-tenant submission/in-flight breakdown, sorted by tenant id.
+    /// Within one snapshot the in-flight column sums to
+    /// `submitted − completed − cancelled − expired` exactly — reading
+    /// every counter under one lock is what makes the invariant hold
+    /// (hammer-tested against concurrent churn).
+    pub tenants: Vec<TenantStat>,
 }
 
 impl ServiceStats {
@@ -619,6 +833,10 @@ pub(crate) struct JobState {
     pub(crate) pattern: Pattern,
     pub(crate) config: DcMbqcConfig,
     pub(crate) priority: Priority,
+    /// The submitting tenant ([`JobOptions::tenant`]): routes the
+    /// job's queue entries to its fair lane under
+    /// [`QueuePolicy::WeightedFair`].
+    pub(crate) tenant: u32,
     /// Stage-task dependency tracker (stage-graph engine only).
     pub(crate) stages: StageGraph,
     /// Artifact keys, computed once by the first stage task.
@@ -656,10 +874,12 @@ pub(crate) struct JobState {
 }
 
 impl JobState {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         pattern: Pattern,
         config: DcMbqcConfig,
         priority: Priority,
+        tenant: u32,
         cancel: CancelToken,
         deadline: Option<Instant>,
         retry: RetryPolicy,
@@ -669,6 +889,7 @@ impl JobState {
             pattern,
             config,
             priority,
+            tenant,
             stages: StageGraph::new(),
             keys: None,
             order: None,
@@ -704,17 +925,20 @@ impl JobState {
 /// (always 0 under [`QueuePolicy::PriorityFifo`], so the term is
 /// inert), then submission order.
 #[derive(Debug, Clone, Copy)]
-struct ReadyJob {
-    priority: Priority,
+pub(crate) struct ReadyJob {
+    pub(crate) priority: Priority,
     /// Satisfied-stage count at push time under
     /// [`QueuePolicy::DeepestStageFirst`]; 0 under
     /// [`QueuePolicy::PriorityFifo`].
-    depth: u32,
-    seq: u64,
+    pub(crate) depth: u32,
+    pub(crate) seq: u64,
+    /// The job's tenant: selects the fair lane under
+    /// [`QueuePolicy::WeightedFair`] (never part of the heap order).
+    pub(crate) tenant: u32,
     /// Push time, for the queue-wait histogram (never part of the heap
     /// order). A parked retry is re-stamped at promotion, so its
     /// sample measures wait since re-entering the ready queue.
-    enqueued: Instant,
+    pub(crate) enqueued: Instant,
 }
 
 impl Ord for ReadyJob {
@@ -772,19 +996,43 @@ pub(crate) struct QueueState {
     /// back to the queue or finish — shutdown must wait for them).
     running: usize,
     shutdown: bool,
+    /// Per-class weighted-fair lanes, present exactly under
+    /// [`QueuePolicy::WeightedFair`] (the `ready` heaps then stay
+    /// empty — entries route to their tenant's lane instead).
+    fair: Option<[FairClass; 3]>,
+    /// Tenant fair-share weights (only read when `fair` is active).
+    weights: TenantWeights,
 }
 
 impl QueueState {
-    /// Queues a ready entry under its job's priority class.
+    /// Fresh queue state for the given policy (fair lanes only under
+    /// [`QueuePolicy::WeightedFair`]).
+    fn for_policy(policy: QueuePolicy, weights: TenantWeights) -> Self {
+        Self {
+            fair: (policy == QueuePolicy::WeightedFair)
+                .then(|| std::array::from_fn(|_| FairClass::default())),
+            weights,
+            ..Self::default()
+        }
+    }
+
+    /// Queues a ready entry under its job's priority class (and, under
+    /// weighted-fair scheduling, its tenant's lane).
     fn push_ready(&mut self, entry: ReadyJob) {
-        self.ready[entry.priority as usize].push(entry);
+        match &mut self.fair {
+            Some(classes) => classes[entry.priority as usize].push(entry, &self.weights),
+            None => self.ready[entry.priority as usize].push(entry),
+        }
     }
 
     /// Pops the best ready entry in the given class-scan order (every
     /// scan covers all three classes, so `None` means the whole ready
     /// queue is empty regardless of policy).
     fn pop_ready(&mut self, scan: [usize; 3]) -> Option<ReadyJob> {
-        scan.into_iter().find_map(|class| self.ready[class].pop())
+        match &mut self.fair {
+            Some(classes) => scan.into_iter().find_map(|class| classes[class].pop()),
+            None => scan.into_iter().find_map(|class| self.ready[class].pop()),
+        }
     }
 }
 
@@ -796,7 +1044,9 @@ impl QueueState {
 fn scan_order(policy: QueuePolicy, worker: usize) -> [usize; 3] {
     const DESCENDING: [usize; 3] = [2, 1, 0];
     match policy {
-        QueuePolicy::PriorityFifo | QueuePolicy::DeepestStageFirst => DESCENDING,
+        QueuePolicy::PriorityFifo | QueuePolicy::DeepestStageFirst | QueuePolicy::WeightedFair => {
+            DESCENDING
+        }
         QueuePolicy::WorkStealing => match worker % 3 {
             0 => [2, 1, 0], // home Interactive
             1 => [1, 2, 0], // home Normal
@@ -813,6 +1063,9 @@ struct PendingJob {
     cancel: CancelToken,
     /// Live attempt counter shared with the job's `JobState`.
     attempts: Arc<AtomicU32>,
+    /// The submitting tenant — read back at terminal publish to
+    /// release the tenant's in-flight slot.
+    tenant: u32,
 }
 
 /// A terminal job's result, held until the client takes it.
@@ -840,6 +1093,7 @@ struct Follower {
     pattern: Pattern,
     config: DcMbqcConfig,
     priority: Priority,
+    tenant: u32,
     cancel: CancelToken,
     deadline: Option<Instant>,
     retry: RetryPolicy,
@@ -903,6 +1157,18 @@ pub(crate) struct Counters {
     pub(crate) hits_partitioned: u64,
     pub(crate) full_compiles: u64,
     pub(crate) total_latency_ns: u64,
+    /// Admission-checked submits refused before enqueue.
+    pub(crate) rejected: u64,
+    /// Per-tenant submissions (keyed by tenant id; tenants appear on
+    /// first submit).
+    pub(crate) tenant_submitted: HashMap<u32, u64>,
+    /// Per-tenant in-flight jobs: incremented at submit, decremented
+    /// at terminal publish, both under this lock — so in any snapshot
+    /// the values sum to `submitted − completed − cancelled − expired`
+    /// exactly (the quota check reads the same map in the same
+    /// critical section as its increment, so a quota can never be
+    /// oversubscribed by racing submits).
+    pub(crate) tenant_in_flight: HashMap<u32, u64>,
 }
 
 /// Always-on latency histograms (snapshotted into
@@ -950,6 +1216,10 @@ pub(crate) struct Shared {
     pub(crate) policy: QueuePolicy,
     /// Task-level fault injection (inert in production builds).
     pub(crate) faults: FaultPlan,
+    /// Queue bound enforced by admission-checked submits.
+    max_queue_depth: Option<usize>,
+    /// Tenant → in-flight quota (tenants with no entry are unlimited).
+    quotas: HashMap<u32, u64>,
 }
 
 impl Shared {
@@ -959,10 +1229,13 @@ impl Shared {
         ReadyJob {
             priority: state.priority,
             depth: match self.policy {
-                QueuePolicy::PriorityFifo | QueuePolicy::WorkStealing => 0,
+                QueuePolicy::PriorityFifo
+                | QueuePolicy::WorkStealing
+                | QueuePolicy::WeightedFair => 0,
                 QueuePolicy::DeepestStageFirst => state.stages.depth(),
             },
             seq,
+            tenant: state.tenant,
             enqueued: Instant::now(),
         }
     }
@@ -1098,7 +1371,8 @@ impl Shared {
                     Some(err) => Err(err),
                     None => result.clone(),
                 };
-                self.publish_terminal(f.seq, r);
+                // Followers ran zero tasks: no latency contribution.
+                self.publish_terminal(f.seq, r, 0);
             }
             return;
         }
@@ -1129,11 +1403,12 @@ impl Shared {
         };
         drop(inflight);
         for (fseq, err) in dead {
-            self.publish_terminal(fseq, Err(err));
+            self.publish_terminal(fseq, Err(err), 0);
         }
         if let Some(f) = promoted {
             let state = JobState::new(
-                f.pattern, f.config, f.priority, f.cancel, f.deadline, f.retry, f.attempts,
+                f.pattern, f.config, f.priority, f.tenant, f.cancel, f.deadline, f.retry,
+                f.attempts,
             );
             let entry = self.ready_entry(f.seq, &state);
             let mut q = lock(&self.queue);
@@ -1145,9 +1420,29 @@ impl Shared {
     }
 
     /// Rolls the terminal-state counters and publishes the result
-    /// (common tail of every way a job can end).
-    fn publish_terminal(&self, seq: u64, result: Result<DistributedSchedule, ServiceError>) {
+    /// (common tail of every way a job can end). `latency_ns` is the
+    /// job's accumulated in-worker latency — folded into
+    /// `total_latency_ns` inside the *same* critical section as the
+    /// terminal counter, so a [`CompileService::stats`] snapshot can
+    /// never observe a completed job without its latency (or the
+    /// latency of a job not yet counted completed); the tenant's
+    /// in-flight slot is released there too, keeping
+    /// `Σ tenant_in_flight == submitted − completed − cancelled −
+    /// expired` an invariant of every snapshot.
+    fn publish_terminal(
+        &self,
+        seq: u64,
+        result: Result<DistributedSchedule, ServiceError>,
+        latency_ns: u64,
+    ) {
         self.settle_inflight(seq, &result);
+        // Each job publishes exactly once, and its pending entry is
+        // only removed below — so the tenant read here is reliable.
+        let tenant = lock(&self.results)
+            .pending
+            .get(&JobId(seq))
+            .map(|p| p.tenant);
+        debug_assert!(tenant.is_some(), "terminal publish without pending entry");
         {
             let mut c = lock(&self.counters);
             match &result {
@@ -1157,7 +1452,19 @@ impl Shared {
                     c.completed += 1;
                     c.failed += 1;
                 }
-                Ok(_) => c.completed += 1,
+                Ok(_) => {
+                    c.completed += 1;
+                    // Latency counts only for jobs that succeeded —
+                    // failed jobs inflate `completed` but would poison
+                    // the mean with partial pipelines (see
+                    // `ServiceStats::mean_latency_ns`).
+                    c.total_latency_ns += latency_ns;
+                }
+            }
+            if let Some(t) = tenant {
+                if let Some(v) = c.tenant_in_flight.get_mut(&t) {
+                    *v = v.saturating_sub(1);
+                }
             }
         }
         // Emit the terminal event *before* publishing the result:
@@ -1199,13 +1506,7 @@ impl Shared {
             q.running -= 1;
         }
         self.queue_cv.notify_all();
-        // Latency counts only for jobs that succeeded — failed jobs
-        // inflate `completed` but would poison the mean with partial
-        // pipelines (see `ServiceStats::mean_latency_ns`).
-        if result.is_ok() {
-            lock(&self.counters).total_latency_ns += latency_ns;
-        }
-        self.publish_terminal(seq, result);
+        self.publish_terminal(seq, result, latency_ns);
     }
 
     /// The retry decision point, called by both engines when a job's
@@ -1248,7 +1549,7 @@ impl Shared {
     /// Records a job that terminated *without* occupying a running
     /// slot: cancelled while queued, or expired/cancelled at a pop.
     pub(crate) fn finish_dropped(&self, seq: u64, err: ServiceError) {
-        self.publish_terminal(seq, Err(err));
+        self.publish_terminal(seq, Err(err), 0);
     }
 }
 
@@ -1266,8 +1567,27 @@ impl CompileService {
     ///
     /// # Errors
     ///
-    /// Returns the I/O error when the disk tier cannot be initialized.
+    /// Returns the I/O error when the disk tier cannot be initialized,
+    /// or an [`InvalidInput`](std::io::ErrorKind::InvalidInput) error
+    /// for a malformed [`AdmissionConfig`] — a zero tenant weight
+    /// (which would starve the tenant forever under
+    /// [`QueuePolicy::WeightedFair`]) or a duplicate tenant id.
     pub fn new(config: ServiceConfig) -> std::io::Result<Self> {
+        let mut seen_tenants = std::collections::HashSet::new();
+        for t in &config.admission.tenants {
+            if t.weight == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!("tenant {} configured with zero weight", t.tenant),
+                ));
+            }
+            if !seen_tenants.insert(t.tenant) {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!("tenant {} configured twice", t.tenant),
+                ));
+            }
+        }
         let workers = if config.workers == 0 {
             std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
         } else {
@@ -1280,8 +1600,21 @@ impl CompileService {
         let store = ArtifactStore::new(config.store)?;
         // The store emits quarantine transitions through the same hub.
         store.attach_telemetry(Arc::clone(&telemetry));
+        let weights = TenantWeights::new(
+            config
+                .admission
+                .tenants
+                .iter()
+                .map(|t| (t.tenant, u64::from(t.weight))),
+        );
+        let quotas = config
+            .admission
+            .tenants
+            .iter()
+            .filter_map(|t| t.max_in_flight.map(|m| (t.tenant, m)))
+            .collect();
         let shared = Arc::new(Shared {
-            queue: Mutex::new(QueueState::default()),
+            queue: Mutex::new(QueueState::for_policy(config.policy, weights)),
             queue_cv: Condvar::new(),
             results: Mutex::new(ResultState::default()),
             results_cv: Condvar::new(),
@@ -1296,6 +1629,8 @@ impl CompileService {
             workers,
             policy: config.policy,
             faults: config.faults,
+            max_queue_depth: config.admission.max_queue_depth,
+            quotas,
         });
         let handles = (0..workers)
             .map(|i| {
@@ -1357,7 +1692,9 @@ impl CompileService {
         config: DcMbqcConfig,
         options: JobOptions,
     ) -> JobHandle<'_> {
-        self.submit_inner(pattern, config, options, false).0
+        self.submit_inner(pattern, config, options, false, false)
+            .expect("admission checks disabled")
+            .0
     }
 
     /// Like [`submit_with`](Self::submit_with), but also returns a
@@ -1373,8 +1710,55 @@ impl CompileService {
         config: DcMbqcConfig,
         options: JobOptions,
     ) -> (JobHandle<'_>, EventStream) {
-        let (handle, events) = self.submit_inner(pattern, config, options, true);
+        let (handle, events) = self
+            .submit_inner(pattern, config, options, true, false)
+            .expect("admission checks disabled");
         (handle, events.expect("observed submit registers a stream"))
+    }
+
+    /// Admission-checked submit: enforces [`ServiceConfig::admission`]
+    /// — the queue bound, the tenant's in-flight quota, and deadline
+    /// feasibility — *before* the job enters the queue. A rejected job
+    /// was never enqueued, holds no id, and costs the service nothing
+    /// beyond the [`ServiceStats::rejected`] count. This is the submit
+    /// path the `mbqc-net` front door routes through; the unchecked
+    /// [`submit_with`](Self::submit_with) family stays infallible for
+    /// in-process callers.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionError::Overloaded`] when the queue is at its bound,
+    /// [`AdmissionError::QuotaExceeded`] when the tenant is at its
+    /// in-flight ceiling, [`AdmissionError::DeadlineUnmeetable`] when
+    /// the deadline already lapsed or the queue's depth times the
+    /// observed per-job stage latency exceeds it.
+    pub fn submit_checked(
+        &self,
+        pattern: Pattern,
+        config: DcMbqcConfig,
+        options: JobOptions,
+    ) -> Result<JobHandle<'_>, AdmissionError> {
+        self.submit_inner(pattern, config, options, false, true)
+            .map(|(handle, _)| handle)
+    }
+
+    /// [`submit_checked`](Self::submit_checked) +
+    /// [`submit_observed`](Self::submit_observed): admission-checked,
+    /// and on admission returns the job's guaranteed-complete
+    /// [`EventStream`] — how `mbqc-net` serves `SubscribeEvents`
+    /// streams with no subscription race.
+    ///
+    /// # Errors
+    ///
+    /// As [`submit_checked`](Self::submit_checked).
+    pub fn submit_observed_checked(
+        &self,
+        pattern: Pattern,
+        config: DcMbqcConfig,
+        options: JobOptions,
+    ) -> Result<(JobHandle<'_>, EventStream), AdmissionError> {
+        let (handle, events) = self.submit_inner(pattern, config, options, true, true)?;
+        Ok((handle, events.expect("observed submit registers a stream")))
     }
 
     fn submit_inner(
@@ -1383,29 +1767,83 @@ impl CompileService {
         config: DcMbqcConfig,
         options: JobOptions,
         observed: bool,
-    ) -> (JobHandle<'_>, Option<EventStream>) {
+        admission: bool,
+    ) -> Result<(JobHandle<'_>, Option<EventStream>), AdmissionError> {
         let JobOptions {
             priority,
             deadline,
             cancel,
             retry,
+            tenant,
         } = options;
+        if admission {
+            // Backpressure and deadline feasibility read the queue
+            // depth once, outside the counters lock (the two checks
+            // are advisory against racing submits; the quota check
+            // below is exact — it shares the increment's critical
+            // section).
+            let depth = {
+                let q = lock(&self.shared.queue);
+                q.jobs.len() + q.parked.len()
+            };
+            if let Some(limit) = self.shared.max_queue_depth {
+                if depth >= limit {
+                    lock(&self.shared.counters).rejected += 1;
+                    return Err(AdmissionError::Overloaded { depth, limit });
+                }
+            }
+            if let Some(budget) = deadline {
+                let deadline_ns = budget.as_nanos().min(u128::from(u64::MAX)) as u64;
+                // Per-job service-time estimate: the sum of the four
+                // stage p95s from the always-on histograms, times the
+                // jobs that must drain first (plus this one). No
+                // samples yet → estimate 0 → admit optimistically.
+                let per_job_ns: u64 = StageKind::ALL
+                    .iter()
+                    .map(|s| self.shared.metrics.stage[s.index()].summary().p95)
+                    .sum();
+                let estimated_ns = per_job_ns.saturating_mul(depth as u64 + 1);
+                if deadline_ns == 0 || estimated_ns > deadline_ns {
+                    lock(&self.shared.counters).rejected += 1;
+                    return Err(AdmissionError::DeadlineUnmeetable {
+                        deadline_ns,
+                        estimated_ns,
+                    });
+                }
+            }
+        }
         let cancel = cancel.unwrap_or_default();
         let deadline = deadline.map(|d| Instant::now() + d);
         let attempts = Arc::new(AtomicU32::new(1));
+        {
+            let mut c = lock(&self.shared.counters);
+            if admission {
+                if let Some(&limit) = self.shared.quotas.get(&tenant) {
+                    let in_flight = c.tenant_in_flight.get(&tenant).copied().unwrap_or(0);
+                    if in_flight >= limit {
+                        c.rejected += 1;
+                        return Err(AdmissionError::QuotaExceeded {
+                            tenant,
+                            in_flight,
+                            limit,
+                        });
+                    }
+                }
+            }
+            c.submitted += 1;
+            c.submitted_by_priority[priority as usize] += 1;
+            *c.tenant_submitted.entry(tenant).or_insert(0) += 1;
+            *c.tenant_in_flight.entry(tenant).or_insert(0) += 1;
+        }
         let id = JobId(self.shared.next_id.fetch_add(1, Ordering::Relaxed));
         lock(&self.shared.results).pending.insert(
             id,
             PendingJob {
                 cancel: cancel.clone(),
                 attempts: Arc::clone(&attempts),
+                tenant,
             },
         );
-        {
-            let mut c = lock(&self.shared.counters);
-            c.submitted += 1;
-            c.submitted_by_priority[priority as usize] += 1;
-        }
         // Register the observer and emit `Submitted` before the job
         // becomes poppable, so no event can precede the subscription
         // and `Submitted` is always seq 0.
@@ -1436,6 +1874,7 @@ impl CompileService {
                         pattern,
                         config,
                         priority,
+                        tenant,
                         cancel,
                         deadline,
                         retry,
@@ -1451,7 +1890,7 @@ impl CompileService {
                         },
                     );
                 }
-                return (JobHandle { service: self, id }, events);
+                return Ok((JobHandle { service: self, id }, events));
             }
             inflight.by_key.insert(key, id.0);
             inflight.groups.insert(
@@ -1462,14 +1901,16 @@ impl CompileService {
                 },
             );
         }
-        let state = JobState::new(pattern, config, priority, cancel, deadline, retry, attempts);
+        let state = JobState::new(
+            pattern, config, priority, tenant, cancel, deadline, retry, attempts,
+        );
         let entry = self.shared.ready_entry(id.0, &state);
         let mut q = lock(&self.shared.queue);
         q.jobs.insert(id.0, state);
         q.push_ready(entry);
         drop(q);
         self.shared.queue_cv.notify_one();
-        (JobHandle { service: self, id }, events)
+        Ok((JobHandle { service: self, id }, events))
     }
 
     /// Enqueues one job at [`Priority::Normal`] with a time budget
@@ -1585,6 +2026,35 @@ impl CompileService {
         }
     }
 
+    /// [`wait`](Self::wait) with a timeout: blocks until the job
+    /// reaches a terminal state or `timeout` elapses. `None` means the
+    /// job is still queued or running — its result is untouched and a
+    /// later `wait`/`wait_timeout`/`try_poll` can still take it. This
+    /// is how the network server implements bounded `Wait` requests
+    /// without parking a connection thread forever.
+    #[must_use]
+    pub fn wait_timeout(
+        &self,
+        id: JobId,
+        timeout: Duration,
+    ) -> Option<Result<DistributedSchedule, ServiceError>> {
+        let deadline = Instant::now() + timeout;
+        let mut results = lock(&self.shared.results);
+        loop {
+            if let Some(r) = results.done.remove(&id) {
+                return Some(r.result);
+            }
+            if !results.pending.contains_key(&id) {
+                return Some(Err(ServiceError::UnknownJob(id)));
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return None;
+            }
+            results = wait_timeout(&self.shared.results_cv, results, remaining).0;
+        }
+    }
+
     /// Attempts the job has used so far: 1 until its first retry,
     /// frozen at the terminal count once the job ends. `None` for ids
     /// never submitted or whose result was already taken.
@@ -1641,7 +2111,21 @@ impl CompileService {
         let stage_latency = std::array::from_fn(|i| m.stage[i].summary());
         let queue_wait = m.queue_wait.summary();
         let warm_hit = m.warm_hit.summary();
+        let queue_depth = {
+            let q = lock(&self.shared.queue);
+            q.jobs.len() + q.parked.len()
+        };
         let c = lock(&self.shared.counters);
+        let mut tenants: Vec<TenantStat> = c
+            .tenant_submitted
+            .iter()
+            .map(|(&tenant, &submitted)| TenantStat {
+                tenant,
+                submitted,
+                in_flight: c.tenant_in_flight.get(&tenant).copied().unwrap_or(0),
+            })
+            .collect();
+        tenants.sort_unstable_by_key(|t| t.tenant);
         ServiceStats {
             submitted: c.submitted,
             submitted_by_priority: c.submitted_by_priority,
@@ -1663,6 +2147,9 @@ impl CompileService {
             warm_hit,
             pool_outstanding: self.shared.pool.outstanding(),
             disk_quarantined: store.disk_quarantined,
+            rejected: c.rejected,
+            queue_depth,
+            tenants,
             store,
         }
     }
@@ -2209,6 +2696,7 @@ mod tests {
             priority,
             depth,
             seq,
+            tenant: 0,
             enqueued: Instant::now(),
         }
     }
@@ -2303,6 +2791,85 @@ mod tests {
             .map(|r| r.seq)
             .collect();
         assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    /// Under `WeightedFair` the queue routes entries through the fair
+    /// lanes; priority still dominates across classes, and two equal-
+    /// weight tenants in one class interleave.
+    #[test]
+    fn weighted_fair_queue_interleaves_tenants_and_keeps_priority() {
+        let mut q = QueueState::for_policy(QueuePolicy::WeightedFair, TenantWeights::default());
+        let t = |tenant: u32, priority: Priority, seq: u64| ReadyJob {
+            priority,
+            depth: 0,
+            seq,
+            tenant,
+            enqueued: Instant::now(),
+        };
+        q.push_ready(t(0, Priority::Normal, 0));
+        q.push_ready(t(0, Priority::Normal, 1));
+        q.push_ready(t(1, Priority::Normal, 2));
+        q.push_ready(t(1, Priority::Normal, 3));
+        q.push_ready(t(0, Priority::Interactive, 4));
+        let scan = scan_order(QueuePolicy::WeightedFair, 0);
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop_ready(scan))
+            .map(|r| r.seq)
+            .collect();
+        // Interactive first, then Normal alternates tenants 0/1.
+        assert_eq!(order, vec![4, 0, 2, 1, 3]);
+    }
+
+    /// A zero tenant weight (guaranteed starvation) and a duplicate
+    /// tenant entry are configuration errors, rejected at service
+    /// construction — not silently accepted.
+    #[test]
+    fn malformed_admission_config_rejected_at_construction() {
+        let bad_weight = ServiceConfig {
+            admission: AdmissionConfig {
+                tenants: vec![TenantQuota::new(3).with_weight(0)],
+                ..AdmissionConfig::default()
+            },
+            ..ServiceConfig::default()
+        };
+        let err = CompileService::new(bad_weight).expect_err("zero weight must be rejected");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("tenant 3"), "{err}");
+
+        let duplicate = ServiceConfig {
+            admission: AdmissionConfig {
+                tenants: vec![TenantQuota::new(7), TenantQuota::new(7).with_weight(2)],
+                ..AdmissionConfig::default()
+            },
+            ..ServiceConfig::default()
+        };
+        let err = CompileService::new(duplicate).expect_err("duplicate tenant must be rejected");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("tenant 7"), "{err}");
+    }
+
+    /// Every admission error renders the identifying details a client
+    /// needs to react — notably the tenant id on quota rejections.
+    #[test]
+    fn admission_errors_render_details() {
+        let e = AdmissionError::QuotaExceeded {
+            tenant: 42,
+            in_flight: 8,
+            limit: 8,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("tenant 42"), "{msg}");
+        assert!(msg.contains("limit 8"), "{msg}");
+        let e = AdmissionError::Overloaded {
+            depth: 10,
+            limit: 10,
+        };
+        assert!(e.to_string().contains("limit 10"), "{e}");
+        let e = AdmissionError::DeadlineUnmeetable {
+            deadline_ns: 5,
+            estimated_ns: 9,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('5') && msg.contains('9'), "{msg}");
     }
 
     #[test]

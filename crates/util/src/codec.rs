@@ -65,6 +65,18 @@ impl Encoder {
         Self::default()
     }
 
+    /// An empty encoder whose buffer is pre-allocated for `capacity`
+    /// bytes. Encoders for large artifacts (patterns, schedules, wire
+    /// frames) know their encoded size up front — reserving it skips
+    /// the doubling-growth copies, which are measurable on the network
+    /// submit path.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
     /// The encoded bytes.
     #[must_use]
     pub fn into_bytes(self) -> Vec<u8> {
@@ -161,6 +173,17 @@ impl<'a> Decoder<'a> {
         let slice = &self.buf[self.pos..end];
         self.pos = end;
         Ok(slice)
+    }
+
+    /// Reads exactly `n` raw bytes with no length prefix — for fixed-
+    /// stride batch decoding, where the caller walks the returned slice
+    /// in `chunks_exact` instead of paying per-field decoder calls.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::UnexpectedEof`] when fewer than `n` bytes remain.
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        self.take(n)
     }
 
     /// Reads one byte.

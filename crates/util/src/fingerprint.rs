@@ -29,7 +29,7 @@ pub struct Fingerprint(pub u128);
 /// The SplitMix64 output finalizer (Steele, Lea, Flood 2014): a strong
 /// 64-bit bijective mixer.
 #[inline]
-fn mix(mut z: u64) -> u64 {
+pub(crate) fn mix(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)

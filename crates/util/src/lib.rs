@@ -17,6 +17,8 @@
 //!   offline, so there is no serde).
 //! * [`fingerprint`] — stable 128-bit content hashing for the
 //!   content-addressed artifact store of `mbqc-service`.
+//! * [`frame`] — checksummed, length-prefixed message frames over byte
+//!   streams: the transport layer under the `mbqc-net` wire protocol.
 //! * [`mmap`] — read-only memory-mapped byte buffers (with a heap
 //!   fallback), the zero-copy substrate under the store's lazy artifact
 //!   views.
@@ -42,6 +44,7 @@
 
 pub mod codec;
 pub mod fingerprint;
+pub mod frame;
 pub mod metrics;
 pub mod mmap;
 pub mod rng;

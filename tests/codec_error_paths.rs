@@ -206,3 +206,157 @@ proptest! {
         let _ = (codec.decodes)(&bytes[..cut]);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Wire frames (mbqc-net): the same errors-not-panics contract at the
+// network boundary — truncation, corrupted length prefix, bad
+// checksum, unknown verb, and oversized frames must all surface as
+// typed errors, never a panic, a hang, or a runaway allocation.
+// ---------------------------------------------------------------------------
+
+use mbqc_net::{Request, Response, WireJobOptions, KIND_REQUEST};
+use mbqc_util::frame::{encode_frame, read_frame, FrameError, FRAME_HEADER_LEN, MAX_FRAME_PAYLOAD};
+
+/// A realistic request frame: a full `Submit` with a real pattern and
+/// hardware config (the largest, most deeply nested payload the
+/// protocol carries).
+fn submit_frame() -> &'static [u8] {
+    static FRAME: std::sync::OnceLock<Vec<u8>> = std::sync::OnceLock::new();
+    FRAME.get_or_init(|| {
+        let qubits = 8;
+        let pattern = transpile(&bench::qft(qubits));
+        let hw = DistributedHardware::builder()
+            .num_qpus(3)
+            .grid_width(bench::grid_size_for(qubits))
+            .resource_state(ResourceStateKind::FIVE_STAR)
+            .kmax(4)
+            .build();
+        let request = Request::Submit {
+            pattern,
+            config: DcMbqcConfig::new(hw),
+            options: WireJobOptions::default(),
+        };
+        encode_frame(KIND_REQUEST, &request.to_bytes())
+    })
+}
+
+#[test]
+fn frame_truncation_is_typed_at_every_cut() {
+    let wire = submit_frame();
+    let step = (wire.len() / 97).max(1);
+    let cuts = (0..wire.len())
+        .step_by(step)
+        .chain(wire.len().saturating_sub(FRAME_HEADER_LEN + 2)..wire.len());
+    for cut in cuts {
+        let mut r = &wire[..cut];
+        assert!(
+            matches!(
+                read_frame(&mut r, MAX_FRAME_PAYLOAD),
+                Err(FrameError::Truncated)
+            ),
+            "cut at {cut} of {} must be Truncated",
+            wire.len()
+        );
+    }
+}
+
+#[test]
+fn corrupted_length_prefix_is_typed() {
+    // Length prefix lives at header bytes 5..9 (LE u32).
+    let mut wire = submit_frame().to_vec();
+
+    // Claim more than the ceiling: rejected before any allocation.
+    wire[5..9].copy_from_slice(&(MAX_FRAME_PAYLOAD + 1).to_le_bytes());
+    assert!(matches!(
+        read_frame(&mut wire.as_slice(), MAX_FRAME_PAYLOAD),
+        Err(FrameError::Oversized { len, max })
+            if len == MAX_FRAME_PAYLOAD + 1 && max == MAX_FRAME_PAYLOAD
+    ));
+
+    // Claim u32::MAX: still a typed rejection, no 4 GiB allocation.
+    wire[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        read_frame(&mut wire.as_slice(), MAX_FRAME_PAYLOAD),
+        Err(FrameError::Oversized { .. })
+    ));
+
+    // Claim slightly less than the real payload: the bytes read no
+    // longer hash to the header checksum.
+    let real_len = (submit_frame().len() - FRAME_HEADER_LEN) as u32;
+    wire[5..9].copy_from_slice(&(real_len - 1).to_le_bytes());
+    assert!(matches!(
+        read_frame(&mut wire.as_slice(), MAX_FRAME_PAYLOAD),
+        Err(FrameError::BadChecksum { .. })
+    ));
+
+    // Claim slightly more: the stream ends mid-payload.
+    wire[5..9].copy_from_slice(&(real_len + 1).to_le_bytes());
+    assert!(matches!(
+        read_frame(&mut wire.as_slice(), MAX_FRAME_PAYLOAD),
+        Err(FrameError::Truncated)
+    ));
+}
+
+#[test]
+fn bad_magic_and_bad_checksum_are_typed() {
+    let mut wire = submit_frame().to_vec();
+    wire[0] ^= 0xFF;
+    assert!(matches!(
+        read_frame(&mut wire.as_slice(), MAX_FRAME_PAYLOAD),
+        Err(FrameError::BadMagic(_))
+    ));
+
+    let mut wire = submit_frame().to_vec();
+    let last = wire.len() - 1; // corrupt payload, not header
+    wire[last] ^= 0x01;
+    assert!(matches!(
+        read_frame(&mut wire.as_slice(), MAX_FRAME_PAYLOAD),
+        Err(FrameError::BadChecksum { .. })
+    ));
+}
+
+#[test]
+fn unknown_verbs_and_tags_are_typed() {
+    // A perfectly framed payload with a verb the protocol doesn't
+    // know: the frame reads fine, the request decode is a typed error.
+    for verb in [7u8, 42, 255] {
+        let wire = encode_frame(KIND_REQUEST, &[verb]);
+        let frame = read_frame(&mut wire.as_slice(), MAX_FRAME_PAYLOAD).expect("framing intact");
+        assert!(
+            Request::from_bytes(&frame.payload).is_err(),
+            "verb {verb} must not decode"
+        );
+    }
+    for tag in [8u8, 99, 255] {
+        assert!(Response::from_bytes(&[tag]).is_err(), "tag {tag}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    /// Fuzz the network boundary: random byte mutations (and
+    /// truncations) of a real request frame never panic — every
+    /// outcome is a typed `FrameError`, a typed `CodecError`, or a
+    /// (rare) still-valid decode.
+    #[test]
+    fn random_frame_mutations_never_panic(
+        positions in prop::collection::vec(0usize..1_000_000, 1..8),
+        values in prop::collection::vec(0u8..=255, 8..9),
+        truncate_to in 0usize..1_000_000,
+    ) {
+        let mut wire = submit_frame().to_vec();
+        for (k, &pos) in positions.iter().enumerate() {
+            let i = pos % wire.len();
+            wire[i] = values[k % values.len()];
+        }
+        let cut = truncate_to % (wire.len() + 1);
+        for bytes in [&wire[..], &wire[..cut]] {
+            if let Ok(frame) = read_frame(&mut &bytes[..], MAX_FRAME_PAYLOAD) {
+                // Framing survived the mutation; the payload decode
+                // must still be panic-free.
+                let _ = Request::from_bytes(&frame.payload);
+            }
+        }
+    }
+}
